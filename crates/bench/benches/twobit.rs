@@ -1,0 +1,47 @@
+//! Criterion bench: char vs 2-bit packed comparer (the related-work [21]
+//! optimization) and buffer vs USM host paths.
+
+use cas_offinder::pipeline::{self, PipelineConfig};
+use cas_offinder::{OptLevel, SearchInput};
+use criterion::{criterion_group, criterion_main, Criterion};
+use genome::synth;
+use gpu_sim::DeviceSpec;
+
+fn bench_variants(c: &mut Criterion) {
+    let assembly = synth::hg19_mini(0.01);
+    let input = SearchInput::canonical_example("hg19-mini");
+    let config = PipelineConfig::new(DeviceSpec::mi100())
+        .chunk_size(1 << 15)
+        .opt(OptLevel::Opt3);
+
+    let chars = pipeline::sycl::run(&assembly, &input, &config).unwrap();
+    let packed = pipeline::twobit::run(&assembly, &input, &config).unwrap();
+    let usm = pipeline::sycl_usm::run(&assembly, &input, &config).unwrap();
+    assert_eq!(chars.offtargets, packed.offtargets);
+    assert_eq!(chars.offtargets, usm.offtargets);
+    println!(
+        "simulated comparer: char {:.6}s, 2-bit {:.6}s (speedup {:.2}); \
+         elapsed: buffer {:.6}s, usm {:.6}s",
+        chars.timing.comparer_s,
+        packed.timing.comparer_s,
+        chars.timing.comparer_s / packed.timing.comparer_s,
+        chars.timing.elapsed_s,
+        usm.timing.elapsed_s,
+    );
+
+    let mut group = c.benchmark_group("variants");
+    group.sample_size(10);
+    group.bench_function("comparer-char", |b| {
+        b.iter(|| pipeline::sycl::run(&assembly, &input, &config).unwrap().timing.comparer_s)
+    });
+    group.bench_function("comparer-2bit", |b| {
+        b.iter(|| pipeline::twobit::run(&assembly, &input, &config).unwrap().timing.comparer_s)
+    });
+    group.bench_function("host-usm", |b| {
+        b.iter(|| pipeline::sycl_usm::run(&assembly, &input, &config).unwrap().timing.elapsed_s)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

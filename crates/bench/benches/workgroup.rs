@@ -1,0 +1,39 @@
+//! Criterion bench: work-group-size ablation (the DESIGN.md ♦ item behind
+//! Table VIII — the OpenCL runtime picks 64-wide groups, the SYCL
+//! application fixes 256).
+
+use cas_offinder::pipeline::{self, PipelineConfig};
+use cas_offinder::SearchInput;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genome::synth;
+use gpu_sim::DeviceSpec;
+
+fn bench_workgroup(c: &mut Criterion) {
+    let assembly = synth::hg38_mini(0.01);
+    let input = SearchInput::canonical_example("hg38-mini");
+
+    let mut group = c.benchmark_group("workgroup");
+    group.sample_size(10);
+    for wgs in [64usize, 128, 256, 512] {
+        let config = PipelineConfig::new(DeviceSpec::mi100())
+            .chunk_size(1 << 15)
+            .work_group_size(Some(wgs));
+        let report = pipeline::sycl::run(&assembly, &input, &config).unwrap();
+        println!(
+            "work-group {wgs}: simulated elapsed {:.6}s (comparer {:.6}s)",
+            report.timing.elapsed_s, report.timing.comparer_s
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(wgs), &config, |b, cfg| {
+            b.iter(|| {
+                pipeline::sycl::run(&assembly, &input, cfg)
+                    .unwrap()
+                    .timing
+                    .elapsed_s
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workgroup);
+criterion_main!(benches);

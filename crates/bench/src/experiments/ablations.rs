@@ -1,0 +1,132 @@
+//! Ablations beyond the paper's tables: the design choices DESIGN.md marks
+//! with ♦, plus the extensions (2-bit packing, multi-GPU).
+
+use cas_offinder::pipeline::{self, PipelineConfig};
+use cas_offinder::OptLevel;
+use gpu_sim::DeviceSpec;
+
+use crate::{fmt_s, fmt_x, Runner, TextTable};
+
+/// Results of the ablation suite.
+#[derive(Debug, Clone)]
+pub struct Ablations {
+    /// Comparer kernel seconds per work-group size (64/128/256/512),
+    /// baseline comparer on MI100, hg19 dataset.
+    pub workgroup: Vec<(usize, f64)>,
+    /// (char comparer seconds, 2-bit comparer seconds) on MI100, hg19.
+    pub twobit: (f64, f64),
+    /// Elapsed seconds for 1..=4 MI100 devices.
+    pub multi_gpu: Vec<(usize, f64)>,
+}
+
+impl Ablations {
+    /// Run the suite on the runner's workload.
+    pub fn run(runner: &mut Runner) -> Ablations {
+        let workload = runner.workload();
+        let assembly = &workload.hg19;
+        let input = workload.input(0);
+        let chunk = 1 << 17;
+
+        // ♦ Work-group size (the Table VIII mechanism).
+        let workgroup = [64usize, 128, 256, 512]
+            .into_iter()
+            .map(|wgs| {
+                let config = PipelineConfig::new(DeviceSpec::mi100())
+                    .chunk_size(chunk)
+                    .work_group_size(Some(wgs));
+                let report = pipeline::sycl::run(assembly, &input, &config).expect("pipeline");
+                (wgs, report.timing.comparer_s)
+            })
+            .collect();
+
+        // Extension: 2-bit packed genome (related work [21]).
+        let config = PipelineConfig::new(DeviceSpec::mi100())
+            .chunk_size(chunk)
+            .opt(OptLevel::Opt3);
+        let chars = pipeline::sycl::run(assembly, &input, &config).expect("pipeline");
+        let packed = pipeline::twobit::run(assembly, &input, &config).expect("pipeline");
+        let twobit = (chars.timing.comparer_s, packed.timing.comparer_s);
+
+        // Extension: multi-GPU scaling.
+        let multi_gpu = (1usize..=4)
+            .map(|n| {
+                let fleet = vec![DeviceSpec::mi100(); n];
+                let config = PipelineConfig::new(DeviceSpec::mi100()).chunk_size(chunk / 4);
+                let (report, _) =
+                    pipeline::multi::run(assembly, &input, &config, &fleet).expect("pipeline");
+                (n, report.timing.elapsed_s)
+            })
+            .collect();
+
+        Ablations {
+            workgroup,
+            twobit,
+            multi_gpu,
+        }
+    }
+
+    /// Render the three ablations.
+    pub fn render(&self) -> Vec<TextTable> {
+        let mut wg = TextTable::new(
+            "Ablation — work-group size (baseline comparer, MI100, hg19-mini)",
+            &["work-group", "comparer (sim s)", "vs 256"],
+        );
+        let base_256 = self
+            .workgroup
+            .iter()
+            .find(|&&(w, _)| w == 256)
+            .map(|&(_, t)| t)
+            .unwrap_or(1.0);
+        for &(wgs, t) in &self.workgroup {
+            wg.row(vec![wgs.to_string(), fmt_s(t), fmt_x(t / base_256)]);
+        }
+
+        let mut tb = TextTable::new(
+            "Extension — 2-bit packed genome (opt3 comparer, MI100, hg19-mini; related work [21])",
+            &["kernel", "comparer (sim s)", "speedup"],
+        );
+        tb.row(vec!["char".into(), fmt_s(self.twobit.0), fmt_x(1.0)]);
+        tb.row(vec![
+            "2-bit".into(),
+            fmt_s(self.twobit.1),
+            fmt_x(self.twobit.0 / self.twobit.1),
+        ]);
+
+        let mut mg = TextTable::new(
+            "Extension — multi-GPU scaling (MI100 fleet, hg19-mini)",
+            &["devices", "elapsed (sim s)", "scaling"],
+        );
+        let single = self.multi_gpu.first().map(|&(_, t)| t).unwrap_or(1.0);
+        for &(n, t) in &self.multi_gpu {
+            mg.row(vec![n.to_string(), fmt_s(t), fmt_x(single / t)]);
+        }
+
+        vec![wg, tb, mg]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn ablation_shapes_hold() {
+        let mut runner = Runner::new(Workload::new(0.01), 1 << 16);
+        let a = Ablations::run(&mut runner);
+
+        // Smaller groups pay staging/dispatch more often.
+        let t = |w: usize| a.workgroup.iter().find(|&&(x, _)| x == w).unwrap().1;
+        assert!(t(64) > t(256), "workgroup: {:?}", a.workgroup);
+
+        // Packing beats chars.
+        assert!(a.twobit.1 < a.twobit.0, "2-bit: {:?}", a.twobit);
+
+        // More devices, faster runs.
+        assert!(a.multi_gpu[3].1 < a.multi_gpu[0].1 * 0.5, "{:?}", a.multi_gpu);
+
+        let rendered = a.render();
+        assert_eq!(rendered.len(), 3);
+        assert!(rendered[1].to_string().contains("2-bit"));
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per table/figure of the paper's evaluation section.
+
+pub mod ablations;
+pub mod fig2;
+pub mod summary;
+pub mod table1;
+pub mod table10;
+pub mod table8;
+pub mod table9;

@@ -1,0 +1,128 @@
+//! Table VIII: elapsed time of the OpenCL and SYCL applications on the
+//! three GPUs and two datasets.
+//!
+//! Shape target: SYCL ≥ OpenCL everywhere, with speedups in roughly the
+//! paper's 1.00–1.19 band, and the hg38 runs slower than the hg19 runs.
+
+use cas_offinder::{Api, OptLevel};
+
+use crate::{deviation_pct, fmt_s, fmt_x, paper, Runner, TextTable};
+
+/// One cell of Table VIII.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Simulated OpenCL elapsed seconds.
+    pub ocl_s: f64,
+    /// Simulated SYCL elapsed seconds.
+    pub sycl_s: f64,
+}
+
+impl Cell {
+    /// SYCL speedup over OpenCL.
+    pub fn speedup(&self) -> f64 {
+        self.ocl_s / self.sycl_s
+    }
+}
+
+/// Result of the Table VIII experiment: `cells[dataset][device]`.
+#[derive(Debug, Clone)]
+pub struct Table8 {
+    /// Measured cells.
+    pub cells: [[Cell; 3]; 2],
+    /// Extrapolation factors to full-genome scale per dataset.
+    pub extrapolation: [f64; 2],
+}
+
+impl Table8 {
+    /// Run the experiment (6 OpenCL + 6 SYCL pipeline simulations, cached).
+    pub fn run(runner: &mut Runner) -> Table8 {
+        let extrapolation = [
+            runner.workload().extrapolation_factor(0),
+            runner.workload().extrapolation_factor(1),
+        ];
+        let mut cells = [[Cell {
+            ocl_s: 0.0,
+            sycl_s: 0.0,
+        }; 3]; 2];
+        for (d, row) in cells.iter_mut().enumerate() {
+            for (g, cell) in row.iter_mut().enumerate() {
+                cell.ocl_s = runner
+                    .report(g, d, Api::OpenCl, OptLevel::Base)
+                    .timing
+                    .elapsed_s;
+                cell.sycl_s = runner
+                    .report(g, d, Api::Sycl, OptLevel::Base)
+                    .timing
+                    .elapsed_s;
+            }
+        }
+        Table8 {
+            cells,
+            extrapolation,
+        }
+    }
+
+    /// Render paper-vs-measured.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table VIII — elapsed time, OpenCL vs SYCL (simulated seconds on miniature; \
+             speedup = OCL/SYCL)",
+            &[
+                "dataset",
+                "device",
+                "OCL (sim s)",
+                "SYCL (sim s)",
+                "speedup",
+                "paper speedup",
+                "dev %",
+                "SYCL full-genome est (s)",
+            ],
+        );
+        for d in 0..2 {
+            for g in 0..3 {
+                let cell = self.cells[d][g];
+                let paper_speedup = paper::TABLE8_OPENCL_S[d][g] / paper::TABLE8_SYCL_S[d][g];
+                t.row(vec![
+                    paper::DATASETS[d].into(),
+                    paper::DEVICES[g].into(),
+                    fmt_s(cell.ocl_s),
+                    fmt_s(cell.sycl_s),
+                    fmt_x(cell.speedup()),
+                    fmt_x(paper_speedup),
+                    format!("{:+.1}", deviation_pct(cell.speedup(), paper_speedup)),
+                    fmt_x(cell.sycl_s * self.extrapolation[d]),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn sycl_is_never_slower_and_hg38_costs_more() {
+        let mut runner = Runner::new(Workload::new(0.02), 1 << 18);
+        let t = Table8::run(&mut runner);
+        for d in 0..2 {
+            for g in 0..3 {
+                let s = t.cells[d][g].speedup();
+                assert!(
+                    (0.98..=1.35).contains(&s),
+                    "speedup {s:.3} out of band at dataset {d} device {g}"
+                );
+            }
+        }
+        for g in 0..3 {
+            assert!(
+                t.cells[1][g].sycl_s > t.cells[0][g].sycl_s,
+                "hg38 must be slower than hg19"
+            );
+        }
+        let rendered = t.render().to_string();
+        assert!(rendered.contains("MI100"));
+    }
+}

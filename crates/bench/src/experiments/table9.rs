@@ -1,0 +1,109 @@
+//! Table IX: elapsed time of the baseline vs optimized (opt3) SYCL
+//! application.
+//!
+//! Shape target: opt3 wins everywhere, with end-to-end speedups in roughly
+//! the paper's 1.09–1.23 band.
+
+use cas_offinder::{Api, OptLevel};
+
+use crate::{deviation_pct, fmt_s, fmt_x, paper, Runner, TextTable};
+
+/// One cell of Table IX.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Baseline SYCL elapsed seconds.
+    pub base_s: f64,
+    /// Optimized (opt3) SYCL elapsed seconds.
+    pub opt_s: f64,
+}
+
+impl Cell {
+    /// Optimization speedup.
+    pub fn speedup(&self) -> f64 {
+        self.base_s / self.opt_s
+    }
+}
+
+/// Result of the Table IX experiment: `cells[dataset][device]`.
+#[derive(Debug, Clone)]
+pub struct Table9 {
+    /// Measured cells.
+    pub cells: [[Cell; 3]; 2],
+}
+
+impl Table9 {
+    /// Run the experiment.
+    pub fn run(runner: &mut Runner) -> Table9 {
+        let mut cells = [[Cell {
+            base_s: 0.0,
+            opt_s: 0.0,
+        }; 3]; 2];
+        for (d, row) in cells.iter_mut().enumerate() {
+            for (g, cell) in row.iter_mut().enumerate() {
+                cell.base_s = runner
+                    .report(g, d, Api::Sycl, OptLevel::Base)
+                    .timing
+                    .elapsed_s;
+                cell.opt_s = runner
+                    .report(g, d, Api::Sycl, OptLevel::Opt3)
+                    .timing
+                    .elapsed_s;
+            }
+        }
+        Table9 { cells }
+    }
+
+    /// Render paper-vs-measured.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table IX — elapsed time of the optimized SYCL application \
+             (base vs opt3; speedup = base/opt)",
+            &[
+                "dataset",
+                "device",
+                "base (sim s)",
+                "opt (sim s)",
+                "speedup",
+                "paper speedup",
+                "dev %",
+            ],
+        );
+        for d in 0..2 {
+            for g in 0..3 {
+                let cell = self.cells[d][g];
+                let paper_speedup = paper::TABLE9_BASE_S[d][g] / paper::TABLE9_OPT_S[d][g];
+                t.row(vec![
+                    paper::DATASETS[d].into(),
+                    paper::DEVICES[g].into(),
+                    fmt_s(cell.base_s),
+                    fmt_s(cell.opt_s),
+                    fmt_x(cell.speedup()),
+                    fmt_x(paper_speedup),
+                    format!("{:+.1}", deviation_pct(cell.speedup(), paper_speedup)),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn opt3_wins_everywhere_in_the_paper_band() {
+        let mut runner = Runner::new(Workload::new(0.02), 1 << 18);
+        let t = Table9::run(&mut runner);
+        for d in 0..2 {
+            for g in 0..3 {
+                let s = t.cells[d][g].speedup();
+                assert!(
+                    (1.03..=1.40).contains(&s),
+                    "opt3 end-to-end speedup {s:.3} out of band at dataset {d} device {g}"
+                );
+            }
+        }
+    }
+}

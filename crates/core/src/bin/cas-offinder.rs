@@ -1,0 +1,25 @@
+//! The `cas-offinder` command-line tool: search a genome for potential
+//! off-target sites (simulated-GPU edition).
+//!
+//! ```text
+//! cas-offinder input.txt [output.txt] [--api sycl|opencl] [--device MI100]
+//!              [--opt base|opt1|opt2|opt3|opt4] [--chunk N]
+//! ```
+
+use cas_offinder::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{}", cli::USAGE);
+        return;
+    }
+    match cli::run(args) {
+        Ok(rendered) => print!("{rendered}"),
+        Err(e) => {
+            eprintln!("cas-offinder: {e}");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Bulge-aware search.
+//!
+//! §II.A of the paper notes that Cas-OFFinder "can also predict off-target
+//! sites with deletions or insertions". A *DNA bulge* means the genomic site
+//! carries extra bases relative to the guide (an insertion in the DNA); an
+//! *RNA bulge* means the guide carries extra bases (a deletion in the DNA).
+//!
+//! Following the original tool's strategy, bulges are searched by
+//! enumerating modified queries: a DNA bulge of size `b` at guide position
+//! `p` inserts `b` wildcard (`N`) bases into the query (widening the genomic
+//! window), and an RNA bulge deletes `b` bases (narrowing it). Each variant
+//! is then an ordinary mismatch search.
+
+use genome::Assembly;
+
+use crate::cpu::search_sequential;
+use crate::input::{Query, SearchInput};
+use crate::site::OffTarget;
+
+/// A search backend for bulge enumeration: anything that maps an
+/// `(assembly, input)` pair to the canonical result set. The scalar oracle,
+/// the GPU pipelines, and the multithreaded CPU baseline all fit.
+pub trait SearchBackend {
+    /// Run one plain mismatch search.
+    fn search(&self, assembly: &Assembly, input: &SearchInput) -> Vec<OffTarget>;
+}
+
+/// The scalar oracle as a backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuBackend;
+
+impl SearchBackend for CpuBackend {
+    fn search(&self, assembly: &Assembly, input: &SearchInput) -> Vec<OffTarget> {
+        search_sequential(assembly, input)
+    }
+}
+
+/// The SYCL GPU pipeline as a backend.
+#[derive(Debug, Clone)]
+pub struct SyclBackend(pub crate::pipeline::PipelineConfig);
+
+impl SearchBackend for SyclBackend {
+    fn search(&self, assembly: &Assembly, input: &SearchInput) -> Vec<OffTarget> {
+        crate::pipeline::sycl::run(assembly, input, &self.0)
+            .expect("sycl pipeline failed during bulge search")
+            .offtargets
+    }
+}
+
+/// The bulge class of a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BulgeType {
+    /// No bulge: a plain mismatch-only hit.
+    None,
+    /// DNA bulge of the given size: the genome has extra bases.
+    Dna(u8),
+    /// RNA bulge of the given size: the guide has extra bases.
+    Rna(u8),
+}
+
+impl std::fmt::Display for BulgeType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BulgeType::None => write!(f, "X"),
+            BulgeType::Dna(n) => write!(f, "DNA:{n}"),
+            BulgeType::Rna(n) => write!(f, "RNA:{n}"),
+        }
+    }
+}
+
+/// One bulge-aware hit.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BulgeHit {
+    /// The underlying off-target record (the query field holds the bulged
+    /// variant actually compared).
+    pub site: OffTarget,
+    /// Bulge class of the variant that produced the hit.
+    pub bulge: BulgeType,
+    /// Guide position the bulge was introduced at (0 for [`BulgeType::None`]).
+    pub bulge_pos: usize,
+}
+
+/// Bulge search limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BulgeLimits {
+    /// Maximum DNA bulge size.
+    pub max_dna: u8,
+    /// Maximum RNA bulge size.
+    pub max_rna: u8,
+}
+
+/// Search `assembly` for off-target sites of `input`'s queries allowing
+/// mismatches *and* bulges up to `limits`.
+///
+/// The spacer region is taken to be the non-`N` prefix positions of each
+/// query (the PAM is the pattern's non-`N` suffix and is never bulged).
+/// Results are sorted and deduplicated; a site found both without a bulge
+/// and via some bulged variant is reported once per variant class, as the
+/// original tool does.
+pub fn search_with_bulges(
+    assembly: &Assembly,
+    input: &SearchInput,
+    limits: BulgeLimits,
+) -> Vec<BulgeHit> {
+    search_with_bulges_on(&CpuBackend, assembly, input, limits)
+}
+
+/// [`search_with_bulges`] over an arbitrary [`SearchBackend`] — run the
+/// bulge variant sweep on a GPU pipeline instead of the scalar oracle.
+pub fn search_with_bulges_on<B: SearchBackend>(
+    backend: &B,
+    assembly: &Assembly,
+    input: &SearchInput,
+    limits: BulgeLimits,
+) -> Vec<BulgeHit> {
+    let mut hits: Vec<BulgeHit> = Vec::new();
+
+    // Plain search first.
+    for site in backend.search(assembly, input) {
+        hits.push(BulgeHit {
+            site,
+            bulge: BulgeType::None,
+            bulge_pos: 0,
+        });
+    }
+
+    for query in &input.queries {
+        let spacer_len = query.seq.iter().take_while(|&&c| c != b'N').count();
+        if spacer_len < 2 {
+            continue;
+        }
+
+        // DNA bulges: insert `b` Ns into the query and extend the pattern.
+        for b in 1..=limits.max_dna {
+            for pos in 1..spacer_len {
+                let variant = insert_ns(&query.seq, pos, b as usize);
+                let pattern = extend_pattern(&input.pattern, b as usize);
+                collect_variant(
+                    backend,
+                    assembly,
+                    &pattern,
+                    &variant,
+                    query.max_mismatches,
+                    BulgeType::Dna(b),
+                    pos,
+                    &mut hits,
+                );
+            }
+        }
+
+        // RNA bulges: delete `b` query bases and shrink the pattern.
+        for b in 1..=limits.max_rna {
+            if (b as usize) >= spacer_len {
+                continue;
+            }
+            for pos in 1..spacer_len - b as usize {
+                let variant = delete_bases(&query.seq, pos, b as usize);
+                let pattern = shrink_pattern(&input.pattern, b as usize);
+                collect_variant(
+                    backend,
+                    assembly,
+                    &pattern,
+                    &variant,
+                    query.max_mismatches,
+                    BulgeType::Rna(b),
+                    pos,
+                    &mut hits,
+                );
+            }
+        }
+    }
+
+    // Canonical order and per-(class, site) deduplication: the same genomic
+    // site is often reachable from several bulge positions (homopolymer
+    // runs); the original tool reports it once per bulge class.
+    hits.sort_by(|a, b| dedup_key(a).cmp(&dedup_key(b)).then(a.cmp(b)));
+    hits.dedup_by(|a, b| dedup_key(a) == dedup_key(b));
+    hits
+}
+
+fn dedup_key(h: &BulgeHit) -> (&str, usize, crate::site::Strand, BulgeType) {
+    (&h.site.chrom, h.site.position, h.site.strand, h.bulge)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_variant<B: SearchBackend>(
+    backend: &B,
+    assembly: &Assembly,
+    pattern: &[u8],
+    variant: &[u8],
+    max_mismatches: u16,
+    bulge: BulgeType,
+    bulge_pos: usize,
+    hits: &mut Vec<BulgeHit>,
+) {
+    let sub_input = SearchInput {
+        genome: String::new(),
+        pattern: pattern.to_vec(),
+        queries: vec![Query::new(variant.to_vec(), max_mismatches)],
+    };
+    for site in backend.search(assembly, &sub_input) {
+        hits.push(BulgeHit {
+            site,
+            bulge,
+            bulge_pos,
+        });
+    }
+}
+
+fn insert_ns(seq: &[u8], pos: usize, n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(seq.len() + n);
+    out.extend_from_slice(&seq[..pos]);
+    out.extend(std::iter::repeat_n(b'N', n));
+    out.extend_from_slice(&seq[pos..]);
+    out
+}
+
+fn delete_bases(seq: &[u8], pos: usize, n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(seq.len() - n);
+    out.extend_from_slice(&seq[..pos]);
+    out.extend_from_slice(&seq[pos + n..]);
+    out
+}
+
+/// Widen a PAM pattern by prepending `n` wildcards (the PAM is the non-`N`
+/// suffix, so extra genome bases go in front of it).
+fn extend_pattern(pattern: &[u8], n: usize) -> Vec<u8> {
+    let mut out = vec![b'N'; n];
+    out.extend_from_slice(pattern);
+    out
+}
+
+fn shrink_pattern(pattern: &[u8], n: usize) -> Vec<u8> {
+    pattern[n..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::Chromosome;
+
+    fn assembly(seq: &[u8]) -> Assembly {
+        let mut asm = Assembly::new("toy");
+        asm.push(Chromosome::new("chr1", seq.to_vec()));
+        asm
+    }
+
+    #[test]
+    fn variant_builders() {
+        assert_eq!(insert_ns(b"ACGT", 2, 1), b"ACNGT");
+        assert_eq!(delete_bases(b"ACGT", 1, 2), b"AT");
+        assert_eq!(extend_pattern(b"NNNGG", 2), b"NNNNNGG");
+        assert_eq!(shrink_pattern(b"NNNGG", 2), b"NGG");
+    }
+
+    #[test]
+    fn plain_hits_are_class_none() {
+        let asm = assembly(b"ACGTACGTAGG");
+        let input = SearchInput::parse("t\nNNNNNNNNNGG\nACGTACGTNNN 1\n").unwrap();
+        let hits = search_with_bulges(&asm, &input, BulgeLimits::default());
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.bulge == BulgeType::None));
+    }
+
+    #[test]
+    fn dna_bulge_finds_inserted_base() {
+        // Guide ACGTACGT; genome carries ACGTAACGT (extra A after pos 5)
+        // followed by the AGG PAM: only reachable with a 1-base DNA bulge.
+        let asm = assembly(b"TTTACGTAACGTAGGTTT");
+        let input = SearchInput::parse("t\nNNNNNNNNNGG\nACGTACGTNNN 0\n").unwrap();
+        let none = search_with_bulges(&asm, &input, BulgeLimits::default());
+        assert!(none.iter().all(|h| h.bulge == BulgeType::None));
+        assert!(
+            !none.iter().any(|h| h.site.mismatches == 0),
+            "not reachable without a bulge"
+        );
+
+        let hits = search_with_bulges(
+            &asm,
+            &input,
+            BulgeLimits {
+                max_dna: 1,
+                max_rna: 0,
+            },
+        );
+        let dna: Vec<_> = hits
+            .iter()
+            .filter(|h| h.bulge == BulgeType::Dna(1) && h.site.mismatches == 0)
+            .collect();
+        assert!(!dna.is_empty(), "1-base DNA bulge must recover the site");
+    }
+
+    #[test]
+    fn rna_bulge_finds_deleted_base() {
+        // Guide ACGTACGT; genome carries ACGACGT (G at pos 3 deleted) + PAM.
+        let asm = assembly(b"TTTACGACGTAGGTTT");
+        let input = SearchInput::parse("t\nNNNNNNNNNGG\nACGTACGTNNN 0\n").unwrap();
+        let hits = search_with_bulges(
+            &asm,
+            &input,
+            BulgeLimits {
+                max_dna: 0,
+                max_rna: 1,
+            },
+        );
+        let rna: Vec<_> = hits
+            .iter()
+            .filter(|h| h.bulge == BulgeType::Rna(1) && h.site.mismatches == 0)
+            .collect();
+        assert!(!rna.is_empty(), "1-base RNA bulge must recover the site");
+    }
+
+    #[test]
+    fn duplicate_variant_hits_are_deduplicated() {
+        // A homopolymer run: inserting an N at different positions yields
+        // the same genomic site; it must be reported once per bulge class.
+        let asm = assembly(b"AAAAAAAAAAAAAGGTTT");
+        let input = SearchInput::parse("t\nNNNNNNNNNGG\nAAAAAAAANNN 0\n").unwrap();
+        let hits = search_with_bulges(
+            &asm,
+            &input,
+            BulgeLimits {
+                max_dna: 1,
+                max_rna: 0,
+            },
+        );
+        let mut keys: Vec<_> = hits
+            .iter()
+            .map(|h| (h.bulge, h.site.chrom.clone(), h.site.position, h.site.strand))
+            .collect();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "no duplicate (class, site) pairs");
+    }
+
+    #[test]
+    fn gpu_backend_agrees_with_the_cpu_backend() {
+        use crate::pipeline::PipelineConfig;
+        let asm = assembly(b"TTTACGTAACGTAGGTTTACGACGTAGGTTTACGTACGTAGGTT");
+        let input = SearchInput::parse("t\nNNNNNNNNNGG\nACGTACGTNNN 1\n").unwrap();
+        let limits = BulgeLimits {
+            max_dna: 1,
+            max_rna: 1,
+        };
+        let cpu = search_with_bulges(&asm, &input, limits);
+        let gpu = search_with_bulges_on(
+            &SyclBackend(PipelineConfig::new(gpu_sim::DeviceSpec::mi100()).chunk_size(64)),
+            &asm,
+            &input,
+            limits,
+        );
+        assert_eq!(cpu, gpu);
+        assert!(!cpu.is_empty());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(BulgeType::None.to_string(), "X");
+        assert_eq!(BulgeType::Dna(2).to_string(), "DNA:2");
+        assert_eq!(BulgeType::Rna(1).to_string(), "RNA:1");
+    }
+}

@@ -1,0 +1,233 @@
+//! OpenCL bindings of the kernels: the `__kernel` entry points the OpenCL
+//! host pipeline compiles into its program object (Table VI of the paper).
+//!
+//! These adapters translate the positional, type-erased `clSetKernelArg`
+//! argument lists into the typed kernel structs, validating types, counts
+//! and `__local` allocation sizes the way a real OpenCL runtime validates
+//! argument sizes.
+
+use gpu_sim::executor::LaunchReport;
+use gpu_sim::kernel::{KernelProgram, LocalLayout};
+use gpu_sim::{Device, NdRange, SimResult};
+
+use opencl_rt::{BoundKernel, ClError, ClKernelFunction, ClResult, KernelArg};
+
+use super::comparer::{ComparerKernel, ComparerOutput};
+use super::finder::{FinderKernel, FinderOutput};
+use super::OptLevel;
+
+struct Bound<K: KernelProgram>(K);
+
+impl<K: KernelProgram> BoundKernel for Bound<K> {
+    fn launch(&self, device: &Device, nd: NdRange) -> SimResult<LaunchReport> {
+        device.launch(&self.0, nd)
+    }
+}
+
+fn expect_local_bytes(arg: &KernelArg, index: usize, expected: usize) -> ClResult<()> {
+    let bytes = arg.as_local_bytes(index)?;
+    if bytes != expected {
+        return Err(ClError::InvalidArgValue {
+            index,
+            expected: format!("__local allocation of {expected} bytes, got {bytes}"),
+        });
+    }
+    Ok(())
+}
+
+/// The `finder` kernel as an OpenCL kernel function.
+///
+/// Argument layout (mirrors Table VI):
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `chr` | buffer\<u8\> |
+/// | 1 | `pat` | buffer\<u8\> (`__constant`) |
+/// | 2 | `pat_index` | buffer\<i32\> (`__constant`) |
+/// | 3 | `loci` (out) | buffer\<u32\> |
+/// | 4 | `flags` (out) | buffer\<u8\> |
+/// | 5 | `count` (out) | buffer\<u32\> |
+/// | 6 | `scan_len` | u32 |
+/// | 7 | `seq_len` | u32 |
+/// | 8 | `patternlen` | u32 |
+/// | 9 | `l_pat` | `__local` 2·plen bytes |
+/// | 10 | `l_pat_index` | `__local` 8·plen bytes |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClFinder;
+
+impl ClKernelFunction for ClFinder {
+    fn name(&self) -> &str {
+        "finder"
+    }
+
+    fn arity(&self) -> usize {
+        11
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[8].as_u32(8)? as usize;
+        expect_local_bytes(&args[9], 9, 2 * plen)?;
+        expect_local_bytes(&args[10], 10, 2 * plen * 4)?;
+        let mut layout = LocalLayout::new();
+        let l_pat = layout.array::<u8>(2 * plen);
+        let l_pat_index = layout.array::<i32>(2 * plen);
+        Ok(Box::new(Bound(FinderKernel {
+            chr: args[0].as_buf_u8(0)?,
+            pat: args[1].as_buf_u8(1)?,
+            pat_index: args[2].as_buf_i32(2)?,
+            out: FinderOutput {
+                loci: args[3].as_buf_u32(3)?,
+                flags: args[4].as_buf_u8(4)?,
+                count: args[5].as_buf_u32(5)?,
+            },
+            scan_len: args[6].as_u32(6)?,
+            seq_len: args[7].as_u32(7)?,
+            plen: plen as u32,
+            l_pat,
+            l_pat_index,
+        })))
+    }
+}
+
+/// The `comparer` kernel as an OpenCL kernel function, at a fixed
+/// [`OptLevel`] (the level is a compile-time property of the kernel source,
+/// not a runtime argument).
+///
+/// Argument layout (mirrors Listing 1's parameter list):
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `chr` | buffer\<u8\> |
+/// | 1 | `loci` | buffer\<u32\> |
+/// | 2 | `flag` | buffer\<u8\> |
+/// | 3 | `comp` | buffer\<u8\> (`__constant`) |
+/// | 4 | `comp_index` | buffer\<i32\> (`__constant`) |
+/// | 5 | `locicnts` | u32 |
+/// | 6 | `patternlen` | u32 |
+/// | 7 | `threshold` | u16 |
+/// | 8 | `mm_count` (out) | buffer\<u16\> |
+/// | 9 | `direction` (out) | buffer\<u8\> |
+/// | 10 | `mm_loci` (out) | buffer\<u32\> |
+/// | 11 | `entrycount` (out) | buffer\<u32\> |
+/// | 12 | `l_comp` | `__local` 2·plen bytes |
+/// | 13 | `l_comp_index` | `__local` 8·plen bytes |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClComparer {
+    /// Optimization stage this kernel was "compiled" at.
+    pub opt: OptLevel,
+}
+
+impl ClComparer {
+    /// The comparer at `opt`.
+    pub fn new(opt: OptLevel) -> Self {
+        ClComparer { opt }
+    }
+}
+
+impl ClKernelFunction for ClComparer {
+    fn name(&self) -> &str {
+        "comparer"
+    }
+
+    fn arity(&self) -> usize {
+        14
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[6].as_u32(6)? as usize;
+        expect_local_bytes(&args[12], 12, 2 * plen)?;
+        expect_local_bytes(&args[13], 13, 2 * plen * 4)?;
+        let mut layout = LocalLayout::new();
+        let l_comp = layout.array::<u8>(2 * plen);
+        let l_comp_index = layout.array::<i32>(2 * plen);
+        Ok(Box::new(Bound(ComparerKernel {
+            opt: self.opt,
+            chr: args[0].as_buf_u8(0)?,
+            loci: args[1].as_buf_u32(1)?,
+            flags: args[2].as_buf_u8(2)?,
+            comp: args[3].as_buf_u8(3)?,
+            comp_index: args[4].as_buf_i32(4)?,
+            locicnt: args[5].as_u32(5)?,
+            plen: plen as u32,
+            threshold: args[7].as_u16(7)?,
+            out: ComparerOutput {
+                mm_count: args[8].as_buf_u16(8)?,
+                direction: args[9].as_buf_u8(9)?,
+                loci: args[10].as_buf_u32(10)?,
+                count: args[11].as_buf_u32(11)?,
+            },
+            l_comp,
+            l_comp_index,
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::mi100())
+    }
+
+    #[test]
+    fn finder_binding_validates_local_sizes() {
+        let d = device();
+        let plen = 3usize;
+        let args = vec![
+            KernelArg::BufU8(d.alloc(16).unwrap()),
+            KernelArg::BufU8(d.alloc(6).unwrap()),
+            KernelArg::BufI32(d.alloc(6).unwrap()),
+            KernelArg::BufU32(d.alloc(16).unwrap()),
+            KernelArg::BufU8(d.alloc(16).unwrap()),
+            KernelArg::BufU32(d.alloc(1).unwrap()),
+            KernelArg::U32(16),
+            KernelArg::U32(16),
+            KernelArg::U32(plen as u32),
+            KernelArg::Local { bytes: 2 * plen },
+            KernelArg::Local { bytes: 8 * plen },
+        ];
+        assert!(ClFinder.bind(&args).is_ok());
+
+        let mut bad = args.clone();
+        bad[9] = KernelArg::Local { bytes: 1 };
+        let err = ClFinder.bind(&bad).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ClError::InvalidArgValue { index: 9, .. }));
+    }
+
+    #[test]
+    fn comparer_binding_validates_types() {
+        let d = device();
+        let plen = 4usize;
+        let mut args = vec![
+            KernelArg::BufU8(d.alloc(32).unwrap()),
+            KernelArg::BufU32(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(8).unwrap()),
+            KernelArg::BufI32(d.alloc(8).unwrap()),
+            KernelArg::U32(8),
+            KernelArg::U32(plen as u32),
+            KernelArg::U16(4),
+            KernelArg::BufU16(d.alloc(16).unwrap()),
+            KernelArg::BufU8(d.alloc(16).unwrap()),
+            KernelArg::BufU32(d.alloc(16).unwrap()),
+            KernelArg::BufU32(d.alloc(1).unwrap()),
+            KernelArg::Local { bytes: 2 * plen },
+            KernelArg::Local { bytes: 8 * plen },
+        ];
+        assert!(ClComparer::new(OptLevel::Opt3).bind(&args).is_ok());
+
+        args[7] = KernelArg::U32(4); // threshold must be u16
+        let err = ClComparer::default().bind(&args).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ClError::InvalidArgValue { index: 7, .. }));
+    }
+
+    #[test]
+    fn arities_match_the_kernel_signatures() {
+        assert_eq!(ClFinder.arity(), 11);
+        assert_eq!(ClComparer::default().arity(), 14);
+        assert_eq!(ClFinder.name(), "finder");
+        assert_eq!(ClComparer::default().name(), "comparer");
+    }
+}

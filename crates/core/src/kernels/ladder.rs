@@ -1,0 +1,53 @@
+//! The IUPAC compare ladder of Listing 1, as a *cost* model.
+//!
+//! The paper's comparer evaluates a chain of thirteen `||`-connected arms,
+//! one per pattern letter, each of which re-reads the pattern character from
+//! shared local memory. Semantically our kernels use the correct subset rule
+//! from [`genome::base`]; *dynamically* they charge the number of arms the
+//! compiled ladder would evaluate before reaching the arm for the pattern
+//! character — which is what makes opt4's register caching worth the
+//! register pressure it costs.
+
+/// The ladder's arm order (Listing 1: degenerate codes first, the concrete
+/// bases last — so concrete-base queries walk most of the ladder).
+pub const LADDER: [u8; 13] = [
+    b'R', b'Y', b'M', b'W', b'K', b'S', b'H', b'B', b'V', b'D', b'G', b'C', b'T',
+];
+
+/// Number of ladder arms evaluated for pattern character `c`: the 1-based
+/// position of its arm, or the full ladder length when no arm matches
+/// (`A` and `N` have no arm in Listing 1; `N` positions are skipped by
+/// `comp_index` anyway).
+#[inline]
+pub fn ladder_rank(c: u8) -> u64 {
+    match LADDER.iter().position(|&a| a == c) {
+        Some(i) => i as u64 + 1,
+        None => LADDER.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_has_thirteen_arms_like_listing_1() {
+        assert_eq!(LADDER.len(), 13);
+    }
+
+    #[test]
+    fn degenerate_codes_resolve_early_concrete_late() {
+        assert_eq!(ladder_rank(b'R'), 1);
+        assert_eq!(ladder_rank(b'Y'), 2);
+        assert_eq!(ladder_rank(b'G'), 11);
+        assert_eq!(ladder_rank(b'T'), 13);
+        assert!(ladder_rank(b'W') < ladder_rank(b'C'));
+    }
+
+    #[test]
+    fn unknown_characters_walk_the_whole_ladder() {
+        assert_eq!(ladder_rank(b'A'), 13);
+        assert_eq!(ladder_rank(b'N'), 13);
+        assert_eq!(ladder_rank(b'x'), 13);
+    }
+}

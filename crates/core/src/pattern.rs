@@ -1,0 +1,162 @@
+//! Compiling patterns and queries into the kernel-side array layout.
+//!
+//! The kernels work on flat byte arrays in the layout of the paper's
+//! Listing 1: for a pattern of length `plen`, the `comp` array holds the
+//! forward sequence in `[0, plen)` and the reverse complement in
+//! `[plen, 2*plen)` ("the lengths of both arrays are plen x 2, which can
+//! accommodate two patterns"); `comp_index` holds, for each half, the
+//! positions that actually need comparing (the non-`N` positions),
+//! terminated by `-1`.
+
+use genome::base::reverse_complement;
+
+/// A pattern or query compiled into the two-strand kernel layout.
+///
+/// # Examples
+///
+/// ```
+/// use cas_offinder::CompiledSeq;
+///
+/// let c = CompiledSeq::compile(b"NNAGG");
+/// assert_eq!(c.plen(), 5);
+/// // Forward half: the sequence; reverse half: its reverse complement.
+/// assert_eq!(&c.comp()[..5], b"NNAGG");
+/// assert_eq!(&c.comp()[5..], b"CCTNN");
+/// // Non-N positions of each half, -1 terminated.
+/// assert_eq!(c.comp_index()[..3], [2, 3, 4]);
+/// assert_eq!(c.comp_index()[3], -1);
+/// assert_eq!(c.comp_index()[5..8], [0, 1, 2]);
+/// assert_eq!(c.comp_index()[8], -1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompiledSeq {
+    plen: usize,
+    comp: Vec<u8>,
+    comp_index: Vec<i32>,
+}
+
+impl CompiledSeq {
+    /// Compile `seq` (uppercase IUPAC) into the two-strand layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is empty — an empty pattern cannot drive a search.
+    pub fn compile(seq: &[u8]) -> CompiledSeq {
+        assert!(!seq.is_empty(), "cannot compile an empty sequence");
+        let plen = seq.len();
+        let mut comp = Vec::with_capacity(2 * plen);
+        comp.extend_from_slice(seq);
+        comp.extend_from_slice(&reverse_complement(seq));
+
+        let mut comp_index = vec![-1i32; 2 * plen];
+        for half in 0..2 {
+            let mut w = 0;
+            for (i, &c) in comp[half * plen..(half + 1) * plen].iter().enumerate() {
+                if c != b'N' {
+                    comp_index[half * plen + w] = i as i32;
+                    w += 1;
+                }
+            }
+        }
+        CompiledSeq {
+            plen,
+            comp,
+            comp_index,
+        }
+    }
+
+    /// Pattern length in bases.
+    pub fn plen(&self) -> usize {
+        self.plen
+    }
+
+    /// The `comp` array: forward sequence then reverse complement,
+    /// `2 * plen` bytes.
+    pub fn comp(&self) -> &[u8] {
+        &self.comp
+    }
+
+    /// The `comp_index` array: per half, the non-`N` positions terminated by
+    /// `-1`, `2 * plen` entries.
+    pub fn comp_index(&self) -> &[i32] {
+        &self.comp_index
+    }
+
+    /// The forward-strand half of `comp`.
+    pub fn forward(&self) -> &[u8] {
+        &self.comp[..self.plen]
+    }
+
+    /// The reverse-complement half of `comp`.
+    pub fn reverse(&self) -> &[u8] {
+        &self.comp[self.plen..]
+    }
+
+    /// Number of positions compared on the forward strand (non-`N` count).
+    pub fn forward_compare_count(&self) -> usize {
+        self.comp_index[..self.plen]
+            .iter()
+            .take_while(|&&i| i >= 0)
+            .count()
+    }
+
+    /// Number of positions compared on the reverse strand.
+    pub fn reverse_compare_count(&self) -> usize {
+        self.comp_index[self.plen..]
+            .iter()
+            .take_while(|&&i| i >= 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_pam_pattern() {
+        // SpCas9 pattern: twenty N then NRG -> only positions 21, 22 are
+        // compared on the forward strand.
+        let c = CompiledSeq::compile(b"NNNNNNNNNNNNNNNNNNNNNRG");
+        assert_eq!(c.plen(), 23);
+        assert_eq!(c.forward_compare_count(), 2);
+        assert_eq!(c.comp_index()[..2], [21, 22]);
+        assert_eq!(c.comp_index()[2], -1);
+        // Reverse complement of NNN...NRG is CYN...NNN: positions 0, 1.
+        assert_eq!(c.reverse()[..3], *b"CYN");
+        assert_eq!(c.reverse_compare_count(), 2);
+        assert_eq!(c.comp_index()[23..25], [0, 1]);
+    }
+
+    #[test]
+    fn guide_query_compares_everything_but_pam() {
+        let c = CompiledSeq::compile(b"GGCCGACCTGTCGCTGACGCNNN");
+        assert_eq!(c.forward_compare_count(), 20);
+        assert_eq!(c.reverse_compare_count(), 20);
+        // Reverse half indices start after the PAM's three Ns.
+        assert_eq!(c.comp_index()[23], 3);
+    }
+
+    #[test]
+    fn all_n_halves_terminate_immediately() {
+        let c = CompiledSeq::compile(b"NNN");
+        assert_eq!(c.forward_compare_count(), 0);
+        assert_eq!(c.comp_index()[0], -1);
+        assert_eq!(c.comp_index()[3], -1);
+    }
+
+    #[test]
+    fn comp_layout_is_two_halves() {
+        let c = CompiledSeq::compile(b"ACGT");
+        assert_eq!(c.comp().len(), 8);
+        assert_eq!(c.forward(), b"ACGT");
+        assert_eq!(c.reverse(), b"ACGT"); // ACGT is its own revcomp
+        assert_eq!(c.comp_index(), &[0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        CompiledSeq::compile(b"");
+    }
+}

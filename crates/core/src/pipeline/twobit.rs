@@ -1,0 +1,239 @@
+//! The 2-bit packed-genome pipeline — the Cas-OFFinder authors' follow-up
+//! optimization (related work \[21\] of the paper: "a 2-bit sequence format,
+//! shared local memory and atomic operations").
+//!
+//! The finder still scans the plain byte chunk (its reads are coalesced and
+//! cheap either way), but the comparer's scattered reference reads go to
+//! the packed representation: four bases per byte plus an ambiguity
+//! bitmask, roughly quartering the comparer's global-memory traffic.
+
+use genome::twobit::TwoBitSeq;
+use genome::{Assembly, Chunker};
+use gpu_sim::kernel::LocalLayout;
+use gpu_sim::NdRange;
+use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, SyclResult};
+
+use crate::input::SearchInput;
+use crate::kernels::{ComparerOutput, FinderKernel, FinderOutput, TwoBitComparerKernel};
+use crate::pattern::CompiledSeq;
+use crate::report::{Api, SearchReport, TimingBreakdown};
+use crate::site::sort_canonical;
+
+use super::{entries_to_offtargets, round_up, PipelineConfig};
+
+/// Run the SYCL application with the 2-bit comparer.
+///
+/// # Errors
+///
+/// Propagates SYCL exceptions.
+pub fn run(
+    assembly: &Assembly,
+    input: &SearchInput,
+    config: &PipelineConfig,
+) -> SyclResult<SearchReport> {
+    let wall_start = std::time::Instant::now();
+    let wgs = config
+        .work_group_size
+        .unwrap_or(super::sycl::SYCL_WORK_GROUP_SIZE);
+
+    let queue = Queue::with_mode(&SpecSelector(config.device.clone()), config.exec)?;
+
+    let pattern = CompiledSeq::compile(&input.pattern);
+    let plen = pattern.plen();
+    let queries: Vec<CompiledSeq> = input
+        .queries
+        .iter()
+        .map(|q| CompiledSeq::compile(&q.seq))
+        .collect();
+
+    let pat_buf = Buffer::from_slice(pattern.comp()).constant();
+    let pat_index_buf = Buffer::from_slice(pattern.comp_index()).constant();
+    let query_bufs: Vec<(Buffer<u8>, Buffer<i32>)> = queries
+        .iter()
+        .map(|c| {
+            (
+                Buffer::from_slice(c.comp()),
+                Buffer::from_slice(c.comp_index()),
+            )
+        })
+        .collect();
+
+    let mut timing = TimingBreakdown::default();
+    let mut offtargets = Vec::new();
+    let mut profile = gpu_sim::profile::Profile::new();
+
+    for chunk in Chunker::new(assembly, config.chunk_size, plen) {
+        if chunk.seq.len() < plen {
+            continue;
+        }
+        let packed_seq = TwoBitSeq::encode(chunk.seq);
+        let chr_buf = Buffer::from_slice(chunk.seq);
+        let packed_buf = Buffer::from_slice(packed_seq.packed_bytes());
+        let mask_buf = Buffer::from_slice(packed_seq.mask_bytes());
+        let loci_buf = Buffer::<u32>::new(chunk.scan_len);
+        let flags_buf = Buffer::<u8>::new(chunk.scan_len);
+        let fcount_buf = Buffer::<u32>::new(1);
+
+        let ev = queue.submit(|h| {
+            let chr = h.get_access(&chr_buf, AccessMode::Read)?;
+            let pat = h.get_access(&pat_buf, AccessMode::Read)?;
+            let pat_index = h.get_access(&pat_index_buf, AccessMode::Read)?;
+            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
+            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
+            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
+            let mut layout = LocalLayout::new();
+            let l_pat = layout.array::<u8>(2 * plen);
+            let l_pat_index = layout.array::<i32>(2 * plen);
+            let kernel = FinderKernel {
+                chr: chr.raw(),
+                pat: pat.raw(),
+                pat_index: pat_index.raw(),
+                out: FinderOutput {
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    count: fcount.raw(),
+                },
+                scan_len: chunk.scan_len as u32,
+                seq_len: chunk.seq.len() as u32,
+                plen: plen as u32,
+                l_pat,
+                l_pat_index,
+            };
+            h.parallel_for(NdRange::linear(round_up(chunk.scan_len, wgs), wgs), &kernel)
+        })?;
+        timing.finder_s += ev.launch_reports().iter().map(|r| r.exec_time_s).sum::<f64>();
+        for r in ev.launch_reports() {
+            profile.record_ref(r);
+        }
+        timing.finder_launches += 1;
+
+        let n = fcount_buf.to_vec()[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            continue;
+        }
+
+        for (query, (comp_buf, comp_index_buf)) in input.queries.iter().zip(&query_bufs) {
+            let out_mm = Buffer::<u16>::new(2 * n);
+            let out_dir = Buffer::<u8>::new(2 * n);
+            let out_loci = Buffer::<u32>::new(2 * n);
+            let out_count = Buffer::<u32>::new(1);
+
+            let ev = queue.submit(|h| {
+                let packed = h.get_access(&packed_buf, AccessMode::Read)?;
+                let mask = h.get_access(&mask_buf, AccessMode::Read)?;
+                let loci = h.get_access(&loci_buf, AccessMode::Read)?;
+                let flags = h.get_access(&flags_buf, AccessMode::Read)?;
+                let comp = h.get_access(comp_buf, AccessMode::Read)?;
+                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
+                let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+                let mut layout = LocalLayout::new();
+                let l_comp = layout.array::<u8>(2 * plen);
+                let l_comp_index = layout.array::<i32>(2 * plen);
+                let kernel = TwoBitComparerKernel {
+                    packed: packed.raw(),
+                    mask: mask.raw(),
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    comp: comp.raw(),
+                    comp_index: comp_index.raw(),
+                    locicnt: n as u32,
+                    plen: plen as u32,
+                    threshold: query.max_mismatches,
+                    out: ComparerOutput {
+                        mm_count: mm.raw(),
+                        direction: dir.raw(),
+                        loci: mloci.raw(),
+                        count: count.raw(),
+                    },
+                    l_comp,
+                    l_comp_index,
+                };
+                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+            })?;
+            timing.comparer_s += ev.launch_reports().iter().map(|r| r.exec_time_s).sum::<f64>();
+            for r in ev.launch_reports() {
+                profile.record_ref(r);
+            }
+            timing.comparer_launches += 1;
+
+            let m = out_count.to_vec()[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let (mm, dir, pos) = (out_mm.to_vec(), out_dir.to_vec(), out_loci.to_vec());
+            let entries: Vec<(u32, u8, u16)> = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+            entries_to_offtargets(&chunk, &query.seq, plen, &entries, &mut offtargets);
+        }
+    }
+    queue.wait();
+
+    timing.elapsed_s = queue.elapsed_s();
+    timing.wall = wall_start.elapsed();
+    sort_canonical(&mut offtargets);
+    Ok(SearchReport {
+        api: Api::Sycl,
+        device: config.device.name.to_owned(),
+        offtargets,
+        timing,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn workload() -> (Assembly, SearchInput) {
+        let assembly = genome::synth::hg19_mini(0.005);
+        let input = SearchInput::canonical_example(assembly.name());
+        (assembly, input)
+    }
+
+    #[test]
+    fn packed_pipeline_matches_the_char_pipeline() {
+        let (assembly, input) = workload();
+        let config = PipelineConfig::new(DeviceSpec::mi100()).chunk_size(1 << 14);
+        let packed = run(&assembly, &input, &config).unwrap();
+        let chars = super::super::sycl::run(&assembly, &input, &config).unwrap();
+        assert_eq!(packed.offtargets, chars.offtargets);
+        assert!(!packed.offtargets.is_empty());
+    }
+
+    #[test]
+    fn packed_comparer_is_faster_than_the_baseline() {
+        let (assembly, input) = workload();
+        let config = PipelineConfig::new(DeviceSpec::mi100()).chunk_size(1 << 16);
+        let packed = run(&assembly, &input, &config).unwrap();
+        let base = super::super::sycl::run(&assembly, &input, &config).unwrap();
+        assert!(
+            packed.timing.comparer_s < base.timing.comparer_s,
+            "2-bit comparer must beat the char baseline: {} vs {}",
+            packed.timing.comparer_s,
+            base.timing.comparer_s
+        );
+    }
+
+    #[test]
+    fn degenerate_genome_codes_still_mismatch_correctly() {
+        // A genome with IUPAC ambiguity codes: the packed path masks them to
+        // N, the char path sees them directly. Both agree with the subset
+        // rule only when the ambiguous base cannot match; use R which never
+        // equals a concrete query base under either representation... except
+        // R vs R. Restrict the check to the oracle semantics on concrete
+        // queries: R decodes as N (mismatch) and the char comparer also
+        // counts R as a mismatch for concrete query bases.
+        let mut assembly = Assembly::new("amb");
+        assembly.push(genome::Chromosome::new("c1", b"ACGRACGTAGG".to_vec()));
+        let input = SearchInput::parse("amb\nNNNNNNNNNGG\nACGAACGTNNN 2\n").unwrap();
+        let config = PipelineConfig::new(DeviceSpec::mi100()).chunk_size(64);
+        let packed = run(&assembly, &input, &config).unwrap();
+        let chars = super::super::sycl::run(&assembly, &input, &config).unwrap();
+        assert_eq!(packed.offtargets, chars.offtargets);
+    }
+}

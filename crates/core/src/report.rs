@@ -1,0 +1,152 @@
+//! Timing breakdowns of a pipeline run.
+
+use std::fmt;
+use std::time::Duration;
+
+use gpu_sim::profile::Profile;
+
+use crate::site::OffTarget;
+
+/// Which programming model produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Api {
+    /// The 13-step OpenCL host pipeline.
+    OpenCl,
+    /// The 8-step SYCL host pipeline.
+    Sycl,
+}
+
+impl fmt::Display for Api {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Api::OpenCl => "OpenCL",
+            Api::Sycl => "SYCL",
+        })
+    }
+}
+
+/// Simulated timing breakdown of one search run.
+///
+/// `elapsed_s` corresponds to the paper's reported elapsed time: device-side
+/// simulated time, excluding environment setup and input-file parsing
+/// (§IV.A).
+#[derive(Debug, Clone, Default)]
+pub struct TimingBreakdown {
+    /// Total simulated elapsed time in seconds.
+    pub elapsed_s: f64,
+    /// Simulated host<->device transfer time.
+    pub transfer_s: f64,
+    /// Simulated `finder` kernel time.
+    pub finder_s: f64,
+    /// Simulated `comparer` kernel time.
+    pub comparer_s: f64,
+    /// Number of finder launches (one per chunk).
+    pub finder_launches: usize,
+    /// Number of comparer launches (one per chunk per query).
+    pub comparer_launches: usize,
+    /// Total candidate loci produced by the finder.
+    pub candidates: u64,
+    /// Total entries passing the mismatch threshold.
+    pub entries: u64,
+    /// Host wall-clock time spent simulating.
+    pub wall: Duration,
+}
+
+impl TimingBreakdown {
+    /// Total kernel time (finder + comparer).
+    pub fn kernel_s(&self) -> f64 {
+        self.finder_s + self.comparer_s
+    }
+
+    /// Fraction of kernel time spent in the comparer — the paper measures
+    /// ~98% (§IV.B).
+    pub fn comparer_kernel_share(&self) -> f64 {
+        if self.kernel_s() == 0.0 {
+            0.0
+        } else {
+            self.comparer_s / self.kernel_s()
+        }
+    }
+
+    /// Fraction of the elapsed time spent in the comparer — the paper
+    /// measures 50% to 80%.
+    pub fn comparer_elapsed_share(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.comparer_s / self.elapsed_s
+        }
+    }
+}
+
+impl fmt::Display for TimingBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "elapsed {:.4}s (transfer {:.4}s, finder {:.4}s x{}, comparer {:.4}s x{}), \
+             {} candidates, {} entries",
+            self.elapsed_s,
+            self.transfer_s,
+            self.finder_s,
+            self.finder_launches,
+            self.comparer_s,
+            self.comparer_launches,
+            self.candidates,
+            self.entries
+        )
+    }
+}
+
+/// The result of a full off-target search.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Which API ran the search.
+    pub api: Api,
+    /// Device name.
+    pub device: String,
+    /// The off-target sites, canonically sorted.
+    pub offtargets: Vec<OffTarget>,
+    /// Simulated timing.
+    pub timing: TimingBreakdown,
+    /// Per-kernel session profile (the rocprof view of the run).
+    pub profile: Profile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_well_defined() {
+        let t = TimingBreakdown {
+            elapsed_s: 10.0,
+            transfer_s: 2.0,
+            finder_s: 0.2,
+            comparer_s: 7.8,
+            ..TimingBreakdown::default()
+        };
+        assert!((t.kernel_s() - 8.0).abs() < 1e-12);
+        assert!((t.comparer_kernel_share() - 0.975).abs() < 1e-12);
+        assert!((t.comparer_elapsed_share() - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_guarded() {
+        let t = TimingBreakdown::default();
+        assert_eq!(t.comparer_kernel_share(), 0.0);
+        assert_eq!(t.comparer_elapsed_share(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let t = TimingBreakdown {
+            elapsed_s: 1.0,
+            candidates: 5,
+            ..TimingBreakdown::default()
+        };
+        let s = t.to_string();
+        assert!(s.contains("5 candidates"));
+        assert_eq!(Api::OpenCl.to_string(), "OpenCL");
+        assert_eq!(Api::Sycl.to_string(), "SYCL");
+    }
+}

@@ -1,0 +1,189 @@
+//! Chunking an assembly into device-sized pieces.
+//!
+//! "The OpenCL host program ... divides the genome data into chunks that can
+//! fit the memory of a heterogeneous device" (§II.A of the paper). A
+//! [`Chunker`] walks an [`Assembly`] chromosome by chromosome and yields
+//! [`Chunk`]s of at most `chunk_size` scan positions, each carrying `overlap`
+//! extra trailing bases so that a pattern window starting near the end of a
+//! chunk can still be evaluated (a window is *owned* by the chunk containing
+//! its first base, so no site is reported twice).
+
+use crate::assembly::Assembly;
+
+/// One chunk of genome handed to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk<'a> {
+    /// Index of the source chromosome within the assembly.
+    pub chrom_index: usize,
+    /// Name of the source chromosome.
+    pub chrom_name: &'a str,
+    /// Offset of the chunk's first base within the chromosome.
+    pub start: usize,
+    /// The chunk's bases: `scan_len` owned positions plus up to `overlap`
+    /// trailing context bases.
+    pub seq: &'a [u8],
+    /// Number of scan positions owned by this chunk.
+    pub scan_len: usize,
+}
+
+impl Chunk<'_> {
+    /// True when a full pattern window of `window` bases starting at owned
+    /// position `pos` (chunk-relative) fits in the chunk's data.
+    pub fn window_fits(&self, pos: usize, window: usize) -> bool {
+        pos < self.scan_len && pos + window <= self.seq.len()
+    }
+}
+
+/// Iterator over the chunks of an assembly.
+///
+/// # Examples
+///
+/// ```
+/// use genome::{Assembly, Chromosome, Chunker};
+///
+/// let mut asm = Assembly::new("toy");
+/// asm.push(Chromosome::new("chr1", b"ACGTACGTAC".to_vec()));
+/// let chunks: Vec<_> = Chunker::new(&asm, 4, 2).collect();
+/// assert_eq!(chunks.len(), 3);
+/// assert_eq!(chunks[0].seq, b"ACGTAC"); // 4 owned + 2 overlap
+/// assert_eq!(chunks[2].start, 8);
+/// assert_eq!(chunks[2].scan_len, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chunker<'a> {
+    assembly: &'a Assembly,
+    chunk_size: usize,
+    overlap: usize,
+    chrom: usize,
+    pos: usize,
+}
+
+impl<'a> Chunker<'a> {
+    /// Chunk `assembly` into pieces of `chunk_size` owned positions with
+    /// `overlap` trailing context bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn new(assembly: &'a Assembly, chunk_size: usize, overlap: usize) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Chunker {
+            assembly,
+            chunk_size,
+            overlap,
+            chrom: 0,
+            pos: 0,
+        }
+    }
+
+    /// Total number of chunks this chunker will yield.
+    pub fn count_chunks(&self) -> usize {
+        self.assembly
+            .chromosomes()
+            .iter()
+            .map(|c| c.len().div_ceil(self.chunk_size))
+            .sum()
+    }
+}
+
+impl<'a> Iterator for Chunker<'a> {
+    type Item = Chunk<'a>;
+
+    fn next(&mut self) -> Option<Chunk<'a>> {
+        loop {
+            let chrom = self.assembly.chromosomes().get(self.chrom)?;
+            if self.pos >= chrom.len() {
+                self.chrom += 1;
+                self.pos = 0;
+                continue;
+            }
+            let start = self.pos;
+            let scan_len = self.chunk_size.min(chrom.len() - start);
+            let end = (start + scan_len + self.overlap).min(chrom.len());
+            self.pos = start + scan_len;
+            return Some(Chunk {
+                chrom_index: self.chrom,
+                chrom_name: &chrom.name,
+                start,
+                seq: &chrom.seq[start..end],
+                scan_len,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::Chromosome;
+
+    fn toy() -> Assembly {
+        let mut asm = Assembly::new("toy");
+        asm.push(Chromosome::new("chr1", b"AAAACCCCGGGGTTTT".to_vec())); // 16
+        asm.push(Chromosome::new("chr2", b"ACGTACG".to_vec())); // 7
+        asm
+    }
+
+    #[test]
+    fn chunks_cover_every_position_exactly_once() {
+        let asm = toy();
+        let chunker = Chunker::new(&asm, 5, 3);
+        let mut covered = [vec![0u32; 16], vec![0u32; 7]];
+        for chunk in chunker.clone() {
+            for p in 0..chunk.scan_len {
+                covered[chunk.chrom_index][chunk.start + p] += 1;
+            }
+        }
+        assert!(covered.iter().flatten().all(|&c| c == 1));
+        assert_eq!(chunker.count_chunks(), 4 + 2);
+    }
+
+    #[test]
+    fn overlap_carries_context_without_crossing_chromosomes() {
+        let asm = toy();
+        let chunks: Vec<_> = Chunker::new(&asm, 5, 3).collect();
+        // First chunk of chr1: 5 owned + 3 overlap.
+        assert_eq!(chunks[0].seq, b"AAAACCCC");
+        // Last chunk of chr1 (start 15): 1 owned, no room for overlap.
+        let last_chr1 = chunks.iter().rfind(|c| c.chrom_index == 0).unwrap();
+        assert_eq!(last_chr1.start, 15);
+        assert_eq!(last_chr1.seq, b"T");
+        // chr2 chunks never include chr1 data.
+        let first_chr2 = chunks.iter().find(|c| c.chrom_index == 1).unwrap();
+        assert_eq!(first_chr2.seq, b"ACGTACG"[..5 + 2].as_ref());
+        assert_eq!(first_chr2.start, 0);
+    }
+
+    #[test]
+    fn window_fits_respects_ownership_and_data() {
+        let asm = toy();
+        let chunk = Chunker::new(&asm, 5, 3).next().unwrap();
+        // Owned positions 0..5, data length 8, window 4.
+        assert!(chunk.window_fits(0, 4));
+        assert!(chunk.window_fits(4, 4));
+        assert!(!chunk.window_fits(5, 3), "position 5 is not owned");
+        assert!(!chunk.window_fits(4, 5), "window would run past the data");
+    }
+
+    #[test]
+    fn chunk_larger_than_chromosome() {
+        let asm = toy();
+        let chunks: Vec<_> = Chunker::new(&asm, 100, 10).collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].scan_len, 16);
+        assert_eq!(chunks[1].scan_len, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        let asm = toy();
+        let _ = Chunker::new(&asm, 0, 0);
+    }
+
+    #[test]
+    fn empty_assembly_yields_nothing() {
+        let asm = Assembly::new("empty");
+        assert_eq!(Chunker::new(&asm, 10, 2).count(), 0);
+    }
+}

@@ -1,0 +1,454 @@
+//! FASTA parsing and writing.
+//!
+//! Cas-OFFinder's host program "reads genome sequence data in single- or
+//! multi-sequence data format \[and\] parses the data files with an
+//! open-source parser library" (§II.A of the paper). This module is that
+//! parser: it reads single- and multi-record FASTA, tolerates Windows line
+//! endings and blank lines, normalizes sequences to uppercase, and writes
+//! FASTA back out with configurable line wrapping.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::base::is_iupac;
+
+/// One FASTA record: a header line and its sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Sequence identifier: the first word after `>`.
+    pub id: String,
+    /// The rest of the header line, if any.
+    pub description: String,
+    /// Uppercased sequence bytes.
+    pub seq: Vec<u8>,
+}
+
+impl FastaRecord {
+    /// Create a record, uppercasing the sequence.
+    pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
+        let mut seq = seq.into();
+        seq.make_ascii_uppercase();
+        FastaRecord {
+            id: id.into(),
+            description: String::new(),
+            seq,
+        }
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True when the record holds no sequence.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// Errors produced while parsing FASTA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FastaError {
+    /// Sequence data appeared before the first `>` header.
+    MissingHeader {
+        /// 1-based line number of the offending data.
+        line: usize,
+    },
+    /// A record contained a character that is not an IUPAC nucleotide code.
+    InvalidCharacter {
+        /// The offending byte.
+        byte: u8,
+        /// 1-based line number.
+        line: usize,
+        /// Record id the byte occurred in.
+        record: String,
+    },
+    /// A header introduced a record with no sequence lines.
+    EmptyRecord {
+        /// Record id of the empty record.
+        record: String,
+    },
+    /// Underlying I/O failure (stored as its display string so the error
+    /// stays `Clone` and comparable in tests).
+    Io(String),
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before first '>' header at line {line}")
+            }
+            FastaError::InvalidCharacter { byte, line, record } => write!(
+                f,
+                "invalid nucleotide byte 0x{byte:02x} ({:?}) at line {line} in record {record}",
+                *byte as char
+            ),
+            FastaError::EmptyRecord { record } => {
+                write!(f, "record {record} has no sequence data")
+            }
+            FastaError::Io(msg) => write!(f, "i/o error reading fasta: {msg}"),
+        }
+    }
+}
+
+impl Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e.to_string())
+    }
+}
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseOptions {
+    /// Reject characters outside the IUPAC alphabet (default `true`).
+    /// When `false`, invalid characters are replaced by `N`, which is how
+    /// assembly pipelines usually handle them.
+    pub strict: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { strict: true }
+    }
+}
+
+/// A streaming FASTA reader: yields one [`FastaRecord`] at a time without
+/// materializing the whole file, which is how a host program feeds
+/// chromosome-sized chunks to the device without holding a 3-Gbp assembly
+/// twice in memory.
+///
+/// # Examples
+///
+/// ```
+/// use genome::fasta::{ParseOptions, Reader};
+///
+/// let mut reader = Reader::new(&b">a\nACGT\n>b\nTT\n"[..], ParseOptions::default());
+/// let a = reader.next().unwrap()?;
+/// assert_eq!(a.id, "a");
+/// let b = reader.next().unwrap()?;
+/// assert_eq!(b.seq, b"TT");
+/// assert!(reader.next().is_none());
+/// # Ok::<(), genome::fasta::FastaError>(())
+/// ```
+#[derive(Debug)]
+pub struct Reader<R> {
+    inner: R,
+    options: ParseOptions,
+    line_no: usize,
+    pending: Option<FastaRecord>,
+    done: bool,
+}
+
+impl<R: BufRead> Reader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(inner: R, options: ParseOptions) -> Self {
+        Reader {
+            inner,
+            options,
+            line_no: 0,
+            pending: None,
+            done: false,
+        }
+    }
+
+    fn read_record(&mut self) -> Result<Option<FastaRecord>, FastaError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.inner.read_line(&mut line)?;
+            if n == 0 {
+                self.done = true;
+                return match self.pending.take() {
+                    Some(rec) if rec.seq.is_empty() => {
+                        Err(FastaError::EmptyRecord { record: rec.id })
+                    }
+                    other => Ok(other),
+                };
+            }
+            self.line_no += 1;
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(header) = trimmed.strip_prefix('>') {
+                let mut words = header.splitn(2, char::is_whitespace);
+                let next = FastaRecord {
+                    id: words.next().unwrap_or("").to_owned(),
+                    description: words.next().unwrap_or("").trim().to_owned(),
+                    seq: Vec::new(),
+                };
+                match self.pending.replace(next) {
+                    None => continue,
+                    Some(rec) if rec.seq.is_empty() => {
+                        return Err(FastaError::EmptyRecord { record: rec.id });
+                    }
+                    Some(rec) => return Ok(Some(rec)),
+                }
+            } else {
+                let line_no = self.line_no;
+                let rec = self
+                    .pending
+                    .as_mut()
+                    .ok_or(FastaError::MissingHeader { line: line_no })?;
+                for &b in trimmed.as_bytes() {
+                    if b.is_ascii_whitespace() {
+                        continue;
+                    }
+                    let up = b.to_ascii_uppercase();
+                    if is_iupac(up) {
+                        rec.seq.push(up);
+                    } else if self.options.strict {
+                        return Err(FastaError::InvalidCharacter {
+                            byte: b,
+                            line: line_no,
+                            record: rec.id.clone(),
+                        });
+                    } else {
+                        rec.seq.push(b'N');
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for Reader<R> {
+    type Item = Result<FastaRecord, FastaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Parse all records from a reader.
+///
+/// Accepts `&[u8]`, files wrapped in `BufReader`, or any `BufRead`; a `&mut`
+/// reference to a reader also works. For record-at-a-time streaming use
+/// [`Reader`].
+///
+/// # Errors
+///
+/// Returns a [`FastaError`] on malformed input, an empty record, or I/O
+/// failure.
+///
+/// # Examples
+///
+/// ```
+/// use genome::fasta::{parse, ParseOptions};
+///
+/// let records = parse(&b">chr1 test\nACGT\nacgt\n>chr2\nNNNN\n"[..], ParseOptions::default())?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].id, "chr1");
+/// assert_eq!(records[0].seq, b"ACGTACGT");
+/// # Ok::<(), genome::fasta::FastaError>(())
+/// ```
+pub fn parse<R: BufRead>(reader: R, options: ParseOptions) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records = Vec::new();
+    for record in Reader::new(reader, options) {
+        let record = record?;
+        if record.seq.is_empty() {
+            return Err(FastaError::EmptyRecord { record: record.id });
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parse records from an in-memory string.
+///
+/// # Errors
+///
+/// Returns a [`FastaError`] on malformed input.
+pub fn parse_str(s: &str, options: ParseOptions) -> Result<Vec<FastaRecord>, FastaError> {
+    parse(s.as_bytes(), options)
+}
+
+/// Write records to a writer in FASTA format with lines wrapped at
+/// `wrap` bases (`wrap = 0` disables wrapping).
+///
+/// A `&mut` reference to a writer also works.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write<W: Write>(mut w: W, records: &[FastaRecord], wrap: usize) -> io::Result<()> {
+    for rec in records {
+        if rec.description.is_empty() {
+            writeln!(w, ">{}", rec.id)?;
+        } else {
+            writeln!(w, ">{} {}", rec.id, rec.description)?;
+        }
+        if wrap == 0 {
+            w.write_all(&rec.seq)?;
+            writeln!(w)?;
+        } else {
+            for chunk in rec.seq.chunks(wrap) {
+                w.write_all(chunk)?;
+                writeln!(w)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Render records to a FASTA `String` (70-column wrapped).
+pub fn to_string(records: &[FastaRecord]) -> String {
+    let mut out = Vec::new();
+    write(&mut out, records, 70).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("fasta output is ascii")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_record_with_crlf_and_blanks() {
+        let input = ">chr1 primary\r\nACGT\r\n\r\nacgtn\r\n>chr2\r\nTTTT\r\n";
+        let recs = parse_str(input, ParseOptions::default()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "chr1");
+        assert_eq!(recs[0].description, "primary");
+        assert_eq!(recs[0].seq, b"ACGTACGTN");
+        assert_eq!(recs[1].seq, b"TTTT");
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        let err = parse_str("ACGT\n", ParseOptions::default()).unwrap_err();
+        assert_eq!(err, FastaError::MissingHeader { line: 1 });
+    }
+
+    #[test]
+    fn strict_mode_rejects_invalid_bytes() {
+        let err = parse_str(">x\nAC-GT\n", ParseOptions::default()).unwrap_err();
+        match err {
+            FastaError::InvalidCharacter { byte, line, record } => {
+                assert_eq!(byte, b'-');
+                assert_eq!(line, 2);
+                assert_eq!(record, "x");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_masks_invalid_bytes() {
+        let recs = parse_str(">x\nAC-GT\n", ParseOptions { strict: false }).unwrap();
+        assert_eq!(recs[0].seq, b"ACNGT");
+    }
+
+    #[test]
+    fn empty_record_is_an_error() {
+        let err = parse_str(">a\n>b\nACGT\n", ParseOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            FastaError::EmptyRecord {
+                record: "a".to_owned()
+            }
+        );
+        // Also at end of input.
+        let err = parse_str(">only\n", ParseOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            FastaError::EmptyRecord {
+                record: "only".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn iupac_codes_are_accepted() {
+        let recs = parse_str(">x\nRYSWKMBDHVN\n", ParseOptions::default()).unwrap();
+        assert_eq!(recs[0].seq, b"RYSWKMBDHVN");
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let original = vec![
+            FastaRecord {
+                id: "chr1".into(),
+                description: "mini".into(),
+                seq: b"ACGTN".repeat(40),
+            },
+            FastaRecord::new("chr2", b"ggggcccc".to_vec()),
+        ];
+        let text = to_string(&original);
+        assert!(text.lines().all(|l| l.len() <= 70));
+        let parsed = parse_str(&text, ParseOptions::default()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn unwrapped_write() {
+        let recs = vec![FastaRecord::new("x", b"ACGT".repeat(50))];
+        let mut out = Vec::new();
+        write(&mut out, &recs, 0).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn streaming_reader_yields_records_lazily() {
+        let mut reader = Reader::new(
+            &b">a one\nAC\nGT\n\n>b\nNNNN\n"[..],
+            ParseOptions::default(),
+        );
+        let a = reader.next().unwrap().unwrap();
+        assert_eq!((a.id.as_str(), a.description.as_str()), ("a", "one"));
+        assert_eq!(a.seq, b"ACGT");
+        let b = reader.next().unwrap().unwrap();
+        assert_eq!(b.seq, b"NNNN");
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none(), "fused after the end");
+    }
+
+    #[test]
+    fn streaming_reader_surfaces_errors_and_stops() {
+        let mut reader = Reader::new(&b"ACGT\n"[..], ParseOptions::default());
+        assert!(matches!(
+            reader.next(),
+            Some(Err(FastaError::MissingHeader { line: 1 }))
+        ));
+        assert!(reader.next().is_none(), "fused after an error");
+
+        let mut reader = Reader::new(&b">empty\n>b\nAC\n"[..], ParseOptions::default());
+        assert!(matches!(
+            reader.next(),
+            Some(Err(FastaError::EmptyRecord { .. }))
+        ));
+    }
+
+    #[test]
+    fn streaming_and_batch_parsers_agree() {
+        let text = ">x desc\nACGTN\n>y\nggg\n>z\nRYSW\n";
+        let batch = parse_str(text, ParseOptions::default()).unwrap();
+        let streamed: Vec<FastaRecord> = Reader::new(text.as_bytes(), ParseOptions::default())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn record_len_helpers() {
+        let r = FastaRecord::new("x", b"acg".to_vec());
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.seq, b"ACG", "constructor uppercases");
+    }
+}

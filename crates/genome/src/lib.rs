@@ -1,0 +1,52 @@
+//! # genome — sequence substrate for the Cas-OFFinder reproduction
+//!
+//! Everything the off-target search needs from the genomics side:
+//!
+//! * [`base`] — nucleotide and IUPAC degenerate-code semantics: possibility
+//!   masks, the subset match rule used by the compare kernels, complements
+//!   and reverse complements;
+//! * [`fasta`] — single-/multi-record FASTA parsing and writing (the paper's
+//!   "open-source parser library");
+//! * [`Assembly`]/[`Chromosome`] — genome assemblies;
+//! * [`synth`] — deterministic synthetic miniatures of the hg19/hg38 human
+//!   assemblies used by the paper's evaluation (see `DESIGN.md` for the
+//!   substitution rationale);
+//! * [`Chunker`] — splitting an assembly into device-memory-sized chunks
+//!   with window overlap;
+//! * [`twobit`] — the 2-bit packed encoding of the Cas-OFFinder authors'
+//!   follow-up optimization.
+//!
+//! ## Example
+//!
+//! ```
+//! use genome::{synth, Chunker};
+//! use genome::base::{matches, reverse_complement};
+//!
+//! // A miniature hg38 at 1% scale.
+//! let asm = synth::hg38_mini(0.01);
+//! assert!(asm.total_len() > 50_000);
+//!
+//! // Chunk it for a device, keeping 22 bases of window overlap.
+//! let chunks: Vec<_> = Chunker::new(&asm, 16_384, 22).collect();
+//! assert!(!chunks.is_empty());
+//!
+//! // IUPAC matching: the NRG PAM matches AGG on the forward strand...
+//! assert!(matches(b'R', b'G'));
+//! // ...and its reverse complement is CYN.
+//! assert_eq!(reverse_complement(b"NRG"), b"CYN");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod fasta;
+pub mod synth;
+pub mod twobit;
+
+mod assembly;
+mod chunk;
+
+pub use assembly::{Assembly, AssemblyStats, Chromosome};
+pub use chunk::{Chunk, Chunker};
+pub use fasta::{FastaError, FastaRecord};

@@ -1,0 +1,201 @@
+//! 2-bit packed sequence encoding.
+//!
+//! The Cas-OFFinder authors' follow-up optimization (related work \[21\] in
+//! the paper) packs the genome into a 2-bit-per-base format with a separate
+//! mask for ambiguous positions, quartering global-memory traffic. This
+//! module provides that encoding; the `cas-offinder` crate uses it for the
+//! 2-bit kernel variant.
+
+use crate::base::is_concrete;
+
+/// 2-bit code of a concrete base: A=0, C=1, G=2, T=3.
+#[inline]
+pub const fn char_to_code(c: u8) -> u8 {
+    match c {
+        b'A' | b'a' => 0,
+        b'C' | b'c' => 1,
+        b'G' | b'g' => 2,
+        _ => 3,
+    }
+}
+
+/// Concrete base of a 2-bit code (only the low two bits are used).
+#[inline]
+pub const fn code_to_char(code: u8) -> u8 {
+    match code & 0b11 {
+        0 => b'A',
+        1 => b'C',
+        2 => b'G',
+        _ => b'T',
+    }
+}
+
+/// A sequence packed at 2 bits per base with a 1-bit-per-base ambiguity
+/// mask.
+///
+/// Ambiguous positions (`N` and the IUPAC degenerate codes) are stored with
+/// code 0 and flagged in the mask; [`decode`](Self::decode) restores them as
+/// `N`.
+///
+/// # Examples
+///
+/// ```
+/// use genome::twobit::TwoBitSeq;
+///
+/// let packed = TwoBitSeq::encode(b"ACGTN");
+/// assert_eq!(packed.len(), 5);
+/// assert_eq!(packed.decode(), b"ACGTN");
+/// assert!(packed.is_masked(4));
+/// assert_eq!(packed.packed_bytes().len(), 2); // 5 bases -> 2 bytes
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TwoBitSeq {
+    packed: Vec<u8>,
+    mask: Vec<u8>,
+    len: usize,
+}
+
+impl TwoBitSeq {
+    /// Pack a byte sequence.
+    pub fn encode(seq: &[u8]) -> Self {
+        let len = seq.len();
+        let mut packed = vec![0u8; len.div_ceil(4)];
+        let mut mask = vec![0u8; len.div_ceil(8)];
+        for (i, &c) in seq.iter().enumerate() {
+            if is_concrete(c) {
+                packed[i / 4] |= char_to_code(c) << ((i % 4) * 2);
+            } else {
+                mask[i / 8] |= 1 << (i % 8);
+            }
+        }
+        TwoBitSeq { packed, mask, len }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The 2-bit code at position `i` (0 for masked positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn code(&self, i: usize) -> u8 {
+        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        (self.packed[i / 4] >> ((i % 4) * 2)) & 0b11
+    }
+
+    /// True when position `i` holds an ambiguous base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn is_masked(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        (self.mask[i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// The base character at position `i` (`N` for masked positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn base(&self, i: usize) -> u8 {
+        if self.is_masked(i) {
+            b'N'
+        } else {
+            code_to_char(self.code(i))
+        }
+    }
+
+    /// Unpack the full sequence (degenerate codes come back as `N`).
+    pub fn decode(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.base(i)).collect()
+    }
+
+    /// The packed base bytes (4 bases per byte, LSB first).
+    pub fn packed_bytes(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// The ambiguity mask bytes (8 bases per byte, LSB first).
+    pub fn mask_bytes(&self) -> &[u8] {
+        &self.mask
+    }
+
+    /// Bytes used by the packed representation (bases + mask).
+    pub fn byte_len(&self) -> usize {
+        self.packed.len() + self.mask.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for &c in b"ACGT" {
+            assert_eq!(code_to_char(char_to_code(c)), c);
+        }
+        assert_eq!(char_to_code(b'g'), 2);
+    }
+
+    #[test]
+    fn encode_decode_concrete() {
+        let seq = b"ACGTACGTGGCCTTAA";
+        let p = TwoBitSeq::encode(seq);
+        assert_eq!(p.decode(), seq);
+        assert_eq!(p.packed_bytes().len(), 4);
+        assert!((0..seq.len()).all(|i| !p.is_masked(i)));
+    }
+
+    #[test]
+    fn ambiguous_positions_are_masked() {
+        let p = TwoBitSeq::encode(b"ARNGT");
+        assert!(!p.is_masked(0));
+        assert!(p.is_masked(1), "R is ambiguous");
+        assert!(p.is_masked(2));
+        assert_eq!(p.decode(), b"ANNGT");
+    }
+
+    #[test]
+    fn lowercase_is_handled() {
+        let p = TwoBitSeq::encode(b"acgt");
+        assert_eq!(p.decode(), b"ACGT");
+    }
+
+    #[test]
+    fn compression_ratio_is_about_four() {
+        let seq = vec![b'A'; 1000];
+        let p = TwoBitSeq::encode(&seq);
+        // 250 packed + 125 mask bytes.
+        assert_eq!(p.byte_len(), 375);
+    }
+
+    #[test]
+    fn non_multiple_of_four_lengths() {
+        for n in 0..9 {
+            let seq: Vec<u8> = b"ACGTACGTT"[..n].to_vec();
+            let p = TwoBitSeq::encode(&seq);
+            assert_eq!(p.len(), n);
+            assert_eq!(p.decode(), seq);
+        }
+        assert!(TwoBitSeq::encode(b"").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        TwoBitSeq::encode(b"ACGT").code(4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Simulated time.
+//!
+//! The runtimes layered on the simulator (`opencl-rt`, `sycl-rt`) keep one
+//! [`SimClock`] per command queue. Each enqueued command advances the clock
+//! by its simulated duration and records start/end timestamps on its event,
+//! mirroring OpenCL's profiling counters.
+
+use parking_lot::Mutex;
+
+/// A monotonically advancing simulated clock, in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::SimClock;
+///
+/// let clock = SimClock::new();
+/// let (start, end) = clock.advance(2.5);
+/// assert_eq!((start, end), (0.0, 2.5));
+/// assert_eq!(clock.now(), 2.5);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: Mutex<f64>,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        *self.now.lock()
+    }
+
+    /// Advance by `duration_s` seconds, returning the interval
+    /// `(start, end)` the advancement covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is negative or not finite — simulated commands
+    /// cannot take negative time.
+    pub fn advance(&self, duration_s: f64) -> (f64, f64) {
+        assert!(
+            duration_s.is_finite() && duration_s >= 0.0,
+            "simulated durations must be finite and non-negative, got {duration_s}"
+        );
+        let mut now = self.now.lock();
+        let start = *now;
+        *now += duration_s;
+        (start, *now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+        let (s1, e1) = c.advance(1.0);
+        let (s2, e2) = c.advance(0.5);
+        assert_eq!((s1, e1), (0.0, 1.0));
+        assert_eq!((s2, e2), (1.0, 1.5));
+        assert_eq!(c.now(), 1.5);
+    }
+
+    #[test]
+    fn zero_advance_is_allowed() {
+        let c = SimClock::new();
+        let (s, e) = c.advance(0.0);
+        assert_eq!(s, e);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn concurrent_advances_do_not_lose_time() {
+        use std::sync::Arc;
+        let c = Arc::new(SimClock::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(0.001);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((c.now() - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types for the device simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the device simulator.
+///
+/// Out-of-bounds kernel accesses are deliberately **not** represented here:
+/// on real hardware they are undefined behaviour, so the simulator turns them
+/// into a panic with a precise diagnostic instead of silently corrupting
+/// state (see [`crate::memory::DeviceBuffer::load`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A buffer allocation exceeded the device's global memory capacity.
+    OutOfMemory {
+        /// Bytes requested by the failed allocation.
+        requested: u64,
+        /// Bytes still available on the device.
+        available: u64,
+    },
+    /// An ND-range was rejected (zero sizes, or the local size does not
+    /// divide the global size in some dimension, as required by the SYCL
+    /// specification).
+    InvalidNdRange {
+        /// Human-readable reason the range was rejected.
+        reason: String,
+    },
+    /// A host copy referenced a region outside the device buffer.
+    InvalidRegion {
+        /// First element of the region.
+        offset: usize,
+        /// Number of elements in the region.
+        len: usize,
+        /// Length of the buffer the region was applied to.
+        buffer_len: usize,
+    },
+    /// A work-group requested more shared local memory than the device has
+    /// per compute unit.
+    LocalMemExceeded {
+        /// Bytes of local memory requested by the kernel.
+        requested: u64,
+        /// Bytes of local memory available per compute unit.
+        available: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device global memory exhausted: requested {requested} bytes, {available} available"
+            ),
+            SimError::InvalidNdRange { reason } => write!(f, "invalid nd-range: {reason}"),
+            SimError::InvalidRegion {
+                offset,
+                len,
+                buffer_len,
+            } => write!(
+                f,
+                "region [{offset}, {}) out of bounds for buffer of length {buffer_len}",
+                offset + len
+            ),
+            SimError::LocalMemExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "work-group requested {requested} bytes of local memory, device provides {available}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Convenience alias for simulator results.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = SimError::OutOfMemory {
+            requested: 64,
+            available: 32,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("64"));
+        assert!(msg.contains("32"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn invalid_region_reports_bounds() {
+        let e = SimError::InvalidRegion {
+            offset: 10,
+            len: 5,
+            buffer_len: 12,
+        };
+        assert_eq!(
+            e.to_string(),
+            "region [10, 15) out of bounds for buffer of length 12"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! The kernel programming interface.
+
+pub use crate::local::{LocalHandle, LocalLayout, LocalMem};
+
+use crate::isa::{generic_model, CodeModel};
+use crate::item::ItemCtx;
+
+/// A device kernel, executed once per work-item of an ND-range.
+///
+/// # Structured barrier phases
+///
+/// OpenCL and SYCL require that a barrier is encountered by *every*
+/// work-item of a work-group or by none (§III.C of the paper). The simulator
+/// exploits that rule: instead of an imperative `barrier()` call, a kernel is
+/// split into [`phases`](Self::phases) barrier-separated phases, and the
+/// executor runs phase `p` for all work-items of a group before any work-item
+/// enters phase `p + 1`. The barrier guarantee — local-memory writes made
+/// before the barrier are visible after it — holds by construction.
+///
+/// State that on a GPU would live in private memory (registers) across a
+/// barrier is carried in the [`Private`](Self::Private) associated type; the
+/// executor keeps one value per work-item for the duration of the launch.
+///
+/// # Examples
+///
+/// A kernel that stages a table into local memory in phase 0 and uses it in
+/// phase 1:
+///
+/// ```
+/// use gpu_sim::kernel::{KernelProgram, LocalHandle, LocalLayout, LocalMem};
+/// use gpu_sim::{Device, DeviceBuffer, DeviceSpec, ItemCtx, NdRange};
+///
+/// struct Scale {
+///     table: DeviceBuffer<u32>,
+///     data: DeviceBuffer<u32>,
+///     l_table: LocalHandle<u32>,
+/// }
+///
+/// impl KernelProgram for Scale {
+///     type Private = ();
+///
+///     fn name(&self) -> &str {
+///         "scale"
+///     }
+///
+///     fn phases(&self) -> usize {
+///         2
+///     }
+///
+///     fn local_layout(&self) -> LocalLayout {
+///         let mut l = LocalLayout::new();
+///         assert_eq!(l.array::<u32>(self.l_table.len()).len(), self.l_table.len());
+///         l
+///     }
+///
+///     fn run_phase(&self, phase: usize, item: &mut ItemCtx, _p: &mut (), local: &mut LocalMem) {
+///         match phase {
+///             0 => {
+///                 // Cooperative staging: one element per work-item.
+///                 let li = item.local_id(0);
+///                 if li < self.l_table.len() {
+///                     let v = self.table.load(item, li);
+///                     local.store(item, self.l_table, li, v);
+///                 }
+///             }
+///             _ => {
+///                 let i = item.global_id(0);
+///                 let v = self.data.load(item, i);
+///                 let s = local.load(item, self.l_table, i % self.l_table.len());
+///                 self.data.store(item, i, v * s);
+///             }
+///         }
+///     }
+/// }
+///
+/// let device = Device::new(DeviceSpec::radeon_vii());
+/// let table = device.alloc_from_slice(&[2u32, 3])?;
+/// let data = device.alloc_from_slice(&[1u32, 1, 1, 1])?;
+/// let mut layout = LocalLayout::new();
+/// let l_table = layout.array::<u32>(2);
+/// let k = Scale { table, data: data.clone(), l_table };
+/// device.launch(&k, NdRange::linear(4, 4))?;
+/// assert_eq!(data.to_vec(), vec![2, 3, 2, 3]);
+/// # Ok::<(), gpu_sim::SimError>(())
+/// ```
+pub trait KernelProgram: Send + Sync {
+    /// Per-work-item private state carried across barrier phases.
+    type Private: Default + Send;
+
+    /// Kernel name used in launch reports and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Number of barrier-separated phases (default 1: no barrier).
+    fn phases(&self) -> usize {
+        1
+    }
+
+    /// Shared-local-memory arrays required per work-group.
+    ///
+    /// The returned layout must declare the same arrays, in the same order
+    /// and with the same types, as the [`LocalHandle`]s the kernel holds —
+    /// handles are positional, exactly like OpenCL `__local` arguments set by
+    /// argument index.
+    fn local_layout(&self) -> LocalLayout {
+        LocalLayout::new()
+    }
+
+    /// Structural description for the pseudo-ISA compiler; used for code
+    /// size, register counts and occupancy. Defaults to a small generic
+    /// kernel.
+    fn code_model(&self) -> CodeModel {
+        generic_model(self.name())
+    }
+
+    /// Execute one phase for one work-item.
+    fn run_phase(
+        &self,
+        phase: usize,
+        item: &mut ItemCtx,
+        private: &mut Self::Private,
+        local: &mut LocalMem,
+    );
+}

@@ -1,0 +1,248 @@
+//! Shared local memory (OpenCL `__local`, SYCL local accessors).
+//!
+//! A kernel declares the local arrays it needs in a [`LocalLayout`]; the
+//! executor instantiates one [`LocalMem`] per work-group. Within a group,
+//! work-items of one phase run sequentially (see [`crate::executor`]), so
+//! local memory needs no interior mutability — races within a group are
+//! impossible by construction, and cross-phase visibility is exactly the
+//! barrier guarantee of §II.B of the paper.
+
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::item::ItemCtx;
+use crate::memory::Scalar;
+
+/// Typed handle to one local array declared in a [`LocalLayout`].
+///
+/// Handles are `Copy` and are stored inside the kernel struct, mirroring how
+/// an OpenCL kernel receives `__local` pointer arguments.
+pub struct LocalHandle<T> {
+    slot: usize,
+    len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for LocalHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for LocalHandle<T> {}
+
+impl<T> fmt::Debug for LocalHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalHandle")
+            .field("slot", &self.slot)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T> LocalHandle<T> {
+    /// Number of elements in the array this handle refers to.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+type SlotCtor = Box<dyn Fn() -> Box<dyn Any + Send> + Send + Sync>;
+
+/// Declaration of the shared-local-memory arrays a kernel needs per group.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::kernel::LocalLayout;
+///
+/// let mut layout = LocalLayout::new();
+/// let pat = layout.array::<u8>(46);
+/// let idx = layout.array::<i32>(46);
+/// assert_eq!(pat.len(), 46);
+/// assert_eq!(layout.total_bytes(), 46 + 46 * 4);
+/// # let _ = idx;
+/// ```
+#[derive(Default)]
+pub struct LocalLayout {
+    ctors: Vec<SlotCtor>,
+    bytes: u64,
+}
+
+impl fmt::Debug for LocalLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalLayout")
+            .field("slots", &self.ctors.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl LocalLayout {
+    /// An empty layout (kernel uses no local memory).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a local array of `len` elements of `T`, returning its handle.
+    pub fn array<T: Scalar>(&mut self, len: usize) -> LocalHandle<T> {
+        let slot = self.ctors.len();
+        self.ctors
+            .push(Box::new(move || Box::new(vec![T::default(); len]) as _));
+        self.bytes += len as u64 * T::BYTES;
+        LocalHandle {
+            slot,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Total bytes of local memory the layout occupies per work-group.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of declared arrays.
+    pub fn slots(&self) -> usize {
+        self.ctors.len()
+    }
+
+    pub(crate) fn instantiate(&self) -> LocalMem {
+        LocalMem {
+            slots: self.ctors.iter().map(|c| c()).collect(),
+        }
+    }
+}
+
+/// One work-group's instantiated shared local memory.
+///
+/// Access is typed through the [`LocalHandle`]s produced by the layout that
+/// created this memory; every access is counted against the issuing
+/// work-item.
+pub struct LocalMem {
+    slots: Vec<Box<dyn Any + Send>>,
+}
+
+impl fmt::Debug for LocalMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalMem")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+impl LocalMem {
+    fn slice<T: Scalar>(&self, h: LocalHandle<T>) -> &Vec<T> {
+        self.slots
+            .get(h.slot)
+            .and_then(|s| s.downcast_ref::<Vec<T>>())
+            .expect("local handle does not belong to this kernel's layout")
+    }
+
+    fn slice_mut<T: Scalar>(&mut self, h: LocalHandle<T>) -> &mut Vec<T> {
+        self.slots
+            .get_mut(h.slot)
+            .and_then(|s| s.downcast_mut::<Vec<T>>())
+            .expect("local handle does not belong to this kernel's layout")
+    }
+
+    /// Load element `i` of the local array `h`, counted against `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or `h` was declared by a different
+    /// layout.
+    #[inline]
+    pub fn load<T: Scalar>(&self, item: &mut ItemCtx, h: LocalHandle<T>, i: usize) -> T {
+        item.count_local_load();
+        self.slice(h)[i]
+    }
+
+    /// Store `v` to element `i` of the local array `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or `h` was declared by a different
+    /// layout.
+    #[inline]
+    pub fn store<T: Scalar>(&mut self, item: &mut ItemCtx, h: LocalHandle<T>, i: usize, v: T) {
+        item.count_local_store();
+        self.slice_mut(h)[i] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item() -> ItemCtx {
+        ItemCtx::new([0; 3], [0; 3], [0; 3], [1, 1, 1], [1, 1, 1])
+    }
+
+    #[test]
+    fn layout_accounting() {
+        let mut layout = LocalLayout::new();
+        let a = layout.array::<u8>(10);
+        let b = layout.array::<i32>(5);
+        assert_eq!(layout.slots(), 2);
+        assert_eq!(layout.total_bytes(), 10 + 20);
+        assert_eq!(a.len(), 10);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn typed_roundtrip_with_counting() {
+        let mut layout = LocalLayout::new();
+        let a = layout.array::<u8>(4);
+        let b = layout.array::<i32>(4);
+        let mut mem = layout.instantiate();
+        let mut it = item();
+        mem.store(&mut it, a, 0, 7u8);
+        mem.store(&mut it, b, 3, -1i32);
+        assert_eq!(mem.load(&mut it, a, 0), 7);
+        assert_eq!(mem.load(&mut it, b, 3), -1);
+        assert_eq!(mem.load(&mut it, b, 0), 0, "zero-initialized");
+        assert_eq!(it.counters().local_stores, 2);
+        assert_eq!(it.counters().local_loads, 3);
+    }
+
+    #[test]
+    fn each_instantiation_is_fresh() {
+        let mut layout = LocalLayout::new();
+        let a = layout.array::<u32>(1);
+        let mut m1 = layout.instantiate();
+        let mut it = item();
+        m1.store(&mut it, a, 0, 99);
+        let m2 = layout.instantiate();
+        assert_eq!(m2.load(&mut it, a, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_handle_panics() {
+        let mut l1 = LocalLayout::new();
+        let _a = l1.array::<u8>(4);
+        let h_i32 = {
+            let mut l2 = LocalLayout::new();
+            l2.array::<i32>(4)
+        };
+        let mem = l1.instantiate();
+        let mut it = item();
+        // Slot 0 exists but holds u8s, not i32s.
+        mem.load(&mut it, h_i32, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn oob_local_access_panics() {
+        let mut layout = LocalLayout::new();
+        let a = layout.array::<u8>(2);
+        let mem = layout.instantiate();
+        mem.load(&mut item(), a, 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! ND-range geometry.
+
+use crate::error::{SimError, SimResult};
+
+/// An execution range: the total number of work-items per dimension and the
+/// work-group size per dimension (OpenCL `gws`/`lws`, SYCL `nd_range`).
+///
+/// As required by the SYCL specification (§III.C of the paper), the local
+/// size must divide the global size in every dimension; this is checked by
+/// [`validate`](Self::validate) before a kernel launches.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::NdRange;
+///
+/// let nd = NdRange::linear(1024, 256);
+/// assert_eq!(nd.work_items(), 1024);
+/// assert_eq!(nd.work_groups(), 4);
+/// assert_eq!(nd.group_size(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NdRange {
+    global: [usize; 3],
+    local: [usize; 3],
+    dims: usize,
+}
+
+impl NdRange {
+    /// A one-dimensional range of `global` work-items in groups of `local`.
+    pub fn linear(global: usize, local: usize) -> Self {
+        NdRange {
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+            dims: 1,
+        }
+    }
+
+    /// A two-dimensional range.
+    pub fn two_d(global: [usize; 2], local: [usize; 2]) -> Self {
+        NdRange {
+            global: [global[0], global[1], 1],
+            local: [local[0], local[1], 1],
+            dims: 2,
+        }
+    }
+
+    /// A three-dimensional range.
+    pub fn three_d(global: [usize; 3], local: [usize; 3]) -> Self {
+        NdRange {
+            global,
+            local,
+            dims: 3,
+        }
+    }
+
+    /// A 1-D range for `items` work-items rounded up to a multiple of
+    /// `local`, the usual idiom for covering an arbitrary problem size.
+    pub fn linear_cover(items: usize, local: usize) -> Self {
+        let groups = items.div_ceil(local.max(1));
+        Self::linear(groups * local, local)
+    }
+
+    /// Number of dimensions (1–3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Global size in dimension `dim`.
+    pub fn global(&self, dim: usize) -> usize {
+        self.global[dim]
+    }
+
+    /// Local (work-group) size in dimension `dim`.
+    pub fn local(&self, dim: usize) -> usize {
+        self.local[dim]
+    }
+
+    /// Total number of work-items over all dimensions.
+    pub fn work_items(&self) -> usize {
+        self.global.iter().product()
+    }
+
+    /// Work-items per work-group.
+    pub fn group_size(&self) -> usize {
+        self.local.iter().product()
+    }
+
+    /// Total number of work-groups.
+    pub fn work_groups(&self) -> usize {
+        self.work_items() / self.group_size().max(1)
+    }
+
+    /// Number of work-groups in each dimension.
+    pub fn groups_per_dim(&self) -> [usize; 3] {
+        [
+            self.global[0] / self.local[0].max(1),
+            self.global[1] / self.local[1].max(1),
+            self.global[2] / self.local[2].max(1),
+        ]
+    }
+
+    /// Check the range is well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidNdRange`] when any size is zero or the
+    /// local size does not divide the global size in some dimension.
+    pub fn validate(&self) -> SimResult<()> {
+        for d in 0..self.dims {
+            if self.global[d] == 0 || self.local[d] == 0 {
+                return Err(SimError::InvalidNdRange {
+                    reason: format!("dimension {d} has zero size"),
+                });
+            }
+            if !self.global[d].is_multiple_of(self.local[d]) {
+                return Err(SimError::InvalidNdRange {
+                    reason: format!(
+                        "local size {} does not divide global size {} in dimension {d}",
+                        self.local[d], self.global[d]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_geometry() {
+        let nd = NdRange::linear(1024, 128);
+        assert_eq!(nd.dims(), 1);
+        assert_eq!(nd.work_items(), 1024);
+        assert_eq!(nd.work_groups(), 8);
+        assert!(nd.validate().is_ok());
+    }
+
+    #[test]
+    fn linear_cover_rounds_up() {
+        let nd = NdRange::linear_cover(1000, 256);
+        assert_eq!(nd.global(0), 1024);
+        assert_eq!(nd.work_groups(), 4);
+        // Exact multiples are untouched.
+        assert_eq!(NdRange::linear_cover(512, 256).global(0), 512);
+        // Zero items still produce a valid empty cover.
+        assert_eq!(NdRange::linear_cover(0, 256).global(0), 0);
+    }
+
+    #[test]
+    fn two_d_geometry() {
+        let nd = NdRange::two_d([64, 32], [8, 4]);
+        assert_eq!(nd.dims(), 2);
+        assert_eq!(nd.work_items(), 2048);
+        assert_eq!(nd.group_size(), 32);
+        assert_eq!(nd.work_groups(), 64);
+        assert_eq!(nd.groups_per_dim(), [8, 8, 1]);
+        assert!(nd.validate().is_ok());
+    }
+
+    #[test]
+    fn three_d_geometry() {
+        let nd = NdRange::three_d([16, 8, 4], [4, 2, 2]);
+        assert_eq!(nd.work_items(), 512);
+        assert_eq!(nd.group_size(), 16);
+        assert_eq!(nd.work_groups(), 32);
+        assert!(nd.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nondividing_local() {
+        let nd = NdRange::linear(100, 64);
+        let err = nd.validate().unwrap_err();
+        assert!(err.to_string().contains("does not divide"));
+    }
+
+    #[test]
+    fn validation_rejects_zero() {
+        assert!(NdRange::linear(0, 64).validate().is_err());
+        assert!(NdRange::linear(64, 0).validate().is_err());
+    }
+}

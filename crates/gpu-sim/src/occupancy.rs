@@ -1,0 +1,146 @@
+//! Occupancy model.
+//!
+//! Occupancy — "a measure of parallel work that a GPU could perform at a
+//! given time on a compute unit" (§IV.B of the paper) — is the number of
+//! wavefronts resident per SIMD. It is bounded by the hardware cap (10 on
+//! GCN/CDNA), by vector-register pressure, and by shared-local-memory usage.
+
+use crate::isa::ResourceUsage;
+use crate::ndrange::NdRange;
+use crate::spec::DeviceSpec;
+
+/// What bound the achieved occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OccupancyLimit {
+    /// The hardware cap on resident waves per SIMD.
+    HardwareCap,
+    /// Vector general-purpose register pressure.
+    Vgpr,
+    /// Shared local memory per compute unit.
+    Lds,
+}
+
+/// Achieved occupancy of a kernel launch.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::isa::ResourceUsage;
+/// use gpu_sim::occupancy::{occupancy, OccupancyLimit};
+/// use gpu_sim::{DeviceSpec, NdRange};
+///
+/// let spec = DeviceSpec::mi100();
+/// let heavy = ResourceUsage { code_bytes: 0, sgprs: 10, vgprs: 82, lds_bytes: 0 };
+/// let occ = occupancy(&heavy, &NdRange::linear(1024, 256), &spec);
+/// assert_eq!(occ.waves_per_simd, 9);
+/// assert_eq!(occ.limit, OccupancyLimit::Vgpr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Occupancy {
+    /// Resident wavefronts per SIMD.
+    pub waves_per_simd: u32,
+    /// Which resource bound it.
+    pub limit: OccupancyLimit,
+}
+
+impl Occupancy {
+    /// Occupancy as a fraction of the hardware maximum.
+    pub fn fraction(&self, spec: &DeviceSpec) -> f64 {
+        self.waves_per_simd as f64 / spec.max_waves_per_simd as f64
+    }
+}
+
+/// Compute the occupancy of a kernel with the given static resources and
+/// work-group geometry on `spec`.
+pub fn occupancy(resources: &ResourceUsage, nd: &NdRange, spec: &DeviceSpec) -> Occupancy {
+    let cap = spec.max_waves_per_simd;
+
+    let by_vgpr = (spec.vgpr_budget / resources.vgprs.max(1)).max(1);
+
+    // LDS: a work-group's waves are resident together; the number of groups
+    // per CU is bounded by LDS capacity.
+    let by_lds = match spec.lds_per_cu_bytes.checked_div(resources.lds_bytes) {
+        None => u32::MAX,
+        Some(groups) => {
+            let groups_per_cu = groups.max(1) as u32;
+            let waves_per_group = (nd.group_size() as u32).div_ceil(spec.wavefront).max(1);
+            (groups_per_cu * waves_per_group / spec.simds_per_cu).max(1)
+        }
+    };
+
+    let waves = cap.min(by_vgpr).min(by_lds);
+    let limit = if waves == cap {
+        OccupancyLimit::HardwareCap
+    } else if waves == by_vgpr {
+        OccupancyLimit::Vgpr
+    } else {
+        OccupancyLimit::Lds
+    };
+
+    Occupancy {
+        waves_per_simd: waves,
+        limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(vgprs: u32, lds: u64) -> ResourceUsage {
+        ResourceUsage {
+            code_bytes: 4000,
+            sgprs: 10,
+            vgprs,
+            lds_bytes: lds,
+        }
+    }
+
+    fn nd() -> NdRange {
+        NdRange::linear(1 << 20, 256)
+    }
+
+    #[test]
+    fn table_x_occupancy_row() {
+        // Table X: VGPR 64/57 -> occupancy 10, VGPR 82 -> occupancy 9.
+        let spec = DeviceSpec::mi100();
+        for vgprs in [64, 64, 64, 57] {
+            assert_eq!(occupancy(&res(vgprs, 184), &nd(), &spec).waves_per_simd, 10);
+        }
+        let o = occupancy(&res(82, 184), &nd(), &spec);
+        assert_eq!(o.waves_per_simd, 9);
+        assert_eq!(o.limit, OccupancyLimit::Vgpr);
+    }
+
+    #[test]
+    fn light_kernel_hits_hardware_cap() {
+        let spec = DeviceSpec::mi60();
+        let o = occupancy(&res(24, 0), &nd(), &spec);
+        assert_eq!(o.waves_per_simd, spec.max_waves_per_simd);
+        assert_eq!(o.limit, OccupancyLimit::HardwareCap);
+    }
+
+    #[test]
+    fn lds_bound_kernel() {
+        let spec = DeviceSpec::mi100();
+        // 32 KiB per group -> 2 groups/CU, groups of 256 = 4 waves ->
+        // 8 waves over 4 SIMDs = 2 waves/SIMD.
+        let o = occupancy(&res(24, 32 * 1024), &nd(), &spec);
+        assert_eq!(o.waves_per_simd, 2);
+        assert_eq!(o.limit, OccupancyLimit::Lds);
+    }
+
+    #[test]
+    fn occupancy_never_zero() {
+        let spec = DeviceSpec::radeon_vii();
+        let o = occupancy(&res(4096, 256 * 1024), &nd(), &spec);
+        assert!(o.waves_per_simd >= 1);
+    }
+
+    #[test]
+    fn fraction_is_relative_to_cap() {
+        let spec = DeviceSpec::mi100();
+        let o = occupancy(&res(82, 0), &nd(), &spec);
+        assert!((o.fraction(&spec) - 0.9).abs() < 1e-9);
+    }
+}

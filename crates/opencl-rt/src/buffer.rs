@@ -1,0 +1,174 @@
+//! Memory objects (Table I step 5; Table II of the paper).
+
+use gpu_sim::{DeviceBuffer, Scalar};
+
+use crate::context::Context;
+use crate::error::ClResult;
+use crate::steps::{Step, StepLog};
+
+/// Access flags of a memory object (`CL_MEM_READ_ONLY` & friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemFlags {
+    /// Kernels may read and write (`CL_MEM_READ_WRITE`).
+    #[default]
+    ReadWrite,
+    /// Kernels may only read (`CL_MEM_READ_ONLY`).
+    ReadOnly,
+    /// Kernels may only write (`CL_MEM_WRITE_ONLY`).
+    WriteOnly,
+    /// Read-only data the kernel accesses through a `__constant`-qualified
+    /// argument (e.g. the finder's `pat` in Table VI): placed in constant
+    /// memory, where loads are broadcast-cached.
+    Constant,
+}
+
+/// A typed OpenCL memory object (`cl_mem`, Table II left column).
+///
+/// `d = clCreateBuffer(ctx, flags, BS, NULL, err)` maps to
+/// [`ClBuffer::create`]; passing a host pointer maps to
+/// [`ClBuffer::create_with_data`]; `clReleaseMemObject(d)` maps to
+/// [`ClBuffer::release`] (dropping the buffer also releases it, but the
+/// OpenCL programming model calls for the explicit release of step 13).
+///
+/// # Examples
+///
+/// ```
+/// use opencl_rt::{ClBuffer, Context, DeviceType, MemFlags, Platform};
+///
+/// let devices = Platform::query()[0].devices(DeviceType::Gpu)?;
+/// let ctx = Context::new(&devices)?;
+/// let buf = ClBuffer::create_with_data(&ctx, MemFlags::ReadOnly, &[1u32, 2, 3])?;
+/// assert_eq!(buf.len(), 3);
+/// buf.release();
+/// # Ok::<(), opencl_rt::ClError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClBuffer<T: Scalar> {
+    inner: DeviceBuffer<T>,
+    flags: MemFlags,
+    log: StepLog,
+}
+
+impl<T: Scalar> ClBuffer<T> {
+    /// Allocate a zero-initialized buffer of `len` elements on the context's
+    /// first device.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the device is out of memory.
+    pub fn create(ctx: &Context, flags: MemFlags, len: usize) -> ClResult<Self> {
+        Self::create_on(ctx, 0, flags, len)
+    }
+
+    /// Allocate on a specific device of the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad device index or when out of memory.
+    pub fn create_on(ctx: &Context, device: usize, flags: MemFlags, len: usize) -> ClResult<Self> {
+        let dev = ctx.device(device)?;
+        let inner = match flags {
+            MemFlags::Constant => dev.alloc_constant::<T>(len)?,
+            _ => dev.alloc::<T>(len)?,
+        };
+        ctx.step_log().record(Step::CreateMemObjects);
+        Ok(ClBuffer {
+            inner,
+            flags,
+            log: ctx.step_log().clone(),
+        })
+    }
+
+    /// Allocate and initialize from host data (`CL_MEM_COPY_HOST_PTR`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the device is out of memory.
+    pub fn create_with_data(ctx: &Context, flags: MemFlags, data: &[T]) -> ClResult<Self> {
+        let buf = Self::create(ctx, flags, data.len())?;
+        buf.inner
+            .write_from_host(0, data)
+            .expect("freshly created buffer fits its own data");
+        Ok(buf)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The buffer's access flags.
+    pub fn flags(&self) -> MemFlags {
+        self.flags
+    }
+
+    /// The underlying simulator buffer, for binding as a kernel argument.
+    pub fn device_buffer(&self) -> DeviceBuffer<T> {
+        self.inner.clone()
+    }
+
+    /// Explicitly release the memory object (`clReleaseMemObject`).
+    ///
+    /// The storage is returned to the device when the last clone (including
+    /// any kernels still holding it) is dropped.
+    pub fn release(self) {
+        self.log.record(Step::ReleaseResources);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{DeviceType, Platform};
+
+    fn ctx() -> Context {
+        let devices = Platform::query()[0].devices(DeviceType::Gpu).unwrap();
+        Context::new(&devices).unwrap()
+    }
+
+    #[test]
+    fn create_records_step_5() {
+        let ctx = ctx();
+        let _buf = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, 16).unwrap();
+        assert!(ctx.step_log().steps().contains(&Step::CreateMemObjects));
+    }
+
+    #[test]
+    fn only_constant_flagged_buffers_live_in_constant_memory() {
+        let ctx = ctx();
+        let c = ClBuffer::<u8>::create(&ctx, MemFlags::Constant, 4).unwrap();
+        let ro = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, 4).unwrap();
+        let rw = ClBuffer::<u8>::create(&ctx, MemFlags::ReadWrite, 4).unwrap();
+        assert_eq!(c.device_buffer().space(), gpu_sim::AddressSpace::Constant);
+        assert_eq!(ro.device_buffer().space(), gpu_sim::AddressSpace::Global);
+        assert_eq!(rw.device_buffer().space(), gpu_sim::AddressSpace::Global);
+    }
+
+    #[test]
+    fn create_with_data_copies_host_pointer() {
+        let ctx = ctx();
+        let buf = ClBuffer::create_with_data(&ctx, MemFlags::ReadWrite, &[9u16, 8, 7]).unwrap();
+        assert_eq!(buf.device_buffer().to_vec(), vec![9, 8, 7]);
+        assert_eq!(buf.flags(), MemFlags::ReadWrite);
+    }
+
+    #[test]
+    fn release_records_step_13() {
+        let ctx = ctx();
+        let buf = ClBuffer::<u8>::create(&ctx, MemFlags::WriteOnly, 4).unwrap();
+        buf.release();
+        assert!(ctx.step_log().steps().contains(&Step::ReleaseResources));
+    }
+
+    #[test]
+    fn bad_device_index_is_rejected() {
+        let ctx = ctx();
+        let err = ClBuffer::<u8>::create_on(&ctx, 9, MemFlags::ReadWrite, 4).unwrap_err();
+        assert!(matches!(err, crate::ClError::InvalidDevice { .. }));
+    }
+}

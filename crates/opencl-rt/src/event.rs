@@ -1,0 +1,112 @@
+//! Events (Table I step 12) with simulated profiling timestamps.
+
+use std::sync::Arc;
+
+use gpu_sim::executor::LaunchReport;
+
+use crate::steps::{Step, StepLog};
+
+/// The command an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandType {
+    /// `clEnqueueWriteBuffer`.
+    WriteBuffer,
+    /// `clEnqueueReadBuffer`.
+    ReadBuffer,
+    /// `clEnqueueNDRangeKernel`.
+    NdRangeKernel,
+}
+
+/// An event tied to an enqueued command (`cl_event`), carrying the
+/// simulated `CL_PROFILING_COMMAND_START`/`END` timestamps and — for kernel
+/// commands — the full simulator [`LaunchReport`].
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn get_event() -> opencl_rt::ClEvent { unimplemented!() }
+/// let event = get_event();
+/// event.wait();
+/// println!("kernel took {:.6} simulated seconds", event.duration_s());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClEvent {
+    command: CommandType,
+    start_s: f64,
+    end_s: f64,
+    report: Option<Arc<LaunchReport>>,
+    log: StepLog,
+}
+
+impl ClEvent {
+    pub(crate) fn new(
+        command: CommandType,
+        start_s: f64,
+        end_s: f64,
+        report: Option<Arc<LaunchReport>>,
+        log: StepLog,
+    ) -> Self {
+        ClEvent {
+            command,
+            start_s,
+            end_s,
+            report,
+            log,
+        }
+    }
+
+    /// The command this event profiles.
+    pub fn command(&self) -> CommandType {
+        self.command
+    }
+
+    /// Block until the command completes (`clWaitForEvents`). Commands in
+    /// the simulated queue are synchronous, so this only records the
+    /// event-handling step; call it where a real host program would wait.
+    pub fn wait(&self) {
+        self.log.record(Step::EventHandling);
+    }
+
+    /// Simulated start timestamp in seconds (`CL_PROFILING_COMMAND_START`).
+    pub fn start_s(&self) -> f64 {
+        self.start_s
+    }
+
+    /// Simulated end timestamp in seconds (`CL_PROFILING_COMMAND_END`).
+    pub fn end_s(&self) -> f64 {
+        self.end_s
+    }
+
+    /// Simulated duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// The launch report, for kernel commands.
+    pub fn launch_report(&self) -> Option<&LaunchReport> {
+        self.report.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_exposes_profiling_window() {
+        let e = ClEvent::new(CommandType::WriteBuffer, 1.0, 3.5, None, StepLog::new());
+        assert_eq!(e.command(), CommandType::WriteBuffer);
+        assert_eq!(e.start_s(), 1.0);
+        assert_eq!(e.end_s(), 3.5);
+        assert!((e.duration_s() - 2.5).abs() < 1e-12);
+        assert!(e.launch_report().is_none());
+    }
+
+    #[test]
+    fn wait_records_event_handling() {
+        let log = StepLog::new();
+        let e = ClEvent::new(CommandType::NdRangeKernel, 0.0, 0.0, None, log.clone());
+        e.wait();
+        assert_eq!(log.steps(), vec![Step::EventHandling]);
+    }
+}

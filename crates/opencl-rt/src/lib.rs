@@ -1,0 +1,58 @@
+//! # opencl-rt — an OpenCL-flavoured host runtime on the `gpu-sim` simulator
+//!
+//! This crate reproduces the OpenCL side of the paper's migration study: a
+//! host API with the same *thirteen logical programming steps* as Table I —
+//! platform query, device query, context, command queue, memory objects,
+//! program creation, program build, kernel creation, kernel arguments,
+//! kernel enqueue, data transfer, event handling, and explicit resource
+//! release. Each step is recorded in the context's [`StepLog`], which is how
+//! the experiment harness regenerates Table I.
+//!
+//! Kernels are Rust implementations of [`ClKernelFunction`] registered in a
+//! [`KernelSource`] (standing in for `.cl` source text); arguments are bound
+//! positionally and type-erased via [`KernelArg`], exactly like
+//! `clSetKernelArg`. When the host passes no local work size, the runtime
+//! picks one wavefront (64), which is the configuration the paper measured
+//! for the OpenCL application.
+//!
+//! ```
+//! use opencl_rt::{ClBuffer, CommandQueue, Context, DeviceType, MemFlags, Platform};
+//!
+//! // Steps 1-4.
+//! let platforms = Platform::query();
+//! let devices = platforms[0].devices(DeviceType::Gpu)?;
+//! let ctx = Context::new(&devices)?;
+//! let queue = CommandQueue::new(&ctx, 0)?;
+//!
+//! // Step 5 + 11: memory objects and transfers.
+//! let buf = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, 16)?;
+//! queue.enqueue_write_buffer(&buf, true, 0, &[7u32; 16])?;
+//! let mut back = [0u32; 16];
+//! queue.enqueue_read_buffer(&buf, true, 0, &mut back)?;
+//! assert_eq!(back, [7u32; 16]);
+//! # Ok::<(), opencl_rt::ClError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod context;
+mod error;
+mod event;
+mod kernel;
+mod platform;
+mod program;
+mod queue;
+
+pub mod steps;
+
+pub use buffer::{ClBuffer, MemFlags};
+pub use context::Context;
+pub use error::{ClError, ClResult};
+pub use event::{ClEvent, CommandType};
+pub use kernel::{BoundKernel, ClKernelFunction, Kernel, KernelArg};
+pub use platform::{ClDeviceId, DeviceType, Platform};
+pub use program::{KernelSource, Program};
+pub use queue::CommandQueue;
+pub use steps::{Step, StepLog};

@@ -1,0 +1,260 @@
+//! SYCL buffers (Table II of the paper, right column).
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gpu_sim::{Device, DeviceBuffer, Scalar};
+
+use crate::error::SyclResult;
+
+/// Whether a buffer should use constant (read-only, broadcast-cached) device
+/// memory when bound — the `constant_buffer` access target of §III.E.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BufferKind {
+    /// Ordinary global-memory buffer.
+    #[default]
+    Global,
+    /// Read-only constant-memory buffer.
+    Constant,
+}
+
+enum State<T: Scalar> {
+    /// Not yet touched by any command group: holds the initial host data.
+    Unbound(Vec<T>),
+    /// Allocated on a device by the first accessor that used it.
+    Bound(DeviceBuffer<T>),
+}
+
+/// A SYCL buffer: a 1-D data abstraction whose device storage is created
+/// lazily by the first accessor and released implicitly when the last
+/// handle is dropped.
+///
+/// `buffer<T, 1> d(WS)` maps to [`Buffer::new`]; `buffer<T, 1> d(h, WS)`
+/// maps to [`Buffer::from_slice`]. As in SYCL, "the runtime will deallocate
+/// any storage required for the buffer when it is no longer in use"
+/// (§III.A) — here by `Drop` of the last clone. The write-back-on-
+/// destruction of host-pointer buffers is exposed as the explicit
+/// [`read_back`](Self::read_back)/[`to_vec`](Self::to_vec) snapshot, since
+/// Rust's aliasing rules forbid the buffer from holding the host slice.
+///
+/// # Examples
+///
+/// ```
+/// use sycl_rt::Buffer;
+///
+/// let buf = Buffer::from_slice(&[1u32, 2, 3]);
+/// assert_eq!(buf.len(), 3);
+/// assert_eq!(buf.to_vec(), vec![1, 2, 3]); // unbound: snapshot of host data
+/// ```
+pub struct Buffer<T: Scalar> {
+    state: Arc<Mutex<State<T>>>,
+    len: usize,
+    kind: BufferKind,
+}
+
+impl<T: Scalar> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        Buffer {
+            state: Arc::clone(&self.state),
+            len: self.len,
+            kind: self.kind,
+        }
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Buffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bound = matches!(*self.state.lock(), State::Bound(_));
+        f.debug_struct("Buffer")
+            .field("len", &self.len)
+            .field("kind", &self.kind)
+            .field("bound", &bound)
+            .finish()
+    }
+}
+
+impl<T: Scalar> Buffer<T> {
+    /// A zero-initialized buffer of `len` elements
+    /// (`buffer<T, 1> d(range<1>(len))`; "the initial content of the buffer
+    /// is not specified" — the simulator zero-fills).
+    pub fn new(len: usize) -> Self {
+        Buffer {
+            state: Arc::new(Mutex::new(State::Unbound(vec![T::default(); len]))),
+            len,
+            kind: BufferKind::Global,
+        }
+    }
+
+    /// A buffer initialized from host data (`buffer<T, 1> d(h, WS)`).
+    pub fn from_slice(data: &[T]) -> Self {
+        Buffer {
+            state: Arc::new(Mutex::new(State::Unbound(data.to_vec()))),
+            len: data.len(),
+            kind: BufferKind::Global,
+        }
+    }
+
+    /// A buffer taking ownership of host data.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        let len = data.len();
+        Buffer {
+            state: Arc::new(Mutex::new(State::Unbound(data))),
+            len,
+            kind: BufferKind::Global,
+        }
+    }
+
+    /// Mark the buffer for constant-memory placement (the
+    /// `constant_buffer` access target of §III.E). Must be called before the
+    /// first accessor binds it.
+    pub fn constant(mut self) -> Self {
+        self.kind = BufferKind::Constant;
+        self
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer's memory kind.
+    pub fn kind(&self) -> BufferKind {
+        self.kind
+    }
+
+    /// Bind to `device`, allocating and uploading the initial contents on
+    /// first use. Called by accessors. The boolean is `true` when this call
+    /// performed the binding (and therefore the implicit host-to-device
+    /// upload the command group must be charged for).
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime exception when the device is out of memory — "the
+    /// failure of constructing a SYCL buffer is reported as runtime
+    /// exception" (§III.A).
+    pub(crate) fn bind(&self, device: &Device) -> SyclResult<(DeviceBuffer<T>, bool)> {
+        let mut state = self.state.lock();
+        match &*state {
+            State::Bound(b) => Ok((b.clone(), false)),
+            State::Unbound(init) => {
+                let dev = match self.kind {
+                    BufferKind::Global => device.alloc_from_slice(init)?,
+                    BufferKind::Constant => device.alloc_constant_from_slice(init)?,
+                };
+                let handle = dev.clone();
+                *state = State::Bound(dev);
+                Ok((handle, true))
+            }
+        }
+    }
+
+    /// Snapshot the current contents (device contents once bound, the
+    /// initial host data before).
+    pub fn to_vec(&self) -> Vec<T> {
+        match &*self.state.lock() {
+            State::Bound(b) => b.to_vec(),
+            State::Unbound(v) => v.clone(),
+        }
+    }
+
+    /// Copy the current contents back into a host slice — the write-back a
+    /// SYCL buffer performs when destroyed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn read_back(&self, out: &mut [T]) {
+        assert_eq!(
+            out.len(),
+            self.len,
+            "read_back slice length must equal buffer length"
+        );
+        out.copy_from_slice(&self.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn unbound_buffers_snapshot_host_data() {
+        let b = Buffer::from_vec(vec![5u8, 6]);
+        assert_eq!(b.to_vec(), vec![5, 6]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn binding_uploads_and_is_idempotent() {
+        let device = Device::new(DeviceSpec::mi100());
+        let b = Buffer::from_slice(&[1u32, 2, 3]);
+        let (d1, fresh) = b.bind(&device).unwrap();
+        assert!(fresh);
+        assert_eq!(d1.to_vec(), vec![1, 2, 3]);
+        let used = device.mem_used();
+        let (_d2, fresh2) = b.bind(&device).unwrap();
+        assert!(!fresh2);
+        assert_eq!(device.mem_used(), used, "second bind reuses the allocation");
+    }
+
+    #[test]
+    fn storage_is_released_when_last_handle_drops() {
+        let device = Device::new(DeviceSpec::mi60());
+        let b = Buffer::<u64>::new(100);
+        let (handle, _) = b.bind(&device).unwrap();
+        assert_eq!(device.mem_used(), 800);
+        drop(handle);
+        assert_eq!(device.mem_used(), 800, "buffer still holds it");
+        drop(b);
+        assert_eq!(device.mem_used(), 0, "implicit release via destructors");
+    }
+
+    #[test]
+    fn constant_buffers_bind_to_constant_space() {
+        let device = Device::new(DeviceSpec::mi100());
+        let b = Buffer::from_slice(&[1u8, 2]).constant();
+        assert_eq!(b.kind(), BufferKind::Constant);
+        let (d, _) = b.bind(&device).unwrap();
+        assert_eq!(d.space(), gpu_sim::AddressSpace::Constant);
+    }
+
+    #[test]
+    fn oversized_allocation_is_a_runtime_exception() {
+        let spec = DeviceSpec {
+            global_mem_bytes: 16,
+            ..DeviceSpec::mi100()
+        };
+        let device = Device::new(spec);
+        let b = Buffer::<u64>::new(100);
+        let err = b.bind(&device).unwrap_err();
+        assert!(matches!(err, crate::SyclException::Runtime(_)));
+    }
+
+    #[test]
+    fn read_back_copies_device_contents() {
+        let device = Device::new(DeviceSpec::mi100());
+        let b = Buffer::from_slice(&[9u16, 9]);
+        let (d, _) = b.bind(&device).unwrap();
+        d.write_from_host(0, &[1, 2]).unwrap();
+        let mut host = [0u16; 2];
+        b.read_back(&mut host);
+        assert_eq!(host, [1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn read_back_length_mismatch_panics() {
+        let b = Buffer::<u8>::new(3);
+        let mut out = [0u8; 2];
+        b.read_back(&mut out);
+    }
+}

@@ -1,0 +1,82 @@
+//! SYCL-style exceptions.
+//!
+//! SYCL reports failures as C++ exceptions (the paper notes buffer
+//! construction failure "is reported as runtime exception"); in Rust they
+//! surface as this error type.
+
+use std::error::Error;
+use std::fmt;
+
+use gpu_sim::SimError;
+
+/// A SYCL runtime exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SyclException {
+    /// No device satisfied the selector.
+    DeviceNotFound {
+        /// What the selector was looking for.
+        wanted: String,
+    },
+    /// An invalid parameter was passed to an API (`errc::invalid`).
+    Invalid {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A device-side failure (`errc::runtime`), e.g. buffer allocation.
+    Runtime(SimError),
+}
+
+impl fmt::Display for SyclException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyclException::DeviceNotFound { wanted } => {
+                write!(f, "no device satisfies the selector ({wanted})")
+            }
+            SyclException::Invalid { reason } => write!(f, "invalid parameter: {reason}"),
+            SyclException::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for SyclException {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SyclException::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for SyclException {
+    fn from(e: SimError) -> Self {
+        SyclException::Runtime(e)
+    }
+}
+
+/// Convenience alias for SYCL results.
+pub type SyclResult<T> = Result<T, SyclException>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_exceptions_chain_to_sim_errors() {
+        let e: SyclException = SimError::OutOfMemory {
+            requested: 1,
+            available: 0,
+        }
+        .into();
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().starts_with("runtime error"));
+    }
+
+    #[test]
+    fn selector_failure_names_the_want() {
+        let e = SyclException::DeviceNotFound {
+            wanted: "gpu named H100".to_owned(),
+        };
+        assert!(e.to_string().contains("H100"));
+    }
+}

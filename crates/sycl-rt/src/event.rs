@@ -1,0 +1,78 @@
+//! SYCL events with simulated profiling.
+
+use std::sync::Arc;
+
+use gpu_sim::executor::LaunchReport;
+
+use crate::steps::{Step, StepLog};
+
+/// The event returned by [`Queue::submit`](crate::Queue::submit), carrying
+/// the simulated start/end timestamps of the command group and the launch
+/// reports of any kernels it ran.
+#[derive(Debug, Clone)]
+pub struct SyclEvent {
+    start_s: f64,
+    end_s: f64,
+    reports: Vec<Arc<LaunchReport>>,
+    log: StepLog,
+}
+
+impl SyclEvent {
+    pub(crate) fn new(
+        start_s: f64,
+        end_s: f64,
+        reports: Vec<Arc<LaunchReport>>,
+        log: StepLog,
+    ) -> Self {
+        SyclEvent {
+            start_s,
+            end_s,
+            reports,
+            log,
+        }
+    }
+
+    /// Block until the command group completes (`event.wait()`; §III.B/E).
+    /// Commands in the simulated queue execute synchronously at submit, so
+    /// this only records the event-handling step.
+    pub fn wait(&self) {
+        self.log.record(Step::Event);
+    }
+
+    /// Simulated start timestamp in seconds.
+    pub fn start_s(&self) -> f64 {
+        self.start_s
+    }
+
+    /// Simulated end timestamp in seconds.
+    pub fn end_s(&self) -> f64 {
+        self.end_s
+    }
+
+    /// Simulated duration of the command group in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Launch reports of the kernels this command group executed.
+    pub fn launch_reports(&self) -> &[Arc<LaunchReport>] {
+        &self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiling_window_and_wait() {
+        let log = StepLog::new();
+        let e = SyclEvent::new(0.5, 2.0, Vec::new(), log.clone());
+        assert!((e.duration_s() - 1.5).abs() < 1e-12);
+        assert_eq!(e.start_s(), 0.5);
+        assert_eq!(e.end_s(), 2.0);
+        assert!(e.launch_reports().is_empty());
+        e.wait();
+        assert_eq!(log.steps(), vec![Step::Event]);
+    }
+}

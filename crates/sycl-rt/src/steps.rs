@@ -1,0 +1,126 @@
+//! The eight logical programming steps of a SYCL program (Table I of the
+//! paper, right column), and the [`StepLog`] recording them.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One logical SYCL programming step (Table I, right column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Step {
+    /// Device selector class (replaces OpenCL steps 1–3).
+    DeviceSelector,
+    /// Queue class.
+    Queue,
+    /// Buffer class.
+    Buffer,
+    /// Lambda expressions (kernel definition; replaces OpenCL steps 6–9).
+    KernelLambda,
+    /// Submit a SYCL kernel to a queue.
+    Submit,
+    /// Data transfer, implicit via accessors.
+    AccessorTransfer,
+    /// Event class.
+    Event,
+    /// Resource release, implicit via destructors.
+    ImplicitRelease,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Step::DeviceSelector => "device selector class",
+            Step::Queue => "queue class",
+            Step::Buffer => "buffer class",
+            Step::KernelLambda => "lambda expressions",
+            Step::Submit => "submit a sycl kernel to a queue",
+            Step::AccessorTransfer => "implicit transfer via accessors",
+            Step::Event => "event class",
+            Step::ImplicitRelease => "implicit release via destructors",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Every step, in Table I order.
+pub const ALL_STEPS: [Step; 8] = [
+    Step::DeviceSelector,
+    Step::Queue,
+    Step::Buffer,
+    Step::KernelLambda,
+    Step::Submit,
+    Step::AccessorTransfer,
+    Step::Event,
+    Step::ImplicitRelease,
+];
+
+/// Records the distinct logical steps a host program performed, shared by
+/// every object created from one [`Queue`](crate::Queue).
+#[derive(Debug, Default, Clone)]
+pub struct StepLog {
+    inner: Arc<Mutex<Vec<Step>>>,
+}
+
+impl StepLog {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `step` (idempotent, first-occurrence order).
+    pub fn record(&self, step: Step) {
+        let mut steps = self.inner.lock();
+        if !steps.contains(&step) {
+            steps.push(step);
+        }
+    }
+
+    /// The distinct steps recorded so far.
+    pub fn steps(&self) -> Vec<Step> {
+        self.inner.lock().clone()
+    }
+
+    /// Number of distinct steps recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_has_eight_sycl_steps() {
+        assert_eq!(ALL_STEPS.len(), 8);
+    }
+
+    #[test]
+    fn sycl_needs_fewer_steps_than_opencl() {
+        assert!(ALL_STEPS.len() < 13);
+    }
+
+    #[test]
+    fn log_is_shared_and_deduplicated() {
+        let log = StepLog::new();
+        let clone = log.clone();
+        clone.record(Step::Queue);
+        clone.record(Step::Queue);
+        assert_eq!(log.steps(), vec![Step::Queue]);
+        assert!(!log.is_empty());
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        for s in ALL_STEPS {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the SYCL-flavoured runtime: buffer binding,
+//! ranged accessors, handler copies, USM round-trips and clock monotonicity.
+
+use gpu_sim::NdRange;
+use proptest::prelude::*;
+use sycl_rt::{AccessMode, Buffer, GpuSelector, Queue};
+
+fn queue() -> Queue {
+    Queue::new(&GpuSelector::named("MI100")).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn buffers_snapshot_and_bind_losslessly(data in proptest::collection::vec(any::<u32>(), 1..300)) {
+        let q = queue();
+        let buf = Buffer::from_slice(&data);
+        prop_assert_eq!(buf.to_vec(), data.clone());
+        // Binding through an accessor preserves contents.
+        q.submit(|h| {
+            h.get_access(&buf, AccessMode::Read)?;
+            Ok(())
+        })
+        .unwrap();
+        prop_assert_eq!(buf.to_vec(), data);
+    }
+
+    #[test]
+    fn ranged_copies_write_exactly_the_window(
+        len in 4usize..200,
+        offset in 0usize..100,
+        window in 1usize..50,
+    ) {
+        prop_assume!(offset + window <= len);
+        let q = queue();
+        let buf = Buffer::<u8>::new(len);
+        q.submit(|h| {
+            let acc = h.get_access_range(&buf, AccessMode::Write, window, offset)?;
+            h.copy_to_device(&vec![0xAB; window], &acc)
+        })
+        .unwrap();
+        let v = buf.to_vec();
+        for (i, &b) in v.iter().enumerate() {
+            let inside = i >= offset && i < offset + window;
+            prop_assert_eq!(b == 0xAB, inside, "byte {} corrupted", i);
+        }
+    }
+
+    #[test]
+    fn kernels_see_exactly_the_accessor_window(
+        base in any::<u32>(),
+        n in 1usize..8,
+    ) {
+        let len = n * 64;
+        let q = queue();
+        let init: Vec<u32> = (0..len as u32).map(|i| i.wrapping_add(base)).collect();
+        let buf = Buffer::from_slice(&init);
+        q.submit(|h| {
+            let acc = h.get_access(&buf, AccessMode::ReadWrite)?;
+            h.parallel_for_fn("neg", NdRange::linear(len, 64), move |item| {
+                let i = item.global_id(0);
+                let v = acc.load(item, i);
+                acc.store(item, i, !v);
+            })
+        })
+        .unwrap();
+        let expect: Vec<u32> = init.iter().map(|&v| !v).collect();
+        prop_assert_eq!(buf.to_vec(), expect);
+    }
+
+    #[test]
+    fn usm_memcpy_roundtrips(data in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let q = queue();
+        let ptr = q.malloc_device::<u64>(data.len()).unwrap();
+        q.memcpy_to_device(&ptr, &data).unwrap();
+        let mut back = vec![0u64; data.len()];
+        q.memcpy_to_host(&mut back, &ptr).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn clock_grows_with_every_command_group(groups in 1usize..15) {
+        let q = queue();
+        let buf = Buffer::from_slice(&vec![1u32; 64]);
+        let mut last = 0.0;
+        for g in 0..groups {
+            let ev = q
+                .submit(|h| {
+                    let acc = h.get_access(&buf, AccessMode::ReadWrite)?;
+                    h.parallel_for_fn(&format!("g{g}"), NdRange::linear(64, 64), move |item| {
+                        let i = item.global_id(0);
+                        let v = acc.load(item, i);
+                        acc.store(item, i, v + 1);
+                    })
+                })
+                .unwrap();
+            prop_assert!(ev.end_s() > last);
+            prop_assert!(ev.end_s() >= ev.start_s());
+            last = ev.end_s();
+        }
+        prop_assert_eq!(buf.to_vec(), vec![1 + groups as u32; 64]);
+    }
+
+    #[test]
+    fn shared_usm_host_view_tracks_device_writes(v in any::<u32>()) {
+        let q = queue();
+        let ptr = q.malloc_shared::<u32>(4).unwrap();
+        q.host_write(&ptr, 0, &[v; 4]).unwrap();
+        q.submit(|h| {
+            let raw = ptr.raw();
+            h.parallel_for_fn("wr", NdRange::linear(4, 4), move |item| {
+                let i = item.global_id(0);
+                let x = raw.load(item, i);
+                raw.store(item, i, x ^ 0xFFFF_FFFF);
+            })
+        })
+        .unwrap();
+        ptr.mark_device_dirty();
+        prop_assert_eq!(q.host_read(&ptr).unwrap(), vec![v ^ 0xFFFF_FFFF; 4]);
+    }
+}

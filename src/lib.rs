@@ -1,0 +1,13 @@
+//! Workspace facade crate.
+//!
+//! This crate exists so that the repository root can host the runnable
+//! [`examples`](https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples)
+//! and the cross-crate integration tests in `tests/`. It re-exports the
+//! member crates so examples and tests can write `casoff_repro::cas_offinder`
+//! or depend on the crates directly.
+
+pub use cas_offinder;
+pub use genome;
+pub use gpu_sim;
+pub use opencl_rt;
+pub use sycl_rt;

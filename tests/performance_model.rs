@@ -1,0 +1,121 @@
+//! Cross-crate checks on the performance model: the relationships the
+//! paper's evaluation observes must hold for the composed system, not just
+//! for isolated kernels.
+
+use cas_offinder::kernels::ComparerKernel;
+use cas_offinder::pipeline::{self, PipelineConfig};
+use cas_offinder::{OptLevel, SearchInput};
+use gpu_sim::isa::compile;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::{DeviceSpec, NdRange};
+
+fn run(spec: DeviceSpec, opt: OptLevel, assembly: &genome::Assembly) -> cas_offinder::SearchReport {
+    let input = SearchInput::canonical_example(assembly.name());
+    let config = PipelineConfig::new(spec).chunk_size(1 << 18).opt(opt);
+    pipeline::sycl::run(assembly, &input, &config).expect("pipeline")
+}
+
+#[test]
+fn comparer_dominates_kernel_time() {
+    let assembly = genome::synth::hg19_mini(0.01);
+    let report = run(DeviceSpec::mi100(), OptLevel::Base, &assembly);
+    let share = report.timing.comparer_kernel_share();
+    assert!(
+        share > 0.8,
+        "comparer share of kernel time {share:.3}; the paper reports ~98%"
+    );
+}
+
+#[test]
+fn mi100_outruns_the_older_gpus() {
+    let assembly = genome::synth::hg19_mini(0.01);
+    let rvii = run(DeviceSpec::radeon_vii(), OptLevel::Base, &assembly);
+    let mi100 = run(DeviceSpec::mi100(), OptLevel::Base, &assembly);
+    assert!(
+        mi100.timing.kernel_s() < rvii.timing.kernel_s(),
+        "MI100 has twice the CUs: kernels must run faster"
+    );
+}
+
+#[test]
+fn hg38_mini_takes_longer_than_hg19_mini() {
+    let hg19 = genome::synth::hg19_mini(0.01);
+    let hg38 = genome::synth::hg38_mini(0.01);
+    let a = run(DeviceSpec::mi60(), OptLevel::Base, &hg19);
+    let b = run(DeviceSpec::mi60(), OptLevel::Base, &hg38);
+    let ratio = b.timing.elapsed_s / a.timing.elapsed_s;
+    assert!(
+        (1.05..=1.6).contains(&ratio),
+        "hg38/hg19 elapsed ratio {ratio:.2} outside the paper's shape"
+    );
+}
+
+#[test]
+fn table_x_occupancy_emerges_from_the_model_chain() {
+    // CodeModel -> pseudo-ISA -> occupancy must land the Table X row.
+    let spec = DeviceSpec::mi100();
+    let nd = NdRange::linear(1 << 18, 256);
+    let occupancies: Vec<u32> = OptLevel::ALL
+        .iter()
+        .map(|&opt| {
+            let mut r = compile(&ComparerKernel::code_model_for(opt));
+            r.lds_bytes = 230;
+            occupancy(&r, &nd, &spec).waves_per_simd
+        })
+        .collect();
+    assert_eq!(occupancies, vec![10, 10, 10, 10, 9]);
+}
+
+#[test]
+fn work_group_size_sweep_shows_the_staging_amortization() {
+    // The DESIGN.md ablation: with the baseline comparer's serial staging,
+    // smaller work-groups pay the per-group costs more often.
+    let assembly = genome::synth::hg19_mini(0.01);
+    let input = SearchInput::canonical_example(assembly.name());
+    let mut times = Vec::new();
+    for wgs in [64usize, 256] {
+        let config = PipelineConfig::new(DeviceSpec::mi100())
+            .chunk_size(1 << 18)
+            .work_group_size(Some(wgs));
+        let report = pipeline::sycl::run(&assembly, &input, &config).unwrap();
+        times.push(report.timing.comparer_s);
+    }
+    assert!(
+        times[0] > times[1] * 1.02,
+        "64-wide groups must pay more staging+dispatch: {times:?}"
+    );
+}
+
+#[test]
+fn simulated_time_is_independent_of_host_parallelism() {
+    use gpu_sim::ExecMode;
+    let assembly = genome::synth::hg19_mini(0.004);
+    let input = SearchInput::canonical_example(assembly.name());
+    let mut elapsed = Vec::new();
+    for exec in [
+        ExecMode::Sequential,
+        ExecMode::Parallel { threads: 2 },
+        ExecMode::Parallel { threads: 16 },
+    ] {
+        let config = PipelineConfig::new(DeviceSpec::mi60())
+            .chunk_size(1 << 14)
+            .exec_mode(exec);
+        elapsed.push(pipeline::sycl::run(&assembly, &input, &config).unwrap().timing.elapsed_s);
+    }
+    // Host parallelism only perturbs which items share a wavefront (the
+    // finder's atomic compaction order), so simulated times agree to within
+    // a couple percent rather than bit-exactly.
+    let rel = |a: f64, b: f64| (a - b).abs() / a;
+    assert!(rel(elapsed[0], elapsed[1]) < 0.02, "{elapsed:?}");
+    assert!(rel(elapsed[0], elapsed[2]) < 0.02, "{elapsed:?}");
+}
+
+#[test]
+fn transfers_scale_with_genome_size() {
+    let small = genome::synth::hg19_mini(0.004);
+    let large = genome::synth::hg19_mini(0.04);
+    let a = run(DeviceSpec::mi100(), OptLevel::Base, &small);
+    let b = run(DeviceSpec::mi100(), OptLevel::Base, &large);
+    assert!(b.timing.transfer_s > a.timing.transfer_s * 1.5);
+    assert!(b.timing.candidates > a.timing.candidates * 5);
+}

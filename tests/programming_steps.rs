@@ -1,0 +1,56 @@
+//! Table I of the paper: the OpenCL application needs thirteen logical
+//! programming steps, the SYCL application eight — verified against the
+//! actual step logs of the two host pipelines.
+
+use cas_offinder::pipeline::{ocl, sycl, PipelineConfig};
+use cas_offinder::SearchInput;
+use gpu_sim::DeviceSpec;
+
+fn workload() -> (genome::Assembly, SearchInput, PipelineConfig) {
+    let assembly = genome::synth::hg19_mini(0.002);
+    let input = SearchInput::canonical_example(assembly.name());
+    let config = PipelineConfig::new(DeviceSpec::radeon_vii()).chunk_size(1 << 13);
+    (assembly, input, config)
+}
+
+#[test]
+fn opencl_application_exercises_all_thirteen_steps() {
+    let (assembly, input, config) = workload();
+    let log = ocl::step_log_of(&assembly, &input, &config).unwrap();
+    let mut steps = log.steps();
+    steps.sort();
+    let mut all = opencl_rt::steps::ALL_STEPS.to_vec();
+    all.sort();
+    assert_eq!(steps, all);
+    assert_eq!(log.len(), 13);
+}
+
+#[test]
+fn sycl_application_exercises_all_eight_steps() {
+    let (assembly, input, config) = workload();
+    let log = sycl::step_log_of(&assembly, &input, &config).unwrap();
+    let mut steps = log.steps();
+    steps.sort();
+    let mut all = sycl_rt::steps::ALL_STEPS.to_vec();
+    all.sort();
+    assert_eq!(steps, all);
+    assert_eq!(log.len(), 8);
+}
+
+#[test]
+fn sycl_reduces_the_step_count_as_table_i_claims() {
+    assert_eq!(opencl_rt::steps::ALL_STEPS.len(), 13);
+    assert_eq!(sycl_rt::steps::ALL_STEPS.len(), 8);
+}
+
+#[test]
+fn step_order_starts_with_discovery_and_ends_with_release() {
+    let (assembly, input, config) = workload();
+    let ocl_steps = ocl::step_log_of(&assembly, &input, &config).unwrap().steps();
+    assert_eq!(ocl_steps.first(), Some(&opencl_rt::Step::PlatformQuery));
+    assert_eq!(ocl_steps.last(), Some(&opencl_rt::Step::ReleaseResources));
+
+    let sycl_steps = sycl::step_log_of(&assembly, &input, &config).unwrap().steps();
+    assert_eq!(sycl_steps.first(), Some(&sycl_rt::Step::DeviceSelector));
+    assert_eq!(sycl_steps.last(), Some(&sycl_rt::Step::ImplicitRelease));
+}

@@ -1,0 +1,174 @@
+//! Property-based tests over random genomes, patterns and queries.
+//!
+//! The key invariant: for *any* genome and *any* well-formed input, the GPU
+//! pipelines and the scalar oracle agree exactly. Supporting properties
+//! cover the IUPAC algebra, the two-strand pattern compilation and the
+//! chunker.
+
+use cas_offinder::pipeline::{self, PipelineConfig};
+use cas_offinder::{cpu, CompiledSeq, OptLevel, Query, SearchInput};
+use genome::base::{base_mask, complement, is_mismatch, matches, reverse_complement, IUPAC_CODES};
+use genome::{Assembly, Chromosome, Chunker};
+use gpu_sim::DeviceSpec;
+use proptest::prelude::*;
+
+fn genome_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(b"AAACCGGTTTN".to_vec()),
+        30..max_len,
+    )
+}
+
+fn guide(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gpu_pipelines_match_the_oracle_on_random_genomes(
+        seq in genome_seq(600),
+        query in guide(8),
+        threshold in 0u16..4,
+        chunk_bits in 5usize..10,
+    ) {
+        let mut assembly = Assembly::new("prop");
+        assembly.push(Chromosome::new("c1", seq));
+        let input = SearchInput {
+            genome: "prop".to_owned(),
+            pattern: b"NNNNNNNNGG".to_vec(),
+            queries: vec![Query::new(
+                [&query[..], b"NN"].concat(),
+                threshold,
+            )],
+        };
+        let oracle = cpu::search_sequential(&assembly, &input);
+        let config = PipelineConfig::new(DeviceSpec::mi100()).chunk_size(1 << chunk_bits);
+        let sycl = pipeline::sycl::run(&assembly, &input, &config).unwrap();
+        prop_assert_eq!(&sycl.offtargets, &oracle);
+        let ocl = pipeline::ocl::run(&assembly, &input, &config).unwrap();
+        prop_assert_eq!(&ocl.offtargets, &oracle);
+    }
+
+    #[test]
+    fn opt_levels_never_change_results(
+        seq in genome_seq(300),
+        threshold in 0u16..6,
+    ) {
+        let mut assembly = Assembly::new("prop");
+        assembly.push(Chromosome::new("c1", seq));
+        let input = SearchInput {
+            genome: "prop".to_owned(),
+            pattern: b"NNNNNNNRG".to_vec(),
+            queries: vec![Query::new(&b"ACGTACGNN"[..], threshold)],
+        };
+        let base_cfg = PipelineConfig::new(DeviceSpec::mi60()).chunk_size(64);
+        let base = pipeline::sycl::run(&assembly, &input, &base_cfg).unwrap();
+        for opt in OptLevel::ALL {
+            let report = pipeline::sycl::run(
+                &assembly,
+                &input,
+                &base_cfg.clone().opt(opt),
+            )
+            .unwrap();
+            prop_assert_eq!(&report.offtargets, &base.offtargets);
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive_and_preserves_ambiguity(c in proptest::sample::select(IUPAC_CODES.to_vec())) {
+        prop_assert_eq!(complement(complement(c)), c);
+        prop_assert_eq!(
+            base_mask(c).count_ones(),
+            base_mask(complement(c)).count_ones()
+        );
+    }
+
+    #[test]
+    fn reverse_complement_is_involutive(seq in genome_seq(200)) {
+        prop_assert_eq!(reverse_complement(&reverse_complement(&seq)), seq);
+    }
+
+    #[test]
+    fn match_and_mismatch_partition(
+        p in proptest::sample::select(IUPAC_CODES.to_vec()),
+        g in proptest::sample::select(IUPAC_CODES.to_vec()),
+    ) {
+        prop_assert_ne!(matches(p, g), is_mismatch(p, g));
+        // N matches everything; everything matches N only if it is N.
+        prop_assert!(matches(b'N', g));
+    }
+
+    #[test]
+    fn compiled_seq_halves_are_reverse_complements(query in guide(12)) {
+        let c = CompiledSeq::compile(&query);
+        prop_assert_eq!(c.forward(), &query[..]);
+        prop_assert_eq!(c.reverse().to_vec(), reverse_complement(&query));
+        // Index halves address exactly the non-N positions.
+        prop_assert_eq!(c.forward_compare_count(), 12);
+        prop_assert_eq!(c.reverse_compare_count(), 12);
+    }
+
+    #[test]
+    fn chunker_covers_each_position_exactly_once(
+        len in 1usize..2000,
+        chunk in 1usize..700,
+        overlap in 0usize..40,
+    ) {
+        let mut assembly = Assembly::new("prop");
+        assembly.push(Chromosome::new("c1", vec![b'A'; len]));
+        let mut covered = vec![0u32; len];
+        for piece in Chunker::new(&assembly, chunk, overlap) {
+            for p in 0..piece.scan_len {
+                covered[piece.start + p] += 1;
+            }
+            prop_assert!(piece.seq.len() <= piece.scan_len + overlap);
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn search_results_are_strand_symmetric(
+        seq in genome_seq(400),
+        query in guide(7),
+        threshold in 0u16..3,
+    ) {
+        // Searching G for Q must mirror searching revcomp(G) for Q: a
+        // forward hit at p becomes a reverse hit at len - plen - p.
+        let plen = 9usize;
+        let make_input = |seq: Vec<u8>| {
+            let mut assembly = Assembly::new("prop");
+            assembly.push(Chromosome::new("c1", seq));
+            let input = SearchInput {
+                genome: "prop".to_owned(),
+                pattern: b"NNNNNNNGG".to_vec(),
+                queries: vec![Query::new([&query[..], b"NN"].concat(), threshold)],
+            };
+            (assembly, input)
+        };
+        let (fwd_asm, input) = make_input(seq.clone());
+        let (rev_asm, _) = make_input(reverse_complement(&seq));
+        let fwd_hits = cpu::search_sequential(&fwd_asm, &input);
+        let rev_hits = cpu::search_sequential(&rev_asm, &input);
+
+        let mut mirrored: Vec<(usize, cas_offinder::Strand, u16)> = fwd_hits
+            .iter()
+            .map(|h| {
+                let pos = seq.len() - plen - h.position;
+                let strand = match h.strand {
+                    cas_offinder::Strand::Forward => cas_offinder::Strand::Reverse,
+                    cas_offinder::Strand::Reverse => cas_offinder::Strand::Forward,
+                };
+                (pos, strand, h.mismatches)
+            })
+            .collect();
+        let mut actual: Vec<(usize, cas_offinder::Strand, u16)> = rev_hits
+            .iter()
+            .map(|h| (h.position, h.strand, h.mismatches))
+            .collect();
+        mirrored.sort_unstable();
+        actual.sort_unstable();
+        prop_assert_eq!(mirrored, actual);
+    }
+}
