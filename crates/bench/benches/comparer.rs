@@ -1,4 +1,4 @@
-//! Criterion bench: the comparer kernel at every optimization stage
+//! Micro-benchmark: the comparer kernel at every optimization stage
 //! (regenerates the relative shape of the paper's Fig. 2, and the opt3
 //! local-staging ablation called out in DESIGN.md).
 //!
@@ -7,7 +7,8 @@
 
 use cas_offinder::kernels::{ComparerKernel, ComparerOutput};
 use cas_offinder::{CompiledSeq, OptLevel};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use casoff_bench::microbench::{BenchmarkId, Criterion};
+use casoff_bench::{criterion_group, criterion_main};
 use gpu_sim::{Device, DeviceSpec, NdRange};
 
 struct Fixture {

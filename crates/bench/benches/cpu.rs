@@ -1,9 +1,10 @@
-//! Criterion bench: the host-side baselines — the scalar oracle and the
+//! Micro-benchmark: the host-side baselines — the scalar oracle and the
 //! multithreaded search (the OpenMP-style optimization of related work
 //! [21]) — measured in real wall time, plus their thread scaling.
 
 use cas_offinder::{cpu, SearchInput};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use casoff_bench::microbench::{BenchmarkId, Criterion, Throughput};
+use casoff_bench::{criterion_group, criterion_main};
 use genome::synth;
 
 fn bench_cpu(c: &mut Criterion) {

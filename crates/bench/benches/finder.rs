@@ -1,10 +1,11 @@
-//! Criterion bench: the finder kernel over growing chunk sizes, plus the
+//! Micro-benchmark: the finder kernel over growing chunk sizes, plus the
 //! finder share of kernel time (the paper's §IV.B observation that the
 //! comparer, not the finder, is the hotspot).
 
 use cas_offinder::kernels::{FinderKernel, FinderOutput};
 use cas_offinder::CompiledSeq;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use casoff_bench::microbench::{BenchmarkId, Criterion, Throughput};
+use casoff_bench::{criterion_group, criterion_main};
 use gpu_sim::{Device, DeviceSpec, NdRange};
 
 fn bench_finder(c: &mut Criterion) {

@@ -1,9 +1,10 @@
-//! Criterion bench: end-to-end pipelines (regenerates the relative shape of
+//! Micro-benchmark: end-to-end pipelines (regenerates the relative shape of
 //! Tables VIII and IX — OpenCL vs SYCL, and base vs opt3).
 
 use cas_offinder::pipeline::{self, PipelineConfig};
 use cas_offinder::{OptLevel, SearchInput};
-use criterion::{criterion_group, criterion_main, Criterion};
+use casoff_bench::microbench::Criterion;
+use casoff_bench::{criterion_group, criterion_main};
 use genome::synth;
 use gpu_sim::DeviceSpec;
 

@@ -1,9 +1,10 @@
-//! Criterion bench: char vs 2-bit packed comparer (the related-work [21]
+//! Micro-benchmark: char vs 2-bit packed comparer (the related-work [21]
 //! optimization) and buffer vs USM host paths.
 
 use cas_offinder::pipeline::{self, PipelineConfig};
 use cas_offinder::{OptLevel, SearchInput};
-use criterion::{criterion_group, criterion_main, Criterion};
+use casoff_bench::microbench::Criterion;
+use casoff_bench::{criterion_group, criterion_main};
 use genome::synth;
 use gpu_sim::DeviceSpec;
 

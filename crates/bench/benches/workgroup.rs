@@ -1,10 +1,11 @@
-//! Criterion bench: work-group-size ablation (the DESIGN.md ♦ item behind
+//! Micro-benchmark: work-group-size ablation (the DESIGN.md ♦ item behind
 //! Table VIII — the OpenCL runtime picks 64-wide groups, the SYCL
 //! application fixes 256).
 
 use cas_offinder::pipeline::{self, PipelineConfig};
 use cas_offinder::SearchInput;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use casoff_bench::microbench::{BenchmarkId, Criterion};
+use casoff_bench::{criterion_group, criterion_main};
 use genome::synth;
 use gpu_sim::DeviceSpec;
 

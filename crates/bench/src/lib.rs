@@ -14,6 +14,7 @@
 //! `EXPERIMENTS.md` records a full run.
 
 pub mod experiments;
+pub mod microbench;
 pub mod paper;
 
 use std::collections::HashMap;

@@ -1,0 +1,276 @@
+//! A minimal, std-only micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace builds with no network access, so the real `criterion`
+//! crate is unavailable; the bench targets under `benches/` instead import
+//! this module. It reproduces the slice of Criterion's surface they use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`] and
+//! the `criterion_group!`/`criterion_main!` macros — and prints mean/min
+//! wall time (plus throughput when configured) per benchmark. No statistics
+//! beyond that: these benches exist to chart *relative* shapes of the
+//! simulator, not to detect 1% regressions.
+//!
+//! Set `CASOFF_BENCH_SAMPLES` to override every group's sample count, e.g.
+//! `CASOFF_BENCH_SAMPLES=3 cargo bench -p casoff-bench`.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named benchmark identifier: `group/function` or `group/function/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units the measured time is normalized against in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed iterations per benchmark (overridable via the
+    /// `CASOFF_BENCH_SAMPLES` environment variable).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Normalize subsequent report lines against this per-iteration volume.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `f`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        let samples = std::env::var("CASOFF_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(1);
+        // One untimed warm-up pass, then the timed samples.
+        f(&mut b);
+        b.reset();
+        for _ in 0..samples {
+            f(&mut b);
+        }
+        self.report(&id, &b, samples);
+        self
+    }
+
+    /// Measure `f` with an input borrowed for the benchmark's duration.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group. Purely cosmetic here (Criterion parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher, samples: usize) {
+        let mean = b.total.as_secs_f64() / b.iters.max(1) as f64;
+        let min = b.min.map(|d| d.as_secs_f64()).unwrap_or(mean);
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                "  thrpt: {}/s",
+                fmt_bytes((n as f64 / mean.max(f64::MIN_POSITIVE)) as u64)
+            ),
+            Throughput::Elements(n) => format!(
+                "  thrpt: {:.3} Melem/s",
+                n as f64 / mean.max(f64::MIN_POSITIVE) / 1e6
+            ),
+        });
+        println!(
+            "{}/{:<24} time: [mean {} min {}] ({samples} samples){}",
+            self.name,
+            id.id,
+            fmt_duration(mean),
+            fmt_duration(min),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Timer handle passed to the closure under measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`, accumulating into this sample set.
+    /// The return value is passed through [`std::hint::black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        let elapsed = start.elapsed();
+        self.iters += 1;
+        self.total += elapsed;
+        self.min = Some(self.min.map_or(elapsed, |m| m.min(elapsed)));
+    }
+
+    fn reset(&mut self) {
+        *self = Bencher::default();
+    }
+}
+
+fn fmt_duration(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.1} {}", UNITS[u])
+}
+
+/// Collect benchmark functions into a runnable group function
+/// (`criterion_group!(benches, bench_a, bench_b)` defines `fn benches()`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::microbench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_samples() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        b.iter(|| std::thread::sleep(Duration::from_millis(1)));
+        assert_eq!(b.iters, 2);
+        assert!(b.total >= Duration::from_millis(1));
+        assert!(b.min.unwrap() <= b.total);
+    }
+
+    #[test]
+    fn groups_run_their_functions() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0;
+        group.bench_function("counted", |b| {
+            calls += 1;
+            b.iter(|| ());
+        });
+        group.bench_with_input(BenchmarkId::new("with-input", 7), &7, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        // 1 warm-up + 2 samples.
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(2.5), "2.500 s");
+        assert_eq!(fmt_duration(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_duration(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_duration(2.5e-9), "2.5 ns");
+        assert_eq!(fmt_bytes(512), "512.0 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+    }
+}

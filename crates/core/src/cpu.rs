@@ -5,8 +5,6 @@
 //! corresponding to the original authors' OpenMP optimization (related work
 //! \[21\] of the paper).
 
-use crossbeam::thread;
-
 use genome::base::is_mismatch;
 use genome::{Assembly, Chromosome};
 
@@ -141,12 +139,12 @@ pub fn search_parallel(assembly: &Assembly, input: &SearchInput, threads: usize)
     let queries = compile_queries(input);
 
     let chroms = assembly.chromosomes();
-    let results = thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let pattern = &pattern;
                 let queries = &queries;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut out = Vec::new();
                     let mut i = t;
                     while i < chroms.len() {
@@ -161,8 +159,7 @@ pub fn search_parallel(assembly: &Assembly, input: &SearchInput, threads: usize)
             .into_iter()
             .flat_map(|h| h.join().expect("search worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scoped search threads failed");
+    });
 
     let mut out = results;
     sort_canonical(&mut out);

@@ -1,0 +1,722 @@
+//! Chunk-level launch API — one finder→comparer interaction as a reusable
+//! unit of device work.
+//!
+//! The serial pipelines ([`super::ocl`], [`super::sycl`], [`super::multi`])
+//! all repeat the same inner loop: upload a genome chunk, launch the
+//! `finder` once, then launch the `comparer` once per query and read back
+//! the surviving entries. This module factors that loop body into two
+//! runner types — [`OclChunkRunner`] and [`SyclChunkRunner`] — that own the
+//! context/queue, the compiled pattern tables and the reusable scratch
+//! buffers, and expose a single [`OclChunkRunner::run_chunk`] /
+//! [`SyclChunkRunner::run_chunk`] call.
+//!
+//! The runners exist so a *scheduler* can drive chunks out of order and
+//! coalesce many queries onto one chunk upload: `casoff-serve` batches
+//! concurrent jobs that target the same genome chunk and pays for one
+//! chunk transfer plus one finder launch per batch instead of one per job.
+
+use gpu_sim::kernel::LocalLayout;
+use gpu_sim::{NdRange, TrafficSnapshot};
+use opencl_rt::{
+    ClBuffer, ClDeviceId, ClResult, CommandQueue, Context, Kernel, KernelArg, KernelSource,
+    MemFlags, Program,
+};
+use std::sync::Arc;
+use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, SyclResult};
+
+use crate::input::Query;
+use crate::kernels::cl::{ClComparer, ClFinder};
+use crate::kernels::{ComparerKernel, ComparerOutput, FinderKernel, FinderOutput, OptLevel};
+use crate::pattern::CompiledSeq;
+use crate::report::TimingBreakdown;
+
+use super::{round_up, PipelineConfig};
+
+/// Comparer entries `(locus, direction, mismatches)` for one query on one
+/// chunk, in device compaction order. Map them into [`crate::OffTarget`]
+/// records with [`super::entries_to_offtargets`].
+pub type QueryEntries = Vec<(u32, u8, u16)>;
+
+/// Per-query device tables for the OpenCL comparer: the compiled two-strand
+/// sequence, its index table, and the mismatch threshold.
+pub struct OclQueryTables {
+    entries: Vec<(ClBuffer<u8>, ClBuffer<i32>, u16)>,
+}
+
+impl OclQueryTables {
+    /// Number of prepared queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no queries are prepared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Step 13: explicitly release the query buffers.
+    pub fn release(self) {
+        for (c, ci, _) in self.entries {
+            c.release();
+            ci.release();
+        }
+    }
+}
+
+/// The OpenCL flavour of the chunk-level API: owns the 13-step machinery
+/// (context, queue, program, both kernels) plus scratch buffers sized for
+/// chunks of up to `chunk_size` owned positions.
+pub struct OclChunkRunner {
+    ctx: Context,
+    queue: CommandQueue,
+    program: Program,
+    finder: Kernel,
+    comparer: Kernel,
+    pattern: CompiledSeq,
+    chr: ClBuffer<u8>,
+    pat: ClBuffer<u8>,
+    pat_index: ClBuffer<i32>,
+    loci: ClBuffer<u32>,
+    flags: ClBuffer<u8>,
+    fcount: ClBuffer<u32>,
+    mm_count: ClBuffer<u16>,
+    direction: ClBuffer<u8>,
+    mm_loci: ClBuffer<u32>,
+    ecount: ClBuffer<u32>,
+    cap: usize,
+    lws: Option<usize>,
+    rounding: usize,
+}
+
+impl OclChunkRunner {
+    /// Build the runner for `pattern_seq` on `config`'s device: steps 1-8
+    /// of Table I plus the step-5 scratch allocations, exactly as the
+    /// serial OpenCL application performs them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures (context, build, allocation).
+    pub fn new(config: &PipelineConfig, pattern_seq: &[u8]) -> ClResult<Self> {
+        let device_id = ClDeviceId::from_spec(config.device.clone());
+        let ctx = Context::with_mode(&[device_id], config.exec)?;
+        let queue = CommandQueue::new(&ctx, 0)?;
+
+        let source = KernelSource::new()
+            .with_function(Arc::new(ClFinder))
+            .with_function(Arc::new(ClComparer::new(config.opt)));
+        let program = Program::create_with_source(&ctx, source);
+        program.build("-O3")?;
+        let finder = program.create_kernel("finder")?;
+        let comparer = program.create_kernel("comparer")?;
+
+        let pattern = CompiledSeq::compile(pattern_seq);
+        let plen = pattern.plen();
+        let cap = config.chunk_size;
+
+        let chr = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, cap + plen)?;
+        let pat = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp())?;
+        let pat_index = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp_index())?;
+        let loci = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, cap)?;
+        let flags = ClBuffer::<u8>::create(&ctx, MemFlags::ReadWrite, cap)?;
+        let fcount = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, 1)?;
+        let mm_count = ClBuffer::<u16>::create(&ctx, MemFlags::WriteOnly, 2 * cap)?;
+        let direction = ClBuffer::<u8>::create(&ctx, MemFlags::WriteOnly, 2 * cap)?;
+        let mm_loci = ClBuffer::<u32>::create(&ctx, MemFlags::WriteOnly, 2 * cap)?;
+        let ecount = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, 1)?;
+
+        let lws = config.work_group_size;
+        Ok(OclChunkRunner {
+            ctx,
+            queue,
+            program,
+            finder,
+            comparer,
+            pattern,
+            chr,
+            pat,
+            pat_index,
+            loci,
+            flags,
+            fcount,
+            mm_count,
+            direction,
+            mm_loci,
+            ecount,
+            cap,
+            lws,
+            rounding: lws.unwrap_or(64),
+        })
+    }
+
+    /// Pattern length (PAM window) the runner was compiled for.
+    pub fn plen(&self) -> usize {
+        self.pattern.plen()
+    }
+
+    /// Upload the comparer tables for `queries`; the tables can be reused
+    /// across every chunk of a search (the comparer's `comp` is a plain
+    /// global pointer, so each query needs its own pair).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn prepare_queries(&self, queries: &[Query]) -> ClResult<OclQueryTables> {
+        let entries = queries
+            .iter()
+            .map(|q| {
+                let c = CompiledSeq::compile(&q.seq);
+                Ok((
+                    ClBuffer::create_with_data(&self.ctx, MemFlags::ReadOnly, c.comp())?,
+                    ClBuffer::create_with_data(&self.ctx, MemFlags::ReadOnly, c.comp_index())?,
+                    q.max_mismatches,
+                ))
+            })
+            .collect::<ClResult<_>>()?;
+        Ok(OclQueryTables { entries })
+    }
+
+    /// Run one finder→comparer interaction: upload `seq`, select candidate
+    /// loci once, then compare every prepared query against them. Returns
+    /// the surviving entries per query (empty inner vectors when the finder
+    /// produced no candidates).
+    ///
+    /// `seq` holds `scan_len` owned positions plus up to `plen` trailing
+    /// context bases; kernel and transfer costs accumulate into `timing`
+    /// and `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn run_chunk(
+        &self,
+        seq: &[u8],
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<Vec<QueryEntries>> {
+        let plen = self.pattern.plen();
+        assert!(
+            seq.len() <= self.cap + plen && scan_len <= self.cap,
+            "chunk ({} bases, {scan_len} scanned) exceeds runner capacity {}",
+            seq.len(),
+            self.cap
+        );
+        let mut per_query = vec![Vec::new(); tables.len()];
+
+        // Step 11 (host->device): upload the chunk, reset the counter.
+        let w1 = self.queue.enqueue_write_buffer(&self.chr, true, 0, seq)?;
+        let w2 = self.queue.enqueue_fill_buffer(&self.fcount, 0u32)?;
+        timing.transfer_s += w1.duration_s() + w2.duration_s();
+
+        // Step 9: finder arguments.
+        self.finder.set_arg(0, KernelArg::BufU8(self.chr.device_buffer()))?;
+        self.finder.set_arg(1, KernelArg::BufU8(self.pat.device_buffer()))?;
+        self.finder.set_arg(2, KernelArg::BufI32(self.pat_index.device_buffer()))?;
+        self.finder.set_arg(3, KernelArg::BufU32(self.loci.device_buffer()))?;
+        self.finder.set_arg(4, KernelArg::BufU8(self.flags.device_buffer()))?;
+        self.finder.set_arg(5, KernelArg::BufU32(self.fcount.device_buffer()))?;
+        self.finder.set_arg(6, KernelArg::U32(scan_len as u32))?;
+        self.finder.set_arg(7, KernelArg::U32(seq.len() as u32))?;
+        self.finder.set_arg(8, KernelArg::U32(plen as u32))?;
+        self.finder.set_arg(9, KernelArg::Local { bytes: 2 * plen })?;
+        self.finder.set_arg(10, KernelArg::Local { bytes: 8 * plen })?;
+
+        // Step 10: enqueue the finder.
+        let gws = round_up(scan_len, self.rounding);
+        let ev = self.queue.enqueue_nd_range_kernel(&self.finder, gws, self.lws)?;
+        ev.wait(); // step 12
+        timing.finder_s += ev
+            .launch_report()
+            .map(|r| r.exec_time_s)
+            .unwrap_or_else(|| ev.duration_s());
+        if let Some(r) = ev.launch_report() {
+            profile.record_ref(r);
+        }
+        timing.finder_launches += 1;
+
+        let mut n = [0u32];
+        let r = self.queue.enqueue_read_buffer(&self.fcount, true, 0, &mut n)?;
+        timing.transfer_s += r.duration_s();
+        let n = n[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            return Ok(per_query);
+        }
+
+        for (out, (comp, comp_index, threshold)) in per_query.iter_mut().zip(&tables.entries) {
+            let wz = self.queue.enqueue_fill_buffer(&self.ecount, 0u32)?;
+            timing.transfer_s += wz.duration_s();
+
+            self.comparer.set_arg(0, KernelArg::BufU8(self.chr.device_buffer()))?;
+            self.comparer.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
+            self.comparer.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
+            self.comparer.set_arg(3, KernelArg::BufU8(comp.device_buffer()))?;
+            self.comparer.set_arg(4, KernelArg::BufI32(comp_index.device_buffer()))?;
+            self.comparer.set_arg(5, KernelArg::U32(n as u32))?;
+            self.comparer.set_arg(6, KernelArg::U32(plen as u32))?;
+            self.comparer.set_arg(7, KernelArg::U16(*threshold))?;
+            self.comparer.set_arg(8, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+            self.comparer.set_arg(9, KernelArg::BufU8(self.direction.device_buffer()))?;
+            self.comparer.set_arg(10, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+            self.comparer.set_arg(11, KernelArg::BufU32(self.ecount.device_buffer()))?;
+            self.comparer.set_arg(12, KernelArg::Local { bytes: 2 * plen })?;
+            self.comparer.set_arg(13, KernelArg::Local { bytes: 8 * plen })?;
+
+            let gws = round_up(n, self.rounding);
+            let ev = self.queue.enqueue_nd_range_kernel(&self.comparer, gws, self.lws)?;
+            ev.wait();
+            timing.comparer_s += ev
+                .launch_report()
+                .map(|r| r.exec_time_s)
+                .unwrap_or_else(|| ev.duration_s());
+            if let Some(r) = ev.launch_report() {
+                profile.record_ref(r);
+            }
+            timing.comparer_launches += 1;
+
+            // Step 11 (device->host): read back the surviving entries.
+            let mut m = [0u32];
+            let r = self.queue.enqueue_read_buffer(&self.ecount, true, 0, &mut m)?;
+            timing.transfer_s += r.duration_s();
+            let m = m[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let mut mm = vec![0u16; m];
+            let mut dir = vec![0u8; m];
+            let mut pos = vec![0u32; m];
+            let r1 = self.queue.enqueue_read_buffer(&self.mm_count, true, 0, &mut mm)?;
+            let r2 = self.queue.enqueue_read_buffer(&self.direction, true, 0, &mut dir)?;
+            let r3 = self.queue.enqueue_read_buffer(&self.mm_loci, true, 0, &mut pos)?;
+            timing.transfer_s += r1.duration_s() + r2.duration_s() + r3.duration_s();
+
+            *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+        }
+        Ok(per_query)
+    }
+
+    /// Block until every enqueued command completes.
+    pub fn finish(&self) {
+        self.queue.finish();
+    }
+
+    /// Simulated queue time consumed so far, in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.queue.elapsed_s()
+    }
+
+    /// Name of the simulated device the runner drives.
+    pub fn device_name(&self) -> String {
+        self.queue.device().spec().name.to_owned()
+    }
+
+    /// Transfer/launch counters of the underlying simulated device.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.queue.device().traffic()
+    }
+
+    /// Step 13: explicitly release every owned object.
+    pub fn release(self) {
+        self.finder.release();
+        self.comparer.release();
+        self.chr.release();
+        self.pat.release();
+        self.pat_index.release();
+        self.loci.release();
+        self.flags.release();
+        self.fcount.release();
+        self.mm_count.release();
+        self.direction.release();
+        self.mm_loci.release();
+        self.ecount.release();
+        self.program.release();
+        self.queue.release();
+    }
+}
+
+/// Per-query device tables for the SYCL comparer.
+pub struct SyclQueryTables {
+    entries: Vec<(Buffer<u8>, Buffer<i32>, u16)>,
+}
+
+impl SyclQueryTables {
+    /// Number of prepared queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no queries are prepared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The SYCL flavour of the chunk-level API: owns the queue and the
+/// constant pattern tables; per-chunk buffers are created fresh each call
+/// and released implicitly, the way the migrated application manages
+/// memory (§III of the paper).
+pub struct SyclChunkRunner {
+    queue: Queue,
+    pattern: CompiledSeq,
+    pat_buf: Buffer<u8>,
+    pat_index_buf: Buffer<i32>,
+    opt: OptLevel,
+    wgs: usize,
+}
+
+impl SyclChunkRunner {
+    /// Build the runner for `pattern_seq` on `config`'s device: selector,
+    /// queue, and the constant-memory pattern tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn new(config: &PipelineConfig, pattern_seq: &[u8]) -> SyclResult<Self> {
+        let queue = Queue::with_mode(&SpecSelector(config.device.clone()), config.exec)?;
+        let pattern = CompiledSeq::compile(pattern_seq);
+        let pat_buf = Buffer::from_slice(pattern.comp()).constant();
+        let pat_index_buf = Buffer::from_slice(pattern.comp_index()).constant();
+        Ok(SyclChunkRunner {
+            queue,
+            pattern,
+            pat_buf,
+            pat_index_buf,
+            opt: config.opt,
+            wgs: config
+                .work_group_size
+                .unwrap_or(super::sycl::SYCL_WORK_GROUP_SIZE),
+        })
+    }
+
+    /// Pattern length (PAM window) the runner was compiled for.
+    pub fn plen(&self) -> usize {
+        self.pattern.plen()
+    }
+
+    /// Upload the comparer tables for `queries`.
+    pub fn prepare_queries(&self, queries: &[Query]) -> SyclQueryTables {
+        SyclQueryTables {
+            entries: queries
+                .iter()
+                .map(|q| {
+                    let c = CompiledSeq::compile(&q.seq);
+                    (
+                        Buffer::from_slice(c.comp()),
+                        Buffer::from_slice(c.comp_index()),
+                        q.max_mismatches,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Run one finder→comparer interaction on `seq` (see
+    /// [`OclChunkRunner::run_chunk`] for the contract). The SYCL flavour
+    /// reads counters and entries back through handler copies (Table III).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn run_chunk(
+        &self,
+        seq: &[u8],
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<Vec<QueryEntries>> {
+        let plen = self.pattern.plen();
+        let wgs = self.wgs;
+        let mut per_query = vec![Vec::new(); tables.len()];
+
+        // Fresh per-chunk buffers; released implicitly when they drop.
+        let chr_buf = Buffer::from_slice(seq);
+        let loci_buf = Buffer::<u32>::new(scan_len);
+        let flags_buf = Buffer::<u8>::new(scan_len);
+        let fcount_buf = Buffer::<u32>::new(1);
+
+        // Command group: bind accessors (implicit upload) + finder kernel.
+        let ev = self.queue.submit(|h| {
+            let chr = h.get_access(&chr_buf, AccessMode::Read)?;
+            let pat = h.get_access(&self.pat_buf, AccessMode::Read)?;
+            let pat_index = h.get_access(&self.pat_index_buf, AccessMode::Read)?;
+            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
+            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
+            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
+
+            let mut layout = LocalLayout::new();
+            let l_pat = layout.array::<u8>(2 * plen);
+            let l_pat_index = layout.array::<i32>(2 * plen);
+            let kernel = FinderKernel {
+                chr: chr.raw(),
+                pat: pat.raw(),
+                pat_index: pat_index.raw(),
+                out: FinderOutput {
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    count: fcount.raw(),
+                },
+                scan_len: scan_len as u32,
+                seq_len: seq.len() as u32,
+                plen: plen as u32,
+                l_pat,
+                l_pat_index,
+            };
+            h.parallel_for(NdRange::linear(round_up(scan_len, wgs), wgs), &kernel)
+        })?;
+        ev.wait();
+        let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+        timing.finder_s += ev
+            .launch_reports()
+            .iter()
+            .map(|r| r.exec_time_s)
+            .sum::<f64>();
+        for r in ev.launch_reports() {
+            profile.record_ref(r);
+        }
+        timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+        timing.finder_launches += 1;
+
+        // Read the match count back through a handler copy (Table III).
+        let mut count_host = [0u32];
+        let ev = self.queue.submit(|h| {
+            let acc = h.get_access(&fcount_buf, AccessMode::Read)?;
+            h.copy_from_device(&acc, &mut count_host)
+        })?;
+        timing.transfer_s += ev.duration_s();
+        let n = count_host[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            return Ok(per_query);
+        }
+
+        for (out, (comp_buf, comp_index_buf, threshold)) in
+            per_query.iter_mut().zip(&tables.entries)
+        {
+            let out_mm = Buffer::<u16>::new(2 * n);
+            let out_dir = Buffer::<u8>::new(2 * n);
+            let out_loci = Buffer::<u32>::new(2 * n);
+            let out_count = Buffer::<u32>::new(1);
+
+            let ev = self.queue.submit(|h| {
+                let chr = h.get_access(&chr_buf, AccessMode::Read)?;
+                let loci = h.get_access(&loci_buf, AccessMode::Read)?;
+                let flags = h.get_access(&flags_buf, AccessMode::Read)?;
+                let comp = h.get_access(comp_buf, AccessMode::Read)?;
+                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
+                let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+
+                let mut layout = LocalLayout::new();
+                let l_comp = layout.array::<u8>(2 * plen);
+                let l_comp_index = layout.array::<i32>(2 * plen);
+                let kernel = ComparerKernel {
+                    opt: self.opt,
+                    chr: chr.raw(),
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    comp: comp.raw(),
+                    comp_index: comp_index.raw(),
+                    locicnt: n as u32,
+                    plen: plen as u32,
+                    threshold: *threshold,
+                    out: ComparerOutput {
+                        mm_count: mm.raw(),
+                        direction: dir.raw(),
+                        loci: mloci.raw(),
+                        count: count.raw(),
+                    },
+                    l_comp,
+                    l_comp_index,
+                };
+                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+            })?;
+            ev.wait();
+            let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+            timing.comparer_s += ev
+                .launch_reports()
+                .iter()
+                .map(|r| r.exec_time_s)
+                .sum::<f64>();
+            for r in ev.launch_reports() {
+                profile.record_ref(r);
+            }
+            timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+            timing.comparer_launches += 1;
+
+            let mut entry_count = [0u32];
+            let ev = self.queue.submit(|h| {
+                let acc = h.get_access(&out_count, AccessMode::Read)?;
+                h.copy_from_device(&acc, &mut entry_count)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            let m = entry_count[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let mut mm = vec![0u16; m];
+            let mut dir = vec![0u8; m];
+            let mut pos = vec![0u32; m];
+            let ev = self.queue.submit(|h| {
+                let mm_acc = h.get_access(&out_mm, AccessMode::Read)?;
+                let dir_acc = h.get_access(&out_dir, AccessMode::Read)?;
+                let pos_acc = h.get_access(&out_loci, AccessMode::Read)?;
+                h.copy_from_device(&mm_acc, &mut mm)?;
+                h.copy_from_device(&dir_acc, &mut dir)?;
+                h.copy_from_device(&pos_acc, &mut pos)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+        }
+        // chr/loci/flags/fcount buffers drop here: implicit release.
+        Ok(per_query)
+    }
+
+    /// Block until every submitted command group completes.
+    pub fn wait(&self) {
+        self.queue.wait();
+    }
+
+    /// Simulated queue time consumed so far, in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.queue.elapsed_s()
+    }
+
+    /// Name of the simulated device the runner drives.
+    pub fn device_name(&self) -> String {
+        self.queue.device().spec().name.to_owned()
+    }
+
+    /// Transfer/launch counters of the underlying simulated device.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.queue.device().traffic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::SearchInput;
+    use crate::pipeline::entries_to_offtargets;
+    use crate::site::sort_canonical;
+    use genome::{Assembly, Chromosome, Chunker};
+    use gpu_sim::{DeviceSpec, ExecMode};
+
+    fn toy() -> (Assembly, SearchInput) {
+        let mut asm = Assembly::new("toy");
+        asm.push(Chromosome::new(
+            "chr1",
+            b"ACGTACGTAGGTTTACGTACGAAGCCCCCACGTACGTCGG".to_vec(),
+        ));
+        let input = SearchInput::parse("toy\nNNNNNNNNNRG\nACGTACGTNNN 3\n").unwrap();
+        (asm, input)
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig::new(DeviceSpec::mi100())
+            .chunk_size(16)
+            .exec_mode(ExecMode::Sequential)
+    }
+
+    #[test]
+    fn ocl_runner_reproduces_the_serial_pipeline() {
+        let (asm, input) = toy();
+        let cfg = config();
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let plen = runner.plen();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let mut offtargets = Vec::new();
+        for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let per_query = runner
+                .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            for (query, entries) in input.queries.iter().zip(&per_query) {
+                entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
+            }
+        }
+        sort_canonical(&mut offtargets);
+        assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
+        assert!(timing.finder_launches >= 2);
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    fn sycl_runner_reproduces_the_serial_pipeline() {
+        let (asm, input) = toy();
+        let cfg = config();
+        let runner = SyclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries);
+        let plen = runner.plen();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let mut offtargets = Vec::new();
+        for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let per_query = runner
+                .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            for (query, entries) in input.queries.iter().zip(&per_query) {
+                entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
+            }
+        }
+        runner.wait();
+        sort_canonical(&mut offtargets);
+        assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
+    }
+
+    #[test]
+    fn coalescing_queries_saves_finder_launches() {
+        // k queries on one chunk must cost 1 finder launch, not k.
+        let (asm, _) = toy();
+        let input = SearchInput::parse(
+            "toy\nNNNNNNNNNRG\nACGTACGTNNN 3\nTTTACGTACNN 3\nCCCCCACGTNN 3\n",
+        )
+        .unwrap();
+        let cfg = config().chunk_size(64);
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let chunk = Chunker::new(&asm, 64, runner.plen()).next().unwrap();
+        let per_query = runner
+            .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert_eq!(per_query.len(), 3);
+        assert_eq!(timing.finder_launches, 1);
+        assert_eq!(timing.comparer_launches, 3);
+        let traffic = runner.traffic();
+        assert_eq!(traffic.kernel_launches, 4);
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds runner capacity")]
+    fn oversized_chunks_are_rejected() {
+        let (_, input) = toy();
+        let cfg = config().chunk_size(8);
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let seq = vec![b'A'; 64];
+        let _ = runner.run_chunk(&seq, 64, &tables, &mut timing, &mut profile);
+    }
+}

@@ -6,6 +6,7 @@
 //! accumulate the off-target records — "the interaction between the host
 //! and kernel programs continues until all chunks are processed."
 
+pub mod chunk;
 pub mod multi;
 pub mod ocl;
 pub mod sycl;
@@ -75,7 +76,11 @@ impl PipelineConfig {
 
 /// Map comparer entries `(locus, direction, mismatches)` of one chunk and
 /// query into [`OffTarget`] records.
-pub(crate) fn entries_to_offtargets(
+///
+/// Public so external schedulers (e.g. `casoff-serve`) can turn the raw
+/// output of [`chunk::OclChunkRunner::run_chunk`] into reportable records
+/// with the chunk's genome coordinates applied.
+pub fn entries_to_offtargets(
     chunk: &Chunk<'_>,
     query: &[u8],
     plen: usize,

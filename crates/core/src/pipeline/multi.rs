@@ -7,17 +7,15 @@
 //! slowest device's queue time (the devices run concurrently).
 
 use genome::{Assembly, Chunker};
-use gpu_sim::kernel::LocalLayout;
-use gpu_sim::{DeviceSpec, NdRange};
-use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, SyclResult};
+use gpu_sim::DeviceSpec;
+use sycl_rt::SyclResult;
 
 use crate::input::SearchInput;
-use crate::kernels::{ComparerKernel, ComparerOutput, FinderKernel, FinderOutput};
-use crate::pattern::CompiledSeq;
 use crate::report::{Api, SearchReport, TimingBreakdown};
 use crate::site::sort_canonical;
 
-use super::{entries_to_offtargets, round_up, PipelineConfig};
+use super::chunk::SyclChunkRunner;
+use super::{entries_to_offtargets, PipelineConfig};
 
 /// Run the SYCL application across `devices`, returning the merged report
 /// plus the per-device timing breakdowns.
@@ -33,45 +31,26 @@ pub fn run(
 ) -> SyclResult<(SearchReport, Vec<TimingBreakdown>)> {
     assert!(!devices.is_empty(), "at least one device is required");
     let wall_start = std::time::Instant::now();
-    let wgs = config
-        .work_group_size
-        .unwrap_or(super::sycl::SYCL_WORK_GROUP_SIZE);
 
-    let pattern = CompiledSeq::compile(&input.pattern);
-    let plen = pattern.plen();
-    let queries: Vec<CompiledSeq> = input
-        .queries
+    // One runner per device; each holds its own queue plus its own copy of
+    // the constant pattern tables and query tables.
+    let runners: Vec<SyclChunkRunner> = devices
         .iter()
-        .map(|q| CompiledSeq::compile(&q.seq))
-        .collect();
-
-    let queues: Vec<Queue> = devices
-        .iter()
-        .map(|spec| Queue::with_mode(&SpecSelector(spec.clone()), config.exec))
+        .map(|spec| {
+            let cfg = PipelineConfig {
+                device: spec.clone(),
+                ..config.clone()
+            };
+            SyclChunkRunner::new(&cfg, &input.pattern)
+        })
         .collect::<SyclResult<_>>()?;
+    let per_device_tables: Vec<_> = runners
+        .iter()
+        .map(|r| r.prepare_queries(&input.queries))
+        .collect();
+    let plen = runners[0].plen();
 
-    // Per-device constant tables (each device needs its own copy).
-    type QueryTables = Vec<(Buffer<u8>, Buffer<i32>)>;
-    let per_device_tables: Vec<(Buffer<u8>, Buffer<i32>, QueryTables)> =
-        (0..queues.len())
-            .map(|_| {
-                (
-                    Buffer::from_slice(pattern.comp()).constant(),
-                    Buffer::from_slice(pattern.comp_index()).constant(),
-                    queries
-                        .iter()
-                        .map(|c| {
-                            (
-                                Buffer::from_slice(c.comp()),
-                                Buffer::from_slice(c.comp_index()),
-                            )
-                        })
-                        .collect(),
-                )
-            })
-            .collect();
-
-    let mut timings = vec![TimingBreakdown::default(); queues.len()];
+    let mut timings = vec![TimingBreakdown::default(); runners.len()];
     let mut offtargets = Vec::new();
     let mut profile = gpu_sim::profile::Profile::new();
 
@@ -79,117 +58,24 @@ pub fn run(
         if chunk.seq.len() < plen {
             continue;
         }
-        let d = i % queues.len();
-        let queue = &queues[d];
-        let (pat_buf, pat_index_buf, query_bufs) = &per_device_tables[d];
-        let timing = &mut timings[d];
-
-        let chr_buf = Buffer::from_slice(chunk.seq);
-        let loci_buf = Buffer::<u32>::new(chunk.scan_len);
-        let flags_buf = Buffer::<u8>::new(chunk.scan_len);
-        let fcount_buf = Buffer::<u32>::new(1);
-
-        let ev = queue.submit(|h| {
-            let chr = h.get_access(&chr_buf, AccessMode::Read)?;
-            let pat = h.get_access(pat_buf, AccessMode::Read)?;
-            let pat_index = h.get_access(pat_index_buf, AccessMode::Read)?;
-            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
-            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
-            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
-            let mut layout = LocalLayout::new();
-            let l_pat = layout.array::<u8>(2 * plen);
-            let l_pat_index = layout.array::<i32>(2 * plen);
-            let kernel = FinderKernel {
-                chr: chr.raw(),
-                pat: pat.raw(),
-                pat_index: pat_index.raw(),
-                out: FinderOutput {
-                    loci: loci.raw(),
-                    flags: flags.raw(),
-                    count: fcount.raw(),
-                },
-                scan_len: chunk.scan_len as u32,
-                seq_len: chunk.seq.len() as u32,
-                plen: plen as u32,
-                l_pat,
-                l_pat_index,
-            };
-            h.parallel_for(NdRange::linear(round_up(chunk.scan_len, wgs), wgs), &kernel)
-        })?;
-        timing.finder_s += ev.launch_reports().iter().map(|r| r.exec_time_s).sum::<f64>();
-        for r in ev.launch_reports() {
-            profile.record_ref(r);
-        }
-        timing.finder_launches += 1;
-
-        let n = fcount_buf.to_vec()[0] as usize;
-        timing.candidates += n as u64;
-        if n == 0 {
-            continue;
-        }
-
-        for (query, (comp_buf, comp_index_buf)) in input.queries.iter().zip(query_bufs) {
-            let out = (
-                Buffer::<u16>::new(2 * n),
-                Buffer::<u8>::new(2 * n),
-                Buffer::<u32>::new(2 * n),
-                Buffer::<u32>::new(1),
-            );
-            let ev = queue.submit(|h| {
-                let chr = h.get_access(&chr_buf, AccessMode::Read)?;
-                let loci = h.get_access(&loci_buf, AccessMode::Read)?;
-                let flags = h.get_access(&flags_buf, AccessMode::Read)?;
-                let comp = h.get_access(comp_buf, AccessMode::Read)?;
-                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
-                let mm = h.get_access(&out.0, AccessMode::Write)?;
-                let dir = h.get_access(&out.1, AccessMode::Write)?;
-                let mloci = h.get_access(&out.2, AccessMode::Write)?;
-                let count = h.get_access(&out.3, AccessMode::ReadWrite)?;
-                let mut layout = LocalLayout::new();
-                let l_comp = layout.array::<u8>(2 * plen);
-                let l_comp_index = layout.array::<i32>(2 * plen);
-                let kernel = ComparerKernel {
-                    opt: config.opt,
-                    chr: chr.raw(),
-                    loci: loci.raw(),
-                    flags: flags.raw(),
-                    comp: comp.raw(),
-                    comp_index: comp_index.raw(),
-                    locicnt: n as u32,
-                    plen: plen as u32,
-                    threshold: query.max_mismatches,
-                    out: ComparerOutput {
-                        mm_count: mm.raw(),
-                        direction: dir.raw(),
-                        loci: mloci.raw(),
-                        count: count.raw(),
-                    },
-                    l_comp,
-                    l_comp_index,
-                };
-                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
-            })?;
-            timing.comparer_s += ev.launch_reports().iter().map(|r| r.exec_time_s).sum::<f64>();
-            for r in ev.launch_reports() {
-                profile.record_ref(r);
-            }
-            timing.comparer_launches += 1;
-
-            let m = out.3.to_vec()[0] as usize;
-            timing.entries += m as u64;
-            if m == 0 {
-                continue;
-            }
-            let (mm, dir, pos) = (out.0.to_vec(), out.1.to_vec(), out.2.to_vec());
-            let entries: Vec<(u32, u8, u16)> = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
-            entries_to_offtargets(&chunk, &query.seq, plen, &entries, &mut offtargets);
+        let d = i % runners.len();
+        let per_query = runners[d].run_chunk(
+            chunk.seq,
+            chunk.scan_len,
+            &per_device_tables[d],
+            &mut timings[d],
+            &mut profile,
+        )?;
+        for (query, entries) in input.queries.iter().zip(&per_query) {
+            entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
         }
     }
 
     // The devices run concurrently: the search finishes when the slowest
     // queue drains.
-    for (timing, queue) in timings.iter_mut().zip(&queues) {
-        timing.elapsed_s = queue.elapsed_s();
+    for (timing, runner) in timings.iter_mut().zip(&runners) {
+        runner.wait();
+        timing.elapsed_s = runner.elapsed_s();
     }
     let mut total = TimingBreakdown {
         elapsed_s: timings.iter().map(|t| t.elapsed_s).fold(0.0, f64::max),

@@ -15,6 +15,7 @@ use crate::pattern::CompiledSeq;
 use crate::report::{Api, SearchReport, TimingBreakdown};
 use crate::site::sort_canonical;
 
+use super::chunk::OclChunkRunner;
 use super::{entries_to_offtargets, round_up, PipelineConfig};
 
 /// Run the OpenCL application over `assembly` with `input`.
@@ -33,179 +34,37 @@ pub fn run(
 ) -> ClResult<SearchReport> {
     let wall_start = std::time::Instant::now();
 
-    // Steps 1-4: platform/device/context/queue.
-    let device_id = ClDeviceId::from_spec(config.device.clone());
-    let ctx = Context::with_mode(&[device_id], config.exec)?;
-    let queue = CommandQueue::new(&ctx, 0)?;
+    // Steps 1-8 plus the step-5 scratch allocations live in the runner;
+    // the comparer's query tables are plain global buffers (Listing 1
+    // takes `const char* comp`, not `__constant`).
+    let runner = OclChunkRunner::new(config, &input.pattern)?;
+    let tables = runner.prepare_queries(&input.queries)?;
+    let plen = runner.plen();
 
-    // Steps 6-8: program and kernels.
-    let source = KernelSource::new()
-        .with_function(Arc::new(ClFinder))
-        .with_function(Arc::new(ClComparer::new(config.opt)));
-    let program = Program::create_with_source(&ctx, source);
-    program.build("-O3")?;
-    let finder = program.create_kernel("finder")?;
-    let comparer = program.create_kernel("comparer")?;
-
-    let pattern = CompiledSeq::compile(&input.pattern);
-    let plen = pattern.plen();
-    let queries: Vec<CompiledSeq> = input
-        .queries
-        .iter()
-        .map(|q| CompiledSeq::compile(&q.seq))
-        .collect();
-    let cap = config.chunk_size;
-
-    // Step 5: memory objects, allocated once and reused across chunks.
-    let chr = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, cap + plen)?;
-    let pat = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp())?;
-    let pat_index = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp_index())?;
-    let loci = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, cap)?;
-    let flags = ClBuffer::<u8>::create(&ctx, MemFlags::ReadWrite, cap)?;
-    let fcount = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, 1)?;
-    let mm_count = ClBuffer::<u16>::create(&ctx, MemFlags::WriteOnly, 2 * cap)?;
-    let direction = ClBuffer::<u8>::create(&ctx, MemFlags::WriteOnly, 2 * cap)?;
-    let mm_loci = ClBuffer::<u32>::create(&ctx, MemFlags::WriteOnly, 2 * cap)?;
-    let ecount = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, 1)?;
-
-    // The comparer's tables are plain global buffers (Listing 1 takes
-    // `const char* comp`, not `__constant`).
-    let query_bufs: Vec<(ClBuffer<u8>, ClBuffer<i32>)> = queries
-        .iter()
-        .map(|c| {
-            Ok((
-                ClBuffer::create_with_data(&ctx, MemFlags::ReadOnly, c.comp())?,
-                ClBuffer::create_with_data(&ctx, MemFlags::ReadOnly, c.comp_index())?,
-            ))
-        })
-        .collect::<ClResult<_>>()?;
-
-    let lws = config.work_group_size;
-    let rounding = lws.unwrap_or(64);
     let mut timing = TimingBreakdown::default();
     let mut offtargets = Vec::new();
     let mut profile = gpu_sim::profile::Profile::new();
 
-    for chunk in Chunker::new(assembly, cap, plen) {
+    for chunk in Chunker::new(assembly, config.chunk_size, plen) {
         if chunk.seq.len() < plen {
             continue;
         }
-        // Step 11 (host->device): upload the chunk, reset the counter.
-        let w1 = queue.enqueue_write_buffer(&chr, true, 0, chunk.seq)?;
-        let w2 = queue.enqueue_fill_buffer(&fcount, 0u32)?;
-        timing.transfer_s += w1.duration_s() + w2.duration_s();
-
-        // Step 9: finder arguments.
-        finder.set_arg(0, KernelArg::BufU8(chr.device_buffer()))?;
-        finder.set_arg(1, KernelArg::BufU8(pat.device_buffer()))?;
-        finder.set_arg(2, KernelArg::BufI32(pat_index.device_buffer()))?;
-        finder.set_arg(3, KernelArg::BufU32(loci.device_buffer()))?;
-        finder.set_arg(4, KernelArg::BufU8(flags.device_buffer()))?;
-        finder.set_arg(5, KernelArg::BufU32(fcount.device_buffer()))?;
-        finder.set_arg(6, KernelArg::U32(chunk.scan_len as u32))?;
-        finder.set_arg(7, KernelArg::U32(chunk.seq.len() as u32))?;
-        finder.set_arg(8, KernelArg::U32(plen as u32))?;
-        finder.set_arg(9, KernelArg::Local { bytes: 2 * plen })?;
-        finder.set_arg(10, KernelArg::Local { bytes: 8 * plen })?;
-
-        // Step 10: enqueue the finder.
-        let gws = round_up(chunk.scan_len, rounding);
-        let ev = queue.enqueue_nd_range_kernel(&finder, gws, lws)?;
-        ev.wait(); // step 12
-        timing.finder_s += ev
-            .launch_report()
-            .map(|r| r.exec_time_s)
-            .unwrap_or_else(|| ev.duration_s());
-        if let Some(r) = ev.launch_report() {
-            profile.record_ref(r);
-        }
-        timing.finder_launches += 1;
-
-        let mut n = [0u32];
-        let r = queue.enqueue_read_buffer(&fcount, true, 0, &mut n)?;
-        timing.transfer_s += r.duration_s();
-        let n = n[0] as usize;
-        timing.candidates += n as u64;
-        if n == 0 {
-            continue;
-        }
-
-        for (query, (comp, comp_index)) in input.queries.iter().zip(&query_bufs) {
-            let wz = queue.enqueue_fill_buffer(&ecount, 0u32)?;
-            timing.transfer_s += wz.duration_s();
-
-            comparer.set_arg(0, KernelArg::BufU8(chr.device_buffer()))?;
-            comparer.set_arg(1, KernelArg::BufU32(loci.device_buffer()))?;
-            comparer.set_arg(2, KernelArg::BufU8(flags.device_buffer()))?;
-            comparer.set_arg(3, KernelArg::BufU8(comp.device_buffer()))?;
-            comparer.set_arg(4, KernelArg::BufI32(comp_index.device_buffer()))?;
-            comparer.set_arg(5, KernelArg::U32(n as u32))?;
-            comparer.set_arg(6, KernelArg::U32(plen as u32))?;
-            comparer.set_arg(7, KernelArg::U16(query.max_mismatches))?;
-            comparer.set_arg(8, KernelArg::BufU16(mm_count.device_buffer()))?;
-            comparer.set_arg(9, KernelArg::BufU8(direction.device_buffer()))?;
-            comparer.set_arg(10, KernelArg::BufU32(mm_loci.device_buffer()))?;
-            comparer.set_arg(11, KernelArg::BufU32(ecount.device_buffer()))?;
-            comparer.set_arg(12, KernelArg::Local { bytes: 2 * plen })?;
-            comparer.set_arg(13, KernelArg::Local { bytes: 8 * plen })?;
-
-            let gws = round_up(n, rounding);
-            let ev = queue.enqueue_nd_range_kernel(&comparer, gws, lws)?;
-            ev.wait();
-            timing.comparer_s += ev
-                .launch_report()
-                .map(|r| r.exec_time_s)
-                .unwrap_or_else(|| ev.duration_s());
-            if let Some(r) = ev.launch_report() {
-                profile.record_ref(r);
-            }
-            timing.comparer_launches += 1;
-
-            // Step 11 (device->host): read back the surviving entries.
-            let mut m = [0u32];
-            let r = queue.enqueue_read_buffer(&ecount, true, 0, &mut m)?;
-            timing.transfer_s += r.duration_s();
-            let m = m[0] as usize;
-            timing.entries += m as u64;
-            if m == 0 {
-                continue;
-            }
-            let mut mm = vec![0u16; m];
-            let mut dir = vec![0u8; m];
-            let mut pos = vec![0u32; m];
-            let r1 = queue.enqueue_read_buffer(&mm_count, true, 0, &mut mm)?;
-            let r2 = queue.enqueue_read_buffer(&direction, true, 0, &mut dir)?;
-            let r3 = queue.enqueue_read_buffer(&mm_loci, true, 0, &mut pos)?;
-            timing.transfer_s += r1.duration_s() + r2.duration_s() + r3.duration_s();
-
-            let entries: Vec<(u32, u8, u16)> = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
-            entries_to_offtargets(&chunk, &query.seq, plen, &entries, &mut offtargets);
+        // Steps 9-12, once per chunk: upload, finder, comparer per query,
+        // read back the surviving entries.
+        let per_query =
+            runner.run_chunk(chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)?;
+        for (query, entries) in input.queries.iter().zip(&per_query) {
+            entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
         }
     }
-    queue.finish();
+    runner.finish();
 
     // Step 13: explicit release.
-    let device_name = queue.device().spec().name.to_owned();
-    timing.elapsed_s = queue.elapsed_s();
+    let device_name = runner.device_name();
+    timing.elapsed_s = runner.elapsed_s();
     timing.wall = wall_start.elapsed();
-    for (c, ci) in query_bufs {
-        c.release();
-        ci.release();
-    }
-    finder.release();
-    comparer.release();
-    chr.release();
-    pat.release();
-    pat_index.release();
-    loci.release();
-    flags.release();
-    fcount.release();
-    mm_count.release();
-    direction.release();
-    mm_loci.release();
-    ecount.release();
-    program.release();
-    queue.release();
+    tables.release();
+    runner.release();
 
     sort_canonical(&mut offtargets);
     Ok(SearchReport {

@@ -13,11 +13,12 @@ use gpu_sim::NdRange;
 use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, StepLog, SyclResult};
 
 use crate::input::SearchInput;
-use crate::kernels::{ComparerKernel, ComparerOutput, FinderKernel, FinderOutput};
+use crate::kernels::{FinderKernel, FinderOutput};
 use crate::pattern::CompiledSeq;
 use crate::report::{Api, SearchReport, TimingBreakdown};
 use crate::site::sort_canonical;
 
+use super::chunk::SyclChunkRunner;
 use super::{entries_to_offtargets, round_up, PipelineConfig};
 
 /// The work-group size the SYCL application launches both kernels with
@@ -35,34 +36,14 @@ pub fn run(
     config: &PipelineConfig,
 ) -> SyclResult<SearchReport> {
     let wall_start = std::time::Instant::now();
-    let wgs = config.work_group_size.unwrap_or(SYCL_WORK_GROUP_SIZE);
 
-    // Steps 1-2: selector + queue.
-    let queue = Queue::with_mode(&SpecSelector(config.device.clone()), config.exec)?;
-
-    let pattern = CompiledSeq::compile(&input.pattern);
-    let plen = pattern.plen();
-    let queries: Vec<CompiledSeq> = input
-        .queries
-        .iter()
-        .map(|q| CompiledSeq::compile(&q.seq))
-        .collect();
-
-    // Step 3: buffers. Pattern/query tables live in constant memory, like
-    // the `constant_buffer` access target of §III.E.
-    let pat_buf = Buffer::from_slice(pattern.comp()).constant();
-    let pat_index_buf = Buffer::from_slice(pattern.comp_index()).constant();
-    // The comparer's tables stay in global memory (Listing 1's `comp` is a
-    // plain pointer); only the finder's pattern uses the constant target.
-    let query_bufs: Vec<(Buffer<u8>, Buffer<i32>)> = queries
-        .iter()
-        .map(|c| {
-            (
-                Buffer::from_slice(c.comp()),
-                Buffer::from_slice(c.comp_index()),
-            )
-        })
-        .collect();
+    // Steps 1-3: selector, queue and the constant pattern tables live in
+    // the runner (§III.E's `constant_buffer` access target); the comparer's
+    // query tables stay in global memory (Listing 1's `comp` is a plain
+    // pointer).
+    let runner = SyclChunkRunner::new(config, &input.pattern)?;
+    let tables = runner.prepare_queries(&input.queries);
+    let plen = runner.plen();
 
     let mut timing = TimingBreakdown::default();
     let mut offtargets = Vec::new();
@@ -72,157 +53,18 @@ pub fn run(
         if chunk.seq.len() < plen {
             continue;
         }
-        // Fresh per-chunk buffers; the previous chunk's storage is released
-        // implicitly when these rebind (step 8: destructors).
-        let chr_buf = Buffer::from_slice(chunk.seq);
-        let loci_buf = Buffer::<u32>::new(chunk.scan_len);
-        let flags_buf = Buffer::<u8>::new(chunk.scan_len);
-        let fcount_buf = Buffer::<u32>::new(1);
-
-        // Command group: bind accessors (implicit upload) + finder kernel.
-        let ev = queue.submit(|h| {
-            let chr = h.get_access(&chr_buf, AccessMode::Read)?;
-            let pat = h.get_access(&pat_buf, AccessMode::Read)?;
-            let pat_index = h.get_access(&pat_index_buf, AccessMode::Read)?;
-            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
-            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
-            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
-
-            let mut layout = LocalLayout::new();
-            let l_pat = layout.array::<u8>(2 * plen);
-            let l_pat_index = layout.array::<i32>(2 * plen);
-            let kernel = FinderKernel {
-                chr: chr.raw(),
-                pat: pat.raw(),
-                pat_index: pat_index.raw(),
-                out: FinderOutput {
-                    loci: loci.raw(),
-                    flags: flags.raw(),
-                    count: fcount.raw(),
-                },
-                scan_len: chunk.scan_len as u32,
-                seq_len: chunk.seq.len() as u32,
-                plen: plen as u32,
-                l_pat,
-                l_pat_index,
-            };
-            h.parallel_for(
-                NdRange::linear(round_up(chunk.scan_len, wgs), wgs),
-                &kernel,
-            )
-        })?;
-        ev.wait();
-        let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
-        timing.finder_s += ev
-            .launch_reports()
-            .iter()
-            .map(|r| r.exec_time_s)
-            .sum::<f64>();
-        for r in ev.launch_reports() {
-            profile.record_ref(r);
+        // Steps 4-7 per chunk: command groups with accessor binding
+        // (implicit upload), finder, comparer per query, handler copies
+        // back; per-chunk buffers release implicitly (step 8).
+        let per_query =
+            runner.run_chunk(chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)?;
+        for (query, entries) in input.queries.iter().zip(&per_query) {
+            entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
         }
-        timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
-        timing.finder_launches += 1;
-
-        // Read the match count back through a handler copy (Table III).
-        let mut count_host = [0u32];
-        let ev = queue.submit(|h| {
-            let acc = h.get_access(&fcount_buf, AccessMode::Read)?;
-            h.copy_from_device(&acc, &mut count_host)
-        })?;
-        timing.transfer_s += ev.duration_s();
-        let n = count_host[0] as usize;
-        timing.candidates += n as u64;
-        if n == 0 {
-            continue;
-        }
-
-        for (query, (comp_buf, comp_index_buf)) in input.queries.iter().zip(&query_bufs) {
-            let out_mm = Buffer::<u16>::new(2 * n);
-            let out_dir = Buffer::<u8>::new(2 * n);
-            let out_loci = Buffer::<u32>::new(2 * n);
-            let out_count = Buffer::<u32>::new(1);
-
-            let ev = queue.submit(|h| {
-                let chr = h.get_access(&chr_buf, AccessMode::Read)?;
-                let loci = h.get_access(&loci_buf, AccessMode::Read)?;
-                let flags = h.get_access(&flags_buf, AccessMode::Read)?;
-                let comp = h.get_access(comp_buf, AccessMode::Read)?;
-                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
-                let mm = h.get_access(&out_mm, AccessMode::Write)?;
-                let dir = h.get_access(&out_dir, AccessMode::Write)?;
-                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
-                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
-
-                let mut layout = LocalLayout::new();
-                let l_comp = layout.array::<u8>(2 * plen);
-                let l_comp_index = layout.array::<i32>(2 * plen);
-                let kernel = ComparerKernel {
-                    opt: config.opt,
-                    chr: chr.raw(),
-                    loci: loci.raw(),
-                    flags: flags.raw(),
-                    comp: comp.raw(),
-                    comp_index: comp_index.raw(),
-                    locicnt: n as u32,
-                    plen: plen as u32,
-                    threshold: query.max_mismatches,
-                    out: ComparerOutput {
-                        mm_count: mm.raw(),
-                        direction: dir.raw(),
-                        loci: mloci.raw(),
-                        count: count.raw(),
-                    },
-                    l_comp,
-                    l_comp_index,
-                };
-                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
-            })?;
-            ev.wait();
-            let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
-            timing.comparer_s += ev
-                .launch_reports()
-                .iter()
-                .map(|r| r.exec_time_s)
-                .sum::<f64>();
-            for r in ev.launch_reports() {
-                profile.record_ref(r);
-            }
-            timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
-            timing.comparer_launches += 1;
-
-            let mut entry_count = [0u32];
-            let ev = queue.submit(|h| {
-                let acc = h.get_access(&out_count, AccessMode::Read)?;
-                h.copy_from_device(&acc, &mut entry_count)
-            })?;
-            timing.transfer_s += ev.duration_s();
-            let m = entry_count[0] as usize;
-            timing.entries += m as u64;
-            if m == 0 {
-                continue;
-            }
-            let mut mm = vec![0u16; m];
-            let mut dir = vec![0u8; m];
-            let mut pos = vec![0u32; m];
-            let ev = queue.submit(|h| {
-                let mm_acc = h.get_access(&out_mm, AccessMode::Read)?;
-                let dir_acc = h.get_access(&out_dir, AccessMode::Read)?;
-                let pos_acc = h.get_access(&out_loci, AccessMode::Read)?;
-                h.copy_from_device(&mm_acc, &mut mm)?;
-                h.copy_from_device(&dir_acc, &mut dir)?;
-                h.copy_from_device(&pos_acc, &mut pos)
-            })?;
-            timing.transfer_s += ev.duration_s();
-            let entries: Vec<(u32, u8, u16)> =
-                (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
-            entries_to_offtargets(&chunk, &query.seq, plen, &entries, &mut offtargets);
-        }
-        // chr/loci/flags/fcount buffers drop here: implicit release.
     }
-    queue.wait();
+    runner.wait();
 
-    timing.elapsed_s = queue.elapsed_s();
+    timing.elapsed_s = runner.elapsed_s();
     timing.wall = wall_start.elapsed();
     sort_canonical(&mut offtargets);
     Ok(SearchReport {

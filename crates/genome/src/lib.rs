@@ -41,6 +41,7 @@
 
 pub mod base;
 pub mod fasta;
+pub mod rng;
 pub mod synth;
 pub mod twobit;
 

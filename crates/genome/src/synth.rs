@@ -9,10 +9,8 @@
 //! observed hg38/hg19 elapsed-time ratio — about 25% more searchable
 //! content in the hg38 miniature (see `DESIGN.md` §2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::assembly::{Assembly, Chromosome};
+use crate::rng::Xoshiro256;
 
 /// Parameters for synthetic assembly generation.
 ///
@@ -95,7 +93,7 @@ impl SynthSpec {
 
     /// Generate the assembly. Deterministic for a given spec.
     pub fn generate(&self) -> Assembly {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
         let mut asm = Assembly::new(self.name.clone());
         let n = self.chromosomes.max(1);
         for i in 0..n {
@@ -112,7 +110,7 @@ impl SynthSpec {
         asm
     }
 
-    fn chromosome_seq(&self, len: usize, rng: &mut StdRng) -> Vec<u8> {
+    fn chromosome_seq(&self, len: usize, rng: &mut Xoshiro256) -> Vec<u8> {
         let mut seq = Vec::with_capacity(len);
         let telo = self.telomere_n.min(len / 4);
         let centro_len = ((len as f64) * self.centromere_n_frac) as usize;
@@ -127,7 +125,7 @@ impl SynthSpec {
             }
             if self.ambiguity_rate > 0.0 && rng.gen_bool(self.ambiguity_rate) {
                 const AMBIG: &[u8] = b"RYSWKM";
-                seq.push(AMBIG[rng.gen_range(0..AMBIG.len())]);
+                seq.push(AMBIG[rng.gen_below(AMBIG.len())]);
                 continue;
             }
             let gc = rng.gen_bool(self.gc_content);
@@ -158,26 +156,26 @@ pub fn implant_sites(
     copies: usize,
     max_mutations: usize,
 ) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut chroms: Vec<Chromosome> = assembly.chromosomes().to_vec();
     let mut placed = 0;
     let mut attempts = 0;
     while placed < copies && attempts < copies * 50 {
         attempts += 1;
-        let c = rng.gen_range(0..chroms.len());
+        let c = rng.gen_below(chroms.len());
         let chrom = &mut chroms[c];
         if chrom.len() < site.len() {
             continue;
         }
-        let pos = rng.gen_range(0..=chrom.len() - site.len());
+        let pos = rng.gen_below(chrom.len() - site.len() + 1);
         if chrom.seq[pos..pos + site.len()].contains(&b'N') {
             continue;
         }
         let mut copy = site.to_vec();
         let mutations = placed % (max_mutations + 1);
         for _ in 0..mutations {
-            let at = rng.gen_range(0..copy.len());
-            copy[at] = b"ACGT"[rng.gen_range(0..4)];
+            let at = rng.gen_below(copy.len());
+            copy[at] = b"ACGT"[rng.gen_below(4)];
         }
         chrom.seq[pos..pos + site.len()].copy_from_slice(&copy);
         placed += 1;

@@ -1,90 +1,115 @@
-//! Property-based tests of the genome substrate: FASTA round-trips, 2-bit
-//! packing, the IUPAC algebra, and synthetic-assembly invariants.
+//! Seeded-random property tests of the genome substrate: FASTA round-trips,
+//! 2-bit packing, the IUPAC algebra, and synthetic-assembly invariants.
+//!
+//! Each test sweeps a fixed number of cases drawn from [`genome::rng`], so
+//! runs are deterministic and need no external property-testing crate.
 
 use genome::base::{base_mask, complement, is_iupac, matches, IUPAC_CODES};
 use genome::fasta::{self, FastaRecord, ParseOptions};
+use genome::rng::Xoshiro256;
 use genome::twobit::TwoBitSeq;
 use genome::{synth, Assembly, Chromosome, Chunker};
-use proptest::prelude::*;
 
-fn iupac_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(IUPAC_CODES.to_vec()), 1..max_len)
+fn iupac_seq(rng: &mut Xoshiro256, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(1, max_len);
+    (0..len).map(|_| *rng.choose(&IUPAC_CODES).unwrap()).collect()
 }
 
-fn record_id() -> impl Strategy<Value = String> {
-    "[A-Za-z0-9_.]{1,12}"
+fn record_id(rng: &mut Xoshiro256) -> String {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.";
+    let len = rng.gen_range(1, 13);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_below(ALPHABET.len())] as char)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fasta_roundtrips_arbitrary_records(
-        ids in proptest::collection::vec(record_id(), 1..6),
-        seqs in proptest::collection::vec(iupac_seq(200), 1..6),
-        wrap in 1usize..100,
-    ) {
-        let records: Vec<FastaRecord> = ids
-            .iter()
-            .zip(&seqs)
-            .map(|(id, seq)| FastaRecord::new(id.clone(), seq.clone()))
+#[test]
+fn fasta_roundtrips_arbitrary_records() {
+    let mut rng = Xoshiro256::seed_from_u64(0xFA57A);
+    for _ in 0..64 {
+        let n = rng.gen_range(1, 6);
+        let records: Vec<FastaRecord> = (0..n)
+            .map(|_| {
+                let id = record_id(&mut rng);
+                let seq = iupac_seq(&mut rng, 200);
+                FastaRecord::new(id, seq)
+            })
             .collect();
+        let wrap = rng.gen_range(1, 100);
         let mut text = Vec::new();
         fasta::write(&mut text, &records, wrap).unwrap();
         let parsed = fasta::parse(&text[..], ParseOptions::default()).unwrap();
-        prop_assert_eq!(parsed, records);
+        assert_eq!(parsed, records, "wrap {wrap}");
     }
+}
 
-    #[test]
-    fn lenient_parsing_never_fails_on_ascii_noise(
-        body in "[ -~]{0,200}",
-    ) {
+#[test]
+fn lenient_parsing_never_fails_on_ascii_noise() {
+    let mut rng = Xoshiro256::seed_from_u64(0x9015E);
+    for _ in 0..64 {
+        let len = rng.gen_below(201);
+        let body: String = (0..len)
+            .map(|_| (b' ' + rng.gen_below(95) as u8) as char)
+            .collect();
         let text = format!(">noise\nA{body}\n");
-        let parsed = fasta::parse_str(&text, ParseOptions { strict: false });
         // Headers inside the body can split records, but parsing itself must
         // only fail for structural reasons (empty records), never panic.
-        if let Ok(records) = parsed {
+        if let Ok(records) = fasta::parse_str(&text, ParseOptions { strict: false }) {
             for r in records {
-                prop_assert!(r.seq.iter().all(|&b| is_iupac(b)));
+                assert!(r.seq.iter().all(|&b| is_iupac(b)), "noise body {body:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn twobit_roundtrips_with_n_for_ambiguity(seq in iupac_seq(500)) {
+#[test]
+fn twobit_roundtrips_with_n_for_ambiguity() {
+    let mut rng = Xoshiro256::seed_from_u64(0x2B17);
+    for _ in 0..64 {
+        let seq = iupac_seq(&mut rng, 500);
         let packed = TwoBitSeq::encode(&seq);
-        prop_assert_eq!(packed.len(), seq.len());
+        assert_eq!(packed.len(), seq.len());
         let decoded = packed.decode();
         for (i, (&orig, &dec)) in seq.iter().zip(&decoded).enumerate() {
             if matches!(orig, b'A' | b'C' | b'G' | b'T') {
-                prop_assert_eq!(dec, orig, "concrete base at {}", i);
-                prop_assert!(!packed.is_masked(i));
+                assert_eq!(dec, orig, "concrete base at {i}");
+                assert!(!packed.is_masked(i));
             } else {
-                prop_assert_eq!(dec, b'N', "ambiguous base at {}", i);
-                prop_assert!(packed.is_masked(i));
+                assert_eq!(dec, b'N', "ambiguous base at {i}");
+                assert!(packed.is_masked(i));
             }
         }
         // Packing is at most (2 bits + 1 mask bit)/base, rounded up.
-        prop_assert!(packed.byte_len() <= seq.len().div_ceil(4) + seq.len().div_ceil(8));
+        assert!(packed.byte_len() <= seq.len().div_ceil(4) + seq.len().div_ceil(8));
     }
+}
 
-    #[test]
-    fn subset_rule_is_mask_algebra(
-        p in proptest::sample::select(IUPAC_CODES.to_vec()),
-        g in proptest::sample::select(IUPAC_CODES.to_vec()),
-    ) {
-        // matches(p, g) <=> mask(g) ⊆ mask(p); complement preserves it.
-        let by_mask = base_mask(g) != 0 && base_mask(g) & base_mask(p) == base_mask(g);
-        prop_assert_eq!(matches(p, g), by_mask);
-        prop_assert_eq!(matches(complement(p), complement(g)), matches(p, g));
+#[test]
+fn subset_rule_is_mask_algebra() {
+    // Small enough to sweep exhaustively: every (pattern, genome) code pair.
+    for p in IUPAC_CODES {
+        for g in IUPAC_CODES {
+            // matches(p, g) <=> mask(g) ⊆ mask(p); complement preserves it.
+            let by_mask = base_mask(g) != 0 && base_mask(g) & base_mask(p) == base_mask(g);
+            assert_eq!(matches(p, g), by_mask, "p={} g={}", p as char, g as char);
+            assert_eq!(
+                matches(complement(p), complement(g)),
+                matches(p, g),
+                "complement breaks subset rule for p={} g={}",
+                p as char,
+                g as char
+            );
+        }
     }
+}
 
-    #[test]
-    fn synthetic_assemblies_are_reproducible_and_structured(
-        seed in 0u64..1000,
-        chroms in 1usize..5,
-        len in 2_000usize..20_000,
-    ) {
+#[test]
+fn synthetic_assemblies_are_reproducible_and_structured() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5717);
+    for _ in 0..24 {
+        let seed = rng.gen_below(1000) as u64;
+        let chroms = rng.gen_range(1, 5);
+        let len = rng.gen_range(2_000, 20_000);
         let make = || {
             synth::SynthSpec::new("prop", seed)
                 .chromosomes(chroms)
@@ -93,24 +118,26 @@ proptest! {
                 .generate()
         };
         let a = make();
-        prop_assert_eq!(&a, &make());
-        prop_assert_eq!(a.chromosomes().len(), chroms);
+        assert_eq!(&a, &make());
+        assert_eq!(a.chromosomes().len(), chroms);
         let total: usize = a.total_len();
         let expect = len * chroms;
         let rel_err = ((total as f64) - (expect as f64)).abs() / (expect as f64);
-        prop_assert!(rel_err < 0.02, "total {} vs expected {}", total, expect);
+        assert!(rel_err < 0.02, "total {total} vs expected {expect}");
         for c in a.chromosomes() {
-            prop_assert!(c.seq.iter().all(|&b| is_iupac(b)));
-            prop_assert_eq!(c.seq[0], b'N', "telomere");
+            assert!(c.seq.iter().all(|&b| is_iupac(b)));
+            assert_eq!(c.seq[0], b'N', "telomere");
         }
     }
+}
 
-    #[test]
-    fn chunker_windows_reconstruct_the_chromosome(
-        seq in iupac_seq(400),
-        chunk in 1usize..150,
-        overlap in 0usize..30,
-    ) {
+#[test]
+fn chunker_windows_reconstruct_the_chromosome() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC4C4);
+    for _ in 0..64 {
+        let seq = iupac_seq(&mut rng, 400);
+        let chunk = rng.gen_range(1, 150);
+        let overlap = rng.gen_below(30);
         let mut asm = Assembly::new("prop");
         asm.push(Chromosome::new("c", seq.clone()));
         let mut rebuilt = vec![0u8; seq.len()];
@@ -119,19 +146,18 @@ proptest! {
             // the overlap region must agree with the chromosome too.
             rebuilt[piece.start..piece.start + piece.scan_len]
                 .copy_from_slice(&piece.seq[..piece.scan_len]);
-            prop_assert_eq!(
-                piece.seq,
-                &seq[piece.start..piece.start + piece.seq.len()]
-            );
+            assert_eq!(piece.seq, &seq[piece.start..piece.start + piece.seq.len()]);
         }
-        prop_assert_eq!(rebuilt, seq);
+        assert_eq!(rebuilt, seq, "chunk {chunk} overlap {overlap}");
     }
+}
 
-    #[test]
-    fn implanting_preserves_length_and_alphabet(
-        seed in 0u64..500,
-        copies in 1usize..6,
-    ) {
+#[test]
+fn implanting_preserves_length_and_alphabet() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1142);
+    for _ in 0..24 {
+        let seed = rng.gen_below(500) as u64;
+        let copies = rng.gen_range(1, 6);
         let mut asm = synth::SynthSpec::new("prop", seed)
             .chromosomes(2)
             .mean_chromosome_len(5_000)
@@ -140,9 +166,9 @@ proptest! {
             .generate();
         let before = asm.total_len();
         synth::implant_sites(&mut asm, seed ^ 0xbeef, b"ACGTACGTACGTACGTAGG", copies, 3);
-        prop_assert_eq!(asm.total_len(), before, "implants substitute in place");
+        assert_eq!(asm.total_len(), before, "implants substitute in place");
         for c in asm.chromosomes() {
-            prop_assert!(c.seq.iter().all(|&b| is_iupac(b)));
+            assert!(c.seq.iter().all(|&b| is_iupac(b)));
         }
     }
 }

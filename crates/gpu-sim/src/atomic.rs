@@ -1,0 +1,112 @@
+//! A std-only atomic cell for device-memory elements.
+//!
+//! Every [`Scalar`] fits in 64 bits, so each cell stores the element's bit
+//! pattern in one `AtomicU64`. Plain `load`/`store` use relaxed ordering —
+//! matching the inter-work-group visibility rules documented on
+//! [`crate::memory`] — and `fetch_add` is a compare-exchange loop, which
+//! keeps the crate free of `unsafe` code and external dependencies.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::memory::{AtomicScalar, Scalar};
+
+pub(crate) struct AtomicCell<T> {
+    bits: AtomicU64,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Scalar> AtomicCell<T> {
+    pub(crate) fn new(v: T) -> Self {
+        AtomicCell {
+            bits: AtomicU64::new(v.to_bits()),
+            _elem: PhantomData,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn load(&self) -> T {
+        T::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn store(&self, v: T) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl<T: AtomicScalar> AtomicCell<T> {
+    /// Atomically add `v` (wrapping), returning the previous value.
+    #[inline]
+    pub(crate) fn fetch_add(&self, v: T) -> T {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let old = T::from_bits(cur);
+            let new = old.wrapping_add(v).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return old,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_integers_roundtrip() {
+        let c = AtomicCell::new(-5i8);
+        assert_eq!(c.load(), -5);
+        c.store(i8::MIN);
+        assert_eq!(c.load(), i8::MIN);
+
+        let c = AtomicCell::new(u16::MAX);
+        assert_eq!(c.load(), u16::MAX);
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for v in [0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, f32::INFINITY] {
+            let c = AtomicCell::new(v);
+            assert_eq!(c.load().to_bits(), v.to_bits());
+        }
+        let c = AtomicCell::new(-2.25f64);
+        assert_eq!(c.load(), -2.25);
+    }
+
+    #[test]
+    fn fetch_add_wraps_like_hardware() {
+        let c = AtomicCell::new(u8::MAX);
+        assert_eq!(c.fetch_add(1), u8::MAX);
+        assert_eq!(c.load(), 0);
+
+        let c = AtomicCell::new(10u32);
+        assert_eq!(c.fetch_add(5), 10);
+        assert_eq!(c.load(), 15);
+    }
+
+    #[test]
+    fn concurrent_fetch_adds_are_exact() {
+        use std::sync::Arc;
+        let c = Arc::new(AtomicCell::new(0u32));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.fetch_add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(), 80_000);
+    }
+}

@@ -5,7 +5,7 @@
 //! by its simulated duration and records start/end timestamps on its event,
 //! mirroring OpenCL's profiling counters.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A monotonically advancing simulated clock, in seconds.
 ///
@@ -32,7 +32,7 @@ impl SimClock {
 
     /// Current simulated time in seconds.
     pub fn now(&self) -> f64 {
-        *self.now.lock()
+        *self.now.lock().unwrap()
     }
 
     /// Advance by `duration_s` seconds, returning the interval
@@ -47,7 +47,7 @@ impl SimClock {
             duration_s.is_finite() && duration_s >= 0.0,
             "simulated durations must be finite and non-negative, got {duration_s}"
         );
-        let mut now = self.now.lock();
+        let mut now = self.now.lock().unwrap();
         let start = *now;
         *now += duration_s;
         (start, *now)

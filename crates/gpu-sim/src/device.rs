@@ -9,10 +9,12 @@ use crate::kernel::KernelProgram;
 use crate::memory::{AddressSpace, AllocationTracker, DeviceBuffer, Scalar};
 use crate::ndrange::NdRange;
 use crate::spec::DeviceSpec;
+use crate::traffic::{TrafficCounters, TrafficSnapshot};
 
 struct DeviceInner {
     spec: DeviceSpec,
     tracker: Arc<AllocationTracker>,
+    traffic: Arc<TrafficCounters>,
     mode: ExecMode,
 }
 
@@ -67,6 +69,7 @@ impl Device {
             inner: Arc::new(DeviceInner {
                 spec,
                 tracker,
+                traffic: Arc::default(),
                 mode,
             }),
         }
@@ -92,6 +95,13 @@ impl Device {
         self.inner.spec.global_mem_bytes - self.mem_used()
     }
 
+    /// A point-in-time copy of this device's cumulative transfer and launch
+    /// counters. All clones of the device (and all buffers allocated from
+    /// it) feed the same tallies.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.inner.traffic.snapshot()
+    }
+
     /// Allocate a zero-initialized global-memory buffer of `len` elements.
     ///
     /// # Errors
@@ -99,7 +109,12 @@ impl Device {
     /// Returns [`SimError::OutOfMemory`](crate::SimError::OutOfMemory) when
     /// the device capacity would be exceeded.
     pub fn alloc<T: Scalar>(&self, len: usize) -> SimResult<DeviceBuffer<T>> {
-        DeviceBuffer::allocate(Arc::clone(&self.inner.tracker), len, AddressSpace::Global)
+        DeviceBuffer::allocate(
+            Arc::clone(&self.inner.tracker),
+            Arc::clone(&self.inner.traffic),
+            len,
+            AddressSpace::Global,
+        )
     }
 
     /// Allocate a global buffer initialized from `data`.
@@ -122,7 +137,12 @@ impl Device {
     /// Returns [`SimError::OutOfMemory`](crate::SimError::OutOfMemory) when
     /// the device capacity would be exceeded.
     pub fn alloc_constant<T: Scalar>(&self, len: usize) -> SimResult<DeviceBuffer<T>> {
-        DeviceBuffer::allocate(Arc::clone(&self.inner.tracker), len, AddressSpace::Constant)
+        DeviceBuffer::allocate(
+            Arc::clone(&self.inner.tracker),
+            Arc::clone(&self.inner.traffic),
+            len,
+            AddressSpace::Constant,
+        )
     }
 
     /// Allocate a constant buffer initialized from `data`.
@@ -146,6 +166,7 @@ impl Device {
     /// Returns an error when the ND-range is malformed or the kernel's local
     /// memory request exceeds the device's per-CU capacity.
     pub fn launch<K: KernelProgram>(&self, kernel: &K, nd: NdRange) -> SimResult<LaunchReport> {
+        self.inner.traffic.record_launch();
         run_launch(&self.inner.spec, self.inner.mode, kernel, nd)
     }
 }
@@ -190,5 +211,20 @@ mod tests {
     fn debug_shows_name() {
         let d = Device::new(DeviceSpec::radeon_vii());
         assert!(format!("{d:?}").contains("Radeon VII"));
+    }
+
+    #[test]
+    fn traffic_counts_transfers_and_launches() {
+        let d = Device::new(DeviceSpec::mi60());
+        let before = d.traffic();
+        let buf = d.alloc_from_slice(&[1u32, 2, 3, 4]).unwrap();
+        let mut out = [0u32; 2];
+        buf.read_to_host(0, &mut out).unwrap();
+        let t = d.traffic().since(&before);
+        assert_eq!(t.h2d_transfers, 1);
+        assert_eq!(t.h2d_bytes, 16);
+        assert_eq!(t.d2h_transfers, 1);
+        assert_eq!(t.d2h_bytes, 8);
+        assert_eq!(t.kernel_launches, 0);
     }
 }

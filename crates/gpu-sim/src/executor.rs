@@ -15,9 +15,8 @@
 //! [timing model](crate::timing).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use crate::counters::AccessCounters;
 use crate::error::{SimError, SimResult};
@@ -192,9 +191,9 @@ pub(crate) fn run_launch<K: KernelProgram>(
             let threads = threads.max(1).min(groups.max(1));
             let next = AtomicUsize::new(0);
             let acc = Mutex::new((AccessCounters::ZERO, 0.0f64));
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for _ in 0..threads {
-                    s.spawn(|_| {
+                    s.spawn(|| {
                         let mut counters = AccessCounters::ZERO;
                         let mut cycles = 0.0;
                         loop {
@@ -206,14 +205,13 @@ pub(crate) fn run_launch<K: KernelProgram>(
                             counters += r.counters;
                             cycles += r.wave_cycles;
                         }
-                        let mut guard = acc.lock();
+                        let mut guard = acc.lock().unwrap();
                         guard.0 += counters;
                         guard.1 += cycles;
                     });
                 }
-            })
-            .expect("worker thread panicked while executing kernel");
-            acc.into_inner()
+            });
+            acc.into_inner().unwrap()
         }
     };
     let wall_time = start.elapsed();

@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atomic;
 mod clock;
 mod counters;
 mod device;
@@ -70,6 +71,7 @@ mod local;
 mod memory;
 mod ndrange;
 mod spec;
+mod traffic;
 
 pub mod executor;
 pub mod isa;
@@ -88,3 +90,4 @@ pub use kernel::{KernelProgram, LocalHandle, LocalLayout, LocalMem};
 pub use memory::{AddressSpace, AtomicScalar, DeviceBuffer, Scalar};
 pub use ndrange::NdRange;
 pub use spec::DeviceSpec;
+pub use traffic::{TrafficCounters, TrafficSnapshot};

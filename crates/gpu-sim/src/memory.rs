@@ -1,19 +1,19 @@
 //! Device memory: typed global/constant buffers with access counting.
 //!
-//! Global memory is modelled as one [`crossbeam::atomic::AtomicCell`] per
-//! element. Work-groups execute on different host threads, and — exactly like
-//! on real hardware — plain loads and stores between work-groups have relaxed
-//! semantics, while cross-group coordination must use the atomic
+//! Global memory is modelled as one atomic cell per element
+//! ([`crate::atomic`]). Work-groups execute on different host threads, and —
+//! exactly like on real hardware — plain loads and stores between work-groups
+//! have relaxed semantics, while cross-group coordination must use the atomic
 //! read-modify-write operations. No `unsafe` code is required.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::atomic::AtomicCell;
-
+use crate::atomic::AtomicCell;
 use crate::error::{SimError, SimResult};
 use crate::item::ItemCtx;
+use crate::traffic::TrafficCounters;
 
 /// Marker trait for element types storable in device memory.
 ///
@@ -22,15 +22,21 @@ use crate::item::ItemCtx;
 pub trait Scalar: private::Sealed + Copy + Send + Sync + Default + fmt::Debug + 'static {
     /// Size of the element in bytes.
     const BYTES: u64;
+    /// The element's bit pattern, widened to 64 bits.
+    #[doc(hidden)]
+    fn to_bits(self) -> u64;
+    /// Recover an element from [`Scalar::to_bits`] output.
+    #[doc(hidden)]
+    fn from_bits(bits: u64) -> Self;
 }
 
 /// Integer scalars that additionally support device-scope atomic
 /// read-modify-write operations (OpenCL `atomic_inc`/`atomic_add`, SYCL
 /// `atomic_ref::fetch_add`).
 pub trait AtomicScalar: Scalar {
-    /// Atomically add `v`, returning the previous value.
+    /// Wrapping addition, as device atomics behave on overflow.
     #[doc(hidden)]
-    fn cell_fetch_add(cell: &AtomicCell<Self>, v: Self) -> Self;
+    fn wrapping_add(self, v: Self) -> Self;
     /// The value one.
     #[doc(hidden)]
     fn one() -> Self;
@@ -40,11 +46,17 @@ mod private {
     pub trait Sealed {}
 }
 
-macro_rules! impl_scalar {
+macro_rules! impl_int_scalar {
     ($($t:ty),*) => {$(
         impl private::Sealed for $t {}
         impl Scalar for $t {
             const BYTES: u64 = std::mem::size_of::<$t>() as u64;
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
         }
     )*};
 }
@@ -52,8 +64,8 @@ macro_rules! impl_scalar {
 macro_rules! impl_atomic_scalar {
     ($($t:ty),*) => {$(
         impl AtomicScalar for $t {
-            fn cell_fetch_add(cell: &AtomicCell<Self>, v: Self) -> Self {
-                cell.fetch_add(v)
+            fn wrapping_add(self, v: Self) -> Self {
+                <$t>::wrapping_add(self, v)
             }
             fn one() -> Self {
                 1
@@ -62,8 +74,30 @@ macro_rules! impl_atomic_scalar {
     )*};
 }
 
-impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+impl_int_scalar!(u8, i8, u16, i16, u32, i32, u64, i64);
 impl_atomic_scalar!(u8, i8, u16, i16, u32, i32, u64, i64);
+
+impl private::Sealed for f32 {}
+impl Scalar for f32 {
+    const BYTES: u64 = 4;
+    fn to_bits(self) -> u64 {
+        f32::to_bits(self) as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl private::Sealed for f64 {}
+impl Scalar for f64 {
+    const BYTES: u64 = 8;
+    fn to_bits(self) -> u64 {
+        f64::to_bits(self)
+    }
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
 
 /// The address space a buffer lives in (Fig. 1 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,6 +159,7 @@ struct Storage<T: Scalar> {
     cells: Box<[AtomicCell<T>]>,
     bytes: u64,
     tracker: Arc<AllocationTracker>,
+    traffic: Arc<TrafficCounters>,
 }
 
 impl<T: Scalar> Drop for Storage<T> {
@@ -185,6 +220,7 @@ impl<T: Scalar> fmt::Debug for DeviceBuffer<T> {
 impl<T: Scalar> DeviceBuffer<T> {
     pub(crate) fn allocate(
         tracker: Arc<AllocationTracker>,
+        traffic: Arc<TrafficCounters>,
         len: usize,
         space: AddressSpace,
     ) -> SimResult<Self> {
@@ -197,6 +233,7 @@ impl<T: Scalar> DeviceBuffer<T> {
                 cells,
                 bytes,
                 tracker,
+                traffic,
             }),
             space,
         })
@@ -241,6 +278,7 @@ impl<T: Scalar> DeviceBuffer<T> {
     /// Returns [`SimError::InvalidRegion`] if the region exceeds the buffer.
     pub fn write_from_host(&self, offset: usize, data: &[T]) -> SimResult<()> {
         self.check_region(offset, data.len())?;
+        self.storage.traffic.record_h2d(data.len() as u64 * T::BYTES);
         for (cell, &v) in self.storage.cells[offset..offset + data.len()]
             .iter()
             .zip(data)
@@ -259,6 +297,7 @@ impl<T: Scalar> DeviceBuffer<T> {
     pub fn read_to_host(&self, offset: usize, out: &mut [T]) -> SimResult<()> {
         let len = out.len();
         self.check_region(offset, len)?;
+        self.storage.traffic.record_d2h(len as u64 * T::BYTES);
         for (v, cell) in out.iter_mut().zip(&self.storage.cells[offset..offset + len]) {
             *v = cell.load();
         }
@@ -267,6 +306,7 @@ impl<T: Scalar> DeviceBuffer<T> {
 
     /// Read the entire buffer into a freshly allocated `Vec`.
     pub fn to_vec(&self) -> Vec<T> {
+        self.storage.traffic.record_d2h(self.storage.bytes);
         self.storage.cells.iter().map(|c| c.load()).collect()
     }
 
@@ -371,7 +411,7 @@ impl<T: AtomicScalar> DeviceBuffer<T> {
             "atomic operation on read-only constant buffer"
         );
         item.count_atomic(T::BYTES);
-        T::cell_fetch_add(self.cell(i), v)
+        self.cell(i).fetch_add(v)
     }
 
     /// Atomic increment, returning the previous value — the paper's
@@ -390,6 +430,10 @@ mod tests {
         Arc::new(AllocationTracker::new(cap))
     }
 
+    fn alloc<T: Scalar>(cap: u64, len: usize, space: AddressSpace) -> SimResult<DeviceBuffer<T>> {
+        DeviceBuffer::allocate(tracker(cap), Arc::default(), len, space)
+    }
+
     fn item() -> ItemCtx {
         ItemCtx::new([0; 3], [0; 3], [0; 3], [1, 1, 1], [1, 1, 1])
     }
@@ -397,7 +441,9 @@ mod tests {
     #[test]
     fn alloc_and_release_accounting() {
         let t = tracker(1024);
-        let buf = DeviceBuffer::<u32>::allocate(Arc::clone(&t), 100, AddressSpace::Global).unwrap();
+        let buf =
+            DeviceBuffer::<u32>::allocate(Arc::clone(&t), Arc::default(), 100, AddressSpace::Global)
+                .unwrap();
         assert_eq!(t.used(), 400);
         let clone = buf.clone();
         drop(buf);
@@ -408,8 +454,7 @@ mod tests {
 
     #[test]
     fn alloc_beyond_capacity_fails() {
-        let t = tracker(64);
-        let err = DeviceBuffer::<u64>::allocate(t, 9, AddressSpace::Global).unwrap_err();
+        let err = alloc::<u64>(64, 9, AddressSpace::Global).unwrap_err();
         assert_eq!(
             err,
             SimError::OutOfMemory {
@@ -421,8 +466,7 @@ mod tests {
 
     #[test]
     fn host_roundtrip_with_offset() {
-        let buf =
-            DeviceBuffer::<u16>::allocate(tracker(1024), 8, AddressSpace::Global).unwrap();
+        let buf = alloc::<u16>(1024, 8, AddressSpace::Global).unwrap();
         buf.write_from_host(2, &[7, 8, 9]).unwrap();
         let mut out = [0u16; 4];
         buf.read_to_host(1, &mut out).unwrap();
@@ -431,7 +475,7 @@ mod tests {
 
     #[test]
     fn region_validation() {
-        let buf = DeviceBuffer::<u8>::allocate(tracker(64), 4, AddressSpace::Global).unwrap();
+        let buf = alloc::<u8>(64, 4, AddressSpace::Global).unwrap();
         let err = buf.write_from_host(3, &[1, 2]).unwrap_err();
         assert_eq!(
             err,
@@ -449,7 +493,7 @@ mod tests {
 
     #[test]
     fn kernel_loads_and_stores_count() {
-        let buf = DeviceBuffer::<u32>::allocate(tracker(64), 4, AddressSpace::Global).unwrap();
+        let buf = alloc::<u32>(64, 4, AddressSpace::Global).unwrap();
         let mut it = item();
         buf.store(&mut it, 1, 42);
         assert_eq!(buf.load(&mut it, 1), 42);
@@ -462,7 +506,7 @@ mod tests {
 
     #[test]
     fn constant_loads_count_separately() {
-        let buf = DeviceBuffer::<u8>::allocate(tracker(64), 4, AddressSpace::Constant).unwrap();
+        let buf = alloc::<u8>(64, 4, AddressSpace::Constant).unwrap();
         buf.write_from_host(0, &[5, 6, 7, 8]).unwrap();
         let mut it = item();
         assert_eq!(buf.load(&mut it, 2), 7);
@@ -473,20 +517,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "read-only constant buffer")]
     fn constant_store_panics() {
-        let buf = DeviceBuffer::<u8>::allocate(tracker(64), 4, AddressSpace::Constant).unwrap();
+        let buf = alloc::<u8>(64, 4, AddressSpace::Constant).unwrap();
         buf.store(&mut item(), 0, 1);
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn oob_load_panics() {
-        let buf = DeviceBuffer::<u32>::allocate(tracker(64), 2, AddressSpace::Global).unwrap();
+        let buf = alloc::<u32>(64, 2, AddressSpace::Global).unwrap();
         buf.load(&mut item(), 2);
     }
 
     #[test]
     fn atomic_inc_returns_old_value() {
-        let buf = DeviceBuffer::<u32>::allocate(tracker(64), 1, AddressSpace::Global).unwrap();
+        let buf = alloc::<u32>(64, 1, AddressSpace::Global).unwrap();
         let mut it = item();
         assert_eq!(buf.atomic_inc(&mut it, 0), 0);
         assert_eq!(buf.atomic_inc(&mut it, 0), 1);
@@ -497,7 +541,7 @@ mod tests {
 
     #[test]
     fn fill_overwrites_everything() {
-        let buf = DeviceBuffer::<i32>::allocate(tracker(64), 3, AddressSpace::Global).unwrap();
+        let buf = alloc::<i32>(64, 3, AddressSpace::Global).unwrap();
         buf.fill(-1);
         assert_eq!(buf.to_vec(), vec![-1, -1, -1]);
     }

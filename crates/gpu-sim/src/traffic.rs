@@ -1,0 +1,110 @@
+//! Per-device transfer and launch counters.
+//!
+//! A serving layer scheduling work across a device pool needs proof that its
+//! batching actually reduced traffic, so every host↔device copy and every
+//! kernel launch on a [`Device`](crate::Device) is tallied here — regardless
+//! of which runtime (`opencl-rt` or `sycl-rt`) drove it. The counters are
+//! shared by the device and every buffer allocated from it, and stay valid
+//! for the device's whole lifetime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic tallies of device traffic. One per [`Device`](crate::Device).
+#[derive(Debug, Default)]
+pub struct TrafficCounters {
+    kernel_launches: AtomicU64,
+    h2d_transfers: AtomicU64,
+    h2d_bytes: AtomicU64,
+    d2h_transfers: AtomicU64,
+    d2h_bytes: AtomicU64,
+}
+
+impl TrafficCounters {
+    pub(crate) fn record_launch(&self) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_h2d(&self, bytes: u64) {
+        self.h2d_transfers.fetch_add(1, Ordering::Relaxed);
+        self.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_d2h(&self, bytes: u64) {
+        self.d2h_transfers.fetch_add(1, Ordering::Relaxed);
+        self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the tallies. Individual fields are read
+    /// relaxed, so a snapshot taken while commands are in flight may tear
+    /// across fields; snapshots taken at quiescent points are exact.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            h2d_transfers: self.h2d_transfers.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_transfers: self.d2h_transfers.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a device's [`TrafficCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Kernel launches executed on the device.
+    pub kernel_launches: u64,
+    /// Host-to-device copies (buffer writes, including initialized allocs).
+    pub h2d_transfers: u64,
+    /// Bytes moved host-to-device.
+    pub h2d_bytes: u64,
+    /// Device-to-host copies (buffer reads).
+    pub d2h_transfers: u64,
+    /// Bytes moved device-to-host.
+    pub d2h_bytes: u64,
+}
+
+impl TrafficSnapshot {
+    /// Difference against an earlier snapshot of the same device.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            h2d_transfers: self.h2d_transfers - earlier.h2d_transfers,
+            h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
+            d2h_transfers: self.d2h_transfers - earlier.d2h_transfers,
+            d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let t = TrafficCounters::default();
+        t.record_launch();
+        t.record_h2d(100);
+        t.record_h2d(50);
+        t.record_d2h(8);
+        let s = t.snapshot();
+        assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.h2d_transfers, 2);
+        assert_eq!(s.h2d_bytes, 150);
+        assert_eq!(s.d2h_transfers, 1);
+        assert_eq!(s.d2h_bytes, 8);
+    }
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let t = TrafficCounters::default();
+        t.record_h2d(10);
+        let a = t.snapshot();
+        t.record_h2d(30);
+        t.record_launch();
+        let d = t.snapshot().since(&a);
+        assert_eq!(d.h2d_transfers, 1);
+        assert_eq!(d.h2d_bytes, 30);
+        assert_eq!(d.kernel_launches, 1);
+    }
+}

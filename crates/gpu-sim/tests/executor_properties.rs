@@ -1,9 +1,11 @@
-//! Property-based tests of the device simulator's executor and memory
-//! model: functional invariants that must hold for arbitrary geometry.
+//! Seeded-random property tests of the device simulator's executor and
+//! memory model: functional invariants that must hold for arbitrary
+//! geometry. Cases are drawn from `genome::rng`, so runs are deterministic
+//! and need no external property-testing crate.
 
+use genome::rng::Xoshiro256;
 use gpu_sim::kernel::{KernelProgram, LocalHandle, LocalLayout, LocalMem};
 use gpu_sim::{Device, DeviceBuffer, DeviceSpec, ExecMode, ItemCtx, NdRange};
-use proptest::prelude::*;
 
 /// Writes each item's global id; the canonical coverage probe.
 struct Iota {
@@ -67,34 +69,36 @@ impl KernelProgram for GroupSum {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn every_item_executes_exactly_once(
-        groups in 1usize..20,
-        local_pow in 0u32..4,
-        threads in 1usize..9,
-    ) {
-        let local = 64usize << local_pow;
+#[test]
+fn every_item_executes_exactly_once() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE0E0);
+    for _ in 0..16 {
+        let groups = rng.gen_range(1, 20);
+        let local = 64usize << rng.gen_below(4);
+        let threads = rng.gen_range(1, 9);
         let n = groups * local;
-        let device = Device::with_mode(
-            DeviceSpec::mi100(),
-            ExecMode::Parallel { threads },
-        );
+        let device = Device::with_mode(DeviceSpec::mi100(), ExecMode::Parallel { threads });
         let out = device.alloc::<u32>(n).unwrap();
         out.fill(u32::MAX);
-        device.launch(&Iota { out: out.clone() }, NdRange::linear(n, local)).unwrap();
+        device
+            .launch(&Iota { out: out.clone() }, NdRange::linear(n, local))
+            .unwrap();
         let v = out.to_vec();
-        prop_assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+        assert!(
+            v.iter().enumerate().all(|(i, &x)| x == i as u32),
+            "groups {groups} local {local} threads {threads}"
+        );
     }
+}
 
-    #[test]
-    fn group_sums_match_a_host_reduction(
-        data in proptest::collection::vec(0u32..1000, 1..700),
-        local_pow in 0u32..3,
-    ) {
-        let local = 32usize << local_pow;
+#[test]
+fn group_sums_match_a_host_reduction() {
+    let mut rng = Xoshiro256::seed_from_u64(0x6500);
+    for _ in 0..16 {
+        let data: Vec<u32> = (0..rng.gen_range(1, 700))
+            .map(|_| rng.gen_below(1000) as u32)
+            .collect();
+        let local = 32usize << rng.gen_below(3);
         let n = data.len().div_ceil(local) * local;
         let groups = n / local;
         let device = Device::new(DeviceSpec::mi60());
@@ -116,64 +120,88 @@ proptest! {
 
         let total_device: u64 = sums.to_vec().iter().sum();
         let total_host: u64 = data.iter().map(|&v| v as u64).sum();
-        prop_assert_eq!(total_device, total_host);
+        assert_eq!(total_device, total_host, "local {local}");
     }
+}
 
-    #[test]
-    fn host_roundtrip_is_lossless(
-        data in proptest::collection::vec(any::<i64>(), 0..300),
-        offset in 0usize..50,
-    ) {
+#[test]
+fn host_roundtrip_is_lossless() {
+    let mut rng = Xoshiro256::seed_from_u64(0x4057);
+    for _ in 0..32 {
+        let data: Vec<i64> = (0..rng.gen_below(300))
+            .map(|_| rng.next_u64() as i64)
+            .collect();
+        let offset = rng.gen_below(50);
         let device = Device::new(DeviceSpec::radeon_vii());
         let buf = device.alloc::<i64>(offset + data.len()).unwrap();
         buf.write_from_host(offset, &data).unwrap();
         let mut back = vec![0i64; data.len()];
         buf.read_to_host(offset, &mut back).unwrap();
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data, "offset {offset}");
     }
+}
 
-    #[test]
-    fn counters_are_deterministic_across_scheduling(
-        groups in 1usize..12,
-        threads in 2usize..8,
-    ) {
+#[test]
+fn counters_are_deterministic_across_scheduling() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE7);
+    for _ in 0..16 {
+        let groups = rng.gen_range(1, 12);
+        let threads = rng.gen_range(2, 8);
         let n = groups * 64;
         let seq = Device::with_mode(DeviceSpec::mi100(), ExecMode::Sequential);
         let par = Device::with_mode(DeviceSpec::mi100(), ExecMode::Parallel { threads });
         let a = seq
-            .launch(&Iota { out: seq.alloc::<u32>(n).unwrap() }, NdRange::linear(n, 64))
+            .launch(
+                &Iota {
+                    out: seq.alloc::<u32>(n).unwrap(),
+                },
+                NdRange::linear(n, 64),
+            )
             .unwrap();
         let b = par
-            .launch(&Iota { out: par.alloc::<u32>(n).unwrap() }, NdRange::linear(n, 64))
+            .launch(
+                &Iota {
+                    out: par.alloc::<u32>(n).unwrap(),
+                },
+                NdRange::linear(n, 64),
+            )
             .unwrap();
-        prop_assert_eq!(a.counters, b.counters);
-        prop_assert!((a.wave_cycles - b.wave_cycles).abs() < 1e-9);
-        prop_assert!((a.sim_time_s - b.sim_time_s).abs() < 1e-15);
+        assert_eq!(a.counters, b.counters);
+        assert!((a.wave_cycles - b.wave_cycles).abs() < 1e-9);
+        assert!((a.sim_time_s - b.sim_time_s).abs() < 1e-15);
     }
+}
 
-    #[test]
-    fn ndrange_validation_agrees_with_arithmetic(
-        global in 1usize..4096,
-        local in 1usize..512,
-    ) {
+#[test]
+fn ndrange_validation_agrees_with_arithmetic() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0D4);
+    for _ in 0..200 {
+        let global = rng.gen_range(1, 4096);
+        let local = rng.gen_range(1, 512);
         let nd = NdRange::linear(global, local);
-        prop_assert_eq!(nd.validate().is_ok(), global % local == 0);
+        assert_eq!(nd.validate().is_ok(), global.is_multiple_of(local));
         let covered = NdRange::linear_cover(global, local);
-        prop_assert!(covered.validate().is_ok());
-        prop_assert!(covered.global(0) >= global);
-        prop_assert!(covered.global(0) - global < local);
+        assert!(covered.validate().is_ok());
+        assert!(covered.global(0) >= global);
+        assert!(covered.global(0) - global < local);
     }
+}
 
-    #[test]
-    fn allocation_accounting_balances(lens in proptest::collection::vec(1usize..4000, 1..20)) {
+#[test]
+fn allocation_accounting_balances() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA110C);
+    for _ in 0..16 {
+        let lens: Vec<usize> = (0..rng.gen_range(1, 20))
+            .map(|_| rng.gen_range(1, 4000))
+            .collect();
         let device = Device::new(DeviceSpec::mi100());
         let bufs: Vec<_> = lens
             .iter()
             .map(|&l| device.alloc::<u32>(l).unwrap())
             .collect();
         let expected: u64 = lens.iter().map(|&l| l as u64 * 4).sum();
-        prop_assert_eq!(device.mem_used(), expected);
+        assert_eq!(device.mem_used(), expected);
         drop(bufs);
-        prop_assert_eq!(device.mem_used(), 0);
+        assert_eq!(device.mem_used(), 0);
     }
 }

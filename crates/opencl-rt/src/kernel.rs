@@ -6,7 +6,7 @@ use std::sync::Arc;
 use gpu_sim::executor::LaunchReport;
 use gpu_sim::{Device, DeviceBuffer, NdRange, SimResult};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::error::{ClError, ClResult};
 use crate::steps::{Step, StepLog};
@@ -214,7 +214,7 @@ pub struct Kernel {
 
 impl fmt::Debug for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let bound = self.args.lock().iter().filter(|a| a.is_some()).count();
+        let bound = self.args.lock().unwrap().iter().filter(|a| a.is_some()).count();
         f.debug_struct("Kernel")
             .field("name", &self.function.name())
             .field("arity", &self.function.arity())
@@ -249,7 +249,7 @@ impl Kernel {
     ///
     /// Returns [`ClError::InvalidArgIndex`] for an out-of-range slot.
     pub fn set_arg(&self, index: usize, arg: KernelArg) -> ClResult<()> {
-        let mut args = self.args.lock();
+        let mut args = self.args.lock().unwrap();
         let arity = args.len();
         let slot = args
             .get_mut(index)
@@ -266,7 +266,7 @@ impl Kernel {
     /// Returns [`ClError::InvalidArgValue`] if any slot is unset or any
     /// argument has the wrong type.
     pub(crate) fn bind(&self) -> ClResult<Box<dyn BoundKernel>> {
-        let args = self.args.lock();
+        let args = self.args.lock().unwrap();
         let mut bound = Vec::with_capacity(args.len());
         for (i, a) in args.iter().enumerate() {
             match a {

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::context::Context;
 use crate::error::{ClError, ClResult};
@@ -70,7 +70,7 @@ impl fmt::Debug for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Program")
             .field("kernels", &self.functions.keys().collect::<Vec<_>>())
-            .field("built", &*self.built.lock())
+            .field("built", &*self.built.lock().unwrap())
             .finish()
     }
 }
@@ -98,15 +98,15 @@ impl Program {
     /// This simulated build cannot fail, but the signature keeps the OpenCL
     /// shape so call sites handle errors the way a real host program must.
     pub fn build(&self, options: &str) -> ClResult<()> {
-        *self.build_options.lock() = options.to_owned();
-        *self.built.lock() = true;
+        *self.build_options.lock().unwrap() = options.to_owned();
+        *self.built.lock().unwrap() = true;
         self.log.record(Step::BuildProgram);
         Ok(())
     }
 
     /// The options the program was built with.
     pub fn build_options(&self) -> String {
-        self.build_options.lock().clone()
+        self.build_options.lock().unwrap().clone()
     }
 
     /// Create a kernel object by name (`clCreateKernel`).
@@ -116,7 +116,7 @@ impl Program {
     /// Returns [`ClError::ProgramNotBuilt`] before [`build`](Self::build),
     /// or [`ClError::InvalidKernelName`] for an unknown kernel.
     pub fn create_kernel(&self, name: &str) -> ClResult<Kernel> {
-        if !*self.built.lock() {
+        if !*self.built.lock().unwrap() {
             return Err(ClError::ProgramNotBuilt);
         }
         let f = self

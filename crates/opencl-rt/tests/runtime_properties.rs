@@ -1,9 +1,11 @@
-//! Property-based tests of the OpenCL-flavoured runtime: transfer
+//! Seeded-random property tests of the OpenCL-flavoured runtime: transfer
 //! round-trips at arbitrary offsets, argument-slot semantics, and the
-//! runtime's work-group-size choice.
+//! runtime's work-group-size choice. Cases are drawn from `genome::rng`,
+//! so runs are deterministic and need no external property-testing crate.
 
 use std::sync::Arc;
 
+use genome::rng::Xoshiro256;
 use gpu_sim::executor::LaunchReport;
 use gpu_sim::kernel::{KernelProgram, LocalMem};
 use gpu_sim::{Device, DeviceBuffer, ItemCtx, NdRange, SimResult};
@@ -11,7 +13,6 @@ use opencl_rt::{
     BoundKernel, ClBuffer, ClKernelFunction, ClResult, CommandQueue, Context, DeviceType,
     KernelArg, KernelSource, MemFlags, Platform, Program,
 };
-use proptest::prelude::*;
 
 /// Adds a scalar to every element.
 struct AddFn;
@@ -65,91 +66,118 @@ fn setup(len: usize) -> (Context, CommandQueue, opencl_rt::Kernel, ClBuffer<u32>
     (ctx, queue, kernel, buf)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn offset_transfers_roundtrip(
-        len in 1usize..500,
-        data in proptest::collection::vec(any::<u32>(), 1..100),
-        offset in 0usize..400,
-    ) {
-        prop_assume!(offset + data.len() <= len);
+#[test]
+fn offset_transfers_roundtrip() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0CF);
+    for _ in 0..32 {
+        let data: Vec<u32> = (0..rng.gen_range(1, 100))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
+        let offset = rng.gen_below(400);
+        let len = offset + data.len() + rng.gen_below(64);
         let (_ctx, queue, _k, buf) = setup(len);
         queue.enqueue_write_buffer(&buf, true, offset, &data).unwrap();
         let mut back = vec![0u32; data.len()];
-        queue.enqueue_read_buffer(&buf, true, offset, &mut back).unwrap();
-        prop_assert_eq!(back, data);
+        queue
+            .enqueue_read_buffer(&buf, true, offset, &mut back)
+            .unwrap();
+        assert_eq!(back, data, "offset {offset} len {len}");
     }
+}
 
-    #[test]
-    fn out_of_bounds_transfers_fail_without_side_effects(
-        len in 1usize..100,
-        extra in 1usize..50,
-    ) {
+#[test]
+fn out_of_bounds_transfers_fail_without_side_effects() {
+    let mut rng = Xoshiro256::seed_from_u64(0x00B);
+    for _ in 0..32 {
+        let len = rng.gen_range(1, 100);
+        let extra = rng.gen_range(1, 50);
         let (_ctx, queue, _k, buf) = setup(len);
         let data = vec![7u32; len + extra];
-        prop_assert!(queue.enqueue_write_buffer(&buf, true, 0, &data).is_err());
+        assert!(queue.enqueue_write_buffer(&buf, true, 0, &data).is_err());
         // The buffer stays zero-initialized.
         let mut all = vec![1u32; len];
         queue.enqueue_read_buffer(&buf, true, 0, &mut all).unwrap();
-        prop_assert!(all.iter().all(|&v| v == 0));
+        assert!(all.iter().all(|&v| v == 0), "len {len} extra {extra}");
     }
+}
 
-    #[test]
-    fn kernel_computes_for_any_geometry(
-        groups in 1usize..16,
-        addend in any::<u32>(),
-    ) {
+#[test]
+fn kernel_computes_for_any_geometry() {
+    let mut rng = Xoshiro256::seed_from_u64(0x6E0);
+    for _ in 0..16 {
+        let groups = rng.gen_range(1, 16);
+        let addend = rng.next_u64() as u32;
         let len = groups * 64;
         let (_ctx, queue, kernel, buf) = setup(len);
         let init: Vec<u32> = (0..len as u32).collect();
         queue.enqueue_write_buffer(&buf, true, 0, &init).unwrap();
-        kernel.set_arg(0, KernelArg::BufU32(buf.device_buffer())).unwrap();
+        kernel
+            .set_arg(0, KernelArg::BufU32(buf.device_buffer()))
+            .unwrap();
         kernel.set_arg(1, KernelArg::U32(addend)).unwrap();
         let ev = queue.enqueue_nd_range_kernel(&kernel, len, None).unwrap();
         // Runtime-chosen local size divides the global size.
         let local = ev.launch_report().unwrap().nd.local(0);
-        prop_assert_eq!(len % local, 0);
-        prop_assert!(local <= 256);
+        assert_eq!(len % local, 0);
+        assert!(local <= 256);
 
         let mut out = vec![0u32; len];
         queue.enqueue_read_buffer(&buf, true, 0, &mut out).unwrap();
         for (i, v) in out.iter().enumerate() {
-            prop_assert_eq!(*v, (i as u32).wrapping_add(addend));
+            assert_eq!(*v, (i as u32).wrapping_add(addend));
         }
     }
+}
 
-    #[test]
-    fn rebinding_args_overwrites_previous_values(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn rebinding_args_overwrites_previous_values() {
+    let mut rng = Xoshiro256::seed_from_u64(0x4EB);
+    for _ in 0..16 {
+        let a = rng.next_u64() as u32;
+        let b = rng.next_u64() as u32;
         let (_ctx, queue, kernel, buf) = setup(64);
-        kernel.set_arg(0, KernelArg::BufU32(buf.device_buffer())).unwrap();
+        kernel
+            .set_arg(0, KernelArg::BufU32(buf.device_buffer()))
+            .unwrap();
         kernel.set_arg(1, KernelArg::U32(a)).unwrap();
         kernel.set_arg(1, KernelArg::U32(b)).unwrap();
         queue.enqueue_nd_range_kernel(&kernel, 64, Some(64)).unwrap();
         let mut out = vec![0u32; 64];
         queue.enqueue_read_buffer(&buf, true, 0, &mut out).unwrap();
-        prop_assert!(out.iter().all(|&v| v == b), "last set_arg wins");
+        assert!(out.iter().all(|&v| v == b), "last set_arg wins");
     }
+}
 
-    #[test]
-    fn simulated_clock_is_monotone_over_command_sequences(
-        commands in proptest::collection::vec(0usize..3, 1..20),
-    ) {
+#[test]
+fn simulated_clock_is_monotone_over_command_sequences() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC10C);
+    for _ in 0..16 {
+        let commands: Vec<usize> = (0..rng.gen_range(1, 20)).map(|_| rng.gen_below(3)).collect();
         let (_ctx, queue, kernel, buf) = setup(128);
-        kernel.set_arg(0, KernelArg::BufU32(buf.device_buffer())).unwrap();
+        kernel
+            .set_arg(0, KernelArg::BufU32(buf.device_buffer()))
+            .unwrap();
         kernel.set_arg(1, KernelArg::U32(1)).unwrap();
         let mut last = 0.0f64;
         let mut scratch = vec![0u32; 128];
         for c in commands {
             let end = match c {
-                0 => queue.enqueue_write_buffer(&buf, true, 0, &scratch).unwrap().end_s(),
-                1 => queue.enqueue_read_buffer(&buf, true, 0, &mut scratch).unwrap().end_s(),
-                _ => queue.enqueue_nd_range_kernel(&kernel, 128, Some(64)).unwrap().end_s(),
+                0 => queue
+                    .enqueue_write_buffer(&buf, true, 0, &scratch)
+                    .unwrap()
+                    .end_s(),
+                1 => queue
+                    .enqueue_read_buffer(&buf, true, 0, &mut scratch)
+                    .unwrap()
+                    .end_s(),
+                _ => queue
+                    .enqueue_nd_range_kernel(&kernel, 128, Some(64))
+                    .unwrap()
+                    .end_s(),
             };
-            prop_assert!(end > last);
+            assert!(end > last);
             last = end;
         }
-        prop_assert!((queue.elapsed_s() - last).abs() < 1e-15);
+        assert!((queue.elapsed_s() - last).abs() < 1e-15);
     }
 }

@@ -1,0 +1,122 @@
+//! Request coalescing: group admitted jobs that scan the same genome with
+//! the same PAM pattern, so each genome chunk is uploaded once and the
+//! finder runs once per *batch* instead of once per *job*.
+//!
+//! The unit of device work downstream is a [`ChunkBatch`]: one cached
+//! chunk plus the queries of every job in the group. A batch of `k` jobs
+//! costs one chunk upload, one finder launch and `k` comparer launches —
+//! the serial pipelines would pay `k` of each.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cas_offinder::Query;
+
+use crate::cache::EncodedChunk;
+use crate::job::{Job, JobId};
+
+/// What makes jobs coalescible: same assembly, same PAM pattern (the
+/// finder's output depends on both, the comparer adds the per-job query).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Registered assembly name.
+    pub assembly: String,
+    /// PAM pattern shared by every job in the batch.
+    pub pattern: Vec<u8>,
+}
+
+/// One job's membership in a batch.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The owning job.
+    pub id: JobId,
+    /// The job's guide + threshold as a pipeline query.
+    pub query: Query,
+}
+
+/// One unit of device work: a chunk and the coalesced queries to run on it.
+pub struct ChunkBatch {
+    /// The coalescing key the batch was formed under.
+    pub key: BatchKey,
+    /// Chunk ordinal within the assembly.
+    pub chunk_index: usize,
+    /// The cached chunk bytes.
+    pub chunk: Arc<EncodedChunk>,
+    /// Jobs coalesced onto this chunk, in admission order.
+    pub jobs: Vec<BatchJob>,
+}
+
+/// Partition `jobs` into coalescible groups of at most `max_batch`
+/// members, preserving admission order within each group.
+pub(crate) fn group_jobs(jobs: Vec<Job>, max_batch: usize) -> Vec<(BatchKey, Vec<Job>)> {
+    assert!(max_batch > 0, "max_batch must be positive");
+    let mut order: Vec<BatchKey> = Vec::new();
+    let mut by_key: HashMap<BatchKey, Vec<Vec<Job>>> = HashMap::new();
+    for job in jobs {
+        let key = BatchKey {
+            assembly: job.spec.assembly.clone(),
+            pattern: job.spec.pattern.clone(),
+        };
+        let groups = by_key.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            Vec::new()
+        });
+        match groups.last_mut() {
+            Some(last) if last.len() < max_batch => last.push(job),
+            _ => groups.push(vec![job]),
+        }
+    }
+    order
+        .into_iter()
+        .flat_map(|key| {
+            let groups = by_key.remove(&key).unwrap_or_default();
+            groups.into_iter().map(move |g| (key.clone(), g))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn job(id: u64, assembly: &str, pattern: &[u8]) -> Job {
+        Job {
+            id,
+            spec: JobSpec::new(assembly, pattern.to_vec(), vec![b'A'; pattern.len()], 2),
+        }
+    }
+
+    #[test]
+    fn groups_split_by_assembly_and_pattern() {
+        let groups = group_jobs(
+            vec![
+                job(0, "a", b"NGG"),
+                job(1, "b", b"NGG"),
+                job(2, "a", b"NGG"),
+                job(3, "a", b"NAG"),
+            ],
+            8,
+        );
+        assert_eq!(groups.len(), 3);
+        let ids: Vec<Vec<u64>> = groups
+            .iter()
+            .map(|(_, g)| g.iter().map(|j| j.id).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn groups_respect_the_size_ceiling() {
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, "a", b"NGG")).collect();
+        let groups = group_jobs(jobs, 4);
+        let sizes: Vec<usize> = groups.iter().map(|(_, g)| g.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        // Admission order survives the split.
+        let flat: Vec<u64> = groups
+            .iter()
+            .flat_map(|(_, g)| g.iter().map(|j| j.id))
+            .collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+}

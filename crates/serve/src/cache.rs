@@ -1,0 +1,219 @@
+//! A capacity-bounded LRU cache of encoded genome chunks.
+//!
+//! Uploading a chunk to a device is cheap in the simulator but slicing and
+//! owning the chunk bytes on the host is the work the service repeats for
+//! every batch that targets the same genome region. The cache keeps the
+//! hot working set resident: a batch that lands on a chunk another batch
+//! just used pays a map lookup instead of a copy of up to `chunk_size`
+//! bases.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One genome chunk in host memory, ready for upload: `scan_len` owned
+/// scan positions plus the trailing overlap context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedChunk {
+    /// Index of the source chromosome within the assembly.
+    pub chrom_index: usize,
+    /// Name of the source chromosome.
+    pub chrom: String,
+    /// Offset of the chunk's first base within the chromosome.
+    pub start: usize,
+    /// Number of scan positions owned by this chunk.
+    pub scan_len: usize,
+    /// The chunk's bases.
+    pub seq: Vec<u8>,
+}
+
+/// Cache key: which chunk of which assembly, under which overlap.
+///
+/// The overlap (= pattern length) is part of the key because chunks sliced
+/// for different pattern lengths carry different amounts of trailing
+/// context.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChunkKey {
+    /// Registered assembly name.
+    pub assembly: String,
+    /// Pattern length the chunk was sliced for.
+    pub plen: usize,
+    /// Chunk ordinal within the assembly's chunk sequence.
+    pub index: usize,
+}
+
+struct Entry {
+    chunk: Arc<EncodedChunk>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<ChunkKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time cache accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to encode the chunk.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Chunks currently resident.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe LRU over [`EncodedChunk`]s, bounded by chunk count.
+pub struct GenomeCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl GenomeCache {
+    /// An empty cache holding at most `capacity` chunks.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        GenomeCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Fetch the chunk for `key`, encoding it with `encode` on a miss.
+    /// Either way the entry becomes the most recently used; on insertion
+    /// past capacity the least recently used entry is evicted.
+    pub fn get_or_insert_with(
+        &self,
+        key: &ChunkKey,
+        encode: impl FnOnce() -> EncodedChunk,
+    ) -> Arc<EncodedChunk> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(key) {
+            entry.last_used = tick;
+            let chunk = Arc::clone(&entry.chunk);
+            inner.hits += 1;
+            return chunk;
+        }
+        inner.misses += 1;
+        let chunk = Arc::new(encode());
+        if inner.map.len() >= self.capacity {
+            // O(len) scan; the capacity is small by construction.
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key.clone(),
+            Entry {
+                chunk: Arc::clone(&chunk),
+                last_used: tick,
+            },
+        );
+        chunk
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(index: usize) -> ChunkKey {
+        ChunkKey {
+            assembly: "a".into(),
+            plen: 3,
+            index,
+        }
+    }
+
+    fn chunk(index: usize) -> EncodedChunk {
+        EncodedChunk {
+            chrom_index: 0,
+            chrom: "chr1".into(),
+            start: index * 10,
+            scan_len: 10,
+            seq: vec![b'A'; 13],
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_accounted() {
+        let cache = GenomeCache::new(4);
+        let a = cache.get_or_insert_with(&key(0), || chunk(0));
+        let b = cache.get_or_insert_with(&key(0), || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let cache = GenomeCache::new(2);
+        cache.get_or_insert_with(&key(0), || chunk(0));
+        cache.get_or_insert_with(&key(1), || chunk(1));
+        // Touch 0 so 1 becomes the LRU entry.
+        cache.get_or_insert_with(&key(0), || unreachable!());
+        cache.get_or_insert_with(&key(2), || chunk(2)); // evicts 1
+        cache.get_or_insert_with(&key(0), || unreachable!("0 must survive"));
+        cache.get_or_insert_with(&key(1), || chunk(1)); // 1 is gone: miss
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2, "inserting 2 evicted 1; reinserting 1 evicted the then-LRU");
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn keys_separate_assemblies_and_overlaps() {
+        let cache = GenomeCache::new(8);
+        cache.get_or_insert_with(&key(0), || chunk(0));
+        let other = ChunkKey {
+            assembly: "a".into(),
+            plen: 5,
+            index: 0,
+        };
+        cache.get_or_insert_with(&other, || chunk(0));
+        assert_eq!(cache.stats().misses, 2, "same index, different overlap");
+    }
+}

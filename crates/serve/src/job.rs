@@ -1,0 +1,79 @@
+//! Query jobs: what a tenant submits to the service.
+
+/// Opaque job identifier, unique within one [`crate::Service`] instance.
+pub type JobId = u64;
+
+/// Admission-queue priority class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Default class: FIFO behind every queued high-priority job.
+    Normal,
+    /// Served before all normal-priority jobs, FIFO among themselves.
+    High,
+}
+
+/// One off-target search request: a guide sequence plus PAM pattern,
+/// a mismatch threshold, and the registered assembly to scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Name of a registered assembly.
+    pub assembly: String,
+    /// PAM pattern (e.g. `NNNNNNNNNNNNNNNNNNNNNRG`), uppercase IUPAC.
+    pub pattern: Vec<u8>,
+    /// Guide query, same length as the pattern.
+    pub guide: Vec<u8>,
+    /// Maximum number of mismatched bases to report.
+    pub max_mismatches: u16,
+    /// Admission-queue priority class.
+    pub priority: Priority,
+}
+
+impl JobSpec {
+    /// A normal-priority job; sequences are uppercased.
+    pub fn new(
+        assembly: impl Into<String>,
+        pattern: impl Into<Vec<u8>>,
+        guide: impl Into<Vec<u8>>,
+        max_mismatches: u16,
+    ) -> Self {
+        let mut pattern = pattern.into();
+        let mut guide = guide.into();
+        pattern.make_ascii_uppercase();
+        guide.make_ascii_uppercase();
+        JobSpec {
+            assembly: assembly.into(),
+            pattern,
+            guide,
+            max_mismatches,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Mark the job high-priority.
+    #[must_use]
+    pub fn high_priority(mut self) -> Self {
+        self.priority = Priority::High;
+        self
+    }
+}
+
+/// An admitted job: a spec with its assigned id.
+#[derive(Debug, Clone)]
+pub(crate) struct Job {
+    pub id: JobId,
+    pub spec: JobSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_normalize_case_and_default_to_normal_priority() {
+        let spec = JobSpec::new("hg38", b"nnnrg".to_vec(), b"acgtg".to_vec(), 3);
+        assert_eq!(spec.pattern, b"NNNRG");
+        assert_eq!(spec.guide, b"ACGTG");
+        assert_eq!(spec.priority, Priority::Normal);
+        assert_eq!(spec.high_priority().priority, Priority::High);
+    }
+}

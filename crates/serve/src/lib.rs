@@ -1,0 +1,51 @@
+//! # casoff-serve — batch serving for off-target search
+//!
+//! A multi-tenant serving layer over the `cas-offinder` pipelines: many
+//! concurrent query jobs (guide + PAM + mismatch threshold + assembly) are
+//! admitted through a bounded priority queue, **coalesced** by the
+//! [batcher] so jobs scanning the same genome chunk share one chunk upload
+//! and one finder launch, scheduled across a pool of simulated devices
+//! (mixing OpenCL and SYCL pipelines on Radeon VII / MI60 / MI100 specs)
+//! with work stealing and per-device in-flight limits, and fed from a
+//! capacity-bounded LRU [cache] of encoded genome chunks.
+//!
+//! Results are byte-identical to the serial pipelines regardless of
+//! arrival order or scheduling (see [`service`] for the argument), and the
+//! service exposes [metrics] for admission, coalescing, cache
+//! effectiveness and per-device utilization.
+//!
+//! ```
+//! use casoff_serve::{JobSpec, Service, ServiceConfig};
+//!
+//! let assembly = genome::synth::hg38_mini(0.002);
+//! let mut config = ServiceConfig::paper_pool();
+//! config.chunk_size = 1 << 10;
+//! let service = Service::start(config, vec![assembly]);
+//! let id = service
+//!     .submit(JobSpec::new(
+//!         "hg38-mini",
+//!         b"NNNNNNNNNRG".to_vec(),
+//!         b"ACGTACGTNNN".to_vec(),
+//!         3,
+//!     ))
+//!     .unwrap();
+//! let sites = service.wait(id).unwrap();
+//! println!("{} sites; {}", sites.len(), service.metrics());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod job;
+pub mod metrics;
+mod queue;
+mod scheduler;
+pub mod service;
+
+pub use cache::{CacheStats, GenomeCache};
+pub use job::{JobId, JobSpec, Priority};
+pub use metrics::{DeviceReport, MetricsReport};
+pub use queue::QueueError;
+pub use service::{DeviceSlot, Service, ServiceConfig, SubmitError};

@@ -1,0 +1,218 @@
+//! Service counters: admission, coalescing, scheduling and per-device
+//! utilization, all lock-free so the hot paths never serialize on a
+//! metrics mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::CacheStats;
+
+/// Counters for one simulated device in the pool.
+#[derive(Default)]
+pub struct DeviceMetrics {
+    /// Simulated busy time, nanoseconds.
+    pub busy_ns: AtomicU64,
+    /// Chunk batches executed on this device.
+    pub batches: AtomicU64,
+    /// Batches this device stole from a sibling's queue.
+    pub steals: AtomicU64,
+    /// Kernel launches on the device (gauge from the simulator).
+    pub kernel_launches: AtomicU64,
+    /// Host-to-device bytes moved (gauge from the simulator).
+    pub h2d_bytes: AtomicU64,
+    /// Device-to-host bytes moved (gauge from the simulator).
+    pub d2h_bytes: AtomicU64,
+}
+
+/// Shared, lock-free service counters.
+pub struct ServeMetrics {
+    /// Jobs accepted into the admission queue.
+    pub jobs_admitted: AtomicU64,
+    /// Jobs rejected because the queue was at capacity.
+    pub jobs_rejected_full: AtomicU64,
+    /// Jobs rejected for malformed specs (unknown assembly, bad lengths).
+    pub jobs_rejected_invalid: AtomicU64,
+    /// Jobs fully completed.
+    pub jobs_completed: AtomicU64,
+    /// Chunk batches formed by the coalescer.
+    pub batches_formed: AtomicU64,
+    /// Total job memberships across formed batches (for the coalescing
+    /// ratio: memberships ÷ batches = average jobs per chunk launch).
+    pub coalesced_jobs: AtomicU64,
+    /// Per-device counters, index-aligned with the pool.
+    pub devices: Vec<DeviceMetrics>,
+}
+
+impl ServeMetrics {
+    /// Zeroed counters for a pool of `devices` devices.
+    pub fn new(devices: usize) -> Self {
+        ServeMetrics {
+            jobs_admitted: AtomicU64::new(0),
+            jobs_rejected_full: AtomicU64::new(0),
+            jobs_rejected_invalid: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            batches_formed: AtomicU64::new(0),
+            coalesced_jobs: AtomicU64::new(0),
+            devices: (0..devices).map(|_| DeviceMetrics::default()).collect(),
+        }
+    }
+}
+
+/// Per-device slice of a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Device name (e.g. `MI100`).
+    pub name: String,
+    /// Pipeline flavour the device runs (`OpenCL` or `SYCL`).
+    pub api: String,
+    /// Simulated busy time, seconds.
+    pub busy_s: f64,
+    /// Chunk batches executed.
+    pub batches: u64,
+    /// Batches stolen from siblings.
+    pub steals: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+    /// Host-to-device bytes.
+    pub h2d_bytes: u64,
+    /// Device-to-host bytes.
+    pub d2h_bytes: u64,
+}
+
+/// A complete point-in-time snapshot of the service's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Jobs accepted into the admission queue.
+    pub jobs_admitted: u64,
+    /// Jobs rejected at admission (queue full).
+    pub jobs_rejected_full: u64,
+    /// Jobs rejected at admission (malformed spec).
+    pub jobs_rejected_invalid: u64,
+    /// Jobs fully completed.
+    pub jobs_completed: u64,
+    /// Chunk batches formed by the coalescer.
+    pub batches_formed: u64,
+    /// Total job memberships across batches.
+    pub coalesced_jobs: u64,
+    /// Deepest the admission queue has been.
+    pub queue_depth_high_water: usize,
+    /// Genome-chunk cache accounting.
+    pub cache: CacheStats,
+    /// Per-device utilization.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl MetricsReport {
+    /// Average jobs per chunk launch: >1 means the coalescer saved finder
+    /// launches and chunk uploads versus running each job alone.
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.batches_formed == 0 {
+            1.0
+        } else {
+            self.coalesced_jobs as f64 / self.batches_formed as f64
+        }
+    }
+
+    /// Fraction of chunk lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} admitted, {} completed, {} rejected (full), {} rejected (invalid)",
+            self.jobs_admitted,
+            self.jobs_completed,
+            self.jobs_rejected_full,
+            self.jobs_rejected_invalid
+        )?;
+        writeln!(
+            f,
+            "coalescing: {} batches, {} job-chunk units, ratio {:.2}x",
+            self.batches_formed,
+            self.coalesced_jobs,
+            self.coalescing_ratio()
+        )?;
+        writeln!(
+            f,
+            "cache: {:.1}% hit rate ({} hits / {} misses, {} evictions, {} resident)",
+            100.0 * self.cache_hit_rate(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.len
+        )?;
+        writeln!(f, "queue depth high-water: {}", self.queue_depth_high_water)?;
+        for d in &self.devices {
+            writeln!(
+                f,
+                "device {:>10} [{:>6}]: {:>8.3}s busy, {:>5} batches ({} stolen), \
+                 {} launches, {} B up, {} B down",
+                d.name, d.api, d.busy_s, d.batches, d.steals, d.kernel_launches, d.h2d_bytes, d.d2h_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn busy_ns_from_s(seconds: f64) -> u64 {
+    (seconds * 1e9).round() as u64
+}
+
+pub(crate) fn load_report(
+    metrics: &ServeMetrics,
+    names: &[(String, String)],
+    queue_high_water: usize,
+    cache: CacheStats,
+) -> MetricsReport {
+    MetricsReport {
+        jobs_admitted: metrics.jobs_admitted.load(Ordering::Relaxed),
+        jobs_rejected_full: metrics.jobs_rejected_full.load(Ordering::Relaxed),
+        jobs_rejected_invalid: metrics.jobs_rejected_invalid.load(Ordering::Relaxed),
+        jobs_completed: metrics.jobs_completed.load(Ordering::Relaxed),
+        batches_formed: metrics.batches_formed.load(Ordering::Relaxed),
+        coalesced_jobs: metrics.coalesced_jobs.load(Ordering::Relaxed),
+        queue_depth_high_water: queue_high_water,
+        cache,
+        devices: metrics
+            .devices
+            .iter()
+            .zip(names)
+            .map(|(d, (name, api))| DeviceReport {
+                name: name.clone(),
+                api: api.clone(),
+                busy_s: d.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
+                batches: d.batches.load(Ordering::Relaxed),
+                steals: d.steals.load(Ordering::Relaxed),
+                kernel_launches: d.kernel_launches.load(Ordering::Relaxed),
+                h2d_bytes: d.h2d_bytes.load(Ordering::Relaxed),
+                d2h_bytes: d.d2h_bytes.load(Ordering::Relaxed),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_ratio_is_jobs_per_batch() {
+        let m = ServeMetrics::new(1);
+        m.batches_formed.store(4, Ordering::Relaxed);
+        m.coalesced_jobs.store(10, Ordering::Relaxed);
+        let report = load_report(
+            &m,
+            &[("MI100".into(), "OpenCL".into())],
+            7,
+            CacheStats::default(),
+        );
+        assert!((report.coalescing_ratio() - 2.5).abs() < 1e-12);
+        assert_eq!(report.queue_depth_high_water, 7);
+        let text = report.to_string();
+        assert!(text.contains("ratio 2.50x"), "{text}");
+        assert!(text.contains("MI100"), "{text}");
+    }
+}

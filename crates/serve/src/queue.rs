@@ -1,0 +1,177 @@
+//! The bounded admission queue: two FIFO lanes (high/normal priority)
+//! behind one capacity limit, with rejection — not blocking — when full.
+//!
+//! Admission control happens here: a tenant that submits faster than the
+//! device pool drains sees `QueueFull` and must back off, so one tenant
+//! cannot grow the service's memory without bound.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::job::{Job, Priority};
+
+/// Why a submission was not enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The queue is at capacity; retry after backing off.
+    Full,
+    /// The service is shutting down; no further jobs are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Full => write!(f, "admission queue is full"),
+            QueueError::Closed => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+#[derive(Default)]
+struct Lanes {
+    high: VecDeque<Job>,
+    normal: VecDeque<Job>,
+    depth_high_water: usize,
+    closed: bool,
+}
+
+impl Lanes {
+    fn depth(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+}
+
+/// A capacity-bounded, two-lane FIFO job queue.
+pub(crate) struct BoundedJobQueue {
+    capacity: usize,
+    lanes: Mutex<Lanes>,
+    available: Condvar,
+}
+
+impl BoundedJobQueue {
+    /// An empty queue admitting at most `capacity` queued jobs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedJobQueue {
+            capacity,
+            lanes: Mutex::new(Lanes::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `job`, rejecting instead of blocking when at capacity.
+    pub fn try_submit(&self, job: Job) -> Result<(), QueueError> {
+        let mut lanes = self.lanes.lock().unwrap();
+        if lanes.closed {
+            return Err(QueueError::Closed);
+        }
+        if lanes.depth() >= self.capacity {
+            return Err(QueueError::Full);
+        }
+        match job.spec.priority {
+            Priority::High => lanes.high.push_back(job),
+            Priority::Normal => lanes.normal.push_back(job),
+        }
+        let depth = lanes.depth();
+        lanes.depth_high_water = lanes.depth_high_water.max(depth);
+        drop(lanes);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next job (high lane first), blocking while the queue is
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<Job> {
+        let mut lanes = self.lanes.lock().unwrap();
+        loop {
+            if let Some(job) = lanes.high.pop_front().or_else(|| lanes.normal.pop_front()) {
+                return Some(job);
+            }
+            if lanes.closed {
+                return None;
+            }
+            lanes = self.available.wait(lanes).unwrap();
+        }
+    }
+
+    /// Dequeue without blocking; `None` when currently empty.
+    pub fn try_pop(&self) -> Option<Job> {
+        let mut lanes = self.lanes.lock().unwrap();
+        lanes.high.pop_front().or_else(|| lanes.normal.pop_front())
+    }
+
+    /// Stop admissions and wake blocked consumers; queued jobs still drain.
+    pub fn close(&self) {
+        self.lanes.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn depth_high_water(&self) -> usize {
+        self.lanes.lock().unwrap().depth_high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn job(id: u64, priority: Priority) -> Job {
+        let mut spec = JobSpec::new("a", b"NGG".to_vec(), b"ANN".to_vec(), 1);
+        spec.priority = priority;
+        Job { id, spec }
+    }
+
+    #[test]
+    fn admission_rejects_past_capacity() {
+        let q = BoundedJobQueue::new(2);
+        q.try_submit(job(0, Priority::Normal)).unwrap();
+        q.try_submit(job(1, Priority::Normal)).unwrap();
+        assert_eq!(
+            q.try_submit(job(2, Priority::Normal)),
+            Err(QueueError::Full)
+        );
+        // Draining one slot re-opens admission.
+        assert_eq!(q.pop().unwrap().id, 0);
+        q.try_submit(job(2, Priority::Normal)).unwrap();
+        assert_eq!(q.depth_high_water(), 2);
+    }
+
+    #[test]
+    fn high_priority_jumps_the_normal_lane() {
+        let q = BoundedJobQueue::new(8);
+        q.try_submit(job(0, Priority::Normal)).unwrap();
+        q.try_submit(job(1, Priority::High)).unwrap();
+        q.try_submit(job(2, Priority::Normal)).unwrap();
+        q.try_submit(job(3, Priority::High)).unwrap();
+        let order: Vec<u64> = (0..4).map(|_| q.pop().unwrap().id).collect();
+        assert_eq!(order, [1, 3, 0, 2], "high lane FIFO, then normal FIFO");
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_old() {
+        let q = BoundedJobQueue::new(4);
+        q.try_submit(job(0, Priority::Normal)).unwrap();
+        q.close();
+        assert_eq!(
+            q.try_submit(job(1, Priority::Normal)),
+            Err(QueueError::Closed)
+        );
+        assert_eq!(q.pop().unwrap().id, 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_a_producer_arrives() {
+        let q = std::sync::Arc::new(BoundedJobQueue::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop().map(|j| j.id));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_submit(job(7, Priority::Normal)).unwrap();
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,198 @@
+//! The device pool: per-device batch queues with bounded in-flight depth,
+//! shortest-queue placement, and work stealing.
+//!
+//! Placement and stealing are deliberately simple — the properties that
+//! matter to the service are (a) a device never idles while a sibling has
+//! a backlog, and (b) no device queue grows past its in-flight limit, so
+//! dispatch pressure propagates back to the admission queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::batcher::ChunkBatch;
+
+struct PoolInner {
+    queues: Vec<VecDeque<ChunkBatch>>,
+    closed: bool,
+}
+
+/// A pool of `n` device work queues shared by one dispatcher and `n`
+/// workers.
+pub(crate) struct DevicePool {
+    in_flight_limit: usize,
+    inner: Mutex<PoolInner>,
+    /// Signalled when work arrives or the pool closes (workers wait).
+    work: Condvar,
+    /// Signalled when a queue drains below the limit (dispatcher waits).
+    space: Condvar,
+}
+
+/// What a worker receives from [`DevicePool::next`].
+pub(crate) struct Assignment {
+    pub batch: ChunkBatch,
+    /// True when the batch came from a sibling's queue.
+    pub stolen: bool,
+}
+
+impl DevicePool {
+    pub fn new(devices: usize, in_flight_limit: usize) -> Self {
+        assert!(devices > 0, "the pool needs at least one device");
+        assert!(in_flight_limit > 0, "in-flight limit must be positive");
+        DevicePool {
+            in_flight_limit,
+            inner: Mutex::new(PoolInner {
+                queues: (0..devices).map(|_| VecDeque::new()).collect(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Place `batch` on the shortest device queue, blocking while every
+    /// queue is at the in-flight limit.
+    pub fn dispatch(&self, batch: ChunkBatch) {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            let (device, depth) = inner
+                .queues
+                .iter()
+                .enumerate()
+                .map(|(i, q)| (i, q.len()))
+                .min_by_key(|&(_, len)| len)
+                .expect("pool has devices");
+            if depth < self.in_flight_limit {
+                inner.queues[device].push_back(batch);
+                drop(inner);
+                self.work.notify_all();
+                return;
+            }
+            inner = self.space.wait(inner).unwrap();
+        }
+    }
+
+    /// Fetch the next batch for `worker`: its own queue first, then the
+    /// deepest sibling queue (stealing from the back). Blocks while the
+    /// pool is empty; returns `None` once closed *and* drained.
+    pub fn next(&self, worker: usize) -> Option<Assignment> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(batch) = inner.queues[worker].pop_front() {
+                drop(inner);
+                self.space.notify_all();
+                return Some(Assignment {
+                    batch,
+                    stolen: false,
+                });
+            }
+            let victim = inner
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|&(i, q)| i != worker && !q.is_empty())
+                .max_by_key(|&(_, q)| q.len())
+                .map(|(i, _)| i);
+            if let Some(v) = victim {
+                let batch = inner.queues[v].pop_back().expect("victim is non-empty");
+                drop(inner);
+                self.space.notify_all();
+                return Some(Assignment {
+                    batch,
+                    stolen: true,
+                });
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.work.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the pool: queued batches still drain, then workers see `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchKey;
+    use crate::cache::EncodedChunk;
+    use std::sync::Arc;
+
+    fn batch(index: usize) -> ChunkBatch {
+        ChunkBatch {
+            key: BatchKey {
+                assembly: "a".into(),
+                pattern: b"NGG".to_vec(),
+            },
+            chunk_index: index,
+            chunk: Arc::new(EncodedChunk {
+                chrom_index: 0,
+                chrom: "chr1".into(),
+                start: 0,
+                scan_len: 4,
+                seq: vec![b'A'; 7],
+            }),
+            jobs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dispatch_fills_the_shortest_queue_and_workers_drain_their_own() {
+        let pool = DevicePool::new(2, 4);
+        for i in 0..4 {
+            pool.dispatch(batch(i));
+        }
+        // Round-robin placement by shortest-queue: 0,1,0,1.
+        let a = pool.next(0).unwrap();
+        assert!(!a.stolen);
+        assert_eq!(a.batch.chunk_index, 0);
+        let b = pool.next(1).unwrap();
+        assert!(!b.stolen);
+        assert_eq!(b.batch.chunk_index, 1);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_the_deepest_sibling() {
+        let pool = DevicePool::new(3, 8);
+        for i in 0..4 {
+            pool.dispatch(batch(i)); // shortest-queue: 0,1,2,0
+        }
+        // Worker 2 drains its own then steals from worker 0 (depth 2).
+        assert!(!pool.next(2).unwrap().stolen);
+        let stolen = pool.next(2).unwrap();
+        assert!(stolen.stolen);
+        assert_eq!(stolen.batch.chunk_index, 3, "steals from the back");
+    }
+
+    #[test]
+    fn dispatch_blocks_at_the_in_flight_limit_until_a_worker_drains() {
+        let pool = Arc::new(DevicePool::new(1, 2));
+        pool.dispatch(batch(0));
+        pool.dispatch(batch(1));
+        let p2 = Arc::clone(&pool);
+        let t = std::thread::spawn(move || {
+            p2.dispatch(batch(2)); // must block until next() frees a slot
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!t.is_finished(), "dispatch must be blocked at the limit");
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 0);
+        t.join().unwrap();
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 1);
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 2);
+    }
+
+    #[test]
+    fn close_drains_then_terminates() {
+        let pool = DevicePool::new(2, 4);
+        pool.dispatch(batch(0));
+        pool.close();
+        assert!(pool.next(0).is_some());
+        assert!(pool.next(0).is_none());
+        assert!(pool.next(1).is_none());
+    }
+}

@@ -1,0 +1,658 @@
+//! The service itself: admission, the coalescing batcher thread, the
+//! device-pool worker threads, and job completion tracking.
+//!
+//! # Determinism
+//!
+//! Workers run chunk batches in whatever order scheduling and stealing
+//! produce, but every device executes with [`ExecMode::Sequential`], so the
+//! entries each `(chunk, query)` pair yields are a pure function of the
+//! inputs. Each scan position is owned by exactly one chunk, so a job's
+//! records have unique `(chromosome, position, strand)` keys and the final
+//! [`sort_canonical`] is a total normalizer: results are byte-identical to
+//! the serial pipelines no matter how batches interleave.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use cas_offinder::pipeline::chunk::{OclChunkRunner, SyclChunkRunner};
+use cas_offinder::pipeline::{entries_to_offtargets, PipelineConfig};
+use cas_offinder::{sort_canonical, Api, OffTarget, OptLevel, Query, TimingBreakdown};
+use genome::{Assembly, Chunker};
+use gpu_sim::{DeviceSpec, ExecMode};
+
+use crate::batcher::{group_jobs, BatchJob, ChunkBatch};
+use crate::cache::{ChunkKey, EncodedChunk, GenomeCache};
+use crate::job::{Job, JobId, JobSpec};
+use crate::metrics::{busy_ns_from_s, load_report, MetricsReport, ServeMetrics};
+use crate::queue::{BoundedJobQueue, QueueError};
+use crate::scheduler::DevicePool;
+
+/// One simulated device in the pool: a hardware spec plus the pipeline
+/// flavour (OpenCL or SYCL) that drives it.
+#[derive(Debug, Clone)]
+pub struct DeviceSlot {
+    /// Simulated hardware spec.
+    pub spec: DeviceSpec,
+    /// Which host pipeline runs on the device.
+    pub api: Api,
+}
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The device pool, one worker thread per slot.
+    pub devices: Vec<DeviceSlot>,
+    /// Owned scan positions per genome chunk.
+    pub chunk_size: usize,
+    /// Admission-queue capacity (jobs); pushes past it are rejected.
+    pub queue_capacity: usize,
+    /// Maximum jobs coalesced into one chunk batch.
+    pub max_batch: usize,
+    /// Maximum batches queued per device before dispatch blocks.
+    pub in_flight_limit: usize,
+    /// Genome-chunk cache capacity, in chunks.
+    pub cache_chunks: usize,
+    /// Comparer optimization stage.
+    pub opt: OptLevel,
+}
+
+impl ServiceConfig {
+    /// The paper's heterogeneous pool: Radeon VII and MI60 under OpenCL,
+    /// MI60 and MI100 under SYCL — four devices mixing both pipelines.
+    pub fn paper_pool() -> Self {
+        ServiceConfig {
+            devices: vec![
+                DeviceSlot {
+                    spec: DeviceSpec::radeon_vii(),
+                    api: Api::OpenCl,
+                },
+                DeviceSlot {
+                    spec: DeviceSpec::mi60(),
+                    api: Api::OpenCl,
+                },
+                DeviceSlot {
+                    spec: DeviceSpec::mi60(),
+                    api: Api::Sycl,
+                },
+                DeviceSlot {
+                    spec: DeviceSpec::mi100(),
+                    api: Api::Sycl,
+                },
+            ],
+            chunk_size: 1 << 13,
+            queue_capacity: 256,
+            max_batch: 8,
+            in_flight_limit: 4,
+            cache_chunks: 64,
+            opt: OptLevel::Base,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity; back off and retry.
+    QueueFull,
+    /// The spec names an assembly the service does not serve.
+    UnknownAssembly(String),
+    /// The spec is malformed (empty pattern, guide/pattern length skew).
+    BadJob(String),
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue is full"),
+            SubmitError::UnknownAssembly(name) => write!(f, "unknown assembly `{name}`"),
+            SubmitError::BadJob(why) => write!(f, "bad job: {why}"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A registered job's progress: how many chunk batches are still due and
+/// the records accumulated so far.
+struct JobEntry {
+    /// `None` until the batcher has planned the job's chunk tasks.
+    remaining: Option<usize>,
+    offtargets: Vec<OffTarget>,
+    done: bool,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    assemblies: HashMap<String, Arc<Assembly>>,
+    queue: BoundedJobQueue,
+    pool: DevicePool,
+    cache: GenomeCache,
+    metrics: ServeMetrics,
+    jobs: Mutex<HashMap<JobId, JobEntry>>,
+    done: Condvar,
+}
+
+/// A running batch-search service over a fixed set of assemblies and a
+/// fixed device pool.
+pub struct Service {
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the service: spawns the batcher thread and one worker thread
+    /// per device slot. Assemblies are keyed by their names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no devices.
+    pub fn start(config: ServiceConfig, assemblies: Vec<Assembly>) -> Service {
+        assert!(!config.devices.is_empty(), "the pool needs at least one device");
+        let devices = config.devices.len();
+        let shared = Arc::new(Shared {
+            queue: BoundedJobQueue::new(config.queue_capacity),
+            pool: DevicePool::new(devices, config.in_flight_limit),
+            cache: GenomeCache::new(config.cache_chunks),
+            metrics: ServeMetrics::new(devices),
+            assemblies: assemblies
+                .into_iter()
+                .map(|a| (a.name().to_string(), Arc::new(a)))
+                .collect(),
+            jobs: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            config,
+        });
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared))
+        };
+        let workers = (0..devices)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+
+        Service {
+            shared,
+            next_id: AtomicU64::new(0),
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// Submit a job; on success the returned id can be passed to
+    /// [`Service::wait`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        if spec.pattern.is_empty() {
+            self.shared
+                .metrics
+                .jobs_rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::BadJob("empty pattern".into()));
+        }
+        if spec.guide.len() != spec.pattern.len() {
+            self.shared
+                .metrics
+                .jobs_rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::BadJob(format!(
+                "guide length {} != pattern length {}",
+                spec.guide.len(),
+                spec.pattern.len()
+            )));
+        }
+        if !self.shared.assemblies.contains_key(&spec.assembly) {
+            self.shared
+                .metrics
+                .jobs_rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::UnknownAssembly(spec.assembly));
+        }
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = JobEntry {
+            remaining: None,
+            offtargets: Vec::new(),
+            done: false,
+        };
+        self.shared.jobs.lock().unwrap().insert(id, entry);
+        match self.shared.queue.try_submit(Job { id, spec }) {
+            Ok(()) => {
+                self.shared
+                    .metrics
+                    .jobs_admitted
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(id)
+            }
+            Err(err) => {
+                self.shared.jobs.lock().unwrap().remove(&id);
+                match err {
+                    QueueError::Full => {
+                        self.shared
+                            .metrics
+                            .jobs_rejected_full
+                            .fetch_add(1, Ordering::Relaxed);
+                        Err(SubmitError::QueueFull)
+                    }
+                    QueueError::Closed => Err(SubmitError::ShuttingDown),
+                }
+            }
+        }
+    }
+
+    /// Block until job `id` completes and take its records (canonically
+    /// sorted, byte-identical to a serial run of the same query). Returns
+    /// `None` for ids never admitted or already collected.
+    pub fn wait(&self, id: JobId) -> Option<Vec<OffTarget>> {
+        let mut jobs = self.shared.jobs.lock().unwrap();
+        loop {
+            match jobs.get(&id) {
+                None => return None,
+                Some(entry) if entry.done => {
+                    return Some(jobs.remove(&id).expect("entry exists").offtargets);
+                }
+                Some(_) => jobs = self.shared.done.wait(jobs).unwrap(),
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of the service's counters.
+    pub fn metrics(&self) -> MetricsReport {
+        let names: Vec<(String, String)> = self
+            .shared
+            .config
+            .devices
+            .iter()
+            .map(|slot| (slot.spec.name.to_string(), slot.api.to_string()))
+            .collect();
+        load_report(
+            &self.shared.metrics,
+            &names,
+            self.shared.queue.depth_high_water(),
+            self.shared.cache.stats(),
+        )
+    }
+
+    /// Stop admissions, drain queued work, and join all service threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.queue.close();
+        if let Some(batcher) = self.batcher.take() {
+            batcher.join().expect("batcher thread panicked");
+        }
+        self.shared.pool.close();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The batcher thread: drain admitted jobs, coalesce, plan chunk tasks
+/// through the cache, and dispatch to the pool (blocking on in-flight
+/// limits, which is what propagates backpressure to the admission queue).
+fn batcher_loop(shared: &Shared) {
+    // How many queued jobs to drain opportunistically per round; bounds the
+    // latency a queued job can sit waiting for co-batchable company.
+    const DRAIN: usize = 64;
+    while let Some(first) = shared.queue.pop() {
+        let mut round = vec![first];
+        while round.len() < DRAIN {
+            match shared.queue.try_pop() {
+                Some(job) => round.push(job),
+                None => break,
+            }
+        }
+        for (key, jobs) in group_jobs(round, shared.config.max_batch) {
+            let assembly = Arc::clone(&shared.assemblies[&key.assembly]);
+            let plen = key.pattern.len();
+            let members: Vec<BatchJob> = jobs
+                .iter()
+                .map(|job| BatchJob {
+                    id: job.id,
+                    query: Query::new(job.spec.guide.clone(), job.spec.max_mismatches),
+                })
+                .collect();
+
+            // Plan every chunk task up front so `remaining` is exact before
+            // the first batch can complete on a worker.
+            let mut batches = Vec::new();
+            for (index, chunk) in
+                Chunker::new(&assembly, shared.config.chunk_size, plen).enumerate()
+            {
+                if chunk.seq.len() < plen {
+                    continue;
+                }
+                let cache_key = ChunkKey {
+                    assembly: key.assembly.clone(),
+                    plen,
+                    index,
+                };
+                let encoded = shared.cache.get_or_insert_with(&cache_key, || EncodedChunk {
+                    chrom_index: chunk.chrom_index,
+                    chrom: chunk.chrom_name.to_string(),
+                    start: chunk.start,
+                    scan_len: chunk.scan_len,
+                    seq: chunk.seq.to_vec(),
+                });
+                batches.push(ChunkBatch {
+                    key: key.clone(),
+                    chunk_index: index,
+                    chunk: encoded,
+                    jobs: members.clone(),
+                });
+            }
+
+            {
+                let mut entries = shared.jobs.lock().unwrap();
+                for job in &jobs {
+                    if let Some(entry) = entries.get_mut(&job.id) {
+                        entry.remaining = Some(batches.len());
+                        if batches.is_empty() {
+                            entry.done = true;
+                            shared
+                                .metrics
+                                .jobs_completed
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                if batches.is_empty() {
+                    shared.done.notify_all();
+                }
+            }
+
+            for batch in batches {
+                shared
+                    .metrics
+                    .batches_formed
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .coalesced_jobs
+                    .fetch_add(batch.jobs.len() as u64, Ordering::Relaxed);
+                shared.pool.dispatch(batch);
+            }
+        }
+    }
+}
+
+/// A worker's per-pattern pipeline runner. Runners are built inside the
+/// worker thread (device contexts are not `Send`) and cached per PAM
+/// pattern so repeat batches skip steps 1-8.
+enum Runner {
+    Ocl(Box<OclChunkRunner>),
+    Sycl(SyclChunkRunner),
+}
+
+impl Runner {
+    fn elapsed_s(&self) -> f64 {
+        match self {
+            Runner::Ocl(r) => {
+                r.finish();
+                r.elapsed_s()
+            }
+            Runner::Sycl(r) => {
+                r.wait();
+                r.elapsed_s()
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    let slot = &shared.config.devices[w];
+    let pipeline_config = PipelineConfig::new(slot.spec.clone())
+        .chunk_size(shared.config.chunk_size)
+        .opt(shared.config.opt)
+        .exec_mode(ExecMode::Sequential);
+    let mut runners: HashMap<Vec<u8>, Runner> = HashMap::new();
+    let mut timing = TimingBreakdown::default();
+    let mut profile = gpu_sim::profile::Profile::new();
+    let device = &shared.metrics.devices[w];
+
+    while let Some(assignment) = shared.pool.next(w) {
+        let batch = assignment.batch;
+        device.batches.fetch_add(1, Ordering::Relaxed);
+        if assignment.stolen {
+            device.steals.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let runner = runners
+            .entry(batch.key.pattern.clone())
+            .or_insert_with(|| match slot.api {
+                Api::OpenCl => Runner::Ocl(Box::new(
+                    OclChunkRunner::new(&pipeline_config, &batch.key.pattern)
+                        .expect("simulated OpenCL setup cannot fail on valid patterns"),
+                )),
+                Api::Sycl => Runner::Sycl(
+                    SyclChunkRunner::new(&pipeline_config, &batch.key.pattern)
+                        .expect("simulated SYCL setup cannot fail on valid patterns"),
+                ),
+            });
+        let queries: Vec<Query> = batch.jobs.iter().map(|job| job.query.clone()).collect();
+        let plen = batch.key.pattern.len();
+        let busy_before = runner.elapsed_s();
+        let per_query = match runner {
+            Runner::Ocl(r) => {
+                let tables = r
+                    .prepare_queries(&queries)
+                    .expect("simulated buffer upload cannot fail");
+                let out = r
+                    .run_chunk(
+                        &batch.chunk.seq,
+                        batch.chunk.scan_len,
+                        &tables,
+                        &mut timing,
+                        &mut profile,
+                    )
+                    .expect("simulated OpenCL launch cannot fail");
+                tables.release();
+                out
+            }
+            Runner::Sycl(r) => {
+                let tables = r.prepare_queries(&queries);
+                r.run_chunk(
+                    &batch.chunk.seq,
+                    batch.chunk.scan_len,
+                    &tables,
+                    &mut timing,
+                    &mut profile,
+                )
+                .expect("simulated SYCL launch cannot fail")
+            }
+        };
+        let busy_delta = (runner.elapsed_s() - busy_before).max(0.0);
+        device
+            .busy_ns
+            .fetch_add(busy_ns_from_s(busy_delta), Ordering::Relaxed);
+
+        // Traffic is a per-device gauge: sum over this worker's runners.
+        let mut launches = 0;
+        let mut h2d = 0;
+        let mut d2h = 0;
+        for r in runners.values() {
+            let t = match r {
+                Runner::Ocl(r) => r.traffic(),
+                Runner::Sycl(r) => r.traffic(),
+            };
+            launches += t.kernel_launches;
+            h2d += t.h2d_bytes;
+            d2h += t.d2h_bytes;
+        }
+        device.kernel_launches.store(launches, Ordering::Relaxed);
+        device.h2d_bytes.store(h2d, Ordering::Relaxed);
+        device.d2h_bytes.store(d2h, Ordering::Relaxed);
+
+        // Fold each job's entries into its record set; the last chunk of a
+        // job sorts and publishes.
+        let genome_chunk = genome::Chunk {
+            chrom_index: batch.chunk.chrom_index,
+            chrom_name: &batch.chunk.chrom,
+            start: batch.chunk.start,
+            seq: &batch.chunk.seq,
+            scan_len: batch.chunk.scan_len,
+        };
+        let mut entries = shared.jobs.lock().unwrap();
+        let mut any_done = false;
+        for (member, member_entries) in batch.jobs.iter().zip(&per_query) {
+            let Some(entry) = entries.get_mut(&member.id) else {
+                continue;
+            };
+            entries_to_offtargets(
+                &genome_chunk,
+                &member.query.seq,
+                plen,
+                member_entries,
+                &mut entry.offtargets,
+            );
+            let remaining = entry
+                .remaining
+                .as_mut()
+                .expect("batcher planned the job before dispatch");
+            *remaining -= 1;
+            if *remaining == 0 {
+                sort_canonical(&mut entry.offtargets);
+                entry.done = true;
+                any_done = true;
+                shared
+                    .metrics
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(entries);
+        if any_done {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::Chromosome;
+
+    fn toy_assembly() -> Assembly {
+        let mut asm = Assembly::new("toy");
+        asm.push(Chromosome::new(
+            "chr1",
+            b"ACGTACGTAGGTTTACGTACGAAGCCCCCACGTACGTCGGACGTTAGGTACCGGTTAACCGG".to_vec(),
+        ));
+        asm.push(Chromosome::new(
+            "chr2",
+            b"TTTACGTACGAAGCCCCCACGTACGTCGGACGTACGTAGG".to_vec(),
+        ));
+        asm
+    }
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig {
+            chunk_size: 16,
+            queue_capacity: 64,
+            cache_chunks: 16,
+            ..ServiceConfig::paper_pool()
+        }
+    }
+
+    fn serial_oracle(assembly: &Assembly, spec: &JobSpec) -> Vec<OffTarget> {
+        let mut text = String::new();
+        text.push_str("toy\n");
+        text.push_str(std::str::from_utf8(&spec.pattern).unwrap());
+        text.push('\n');
+        text.push_str(std::str::from_utf8(&spec.guide).unwrap());
+        text.push(' ');
+        text.push_str(&spec.max_mismatches.to_string());
+        text.push('\n');
+        let input = cas_offinder::SearchInput::parse(&text).unwrap();
+        cas_offinder::cpu::search_sequential(assembly, &input)
+    }
+
+    #[test]
+    fn served_results_match_the_serial_oracle() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        let assembly = toy_assembly();
+        let specs: Vec<JobSpec> = (0..12)
+            .map(|i| {
+                let guide = if i % 2 == 0 {
+                    b"ACGTACGTNNN".to_vec()
+                } else {
+                    b"TTTACGTANNN".to_vec()
+                };
+                JobSpec::new("toy", b"NNNNNNNNNRG".to_vec(), guide, 3)
+            })
+            .collect();
+        let ids: Vec<JobId> = specs
+            .iter()
+            .map(|s| service.submit(s.clone()).unwrap())
+            .collect();
+        for (id, spec) in ids.iter().zip(&specs) {
+            let got = service.wait(*id).unwrap();
+            assert_eq!(got, serial_oracle(&assembly, spec));
+        }
+        let report = service.metrics();
+        assert_eq!(report.jobs_completed, 12);
+        assert!(report.coalescing_ratio() > 1.0, "{report}");
+        assert!(report.cache_hit_rate() > 0.0, "{report}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_at_admission() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        assert_eq!(
+            service.submit(JobSpec::new("nope", b"NGG".to_vec(), b"ANN".to_vec(), 1)),
+            Err(SubmitError::UnknownAssembly("nope".into()))
+        );
+        assert!(matches!(
+            service.submit(JobSpec::new("toy", b"NGG".to_vec(), b"AN".to_vec(), 1)),
+            Err(SubmitError::BadJob(_))
+        ));
+        assert!(matches!(
+            service.submit(JobSpec::new("toy", Vec::new(), Vec::new(), 1)),
+            Err(SubmitError::BadJob(_))
+        ));
+        let report = service.metrics();
+        assert_eq!(report.jobs_rejected_invalid, 3);
+        assert_eq!(report.jobs_admitted, 0);
+    }
+
+    #[test]
+    fn waiting_on_an_unknown_id_returns_none() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        assert!(service.wait(999).is_none());
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        let id = service
+            .submit(JobSpec::new(
+                "toy",
+                b"NNNNNNNNNRG".to_vec(),
+                b"ACGTACGTNNN".to_vec(),
+                3,
+            ))
+            .unwrap();
+        let got = service.wait(id).unwrap();
+        assert!(!got.is_empty());
+        service.shutdown();
+    }
+}

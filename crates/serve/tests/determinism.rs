@@ -1,0 +1,129 @@
+//! Arrival order must not change results: 200 jobs submitted in several
+//! shuffled orders through a heterogeneous 4-device pool produce, job for
+//! job, the same bytes as the serial OpenCL pipeline.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use cas_offinder::pipeline::{ocl, PipelineConfig};
+use cas_offinder::{OffTarget, SearchInput};
+use casoff_serve::{JobSpec, Service, ServiceConfig};
+use genome::rng::Xoshiro256;
+use genome::Assembly;
+use gpu_sim::{DeviceSpec, ExecMode};
+
+const CHUNK_SIZE: usize = 512;
+
+fn assembly() -> Assembly {
+    genome::synth::hg38_mini(0.001)
+}
+
+/// Ten distinct specs, duplicated to 200 jobs. Two PAM patterns so the
+/// coalescer has both same-pattern and cross-pattern work.
+fn distinct_specs() -> Vec<JobSpec> {
+    let mut rng = Xoshiro256::seed_from_u64(0x0DE7);
+    let patterns: [&[u8]; 2] = [b"NNNNNNNNNRG", b"NNNNNNNNNGG"];
+    (0..10)
+        .map(|i| {
+            let mut guide: Vec<u8> = (0..8)
+                .map(|_| *rng.choose(b"ACGT").unwrap())
+                .collect();
+            guide.extend_from_slice(b"NNN");
+            JobSpec::new(
+                "hg38-mini",
+                patterns[i % 2].to_vec(),
+                guide,
+                3 + (i as u16 % 2),
+            )
+        })
+        .collect()
+}
+
+fn serial_ocl(assembly: &Assembly, spec: &JobSpec) -> Vec<OffTarget> {
+    let text = format!(
+        "{}\n{}\n{} {}\n",
+        spec.assembly,
+        std::str::from_utf8(&spec.pattern).unwrap(),
+        std::str::from_utf8(&spec.guide).unwrap(),
+        spec.max_mismatches
+    );
+    let input = SearchInput::parse(&text).unwrap();
+    let config = PipelineConfig::new(DeviceSpec::mi100())
+        .chunk_size(CHUNK_SIZE)
+        .exec_mode(ExecMode::Sequential);
+    ocl::run(assembly, &input, &config).unwrap().offtargets
+}
+
+fn submit_with_backoff(service: &Service, spec: JobSpec) -> u64 {
+    loop {
+        match service.submit(spec.clone()) {
+            Ok(id) => return id,
+            Err(casoff_serve::SubmitError::QueueFull) => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(err) => panic!("unexpected rejection: {err}"),
+        }
+    }
+}
+
+#[test]
+fn shuffled_arrival_orders_reproduce_the_serial_pipeline() {
+    let specs = distinct_specs();
+    let oracle: Vec<Vec<OffTarget>> = {
+        let asm = assembly();
+        specs.iter().map(|s| serial_ocl(&asm, s)).collect()
+    };
+    assert!(
+        oracle.iter().any(|o| !o.is_empty()),
+        "fixture must produce hits somewhere"
+    );
+
+    // 200 jobs: every distinct spec twenty times.
+    let jobs: Vec<usize> = (0..200).map(|i| i % specs.len()).collect();
+
+    for order_seed in [0x0001u64, 0xBEEF, 0x5EED5] {
+        let mut order = jobs.clone();
+        Xoshiro256::seed_from_u64(order_seed).shuffle(&mut order);
+
+        let mut config = ServiceConfig::paper_pool();
+        config.chunk_size = CHUNK_SIZE;
+        config.queue_capacity = 32; // small on purpose: exercises backpressure
+        config.cache_chunks = 64;
+        assert_eq!(config.devices.len(), 4, "the pool the issue asks for");
+        let service = Service::start(config, vec![assembly()]);
+
+        let ids: Vec<(u64, usize)> = order
+            .iter()
+            .map(|&spec_index| {
+                (
+                    submit_with_backoff(&service, specs[spec_index].clone()),
+                    spec_index,
+                )
+            })
+            .collect();
+        let mut results: HashMap<u64, Vec<OffTarget>> = ids
+            .iter()
+            .map(|&(id, _)| (id, service.wait(id).unwrap()))
+            .collect();
+        for (id, spec_index) in ids {
+            assert_eq!(
+                results.remove(&id).unwrap(),
+                oracle[spec_index],
+                "order seed {order_seed:#x}, job {id} (spec {spec_index})"
+            );
+        }
+
+        let report = service.metrics();
+        assert_eq!(report.jobs_admitted, 200);
+        assert_eq!(report.jobs_completed, 200);
+        assert!(
+            report.coalescing_ratio() > 1.5,
+            "batches should coalesce: {report}"
+        );
+        assert!(
+            report.cache_hit_rate() > 0.5,
+            "repeat chunks should hit the cache: {report}"
+        );
+        service.shutdown();
+    }
+}

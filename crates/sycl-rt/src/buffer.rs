@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use gpu_sim::{Device, DeviceBuffer, Scalar};
 
@@ -66,7 +66,7 @@ impl<T: Scalar> Clone for Buffer<T> {
 
 impl<T: Scalar> fmt::Debug for Buffer<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let bound = matches!(*self.state.lock(), State::Bound(_));
+        let bound = matches!(*self.state.lock().unwrap(), State::Bound(_));
         f.debug_struct("Buffer")
             .field("len", &self.len)
             .field("kind", &self.kind)
@@ -140,7 +140,7 @@ impl<T: Scalar> Buffer<T> {
     /// failure of constructing a SYCL buffer is reported as runtime
     /// exception" (§III.A).
     pub(crate) fn bind(&self, device: &Device) -> SyclResult<(DeviceBuffer<T>, bool)> {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().unwrap();
         match &*state {
             State::Bound(b) => Ok((b.clone(), false)),
             State::Unbound(init) => {
@@ -158,7 +158,7 @@ impl<T: Scalar> Buffer<T> {
     /// Snapshot the current contents (device contents once bound, the
     /// initial host data before).
     pub fn to_vec(&self) -> Vec<T> {
-        match &*self.state.lock() {
+        match &*self.state.lock().unwrap() {
             State::Bound(b) => b.to_vec(),
             State::Unbound(v) => v.clone(),
         }

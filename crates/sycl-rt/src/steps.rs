@@ -4,7 +4,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One logical SYCL programming step (Table I, right column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,7 +70,7 @@ impl StepLog {
 
     /// Record `step` (idempotent, first-occurrence order).
     pub fn record(&self, step: Step) {
-        let mut steps = self.inner.lock();
+        let mut steps = self.inner.lock().unwrap();
         if !steps.contains(&step) {
             steps.push(step);
         }
@@ -78,17 +78,17 @@ impl StepLog {
 
     /// The distinct steps recorded so far.
     pub fn steps(&self) -> Vec<Step> {
-        self.inner.lock().clone()
+        self.inner.lock().unwrap().clone()
     }
 
     /// Number of distinct steps recorded.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap().len()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().unwrap().is_empty()
     }
 }
 

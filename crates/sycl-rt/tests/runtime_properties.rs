@@ -1,38 +1,43 @@
-//! Property-based tests of the SYCL-flavoured runtime: buffer binding,
-//! ranged accessors, handler copies, USM round-trips and clock monotonicity.
+//! Seeded-random property tests of the SYCL-flavoured runtime: buffer
+//! binding, ranged accessors, handler copies, USM round-trips and clock
+//! monotonicity. Cases are drawn from `genome::rng`, so runs are
+//! deterministic and need no external property-testing crate.
 
+use genome::rng::Xoshiro256;
 use gpu_sim::NdRange;
-use proptest::prelude::*;
 use sycl_rt::{AccessMode, Buffer, GpuSelector, Queue};
 
 fn queue() -> Queue {
     Queue::new(&GpuSelector::named("MI100")).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn buffers_snapshot_and_bind_losslessly(data in proptest::collection::vec(any::<u32>(), 1..300)) {
+#[test]
+fn buffers_snapshot_and_bind_losslessly() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB0F);
+    for _ in 0..32 {
+        let data: Vec<u32> = (0..rng.gen_range(1, 300))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
         let q = queue();
         let buf = Buffer::from_slice(&data);
-        prop_assert_eq!(buf.to_vec(), data.clone());
+        assert_eq!(buf.to_vec(), data);
         // Binding through an accessor preserves contents.
         q.submit(|h| {
             h.get_access(&buf, AccessMode::Read)?;
             Ok(())
         })
         .unwrap();
-        prop_assert_eq!(buf.to_vec(), data);
+        assert_eq!(buf.to_vec(), data);
     }
+}
 
-    #[test]
-    fn ranged_copies_write_exactly_the_window(
-        len in 4usize..200,
-        offset in 0usize..100,
-        window in 1usize..50,
-    ) {
-        prop_assume!(offset + window <= len);
+#[test]
+fn ranged_copies_write_exactly_the_window() {
+    let mut rng = Xoshiro256::seed_from_u64(0x4A6);
+    for _ in 0..32 {
+        let offset = rng.gen_below(100);
+        let window = rng.gen_range(1, 50);
+        let len = offset + window + rng.gen_below(64);
         let q = queue();
         let buf = Buffer::<u8>::new(len);
         q.submit(|h| {
@@ -43,15 +48,17 @@ proptest! {
         let v = buf.to_vec();
         for (i, &b) in v.iter().enumerate() {
             let inside = i >= offset && i < offset + window;
-            prop_assert_eq!(b == 0xAB, inside, "byte {} corrupted", i);
+            assert_eq!(b == 0xAB, inside, "byte {i} corrupted");
         }
     }
+}
 
-    #[test]
-    fn kernels_see_exactly_the_accessor_window(
-        base in any::<u32>(),
-        n in 1usize..8,
-    ) {
+#[test]
+fn kernels_see_exactly_the_accessor_window() {
+    let mut rng = Xoshiro256::seed_from_u64(0xACC);
+    for _ in 0..16 {
+        let base = rng.next_u64() as u32;
+        let n = rng.gen_range(1, 8);
         let len = n * 64;
         let q = queue();
         let init: Vec<u32> = (0..len as u32).map(|i| i.wrapping_add(base)).collect();
@@ -66,21 +73,29 @@ proptest! {
         })
         .unwrap();
         let expect: Vec<u32> = init.iter().map(|&v| !v).collect();
-        prop_assert_eq!(buf.to_vec(), expect);
+        assert_eq!(buf.to_vec(), expect);
     }
+}
 
-    #[test]
-    fn usm_memcpy_roundtrips(data in proptest::collection::vec(any::<u64>(), 1..200)) {
+#[test]
+fn usm_memcpy_roundtrips() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5E4);
+    for _ in 0..32 {
+        let data: Vec<u64> = (0..rng.gen_range(1, 200)).map(|_| rng.next_u64()).collect();
         let q = queue();
         let ptr = q.malloc_device::<u64>(data.len()).unwrap();
         q.memcpy_to_device(&ptr, &data).unwrap();
         let mut back = vec![0u64; data.len()];
         q.memcpy_to_host(&mut back, &ptr).unwrap();
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data);
     }
+}
 
-    #[test]
-    fn clock_grows_with_every_command_group(groups in 1usize..15) {
+#[test]
+fn clock_grows_with_every_command_group() {
+    let mut rng = Xoshiro256::seed_from_u64(0x71C);
+    for _ in 0..8 {
+        let groups = rng.gen_range(1, 15);
         let q = queue();
         let buf = Buffer::from_slice(&vec![1u32; 64]);
         let mut last = 0.0;
@@ -95,15 +110,19 @@ proptest! {
                     })
                 })
                 .unwrap();
-            prop_assert!(ev.end_s() > last);
-            prop_assert!(ev.end_s() >= ev.start_s());
+            assert!(ev.end_s() > last);
+            assert!(ev.end_s() >= ev.start_s());
             last = ev.end_s();
         }
-        prop_assert_eq!(buf.to_vec(), vec![1 + groups as u32; 64]);
+        assert_eq!(buf.to_vec(), vec![1 + groups as u32; 64]);
     }
+}
 
-    #[test]
-    fn shared_usm_host_view_tracks_device_writes(v in any::<u32>()) {
+#[test]
+fn shared_usm_host_view_tracks_device_writes() {
+    let mut rng = Xoshiro256::seed_from_u64(0x05A);
+    for _ in 0..16 {
+        let v = rng.next_u64() as u32;
         let q = queue();
         let ptr = q.malloc_shared::<u32>(4).unwrap();
         q.host_write(&ptr, 0, &[v; 4]).unwrap();
@@ -117,6 +136,6 @@ proptest! {
         })
         .unwrap();
         ptr.mark_device_dirty();
-        prop_assert_eq!(q.host_read(&ptr).unwrap(), vec![v ^ 0xFFFF_FFFF; 4]);
+        assert_eq!(q.host_read(&ptr).unwrap(), vec![v ^ 0xFFFF_FFFF; 4]);
     }
 }

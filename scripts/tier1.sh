@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full test suite, lints, and a smoke run of
+# the paper reproduction — everything offline (the workspace is std-only).
+#
+#   scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== smoke: repro table1 =="
+cargo run --release -p casoff-bench --bin repro -- table1
+
+echo "== tier-1 OK =="
