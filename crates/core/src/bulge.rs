@@ -89,6 +89,68 @@ pub struct BulgeLimits {
     pub max_rna: u8,
 }
 
+/// One enumerated bulge variant of a query: the (possibly widened or
+/// shrunk) PAM pattern and the modified guide to run as an ordinary
+/// mismatch search, plus the bulge class that labels any hits it produces.
+///
+/// [`enumerate_variants`] is the single source of truth for the variant
+/// sweep; both [`search_with_bulges_on`] and the serving layer's bulge job
+/// expansion drive their searches from it, so a bulge job served through
+/// `casoff-serve` sees exactly the sweep the library search performs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BulgeVariant {
+    /// PAM pattern to search this variant with.
+    pub pattern: Vec<u8>,
+    /// The modified guide sequence.
+    pub query: Vec<u8>,
+    /// Bulge class of the variant.
+    pub bulge: BulgeType,
+    /// Guide position the bulge was introduced at (0 for [`BulgeType::None`]).
+    pub bulge_pos: usize,
+}
+
+/// Enumerate every search variant of `query` under `limits`, starting with
+/// the plain (no-bulge) variant. A DNA bulge of size `b` at position `p`
+/// inserts `b` wildcards into the guide and widens the pattern; an RNA
+/// bulge deletes `b` guide bases and shrinks it. Queries whose spacer (the
+/// non-`N` prefix) is shorter than 2 bases get only the plain variant.
+pub fn enumerate_variants(pattern: &[u8], query: &Query, limits: BulgeLimits) -> Vec<BulgeVariant> {
+    let mut variants = vec![BulgeVariant {
+        pattern: pattern.to_vec(),
+        query: query.seq.clone(),
+        bulge: BulgeType::None,
+        bulge_pos: 0,
+    }];
+    let spacer_len = query.seq.iter().take_while(|&&c| c != b'N').count();
+    if spacer_len < 2 {
+        return variants;
+    }
+    for b in 1..=limits.max_dna {
+        for pos in 1..spacer_len {
+            variants.push(BulgeVariant {
+                pattern: extend_pattern(pattern, b as usize),
+                query: insert_ns(&query.seq, pos, b as usize),
+                bulge: BulgeType::Dna(b),
+                bulge_pos: pos,
+            });
+        }
+    }
+    for b in 1..=limits.max_rna {
+        if (b as usize) >= spacer_len {
+            continue;
+        }
+        for pos in 1..spacer_len - b as usize {
+            variants.push(BulgeVariant {
+                pattern: shrink_pattern(pattern, b as usize),
+                query: delete_bases(&query.seq, pos, b as usize),
+                bulge: BulgeType::Rna(b),
+                bulge_pos: pos,
+            });
+        }
+    }
+    variants
+}
+
 /// Search `assembly` for off-target sites of `input`'s queries allowing
 /// mismatches *and* bulges up to `limits`.
 ///
@@ -115,57 +177,19 @@ pub fn search_with_bulges_on<B: SearchBackend>(
 ) -> Vec<BulgeHit> {
     let mut hits: Vec<BulgeHit> = Vec::new();
 
-    // Plain search first.
-    for site in backend.search(assembly, input) {
-        hits.push(BulgeHit {
-            site,
-            bulge: BulgeType::None,
-            bulge_pos: 0,
-        });
-    }
-
     for query in &input.queries {
-        let spacer_len = query.seq.iter().take_while(|&&c| c != b'N').count();
-        if spacer_len < 2 {
-            continue;
-        }
-
-        // DNA bulges: insert `b` Ns into the query and extend the pattern.
-        for b in 1..=limits.max_dna {
-            for pos in 1..spacer_len {
-                let variant = insert_ns(&query.seq, pos, b as usize);
-                let pattern = extend_pattern(&input.pattern, b as usize);
-                collect_variant(
-                    backend,
-                    assembly,
-                    &pattern,
-                    &variant,
-                    query.max_mismatches,
-                    BulgeType::Dna(b),
-                    pos,
-                    &mut hits,
-                );
-            }
-        }
-
-        // RNA bulges: delete `b` query bases and shrink the pattern.
-        for b in 1..=limits.max_rna {
-            if (b as usize) >= spacer_len {
-                continue;
-            }
-            for pos in 1..spacer_len - b as usize {
-                let variant = delete_bases(&query.seq, pos, b as usize);
-                let pattern = shrink_pattern(&input.pattern, b as usize);
-                collect_variant(
-                    backend,
-                    assembly,
-                    &pattern,
-                    &variant,
-                    query.max_mismatches,
-                    BulgeType::Rna(b),
-                    pos,
-                    &mut hits,
-                );
+        for v in enumerate_variants(&input.pattern, query, limits) {
+            let sub_input = SearchInput {
+                genome: String::new(),
+                pattern: v.pattern,
+                queries: vec![Query::new(v.query, query.max_mismatches)],
+            };
+            for site in backend.search(assembly, &sub_input) {
+                hits.push(BulgeHit {
+                    site,
+                    bulge: v.bulge,
+                    bulge_pos: v.bulge_pos,
+                });
             }
         }
     }
@@ -180,31 +204,6 @@ pub fn search_with_bulges_on<B: SearchBackend>(
 
 fn dedup_key(h: &BulgeHit) -> (&str, usize, crate::site::Strand, BulgeType) {
     (&h.site.chrom, h.site.position, h.site.strand, h.bulge)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn collect_variant<B: SearchBackend>(
-    backend: &B,
-    assembly: &Assembly,
-    pattern: &[u8],
-    variant: &[u8],
-    max_mismatches: u16,
-    bulge: BulgeType,
-    bulge_pos: usize,
-    hits: &mut Vec<BulgeHit>,
-) {
-    let sub_input = SearchInput {
-        genome: String::new(),
-        pattern: pattern.to_vec(),
-        queries: vec![Query::new(variant.to_vec(), max_mismatches)],
-    };
-    for site in backend.search(assembly, &sub_input) {
-        hits.push(BulgeHit {
-            site,
-            bulge,
-            bulge_pos,
-        });
-    }
 }
 
 fn insert_ns(seq: &[u8], pos: usize, n: usize) -> Vec<u8> {
@@ -351,6 +350,34 @@ mod tests {
         );
         assert_eq!(cpu, gpu);
         assert!(!cpu.is_empty());
+    }
+
+    #[test]
+    fn enumerated_variants_start_plain_and_cover_both_classes() {
+        let q = Query::new(b"ACGTACGTNNN".to_vec(), 1);
+        let limits = BulgeLimits {
+            max_dna: 2,
+            max_rna: 1,
+        };
+        let vs = enumerate_variants(b"NNNNNNNNNGG", &q, limits);
+        assert_eq!(vs[0].bulge, BulgeType::None);
+        assert_eq!(vs[0].query, q.seq);
+        assert_eq!(vs[0].pattern, b"NNNNNNNNNGG");
+        // Spacer is 8 bases: 7 insert positions per DNA size, 7 and then
+        // spacer_len-1-b positions for RNA deletions.
+        let dna: Vec<_> = vs.iter().filter(|v| matches!(v.bulge, BulgeType::Dna(_))).collect();
+        let rna: Vec<_> = vs.iter().filter(|v| matches!(v.bulge, BulgeType::Rna(_))).collect();
+        assert_eq!(dna.len(), 14, "two DNA sizes x 7 positions");
+        assert_eq!(rna.len(), 6, "one RNA size x 6 positions");
+        for v in &dna {
+            assert!(v.pattern.len() > 11 && v.query.len() > 11);
+        }
+        for v in &rna {
+            assert!(v.pattern.len() < 11 && v.query.len() < 11);
+        }
+        // Short spacers fall back to the plain variant only.
+        let short = Query::new(b"ANNN".to_vec(), 0);
+        assert_eq!(enumerate_variants(b"NNGG", &short, limits).len(), 1);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use gpu_sim::{Device, NdRange, SimResult};
 use opencl_rt::{BoundKernel, ClError, ClKernelFunction, ClResult, KernelArg};
 
 use super::comparer::{ComparerKernel, ComparerOutput};
-use super::finder::{FinderKernel, FinderOutput};
+use super::finder::{FinderKernel, FinderOutput, PackedFinderKernel};
+use super::twobit::TwoBitComparerKernel;
 use super::OptLevel;
 
 struct Bound<K: KernelProgram>(K);
@@ -85,6 +86,74 @@ impl ClKernelFunction for ClFinder {
             plen: plen as u32,
             l_pat,
             l_pat_index,
+        })))
+    }
+}
+
+/// The `finder_packed` kernel as an OpenCL kernel function: the finder over
+/// a losslessly 2-bit packed chunk (see
+/// [`PackedFinderKernel`](crate::kernels::PackedFinderKernel)).
+///
+/// Argument layout:
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `packed` | buffer\<u8\> |
+/// | 1 | `mask` | buffer\<u8\> |
+/// | 2 | `exc_pos` | buffer\<u32\> |
+/// | 3 | `exc_val` | buffer\<u8\> |
+/// | 4 | `n_exc` | u32 |
+/// | 5 | `chr` (out: decoded bases) | buffer\<u8\> |
+/// | 6 | `pat` | buffer\<u8\> (`__constant`) |
+/// | 7 | `pat_index` | buffer\<i32\> (`__constant`) |
+/// | 8 | `loci` (out) | buffer\<u32\> |
+/// | 9 | `flags` (out) | buffer\<u8\> |
+/// | 10 | `count` (out) | buffer\<u32\> |
+/// | 11 | `scan_len` | u32 |
+/// | 12 | `seq_len` | u32 |
+/// | 13 | `patternlen` | u32 |
+/// | 14 | `l_pat` | `__local` 2·plen bytes |
+/// | 15 | `l_pat_index` | `__local` 8·plen bytes |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClPackedFinder;
+
+impl ClKernelFunction for ClPackedFinder {
+    fn name(&self) -> &str {
+        "finder_packed"
+    }
+
+    fn arity(&self) -> usize {
+        16
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[13].as_u32(13)? as usize;
+        expect_local_bytes(&args[14], 14, 2 * plen)?;
+        expect_local_bytes(&args[15], 15, 2 * plen * 4)?;
+        let mut layout = LocalLayout::new();
+        let l_pat = layout.array::<u8>(2 * plen);
+        let l_pat_index = layout.array::<i32>(2 * plen);
+        Ok(Box::new(Bound(PackedFinderKernel {
+            inner: FinderKernel {
+                chr: args[5].as_buf_u8(5)?,
+                pat: args[6].as_buf_u8(6)?,
+                pat_index: args[7].as_buf_i32(7)?,
+                out: FinderOutput {
+                    loci: args[8].as_buf_u32(8)?,
+                    flags: args[9].as_buf_u8(9)?,
+                    count: args[10].as_buf_u32(10)?,
+                },
+                scan_len: args[11].as_u32(11)?,
+                seq_len: args[12].as_u32(12)?,
+                plen: plen as u32,
+                l_pat,
+                l_pat_index,
+            },
+            packed: args[0].as_buf_u8(0)?,
+            mask: args[1].as_buf_u8(1)?,
+            exc_pos: args[2].as_buf_u32(2)?,
+            exc_val: args[3].as_buf_u8(3)?,
+            n_exc: args[4].as_u32(4)?,
         })))
     }
 }
@@ -162,6 +231,72 @@ impl ClKernelFunction for ClComparer {
     }
 }
 
+/// The `comparer_2bit` kernel as an OpenCL kernel function: the comparer
+/// reading the 2-bit packed chunk directly (see
+/// [`TwoBitComparerKernel`](crate::kernels::TwoBitComparerKernel)) instead
+/// of the decoded byte-per-base scratch — roughly `plen/4 + plen/8` global
+/// bytes per site instead of `plen`.
+///
+/// Argument layout:
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `packed` | buffer\<u8\> |
+/// | 1 | `mask` | buffer\<u8\> |
+/// | 2 | `loci` | buffer\<u32\> |
+/// | 3 | `flag` | buffer\<u8\> |
+/// | 4 | `comp` | buffer\<u8\> (`__constant`) |
+/// | 5 | `comp_index` | buffer\<i32\> (`__constant`) |
+/// | 6 | `locicnts` | u32 |
+/// | 7 | `patternlen` | u32 |
+/// | 8 | `threshold` | u16 |
+/// | 9 | `mm_count` (out) | buffer\<u16\> |
+/// | 10 | `direction` (out) | buffer\<u8\> |
+/// | 11 | `mm_loci` (out) | buffer\<u32\> |
+/// | 12 | `entrycount` (out) | buffer\<u32\> |
+/// | 13 | `l_comp` | `__local` 2·plen bytes |
+/// | 14 | `l_comp_index` | `__local` 8·plen bytes |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClTwoBitComparer;
+
+impl ClKernelFunction for ClTwoBitComparer {
+    fn name(&self) -> &str {
+        "comparer_2bit"
+    }
+
+    fn arity(&self) -> usize {
+        15
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[7].as_u32(7)? as usize;
+        expect_local_bytes(&args[13], 13, 2 * plen)?;
+        expect_local_bytes(&args[14], 14, 2 * plen * 4)?;
+        let mut layout = LocalLayout::new();
+        let l_comp = layout.array::<u8>(2 * plen);
+        let l_comp_index = layout.array::<i32>(2 * plen);
+        Ok(Box::new(Bound(TwoBitComparerKernel {
+            packed: args[0].as_buf_u8(0)?,
+            mask: args[1].as_buf_u8(1)?,
+            loci: args[2].as_buf_u32(2)?,
+            flags: args[3].as_buf_u8(3)?,
+            comp: args[4].as_buf_u8(4)?,
+            comp_index: args[5].as_buf_i32(5)?,
+            locicnt: args[6].as_u32(6)?,
+            plen: plen as u32,
+            threshold: args[8].as_u16(8)?,
+            out: ComparerOutput {
+                mm_count: args[9].as_buf_u16(9)?,
+                direction: args[10].as_buf_u8(10)?,
+                loci: args[11].as_buf_u32(11)?,
+                count: args[12].as_buf_u32(12)?,
+            },
+            l_comp,
+            l_comp_index,
+        })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,7 +362,37 @@ mod tests {
     fn arities_match_the_kernel_signatures() {
         assert_eq!(ClFinder.arity(), 11);
         assert_eq!(ClComparer::default().arity(), 14);
+        assert_eq!(ClTwoBitComparer.arity(), 15);
         assert_eq!(ClFinder.name(), "finder");
         assert_eq!(ClComparer::default().name(), "comparer");
+        assert_eq!(ClTwoBitComparer.name(), "comparer_2bit");
+    }
+
+    #[test]
+    fn twobit_comparer_binding_validates_local_sizes() {
+        let d = device();
+        let plen = 4usize;
+        let mut args = vec![
+            KernelArg::BufU8(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(4).unwrap()),
+            KernelArg::BufU32(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(8).unwrap()),
+            KernelArg::BufI32(d.alloc(8).unwrap()),
+            KernelArg::U32(8),
+            KernelArg::U32(plen as u32),
+            KernelArg::U16(4),
+            KernelArg::BufU16(d.alloc(16).unwrap()),
+            KernelArg::BufU8(d.alloc(16).unwrap()),
+            KernelArg::BufU32(d.alloc(16).unwrap()),
+            KernelArg::BufU32(d.alloc(1).unwrap()),
+            KernelArg::Local { bytes: 2 * plen },
+            KernelArg::Local { bytes: 8 * plen },
+        ];
+        assert!(ClTwoBitComparer.bind(&args).is_ok());
+
+        args[14] = KernelArg::Local { bytes: 2 };
+        let err = ClTwoBitComparer.bind(&args).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ClError::InvalidArgValue { index: 14, .. }));
     }
 }

@@ -211,6 +211,118 @@ impl KernelProgram for FinderKernel {
     }
 }
 
+/// The finder kernel over a 2-bit packed chunk.
+///
+/// Identical to [`FinderKernel`] except that the chunk arrives on the device
+/// in the lossless packed form of [`genome::twobit::PackedSeq`] — ~4x fewer
+/// upload bytes — and the kernel decodes it into the `chr` buffer before
+/// scanning, so the comparer (which reads `chr` as plain bases) runs
+/// unchanged and results stay byte-identical to the unpacked path.
+///
+/// Phase layout:
+///
+/// 0. each work-group decodes its own read window (`group span + plen`
+///    overlap) from the packed/mask arrays into `chr` — fully coalesced
+///    streaming stores;
+/// 1. the group applies the (rare) exception bytes that land in its window —
+///    a separate phase so the barrier orders them after the decode stores;
+/// 2. cooperative pattern staging (the plain finder's phase 0);
+/// 3. scan (the plain finder's phase 1).
+///
+/// Overlapping window positions are written by two adjacent groups, but both
+/// write the same decoded value and both re-apply the same exceptions after
+/// their own decode, so the result is order-independent.
+#[derive(Debug, Clone)]
+pub struct PackedFinderKernel {
+    /// The plain finder this kernel decodes into and then runs.
+    pub inner: FinderKernel,
+    /// Packed base bytes (4 bases per byte, LSB first).
+    pub packed: DeviceBuffer<u8>,
+    /// Ambiguity mask bytes (8 bases per byte, LSB first).
+    pub mask: DeviceBuffer<u8>,
+    /// Exception positions (sorted ascending), `n_exc` entries used.
+    pub exc_pos: DeviceBuffer<u32>,
+    /// Exception bytes, parallel to `exc_pos`.
+    pub exc_val: DeviceBuffer<u8>,
+    /// Number of valid exception entries.
+    pub n_exc: u32,
+}
+
+impl KernelProgram for PackedFinderKernel {
+    type Private = ();
+
+    fn name(&self) -> &str {
+        "finder_packed"
+    }
+
+    fn phases(&self) -> usize {
+        4
+    }
+
+    fn local_layout(&self) -> LocalLayout {
+        self.inner.local_layout()
+    }
+
+    fn code_model(&self) -> CodeModel {
+        CodeModel::new("finder_packed")
+            .pointer_args(10)
+            .scalar_args(4)
+            .noalias(true)
+            .staging(Staging::Parallel)
+            .staged_arrays(2)
+            .guarded_blocks(3)
+            .ladder_arms(13)
+            .atomic_output(true)
+            .extra_valu(16)
+    }
+
+    fn run_phase(&self, phase: usize, item: &mut ItemCtx, p: &mut (), local: &mut LocalMem) {
+        use genome::twobit::code_to_char;
+        let plen = self.inner.plen as usize;
+        let seq_len = self.inner.seq_len as usize;
+        let li = item.local_id(0);
+        let group = item.local_range(0);
+        let start = item.group(0) * group;
+        let end = (start + group + plen).min(seq_len);
+        match phase {
+            0 => {
+                // Strided decode of the group's read window: lane-adjacent
+                // packed/mask reads and chr writes, all coalesced.
+                let mut k = start + li;
+                while k < end {
+                    let byte = self.packed.load_coalesced(item, k / 4);
+                    let mbyte = self.mask.load_coalesced(item, k / 8);
+                    item.ops(4); // shifts, mask test, select
+                    let c = if (mbyte >> (k % 8)) & 1 == 1 {
+                        b'N'
+                    } else {
+                        code_to_char(byte >> ((k % 4) * 2))
+                    };
+                    self.inner.chr.store_coalesced(item, k, c);
+                    k += group;
+                }
+            }
+            1 => {
+                // Cooperative pass over the exception list (degenerate IUPAC
+                // codes and case oddities — empty for plain ACGT/N genomes):
+                // each group applies the entries inside its own window.
+                let n = self.n_exc as usize;
+                let mut e = li;
+                while e < n {
+                    let pos = self.exc_pos.load_coalesced(item, e) as usize;
+                    item.ops(2); // window test
+                    if pos >= start && pos < end {
+                        let v = self.exc_val.load_coalesced(item, e);
+                        self.inner.chr.store(item, pos, v); // scattered, rare
+                    }
+                    e += group;
+                }
+            }
+            _ => self.inner.run_phase(phase - 2, item, p, local),
+        }
+    }
+}
+
 /// Convenience: run the finder over a chunk already resident on `device`.
 ///
 /// Returns the number of matches.
@@ -338,6 +450,85 @@ mod tests {
         let n = run_finder(&device, &kernel, 64).unwrap();
         let loci = &kernel.out.loci.to_vec()[..n];
         assert_eq!(loci, &[0], "position 3's TGG is outside the owned range");
+    }
+
+    fn run_packed(seq: &[u8], pattern: &[u8]) -> (Vec<(u32, u8)>, Vec<u8>) {
+        use genome::twobit::PackedSeq;
+        let device = device();
+        let compiled = CompiledSeq::compile(pattern);
+        let chr = device.alloc::<u8>(seq.len()).unwrap();
+        let pat = device.alloc_constant_from_slice(compiled.comp()).unwrap();
+        let pat_index = device
+            .alloc_constant_from_slice(compiled.comp_index())
+            .unwrap();
+        let out = FinderOutput::allocate(&device, seq.len()).unwrap();
+        let packed = PackedSeq::encode(seq);
+        let (pos, val) = packed.exception_arrays();
+        let (inner, _) = FinderKernel::new(chr, pat, pat_index, out, seq.len(), seq.len(), &compiled);
+        let kernel = PackedFinderKernel {
+            inner,
+            packed: device.alloc_from_slice(packed.packed_bytes()).unwrap(),
+            mask: device.alloc_from_slice(packed.mask_bytes()).unwrap(),
+            exc_pos: device
+                .alloc_from_slice(if pos.is_empty() { &[0u32] } else { &pos[..] })
+                .unwrap(),
+            exc_val: device
+                .alloc_from_slice(if val.is_empty() { &[0u8] } else { &val[..] })
+                .unwrap(),
+            n_exc: pos.len() as u32,
+        };
+        let nd = NdRange::linear_cover(seq.len(), 64);
+        device.launch(&kernel, nd).unwrap();
+        let n = kernel.inner.out.count_matches();
+        let loci = kernel.inner.out.loci.to_vec();
+        let flags = kernel.inner.out.flags.to_vec();
+        let mut hits: Vec<(u32, u8)> = (0..n).map(|s| (loci[s], flags[s])).collect();
+        hits.sort_unstable();
+        (hits, kernel.inner.chr.to_vec())
+    }
+
+    #[test]
+    fn packed_finder_matches_plain_finder_and_decodes_exactly() {
+        // Degenerate codes, lowercase and N runs all round-trip through the
+        // on-device decode, and the hits match the plain finder's.
+        let mut seq = b"NNNNAGGtggCCAaagRYSWKMaggNNNN".to_vec();
+        seq.extend(std::iter::repeat_n(*b"ACGTAGGCCT", 40).flatten());
+        for pattern in [&b"NGG"[..], b"NRG"] {
+            let plain = run(&seq, pattern);
+            let (hits, decoded) = run_packed(&seq, pattern);
+            assert_eq!(decoded, seq, "on-device decode must be byte-exact");
+            assert_eq!(hits, plain, "pattern {}", std::str::from_utf8(pattern).unwrap());
+            assert!(!hits.is_empty());
+        }
+    }
+
+    #[test]
+    fn packed_finder_stores_are_coalesced_class() {
+        let seq = vec![b'A'; 256];
+        let device = device();
+        let compiled = CompiledSeq::compile(b"NGG");
+        let chr = device.alloc::<u8>(256).unwrap();
+        let pat = device.alloc_constant_from_slice(compiled.comp()).unwrap();
+        let pat_index = device
+            .alloc_constant_from_slice(compiled.comp_index())
+            .unwrap();
+        let out = FinderOutput::allocate(&device, 256).unwrap();
+        let packed = genome::twobit::PackedSeq::encode(&seq);
+        let (inner, _) = FinderKernel::new(chr, pat, pat_index, out, 256, 256, &compiled);
+        let kernel = PackedFinderKernel {
+            inner,
+            packed: device.alloc_from_slice(packed.packed_bytes()).unwrap(),
+            mask: device.alloc_from_slice(packed.mask_bytes()).unwrap(),
+            exc_pos: device.alloc_from_slice(&[0u32]).unwrap(),
+            exc_val: device.alloc_from_slice(&[0u8]).unwrap(),
+            n_exc: 0,
+        };
+        let report = device.launch(&kernel, NdRange::linear_cover(256, 64)).unwrap();
+        assert!(report.counters.global_coalesced_stores >= 256);
+        assert_eq!(
+            report.counters.global_stores, 0,
+            "no scattered stores without exceptions or hits"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ mod twobit;
 pub mod cl;
 
 pub use comparer::{run_comparer, ComparerKernel, ComparerOutput};
-pub use finder::{run_finder, FinderKernel, FinderOutput};
+pub use finder::{run_finder, FinderKernel, FinderOutput, PackedFinderKernel};
 pub use ladder::{ladder_rank, LADDER};
 pub use twobit::TwoBitComparerKernel;
 

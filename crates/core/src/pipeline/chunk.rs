@@ -24,13 +24,33 @@ use opencl_rt::{
 use std::sync::Arc;
 use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, SyclResult};
 
+use genome::base::is_concrete;
+use genome::twobit::PackedSeq;
+
 use crate::input::Query;
-use crate::kernels::cl::{ClComparer, ClFinder};
-use crate::kernels::{ComparerKernel, ComparerOutput, FinderKernel, FinderOutput, OptLevel};
+use crate::kernels::cl::{ClComparer, ClFinder, ClPackedFinder, ClTwoBitComparer};
+use crate::kernels::{
+    ComparerKernel, ComparerOutput, FinderKernel, FinderOutput, OptLevel, PackedFinderKernel,
+    TwoBitComparerKernel,
+};
 use crate::pattern::CompiledSeq;
 use crate::report::TimingBreakdown;
 
 use super::{round_up, PipelineConfig};
+
+/// Whether a packed chunk can be compared directly in 2-bit form.
+///
+/// The 2-bit comparer sees every masked base as `N`, which is exactly the
+/// char comparer's view unless an exception byte is a degenerate IUPAC
+/// code or a non-base byte: `base_mask` is case-insensitive, so lowercase
+/// concrete bases and `n` carry no information beyond their 2-bit/mask
+/// encoding, but a code like `R` matches pattern `R` where `N` does not.
+fn twobit_compare_safe(packed: &PackedSeq) -> bool {
+    packed
+        .exceptions()
+        .iter()
+        .all(|&(_, b)| is_concrete(b) || b == b'n')
+}
 
 /// Comparer entries `(locus, direction, mismatches)` for one query on one
 /// chunk, in device compaction order. Map them into [`crate::OffTarget`]
@@ -71,9 +91,15 @@ pub struct OclChunkRunner {
     queue: CommandQueue,
     program: Program,
     finder: Kernel,
+    finder_packed: Kernel,
     comparer: Kernel,
+    comparer_2bit: Kernel,
     pattern: CompiledSeq,
     chr: ClBuffer<u8>,
+    packed_buf: ClBuffer<u8>,
+    mask_buf: ClBuffer<u8>,
+    exc_pos: ClBuffer<u32>,
+    exc_val: ClBuffer<u8>,
     pat: ClBuffer<u8>,
     pat_index: ClBuffer<i32>,
     loci: ClBuffer<u32>,
@@ -103,17 +129,27 @@ impl OclChunkRunner {
 
         let source = KernelSource::new()
             .with_function(Arc::new(ClFinder))
-            .with_function(Arc::new(ClComparer::new(config.opt)));
+            .with_function(Arc::new(ClPackedFinder))
+            .with_function(Arc::new(ClComparer::new(config.opt)))
+            .with_function(Arc::new(ClTwoBitComparer));
         let program = Program::create_with_source(&ctx, source);
         program.build("-O3")?;
         let finder = program.create_kernel("finder")?;
+        let finder_packed = program.create_kernel("finder_packed")?;
         let comparer = program.create_kernel("comparer")?;
+        let comparer_2bit = program.create_kernel("comparer_2bit")?;
 
         let pattern = CompiledSeq::compile(pattern_seq);
         let plen = pattern.plen();
         let cap = config.chunk_size;
 
-        let chr = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, cap + plen)?;
+        let chr = ClBuffer::<u8>::create(&ctx, MemFlags::ReadWrite, cap + plen)?;
+        // Scratch for the packed upload path: worst case every base carries
+        // an exception, so the exception arrays are sized like the chunk.
+        let packed_buf = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, (cap + plen).div_ceil(4))?;
+        let mask_buf = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, (cap + plen).div_ceil(8))?;
+        let exc_pos = ClBuffer::<u32>::create(&ctx, MemFlags::ReadOnly, cap + plen)?;
+        let exc_val = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, cap + plen)?;
         let pat = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp())?;
         let pat_index = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp_index())?;
         let loci = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, cap)?;
@@ -130,9 +166,15 @@ impl OclChunkRunner {
             queue,
             program,
             finder,
+            finder_packed,
             comparer,
+            comparer_2bit,
             pattern,
             chr,
+            packed_buf,
+            mask_buf,
+            exc_pos,
+            exc_val,
             pat,
             pat_index,
             loci,
@@ -248,6 +290,123 @@ impl OclChunkRunner {
             return Ok(per_query);
         }
 
+        self.run_comparers(n, tables, timing, profile, &mut per_query)?;
+        Ok(per_query)
+    }
+
+    /// Run one finder→comparer interaction from a losslessly 2-bit packed
+    /// chunk: upload the packed words, the N-mask and the rare exception
+    /// bytes (~0.375 bytes per base instead of 1), let the `finder_packed`
+    /// kernel decode the chunk on-device into the `chr` scratch buffer, then
+    /// compare every prepared query exactly as [`run_chunk`] does. Produces
+    /// byte-identical entries to `run_chunk(&packed.decode(), ..)`.
+    ///
+    /// [`run_chunk`]: Self::run_chunk
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn run_packed_chunk(
+        &self,
+        packed: &PackedSeq,
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<Vec<QueryEntries>> {
+        let plen = self.pattern.plen();
+        let seq_len = packed.len();
+        assert!(
+            seq_len <= self.cap + plen && scan_len <= self.cap,
+            "chunk ({seq_len} bases, {scan_len} scanned) exceeds runner capacity {}",
+            self.cap
+        );
+        let mut per_query = vec![Vec::new(); tables.len()];
+
+        // Step 11 (host->device): upload the packed payload, reset the
+        // counter. The exception arrays only move when the chunk has any.
+        let w1 = self
+            .queue
+            .enqueue_write_buffer(&self.packed_buf, true, 0, packed.packed_bytes())?;
+        let w2 = self
+            .queue
+            .enqueue_write_buffer(&self.mask_buf, true, 0, packed.mask_bytes())?;
+        let w3 = self.queue.enqueue_fill_buffer(&self.fcount, 0u32)?;
+        timing.transfer_s += w1.duration_s() + w2.duration_s() + w3.duration_s();
+        let n_exc = packed.exceptions().len();
+        if n_exc > 0 {
+            let (pos, val) = packed.exception_arrays();
+            let e1 = self.queue.enqueue_write_buffer(&self.exc_pos, true, 0, &pos)?;
+            let e2 = self.queue.enqueue_write_buffer(&self.exc_val, true, 0, &val)?;
+            timing.transfer_s += e1.duration_s() + e2.duration_s();
+        }
+
+        let k = &self.finder_packed;
+        k.set_arg(0, KernelArg::BufU8(self.packed_buf.device_buffer()))?;
+        k.set_arg(1, KernelArg::BufU8(self.mask_buf.device_buffer()))?;
+        k.set_arg(2, KernelArg::BufU32(self.exc_pos.device_buffer()))?;
+        k.set_arg(3, KernelArg::BufU8(self.exc_val.device_buffer()))?;
+        k.set_arg(4, KernelArg::U32(n_exc as u32))?;
+        k.set_arg(5, KernelArg::BufU8(self.chr.device_buffer()))?;
+        k.set_arg(6, KernelArg::BufU8(self.pat.device_buffer()))?;
+        k.set_arg(7, KernelArg::BufI32(self.pat_index.device_buffer()))?;
+        k.set_arg(8, KernelArg::BufU32(self.loci.device_buffer()))?;
+        k.set_arg(9, KernelArg::BufU8(self.flags.device_buffer()))?;
+        k.set_arg(10, KernelArg::BufU32(self.fcount.device_buffer()))?;
+        k.set_arg(11, KernelArg::U32(scan_len as u32))?;
+        k.set_arg(12, KernelArg::U32(seq_len as u32))?;
+        k.set_arg(13, KernelArg::U32(plen as u32))?;
+        k.set_arg(14, KernelArg::Local { bytes: 2 * plen })?;
+        k.set_arg(15, KernelArg::Local { bytes: 8 * plen })?;
+
+        let gws = round_up(scan_len, self.rounding);
+        let ev = self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?;
+        ev.wait();
+        timing.finder_s += ev
+            .launch_report()
+            .map(|r| r.exec_time_s)
+            .unwrap_or_else(|| ev.duration_s());
+        if let Some(r) = ev.launch_report() {
+            profile.record_ref(r);
+        }
+        timing.finder_launches += 1;
+
+        let mut n = [0u32];
+        let r = self.queue.enqueue_read_buffer(&self.fcount, true, 0, &mut n)?;
+        timing.transfer_s += r.duration_s();
+        let n = n[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            return Ok(per_query);
+        }
+
+        // The packed payload is already resident: when its exceptions are
+        // semantically transparent, compare in 2-bit form (~plen/4 + plen/8
+        // global bytes per site instead of plen). Degenerate exception
+        // bytes fall back to the char comparer on the decoded scratch.
+        if twobit_compare_safe(packed) {
+            self.run_comparers_2bit(n, tables, timing, profile, &mut per_query)?;
+        } else {
+            self.run_comparers(n, tables, timing, profile, &mut per_query)?;
+        }
+        Ok(per_query)
+    }
+
+    /// Shared comparer stage: one launch per prepared query against `n`
+    /// candidate loci already staged in the runner's scratch buffers.
+    fn run_comparers(
+        &self,
+        n: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+        per_query: &mut [QueryEntries],
+    ) -> ClResult<()> {
+        let plen = self.pattern.plen();
         for (out, (comp, comp_index, threshold)) in per_query.iter_mut().zip(&tables.entries) {
             let wz = self.queue.enqueue_fill_buffer(&self.ecount, 0u32)?;
             timing.transfer_s += wz.duration_s();
@@ -298,7 +457,73 @@ impl OclChunkRunner {
 
             *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
         }
-        Ok(per_query)
+        Ok(())
+    }
+
+    /// Comparer stage over the resident 2-bit payload: one `comparer_2bit`
+    /// launch per prepared query, reading `packed_buf`/`mask_buf` directly
+    /// instead of the decoded `chr` scratch.
+    fn run_comparers_2bit(
+        &self,
+        n: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+        per_query: &mut [QueryEntries],
+    ) -> ClResult<()> {
+        let plen = self.pattern.plen();
+        for (out, (comp, comp_index, threshold)) in per_query.iter_mut().zip(&tables.entries) {
+            let wz = self.queue.enqueue_fill_buffer(&self.ecount, 0u32)?;
+            timing.transfer_s += wz.duration_s();
+
+            let k = &self.comparer_2bit;
+            k.set_arg(0, KernelArg::BufU8(self.packed_buf.device_buffer()))?;
+            k.set_arg(1, KernelArg::BufU8(self.mask_buf.device_buffer()))?;
+            k.set_arg(2, KernelArg::BufU32(self.loci.device_buffer()))?;
+            k.set_arg(3, KernelArg::BufU8(self.flags.device_buffer()))?;
+            k.set_arg(4, KernelArg::BufU8(comp.device_buffer()))?;
+            k.set_arg(5, KernelArg::BufI32(comp_index.device_buffer()))?;
+            k.set_arg(6, KernelArg::U32(n as u32))?;
+            k.set_arg(7, KernelArg::U32(plen as u32))?;
+            k.set_arg(8, KernelArg::U16(*threshold))?;
+            k.set_arg(9, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+            k.set_arg(10, KernelArg::BufU8(self.direction.device_buffer()))?;
+            k.set_arg(11, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+            k.set_arg(12, KernelArg::BufU32(self.ecount.device_buffer()))?;
+            k.set_arg(13, KernelArg::Local { bytes: 2 * plen })?;
+            k.set_arg(14, KernelArg::Local { bytes: 8 * plen })?;
+
+            let gws = round_up(n, self.rounding);
+            let ev = self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?;
+            ev.wait();
+            timing.comparer_s += ev
+                .launch_report()
+                .map(|r| r.exec_time_s)
+                .unwrap_or_else(|| ev.duration_s());
+            if let Some(r) = ev.launch_report() {
+                profile.record_ref(r);
+            }
+            timing.comparer_launches += 1;
+
+            let mut m = [0u32];
+            let r = self.queue.enqueue_read_buffer(&self.ecount, true, 0, &mut m)?;
+            timing.transfer_s += r.duration_s();
+            let m = m[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let mut mm = vec![0u16; m];
+            let mut dir = vec![0u8; m];
+            let mut pos = vec![0u32; m];
+            let r1 = self.queue.enqueue_read_buffer(&self.mm_count, true, 0, &mut mm)?;
+            let r2 = self.queue.enqueue_read_buffer(&self.direction, true, 0, &mut dir)?;
+            let r3 = self.queue.enqueue_read_buffer(&self.mm_loci, true, 0, &mut pos)?;
+            timing.transfer_s += r1.duration_s() + r2.duration_s() + r3.duration_s();
+
+            *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+        }
+        Ok(())
     }
 
     /// Block until every enqueued command completes.
@@ -324,8 +549,14 @@ impl OclChunkRunner {
     /// Step 13: explicitly release every owned object.
     pub fn release(self) {
         self.finder.release();
+        self.finder_packed.release();
         self.comparer.release();
+        self.comparer_2bit.release();
         self.chr.release();
+        self.packed_buf.release();
+        self.mask_buf.release();
+        self.exc_pos.release();
+        self.exc_val.release();
         self.pat.release();
         self.pat_index.release();
         self.loci.release();
@@ -435,10 +666,12 @@ impl SyclChunkRunner {
         let wgs = self.wgs;
         let mut per_query = vec![Vec::new(); tables.len()];
 
-        // Fresh per-chunk buffers; released implicitly when they drop.
+        // Fresh per-chunk buffers; released implicitly when they drop. The
+        // kernel-output arrays are `no_init`: the finder fully overwrites
+        // the slots it uses, so they carry no implicit upload.
         let chr_buf = Buffer::from_slice(seq);
-        let loci_buf = Buffer::<u32>::new(scan_len);
-        let flags_buf = Buffer::<u8>::new(scan_len);
+        let loci_buf = Buffer::<u32>::uninit(scan_len);
+        let flags_buf = Buffer::<u8>::uninit(scan_len);
         let fcount_buf = Buffer::<u32>::new(1);
 
         // Command group: bind accessors (implicit upload) + finder kernel.
@@ -496,18 +729,160 @@ impl SyclChunkRunner {
             return Ok(per_query);
         }
 
+        self.run_comparers(&chr_buf, &loci_buf, &flags_buf, n, tables, timing, profile, &mut per_query)?;
+        // chr/loci/flags/fcount buffers drop here: implicit release.
+        Ok(per_query)
+    }
+
+    /// Run one finder→comparer interaction from a losslessly 2-bit packed
+    /// chunk (see [`OclChunkRunner::run_packed_chunk`] for the contract):
+    /// the packed words, N-mask and rare exception bytes are uploaded
+    /// instead of the raw bases, and the `finder_packed` kernel decodes the
+    /// chunk on-device into a `no_init` scratch buffer before scanning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn run_packed_chunk(
+        &self,
+        packed: &PackedSeq,
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<Vec<QueryEntries>> {
+        let plen = self.pattern.plen();
+        let wgs = self.wgs;
+        let seq_len = packed.len();
+        let mut per_query = vec![Vec::new(); tables.len()];
+
+        let packed_buf = Buffer::from_slice(packed.packed_bytes());
+        let mask_buf = Buffer::from_slice(packed.mask_bytes());
+        let n_exc = packed.exceptions().len();
+        let (exc_pos, exc_val) = packed.exception_arrays();
+        // The simulator rejects zero-length allocations; a one-element dummy
+        // stands in when the chunk carries no exceptions (n_exc guards use).
+        let exc_pos_buf = if n_exc > 0 {
+            Buffer::from_vec(exc_pos)
+        } else {
+            Buffer::from_slice(&[0u32])
+        };
+        let exc_val_buf = if n_exc > 0 {
+            Buffer::from_vec(exc_val)
+        } else {
+            Buffer::from_slice(&[0u8])
+        };
+        let chr_buf = Buffer::<u8>::uninit(seq_len);
+        let loci_buf = Buffer::<u32>::uninit(scan_len);
+        let flags_buf = Buffer::<u8>::uninit(scan_len);
+        let fcount_buf = Buffer::<u32>::new(1);
+
+        let ev = self.queue.submit(|h| {
+            let packed_acc = h.get_access(&packed_buf, AccessMode::Read)?;
+            let mask = h.get_access(&mask_buf, AccessMode::Read)?;
+            let exc_pos = h.get_access(&exc_pos_buf, AccessMode::Read)?;
+            let exc_val = h.get_access(&exc_val_buf, AccessMode::Read)?;
+            let chr = h.get_access(&chr_buf, AccessMode::ReadWrite)?;
+            let pat = h.get_access(&self.pat_buf, AccessMode::Read)?;
+            let pat_index = h.get_access(&self.pat_index_buf, AccessMode::Read)?;
+            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
+            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
+            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
+
+            let mut layout = LocalLayout::new();
+            let l_pat = layout.array::<u8>(2 * plen);
+            let l_pat_index = layout.array::<i32>(2 * plen);
+            let kernel = PackedFinderKernel {
+                inner: FinderKernel {
+                    chr: chr.raw(),
+                    pat: pat.raw(),
+                    pat_index: pat_index.raw(),
+                    out: FinderOutput {
+                        loci: loci.raw(),
+                        flags: flags.raw(),
+                        count: fcount.raw(),
+                    },
+                    scan_len: scan_len as u32,
+                    seq_len: seq_len as u32,
+                    plen: plen as u32,
+                    l_pat,
+                    l_pat_index,
+                },
+                packed: packed_acc.raw(),
+                mask: mask.raw(),
+                exc_pos: exc_pos.raw(),
+                exc_val: exc_val.raw(),
+                n_exc: n_exc as u32,
+            };
+            h.parallel_for(NdRange::linear(round_up(scan_len, wgs), wgs), &kernel)
+        })?;
+        ev.wait();
+        let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+        timing.finder_s += ev
+            .launch_reports()
+            .iter()
+            .map(|r| r.exec_time_s)
+            .sum::<f64>();
+        for r in ev.launch_reports() {
+            profile.record_ref(r);
+        }
+        timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+        timing.finder_launches += 1;
+
+        let mut count_host = [0u32];
+        let ev = self.queue.submit(|h| {
+            let acc = h.get_access(&fcount_buf, AccessMode::Read)?;
+            h.copy_from_device(&acc, &mut count_host)
+        })?;
+        timing.transfer_s += ev.duration_s();
+        let n = count_host[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            return Ok(per_query);
+        }
+
+        // Same dispatch as the OpenCL runner: 2-bit comparison against the
+        // resident packed buffers when the exceptions are semantically
+        // transparent, char comparison on the decoded scratch otherwise.
+        if twobit_compare_safe(packed) {
+            self.run_comparers_2bit(
+                &packed_buf, &mask_buf, &loci_buf, &flags_buf, n, tables, timing, profile,
+                &mut per_query,
+            )?;
+        } else {
+            self.run_comparers(&chr_buf, &loci_buf, &flags_buf, n, tables, timing, profile, &mut per_query)?;
+        }
+        Ok(per_query)
+    }
+
+    /// Shared comparer stage: one command group per prepared query against
+    /// `n` candidate loci staged in the given chunk buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn run_comparers(
+        &self,
+        chr_buf: &Buffer<u8>,
+        loci_buf: &Buffer<u32>,
+        flags_buf: &Buffer<u8>,
+        n: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+        per_query: &mut [QueryEntries],
+    ) -> SyclResult<()> {
+        let plen = self.pattern.plen();
+        let wgs = self.wgs;
         for (out, (comp_buf, comp_index_buf, threshold)) in
             per_query.iter_mut().zip(&tables.entries)
         {
-            let out_mm = Buffer::<u16>::new(2 * n);
-            let out_dir = Buffer::<u8>::new(2 * n);
-            let out_loci = Buffer::<u32>::new(2 * n);
+            let out_mm = Buffer::<u16>::uninit(2 * n);
+            let out_dir = Buffer::<u8>::uninit(2 * n);
+            let out_loci = Buffer::<u32>::uninit(2 * n);
             let out_count = Buffer::<u32>::new(1);
 
             let ev = self.queue.submit(|h| {
-                let chr = h.get_access(&chr_buf, AccessMode::Read)?;
-                let loci = h.get_access(&loci_buf, AccessMode::Read)?;
-                let flags = h.get_access(&flags_buf, AccessMode::Read)?;
+                let chr = h.get_access(chr_buf, AccessMode::Read)?;
+                let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                let flags = h.get_access(flags_buf, AccessMode::Read)?;
                 let comp = h.get_access(comp_buf, AccessMode::Read)?;
                 let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
                 let mm = h.get_access(&out_mm, AccessMode::Write)?;
@@ -577,8 +952,110 @@ impl SyclChunkRunner {
             timing.transfer_s += ev.duration_s();
             *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
         }
-        // chr/loci/flags/fcount buffers drop here: implicit release.
-        Ok(per_query)
+        Ok(())
+    }
+
+    /// Comparer stage over the resident 2-bit payload: one command group
+    /// per prepared query running [`TwoBitComparerKernel`] against the
+    /// packed words and N-mask, skipping the decoded scratch entirely.
+    #[allow(clippy::too_many_arguments)]
+    fn run_comparers_2bit(
+        &self,
+        packed_buf: &Buffer<u8>,
+        mask_buf: &Buffer<u8>,
+        loci_buf: &Buffer<u32>,
+        flags_buf: &Buffer<u8>,
+        n: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+        per_query: &mut [QueryEntries],
+    ) -> SyclResult<()> {
+        let plen = self.pattern.plen();
+        let wgs = self.wgs;
+        for (out, (comp_buf, comp_index_buf, threshold)) in
+            per_query.iter_mut().zip(&tables.entries)
+        {
+            let out_mm = Buffer::<u16>::uninit(2 * n);
+            let out_dir = Buffer::<u8>::uninit(2 * n);
+            let out_loci = Buffer::<u32>::uninit(2 * n);
+            let out_count = Buffer::<u32>::new(1);
+
+            let ev = self.queue.submit(|h| {
+                let packed = h.get_access(packed_buf, AccessMode::Read)?;
+                let mask = h.get_access(mask_buf, AccessMode::Read)?;
+                let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                let comp = h.get_access(comp_buf, AccessMode::Read)?;
+                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
+                let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+
+                let mut layout = LocalLayout::new();
+                let l_comp = layout.array::<u8>(2 * plen);
+                let l_comp_index = layout.array::<i32>(2 * plen);
+                let kernel = TwoBitComparerKernel {
+                    packed: packed.raw(),
+                    mask: mask.raw(),
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    comp: comp.raw(),
+                    comp_index: comp_index.raw(),
+                    locicnt: n as u32,
+                    plen: plen as u32,
+                    threshold: *threshold,
+                    out: ComparerOutput {
+                        mm_count: mm.raw(),
+                        direction: dir.raw(),
+                        loci: mloci.raw(),
+                        count: count.raw(),
+                    },
+                    l_comp,
+                    l_comp_index,
+                };
+                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+            })?;
+            ev.wait();
+            let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+            timing.comparer_s += ev
+                .launch_reports()
+                .iter()
+                .map(|r| r.exec_time_s)
+                .sum::<f64>();
+            for r in ev.launch_reports() {
+                profile.record_ref(r);
+            }
+            timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+            timing.comparer_launches += 1;
+
+            let mut entry_count = [0u32];
+            let ev = self.queue.submit(|h| {
+                let acc = h.get_access(&out_count, AccessMode::Read)?;
+                h.copy_from_device(&acc, &mut entry_count)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            let m = entry_count[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let mut mm = vec![0u16; m];
+            let mut dir = vec![0u8; m];
+            let mut pos = vec![0u32; m];
+            let ev = self.queue.submit(|h| {
+                let mm_acc = h.get_access(&out_mm, AccessMode::Read)?;
+                let dir_acc = h.get_access(&out_dir, AccessMode::Read)?;
+                let pos_acc = h.get_access(&out_loci, AccessMode::Read)?;
+                h.copy_from_device(&mm_acc, &mut mm)?;
+                h.copy_from_device(&dir_acc, &mut dir)?;
+                h.copy_from_device(&pos_acc, &mut pos)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+        }
+        Ok(())
     }
 
     /// Block until every submitted command group completes.
@@ -679,6 +1156,138 @@ mod tests {
         runner.wait();
         sort_canonical(&mut offtargets);
         assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
+    }
+
+    /// The toy assembly plus a chromosome exercising every packed-path
+    /// special case: masked N runs, a degenerate base ('R', which the
+    /// lossless exception list must preserve — genome R matches pattern N,
+    /// unlike N), and ordinary ACGT.
+    fn toy_with_ambiguity() -> (Assembly, SearchInput) {
+        let (mut asm, input) = toy();
+        asm.push(Chromosome::new(
+            "chr2",
+            b"NNNNACGTACGTAGGTTTACGTACGRAGCCCCCACGTACGTCGGNNNN".to_vec(),
+        ));
+        (asm, input)
+    }
+
+    #[test]
+    fn packed_ocl_runner_matches_the_char_path_with_fewer_upload_bytes() {
+        let (asm, input) = toy_with_ambiguity();
+        let cfg = config();
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let plen = runner.plen();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let (mut char_h2d, mut packed_h2d) = (0u64, 0u64);
+        let mut offtargets = Vec::new();
+        for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let before = runner.traffic().h2d_bytes;
+            let plain = runner
+                .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            let mid = runner.traffic().h2d_bytes;
+            let packed = PackedSeq::encode(chunk.seq);
+            let per_query = runner
+                .run_packed_chunk(&packed, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            let after = runner.traffic().h2d_bytes;
+            assert_eq!(per_query, plain, "packed path must be byte-identical");
+            char_h2d += mid - before;
+            packed_h2d += after - mid;
+            for (query, entries) in input.queries.iter().zip(&per_query) {
+                entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
+            }
+        }
+        assert!(
+            packed_h2d < char_h2d,
+            "packed upload ({packed_h2d} B) must undercut the char upload ({char_h2d} B)"
+        );
+        sort_canonical(&mut offtargets);
+        assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    fn packed_sycl_runner_reproduces_the_serial_pipeline() {
+        let (asm, input) = toy_with_ambiguity();
+        let cfg = config();
+        let runner = SyclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries);
+        let plen = runner.plen();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let mut offtargets = Vec::new();
+        for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let packed = PackedSeq::encode(chunk.seq);
+            let per_query = runner
+                .run_packed_chunk(&packed, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            for (query, entries) in input.queries.iter().zip(&per_query) {
+                entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
+            }
+        }
+        runner.wait();
+        sort_canonical(&mut offtargets);
+        assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
+        assert!(timing.finder_launches >= 2);
+    }
+
+    #[test]
+    fn twobit_dispatch_tolerates_case_but_not_degenerate_codes() {
+        // Lowercase concrete bases and `n` are exceptions only for lossless
+        // decode; `base_mask` ignores case, so the 2-bit view is equivalent.
+        assert!(twobit_compare_safe(&PackedSeq::encode(b"ACGTNNNNACGT")));
+        assert!(twobit_compare_safe(&PackedSeq::encode(b"acgtnACGTNtg")));
+        // Genome `R` matches pattern `R`/`D`/`V`, its masked stand-in `N`
+        // does not: the chunk must fall back to the char comparer.
+        assert!(!twobit_compare_safe(&PackedSeq::encode(b"ACGTRACGTACG")));
+    }
+
+    #[test]
+    fn packed_path_spends_less_comparer_time_than_the_char_path() {
+        // An exception-free chunk takes the comparer_2bit stage, which
+        // shares packed bytes across four bases instead of loading one
+        // byte per base — less simulated comparer time per launch.
+        let seq: Vec<u8> = (0..4096usize).map(|i| b"ACGT"[(i * 7 + 3) % 4]).collect();
+        let mut asm = Assembly::new("toy");
+        asm.push(Chromosome::new("chr1", seq));
+        let input = SearchInput::parse("toy\nNNNNNNNNNNN\nACGTACGTNNN 8\n").unwrap();
+        let cfg = config().chunk_size(4096);
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let plen = runner.plen();
+        let chunk = Chunker::new(&asm, cfg.chunk_size, plen).next().unwrap();
+
+        let mut char_t = TimingBreakdown::default();
+        let mut packed_t = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let plain = runner
+            .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut char_t, &mut profile)
+            .unwrap();
+        let packed = PackedSeq::encode(chunk.seq);
+        assert!(packed.exceptions().is_empty());
+        let per_query = runner
+            .run_packed_chunk(&packed, chunk.scan_len, &tables, &mut packed_t, &mut profile)
+            .unwrap();
+        assert_eq!(per_query, plain);
+        assert!(char_t.candidates > 0, "the all-N PAM keeps every locus");
+        assert!(
+            packed_t.comparer_s < char_t.comparer_s,
+            "2-bit comparer ({:.3e}s) must beat the char comparer ({:.3e}s)",
+            packed_t.comparer_s,
+            char_t.comparer_s
+        );
+        tables.release();
+        runner.release();
     }
 
     #[test]

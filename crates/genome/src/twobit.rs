@@ -138,6 +138,106 @@ impl TwoBitSeq {
     }
 }
 
+/// A lossless 2-bit packed sequence: a [`TwoBitSeq`] plus an exception list
+/// recording every position the 2-bit form cannot restore exactly.
+///
+/// `TwoBitSeq::decode` collapses all ambiguity codes to `N` and uppercases
+/// lowercase bases, so it cannot be used where byte-exact round-trips matter
+/// (the serving cache must reproduce the original chunk bytes so results stay
+/// byte-identical to the unpacked pipeline). `PackedSeq` stores the original
+/// byte for each such position as a sorted `(position, byte)` list; for
+/// genomic data the list is tiny (degenerate IUPAC codes are rare and runs of
+/// `N` need no exceptions), so the representation stays close to 2.25 bits
+/// per base while [`decode`](Self::decode) is exact for arbitrary input.
+///
+/// # Examples
+///
+/// ```
+/// use genome::twobit::PackedSeq;
+///
+/// let p = PackedSeq::encode(b"ACGRNNta");
+/// assert_eq!(p.decode(), b"ACGRNNta"); // R, N and lowercase all survive
+/// assert_eq!(p.exceptions().len(), 3); // R, t, a (N decodes as N for free)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PackedSeq {
+    two_bit: TwoBitSeq,
+    exceptions: Vec<(u32, u8)>,
+}
+
+impl PackedSeq {
+    /// Pack a byte sequence losslessly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is longer than `u32::MAX` bases (exception positions
+    /// are stored as `u32`, matching the device-side representation).
+    pub fn encode(seq: &[u8]) -> Self {
+        assert!(seq.len() <= u32::MAX as usize, "sequence too long to pack");
+        let two_bit = TwoBitSeq::encode(seq);
+        let exceptions = seq
+            .iter()
+            .enumerate()
+            .filter(|&(i, &c)| two_bit.base(i) != c)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        PackedSeq { two_bit, exceptions }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.two_bit.len()
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.two_bit.is_empty()
+    }
+
+    /// The underlying lossy 2-bit encoding.
+    pub fn two_bit(&self) -> &TwoBitSeq {
+        &self.two_bit
+    }
+
+    /// The packed base bytes (4 bases per byte, LSB first).
+    pub fn packed_bytes(&self) -> &[u8] {
+        self.two_bit.packed_bytes()
+    }
+
+    /// The ambiguity mask bytes (8 bases per byte, LSB first).
+    pub fn mask_bytes(&self) -> &[u8] {
+        self.two_bit.mask_bytes()
+    }
+
+    /// Positions whose original byte differs from the 2-bit decode, sorted
+    /// ascending: degenerate IUPAC codes, lowercase bases, and any byte that
+    /// is not a base at all.
+    pub fn exceptions(&self) -> &[(u32, u8)] {
+        &self.exceptions
+    }
+
+    /// Exception positions and bytes as parallel arrays, ready for upload as
+    /// device buffers.
+    pub fn exception_arrays(&self) -> (Vec<u32>, Vec<u8>) {
+        self.exceptions.iter().copied().unzip()
+    }
+
+    /// Bytes used by the packed representation (bases + mask + exceptions).
+    pub fn byte_len(&self) -> usize {
+        self.two_bit.byte_len()
+            + self.exceptions.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<u8>())
+    }
+
+    /// Unpack the original sequence exactly.
+    pub fn decode(&self) -> Vec<u8> {
+        let mut seq = self.two_bit.decode();
+        for &(pos, byte) in &self.exceptions {
+            seq[pos as usize] = byte;
+        }
+        seq
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +297,65 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_access_panics() {
         TwoBitSeq::encode(b"ACGT").code(4);
+    }
+
+    #[test]
+    fn packed_seq_roundtrips_every_iupac_code() {
+        use crate::base::IUPAC_CODES;
+        // Every IUPAC code the chunker can emit, upper and lower case, in
+        // every phase relative to the 4-base packing boundary.
+        for &code in IUPAC_CODES.iter() {
+            for c in [code, code.to_ascii_lowercase()] {
+                for phase in 0..4 {
+                    let mut seq = vec![b'A'; phase];
+                    seq.push(c);
+                    seq.extend_from_slice(b"CGT");
+                    let p = PackedSeq::encode(&seq);
+                    assert_eq!(p.decode(), seq, "code {} at phase {phase}", c as char);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_seq_roundtrips_random_genomic_sequences() {
+        use crate::base::IUPAC_CODES;
+        use crate::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(0x2B17);
+        for round in 0..32 {
+            let len = rng.gen_below(700);
+            let seq: Vec<u8> = (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.05) {
+                        IUPAC_CODES[rng.gen_below(IUPAC_CODES.len())]
+                    } else if rng.gen_bool(0.02) {
+                        b"acgtn"[rng.gen_below(5)]
+                    } else {
+                        b"ACGTN"[rng.gen_below(5)]
+                    }
+                })
+                .collect();
+            let p = PackedSeq::encode(&seq);
+            assert_eq!(p.decode(), seq, "round {round}");
+            assert_eq!(p.len(), seq.len());
+        }
+    }
+
+    #[test]
+    fn packed_seq_exceptions_stay_rare_on_plain_genomes() {
+        // A concrete uppercase genome with N runs needs no exceptions at all,
+        // so the footprint stays ~4x under the raw bytes.
+        let mut seq = vec![b'N'; 100];
+        seq.extend(std::iter::repeat_n(*b"ACGT", 200).flatten());
+        seq.extend(vec![b'N'; 100]);
+        let p = PackedSeq::encode(&seq);
+        assert!(p.exceptions().is_empty());
+        assert_eq!(
+            p.byte_len(),
+            seq.len().div_ceil(4) + seq.len().div_ceil(8),
+            "packed + mask bytes only, ~2.7x under raw"
+        );
+        let (pos, val) = p.exception_arrays();
+        assert!(pos.is_empty() && val.is_empty());
     }
 }

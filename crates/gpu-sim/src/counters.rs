@@ -45,6 +45,10 @@ pub struct AccessCounters {
     /// so one transaction serves the wavefront (the finder's reference
     /// reads).
     pub global_coalesced_loads: u64,
+    /// Fully coalesced streaming stores: lane `i` writes address `base + i`,
+    /// so one write transaction serves the wavefront (the packed finder's
+    /// on-device chunk decode).
+    pub global_coalesced_stores: u64,
     /// Loads from shared local memory.
     pub local_loads: u64,
     /// Stores to shared local memory.
@@ -68,6 +72,7 @@ impl AccessCounters {
         constant_loads: 0,
         global_cached_loads: 0,
         global_coalesced_loads: 0,
+        global_coalesced_stores: 0,
         local_loads: 0,
         local_stores: 0,
         atomic_ops: 0,
@@ -115,6 +120,7 @@ impl AddAssign for AccessCounters {
         self.constant_loads += rhs.constant_loads;
         self.global_cached_loads += rhs.global_cached_loads;
         self.global_coalesced_loads += rhs.global_coalesced_loads;
+        self.global_coalesced_stores += rhs.global_coalesced_stores;
         self.local_loads += rhs.local_loads;
         self.local_stores += rhs.local_stores;
         self.atomic_ops += rhs.atomic_ops;
@@ -142,6 +148,7 @@ mod tests {
             constant_loads: n,
             global_cached_loads: n,
             global_coalesced_loads: n,
+            global_coalesced_stores: n,
             local_loads: 3 * n,
             local_stores: n,
             atomic_ops: n,

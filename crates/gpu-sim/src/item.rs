@@ -146,6 +146,11 @@ impl ItemCtx {
         self.counters.global_load_bytes += bytes;
     }
 
+    pub(crate) fn count_global_coalesced_store(&mut self, bytes: u64) {
+        self.counters.global_coalesced_stores += 1;
+        self.counters.global_store_bytes += bytes;
+    }
+
     pub(crate) fn count_atomic(&mut self, bytes: u64) {
         self.counters.atomic_ops += 1;
         self.counters.global_load_bytes += bytes;

@@ -385,6 +385,26 @@ impl<T: Scalar> DeviceBuffer<T> {
         self.cell(i).store(v);
     }
 
+    /// Kernel-side store of `v` to element `i` that is part of a fully
+    /// coalesced streaming write — lane `i` of the wavefront writes address
+    /// `base + i`, so one write transaction serves all 64 lanes (the packed
+    /// finder's on-device chunk decode). Priced lockstep like a coalesced
+    /// load; the bytes still count toward bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds, or if the buffer lives in constant
+    /// memory (constant memory is read-only from kernels).
+    #[inline]
+    pub fn store_coalesced(&self, item: &mut ItemCtx, i: usize, v: T) {
+        assert!(
+            self.space == AddressSpace::Global,
+            "kernel store to read-only constant buffer"
+        );
+        item.count_global_coalesced_store(T::BYTES);
+        self.cell(i).store(v);
+    }
+
     #[inline]
     fn cell(&self, i: usize) -> &AtomicCell<T> {
         match self.storage.cells.get(i) {
@@ -502,6 +522,18 @@ mod tests {
         assert_eq!(c.global_stores, 1);
         assert_eq!(c.global_load_bytes, 4);
         assert_eq!(c.global_store_bytes, 4);
+    }
+
+    #[test]
+    fn coalesced_stores_count_in_their_own_class() {
+        let buf = alloc::<u32>(64, 4, AddressSpace::Global).unwrap();
+        let mut it = item();
+        buf.store_coalesced(&mut it, 2, 9);
+        assert_eq!(buf.load(&mut it, 2), 9);
+        let c = it.counters();
+        assert_eq!(c.global_coalesced_stores, 1);
+        assert_eq!(c.global_stores, 0, "coalesced stores are not scattered");
+        assert_eq!(c.global_store_bytes, 4, "bytes still count for bandwidth");
     }
 
     #[test]

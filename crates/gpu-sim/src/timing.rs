@@ -74,6 +74,7 @@ impl CostModel {
         c.arith_ops as f64 * self.arith
             + c.local_accesses() as f64 * self.lds
             + c.global_coalesced_loads as f64 * self.coalesced_gmem
+            + c.global_coalesced_stores as f64 * self.coalesced_gmem
             + c.constant_loads as f64 * self.constant
             + c.barriers as f64 * self.barrier
     }
@@ -145,6 +146,18 @@ mod tests {
         };
         let expect = 10.0 + 2.0 * cm.lds + cm.gmem;
         assert!((cm.cycles(&c) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coalesced_stores_are_lockstep_not_serialized() {
+        let spec = DeviceSpec::mi100();
+        let cm = CostModel::new(&spec);
+        let c = AccessCounters {
+            global_coalesced_stores: 4,
+            ..AccessCounters::ZERO
+        };
+        assert!((cm.lockstep_cycles(&c) - 4.0 * cm.coalesced_gmem).abs() < 1e-9);
+        assert_eq!(cm.serialized_cycles(&c), 0.0);
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod tests {
         Job {
             id,
             spec: JobSpec::new(assembly, pattern.to_vec(), vec![b'A'; pattern.len()], 2),
+            cost: 1,
         }
     }
 

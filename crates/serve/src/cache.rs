@@ -1,4 +1,4 @@
-//! A capacity-bounded LRU cache of encoded genome chunks.
+//! A byte-budgeted LRU cache of encoded genome chunks.
 //!
 //! Uploading a chunk to a device is cheap in the simulator but slicing and
 //! owning the chunk bytes on the host is the work the service repeats for
@@ -6,12 +6,42 @@
 //! hot working set resident: a batch that lands on a chunk another batch
 //! just used pays a map lookup instead of a copy of up to `chunk_size`
 //! bases.
+//!
+//! Chunks are stored 2-bit packed by default ([`ChunkEncoding::Packed`]):
+//! a [`genome::twobit::PackedSeq`] holds ~0.375 bytes per base (packed
+//! words + N mask) plus a rare exception list, so the same byte budget
+//! keeps roughly 2.7x as many chunks resident as raw bytes would, and the
+//! packed payload is what the runners upload. [`ChunkEncoding::Raw`] keeps
+//! the classic one-byte-per-base layout for baseline comparisons.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use genome::twobit::PackedSeq;
+
+/// How the cache (and the upload path) represents chunk bases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkEncoding {
+    /// 2-bit packed + N mask + exception list (the serving default).
+    #[default]
+    Packed,
+    /// One byte per base, as the serial pipelines upload.
+    Raw,
+}
+
+/// The resident representation of a chunk's bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkPayload {
+    /// Losslessly 2-bit packed.
+    Packed(PackedSeq),
+    /// Raw bases.
+    Raw(Vec<u8>),
+}
+
 /// One genome chunk in host memory, ready for upload: `scan_len` owned
-/// scan positions plus the trailing overlap context.
+/// scan positions plus the trailing overlap context, in the cache's
+/// encoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedChunk {
     /// Index of the source chromosome within the assembly.
@@ -22,8 +52,59 @@ pub struct EncodedChunk {
     pub start: usize,
     /// Number of scan positions owned by this chunk.
     pub scan_len: usize,
-    /// The chunk's bases.
-    pub seq: Vec<u8>,
+    /// The chunk's bases, in the configured encoding.
+    pub payload: ChunkPayload,
+}
+
+impl EncodedChunk {
+    /// Encode `seq` under `encoding`.
+    pub fn encode(
+        chrom_index: usize,
+        chrom: String,
+        start: usize,
+        scan_len: usize,
+        seq: &[u8],
+        encoding: ChunkEncoding,
+    ) -> Self {
+        let payload = match encoding {
+            ChunkEncoding::Packed => ChunkPayload::Packed(PackedSeq::encode(seq)),
+            ChunkEncoding::Raw => ChunkPayload::Raw(seq.to_vec()),
+        };
+        EncodedChunk {
+            chrom_index,
+            chrom,
+            start,
+            scan_len,
+            payload,
+        }
+    }
+
+    /// Number of bases the chunk holds (scan positions + trailing context).
+    pub fn seq_len(&self) -> usize {
+        match &self.payload {
+            ChunkPayload::Packed(p) => p.len(),
+            ChunkPayload::Raw(seq) => seq.len(),
+        }
+    }
+
+    /// Host bytes the payload keeps resident — what the cache budget
+    /// charges for this entry.
+    pub fn byte_len(&self) -> usize {
+        match &self.payload {
+            ChunkPayload::Packed(p) => p.byte_len(),
+            ChunkPayload::Raw(seq) => seq.len(),
+        }
+    }
+
+    /// The chunk's bases as characters, decoding packed payloads
+    /// (borrowing raw ones). Exact: packed payloads round-trip degenerate
+    /// and lowercase bases through the exception list.
+    pub fn decode(&self) -> Cow<'_, [u8]> {
+        match &self.payload {
+            ChunkPayload::Packed(p) => Cow::Owned(p.decode()),
+            ChunkPayload::Raw(seq) => Cow::Borrowed(seq),
+        }
+    }
 }
 
 /// Cache key: which chunk of which assembly, under which overlap.
@@ -48,6 +129,7 @@ struct Entry {
 
 struct Inner {
     map: HashMap<ChunkKey, Entry>,
+    bytes: usize,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -61,10 +143,12 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to encode the chunk.
     pub misses: u64,
-    /// Entries evicted to stay within capacity.
+    /// Entries evicted to stay within the byte budget.
     pub evictions: u64,
     /// Chunks currently resident.
     pub len: usize,
+    /// Payload bytes currently resident.
+    pub bytes_resident: usize,
 }
 
 impl CacheStats {
@@ -79,20 +163,23 @@ impl CacheStats {
     }
 }
 
-/// Thread-safe LRU over [`EncodedChunk`]s, bounded by chunk count.
+/// Thread-safe LRU over [`EncodedChunk`]s, bounded by resident payload
+/// bytes rather than entry count — a packed cache therefore keeps ~2.7x
+/// the chunks of a raw cache at the same budget.
 pub struct GenomeCache {
-    capacity: usize,
+    capacity_bytes: usize,
     inner: Mutex<Inner>,
 }
 
 impl GenomeCache {
-    /// An empty cache holding at most `capacity` chunks.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
+    /// An empty cache holding at most `capacity_bytes` of payload.
+    pub fn new(capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "cache capacity must be positive");
         GenomeCache {
-            capacity,
+            capacity_bytes,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                bytes: 0,
                 tick: 0,
                 hits: 0,
                 misses: 0,
@@ -103,7 +190,9 @@ impl GenomeCache {
 
     /// Fetch the chunk for `key`, encoding it with `encode` on a miss.
     /// Either way the entry becomes the most recently used; on insertion
-    /// past capacity the least recently used entry is evicted.
+    /// past the byte budget, least recently used entries are evicted until
+    /// the new entry fits (an entry larger than the whole budget is still
+    /// admitted, alone).
     pub fn get_or_insert_with(
         &self,
         key: &ChunkKey,
@@ -120,18 +209,22 @@ impl GenomeCache {
         }
         inner.misses += 1;
         let chunk = Arc::new(encode());
-        if inner.map.len() >= self.capacity {
-            // O(len) scan; the capacity is small by construction.
+        let incoming = chunk.byte_len();
+        while !inner.map.is_empty() && inner.bytes + incoming > self.capacity_bytes {
+            // O(len) scan; resident counts stay small by construction.
             if let Some(lru) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                inner.map.remove(&lru);
-                inner.evictions += 1;
+                if let Some(evicted) = inner.map.remove(&lru) {
+                    inner.bytes -= evicted.chunk.byte_len();
+                    inner.evictions += 1;
+                }
             }
         }
+        inner.bytes += incoming;
         inner.map.insert(
             key.clone(),
             Entry {
@@ -150,6 +243,7 @@ impl GenomeCache {
             misses: inner.misses,
             evictions: inner.evictions,
             len: inner.map.len(),
+            bytes_resident: inner.bytes,
         }
     }
 }
@@ -166,54 +260,89 @@ mod tests {
         }
     }
 
-    fn chunk(index: usize) -> EncodedChunk {
-        EncodedChunk {
-            chrom_index: 0,
-            chrom: "chr1".into(),
-            start: index * 10,
-            scan_len: 10,
-            seq: vec![b'A'; 13],
-        }
+    fn chunk(index: usize, encoding: ChunkEncoding) -> EncodedChunk {
+        EncodedChunk::encode(0, "chr1".into(), index * 10, 10, &[b'A'; 13], encoding)
     }
 
+    /// 13 raw bases pack into ceil(13/4) + ceil(13/8) = 4 + 2 = 6 bytes.
+    const PACKED_BYTES: usize = 6;
+
     #[test]
-    fn hits_and_misses_are_accounted() {
-        let cache = GenomeCache::new(4);
-        let a = cache.get_or_insert_with(&key(0), || chunk(0));
+    fn hits_and_misses_are_accounted_in_bytes() {
+        let cache = GenomeCache::new(4 * PACKED_BYTES);
+        let a = cache.get_or_insert_with(&key(0), || chunk(0, ChunkEncoding::Packed));
+        assert_eq!(a.byte_len(), PACKED_BYTES);
+        assert_eq!(a.seq_len(), 13);
+        assert_eq!(a.decode().as_ref(), &[b'A'; 13]);
         let b = cache.get_or_insert_with(&key(0), || unreachable!("must hit"));
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert_eq!(stats.bytes_resident, PACKED_BYTES);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    fn eviction_removes_the_least_recently_used() {
-        let cache = GenomeCache::new(2);
-        cache.get_or_insert_with(&key(0), || chunk(0));
-        cache.get_or_insert_with(&key(1), || chunk(1));
+    fn eviction_removes_the_least_recently_used_by_byte_budget() {
+        let cache = GenomeCache::new(2 * PACKED_BYTES);
+        cache.get_or_insert_with(&key(0), || chunk(0, ChunkEncoding::Packed));
+        cache.get_or_insert_with(&key(1), || chunk(1, ChunkEncoding::Packed));
         // Touch 0 so 1 becomes the LRU entry.
         cache.get_or_insert_with(&key(0), || unreachable!());
-        cache.get_or_insert_with(&key(2), || chunk(2)); // evicts 1
+        cache.get_or_insert_with(&key(2), || chunk(2, ChunkEncoding::Packed)); // evicts 1
         cache.get_or_insert_with(&key(0), || unreachable!("0 must survive"));
-        cache.get_or_insert_with(&key(1), || chunk(1)); // 1 is gone: miss
+        cache.get_or_insert_with(&key(1), || chunk(1, ChunkEncoding::Packed)); // 1 is gone: miss
         let stats = cache.stats();
         assert_eq!(stats.evictions, 2, "inserting 2 evicted 1; reinserting 1 evicted the then-LRU");
         assert_eq!(stats.len, 2);
+        assert_eq!(stats.bytes_resident, 2 * PACKED_BYTES);
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.hits, 2);
     }
 
     #[test]
+    fn packed_entries_outnumber_raw_at_the_same_budget() {
+        // Budget of two raw chunks holds four packed ones (6 B vs 13 B).
+        let budget = 2 * 13;
+        let raw = GenomeCache::new(budget);
+        let packed = GenomeCache::new(budget);
+        for i in 0..4 {
+            raw.get_or_insert_with(&key(i), || chunk(i, ChunkEncoding::Raw));
+            packed.get_or_insert_with(&key(i), || chunk(i, ChunkEncoding::Packed));
+        }
+        assert_eq!(raw.stats().len, 2, "raw: two 13 B entries fill 26 B");
+        assert_eq!(packed.stats().len, 4, "packed: four 6 B entries fit");
+        assert!(packed.stats().evictions < raw.stats().evictions);
+    }
+
+    #[test]
+    fn oversized_entries_are_admitted_alone() {
+        let cache = GenomeCache::new(4);
+        let c = cache.get_or_insert_with(&key(0), || chunk(0, ChunkEncoding::Raw));
+        assert_eq!(c.byte_len(), 13);
+        assert_eq!(cache.stats().len, 1, "an entry above budget still serves");
+        cache.get_or_insert_with(&key(1), || chunk(1, ChunkEncoding::Raw));
+        assert_eq!(cache.stats().len, 1, "but is evicted by the next insert");
+    }
+
+    #[test]
     fn keys_separate_assemblies_and_overlaps() {
-        let cache = GenomeCache::new(8);
-        cache.get_or_insert_with(&key(0), || chunk(0));
+        let cache = GenomeCache::new(1 << 10);
+        cache.get_or_insert_with(&key(0), || chunk(0, ChunkEncoding::Packed));
         let other = ChunkKey {
             assembly: "a".into(),
             plen: 5,
             index: 0,
         };
-        cache.get_or_insert_with(&other, || chunk(0));
+        cache.get_or_insert_with(&other, || chunk(0, ChunkEncoding::Packed));
         assert_eq!(cache.stats().misses, 2, "same index, different overlap");
+    }
+
+    #[test]
+    fn packed_payloads_preserve_degenerate_and_lowercase_bases() {
+        let seq = b"ACGTACGTACGTACGTACGTRyACGTACGTACGTNNNNNN";
+        let c = EncodedChunk::encode(0, "chr1".into(), 0, 32, seq, ChunkEncoding::Packed);
+        assert_eq!(c.decode().as_ref(), seq, "lossless round-trip incl. R, y");
+        assert!(c.byte_len() < seq.len(), "rare exceptions keep packing ahead");
     }
 }

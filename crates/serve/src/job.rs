@@ -1,5 +1,7 @@
 //! Query jobs: what a tenant submits to the service.
 
+use cas_offinder::bulge::BulgeLimits;
+
 /// Opaque job identifier, unique within one [`crate::Service`] instance.
 pub type JobId = u64;
 
@@ -26,6 +28,10 @@ pub struct JobSpec {
     pub max_mismatches: u16,
     /// Admission-queue priority class.
     pub priority: Priority,
+    /// When set, also search DNA/RNA bulge variants up to these limits
+    /// (Cas-OFFinder 3 semantics); results are the sorted, deduplicated
+    /// union over all variants.
+    pub bulge: Option<BulgeLimits>,
 }
 
 impl JobSpec {
@@ -46,6 +52,7 @@ impl JobSpec {
             guide,
             max_mismatches,
             priority: Priority::Normal,
+            bulge: None,
         }
     }
 
@@ -55,13 +62,23 @@ impl JobSpec {
         self.priority = Priority::High;
         self
     }
+
+    /// Also search bulge variants up to `limits`.
+    #[must_use]
+    pub fn with_bulges(mut self, limits: BulgeLimits) -> Self {
+        self.bulge = Some(limits);
+        self
+    }
 }
 
-/// An admitted job: a spec with its assigned id.
+/// An admitted job: a spec with its assigned id and admission cost.
 #[derive(Debug, Clone)]
 pub(crate) struct Job {
     pub id: JobId,
     pub spec: JobSpec,
+    /// Estimated work in scan-position units (assembly size × search
+    /// variants); what the admission queue's cost budget charges.
+    pub cost: u64,
 }
 
 #[cfg(test)]
@@ -74,6 +91,18 @@ mod tests {
         assert_eq!(spec.pattern, b"NNNRG");
         assert_eq!(spec.guide, b"ACGTG");
         assert_eq!(spec.priority, Priority::Normal);
+        assert_eq!(spec.bulge, None);
         assert_eq!(spec.high_priority().priority, Priority::High);
+    }
+
+    #[test]
+    fn bulge_limits_ride_on_the_spec() {
+        let limits = BulgeLimits {
+            max_dna: 1,
+            max_rna: 2,
+        };
+        let spec =
+            JobSpec::new("hg38", b"NNNRG".to_vec(), b"ACGTG".to_vec(), 3).with_bulges(limits);
+        assert_eq!(spec.bulge, Some(limits));
     }
 }

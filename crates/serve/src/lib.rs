@@ -2,12 +2,16 @@
 //!
 //! A multi-tenant serving layer over the `cas-offinder` pipelines: many
 //! concurrent query jobs (guide + PAM + mismatch threshold + assembly) are
-//! admitted through a bounded priority queue, **coalesced** by the
+//! admitted through a cost-budgeted priority queue, **coalesced** by the
 //! [batcher] so jobs scanning the same genome chunk share one chunk upload
 //! and one finder launch, scheduled across a pool of simulated devices
 //! (mixing OpenCL and SYCL pipelines on Radeon VII / MI60 / MI100 specs)
-//! with work stealing and per-device in-flight limits, and fed from a
-//! capacity-bounded LRU [cache] of encoded genome chunks.
+//! by *earliest predicted completion* under a per-device cost model, with
+//! work stealing and occupancy-derived in-flight limits, and fed from a
+//! byte-budgeted LRU [cache] of **2-bit packed** genome chunks that the
+//! runners upload packed and decode on-device. Bulge-aware searches
+//! (`JobSpec::with_bulges`) are expanded into per-variant unit searches by
+//! the batcher and served as one job.
 //!
 //! Results are byte-identical to the serial pipelines regardless of
 //! arrival order or scheduling (see [`service`] for the argument), and the
@@ -44,8 +48,9 @@ mod queue;
 mod scheduler;
 pub mod service;
 
-pub use cache::{CacheStats, GenomeCache};
+pub use cache::{CacheStats, ChunkEncoding, GenomeCache};
 pub use job::{JobId, JobSpec, Priority};
 pub use metrics::{DeviceReport, MetricsReport};
 pub use queue::QueueError;
+pub use scheduler::Placement;
 pub use service::{DeviceSlot, Service, ServiceConfig, SubmitError};

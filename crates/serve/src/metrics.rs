@@ -21,6 +21,10 @@ pub struct DeviceMetrics {
     pub h2d_bytes: AtomicU64,
     /// Device-to-host bytes moved (gauge from the simulator).
     pub d2h_bytes: AtomicU64,
+    /// Sum of the scheduler's predicted service times, nanoseconds.
+    pub predicted_ns: AtomicU64,
+    /// Sum of |predicted - measured| service time, nanoseconds.
+    pub prediction_abs_err_ns: AtomicU64,
 }
 
 /// Shared, lock-free service counters.
@@ -76,6 +80,10 @@ pub struct DeviceReport {
     pub h2d_bytes: u64,
     /// Device-to-host bytes.
     pub d2h_bytes: u64,
+    /// Scheduler-predicted service time, seconds.
+    pub predicted_s: f64,
+    /// Mean absolute prediction error as a fraction of busy time.
+    pub prediction_error: f64,
 }
 
 /// A complete point-in-time snapshot of the service's counters.
@@ -116,6 +124,21 @@ impl MetricsReport {
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
     }
+
+    /// Mean absolute predicted-vs-measured service-time error across all
+    /// devices, as a fraction of total busy time (0 when nothing ran).
+    pub fn mean_prediction_error(&self) -> f64 {
+        let busy: f64 = self.devices.iter().map(|d| d.busy_s).sum();
+        if busy == 0.0 {
+            return 0.0;
+        }
+        let err: f64 = self
+            .devices
+            .iter()
+            .map(|d| d.prediction_error * d.busy_s)
+            .sum();
+        err / busy
+    }
 }
 
 impl std::fmt::Display for MetricsReport {
@@ -137,20 +160,34 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
-            "cache: {:.1}% hit rate ({} hits / {} misses, {} evictions, {} resident)",
+            "cache: {:.1}% hit rate ({} hits / {} misses, {} evictions, {} resident, {} B)",
             100.0 * self.cache_hit_rate(),
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
-            self.cache.len
+            self.cache.len,
+            self.cache.bytes_resident
+        )?;
+        writeln!(
+            f,
+            "scheduler: {:.1}% mean |predicted - measured| service time",
+            100.0 * self.mean_prediction_error()
         )?;
         writeln!(f, "queue depth high-water: {}", self.queue_depth_high_water)?;
         for d in &self.devices {
             writeln!(
                 f,
                 "device {:>10} [{:>6}]: {:>8.3}s busy, {:>5} batches ({} stolen), \
-                 {} launches, {} B up, {} B down",
-                d.name, d.api, d.busy_s, d.batches, d.steals, d.kernel_launches, d.h2d_bytes, d.d2h_bytes
+                 {} launches, {} B up, {} B down, pred err {:.1}%",
+                d.name,
+                d.api,
+                d.busy_s,
+                d.batches,
+                d.steals,
+                d.kernel_launches,
+                d.h2d_bytes,
+                d.d2h_bytes,
+                100.0 * d.prediction_error
             )?;
         }
         Ok(())
@@ -189,6 +226,15 @@ pub(crate) fn load_report(
                 kernel_launches: d.kernel_launches.load(Ordering::Relaxed),
                 h2d_bytes: d.h2d_bytes.load(Ordering::Relaxed),
                 d2h_bytes: d.d2h_bytes.load(Ordering::Relaxed),
+                predicted_s: d.predicted_ns.load(Ordering::Relaxed) as f64 / 1e9,
+                prediction_error: {
+                    let busy = d.busy_ns.load(Ordering::Relaxed);
+                    if busy == 0 {
+                        0.0
+                    } else {
+                        d.prediction_abs_err_ns.load(Ordering::Relaxed) as f64 / busy as f64
+                    }
+                },
             })
             .collect(),
     }

@@ -1,9 +1,15 @@
 //! The bounded admission queue: two FIFO lanes (high/normal priority)
-//! behind one capacity limit, with rejection — not blocking — when full.
+//! behind one estimated-cost budget, with rejection — not blocking — when
+//! over budget.
 //!
-//! Admission control happens here: a tenant that submits faster than the
-//! device pool drains sees `QueueFull` and must back off, so one tenant
-//! cannot grow the service's memory without bound.
+//! Admission control happens here, and it is *cost*-aware rather than
+//! count-aware: each job carries an estimated work cost (assembly bases ×
+//! search variants), and the queue admits jobs until the summed cost of
+//! queued work exceeds the budget. A tenant submitting a few whole-genome
+//! bulge sweeps hits backpressure as fast as one submitting hundreds of
+//! small jobs, so neither can grow the service's backlog without bound.
+//! One exception keeps the service live: a job dearer than the whole
+//! budget is still admitted when the queue is empty.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -13,7 +19,7 @@ use crate::job::{Job, Priority};
 /// Why a submission was not enqueued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueError {
-    /// The queue is at capacity; retry after backing off.
+    /// The queued cost budget is exhausted; retry after backing off.
     Full,
     /// The service is shutting down; no further jobs are accepted.
     Closed,
@@ -22,7 +28,7 @@ pub enum QueueError {
 impl std::fmt::Display for QueueError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QueueError::Full => write!(f, "admission queue is full"),
+            QueueError::Full => write!(f, "admission queue cost budget is exhausted"),
             QueueError::Closed => write!(f, "service is shutting down"),
         }
     }
@@ -34,6 +40,8 @@ impl std::error::Error for QueueError {}
 struct Lanes {
     high: VecDeque<Job>,
     normal: VecDeque<Job>,
+    /// Summed cost of queued (not yet popped) jobs.
+    cost_queued: u64,
     depth_high_water: usize,
     closed: bool,
 }
@@ -44,33 +52,38 @@ impl Lanes {
     }
 }
 
-/// A capacity-bounded, two-lane FIFO job queue.
+/// A cost-budgeted, two-lane FIFO job queue.
 pub(crate) struct BoundedJobQueue {
-    capacity: usize,
+    cost_budget: u64,
     lanes: Mutex<Lanes>,
     available: Condvar,
 }
 
 impl BoundedJobQueue {
-    /// An empty queue admitting at most `capacity` queued jobs.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "queue capacity must be positive");
+    /// An empty queue admitting jobs while their summed cost stays within
+    /// `cost_budget`.
+    pub fn new(cost_budget: u64) -> Self {
+        assert!(cost_budget > 0, "queue cost budget must be positive");
         BoundedJobQueue {
-            capacity,
+            cost_budget,
             lanes: Mutex::new(Lanes::default()),
             available: Condvar::new(),
         }
     }
 
-    /// Enqueue `job`, rejecting instead of blocking when at capacity.
+    /// Enqueue `job`, rejecting instead of blocking when its cost would
+    /// push the queued total past the budget (unless the queue is empty —
+    /// a single oversized job must still be servable).
     pub fn try_submit(&self, job: Job) -> Result<(), QueueError> {
         let mut lanes = self.lanes.lock().unwrap();
         if lanes.closed {
             return Err(QueueError::Closed);
         }
-        if lanes.depth() >= self.capacity {
+        let over = lanes.cost_queued.saturating_add(job.cost) > self.cost_budget;
+        if over && lanes.depth() > 0 {
             return Err(QueueError::Full);
         }
+        lanes.cost_queued = lanes.cost_queued.saturating_add(job.cost);
         match job.spec.priority {
             Priority::High => lanes.high.push_back(job),
             Priority::Normal => lanes.normal.push_back(job),
@@ -88,6 +101,7 @@ impl BoundedJobQueue {
         let mut lanes = self.lanes.lock().unwrap();
         loop {
             if let Some(job) = lanes.high.pop_front().or_else(|| lanes.normal.pop_front()) {
+                lanes.cost_queued = lanes.cost_queued.saturating_sub(job.cost);
                 return Some(job);
             }
             if lanes.closed {
@@ -100,7 +114,11 @@ impl BoundedJobQueue {
     /// Dequeue without blocking; `None` when currently empty.
     pub fn try_pop(&self) -> Option<Job> {
         let mut lanes = self.lanes.lock().unwrap();
-        lanes.high.pop_front().or_else(|| lanes.normal.pop_front())
+        let job = lanes.high.pop_front().or_else(|| lanes.normal.pop_front());
+        if let Some(job) = &job {
+            lanes.cost_queued = lanes.cost_queued.saturating_sub(job.cost);
+        }
+        job
     }
 
     /// Stop admissions and wake blocked consumers; queued jobs still drain.
@@ -109,7 +127,7 @@ impl BoundedJobQueue {
         self.available.notify_all();
     }
 
-    /// Deepest the queue has ever been.
+    /// Deepest (in jobs) the queue has ever been.
     pub fn depth_high_water(&self) -> usize {
         self.lanes.lock().unwrap().depth_high_water
     }
@@ -120,45 +138,60 @@ mod tests {
     use super::*;
     use crate::job::JobSpec;
 
-    fn job(id: u64, priority: Priority) -> Job {
+    fn job(id: u64, priority: Priority, cost: u64) -> Job {
         let mut spec = JobSpec::new("a", b"NGG".to_vec(), b"ANN".to_vec(), 1);
         spec.priority = priority;
-        Job { id, spec }
+        Job { id, spec, cost }
     }
 
     #[test]
-    fn admission_rejects_past_capacity() {
-        let q = BoundedJobQueue::new(2);
-        q.try_submit(job(0, Priority::Normal)).unwrap();
-        q.try_submit(job(1, Priority::Normal)).unwrap();
+    fn admission_rejects_past_the_cost_budget() {
+        let q = BoundedJobQueue::new(25);
+        q.try_submit(job(0, Priority::Normal, 10)).unwrap();
+        q.try_submit(job(1, Priority::Normal, 10)).unwrap();
         assert_eq!(
-            q.try_submit(job(2, Priority::Normal)),
+            q.try_submit(job(2, Priority::Normal, 10)),
+            Err(QueueError::Full),
+            "30 > 25: third job is rejected even though only 2 are queued"
+        );
+        // A cheap job still fits under the remaining budget.
+        q.try_submit(job(3, Priority::Normal, 5)).unwrap();
+        // Draining releases budget.
+        assert_eq!(q.pop().unwrap().id, 0);
+        q.try_submit(job(2, Priority::Normal, 10)).unwrap();
+        assert_eq!(q.depth_high_water(), 3);
+    }
+
+    #[test]
+    fn an_oversized_job_is_admitted_only_when_the_queue_is_empty() {
+        let q = BoundedJobQueue::new(10);
+        q.try_submit(job(0, Priority::Normal, 1_000)).unwrap();
+        assert_eq!(
+            q.try_submit(job(1, Priority::Normal, 1)),
             Err(QueueError::Full)
         );
-        // Draining one slot re-opens admission.
         assert_eq!(q.pop().unwrap().id, 0);
-        q.try_submit(job(2, Priority::Normal)).unwrap();
-        assert_eq!(q.depth_high_water(), 2);
+        q.try_submit(job(1, Priority::Normal, 1)).unwrap();
     }
 
     #[test]
     fn high_priority_jumps_the_normal_lane() {
-        let q = BoundedJobQueue::new(8);
-        q.try_submit(job(0, Priority::Normal)).unwrap();
-        q.try_submit(job(1, Priority::High)).unwrap();
-        q.try_submit(job(2, Priority::Normal)).unwrap();
-        q.try_submit(job(3, Priority::High)).unwrap();
+        let q = BoundedJobQueue::new(80);
+        q.try_submit(job(0, Priority::Normal, 10)).unwrap();
+        q.try_submit(job(1, Priority::High, 10)).unwrap();
+        q.try_submit(job(2, Priority::Normal, 10)).unwrap();
+        q.try_submit(job(3, Priority::High, 10)).unwrap();
         let order: Vec<u64> = (0..4).map(|_| q.pop().unwrap().id).collect();
         assert_eq!(order, [1, 3, 0, 2], "high lane FIFO, then normal FIFO");
     }
 
     #[test]
     fn close_rejects_new_work_but_drains_old() {
-        let q = BoundedJobQueue::new(4);
-        q.try_submit(job(0, Priority::Normal)).unwrap();
+        let q = BoundedJobQueue::new(40);
+        q.try_submit(job(0, Priority::Normal, 10)).unwrap();
         q.close();
         assert_eq!(
-            q.try_submit(job(1, Priority::Normal)),
+            q.try_submit(job(1, Priority::Normal, 10)),
             Err(QueueError::Closed)
         );
         assert_eq!(q.pop().unwrap().id, 0);
@@ -167,11 +200,11 @@ mod tests {
 
     #[test]
     fn pop_blocks_until_a_producer_arrives() {
-        let q = std::sync::Arc::new(BoundedJobQueue::new(4));
+        let q = std::sync::Arc::new(BoundedJobQueue::new(40));
         let q2 = std::sync::Arc::clone(&q);
         let t = std::thread::spawn(move || q2.pop().map(|j| j.id));
         std::thread::sleep(std::time::Duration::from_millis(20));
-        q.try_submit(job(7, Priority::Normal)).unwrap();
+        q.try_submit(job(7, Priority::Normal, 10)).unwrap();
         assert_eq!(t.join().unwrap(), Some(7));
     }
 }

@@ -1,47 +1,233 @@
-//! The device pool: per-device batch queues with bounded in-flight depth,
-//! shortest-queue placement, and work stealing.
+//! The device pool: per-device batch queues with cost-aware placement,
+//! occupancy-derived in-flight limits, and work stealing.
 //!
-//! Placement and stealing are deliberately simple — the properties that
-//! matter to the service are (a) a device never idles while a sibling has
-//! a backlog, and (b) no device queue grows past its in-flight limit, so
-//! dispatch pressure propagates back to the admission queue.
+//! Placement is no longer "shortest queue": queue depth treats a one-job
+//! batch over a small chunk the same as an eight-job batch over a full
+//! chunk, and treats a consumer Radeon VII the same as an MI100 with twice
+//! its throughput. Instead each device carries a [`DeviceModel`] — service
+//! rate and per-batch overheads derived from its [`DeviceSpec`] and the
+//! comparer's occupancy on that device — and the dispatcher places every
+//! batch on the device with the *earliest predicted completion*: the sum of
+//! the predicted service times still pending on that device plus the
+//! batch's own predicted time under that device's model.
+//!
+//! The per-device in-flight limit is likewise derived, not configured: the
+//! number of chunk-sized grids the device can keep resident under the
+//! comparer's occupancy, so a 120-CU MI100 queues deeper than a 60-CU
+//! Radeon VII before dispatch pressure propagates back to admission.
+//!
+//! The properties the service relies on are unchanged: a device never
+//! idles while a sibling has a backlog (stealing), and no device queue
+//! grows past its in-flight limit (backpressure).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use cas_offinder::kernels::ComparerKernel;
+use cas_offinder::OptLevel;
+use gpu_sim::isa::compile_program;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::timing::utilization;
+use gpu_sim::{DeviceSpec, NdRange};
+
 use crate::batcher::ChunkBatch;
+use crate::cache::ChunkPayload;
+
+/// Model cycles one "work unit" (one pattern base at one scan position for
+/// one pass) costs on the simulated devices. Calibrated against
+/// `examples/serve_demo.rs`, which reports the resulting mean
+/// predicted-vs-actual service-time error.
+const CYCLES_PER_UNIT: f64 = 30.0;
+
+/// Fraction of scan positions the finder typically promotes to comparer
+/// candidates. The finder sweeps every position, but each per-job comparer
+/// pass only touches the loci whose PAM matched — charging comparers for
+/// the full scan overestimates heavy batches badly. Calibrated together
+/// with [`CYCLES_PER_UNIT`] against `examples/serve_demo.rs`.
+const CANDIDATE_FRACTION: f64 = 0.4;
+
+/// Relative comparer cost on 2-bit packed payloads: the `comparer_2bit`
+/// kernel shares each packed byte across four bases (~3/8 of the char
+/// kernel's global traffic) at the price of extra decode ALU. Calibrated
+/// together with the constants above against `examples/serve_demo.rs`.
+const TWOBIT_COMPARER_WEIGHT: f64 = 0.8;
+
+/// The fixed per-device depth the pre-cost-model scheduler used for every
+/// device. Only [`Placement::ShortestQueue`] still applies it.
+const SHORTEST_QUEUE_IN_FLIGHT: usize = 4;
+
+/// How the dispatcher places batches on device queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Place each batch on the device with the earliest predicted
+    /// completion under that device's cost model; per-device in-flight
+    /// limits derive from the comparer's occupancy.
+    #[default]
+    EarliestCompletion,
+    /// The previous scheduler, kept as a measurable baseline: fewest queued
+    /// batches wins, every device is treated alike, and the in-flight
+    /// depth is a fixed 4.
+    ShortestQueue,
+}
+
+/// The dispatcher's estimate of what a [`ChunkBatch`] costs, extracted
+/// once at dispatch and re-priced per device.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchCost {
+    /// Scan positions the finder sweeps.
+    pub scan_len: usize,
+    /// Pattern length (work per position, and query-table size).
+    pub plen: usize,
+    /// Coalesced jobs — one comparer pass each.
+    pub jobs: usize,
+    /// Host bytes uploaded: encoded chunk + pattern/query tables.
+    pub upload_bytes: usize,
+    /// Relative cost of one comparer pass: 1.0 for the char comparer on
+    /// raw payloads, [`TWOBIT_COMPARER_WEIGHT`] when the packed payload
+    /// keeps the comparers in 2-bit form.
+    pub comparer_weight: f64,
+}
+
+impl BatchCost {
+    pub fn of(batch: &ChunkBatch) -> Self {
+        let plen = batch.key.pattern.len();
+        let jobs = batch.jobs.len();
+        // The finder uploads pat + pat_index (2·plen bytes + 2·plen i32);
+        // each comparer uploads the same shape for its query.
+        let tables = 10 * plen * (1 + jobs);
+        let comparer_weight = match &batch.chunk.payload {
+            ChunkPayload::Packed(_) => TWOBIT_COMPARER_WEIGHT,
+            ChunkPayload::Raw(_) => 1.0,
+        };
+        BatchCost {
+            scan_len: batch.chunk.scan_len,
+            plen,
+            jobs,
+            upload_bytes: batch.chunk.byte_len() + tables,
+            comparer_weight,
+        }
+    }
+
+    /// Device-independent work units: one finder pass over every scan
+    /// position plus one comparer pass per job over the expected candidate
+    /// subset, each touching `plen` bases per position.
+    pub fn units(&self) -> f64 {
+        let per_position = (self.scan_len * self.plen) as f64;
+        per_position * (1.0 + CANDIDATE_FRACTION * self.comparer_weight * self.jobs as f64)
+    }
+}
+
+/// A device's predicted service rate, derived from its spec and the
+/// comparer kernel's occupancy on it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeviceModel {
+    /// Work units retired per second at the modelled occupancy.
+    units_per_s: f64,
+    /// Host-to-device bandwidth in bytes per second.
+    bytes_per_s: f64,
+    /// Fixed cost per kernel launch.
+    launch_overhead_s: f64,
+    /// Fixed cost per transfer.
+    transfer_overhead_s: f64,
+    /// Batches this device may hold queued/running before dispatch blocks —
+    /// how many chunk-sized grids fit in its resident wave budget.
+    pub in_flight_limit: usize,
+}
+
+impl DeviceModel {
+    /// Model `spec` serving `chunk_size`-position batches with the comparer
+    /// compiled at `opt`.
+    pub fn from_spec(spec: &DeviceSpec, chunk_size: usize, opt: OptLevel) -> Self {
+        let program = compile_program(&ComparerKernel::code_model_for(opt));
+        let wgs = 64usize;
+        let gws = chunk_size.div_ceil(wgs) * wgs;
+        let nd = NdRange::linear(gws, wgs);
+        let occ = occupancy(&program.resources(), &nd, spec);
+        let util = utilization(&occ, spec);
+        let slots = (spec.compute_units() * spec.simds_per_cu) as f64;
+        let units_per_s = slots * util * spec.clock_hz() / CYCLES_PER_UNIT;
+
+        // Resident waves across the whole device at this occupancy, divided
+        // by the waves one batch puts in flight.
+        let resident = occ.waves_per_simd * spec.simds_per_cu * spec.compute_units();
+        let waves_per_batch = (gws as u32).div_ceil(spec.wavefront).max(1);
+        let in_flight_limit = (resident / waves_per_batch).clamp(1, 32) as usize;
+
+        DeviceModel {
+            units_per_s,
+            bytes_per_s: spec.interconnect_bytes_per_s(),
+            launch_overhead_s: spec.launch_overhead_s,
+            transfer_overhead_s: spec.transfer_overhead_s,
+            in_flight_limit,
+        }
+    }
+
+    /// Predicted wall-clock service time of a batch on this device: launch
+    /// and transfer overheads (1 finder + `jobs` comparers, with paired
+    /// upload/readback), compute at the modelled rate, and the upload on
+    /// the interconnect.
+    pub fn predict_s(&self, cost: &BatchCost) -> f64 {
+        let launches = (1 + cost.jobs) as f64;
+        let transfers = (2 + 2 * cost.jobs) as f64;
+        launches * self.launch_overhead_s
+            + transfers * self.transfer_overhead_s
+            + cost.units() / self.units_per_s
+            + cost.upload_bytes as f64 / self.bytes_per_s
+    }
+}
+
+struct Pending {
+    batch: ChunkBatch,
+    cost: BatchCost,
+    /// Prediction under the model of the queue the batch sits in.
+    predicted_s: f64,
+}
 
 struct PoolInner {
-    queues: Vec<VecDeque<ChunkBatch>>,
+    queues: Vec<VecDeque<Pending>>,
+    /// Per device: sum of predicted service time queued or running.
+    pending_s: Vec<f64>,
+    /// Per device: EWMA of measured/predicted service time. The occupancy
+    /// model is the prior; completions correct its per-device systematic
+    /// error, so a device the model flatters stops attracting extra work.
+    bias: Vec<f64>,
     closed: bool,
 }
 
 /// A pool of `n` device work queues shared by one dispatcher and `n`
 /// workers.
 pub(crate) struct DevicePool {
-    in_flight_limit: usize,
+    models: Vec<DeviceModel>,
+    placement: Placement,
     inner: Mutex<PoolInner>,
     /// Signalled when work arrives or the pool closes (workers wait).
     work: Condvar,
-    /// Signalled when a queue drains below the limit (dispatcher waits).
+    /// Signalled when a queue drains below its limit (dispatcher waits).
     space: Condvar,
 }
 
 /// What a worker receives from [`DevicePool::next`].
 pub(crate) struct Assignment {
     pub batch: ChunkBatch,
+    /// Predicted service time under the executing worker's model — the
+    /// worker reports it back via [`DevicePool::complete`] and the metrics
+    /// compare it against the measured time.
+    pub predicted_s: f64,
     /// True when the batch came from a sibling's queue.
     pub stolen: bool,
 }
 
 impl DevicePool {
-    pub fn new(devices: usize, in_flight_limit: usize) -> Self {
-        assert!(devices > 0, "the pool needs at least one device");
-        assert!(in_flight_limit > 0, "in-flight limit must be positive");
+    pub fn new(models: Vec<DeviceModel>, placement: Placement) -> Self {
+        assert!(!models.is_empty(), "the pool needs at least one device");
+        let n = models.len();
         DevicePool {
-            in_flight_limit,
+            models,
+            placement,
             inner: Mutex::new(PoolInner {
-                queues: (0..devices).map(|_| VecDeque::new()).collect(),
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                pending_s: vec![0.0; n],
+                bias: vec![1.0; n],
                 closed: false,
             }),
             work: Condvar::new(),
@@ -49,20 +235,42 @@ impl DevicePool {
         }
     }
 
-    /// Place `batch` on the shortest device queue, blocking while every
-    /// queue is at the in-flight limit.
+    /// Place `batch` per the pool's [`Placement`] policy — by default on
+    /// the device with the earliest predicted completion (pending predicted
+    /// time + this batch's predicted time under that device's model) —
+    /// blocking while every queue is at its in-flight limit. Ties break
+    /// toward the lower device index.
     pub fn dispatch(&self, batch: ChunkBatch) {
+        let cost = BatchCost::of(&batch);
         let mut inner = self.inner.lock().unwrap();
         loop {
-            let (device, depth) = inner
-                .queues
-                .iter()
-                .enumerate()
-                .map(|(i, q)| (i, q.len()))
-                .min_by_key(|&(_, len)| len)
-                .expect("pool has devices");
-            if depth < self.in_flight_limit {
-                inner.queues[device].push_back(batch);
+            let mut best: Option<(usize, f64)> = None;
+            for (i, model) in self.models.iter().enumerate() {
+                let limit = match self.placement {
+                    Placement::EarliestCompletion => model.in_flight_limit,
+                    Placement::ShortestQueue => SHORTEST_QUEUE_IN_FLIGHT,
+                };
+                if inner.queues[i].len() >= limit {
+                    continue;
+                }
+                let score = match self.placement {
+                    Placement::EarliestCompletion => {
+                        inner.pending_s[i] + inner.bias[i] * model.predict_s(&cost)
+                    }
+                    Placement::ShortestQueue => inner.queues[i].len() as f64,
+                };
+                if best.is_none_or(|(_, t)| score < t) {
+                    best = Some((i, score));
+                }
+            }
+            if let Some((device, _)) = best {
+                let predicted_s = inner.bias[device] * self.models[device].predict_s(&cost);
+                inner.pending_s[device] += predicted_s;
+                inner.queues[device].push_back(Pending {
+                    batch,
+                    cost,
+                    predicted_s,
+                });
                 drop(inner);
                 self.work.notify_all();
                 return;
@@ -72,16 +280,19 @@ impl DevicePool {
     }
 
     /// Fetch the next batch for `worker`: its own queue first, then the
-    /// deepest sibling queue (stealing from the back). Blocks while the
-    /// pool is empty; returns `None` once closed *and* drained.
+    /// sibling with the most predicted pending work (stealing from the
+    /// back). A stolen batch is re-priced under the thief's model and its
+    /// pending time moves with it. Blocks while the pool is empty; returns
+    /// `None` once closed *and* drained.
     pub fn next(&self, worker: usize) -> Option<Assignment> {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(batch) = inner.queues[worker].pop_front() {
+            if let Some(p) = inner.queues[worker].pop_front() {
                 drop(inner);
                 self.space.notify_all();
                 return Some(Assignment {
-                    batch,
+                    batch: p.batch,
+                    predicted_s: p.predicted_s,
                     stolen: false,
                 });
             }
@@ -90,14 +301,20 @@ impl DevicePool {
                 .iter()
                 .enumerate()
                 .filter(|&(i, q)| i != worker && !q.is_empty())
-                .max_by_key(|&(_, q)| q.len())
+                .max_by(|&(i, _), &(j, _)| {
+                    inner.pending_s[i].total_cmp(&inner.pending_s[j])
+                })
                 .map(|(i, _)| i);
             if let Some(v) = victim {
-                let batch = inner.queues[v].pop_back().expect("victim is non-empty");
+                let p = inner.queues[v].pop_back().expect("victim is non-empty");
+                inner.pending_s[v] = (inner.pending_s[v] - p.predicted_s).max(0.0);
+                let predicted_s = inner.bias[worker] * self.models[worker].predict_s(&p.cost);
+                inner.pending_s[worker] += predicted_s;
                 drop(inner);
                 self.space.notify_all();
                 return Some(Assignment {
-                    batch,
+                    batch: p.batch,
+                    predicted_s,
                     stolen: true,
                 });
             }
@@ -105,6 +322,27 @@ impl DevicePool {
                 return None;
             }
             inner = self.work.wait(inner).unwrap();
+        }
+    }
+
+    /// Retire a finished batch's predicted time from `worker`'s pending
+    /// total and fold the measured service time into the device's bias
+    /// correction. Called by the worker after running an [`Assignment`].
+    pub fn complete(&self, worker: usize, predicted_s: f64, measured_s: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.pending_s[worker] = (inner.pending_s[worker] - predicted_s).max(0.0);
+        if predicted_s > 0.0 && measured_s > 0.0 {
+            // predicted_s already carries the bias used at dispatch, so the
+            // ratio is a multiplicative correction to the current estimate.
+            // The step is geometric (ratio^alpha) so over- and
+            // under-prediction corrections are symmetric in log space —
+            // an arithmetic EWMA walks up 1.3x per step but down only
+            // 0.925x, which oscillates over long runs — and the bias is
+            // bounded so a burst of clamped ratios cannot run it away
+            // from the model.
+            let ratio = (measured_s / predicted_s).clamp(0.25, 4.0);
+            const ALPHA: f64 = 0.1;
+            inner.bias[worker] = (inner.bias[worker] * ratio.powf(ALPHA)).clamp(0.25, 4.0);
         }
     }
 
@@ -119,59 +357,132 @@ impl DevicePool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batcher::BatchKey;
-    use crate::cache::EncodedChunk;
+    use crate::batcher::{BatchJob, BatchKey};
+    use crate::cache::{ChunkEncoding, EncodedChunk};
+    use cas_offinder::Query;
     use std::sync::Arc;
 
-    fn batch(index: usize) -> ChunkBatch {
+    fn model(spec: &DeviceSpec) -> DeviceModel {
+        DeviceModel::from_spec(spec, 1 << 13, OptLevel::Base)
+    }
+
+    fn batch_with(index: usize, scan_len: usize, jobs: usize) -> ChunkBatch {
         ChunkBatch {
             key: BatchKey {
                 assembly: "a".into(),
                 pattern: b"NGG".to_vec(),
             },
             chunk_index: index,
-            chunk: Arc::new(EncodedChunk {
-                chrom_index: 0,
-                chrom: "chr1".into(),
-                start: 0,
-                scan_len: 4,
-                seq: vec![b'A'; 7],
-            }),
-            jobs: Vec::new(),
+            chunk: Arc::new(EncodedChunk::encode(
+                0,
+                "chr1".into(),
+                0,
+                scan_len,
+                &vec![b'A'; scan_len + 3],
+                ChunkEncoding::Packed,
+            )),
+            jobs: (0..jobs)
+                .map(|i| BatchJob {
+                    id: i as u64,
+                    query: Query::new(b"AGG".to_vec(), 1),
+                })
+                .collect(),
         }
     }
 
+    fn batch(index: usize) -> ChunkBatch {
+        batch_with(index, 4, 1)
+    }
+
     #[test]
-    fn dispatch_fills_the_shortest_queue_and_workers_drain_their_own() {
-        let pool = DevicePool::new(2, 4);
+    fn identical_devices_and_batches_round_robin() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default());
         for i in 0..4 {
             pool.dispatch(batch(i));
         }
-        // Round-robin placement by shortest-queue: 0,1,0,1.
+        // Equal predictions: earliest-completion placement alternates 0,1,0,1.
         let a = pool.next(0).unwrap();
         assert!(!a.stolen);
         assert_eq!(a.batch.chunk_index, 0);
+        assert!(a.predicted_s > 0.0);
         let b = pool.next(1).unwrap();
         assert!(!b.stolen);
         assert_eq!(b.batch.chunk_index, 1);
     }
 
     #[test]
-    fn idle_workers_steal_from_the_deepest_sibling() {
-        let pool = DevicePool::new(3, 8);
+    fn a_heavy_batch_skips_the_shorter_queue_for_a_faster_device() {
+        // Worker 0 = Radeon VII, worker 1 = MI100 (~1.7x the cycle slots).
+        let pool = DevicePool::new(
+            vec![model(&DeviceSpec::radeon_vii()), model(&DeviceSpec::mi100())],
+            Placement::default(),
+        );
+        // A light batch lands on the faster (empty) MI100.
+        pool.dispatch(batch_with(0, 512, 1));
+        // The heavy batch sees RVII with the *shorter* (empty) queue, but
+        // MI100's queued light batch plus the heavy batch still finishes
+        // sooner than the heavy batch alone would on the RVII.
+        pool.dispatch(batch_with(1, 8192, 8));
+        let first = pool.next(1).unwrap();
+        assert!(!first.stolen);
+        assert_eq!(first.batch.chunk_index, 0, "light batch went to MI100");
+        let second = pool.next(1).unwrap();
+        assert!(!second.stolen);
+        assert_eq!(
+            second.batch.chunk_index, 1,
+            "heavy batch also chose MI100 over the empty RVII queue"
+        );
+        assert!(second.predicted_s > first.predicted_s);
+    }
+
+    #[test]
+    fn shortest_queue_placement_ignores_device_speed() {
+        // The same two batches as the cost-aware test above, under the
+        // baseline policy: the light batch ties toward device 0 (the slower
+        // Radeon VII) and the heavy batch goes to device 1 purely by count —
+        // no batch weight, no device speed.
+        let pool = DevicePool::new(
+            vec![model(&DeviceSpec::radeon_vii()), model(&DeviceSpec::mi100())],
+            Placement::ShortestQueue,
+        );
+        pool.dispatch(batch_with(0, 512, 1));
+        pool.dispatch(batch_with(1, 8192, 8));
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 0);
+        assert_eq!(pool.next(1).unwrap().batch.chunk_index, 1);
+    }
+
+    #[test]
+    fn in_flight_limits_derive_from_occupancy_and_batch_footprint() {
+        let spec = DeviceSpec::mi60();
+        let small = DeviceModel::from_spec(&spec, 64, OptLevel::Base);
+        let large = DeviceModel::from_spec(&spec, 1 << 13, OptLevel::Base);
+        assert!(small.in_flight_limit >= large.in_flight_limit);
+        assert!(large.in_flight_limit >= 1);
+        // A bigger device sustains more in-flight chunks than a smaller one.
+        let rvii = DeviceModel::from_spec(&DeviceSpec::radeon_vii(), 1 << 13, OptLevel::Base);
+        let mi100 = DeviceModel::from_spec(&DeviceSpec::mi100(), 1 << 13, OptLevel::Base);
+        assert!(mi100.in_flight_limit >= rvii.in_flight_limit);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_the_most_loaded_sibling() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 3], Placement::default());
         for i in 0..4 {
-            pool.dispatch(batch(i)); // shortest-queue: 0,1,2,0
+            pool.dispatch(batch(i)); // earliest-completion: 0,1,2,0
         }
-        // Worker 2 drains its own then steals from worker 0 (depth 2).
+        // Worker 2 drains its own then steals from worker 0 (most pending).
         assert!(!pool.next(2).unwrap().stolen);
         let stolen = pool.next(2).unwrap();
         assert!(stolen.stolen);
         assert_eq!(stolen.batch.chunk_index, 3, "steals from the back");
+        assert!(stolen.predicted_s > 0.0, "re-priced under the thief's model");
     }
 
     #[test]
-    fn dispatch_blocks_at_the_in_flight_limit_until_a_worker_drains() {
-        let pool = Arc::new(DevicePool::new(1, 2));
+    fn dispatch_blocks_at_the_per_device_in_flight_limit() {
+        let mut m = model(&DeviceSpec::mi60());
+        m.in_flight_limit = 2;
+        let pool = Arc::new(DevicePool::new(vec![m], Placement::default()));
         pool.dispatch(batch(0));
         pool.dispatch(batch(1));
         let p2 = Arc::clone(&pool);
@@ -187,8 +498,20 @@ mod tests {
     }
 
     #[test]
+    fn completed_batches_release_their_pending_time() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default());
+        pool.dispatch(batch(0));
+        let a = pool.next(0).unwrap();
+        pool.complete(0, a.predicted_s, a.predicted_s);
+        // With device 0 idle again, the next identical batch ties and the
+        // tie breaks toward device 0 — nothing was left pending.
+        pool.dispatch(batch(1));
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 1);
+    }
+
+    #[test]
     fn close_drains_then_terminates() {
-        let pool = DevicePool::new(2, 4);
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default());
         pool.dispatch(batch(0));
         pool.close();
         assert!(pool.next(0).is_some());

@@ -9,13 +9,17 @@
 //! inputs. Each scan position is owned by exactly one chunk, so a job's
 //! records have unique `(chromosome, position, strand)` keys and the final
 //! [`sort_canonical`] is a total normalizer: results are byte-identical to
-//! the serial pipelines no matter how batches interleave.
+//! the serial pipelines no matter how batches interleave. The cached 2-bit
+//! payloads are lossless, and the packed finder decodes them on-device into
+//! exactly the bytes the char-path finder would have uploaded, so packing
+//! changes transfer volume, never results.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use cas_offinder::bulge::enumerate_variants;
 use cas_offinder::pipeline::chunk::{OclChunkRunner, SyclChunkRunner};
 use cas_offinder::pipeline::{entries_to_offtargets, PipelineConfig};
 use cas_offinder::{sort_canonical, Api, OffTarget, OptLevel, Query, TimingBreakdown};
@@ -23,11 +27,11 @@ use genome::{Assembly, Chunker};
 use gpu_sim::{DeviceSpec, ExecMode};
 
 use crate::batcher::{group_jobs, BatchJob, ChunkBatch};
-use crate::cache::{ChunkKey, EncodedChunk, GenomeCache};
+use crate::cache::{ChunkEncoding, ChunkKey, ChunkPayload, EncodedChunk, GenomeCache};
 use crate::job::{Job, JobId, JobSpec};
 use crate::metrics::{busy_ns_from_s, load_report, MetricsReport, ServeMetrics};
 use crate::queue::{BoundedJobQueue, QueueError};
-use crate::scheduler::DevicePool;
+use crate::scheduler::{DeviceModel, DevicePool, Placement};
 
 /// One simulated device in the pool: a hardware spec plus the pipeline
 /// flavour (OpenCL or SYCL) that drives it.
@@ -46,16 +50,27 @@ pub struct ServiceConfig {
     pub devices: Vec<DeviceSlot>,
     /// Owned scan positions per genome chunk.
     pub chunk_size: usize,
-    /// Admission-queue capacity (jobs); pushes past it are rejected.
-    pub queue_capacity: usize,
+    /// Admission budget in estimated cost units (assembly bases × search
+    /// variants, summed over queued jobs); submissions past it are
+    /// rejected. Replaces a job-count cap: one whole-genome bulge sweep
+    /// draws as much budget as the hundreds of small jobs it costs.
+    pub queue_cost_limit: u64,
     /// Maximum jobs coalesced into one chunk batch.
     pub max_batch: usize,
-    /// Maximum batches queued per device before dispatch blocks.
-    pub in_flight_limit: usize,
-    /// Genome-chunk cache capacity, in chunks.
-    pub cache_chunks: usize,
+    /// Genome-chunk cache budget, in resident payload bytes.
+    pub cache_bytes: usize,
+    /// How cached chunks (and uploads) are encoded; packed payloads cut
+    /// upload bytes ~4x and fit ~2.7x more chunks in the same budget.
+    pub cache_encoding: ChunkEncoding,
     /// Comparer optimization stage.
     pub opt: OptLevel,
+    /// How the dispatcher places batches on device queues.
+    pub placement: Placement,
+    /// Wall-clock seconds a worker holds each finished batch per simulated
+    /// second of device time, so queue drain follows device speed instead
+    /// of host speed. `0.0` (the default) disables pacing; measurement
+    /// harnesses enable it so placement quality shows up in the makespan.
+    pub pacing: f64,
 }
 
 impl ServiceConfig {
@@ -82,11 +97,13 @@ impl ServiceConfig {
                 },
             ],
             chunk_size: 1 << 13,
-            queue_capacity: 256,
+            queue_cost_limit: 10_000_000,
             max_batch: 8,
-            in_flight_limit: 4,
-            cache_chunks: 64,
+            cache_bytes: 1 << 19,
+            cache_encoding: ChunkEncoding::Packed,
             opt: OptLevel::Base,
+            placement: Placement::EarliestCompletion,
+            pacing: 0.0,
         }
     }
 }
@@ -94,11 +111,12 @@ impl ServiceConfig {
 /// Why a submission was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The admission queue is at capacity; back off and retry.
+    /// The admission queue's cost budget is exhausted; back off and retry.
     QueueFull,
     /// The spec names an assembly the service does not serve.
     UnknownAssembly(String),
-    /// The spec is malformed (empty pattern, guide/pattern length skew).
+    /// The spec is malformed (empty pattern, guide/pattern length skew,
+    /// unsupported bulge limits).
     BadJob(String),
     /// The service is shutting down.
     ShuttingDown,
@@ -117,12 +135,15 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// A registered job's progress: how many chunk batches are still due and
-/// the records accumulated so far.
+/// A registered job's progress: how many chunk-batch memberships are still
+/// due and the records accumulated so far.
 struct JobEntry {
     /// `None` until the batcher has planned the job's chunk tasks.
     remaining: Option<usize>,
     offtargets: Vec<OffTarget>,
+    /// Bulge jobs fold several variant searches into one record set; exact
+    /// duplicates across variants are removed at completion.
+    dedup: bool,
     done: bool,
 }
 
@@ -156,10 +177,15 @@ impl Service {
     pub fn start(config: ServiceConfig, assemblies: Vec<Assembly>) -> Service {
         assert!(!config.devices.is_empty(), "the pool needs at least one device");
         let devices = config.devices.len();
+        let models: Vec<DeviceModel> = config
+            .devices
+            .iter()
+            .map(|slot| DeviceModel::from_spec(&slot.spec, config.chunk_size, config.opt))
+            .collect();
         let shared = Arc::new(Shared {
-            queue: BoundedJobQueue::new(config.queue_capacity),
-            pool: DevicePool::new(devices, config.in_flight_limit),
-            cache: GenomeCache::new(config.cache_chunks),
+            queue: BoundedJobQueue::new(config.queue_cost_limit),
+            pool: DevicePool::new(models, config.placement),
+            cache: GenomeCache::new(config.cache_bytes),
             metrics: ServeMetrics::new(devices),
             assemblies: assemblies
                 .into_iter()
@@ -192,40 +218,41 @@ impl Service {
     /// Submit a job; on success the returned id can be passed to
     /// [`Service::wait`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
-        if spec.pattern.is_empty() {
+        if let Err(why) = validate(&spec) {
             self.shared
                 .metrics
                 .jobs_rejected_invalid
                 .fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::BadJob("empty pattern".into()));
+            return Err(why);
         }
-        if spec.guide.len() != spec.pattern.len() {
-            self.shared
-                .metrics
-                .jobs_rejected_invalid
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::BadJob(format!(
-                "guide length {} != pattern length {}",
-                spec.guide.len(),
-                spec.pattern.len()
-            )));
-        }
-        if !self.shared.assemblies.contains_key(&spec.assembly) {
+        let Some(assembly) = self.shared.assemblies.get(&spec.assembly) else {
             self.shared
                 .metrics
                 .jobs_rejected_invalid
                 .fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::UnknownAssembly(spec.assembly));
-        }
+        };
+
+        // Estimated work: assembly bases × search variants. This is what
+        // the admission queue's cost budget charges.
+        let variants = match spec.bulge {
+            None => 1,
+            Some(limits) => {
+                let query = Query::new(spec.guide.clone(), spec.max_mismatches);
+                enumerate_variants(&spec.pattern, &query, limits).len() as u64
+            }
+        };
+        let cost = assembly.total_len() as u64 * variants;
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let entry = JobEntry {
             remaining: None,
             offtargets: Vec::new(),
+            dedup: spec.bulge.is_some(),
             done: false,
         };
         self.shared.jobs.lock().unwrap().insert(id, entry);
-        match self.shared.queue.try_submit(Job { id, spec }) {
+        match self.shared.queue.try_submit(Job { id, spec, cost }) {
             Ok(()) => {
                 self.shared
                     .metrics
@@ -250,7 +277,8 @@ impl Service {
     }
 
     /// Block until job `id` completes and take its records (canonically
-    /// sorted, byte-identical to a serial run of the same query). Returns
+    /// sorted, byte-identical to a serial run of the same query; for bulge
+    /// jobs, the sorted deduplicated union over all variants). Returns
     /// `None` for ids never admitted or already collected.
     pub fn wait(&self, id: JobId) -> Option<Vec<OffTarget>> {
         let mut jobs = self.shared.jobs.lock().unwrap();
@@ -305,9 +333,39 @@ impl Drop for Service {
     }
 }
 
-/// The batcher thread: drain admitted jobs, coalesce, plan chunk tasks
-/// through the cache, and dispatch to the pool (blocking on in-flight
-/// limits, which is what propagates backpressure to the admission queue).
+/// Structural spec validation (everything except assembly lookup).
+fn validate(spec: &JobSpec) -> Result<(), SubmitError> {
+    if spec.pattern.is_empty() {
+        return Err(SubmitError::BadJob("empty pattern".into()));
+    }
+    if spec.guide.len() != spec.pattern.len() {
+        return Err(SubmitError::BadJob(format!(
+            "guide length {} != pattern length {}",
+            spec.guide.len(),
+            spec.pattern.len()
+        )));
+    }
+    if let Some(limits) = spec.bulge {
+        let spacer = spec.guide.iter().take_while(|&&c| c != b'N').count();
+        if spacer < 2 {
+            return Err(SubmitError::BadJob(format!(
+                "bulge search needs a spacer of at least 2 non-N guide bases, got {spacer}"
+            )));
+        }
+        if limits.max_rna as usize >= spacer {
+            return Err(SubmitError::BadJob(format!(
+                "max_rna bulge size {} must be smaller than the {spacer}-base spacer",
+                limits.max_rna
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The batcher thread: drain admitted jobs, expand bulge jobs into
+/// per-variant unit searches, coalesce, plan chunk tasks through the
+/// cache, and dispatch to the pool (blocking on in-flight limits, which is
+/// what propagates backpressure to the admission queue).
 fn batcher_loop(shared: &Shared) {
     // How many queued jobs to drain opportunistically per round; bounds the
     // latency a queued job can sit waiting for co-batchable company.
@@ -320,7 +378,41 @@ fn batcher_loop(shared: &Shared) {
                 None => break,
             }
         }
-        for (key, jobs) in group_jobs(round, shared.config.max_batch) {
+
+        // Bulge expansion: each variant is an independent plain search
+        // under its own (pattern, guide); workers fold every variant's
+        // records into the owning job's entry.
+        let mut units: Vec<Job> = Vec::new();
+        for job in round {
+            match job.spec.bulge {
+                None => units.push(job),
+                Some(limits) => {
+                    let query = Query::new(job.spec.guide.clone(), job.spec.max_mismatches);
+                    for v in enumerate_variants(&job.spec.pattern, &query, limits) {
+                        let mut spec = job.spec.clone();
+                        spec.pattern = v.pattern;
+                        spec.guide = v.query;
+                        spec.bulge = None;
+                        units.push(Job {
+                            id: job.id,
+                            spec,
+                            cost: 0,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Plan every group in the round before publishing any `remaining`
+        // count: a bulge job's variants land in several groups (bulged
+        // patterns differ in length), and its count must cover all of them
+        // before the first batch can complete on a worker. `remaining`
+        // counts memberships — a job appearing twice in one batch (two
+        // variants sharing a pattern) is decremented twice by it.
+        let mut per_job_memberships: HashMap<JobId, usize> =
+            units.iter().map(|j| (j.id, 0)).collect();
+        let mut round_batches: Vec<ChunkBatch> = Vec::new();
+        for (key, jobs) in group_jobs(units, shared.config.max_batch) {
             let assembly = Arc::clone(&shared.assemblies[&key.assembly]);
             let plen = key.pattern.len();
             let members: Vec<BatchJob> = jobs
@@ -331,8 +423,6 @@ fn batcher_loop(shared: &Shared) {
                 })
                 .collect();
 
-            // Plan every chunk task up front so `remaining` is exact before
-            // the first batch can complete on a worker.
             let mut batches = Vec::new();
             for (index, chunk) in
                 Chunker::new(&assembly, shared.config.chunk_size, plen).enumerate()
@@ -345,12 +435,15 @@ fn batcher_loop(shared: &Shared) {
                     plen,
                     index,
                 };
-                let encoded = shared.cache.get_or_insert_with(&cache_key, || EncodedChunk {
-                    chrom_index: chunk.chrom_index,
-                    chrom: chunk.chrom_name.to_string(),
-                    start: chunk.start,
-                    scan_len: chunk.scan_len,
-                    seq: chunk.seq.to_vec(),
+                let encoded = shared.cache.get_or_insert_with(&cache_key, || {
+                    EncodedChunk::encode(
+                        chunk.chrom_index,
+                        chunk.chrom_name.to_string(),
+                        chunk.start,
+                        chunk.scan_len,
+                        chunk.seq,
+                        shared.config.cache_encoding,
+                    )
                 });
                 batches.push(ChunkBatch {
                     key: key.clone(),
@@ -359,37 +452,45 @@ fn batcher_loop(shared: &Shared) {
                     jobs: members.clone(),
                 });
             }
+            for job in &jobs {
+                *per_job_memberships
+                    .get_mut(&job.id)
+                    .expect("every unit was registered") += batches.len();
+            }
+            round_batches.extend(batches);
+        }
 
-            {
-                let mut entries = shared.jobs.lock().unwrap();
-                for job in &jobs {
-                    if let Some(entry) = entries.get_mut(&job.id) {
-                        entry.remaining = Some(batches.len());
-                        if batches.is_empty() {
-                            entry.done = true;
-                            shared
-                                .metrics
-                                .jobs_completed
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
+        {
+            let mut entries = shared.jobs.lock().unwrap();
+            let mut any_done = false;
+            for (&id, &count) in &per_job_memberships {
+                if let Some(entry) = entries.get_mut(&id) {
+                    entry.remaining = Some(count);
+                    if count == 0 {
+                        entry.done = true;
+                        any_done = true;
+                        shared
+                            .metrics
+                            .jobs_completed
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                if batches.is_empty() {
-                    shared.done.notify_all();
-                }
             }
+            if any_done {
+                shared.done.notify_all();
+            }
+        }
 
-            for batch in batches {
-                shared
-                    .metrics
-                    .batches_formed
-                    .fetch_add(1, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .coalesced_jobs
-                    .fetch_add(batch.jobs.len() as u64, Ordering::Relaxed);
-                shared.pool.dispatch(batch);
-            }
+        for batch in round_batches {
+            shared
+                .metrics
+                .batches_formed
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .coalesced_jobs
+                .fetch_add(batch.jobs.len() as u64, Ordering::Relaxed);
+            shared.pool.dispatch(batch);
         }
     }
 }
@@ -429,6 +530,7 @@ fn worker_loop(shared: &Shared, w: usize) {
     let device = &shared.metrics.devices[w];
 
     while let Some(assignment) = shared.pool.next(w) {
+        let started = std::time::Instant::now();
         let batch = assignment.batch;
         device.batches.fetch_add(1, Ordering::Relaxed);
         if assignment.stolen {
@@ -455,27 +557,44 @@ fn worker_loop(shared: &Shared, w: usize) {
                 let tables = r
                     .prepare_queries(&queries)
                     .expect("simulated buffer upload cannot fail");
-                let out = r
-                    .run_chunk(
-                        &batch.chunk.seq,
+                let out = match &batch.chunk.payload {
+                    ChunkPayload::Packed(packed) => r.run_packed_chunk(
+                        packed,
                         batch.chunk.scan_len,
                         &tables,
                         &mut timing,
                         &mut profile,
-                    )
-                    .expect("simulated OpenCL launch cannot fail");
+                    ),
+                    ChunkPayload::Raw(seq) => r.run_chunk(
+                        seq,
+                        batch.chunk.scan_len,
+                        &tables,
+                        &mut timing,
+                        &mut profile,
+                    ),
+                }
+                .expect("simulated OpenCL launch cannot fail");
                 tables.release();
                 out
             }
             Runner::Sycl(r) => {
                 let tables = r.prepare_queries(&queries);
-                r.run_chunk(
-                    &batch.chunk.seq,
-                    batch.chunk.scan_len,
-                    &tables,
-                    &mut timing,
-                    &mut profile,
-                )
+                match &batch.chunk.payload {
+                    ChunkPayload::Packed(packed) => r.run_packed_chunk(
+                        packed,
+                        batch.chunk.scan_len,
+                        &tables,
+                        &mut timing,
+                        &mut profile,
+                    ),
+                    ChunkPayload::Raw(seq) => r.run_chunk(
+                        seq,
+                        batch.chunk.scan_len,
+                        &tables,
+                        &mut timing,
+                        &mut profile,
+                    ),
+                }
                 .expect("simulated SYCL launch cannot fail")
             }
         };
@@ -483,6 +602,21 @@ fn worker_loop(shared: &Shared, w: usize) {
         device
             .busy_ns
             .fetch_add(busy_ns_from_s(busy_delta), Ordering::Relaxed);
+        device
+            .predicted_ns
+            .fetch_add(busy_ns_from_s(assignment.predicted_s), Ordering::Relaxed);
+        device.prediction_abs_err_ns.fetch_add(
+            busy_ns_from_s((assignment.predicted_s - busy_delta).abs()),
+            Ordering::Relaxed,
+        );
+        if shared.config.pacing > 0.0 {
+            let hold = std::time::Duration::from_secs_f64(busy_delta * shared.config.pacing);
+            let elapsed = started.elapsed();
+            if hold > elapsed {
+                std::thread::sleep(hold - elapsed);
+            }
+        }
+        shared.pool.complete(w, assignment.predicted_s, busy_delta);
 
         // Traffic is a per-device gauge: sum over this worker's runners.
         let mut launches = 0;
@@ -502,12 +636,14 @@ fn worker_loop(shared: &Shared, w: usize) {
         device.d2h_bytes.store(d2h, Ordering::Relaxed);
 
         // Fold each job's entries into its record set; the last chunk of a
-        // job sorts and publishes.
+        // job sorts and publishes. Packed payloads decode losslessly, so
+        // the host-side record extraction sees the original bytes.
+        let decoded = batch.chunk.decode();
         let genome_chunk = genome::Chunk {
             chrom_index: batch.chunk.chrom_index,
             chrom_name: &batch.chunk.chrom,
             start: batch.chunk.start,
-            seq: &batch.chunk.seq,
+            seq: decoded.as_ref(),
             scan_len: batch.chunk.scan_len,
         };
         let mut entries = shared.jobs.lock().unwrap();
@@ -530,6 +666,9 @@ fn worker_loop(shared: &Shared, w: usize) {
             *remaining -= 1;
             if *remaining == 0 {
                 sort_canonical(&mut entry.offtargets);
+                if entry.dedup {
+                    entry.offtargets.dedup();
+                }
                 entry.done = true;
                 any_done = true;
                 shared
@@ -548,6 +687,7 @@ fn worker_loop(shared: &Shared, w: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cas_offinder::bulge::BulgeLimits;
     use genome::Chromosome;
 
     fn toy_assembly() -> Assembly {
@@ -566,23 +706,32 @@ mod tests {
     fn small_config() -> ServiceConfig {
         ServiceConfig {
             chunk_size: 16,
-            queue_capacity: 64,
-            cache_chunks: 16,
+            queue_cost_limit: 1_000_000,
+            cache_bytes: 4096,
             ..ServiceConfig::paper_pool()
         }
     }
 
-    fn serial_oracle(assembly: &Assembly, spec: &JobSpec) -> Vec<OffTarget> {
+    fn plain_oracle(
+        assembly: &Assembly,
+        pattern: &[u8],
+        guide: &[u8],
+        max_mismatches: u16,
+    ) -> Vec<OffTarget> {
         let mut text = String::new();
         text.push_str("toy\n");
-        text.push_str(std::str::from_utf8(&spec.pattern).unwrap());
+        text.push_str(std::str::from_utf8(pattern).unwrap());
         text.push('\n');
-        text.push_str(std::str::from_utf8(&spec.guide).unwrap());
+        text.push_str(std::str::from_utf8(guide).unwrap());
         text.push(' ');
-        text.push_str(&spec.max_mismatches.to_string());
+        text.push_str(&max_mismatches.to_string());
         text.push('\n');
         let input = cas_offinder::SearchInput::parse(&text).unwrap();
         cas_offinder::cpu::search_sequential(assembly, &input)
+    }
+
+    fn serial_oracle(assembly: &Assembly, spec: &JobSpec) -> Vec<OffTarget> {
+        plain_oracle(assembly, &spec.pattern, &spec.guide, spec.max_mismatches)
     }
 
     #[test]
@@ -611,7 +760,120 @@ mod tests {
         assert_eq!(report.jobs_completed, 12);
         assert!(report.coalescing_ratio() > 1.0, "{report}");
         assert!(report.cache_hit_rate() > 0.0, "{report}");
+        assert!(report.cache.bytes_resident > 0, "{report}");
         service.shutdown();
+    }
+
+    #[test]
+    fn raw_encoding_serves_identical_results_with_more_upload_bytes() {
+        // One device, so both services run the same batches on the same
+        // runner and the traffic totals differ only by chunk encoding.
+        let mut config = small_config();
+        config.devices.truncate(1);
+        let packed = Service::start(config.clone(), vec![toy_assembly()]);
+        let raw = Service::start(
+            ServiceConfig {
+                cache_encoding: ChunkEncoding::Raw,
+                ..config
+            },
+            vec![toy_assembly()],
+        );
+        let spec = JobSpec::new(
+            "toy",
+            b"NNNNNNNNNRG".to_vec(),
+            b"ACGTACGTNNN".to_vec(),
+            3,
+        );
+        let a = packed.submit(spec.clone()).unwrap();
+        let b = raw.submit(spec).unwrap();
+        let from_packed = packed.wait(a).unwrap();
+        let from_raw = raw.wait(b).unwrap();
+        assert_eq!(from_packed, from_raw, "encoding never changes results");
+        let up_packed: u64 = packed.metrics().devices.iter().map(|d| d.h2d_bytes).sum();
+        let up_raw: u64 = raw.metrics().devices.iter().map(|d| d.h2d_bytes).sum();
+        assert!(
+            up_packed < up_raw,
+            "packed uploads must be smaller: {up_packed} vs {up_raw}"
+        );
+    }
+
+    #[test]
+    fn bulge_jobs_serve_the_union_of_variant_searches() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        let assembly = toy_assembly();
+        let limits = BulgeLimits {
+            max_dna: 1,
+            max_rna: 1,
+        };
+        let spec = JobSpec::new(
+            "toy",
+            b"NNNNNNNNNRG".to_vec(),
+            b"ACGTACGTNNN".to_vec(),
+            3,
+        )
+        .with_bulges(limits);
+        let id = service.submit(spec.clone()).unwrap();
+        let got = service.wait(id).unwrap();
+
+        let query = Query::new(spec.guide.clone(), spec.max_mismatches);
+        let mut expect = Vec::new();
+        for v in enumerate_variants(&spec.pattern, &query, limits) {
+            expect.extend(plain_oracle(
+                &assembly,
+                &v.pattern,
+                &v.query,
+                spec.max_mismatches,
+            ));
+        }
+        sort_canonical(&mut expect);
+        expect.dedup();
+        assert!(!expect.is_empty(), "the toy genome has bulge-variant hits");
+        assert_eq!(got, expect, "sorted deduplicated union over all variants");
+    }
+
+    #[test]
+    fn unsupported_bulge_specs_are_rejected_with_clear_errors() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        let limits = BulgeLimits {
+            max_dna: 1,
+            max_rna: 1,
+        };
+        // No spacer at all: the guide starts with N.
+        let err = service
+            .submit(
+                JobSpec::new(
+                    "toy",
+                    b"NNNNNNNNNRG".to_vec(),
+                    b"NNNNNNNNNNN".to_vec(),
+                    1,
+                )
+                .with_bulges(limits),
+            )
+            .unwrap_err();
+        match err {
+            SubmitError::BadJob(why) => assert!(why.contains("spacer"), "{why}"),
+            other => panic!("expected BadJob, got {other:?}"),
+        }
+        // RNA bulge as large as the spacer.
+        let err = service
+            .submit(
+                JobSpec::new(
+                    "toy",
+                    b"NNNNNNNNNRG".to_vec(),
+                    b"ACNNNNNNNNN".to_vec(),
+                    1,
+                )
+                .with_bulges(BulgeLimits {
+                    max_dna: 0,
+                    max_rna: 2,
+                }),
+            )
+            .unwrap_err();
+        match err {
+            SubmitError::BadJob(why) => assert!(why.contains("max_rna"), "{why}"),
+            other => panic!("expected BadJob, got {other:?}"),
+        }
+        assert_eq!(service.metrics().jobs_rejected_invalid, 2);
     }
 
     #[test]

@@ -87,8 +87,9 @@ fn shuffled_arrival_orders_reproduce_the_serial_pipeline() {
 
         let mut config = ServiceConfig::paper_pool();
         config.chunk_size = CHUNK_SIZE;
-        config.queue_capacity = 32; // small on purpose: exercises backpressure
-        config.cache_chunks = 64;
+        // Small on purpose: ~32 jobs' worth of cost, exercises backpressure.
+        config.queue_cost_limit = 250_000;
+        config.cache_bytes = 16 * 1024;
         assert_eq!(config.devices.len(), 4, "the pool the issue asks for");
         let service = Service::start(config, vec![assembly()]);
 

@@ -23,6 +23,9 @@ pub enum BufferKind {
 enum State<T: Scalar> {
     /// Not yet touched by any command group: holds the initial host data.
     Unbound(Vec<T>),
+    /// Not yet touched, and carrying no host data (`no_init`): the first
+    /// accessor allocates device storage without an implicit upload.
+    Uninit(usize),
     /// Allocated on a device by the first accessor that used it.
     Bound(DeviceBuffer<T>),
 }
@@ -87,6 +90,19 @@ impl<T: Scalar> Buffer<T> {
         }
     }
 
+    /// A device-only buffer of `len` elements that is never uploaded — the
+    /// SYCL `property::no_init` construction. The first accessor binds it
+    /// with a plain allocation and no implicit host-to-device transfer, so
+    /// kernels that fully overwrite it (scratch and output arrays) pay no
+    /// phantom upload bytes.
+    pub fn uninit(len: usize) -> Self {
+        Buffer {
+            state: Arc::new(Mutex::new(State::Uninit(len))),
+            len,
+            kind: BufferKind::Global,
+        }
+    }
+
     /// A buffer initialized from host data (`buffer<T, 1> d(h, WS)`).
     pub fn from_slice(data: &[T]) -> Self {
         Buffer {
@@ -143,6 +159,17 @@ impl<T: Scalar> Buffer<T> {
         let mut state = self.state.lock().unwrap();
         match &*state {
             State::Bound(b) => Ok((b.clone(), false)),
+            State::Uninit(len) => {
+                let dev = match self.kind {
+                    BufferKind::Global => device.alloc(*len)?,
+                    BufferKind::Constant => device.alloc_constant(*len)?,
+                };
+                let handle = dev.clone();
+                *state = State::Bound(dev);
+                // Not "newly bound" for charging purposes: `no_init` means
+                // there is nothing to upload.
+                Ok((handle, false))
+            }
             State::Unbound(init) => {
                 let dev = match self.kind {
                     BufferKind::Global => device.alloc_from_slice(init)?,
@@ -161,6 +188,7 @@ impl<T: Scalar> Buffer<T> {
         match &*self.state.lock().unwrap() {
             State::Bound(b) => b.to_vec(),
             State::Unbound(v) => v.clone(),
+            State::Uninit(len) => vec![T::default(); *len],
         }
     }
 
@@ -184,6 +212,18 @@ impl<T: Scalar> Buffer<T> {
 mod tests {
     use super::*;
     use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn uninit_buffers_bind_without_upload() {
+        let device = gpu_sim::Device::new(DeviceSpec::mi100());
+        let b = Buffer::<u32>::uninit(16);
+        assert_eq!(b.to_vec(), vec![0; 16], "unbound no_init snapshot is zero");
+        let before = device.traffic().h2d_bytes;
+        let (dev, newly_bound) = b.bind(&device).unwrap();
+        assert!(!newly_bound, "no_init binding charges no implicit upload");
+        assert_eq!(dev.len(), 16);
+        assert_eq!(device.traffic().h2d_bytes, before, "no h2d bytes recorded");
+    }
 
     #[test]
     fn unbound_buffers_snapshot_host_data() {

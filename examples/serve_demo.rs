@@ -1,11 +1,20 @@
 //! The batch-serving subsystem end to end: four submitter threads push a
-//! thousand query jobs at a heterogeneous 4-device pool, the coalescer
-//! shares chunk uploads between jobs with the same PAM pattern, and the
-//! genome cache keeps the hot chunks resident. Every job's results are
-//! verified byte-identical to the serial pipelines.
+//! batch of query jobs at a heterogeneous 4-device pool, the coalescer
+//! shares chunk uploads between jobs with the same PAM pattern, the genome
+//! cache keeps the hot chunks resident as 2-bit packed payloads, and the
+//! cost-aware scheduler places each batch on the device with the earliest
+//! predicted completion. Every job's results are verified byte-identical
+//! to the serial pipelines.
+//!
+//! The whole workload is then re-served through the previous generation
+//! of the serving path — raw one-byte-per-base cache payloads at the same
+//! byte budget, shortest-queue placement, fixed in-flight depth — and the
+//! comparison (upload bytes per batch, cache hit rate, simulated
+//! throughput, prediction error) is written to `BENCH_serve.json`.
 //!
 //! ```text
 //! cargo run --release --example serve_demo
+//! CASOFF_SERVE_JOBS=200 cargo run --release --example serve_demo
 //! ```
 
 use std::collections::HashMap;
@@ -14,13 +23,25 @@ use std::time::Duration;
 
 use cas_offinder::pipeline::{ocl, PipelineConfig};
 use cas_offinder::{OffTarget, SearchInput};
-use casoff_serve::{JobSpec, Service, ServiceConfig, SubmitError};
+use casoff_serve::{
+    ChunkEncoding, JobSpec, MetricsReport, Placement, Service, ServiceConfig, SubmitError,
+};
 use genome::rng::Xoshiro256;
 use gpu_sim::{DeviceSpec, ExecMode};
 
-const JOBS: usize = 1000;
 const SUBMITTERS: usize = 4;
-const CHUNK_SIZE: usize = 1 << 10;
+const CHUNK_SIZE: usize = 1 << 13;
+/// Genome scale: ~18.6k bases per chromosome, so most chunks fill the full
+/// 8 KiB and the chunk payload dominates the per-batch query tables.
+const GENOME_SCALE: f64 = 0.02;
+/// Cache byte budget shared by both runs: holds the packed working set
+/// with room to spare, but not the raw one — the equal-budget comparison
+/// the cache redesign is about.
+const CACHE_BYTES: usize = 128 * 1024;
+/// Virtual-time pacing: workers hold each batch for its simulated duration
+/// (scaled), so queue drain — and therefore placement quality — follows
+/// device speed rather than host speed.
+const PACING: f64 = 1500.0;
 
 fn spec_text(spec: &JobSpec) -> String {
     format!(
@@ -32,46 +53,42 @@ fn spec_text(spec: &JobSpec) -> String {
     )
 }
 
-fn main() {
-    let assembly = genome::synth::hg38_mini(0.002);
-
-    // Twenty distinct tenant requests over two PAM patterns; the thousand
-    // submitted jobs cycle through them, so the coalescer always has
-    // same-pattern company to batch with.
-    let mut rng = Xoshiro256::seed_from_u64(0x5E4E);
-    let patterns: [&[u8]; 2] = [b"NNNNNNNNNRG", b"NNNNNNNNNGG"];
-    let specs: Vec<JobSpec> = (0..20)
-        .map(|i| {
-            let mut guide: Vec<u8> = (0..8).map(|_| *rng.choose(b"ACGT").unwrap()).collect();
-            guide.extend_from_slice(b"NNN");
-            JobSpec::new("hg38-mini", patterns[i % 2].to_vec(), guide, 3)
-        })
-        .collect();
-
+fn config_with(encoding: ChunkEncoding, placement: Placement) -> ServiceConfig {
     let mut config = ServiceConfig::paper_pool();
     config.chunk_size = CHUNK_SIZE;
-    config.queue_capacity = 64; // small on purpose, so backpressure shows up
-    config.cache_chunks = 128;
-    println!(
-        "pool: {}",
-        config
-            .devices
-            .iter()
-            .map(|d| format!("{} [{}]", d.spec.name, d.api))
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    let service = Arc::new(Service::start(config, vec![assembly]));
+    config.queue_cost_limit = 10_000_000; // ~67 queued jobs: backpressure shows up
+    config.cache_bytes = CACHE_BYTES;
+    config.cache_encoding = encoding;
+    config.placement = placement;
+    config.pacing = PACING;
+    config
+}
+
+/// Serve `jobs` jobs cycling through `specs`, verify every result against
+/// `oracle`, and return the metrics snapshot.
+fn serve_run(
+    label: &str,
+    encoding: ChunkEncoding,
+    placement: Placement,
+    jobs: usize,
+    specs: &[JobSpec],
+    oracle: &[Vec<OffTarget>],
+) -> MetricsReport {
+    let assembly = genome::synth::hg38_mini(GENOME_SCALE);
+    let service = Arc::new(Service::start(
+        config_with(encoding, placement),
+        vec![assembly],
+    ));
 
     // Submitters race the pool; a full queue means back off and retry, so
     // every job is eventually admitted but rejections are counted.
     let handles: Vec<_> = (0..SUBMITTERS)
         .map(|s| {
             let service = Arc::clone(&service);
-            let specs = specs.clone();
+            let specs = specs.to_vec();
             std::thread::spawn(move || {
                 let mut ids = Vec::new();
-                for i in (s..JOBS).step_by(SUBMITTERS) {
+                for i in (s..jobs).step_by(SUBMITTERS) {
                     let spec = specs[i % specs.len()].clone();
                     loop {
                         match service.submit(spec.clone()) {
@@ -94,16 +111,86 @@ fn main() {
         .into_iter()
         .flat_map(|h| h.join().expect("submitter panicked"))
         .collect();
-    assert_eq!(ids.len(), JOBS);
+    assert_eq!(ids.len(), jobs);
 
     let results: HashMap<u64, Vec<OffTarget>> = ids
         .iter()
         .map(|&(id, _)| (id, service.wait(id).expect("job was admitted")))
         .collect();
+    let mut sites = 0;
+    for &(id, spec_index) in &ids {
+        assert_eq!(results[&id], oracle[spec_index], "job {id}");
+        sites += results[&id].len();
+    }
+    println!(
+        "[{label}] {jobs} jobs served, {sites} sites total, all byte-identical to the serial pipeline"
+    );
 
-    // Verify: every job byte-identical to the scalar oracle, and each
-    // distinct spec byte-identical to the serial OpenCL pipeline.
-    let assembly = genome::synth::hg38_mini(0.002);
+    let report = service.metrics();
+    print!("{report}");
+    assert_eq!(report.jobs_completed, jobs as u64);
+    if report.jobs_rejected_full > 0 {
+        println!(
+            "backpressure: {} submissions bounced off the full queue before admission",
+            report.jobs_rejected_full
+        );
+    }
+    println!();
+
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => unreachable!("all submitters joined"),
+    }
+    report
+}
+
+/// Simulated makespan: the busiest device bounds the pool's throughput.
+fn makespan_s(report: &MetricsReport) -> f64 {
+    report
+        .devices
+        .iter()
+        .map(|d| d.busy_s)
+        .fold(0.0, f64::max)
+}
+
+fn upload_bytes_per_batch(report: &MetricsReport) -> f64 {
+    let h2d: u64 = report.devices.iter().map(|d| d.h2d_bytes).sum();
+    h2d as f64 / report.batches_formed.max(1) as f64
+}
+
+fn main() {
+    let jobs: usize = std::env::var("CASOFF_SERVE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+
+    // Twenty distinct tenant requests over two PAM patterns; the submitted
+    // jobs cycle through them, so the coalescer always has same-pattern
+    // company to batch with.
+    let mut rng = Xoshiro256::seed_from_u64(0x5E4E);
+    let patterns: [&[u8]; 2] = [b"NNNNNNNNNRG", b"NNNNNNNNNGG"];
+    let specs: Vec<JobSpec> = (0..20)
+        .map(|i| {
+            let mut guide: Vec<u8> = (0..8).map(|_| *rng.choose(b"ACGT").unwrap()).collect();
+            guide.extend_from_slice(b"NNN");
+            JobSpec::new("hg38-mini", patterns[i % 2].to_vec(), guide, 3)
+        })
+        .collect();
+
+    let config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion);
+    println!(
+        "pool: {}",
+        config
+            .devices
+            .iter()
+            .map(|d| format!("{} [{}]", d.spec.name, d.api))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Oracle: each distinct spec through the serial OpenCL pipeline,
+    // cross-checked against the scalar CPU search.
+    let assembly = genome::synth::hg38_mini(GENOME_SCALE);
     let serial_config = PipelineConfig::new(DeviceSpec::mi100())
         .chunk_size(CHUNK_SIZE)
         .exec_mode(ExecMode::Sequential);
@@ -120,35 +207,105 @@ fn main() {
             serial
         })
         .collect();
-    let mut sites = 0;
-    for &(id, spec_index) in &ids {
-        assert_eq!(results[&id], oracle[spec_index], "job {id}");
-        sites += results[&id].len();
-    }
-    println!("{JOBS} jobs served, {sites} sites total, all byte-identical to the serial pipeline\n");
 
-    let report = service.metrics();
-    print!("{report}");
-    assert_eq!(report.jobs_completed, JOBS as u64);
+    let packed = serve_run(
+        "packed + cost-aware",
+        ChunkEncoding::Packed,
+        Placement::EarliestCompletion,
+        jobs,
+        &specs,
+        &oracle,
+    );
+    let raw = serve_run(
+        "raw + shortest-queue (PR 2 baseline)",
+        ChunkEncoding::Raw,
+        Placement::ShortestQueue,
+        jobs,
+        &specs,
+        &oracle,
+    );
+
+    let packed_jobs_per_s = jobs as f64 / makespan_s(&packed);
+    let raw_jobs_per_s = jobs as f64 / makespan_s(&raw);
+    let transfer_reduction = upload_bytes_per_batch(&raw) / upload_bytes_per_batch(&packed);
+
+    println!("packed + cost-aware vs the raw + shortest-queue baseline ({CACHE_BYTES} B cache both):");
+    println!(
+        "  upload bytes/batch: {:.0} vs {:.0} ({transfer_reduction:.2}x reduction)",
+        upload_bytes_per_batch(&packed),
+        upload_bytes_per_batch(&raw)
+    );
+    println!(
+        "  cache hit rate:     {:.1}% vs {:.1}%",
+        100.0 * packed.cache_hit_rate(),
+        100.0 * raw.cache_hit_rate()
+    );
+    println!(
+        "  sim throughput:     {packed_jobs_per_s:.0} vs {raw_jobs_per_s:.0} jobs/s ({:.2}x)",
+        packed_jobs_per_s / raw_jobs_per_s
+    );
+    println!(
+        "  prediction error:   {:.1}% vs {:.1}%",
+        100.0 * packed.mean_prediction_error(),
+        100.0 * raw.mean_prediction_error()
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"jobs\": {},\n",
+            "  \"chunk_size\": {},\n",
+            "  \"cache_bytes\": {},\n",
+            "  \"packed\": {{ \"jobs_per_s\": {:.2}, \"cache_hit_rate\": {:.4}, ",
+            "\"upload_bytes_per_batch\": {:.1}, \"mean_prediction_error\": {:.4}, ",
+            "\"makespan_s\": {:.6} }},\n",
+            "  \"raw_baseline\": {{ \"jobs_per_s\": {:.2}, \"cache_hit_rate\": {:.4}, ",
+            "\"upload_bytes_per_batch\": {:.1}, \"mean_prediction_error\": {:.4}, ",
+            "\"makespan_s\": {:.6} }},\n",
+            "  \"transfer_reduction_per_batch\": {:.3},\n",
+            "  \"jobs_per_s_improvement\": {:.3}\n",
+            "}}\n"
+        ),
+        jobs,
+        CHUNK_SIZE,
+        CACHE_BYTES,
+        packed_jobs_per_s,
+        packed.cache_hit_rate(),
+        upload_bytes_per_batch(&packed),
+        packed.mean_prediction_error(),
+        makespan_s(&packed),
+        raw_jobs_per_s,
+        raw.cache_hit_rate(),
+        upload_bytes_per_batch(&raw),
+        raw.mean_prediction_error(),
+        makespan_s(&raw),
+        transfer_reduction,
+        packed_jobs_per_s / raw_jobs_per_s,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
     assert!(
-        report.coalescing_ratio() > 1.5,
+        packed.coalescing_ratio() > 1.5,
         "coalescing ratio {:.2} must exceed 1.5",
-        report.coalescing_ratio()
+        packed.coalescing_ratio()
     );
     assert!(
-        report.cache_hit_rate() > 0.5,
-        "cache hit rate {:.1}% must exceed 50%",
-        100.0 * report.cache_hit_rate()
+        packed.cache_hit_rate() > 0.5,
+        "packed cache hit rate {:.1}% must exceed 50%",
+        100.0 * packed.cache_hit_rate()
     );
-    if report.jobs_rejected_full > 0 {
-        println!(
-            "\nbackpressure: {} submissions bounced off the full queue before admission",
-            report.jobs_rejected_full
-        );
-    }
-
-    match Arc::try_unwrap(service) {
-        Ok(service) => service.shutdown(),
-        Err(_) => unreachable!("all submitters joined"),
-    }
+    assert!(
+        packed.cache_hit_rate() > raw.cache_hit_rate(),
+        "packed must out-hit raw at the same byte budget"
+    );
+    assert!(
+        transfer_reduction >= 2.0,
+        "packed chunks must cut per-batch upload bytes at least 2x, got {transfer_reduction:.2}x"
+    );
+    assert!(
+        packed_jobs_per_s > raw_jobs_per_s,
+        "the packed cost-aware path must out-serve the PR 2 baseline: \
+         {packed_jobs_per_s:.0} vs {raw_jobs_per_s:.0} jobs/s"
+    );
 }

@@ -18,4 +18,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== smoke: repro table1 =="
 cargo run --release -p casoff-bench --bin repro -- table1
 
+echo "== smoke: serve throughput =="
+CASOFF_SERVE_JOBS=120 cargo run --release --example serve_demo
+test -s BENCH_serve.json || { echo "BENCH_serve.json missing"; exit 1; }
+
 echo "== tier-1 OK =="
