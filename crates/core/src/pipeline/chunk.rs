@@ -21,6 +21,7 @@ use opencl_rt::{
     ClBuffer, ClDeviceId, ClResult, CommandQueue, Context, Kernel, KernelArg, KernelSource,
     MemFlags, Program,
 };
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, SyclResult};
 
@@ -45,11 +46,34 @@ use super::{round_up, PipelineConfig};
 /// code or a non-base byte: `base_mask` is case-insensitive, so lowercase
 /// concrete bases and `n` carry no information beyond their 2-bit/mask
 /// encoding, but a code like `R` matches pattern `R` where `N` does not.
-fn twobit_compare_safe(packed: &PackedSeq) -> bool {
+pub fn twobit_compare_safe(packed: &PackedSeq) -> bool {
     packed
         .exceptions()
         .iter()
         .all(|&(_, b)| is_concrete(b) || b == b'n')
+}
+
+/// One set of device buffers holding a packed chunk payload, tagged with the
+/// caller's residency token. Interior mutability keeps the runner's `&self`
+/// API: the metadata changes on every run, the buffers never move.
+struct PackedSlot {
+    packed_buf: ClBuffer<u8>,
+    mask_buf: ClBuffer<u8>,
+    exc_pos: ClBuffer<u32>,
+    exc_val: ClBuffer<u8>,
+    token: Cell<Option<u64>>,
+    tick: Cell<u64>,
+}
+
+/// Host-side bytes of a packed payload — what a resident hit avoids moving.
+fn packed_upload_bytes(packed: &PackedSeq) -> u64 {
+    let n_exc = packed.exceptions().len();
+    let exc = if n_exc > 0 {
+        n_exc * (std::mem::size_of::<u32>() + 1)
+    } else {
+        0
+    };
+    (packed.packed_bytes().len() + packed.mask_bytes().len() + exc) as u64
 }
 
 /// Comparer entries `(locus, direction, mismatches)` for one query on one
@@ -96,10 +120,9 @@ pub struct OclChunkRunner {
     comparer_2bit: Kernel,
     pattern: CompiledSeq,
     chr: ClBuffer<u8>,
-    packed_buf: ClBuffer<u8>,
-    mask_buf: ClBuffer<u8>,
-    exc_pos: ClBuffer<u32>,
-    exc_val: ClBuffer<u8>,
+    chr_token: Cell<Option<u64>>,
+    slots: Vec<PackedSlot>,
+    slot_clock: Cell<u64>,
     pat: ClBuffer<u8>,
     pat_index: ClBuffer<i32>,
     loci: ClBuffer<u32>,
@@ -146,10 +169,27 @@ impl OclChunkRunner {
         let chr = ClBuffer::<u8>::create(&ctx, MemFlags::ReadWrite, cap + plen)?;
         // Scratch for the packed upload path: worst case every base carries
         // an exception, so the exception arrays are sized like the chunk.
-        let packed_buf = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, (cap + plen).div_ceil(4))?;
-        let mask_buf = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, (cap + plen).div_ceil(8))?;
-        let exc_pos = ClBuffer::<u32>::create(&ctx, MemFlags::ReadOnly, cap + plen)?;
-        let exc_val = ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, cap + plen)?;
+        // One slot per resident chunk the runner may keep on-device.
+        let slots = (0..config.resident_slots.max(1))
+            .map(|_| {
+                Ok(PackedSlot {
+                    packed_buf: ClBuffer::<u8>::create(
+                        &ctx,
+                        MemFlags::ReadOnly,
+                        (cap + plen).div_ceil(4),
+                    )?,
+                    mask_buf: ClBuffer::<u8>::create(
+                        &ctx,
+                        MemFlags::ReadOnly,
+                        (cap + plen).div_ceil(8),
+                    )?,
+                    exc_pos: ClBuffer::<u32>::create(&ctx, MemFlags::ReadOnly, cap + plen)?,
+                    exc_val: ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, cap + plen)?,
+                    token: Cell::new(None),
+                    tick: Cell::new(0),
+                })
+            })
+            .collect::<ClResult<Vec<_>>>()?;
         let pat = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp())?;
         let pat_index = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp_index())?;
         let loci = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, cap)?;
@@ -171,10 +211,9 @@ impl OclChunkRunner {
             comparer_2bit,
             pattern,
             chr,
-            packed_buf,
-            mask_buf,
-            exc_pos,
-            exc_val,
+            chr_token: Cell::new(None),
+            slots,
+            slot_clock: Cell::new(0),
             pat,
             pat_index,
             loci,
@@ -241,6 +280,45 @@ impl OclChunkRunner {
         timing: &mut TimingBreakdown,
         profile: &mut gpu_sim::profile::Profile,
     ) -> ClResult<Vec<QueryEntries>> {
+        self.run_chunk_inner(None, seq, scan_len, tables, timing, profile)
+            .map(|(per_query, _)| per_query)
+    }
+
+    /// [`run_chunk`](Self::run_chunk) with residency: when the previous raw
+    /// run carried the same `token`, the chunk bytes are already in the
+    /// `chr` buffer and the upload is skipped (recorded on the device as
+    /// skipped h2d traffic). Returns the entries plus whether the resident
+    /// copy was reused. Any packed run invalidates raw residency — the
+    /// `finder_packed` kernel decodes over the same scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn run_chunk_resident(
+        &self,
+        token: u64,
+        seq: &[u8],
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
+        self.run_chunk_inner(Some(token), seq, scan_len, tables, timing, profile)
+    }
+
+    fn run_chunk_inner(
+        &self,
+        token: Option<u64>,
+        seq: &[u8],
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
         let plen = self.pattern.plen();
         assert!(
             seq.len() <= self.cap + plen && scan_len <= self.cap,
@@ -250,10 +328,18 @@ impl OclChunkRunner {
         );
         let mut per_query = vec![Vec::new(); tables.len()];
 
-        // Step 11 (host->device): upload the chunk, reset the counter.
-        let w1 = self.queue.enqueue_write_buffer(&self.chr, true, 0, seq)?;
+        // Step 11 (host->device): upload the chunk — unless this exact chunk
+        // is still resident from the previous raw run — and reset the counter.
+        let reused = token.is_some() && self.chr_token.get() == token;
+        if reused {
+            self.queue.device().record_h2d_skipped(seq.len() as u64);
+        } else {
+            let w1 = self.queue.enqueue_write_buffer(&self.chr, true, 0, seq)?;
+            timing.transfer_s += w1.duration_s();
+            self.chr_token.set(token);
+        }
         let w2 = self.queue.enqueue_fill_buffer(&self.fcount, 0u32)?;
-        timing.transfer_s += w1.duration_s() + w2.duration_s();
+        timing.transfer_s += w2.duration_s();
 
         // Step 9: finder arguments.
         self.finder.set_arg(0, KernelArg::BufU8(self.chr.device_buffer()))?;
@@ -287,11 +373,11 @@ impl OclChunkRunner {
         let n = n[0] as usize;
         timing.candidates += n as u64;
         if n == 0 {
-            return Ok(per_query);
+            return Ok((per_query, reused));
         }
 
         self.run_comparers(n, tables, timing, profile, &mut per_query)?;
-        Ok(per_query)
+        Ok((per_query, reused))
     }
 
     /// Run one finder→comparer interaction from a losslessly 2-bit packed
@@ -318,6 +404,46 @@ impl OclChunkRunner {
         timing: &mut TimingBreakdown,
         profile: &mut gpu_sim::profile::Profile,
     ) -> ClResult<Vec<QueryEntries>> {
+        self.run_packed_inner(None, packed, scan_len, tables, timing, profile)
+            .map(|(per_query, _)| per_query)
+    }
+
+    /// [`run_packed_chunk`](Self::run_packed_chunk) with residency: the
+    /// runner keeps the packed payloads of its last `resident_slots` tokens
+    /// on-device, and a run whose `token` matches a slot skips the packed,
+    /// mask and exception uploads entirely (recorded on the device as
+    /// skipped h2d traffic). Returns the entries plus whether a resident
+    /// payload was reused. The token is the *caller's* identity for the
+    /// chunk content — two different chunks must never share a token.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn run_packed_chunk_resident(
+        &self,
+        token: u64,
+        packed: &PackedSeq,
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
+        self.run_packed_inner(Some(token), packed, scan_len, tables, timing, profile)
+    }
+
+    fn run_packed_inner(
+        &self,
+        token: Option<u64>,
+        packed: &PackedSeq,
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
         let plen = self.pattern.plen();
         let seq_len = packed.len();
         assert!(
@@ -326,30 +452,65 @@ impl OclChunkRunner {
             self.cap
         );
         let mut per_query = vec![Vec::new(); tables.len()];
-
-        // Step 11 (host->device): upload the packed payload, reset the
-        // counter. The exception arrays only move when the chunk has any.
-        let w1 = self
-            .queue
-            .enqueue_write_buffer(&self.packed_buf, true, 0, packed.packed_bytes())?;
-        let w2 = self
-            .queue
-            .enqueue_write_buffer(&self.mask_buf, true, 0, packed.mask_bytes())?;
-        let w3 = self.queue.enqueue_fill_buffer(&self.fcount, 0u32)?;
-        timing.transfer_s += w1.duration_s() + w2.duration_s() + w3.duration_s();
         let n_exc = packed.exceptions().len();
-        if n_exc > 0 {
-            let (pos, val) = packed.exception_arrays();
-            let e1 = self.queue.enqueue_write_buffer(&self.exc_pos, true, 0, &pos)?;
-            let e2 = self.queue.enqueue_write_buffer(&self.exc_val, true, 0, &val)?;
-            timing.transfer_s += e1.duration_s() + e2.duration_s();
+
+        // Pick the slot: a token match reuses the resident payload, anything
+        // else claims the least-recently-used slot and re-uploads.
+        let hit = token.and_then(|t| {
+            self.slots
+                .iter()
+                .position(|s| s.token.get() == Some(t))
+        });
+        let (slot, reused) = match hit {
+            Some(i) => (&self.slots[i], true),
+            None => {
+                let i = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.tick.get())
+                    .map(|(i, _)| i)
+                    .expect("runner always has at least one slot");
+                let slot = &self.slots[i];
+                slot.token.set(token);
+                (slot, false)
+            }
+        };
+        self.slot_clock.set(self.slot_clock.get() + 1);
+        slot.tick.set(self.slot_clock.get());
+
+        // Step 11 (host->device): upload the packed payload — unless it is
+        // still resident — and reset the counter. The exception arrays only
+        // move when the chunk has any.
+        if reused {
+            self.queue
+                .device()
+                .record_h2d_skipped(packed_upload_bytes(packed));
+        } else {
+            let w1 = self
+                .queue
+                .enqueue_write_buffer(&slot.packed_buf, true, 0, packed.packed_bytes())?;
+            let w2 = self
+                .queue
+                .enqueue_write_buffer(&slot.mask_buf, true, 0, packed.mask_bytes())?;
+            timing.transfer_s += w1.duration_s() + w2.duration_s();
+            if n_exc > 0 {
+                let (pos, val) = packed.exception_arrays();
+                let e1 = self.queue.enqueue_write_buffer(&slot.exc_pos, true, 0, &pos)?;
+                let e2 = self.queue.enqueue_write_buffer(&slot.exc_val, true, 0, &val)?;
+                timing.transfer_s += e1.duration_s() + e2.duration_s();
+            }
         }
+        let w3 = self.queue.enqueue_fill_buffer(&self.fcount, 0u32)?;
+        timing.transfer_s += w3.duration_s();
+        // The packed finder decodes over the raw-path scratch below.
+        self.chr_token.set(None);
 
         let k = &self.finder_packed;
-        k.set_arg(0, KernelArg::BufU8(self.packed_buf.device_buffer()))?;
-        k.set_arg(1, KernelArg::BufU8(self.mask_buf.device_buffer()))?;
-        k.set_arg(2, KernelArg::BufU32(self.exc_pos.device_buffer()))?;
-        k.set_arg(3, KernelArg::BufU8(self.exc_val.device_buffer()))?;
+        k.set_arg(0, KernelArg::BufU8(slot.packed_buf.device_buffer()))?;
+        k.set_arg(1, KernelArg::BufU8(slot.mask_buf.device_buffer()))?;
+        k.set_arg(2, KernelArg::BufU32(slot.exc_pos.device_buffer()))?;
+        k.set_arg(3, KernelArg::BufU8(slot.exc_val.device_buffer()))?;
         k.set_arg(4, KernelArg::U32(n_exc as u32))?;
         k.set_arg(5, KernelArg::BufU8(self.chr.device_buffer()))?;
         k.set_arg(6, KernelArg::BufU8(self.pat.device_buffer()))?;
@@ -381,7 +542,7 @@ impl OclChunkRunner {
         let n = n[0] as usize;
         timing.candidates += n as u64;
         if n == 0 {
-            return Ok(per_query);
+            return Ok((per_query, reused));
         }
 
         // The packed payload is already resident: when its exceptions are
@@ -389,11 +550,11 @@ impl OclChunkRunner {
         // global bytes per site instead of plen). Degenerate exception
         // bytes fall back to the char comparer on the decoded scratch.
         if twobit_compare_safe(packed) {
-            self.run_comparers_2bit(n, tables, timing, profile, &mut per_query)?;
+            self.run_comparers_2bit(slot, n, tables, timing, profile, &mut per_query)?;
         } else {
             self.run_comparers(n, tables, timing, profile, &mut per_query)?;
         }
-        Ok(per_query)
+        Ok((per_query, reused))
     }
 
     /// Shared comparer stage: one launch per prepared query against `n`
@@ -465,6 +626,7 @@ impl OclChunkRunner {
     /// instead of the decoded `chr` scratch.
     fn run_comparers_2bit(
         &self,
+        slot: &PackedSlot,
         n: usize,
         tables: &OclQueryTables,
         timing: &mut TimingBreakdown,
@@ -477,8 +639,8 @@ impl OclChunkRunner {
             timing.transfer_s += wz.duration_s();
 
             let k = &self.comparer_2bit;
-            k.set_arg(0, KernelArg::BufU8(self.packed_buf.device_buffer()))?;
-            k.set_arg(1, KernelArg::BufU8(self.mask_buf.device_buffer()))?;
+            k.set_arg(0, KernelArg::BufU8(slot.packed_buf.device_buffer()))?;
+            k.set_arg(1, KernelArg::BufU8(slot.mask_buf.device_buffer()))?;
             k.set_arg(2, KernelArg::BufU32(self.loci.device_buffer()))?;
             k.set_arg(3, KernelArg::BufU8(self.flags.device_buffer()))?;
             k.set_arg(4, KernelArg::BufU8(comp.device_buffer()))?;
@@ -553,10 +715,12 @@ impl OclChunkRunner {
         self.comparer.release();
         self.comparer_2bit.release();
         self.chr.release();
-        self.packed_buf.release();
-        self.mask_buf.release();
-        self.exc_pos.release();
-        self.exc_val.release();
+        for slot in self.slots {
+            slot.packed_buf.release();
+            slot.mask_buf.release();
+            slot.exc_pos.release();
+            slot.exc_val.release();
+        }
         self.pat.release();
         self.pat_index.release();
         self.loci.release();
@@ -599,6 +763,41 @@ pub struct SyclChunkRunner {
     pat_index_buf: Buffer<i32>,
     opt: OptLevel,
     wgs: usize,
+    // Residency: keeping a bound `Buffer` alive *is* residency in the SYCL
+    // model — re-binding a bound buffer charges no upload — so the runner
+    // retains the chunk buffers of its last `resident_cap` tokens,
+    // most-recently-used first.
+    resident_cap: usize,
+    packed_res: RefCell<Vec<(u64, SyclPackedResident)>>,
+    raw_res: RefCell<Vec<(u64, Buffer<u8>)>>,
+}
+
+/// The retained device buffers of one packed chunk payload. Cloning shares
+/// the underlying device buffers, so one copy can live in the residency
+/// list while another is in use by the current run.
+#[derive(Clone)]
+struct SyclPackedResident {
+    packed_buf: Buffer<u8>,
+    mask_buf: Buffer<u8>,
+    exc_pos_buf: Buffer<u32>,
+    exc_val_buf: Buffer<u8>,
+}
+
+/// Remove and return the resident entry for `token`, if any.
+fn take_resident<T>(list: &RefCell<Vec<(u64, T)>>, token: u64) -> Option<T> {
+    let mut l = list.borrow_mut();
+    l.iter()
+        .position(|(t, _)| *t == token)
+        .map(|i| l.remove(i).1)
+}
+
+/// Insert `value` for `token` at the most-recently-used position, dropping
+/// the least-recently-used entries beyond `cap` (their device buffers are
+/// released when the last handle drops).
+fn retain_resident<T>(list: &RefCell<Vec<(u64, T)>>, token: u64, value: T, cap: usize) {
+    let mut l = list.borrow_mut();
+    l.insert(0, (token, value));
+    l.truncate(cap);
 }
 
 impl SyclChunkRunner {
@@ -622,6 +821,9 @@ impl SyclChunkRunner {
             wgs: config
                 .work_group_size
                 .unwrap_or(super::sycl::SYCL_WORK_GROUP_SIZE),
+            resident_cap: config.resident_slots.max(1),
+            packed_res: RefCell::new(Vec::new()),
+            raw_res: RefCell::new(Vec::new()),
         })
     }
 
@@ -662,14 +864,57 @@ impl SyclChunkRunner {
         timing: &mut TimingBreakdown,
         profile: &mut gpu_sim::profile::Profile,
     ) -> SyclResult<Vec<QueryEntries>> {
+        self.run_chunk_inner(None, seq, scan_len, tables, timing, profile)
+            .map(|(per_query, _)| per_query)
+    }
+
+    /// [`run_chunk`](Self::run_chunk) with residency (see
+    /// [`OclChunkRunner::run_chunk_resident`] for the contract): the chunk
+    /// buffer of the last `resident_slots` tokens stays bound on the device,
+    /// and a matching `token` rebinds it instead of uploading.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn run_chunk_resident(
+        &self,
+        token: u64,
+        seq: &[u8],
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
+        self.run_chunk_inner(Some(token), seq, scan_len, tables, timing, profile)
+    }
+
+    fn run_chunk_inner(
+        &self,
+        token: Option<u64>,
+        seq: &[u8],
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
         let plen = self.pattern.plen();
         let wgs = self.wgs;
         let mut per_query = vec![Vec::new(); tables.len()];
 
-        // Fresh per-chunk buffers; released implicitly when they drop. The
+        // Per-chunk buffers; released implicitly when they drop. The
         // kernel-output arrays are `no_init`: the finder fully overwrites
-        // the slots it uses, so they carry no implicit upload.
-        let chr_buf = Buffer::from_slice(seq);
+        // the slots it uses, so they carry no implicit upload. A resident
+        // token reuses the still-bound chunk buffer of an earlier run.
+        let (chr_buf, reused) = match token.and_then(|t| take_resident(&self.raw_res, t)) {
+            Some(buf) => {
+                self.queue.device().record_h2d_skipped(seq.len() as u64);
+                (buf, true)
+            }
+            None => (Buffer::from_slice(seq), false),
+        };
+        if let Some(t) = token {
+            retain_resident(&self.raw_res, t, chr_buf.clone(), self.resident_cap);
+        }
         let loci_buf = Buffer::<u32>::uninit(scan_len);
         let flags_buf = Buffer::<u8>::uninit(scan_len);
         let fcount_buf = Buffer::<u32>::new(1);
@@ -726,12 +971,13 @@ impl SyclChunkRunner {
         let n = count_host[0] as usize;
         timing.candidates += n as u64;
         if n == 0 {
-            return Ok(per_query);
+            return Ok((per_query, reused));
         }
 
         self.run_comparers(&chr_buf, &loci_buf, &flags_buf, n, tables, timing, profile, &mut per_query)?;
-        // chr/loci/flags/fcount buffers drop here: implicit release.
-        Ok(per_query)
+        // loci/flags/fcount buffers drop here: implicit release. The chunk
+        // buffer survives in the residency list when a token retained it.
+        Ok((per_query, reused))
     }
 
     /// Run one finder→comparer interaction from a losslessly 2-bit packed
@@ -751,27 +997,85 @@ impl SyclChunkRunner {
         timing: &mut TimingBreakdown,
         profile: &mut gpu_sim::profile::Profile,
     ) -> SyclResult<Vec<QueryEntries>> {
+        self.run_packed_inner(None, packed, scan_len, tables, timing, profile)
+            .map(|(per_query, _)| per_query)
+    }
+
+    /// [`run_packed_chunk`](Self::run_packed_chunk) with residency (see
+    /// [`OclChunkRunner::run_packed_chunk_resident`] for the contract): the
+    /// packed buffers of the last `resident_slots` tokens stay bound on the
+    /// device, and a matching `token` rebinds them instead of uploading.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn run_packed_chunk_resident(
+        &self,
+        token: u64,
+        packed: &PackedSeq,
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
+        self.run_packed_inner(Some(token), packed, scan_len, tables, timing, profile)
+    }
+
+    fn run_packed_inner(
+        &self,
+        token: Option<u64>,
+        packed: &PackedSeq,
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
         let plen = self.pattern.plen();
         let wgs = self.wgs;
         let seq_len = packed.len();
         let mut per_query = vec![Vec::new(); tables.len()];
-
-        let packed_buf = Buffer::from_slice(packed.packed_bytes());
-        let mask_buf = Buffer::from_slice(packed.mask_bytes());
         let n_exc = packed.exceptions().len();
-        let (exc_pos, exc_val) = packed.exception_arrays();
-        // The simulator rejects zero-length allocations; a one-element dummy
-        // stands in when the chunk carries no exceptions (n_exc guards use).
-        let exc_pos_buf = if n_exc > 0 {
-            Buffer::from_vec(exc_pos)
-        } else {
-            Buffer::from_slice(&[0u32])
+
+        let (res, reused) = match token.and_then(|t| take_resident(&self.packed_res, t)) {
+            Some(res) => {
+                self.queue
+                    .device()
+                    .record_h2d_skipped(packed_upload_bytes(packed));
+                (res, true)
+            }
+            None => {
+                let (exc_pos, exc_val) = packed.exception_arrays();
+                // The simulator rejects zero-length allocations; a
+                // one-element dummy stands in when the chunk carries no
+                // exceptions (n_exc guards use).
+                (
+                    SyclPackedResident {
+                        packed_buf: Buffer::from_slice(packed.packed_bytes()),
+                        mask_buf: Buffer::from_slice(packed.mask_bytes()),
+                        exc_pos_buf: if n_exc > 0 {
+                            Buffer::from_vec(exc_pos)
+                        } else {
+                            Buffer::from_slice(&[0u32])
+                        },
+                        exc_val_buf: if n_exc > 0 {
+                            Buffer::from_vec(exc_val)
+                        } else {
+                            Buffer::from_slice(&[0u8])
+                        },
+                    },
+                    false,
+                )
+            }
         };
-        let exc_val_buf = if n_exc > 0 {
-            Buffer::from_vec(exc_val)
-        } else {
-            Buffer::from_slice(&[0u8])
-        };
+        if let Some(t) = token {
+            retain_resident(&self.packed_res, t, res.clone(), self.resident_cap);
+        }
+        let SyclPackedResident {
+            packed_buf,
+            mask_buf,
+            exc_pos_buf,
+            exc_val_buf,
+        } = res;
         let chr_buf = Buffer::<u8>::uninit(seq_len);
         let loci_buf = Buffer::<u32>::uninit(scan_len);
         let flags_buf = Buffer::<u8>::uninit(scan_len);
@@ -838,7 +1142,7 @@ impl SyclChunkRunner {
         let n = count_host[0] as usize;
         timing.candidates += n as u64;
         if n == 0 {
-            return Ok(per_query);
+            return Ok((per_query, reused));
         }
 
         // Same dispatch as the OpenCL runner: 2-bit comparison against the
@@ -852,7 +1156,7 @@ impl SyclChunkRunner {
         } else {
             self.run_comparers(&chr_buf, &loci_buf, &flags_buf, n, tables, timing, profile, &mut per_query)?;
         }
-        Ok(per_query)
+        Ok((per_query, reused))
     }
 
     /// Shared comparer stage: one command group per prepared query against
@@ -1288,6 +1592,160 @@ mod tests {
         );
         tables.release();
         runner.release();
+    }
+
+    #[test]
+    fn resident_packed_rerun_skips_the_upload_and_matches() {
+        let (asm, input) = toy_with_ambiguity();
+        let cfg = config().chunk_size(64).resident_slots(2);
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let chunk = Chunker::new(&asm, 64, runner.plen()).next().unwrap();
+        let packed = PackedSeq::encode(chunk.seq);
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+
+        let before = runner.traffic();
+        let (first, reused) = runner
+            .run_packed_chunk_resident(7, &packed, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(!reused, "first run must upload");
+        let mid = runner.traffic();
+        let (second, reused) = runner
+            .run_packed_chunk_resident(7, &packed, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        let after = runner.traffic();
+        assert!(reused, "same token must hit the resident slot");
+        assert_eq!(second, first, "resident rerun must be byte-identical");
+        let first_h2d = mid.since(&before).h2d_bytes;
+        let second_h2d = after.since(&mid).h2d_bytes;
+        assert!(
+            second_h2d < first_h2d,
+            "resident rerun uploaded {second_h2d} B, first run {first_h2d} B"
+        );
+        assert_eq!(
+            after.since(&mid).h2d_skipped_bytes,
+            packed.packed_bytes().len() as u64
+                + packed.mask_bytes().len() as u64
+                + 5 * packed.exceptions().len() as u64,
+            "the skipped upload must be accounted"
+        );
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    fn resident_slots_evict_least_recently_used() {
+        let (asm, input) = toy_with_ambiguity();
+        let cfg = config().chunk_size(16).resident_slots(2);
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let plen = runner.plen();
+        let chunks: Vec<_> = Chunker::new(&asm, 16, plen)
+            .filter(|c| c.seq.len() >= plen)
+            .take(3)
+            .collect();
+        assert!(chunks.len() == 3, "need three chunks to overflow two slots");
+        let packed: Vec<_> = chunks.iter().map(|c| PackedSeq::encode(c.seq)).collect();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let mut run = |tok: u64, i: usize| {
+            runner
+                .run_packed_chunk_resident(
+                    tok,
+                    &packed[i],
+                    chunks[i].scan_len,
+                    &tables,
+                    &mut timing,
+                    &mut profile,
+                )
+                .unwrap()
+                .1
+        };
+        assert!(!run(0, 0) && !run(1, 1), "cold slots upload");
+        assert!(run(0, 0), "both fit: token 0 still resident");
+        assert!(!run(2, 2), "third token claims the LRU slot (token 1)");
+        assert!(!run(1, 1), "token 1 was evicted, displacing token 0");
+        assert!(run(2, 2), "token 2 remains resident in the other slot");
+        assert!(!run(0, 0), "token 0 was displaced by token 1's reload");
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    fn resident_raw_rerun_skips_and_packed_runs_invalidate_it() {
+        let (asm, input) = toy();
+        let cfg = config().chunk_size(64).resident_slots(2);
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let chunk = Chunker::new(&asm, 64, runner.plen()).next().unwrap();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+
+        let (first, reused) = runner
+            .run_chunk_resident(3, chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(!reused);
+        let (second, reused) = runner
+            .run_chunk_resident(3, chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(reused, "raw rerun with the same token must skip the upload");
+        assert_eq!(second, first);
+
+        // A packed run decodes over the chr scratch: the raw copy is gone.
+        let packed = PackedSeq::encode(chunk.seq);
+        runner
+            .run_packed_chunk(&packed, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        let (third, reused) = runner
+            .run_chunk_resident(3, chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(!reused, "packed decode must invalidate raw residency");
+        assert_eq!(third, first);
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    fn sycl_resident_rerun_skips_the_upload_and_matches() {
+        let (asm, input) = toy_with_ambiguity();
+        let cfg = config().chunk_size(64).resident_slots(2);
+        let runner = SyclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries);
+        let chunk = Chunker::new(&asm, 64, runner.plen()).next().unwrap();
+        let packed = PackedSeq::encode(chunk.seq);
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+
+        let before = runner.traffic();
+        let (first, reused) = runner
+            .run_packed_chunk_resident(9, &packed, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(!reused);
+        let mid = runner.traffic();
+        let (second, reused) = runner
+            .run_packed_chunk_resident(9, &packed, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        let after = runner.traffic();
+        assert!(reused, "retained sycl buffers must rebind without upload");
+        assert_eq!(second, first);
+        assert!(
+            after.since(&mid).h2d_bytes < mid.since(&before).h2d_bytes,
+            "resident rerun must move fewer bytes"
+        );
+        assert!(after.since(&mid).h2d_skipped_bytes > 0);
+
+        // Raw residency is independent of the packed list.
+        let (raw1, reused) = runner
+            .run_chunk_resident(9, chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(!reused, "raw and packed residency are separate");
+        let (raw2, reused) = runner
+            .run_chunk_resident(9, chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(reused);
+        assert_eq!(raw2, raw1);
+        runner.wait();
     }
 
     #[test]

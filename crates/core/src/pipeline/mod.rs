@@ -34,6 +34,13 @@ pub struct PipelineConfig {
     pub work_group_size: Option<usize>,
     /// Host-thread scheduling of the simulator.
     pub exec: ExecMode,
+    /// Number of device-resident chunk payloads a chunk runner keeps alive
+    /// between calls. With 1 slot a runner can only reuse the chunk it ran
+    /// last; a serving layer that revisits chunks out of order wants a
+    /// budget matching its working set. Residency only pays off through the
+    /// `run_*_resident` entry points of the chunk runners — the serial
+    /// pipelines stream chunks exactly once and are unaffected.
+    pub resident_slots: usize,
 }
 
 impl PipelineConfig {
@@ -46,6 +53,7 @@ impl PipelineConfig {
             opt: OptLevel::Base,
             work_group_size: None,
             exec: ExecMode::default(),
+            resident_slots: 1,
         }
     }
 
@@ -70,6 +78,12 @@ impl PipelineConfig {
     /// Set the simulator's host-thread scheduling.
     pub fn exec_mode(mut self, exec: ExecMode) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Set the resident chunk-payload budget of the chunk runners.
+    pub fn resident_slots(mut self, slots: usize) -> Self {
+        self.resident_slots = slots;
         self
     }
 }

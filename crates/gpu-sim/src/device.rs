@@ -102,6 +102,13 @@ impl Device {
         self.inner.traffic.snapshot()
     }
 
+    /// Record a host-to-device copy that was avoided because the payload was
+    /// already resident on this device (see
+    /// [`TrafficCounters::record_h2d_skipped`]).
+    pub fn record_h2d_skipped(&self, bytes: u64) {
+        self.inner.traffic.record_h2d_skipped(bytes);
+    }
+
     /// Allocate a zero-initialized global-memory buffer of `len` elements.
     ///
     /// # Errors

@@ -17,6 +17,8 @@ pub struct TrafficCounters {
     h2d_bytes: AtomicU64,
     d2h_transfers: AtomicU64,
     d2h_bytes: AtomicU64,
+    h2d_skipped_transfers: AtomicU64,
+    h2d_skipped_bytes: AtomicU64,
 }
 
 impl TrafficCounters {
@@ -34,6 +36,16 @@ impl TrafficCounters {
         self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record a host-to-device copy that a caller *avoided* because the
+    /// payload was already resident on the device. Public (unlike the
+    /// recorders above) because the decision to skip is made by higher
+    /// layers — a chunk runner reusing a resident buffer — not by the
+    /// simulated runtimes themselves.
+    pub fn record_h2d_skipped(&self, bytes: u64) {
+        self.h2d_skipped_transfers.fetch_add(1, Ordering::Relaxed);
+        self.h2d_skipped_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the tallies. Individual fields are read
     /// relaxed, so a snapshot taken while commands are in flight may tear
     /// across fields; snapshots taken at quiescent points are exact.
@@ -44,6 +56,8 @@ impl TrafficCounters {
             h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
             d2h_transfers: self.d2h_transfers.load(Ordering::Relaxed),
             d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            h2d_skipped_transfers: self.h2d_skipped_transfers.load(Ordering::Relaxed),
+            h2d_skipped_bytes: self.h2d_skipped_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -61,6 +75,10 @@ pub struct TrafficSnapshot {
     pub d2h_transfers: u64,
     /// Bytes moved device-to-host.
     pub d2h_bytes: u64,
+    /// Host-to-device copies avoided because the payload was resident.
+    pub h2d_skipped_transfers: u64,
+    /// Bytes that would have moved host-to-device but did not.
+    pub h2d_skipped_bytes: u64,
 }
 
 impl TrafficSnapshot {
@@ -72,6 +90,8 @@ impl TrafficSnapshot {
             h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
             d2h_transfers: self.d2h_transfers - earlier.d2h_transfers,
             d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
+            h2d_skipped_transfers: self.h2d_skipped_transfers - earlier.h2d_skipped_transfers,
+            h2d_skipped_bytes: self.h2d_skipped_bytes - earlier.h2d_skipped_bytes,
         }
     }
 }
@@ -87,12 +107,26 @@ mod tests {
         t.record_h2d(100);
         t.record_h2d(50);
         t.record_d2h(8);
+        t.record_h2d_skipped(2048);
         let s = t.snapshot();
         assert_eq!(s.kernel_launches, 1);
         assert_eq!(s.h2d_transfers, 2);
         assert_eq!(s.h2d_bytes, 150);
         assert_eq!(s.d2h_transfers, 1);
         assert_eq!(s.d2h_bytes, 8);
+        assert_eq!(s.h2d_skipped_transfers, 1);
+        assert_eq!(s.h2d_skipped_bytes, 2048);
+    }
+
+    #[test]
+    fn skipped_uploads_do_not_count_as_real_traffic() {
+        let t = TrafficCounters::default();
+        t.record_h2d_skipped(4096);
+        let s = t.snapshot();
+        assert_eq!(s.h2d_transfers, 0);
+        assert_eq!(s.h2d_bytes, 0);
+        assert_eq!(s.h2d_skipped_transfers, 1);
+        assert_eq!(s.h2d_skipped_bytes, 4096);
     }
 
     #[test]

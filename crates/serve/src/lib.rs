@@ -13,6 +13,17 @@
 //! (`JobSpec::with_bulges`) are expanded into per-variant unit searches by
 //! the batcher and served as one job.
 //!
+//! Two further layers avoid repeating work the pool already did. Devices
+//! keep a budget of **resident chunk payloads** (`resident_chunks`): the
+//! scheduler prices uploads at zero for chunks a device still holds, so
+//! repeat chunks steer back to the device that uploaded them and the
+//! runner skips the transfer outright. And a **content-addressed result
+//! store** (`result_cache_bytes`) keyed by a canonical digest of the spec
+//! serves repeat jobs straight from memory — concurrent identical specs
+//! coalesce onto a single in-flight compute. The per-device cost model is
+//! calibrated at startup from profiler-measured kernel rates rather than
+//! hand-set constants.
+//!
 //! Results are byte-identical to the serial pipelines regardless of
 //! arrival order or scheduling (see [`service`] for the argument), and the
 //! service exposes [metrics] for admission, coalescing, cache
@@ -42,15 +53,18 @@
 
 pub mod batcher;
 pub mod cache;
+mod calibrate;
 pub mod job;
 pub mod metrics;
 mod queue;
+mod results;
 mod scheduler;
 pub mod service;
 
 pub use cache::{CacheStats, ChunkEncoding, GenomeCache};
 pub use job::{JobId, JobSpec, Priority};
 pub use metrics::{DeviceReport, MetricsReport};
+pub use results::ResultCacheStats;
 pub use queue::QueueError;
 pub use scheduler::Placement;
 pub use service::{DeviceSlot, Service, ServiceConfig, SubmitError};

@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cache::CacheStats;
+use crate::results::ResultCacheStats;
 
 /// Counters for one simulated device in the pool.
 #[derive(Default)]
@@ -21,6 +22,13 @@ pub struct DeviceMetrics {
     pub h2d_bytes: AtomicU64,
     /// Device-to-host bytes moved (gauge from the simulator).
     pub d2h_bytes: AtomicU64,
+    /// Host-to-device bytes *not* moved because the chunk payload was
+    /// already resident on the device (gauge from the simulator).
+    pub h2d_skipped_bytes: AtomicU64,
+    /// Batches whose chunk payload was resident — the upload was skipped.
+    pub resident_hits: AtomicU64,
+    /// Batches whose chunk payload had to be uploaded.
+    pub resident_misses: AtomicU64,
     /// Sum of the scheduler's predicted service times, nanoseconds.
     pub predicted_ns: AtomicU64,
     /// Sum of |predicted - measured| service time, nanoseconds.
@@ -80,6 +88,12 @@ pub struct DeviceReport {
     pub h2d_bytes: u64,
     /// Device-to-host bytes.
     pub d2h_bytes: u64,
+    /// Host-to-device bytes skipped thanks to chunk residency.
+    pub h2d_skipped_bytes: u64,
+    /// Batches served from a resident chunk payload (upload skipped).
+    pub resident_hits: u64,
+    /// Batches that uploaded their chunk payload.
+    pub resident_misses: u64,
     /// Scheduler-predicted service time, seconds.
     pub predicted_s: f64,
     /// Mean absolute prediction error as a fraction of busy time.
@@ -105,6 +119,8 @@ pub struct MetricsReport {
     pub queue_depth_high_water: usize,
     /// Genome-chunk cache accounting.
     pub cache: CacheStats,
+    /// Content-addressed result cache accounting.
+    pub results: ResultCacheStats,
     /// Per-device utilization.
     pub devices: Vec<DeviceReport>,
 }
@@ -123,6 +139,36 @@ impl MetricsReport {
     /// Fraction of chunk lookups served from the cache.
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
+    }
+
+    /// Fraction of executed batches that found their chunk payload already
+    /// resident on the device (0 when nothing ran).
+    pub fn resident_hit_rate(&self) -> f64 {
+        let hits: u64 = self.devices.iter().map(|d| d.resident_hits).sum();
+        let total: u64 = hits + self.devices.iter().map(|d| d.resident_misses).sum::<u64>();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Host-to-device bytes residency avoided moving, across all devices.
+    pub fn h2d_skipped_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.h2d_skipped_bytes).sum()
+    }
+
+    /// Fraction of submissions answered without computing: cache hits plus
+    /// single-flight merges over all result-store admissions (0 when the
+    /// result cache is disabled or nothing was submitted).
+    pub fn result_cache_hit_rate(&self) -> f64 {
+        let served = self.results.hits + self.results.merges;
+        let total = served + self.results.misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
     }
 
     /// Mean absolute predicted-vs-measured service-time error across all
@@ -170,6 +216,23 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "results: {:.1}% served without compute ({} hits, {} merged, {} misses, \
+             {} cached, {} B)",
+            100.0 * self.result_cache_hit_rate(),
+            self.results.hits,
+            self.results.merges,
+            self.results.misses,
+            self.results.len,
+            self.results.bytes_resident
+        )?;
+        writeln!(
+            f,
+            "residency: {:.1}% of batches reused a resident chunk, {} B uploads skipped",
+            100.0 * self.resident_hit_rate(),
+            self.h2d_skipped_bytes()
+        )?;
+        writeln!(
+            f,
             "scheduler: {:.1}% mean |predicted - measured| service time",
             100.0 * self.mean_prediction_error()
         )?;
@@ -203,6 +266,7 @@ pub(crate) fn load_report(
     names: &[(String, String)],
     queue_high_water: usize,
     cache: CacheStats,
+    results: ResultCacheStats,
 ) -> MetricsReport {
     MetricsReport {
         jobs_admitted: metrics.jobs_admitted.load(Ordering::Relaxed),
@@ -213,6 +277,7 @@ pub(crate) fn load_report(
         coalesced_jobs: metrics.coalesced_jobs.load(Ordering::Relaxed),
         queue_depth_high_water: queue_high_water,
         cache,
+        results,
         devices: metrics
             .devices
             .iter()
@@ -226,6 +291,9 @@ pub(crate) fn load_report(
                 kernel_launches: d.kernel_launches.load(Ordering::Relaxed),
                 h2d_bytes: d.h2d_bytes.load(Ordering::Relaxed),
                 d2h_bytes: d.d2h_bytes.load(Ordering::Relaxed),
+                h2d_skipped_bytes: d.h2d_skipped_bytes.load(Ordering::Relaxed),
+                resident_hits: d.resident_hits.load(Ordering::Relaxed),
+                resident_misses: d.resident_misses.load(Ordering::Relaxed),
                 predicted_s: d.predicted_ns.load(Ordering::Relaxed) as f64 / 1e9,
                 prediction_error: {
                     let busy = d.busy_ns.load(Ordering::Relaxed);
@@ -254,11 +322,54 @@ mod tests {
             &[("MI100".into(), "OpenCL".into())],
             7,
             CacheStats::default(),
+            ResultCacheStats::default(),
         );
         assert!((report.coalescing_ratio() - 2.5).abs() < 1e-12);
         assert_eq!(report.queue_depth_high_water, 7);
         let text = report.to_string();
         assert!(text.contains("ratio 2.50x"), "{text}");
         assert!(text.contains("MI100"), "{text}");
+    }
+
+    #[test]
+    fn residency_and_result_rates_aggregate_across_devices() {
+        let m = ServeMetrics::new(2);
+        m.devices[0].resident_hits.store(3, Ordering::Relaxed);
+        m.devices[0].resident_misses.store(1, Ordering::Relaxed);
+        m.devices[1].resident_misses.store(4, Ordering::Relaxed);
+        m.devices[0].h2d_skipped_bytes.store(1000, Ordering::Relaxed);
+        m.devices[1].h2d_skipped_bytes.store(24, Ordering::Relaxed);
+        let results = ResultCacheStats {
+            hits: 5,
+            misses: 10,
+            merges: 5,
+            ..ResultCacheStats::default()
+        };
+        let names = [
+            ("MI60".into(), "OpenCL".into()),
+            ("MI60".into(), "SYCL".into()),
+        ];
+        let report = load_report(&m, &names, 0, CacheStats::default(), results);
+        assert!((report.resident_hit_rate() - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(report.h2d_skipped_bytes(), 1024);
+        assert!((report.result_cache_hit_rate() - 0.5).abs() < 1e-12);
+        let text = report.to_string();
+        assert!(text.contains("1024 B uploads skipped"), "{text}");
+        assert!(text.contains("5 merged"), "{text}");
+    }
+
+    #[test]
+    fn empty_reports_have_zero_rates() {
+        let m = ServeMetrics::new(1);
+        let report = load_report(
+            &m,
+            &[("MI60".into(), "OpenCL".into())],
+            0,
+            CacheStats::default(),
+            ResultCacheStats::default(),
+        );
+        assert_eq!(report.resident_hit_rate(), 0.0);
+        assert_eq!(report.result_cache_hit_rate(), 0.0);
+        assert_eq!(report.h2d_skipped_bytes(), 0);
     }
 }

@@ -1,0 +1,402 @@
+//! Content-addressed result store with single-flight coalescing.
+//!
+//! Identical `(assembly, pattern, guide, mismatches, bulge, chunking)`
+//! specs produce identical results, so recomputing them wastes every stage
+//! of the pipeline: admission budget, batcher work, chunk uploads and
+//! kernel launches. The [`ResultStore`] short-circuits all of it. A repeat
+//! spec whose results are cached is answered at submit time without ever
+//! entering the admission queue; a repeat spec whose first submission is
+//! still computing is *merged* onto that in-flight leader (single-flight),
+//! so N concurrent identical specs trigger exactly one compute.
+//!
+//! Keys are 64-bit FNV-1a digests of the canonical spec bytes. Digests are
+//! not trusted alone: the canonical spec is stored alongside each entry and
+//! compared on lookup, so a (vanishingly unlikely) collision degrades to a
+//! miss instead of serving wrong results. The store is bounded by a byte
+//! budget and evicts least-recently-used entries.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use cas_offinder::OffTarget;
+
+use crate::job::{JobId, JobSpec};
+
+/// 64-bit FNV-1a over `bytes`, continuing from `state` (seed with
+/// [`FNV_OFFSET`]). Stable across runs — the digest doubles as the
+/// scheduler's chunk-residency token, which must be identical for
+/// identical work no matter which thread computes it.
+pub(crate) fn fnv1a64(state: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a offset basis: the seed for [`fnv1a64`] chains.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The fields of a [`JobSpec`] that determine its results, in canonical
+/// form. Priority is deliberately excluded — it changes *when* a job runs,
+/// never what it returns. The chunk size is included: it does not change
+/// the result set either, but keying on it keeps the cache trivially
+/// correct if a future revision lets per-service chunking affect result
+/// order before canonical sorting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CanonicalSpec {
+    assembly: String,
+    pattern: Vec<u8>,
+    guide: Vec<u8>,
+    max_mismatches: u16,
+    bulge: Option<(u8, u8)>,
+    chunk_size: usize,
+}
+
+impl CanonicalSpec {
+    /// Canonicalize `spec` and digest it.
+    pub fn digest(spec: &JobSpec, chunk_size: usize) -> (u64, CanonicalSpec) {
+        let canon = CanonicalSpec {
+            assembly: spec.assembly.clone(),
+            pattern: spec.pattern.clone(),
+            guide: spec.guide.clone(),
+            max_mismatches: spec.max_mismatches,
+            bulge: spec.bulge.map(|b| (b.max_dna, b.max_rna)),
+            chunk_size,
+        };
+        let mut h = fnv1a64(FNV_OFFSET, canon.assembly.as_bytes());
+        h = fnv1a64(h, &[0]);
+        h = fnv1a64(h, &canon.pattern);
+        h = fnv1a64(h, &[0]);
+        h = fnv1a64(h, &canon.guide);
+        h = fnv1a64(h, &canon.max_mismatches.to_le_bytes());
+        let (dna, rna) = canon.bulge.map_or((0xff, 0xff), |b| b);
+        h = fnv1a64(h, &[dna, rna]);
+        h = fnv1a64(h, &(canon.chunk_size as u64).to_le_bytes());
+        (h, canon)
+    }
+}
+
+/// Counters of the result store, as exposed by
+/// [`MetricsReport`](crate::MetricsReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Submissions answered from the cache without computing.
+    pub hits: u64,
+    /// Submissions that became compute leaders.
+    pub misses: u64,
+    /// Submissions merged onto an in-flight leader (single-flight).
+    pub merges: u64,
+    /// Completed result sets inserted into the cache.
+    pub insertions: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Approximate bytes of cached results.
+    pub bytes_resident: usize,
+}
+
+/// How [`ResultStore::admit`] classified a submission.
+pub(crate) enum Admission {
+    /// Cached results — the job is done before it was ever queued.
+    Hit(Vec<OffTarget>),
+    /// An identical spec is computing; the job rides along as a follower.
+    Merged,
+    /// First of its kind: the caller enqueued it as the compute leader.
+    Admitted,
+}
+
+struct StoredEntry {
+    spec: CanonicalSpec,
+    results: Vec<OffTarget>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct InFlight {
+    spec: CanonicalSpec,
+    followers: Vec<JobId>,
+}
+
+struct StoreInner {
+    entries: HashMap<u64, StoredEntry>,
+    inflight: HashMap<u64, InFlight>,
+    clock: u64,
+    bytes: usize,
+    stats: ResultCacheStats,
+}
+
+/// Bounded LRU store of finished result sets plus the in-flight
+/// single-flight registry. See the module docs for the protocol.
+pub(crate) struct ResultStore {
+    cap_bytes: usize,
+    inner: Mutex<StoreInner>,
+}
+
+/// Approximate host bytes of a result set (the eviction currency).
+fn approx_bytes(results: &[OffTarget]) -> usize {
+    const PER_ENTRY: usize = 64; // struct + allocation overheads
+    results
+        .iter()
+        .map(|o| o.query.len() + o.chrom.len() + o.site.len() + PER_ENTRY)
+        .sum::<usize>()
+        .max(PER_ENTRY) // an empty result set still occupies an entry
+}
+
+impl ResultStore {
+    pub fn new(cap_bytes: usize) -> Self {
+        ResultStore {
+            cap_bytes,
+            inner: Mutex::new(StoreInner {
+                entries: HashMap::new(),
+                inflight: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+                stats: ResultCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Classify a submission: cache hit, single-flight merge, or leader.
+    /// `try_enqueue` runs *while the store lock is held* on the leader path,
+    /// so a concurrent duplicate cannot slip between the admission decision
+    /// and the leader registration — it either sees the leader (merge) or
+    /// becomes one itself after this enqueue failed.
+    ///
+    /// # Errors
+    ///
+    /// Forwards `try_enqueue`'s error (admission rejection); the store is
+    /// left unchanged in that case.
+    pub fn admit<E>(
+        &self,
+        digest: u64,
+        spec: &CanonicalSpec,
+        id: JobId,
+        try_enqueue: impl FnOnce() -> Result<(), E>,
+    ) -> Result<Admission, E> {
+        let mut s = self.inner.lock().unwrap();
+        s.clock += 1;
+        let clock = s.clock;
+        if let Some(e) = s.entries.get_mut(&digest) {
+            if e.spec == *spec {
+                e.last_used = clock;
+                let results = e.results.clone();
+                s.stats.hits += 1;
+                return Ok(Admission::Hit(results));
+            }
+        }
+        if let Some(f) = s.inflight.get_mut(&digest) {
+            if f.spec == *spec {
+                f.followers.push(id);
+                s.stats.merges += 1;
+                return Ok(Admission::Merged);
+            }
+        }
+        try_enqueue()?;
+        s.stats.misses += 1;
+        // On a digest collision (occupied by a different spec) the job
+        // computes uncoalesced and its results stay uncached — correct,
+        // just not deduplicated.
+        s.inflight
+            .entry(digest)
+            .or_insert_with(|| InFlight {
+                spec: spec.clone(),
+                followers: Vec::new(),
+            });
+        Ok(Admission::Admitted)
+    }
+
+    /// Withdraw a failed leader (its enqueue succeeded but a later
+    /// submission step failed) so followers are not stranded on a compute
+    /// that will never complete. Returns any followers already merged —
+    /// the caller must fail or resubmit them.
+    #[allow(dead_code)]
+    pub fn withdraw(&self, digest: u64, spec: &CanonicalSpec) -> Vec<JobId> {
+        let mut s = self.inner.lock().unwrap();
+        match s.inflight.get(&digest) {
+            Some(f) if f.spec == *spec => s.inflight.remove(&digest).unwrap().followers,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Publish a leader's finished results: cache them (evicting LRU
+    /// entries past the byte budget) and return the followers to fulfill.
+    /// Removal from the in-flight registry and insertion into the cache are
+    /// atomic under the store lock, so no submission can fall between them.
+    pub fn complete(
+        &self,
+        digest: u64,
+        spec: &CanonicalSpec,
+        results: &[OffTarget],
+    ) -> Vec<JobId> {
+        let mut s = self.inner.lock().unwrap();
+        s.clock += 1;
+        let clock = s.clock;
+        let followers = match s.inflight.get(&digest) {
+            Some(f) if f.spec == *spec => s.inflight.remove(&digest).unwrap().followers,
+            _ => Vec::new(),
+        };
+        let bytes = approx_bytes(results);
+        let occupied = s
+            .entries
+            .get(&digest)
+            .is_some_and(|e| e.spec != *spec);
+        if bytes <= self.cap_bytes && !occupied {
+            while s.bytes + bytes > self.cap_bytes {
+                let lru = s
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("bytes > 0 implies at least one entry");
+                let evicted = s.entries.remove(&lru).expect("key just found");
+                s.bytes -= evicted.bytes;
+                s.stats.evictions += 1;
+            }
+            if s
+                .entries
+                .insert(
+                    digest,
+                    StoredEntry {
+                        spec: spec.clone(),
+                        results: results.to_vec(),
+                        bytes,
+                        last_used: clock,
+                    },
+                )
+                .is_none()
+            {
+                s.bytes += bytes;
+                s.stats.insertions += 1;
+            }
+        }
+        followers
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ResultCacheStats {
+        let s = self.inner.lock().unwrap();
+        ResultCacheStats {
+            len: s.entries.len(),
+            bytes_resident: s.bytes,
+            ..s.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cas_offinder::Strand;
+
+    fn spec(guide: &[u8]) -> JobSpec {
+        JobSpec::new("hg38", b"NNNRG".to_vec(), guide.to_vec(), 3)
+    }
+
+    fn hit(pos: usize) -> OffTarget {
+        OffTarget::from_window(b"ACGTG", "chr1", pos, Strand::Forward, 1, b"ACGTG")
+    }
+
+    #[test]
+    fn digests_separate_every_result_bearing_field() {
+        let base = spec(b"ACGTG");
+        let (d0, _) = CanonicalSpec::digest(&base, 512);
+        let variants = [
+            CanonicalSpec::digest(&JobSpec::new("hg19", b"NNNRG".to_vec(), b"ACGTG".to_vec(), 3), 512).0,
+            CanonicalSpec::digest(&JobSpec::new("hg38", b"NNNGG".to_vec(), b"ACGTG".to_vec(), 3), 512).0,
+            CanonicalSpec::digest(&spec(b"ACGTT"), 512).0,
+            CanonicalSpec::digest(&JobSpec::new("hg38", b"NNNRG".to_vec(), b"ACGTG".to_vec(), 4), 512).0,
+            CanonicalSpec::digest(&base, 1024).0,
+        ];
+        for v in variants {
+            assert_ne!(d0, v);
+        }
+        // Priority does not change results, so it must not change the key.
+        let (d1, _) = CanonicalSpec::digest(&spec(b"ACGTG").high_priority(), 512);
+        assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn leader_then_merge_then_hit() {
+        let store = ResultStore::new(1 << 16);
+        let (d, c) = CanonicalSpec::digest(&spec(b"ACGTG"), 512);
+        let a = store.admit::<()>(d, &c, 1, || Ok(())).unwrap();
+        assert!(matches!(a, Admission::Admitted));
+        let a = store.admit::<()>(d, &c, 2, || panic!("duplicate must not enqueue")).unwrap();
+        assert!(matches!(a, Admission::Merged));
+        let followers = store.complete(d, &c, &[hit(7)]);
+        assert_eq!(followers, vec![2]);
+        match store.admit::<()>(d, &c, 3, || panic!("hit must not enqueue")).unwrap() {
+            Admission::Hit(results) => assert_eq!(results, vec![hit(7)]),
+            _ => panic!("expected a cache hit"),
+        }
+        let stats = store.stats();
+        assert_eq!((stats.misses, stats.merges, stats.hits), (1, 1, 1));
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn rejected_leaders_leave_no_trace() {
+        let store = ResultStore::new(1 << 16);
+        let (d, c) = CanonicalSpec::digest(&spec(b"ACGTG"), 512);
+        let r = store.admit(d, &c, 1, || Err("full"));
+        assert_eq!(r.err(), Some("full"));
+        // The next identical submission becomes the leader, not a follower
+        // of a phantom compute.
+        let a = store.admit::<()>(d, &c, 2, || Ok(())).unwrap();
+        assert!(matches!(a, Admission::Admitted));
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let one = approx_bytes(&[hit(1)]);
+        let store = ResultStore::new(2 * one);
+        let specs: Vec<_> = [b"ACGTG", b"ACGTT", b"ACGTC"]
+            .iter()
+            .map(|g| CanonicalSpec::digest(&spec(*g), 512))
+            .collect();
+        for (d, c) in &specs {
+            store.admit::<()>(*d, c, 0, || Ok(())).unwrap();
+            store.complete(*d, c, &[hit(1)]);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.evictions, 1, "third insert evicts the oldest");
+        assert_eq!(stats.len, 2);
+        assert!(stats.bytes_resident <= 2 * one);
+        // The first spec was evicted; the last two still hit.
+        assert!(matches!(
+            store.admit::<()>(specs[0].0, &specs[0].1, 9, || Ok(())).unwrap(),
+            Admission::Admitted
+        ));
+        assert!(matches!(
+            store.admit::<()>(specs[2].0, &specs[2].1, 9, || panic!()).unwrap(),
+            Admission::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_results_pass_through_uncached() {
+        let store = ResultStore::new(8);
+        let (d, c) = CanonicalSpec::digest(&spec(b"ACGTG"), 512);
+        store.admit::<()>(d, &c, 1, || Ok(())).unwrap();
+        store.complete(d, &c, &[hit(1)]);
+        assert_eq!(store.stats().insertions, 0);
+        assert!(matches!(
+            store.admit::<()>(d, &c, 2, || Ok(())).unwrap(),
+            Admission::Admitted
+        ));
+    }
+
+    #[test]
+    fn withdraw_returns_followers_for_the_caller_to_fail() {
+        let store = ResultStore::new(1 << 16);
+        let (d, c) = CanonicalSpec::digest(&spec(b"ACGTG"), 512);
+        store.admit::<()>(d, &c, 1, || Ok(())).unwrap();
+        store.admit::<()>(d, &c, 2, || panic!()).unwrap();
+        assert_eq!(store.withdraw(d, &c), vec![2]);
+        assert!(store.complete(d, &c, &[]).is_empty());
+    }
+}

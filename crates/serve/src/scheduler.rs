@@ -1,20 +1,33 @@
 //! The device pool: per-device batch queues with cost-aware placement,
-//! occupancy-derived in-flight limits, and work stealing.
+//! chunk-residency affinity, occupancy-derived in-flight limits, and work
+//! stealing.
 //!
 //! Placement is no longer "shortest queue": queue depth treats a one-job
 //! batch over a small chunk the same as an eight-job batch over a full
 //! chunk, and treats a consumer Radeon VII the same as an MI100 with twice
-//! its throughput. Instead each device carries a [`DeviceModel`] — service
-//! rate and per-batch overheads derived from its [`DeviceSpec`] and the
-//! comparer's occupancy on that device — and the dispatcher places every
-//! batch on the device with the *earliest predicted completion*: the sum of
-//! the predicted service times still pending on that device plus the
-//! batch's own predicted time under that device's model.
+//! its throughput. Instead each device carries a [`DeviceModel`] — measured
+//! per-kernel service rates (see [`crate::calibrate`]) plus overheads from
+//! its [`DeviceSpec`] — and the dispatcher places every batch on the device
+//! with the *earliest predicted completion*: the sum of the predicted
+//! service times still pending on that device plus the batch's own
+//! predicted time under that device's model.
 //!
-//! The per-device in-flight limit is likewise derived, not configured: the
-//! number of chunk-sized grids the device can keep resident under the
-//! comparer's occupancy, so a 120-CU MI100 queues deeper than a 60-CU
-//! Radeon VII before dispatch pressure propagates back to admission.
+//! The model is also **residency-aware**: each device tracks the chunk
+//! payloads its workers keep uploaded (an LRU of residency tokens mirroring
+//! the chunk runners' slot budget), and a batch whose chunk is resident on
+//! a device is priced without the chunk upload there. That discount is what
+//! steers repeat chunks back to the device already holding them; an exact
+//! score tie further breaks toward the resident device before falling back
+//! to the lower index. The scheduler's resident set is a *prediction* —
+//! the chunk runners verify the token before skipping any upload, so a
+//! wrong guess costs only a mispriced batch, never a wrong result.
+//!
+//! Stealing cooperates with residency instead of fighting it: an idle
+//! thief first looks through the victim's queue (from the back, where the
+//! youngest work sits) for a batch whose chunk *it* already holds, and
+//! only then takes the newest batch outright. Either way the stolen batch
+//! is re-priced under the thief's model with the thief's own residency —
+//! a stolen chunk that is non-resident on the thief pays the real upload.
 //!
 //! The properties the service relies on are unchanged: a device never
 //! idles while a sibling has a backlog (stealing), and no device queue
@@ -24,33 +37,42 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 use cas_offinder::kernels::ComparerKernel;
+use cas_offinder::pipeline::chunk::twobit_compare_safe;
 use cas_offinder::OptLevel;
 use gpu_sim::isa::compile_program;
 use gpu_sim::occupancy::occupancy;
-use gpu_sim::timing::utilization;
 use gpu_sim::{DeviceSpec, NdRange};
 
-use crate::batcher::ChunkBatch;
+use crate::batcher::{BatchKey, ChunkBatch};
 use crate::cache::ChunkPayload;
+use crate::calibrate::{kernel_rates, KernelRates};
+use crate::results::{fnv1a64, FNV_OFFSET};
 
-/// Model cycles one "work unit" (one pattern base at one scan position for
-/// one pass) costs on the simulated devices. Calibrated against
-/// `examples/serve_demo.rs`, which reports the resulting mean
-/// predicted-vs-actual service-time error.
-const CYCLES_PER_UNIT: f64 = 30.0;
+/// How many of the four nucleotides an IUPAC pattern base admits.
+fn iupac_degeneracy(b: u8) -> u32 {
+    match b.to_ascii_uppercase() {
+        b'A' | b'C' | b'G' | b'T' | b'U' => 1,
+        b'R' | b'Y' | b'S' | b'W' | b'K' | b'M' => 2,
+        b'B' | b'D' | b'H' | b'V' => 3,
+        _ => 4,
+    }
+}
 
-/// Fraction of scan positions the finder typically promotes to comparer
+/// Expected fraction of scan positions the finder promotes to comparer
 /// candidates. The finder sweeps every position, but each per-job comparer
 /// pass only touches the loci whose PAM matched — charging comparers for
-/// the full scan overestimates heavy batches badly. Calibrated together
-/// with [`CYCLES_PER_UNIT`] against `examples/serve_demo.rs`.
-const CANDIDATE_FRACTION: f64 = 0.4;
-
-/// Relative comparer cost on 2-bit packed payloads: the `comparer_2bit`
-/// kernel shares each packed byte across four bases (~3/8 of the char
-/// kernel's global traffic) at the price of extra decode ALU. Calibrated
-/// together with the constants above against `examples/serve_demo.rs`.
-const TWOBIT_COMPARER_WEIGHT: f64 = 0.8;
+/// the full scan overestimates heavy batches badly. The fraction follows
+/// from the pattern itself: a base admitting `d` of the four nucleotides
+/// passes a uniform position with probability `d/4`, positions are
+/// independent, and the reverse-complement scan doubles the expectation
+/// (the overlap term is negligible for any selective PAM).
+fn candidate_fraction(pattern: &[u8]) -> f64 {
+    let per_strand: f64 = pattern
+        .iter()
+        .map(|&b| f64::from(iupac_degeneracy(b)) / 4.0)
+        .product();
+    (2.0 * per_strand).min(1.0)
+}
 
 /// The fixed per-device depth the pre-cost-model scheduler used for every
 /// device. Only [`Placement::ShortestQueue`] still applies it.
@@ -60,7 +82,8 @@ const SHORTEST_QUEUE_IN_FLIGHT: usize = 4;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Placement {
     /// Place each batch on the device with the earliest predicted
-    /// completion under that device's cost model; per-device in-flight
+    /// completion under that device's cost model, discounting the chunk
+    /// upload on devices that already hold the chunk; per-device in-flight
     /// limits derive from the comparer's occupancy.
     #[default]
     EarliestCompletion,
@@ -70,8 +93,34 @@ pub enum Placement {
     ShortestQueue,
 }
 
+/// Identity of a chunk's uploaded payload: what the scheduler predicts
+/// residency with and what the chunk runners verify before skipping an
+/// upload. Identical `(assembly, pattern, chunk ordinal)` triples — and
+/// only those — produce identical tokens, so a token match means the
+/// bytes already on the device are the bytes this batch would upload.
+pub(crate) fn residency_token(key: &BatchKey, chunk_index: usize) -> u64 {
+    let mut h = fnv1a64(FNV_OFFSET, key.assembly.as_bytes());
+    h = fnv1a64(h, &[0]);
+    h = fnv1a64(h, &key.pattern);
+    fnv1a64(h, &(chunk_index as u64).to_le_bytes())
+}
+
+/// Which upload + kernel combination a batch's payload selects; each class
+/// is priced with its own measured rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PayloadClass {
+    /// Raw bytes: `finder` + char `comparer`.
+    Raw,
+    /// Packed payload whose exceptions are 2-bit safe: `finder_packed` +
+    /// `comparer_2bit`.
+    Packed2Bit,
+    /// Packed payload with degenerate exceptions: `finder_packed` decodes
+    /// on-device, comparers run the char kernel over the decode.
+    PackedChar,
+}
+
 /// The dispatcher's estimate of what a [`ChunkBatch`] costs, extracted
-/// once at dispatch and re-priced per device.
+/// once at dispatch and re-priced per device (and per residency state).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct BatchCost {
     /// Scan positions the finder sweeps.
@@ -80,55 +129,44 @@ pub(crate) struct BatchCost {
     pub plen: usize,
     /// Coalesced jobs — one comparer pass each.
     pub jobs: usize,
-    /// Host bytes uploaded: encoded chunk + pattern/query tables.
-    pub upload_bytes: usize,
-    /// Relative cost of one comparer pass: 1.0 for the char comparer on
-    /// raw payloads, [`TWOBIT_COMPARER_WEIGHT`] when the packed payload
-    /// keeps the comparers in 2-bit form.
-    pub comparer_weight: f64,
+    /// Host bytes of the encoded chunk payload — skipped when resident.
+    pub chunk_bytes: usize,
+    /// Which kernels the payload selects.
+    pub class: PayloadClass,
+    /// Expected fraction of scan positions whose PAM matches (either
+    /// strand), derived from the pattern's degeneracy.
+    pub candidate_fraction: f64,
+    /// The chunk payload's residency token.
+    pub token: u64,
 }
 
 impl BatchCost {
     pub fn of(batch: &ChunkBatch) -> Self {
         let plen = batch.key.pattern.len();
         let jobs = batch.jobs.len();
-        // The finder uploads pat + pat_index (2·plen bytes + 2·plen i32);
-        // each comparer uploads the same shape for its query.
-        let tables = 10 * plen * (1 + jobs);
-        let comparer_weight = match &batch.chunk.payload {
-            ChunkPayload::Packed(_) => TWOBIT_COMPARER_WEIGHT,
-            ChunkPayload::Raw(_) => 1.0,
+        let class = match &batch.chunk.payload {
+            ChunkPayload::Packed(p) if twobit_compare_safe(p) => PayloadClass::Packed2Bit,
+            ChunkPayload::Packed(_) => PayloadClass::PackedChar,
+            ChunkPayload::Raw(_) => PayloadClass::Raw,
         };
         BatchCost {
             scan_len: batch.chunk.scan_len,
             plen,
             jobs,
-            upload_bytes: batch.chunk.byte_len() + tables,
-            comparer_weight,
+            chunk_bytes: batch.chunk.byte_len(),
+            class,
+            candidate_fraction: candidate_fraction(&batch.key.pattern),
+            token: residency_token(&batch.key, batch.chunk_index),
         }
-    }
-
-    /// Device-independent work units: one finder pass over every scan
-    /// position plus one comparer pass per job over the expected candidate
-    /// subset, each touching `plen` bases per position.
-    pub fn units(&self) -> f64 {
-        let per_position = (self.scan_len * self.plen) as f64;
-        per_position * (1.0 + CANDIDATE_FRACTION * self.comparer_weight * self.jobs as f64)
     }
 }
 
-/// A device's predicted service rate, derived from its spec and the
-/// comparer kernel's occupancy on it.
+/// A device's predicted service rates: measured per-kernel seconds per
+/// work unit plus measured per-batch, per-job and residency overheads —
+/// no hand-set constants.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct DeviceModel {
-    /// Work units retired per second at the modelled occupancy.
-    units_per_s: f64,
-    /// Host-to-device bandwidth in bytes per second.
-    bytes_per_s: f64,
-    /// Fixed cost per kernel launch.
-    launch_overhead_s: f64,
-    /// Fixed cost per transfer.
-    transfer_overhead_s: f64,
+    rates: KernelRates,
     /// Batches this device may hold queued/running before dispatch blocks —
     /// how many chunk-sized grids fit in its resident wave budget.
     pub in_flight_limit: usize,
@@ -136,16 +174,15 @@ pub(crate) struct DeviceModel {
 
 impl DeviceModel {
     /// Model `spec` serving `chunk_size`-position batches with the comparer
-    /// compiled at `opt`.
-    pub fn from_spec(spec: &DeviceSpec, chunk_size: usize, opt: OptLevel) -> Self {
+    /// compiled at `opt`, using measured kernel rates (probing the device
+    /// at that chunk size on first use, memoized per
+    /// `(device, chunk size, opt)`).
+    pub fn calibrated(spec: &DeviceSpec, chunk_size: usize, opt: OptLevel) -> Self {
         let program = compile_program(&ComparerKernel::code_model_for(opt));
         let wgs = 64usize;
         let gws = chunk_size.div_ceil(wgs) * wgs;
         let nd = NdRange::linear(gws, wgs);
         let occ = occupancy(&program.resources(), &nd, spec);
-        let util = utilization(&occ, spec);
-        let slots = (spec.compute_units() * spec.simds_per_cu) as f64;
-        let units_per_s = slots * util * spec.clock_hz() / CYCLES_PER_UNIT;
 
         // Resident waves across the whole device at this occupancy, divided
         // by the waves one batch puts in flight.
@@ -154,25 +191,72 @@ impl DeviceModel {
         let in_flight_limit = (resident / waves_per_batch).clamp(1, 32) as usize;
 
         DeviceModel {
-            units_per_s,
-            bytes_per_s: spec.interconnect_bytes_per_s(),
-            launch_overhead_s: spec.launch_overhead_s,
-            transfer_overhead_s: spec.transfer_overhead_s,
+            rates: kernel_rates(spec, chunk_size, opt),
             in_flight_limit,
         }
     }
 
-    /// Predicted wall-clock service time of a batch on this device: launch
-    /// and transfer overheads (1 finder + `jobs` comparers, with paired
-    /// upload/readback), compute at the modelled rate, and the upload on
-    /// the interconnect.
-    pub fn predict_s(&self, cost: &BatchCost) -> f64 {
-        let launches = (1 + cost.jobs) as f64;
-        let transfers = (2 + 2 * cost.jobs) as f64;
-        launches * self.launch_overhead_s
-            + transfers * self.transfer_overhead_s
-            + cost.units() / self.units_per_s
-            + cost.upload_bytes as f64 / self.bytes_per_s
+    /// Predicted wall-clock service time of a batch on this device: the
+    /// class's measured fixed batch cost, the measured marginal cost per
+    /// coalesced job, the finder and comparer passes at their measured
+    /// kernel rates, and the chunk payload bytes at the measured
+    /// interconnect slope. With `resident`, the chunk payload moves no
+    /// bytes and its measured fixed transfer cost is discounted — only the
+    /// per-batch query tables (inside the per-job terms) still move.
+    pub fn predict_s(&self, cost: &BatchCost, resident: bool) -> f64 {
+        let class = match cost.class {
+            PayloadClass::Raw => &self.rates.raw,
+            PayloadClass::Packed2Bit | PayloadClass::PackedChar => &self.rates.packed,
+        };
+        // A packed chunk with opaque exception bytes decodes on-device
+        // (packed finder) but compares with the char kernel.
+        let comparer_rate = match cost.class {
+            PayloadClass::Packed2Bit => self.rates.packed.comparer_s_per_unit,
+            PayloadClass::Raw | PayloadClass::PackedChar => self.rates.raw.comparer_s_per_unit,
+        };
+        let scan_units = (cost.scan_len * cost.plen) as f64;
+        let chunk = if resident {
+            -class.resident_discount_s
+        } else {
+            cost.chunk_bytes as f64 * self.rates.upload_s_per_byte
+        };
+        (class.batch_overhead_s + chunk).max(0.0)
+            + cost.jobs as f64 * class.per_job_overhead_s
+            + scan_units * class.finder_s_per_unit
+            + cost.candidate_fraction * scan_units * cost.jobs as f64 * comparer_rate
+    }
+}
+
+/// The scheduler's prediction of which chunk payloads a device holds: an
+/// LRU of residency tokens with the same budget as the workers' chunk
+/// runners. Predictive only — the runners' token check is the guard.
+struct ResidentSet {
+    cap: usize,
+    /// Front = most recently used.
+    order: VecDeque<u64>,
+}
+
+impl ResidentSet {
+    fn new(cap: usize) -> Self {
+        ResidentSet {
+            cap,
+            order: VecDeque::new(),
+        }
+    }
+
+    fn contains(&self, token: u64) -> bool {
+        self.order.contains(&token)
+    }
+
+    fn insert(&mut self, token: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(pos) = self.order.iter().position(|&t| t == token) {
+            self.order.remove(pos);
+        }
+        self.order.push_front(token);
+        self.order.truncate(self.cap);
     }
 }
 
@@ -187,10 +271,12 @@ struct PoolInner {
     queues: Vec<VecDeque<Pending>>,
     /// Per device: sum of predicted service time queued or running.
     pending_s: Vec<f64>,
-    /// Per device: EWMA of measured/predicted service time. The occupancy
+    /// Per device: EWMA of measured/predicted service time. The calibrated
     /// model is the prior; completions correct its per-device systematic
     /// error, so a device the model flatters stops attracting extra work.
     bias: Vec<f64>,
+    /// Per device: predicted resident chunk tokens.
+    residency: Vec<ResidentSet>,
     closed: bool,
 }
 
@@ -218,7 +304,9 @@ pub(crate) struct Assignment {
 }
 
 impl DevicePool {
-    pub fn new(models: Vec<DeviceModel>, placement: Placement) -> Self {
+    /// A pool over `models` with `resident_budget` predicted chunk slots
+    /// per device (0 disables residency-aware pricing entirely).
+    pub fn new(models: Vec<DeviceModel>, placement: Placement, resident_budget: usize) -> Self {
         assert!(!models.is_empty(), "the pool needs at least one device");
         let n = models.len();
         DevicePool {
@@ -228,6 +316,7 @@ impl DevicePool {
                 queues: (0..n).map(|_| VecDeque::new()).collect(),
                 pending_s: vec![0.0; n],
                 bias: vec![1.0; n],
+                residency: (0..n).map(|_| ResidentSet::new(resident_budget)).collect(),
                 closed: false,
             }),
             work: Condvar::new(),
@@ -237,14 +326,15 @@ impl DevicePool {
 
     /// Place `batch` per the pool's [`Placement`] policy — by default on
     /// the device with the earliest predicted completion (pending predicted
-    /// time + this batch's predicted time under that device's model) —
-    /// blocking while every queue is at its in-flight limit. Ties break
-    /// toward the lower device index.
+    /// time + this batch's predicted time under that device's model, with
+    /// the chunk upload discounted on devices predicted to hold the chunk)
+    /// — blocking while every queue is at its in-flight limit. Exact ties
+    /// break toward a chunk-resident device, then the lower device index.
     pub fn dispatch(&self, batch: ChunkBatch) {
         let cost = BatchCost::of(&batch);
         let mut inner = self.inner.lock().unwrap();
         loop {
-            let mut best: Option<(usize, f64)> = None;
+            let mut best: Option<(usize, f64, bool)> = None;
             for (i, model) in self.models.iter().enumerate() {
                 let limit = match self.placement {
                     Placement::EarliestCompletion => model.in_flight_limit,
@@ -253,19 +343,28 @@ impl DevicePool {
                 if inner.queues[i].len() >= limit {
                     continue;
                 }
+                let resident = inner.residency[i].contains(cost.token);
                 let score = match self.placement {
                     Placement::EarliestCompletion => {
-                        inner.pending_s[i] + inner.bias[i] * model.predict_s(&cost)
+                        inner.pending_s[i] + inner.bias[i] * model.predict_s(&cost, resident)
                     }
                     Placement::ShortestQueue => inner.queues[i].len() as f64,
                 };
-                if best.is_none_or(|(_, t)| score < t) {
-                    best = Some((i, score));
+                let better = match best {
+                    None => true,
+                    Some((_, t, r)) => score < t || (score == t && resident && !r),
+                };
+                if better {
+                    best = Some((i, score, resident));
                 }
             }
-            if let Some((device, _)) = best {
-                let predicted_s = inner.bias[device] * self.models[device].predict_s(&cost);
+            if let Some((device, _, resident)) = best {
+                let predicted_s =
+                    inner.bias[device] * self.models[device].predict_s(&cost, resident);
                 inner.pending_s[device] += predicted_s;
+                // Optimistic: once queued here the chunk will be uploaded
+                // here, so later siblings of this chunk see the discount.
+                inner.residency[device].insert(cost.token);
                 inner.queues[device].push_back(Pending {
                     batch,
                     cost,
@@ -280,14 +379,18 @@ impl DevicePool {
     }
 
     /// Fetch the next batch for `worker`: its own queue first, then the
-    /// sibling with the most predicted pending work (stealing from the
-    /// back). A stolen batch is re-priced under the thief's model and its
-    /// pending time moves with it. Blocks while the pool is empty; returns
-    /// `None` once closed *and* drained.
+    /// sibling with the most predicted pending work. The thief prefers the
+    /// youngest victim batch whose chunk the thief already holds, else the
+    /// youngest outright; either way the steal is re-priced under the
+    /// thief's model and residency, and its pending time moves with it.
+    /// Blocks while the pool is empty; returns `None` once closed *and*
+    /// drained.
     pub fn next(&self, worker: usize) -> Option<Assignment> {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(p) = inner.queues[worker].pop_front() {
+            let inner_ref = &mut *inner;
+            if let Some(p) = inner_ref.queues[worker].pop_front() {
+                inner_ref.residency[worker].insert(p.cost.token);
                 drop(inner);
                 self.space.notify_all();
                 return Some(Assignment {
@@ -296,20 +399,31 @@ impl DevicePool {
                     stolen: false,
                 });
             }
-            let victim = inner
+            let victim = inner_ref
                 .queues
                 .iter()
                 .enumerate()
                 .filter(|&(i, q)| i != worker && !q.is_empty())
                 .max_by(|&(i, _), &(j, _)| {
-                    inner.pending_s[i].total_cmp(&inner.pending_s[j])
+                    inner_ref.pending_s[i].total_cmp(&inner_ref.pending_s[j])
                 })
                 .map(|(i, _)| i);
             if let Some(v) = victim {
-                let p = inner.queues[v].pop_back().expect("victim is non-empty");
-                inner.pending_s[v] = (inner.pending_s[v] - p.predicted_s).max(0.0);
-                let predicted_s = inner.bias[worker] * self.models[worker].predict_s(&p.cost);
-                inner.pending_s[worker] += predicted_s;
+                let queue = &inner_ref.queues[v];
+                let thief_res = &inner_ref.residency[worker];
+                let pick = queue
+                    .iter()
+                    .rposition(|p| thief_res.contains(p.cost.token))
+                    .unwrap_or(queue.len() - 1);
+                let p = inner_ref.queues[v]
+                    .remove(pick)
+                    .expect("pick is in bounds of a non-empty queue");
+                inner_ref.pending_s[v] = (inner_ref.pending_s[v] - p.predicted_s).max(0.0);
+                let resident = inner_ref.residency[worker].contains(p.cost.token);
+                let predicted_s =
+                    inner_ref.bias[worker] * self.models[worker].predict_s(&p.cost, resident);
+                inner_ref.pending_s[worker] += predicted_s;
+                inner_ref.residency[worker].insert(p.cost.token);
                 drop(inner);
                 self.space.notify_all();
                 return Some(Assignment {
@@ -363,14 +477,14 @@ mod tests {
     use std::sync::Arc;
 
     fn model(spec: &DeviceSpec) -> DeviceModel {
-        DeviceModel::from_spec(spec, 1 << 13, OptLevel::Base)
+        DeviceModel::calibrated(spec, 1 << 13, OptLevel::Base)
     }
 
     fn batch_with(index: usize, scan_len: usize, jobs: usize) -> ChunkBatch {
         ChunkBatch {
             key: BatchKey {
                 assembly: "a".into(),
-                pattern: b"NGG".to_vec(),
+                pattern: b"NNNNNNNNNRG".to_vec(),
             },
             chunk_index: index,
             chunk: Arc::new(EncodedChunk::encode(
@@ -378,13 +492,13 @@ mod tests {
                 "chr1".into(),
                 0,
                 scan_len,
-                &vec![b'A'; scan_len + 3],
+                &vec![b'A'; scan_len + 11],
                 ChunkEncoding::Packed,
             )),
             jobs: (0..jobs)
                 .map(|i| BatchJob {
                     id: i as u64,
-                    query: Query::new(b"AGG".to_vec(), 1),
+                    query: Query::new(b"ACGTACGTNNN".to_vec(), 1),
                 })
                 .collect(),
         }
@@ -396,7 +510,7 @@ mod tests {
 
     #[test]
     fn identical_devices_and_batches_round_robin() {
-        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default());
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 0);
         for i in 0..4 {
             pool.dispatch(batch(i));
         }
@@ -416,6 +530,7 @@ mod tests {
         let pool = DevicePool::new(
             vec![model(&DeviceSpec::radeon_vii()), model(&DeviceSpec::mi100())],
             Placement::default(),
+            0,
         );
         // A light batch lands on the faster (empty) MI100.
         pool.dispatch(batch_with(0, 512, 1));
@@ -444,6 +559,7 @@ mod tests {
         let pool = DevicePool::new(
             vec![model(&DeviceSpec::radeon_vii()), model(&DeviceSpec::mi100())],
             Placement::ShortestQueue,
+            0,
         );
         pool.dispatch(batch_with(0, 512, 1));
         pool.dispatch(batch_with(1, 8192, 8));
@@ -454,19 +570,19 @@ mod tests {
     #[test]
     fn in_flight_limits_derive_from_occupancy_and_batch_footprint() {
         let spec = DeviceSpec::mi60();
-        let small = DeviceModel::from_spec(&spec, 64, OptLevel::Base);
-        let large = DeviceModel::from_spec(&spec, 1 << 13, OptLevel::Base);
+        let small = DeviceModel::calibrated(&spec, 64, OptLevel::Base);
+        let large = DeviceModel::calibrated(&spec, 1 << 13, OptLevel::Base);
         assert!(small.in_flight_limit >= large.in_flight_limit);
         assert!(large.in_flight_limit >= 1);
         // A bigger device sustains more in-flight chunks than a smaller one.
-        let rvii = DeviceModel::from_spec(&DeviceSpec::radeon_vii(), 1 << 13, OptLevel::Base);
-        let mi100 = DeviceModel::from_spec(&DeviceSpec::mi100(), 1 << 13, OptLevel::Base);
+        let rvii = DeviceModel::calibrated(&DeviceSpec::radeon_vii(), 1 << 13, OptLevel::Base);
+        let mi100 = DeviceModel::calibrated(&DeviceSpec::mi100(), 1 << 13, OptLevel::Base);
         assert!(mi100.in_flight_limit >= rvii.in_flight_limit);
     }
 
     #[test]
     fn idle_workers_steal_from_the_most_loaded_sibling() {
-        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 3], Placement::default());
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 3], Placement::default(), 0);
         for i in 0..4 {
             pool.dispatch(batch(i)); // earliest-completion: 0,1,2,0
         }
@@ -482,7 +598,7 @@ mod tests {
     fn dispatch_blocks_at_the_per_device_in_flight_limit() {
         let mut m = model(&DeviceSpec::mi60());
         m.in_flight_limit = 2;
-        let pool = Arc::new(DevicePool::new(vec![m], Placement::default()));
+        let pool = Arc::new(DevicePool::new(vec![m], Placement::default(), 0));
         pool.dispatch(batch(0));
         pool.dispatch(batch(1));
         let p2 = Arc::clone(&pool);
@@ -499,7 +615,7 @@ mod tests {
 
     #[test]
     fn completed_batches_release_their_pending_time() {
-        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default());
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 0);
         pool.dispatch(batch(0));
         let a = pool.next(0).unwrap();
         pool.complete(0, a.predicted_s, a.predicted_s);
@@ -511,11 +627,103 @@ mod tests {
 
     #[test]
     fn close_drains_then_terminates() {
-        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default());
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 0);
         pool.dispatch(batch(0));
         pool.close();
         assert!(pool.next(0).is_some());
         assert!(pool.next(0).is_none());
         assert!(pool.next(1).is_none());
+    }
+
+    #[test]
+    fn repeat_chunks_steer_to_the_device_holding_them() {
+        // Two identical devices; without residency the tie sends chunk 7 to
+        // device 0. Seed chunk 7 as resident on device 1: the upload
+        // discount makes device 1 strictly cheaper, beating the index tie.
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 4);
+        let b = batch(7);
+        let token = residency_token(&b.key, b.chunk_index);
+        pool.inner.lock().unwrap().residency[1].insert(token);
+        pool.dispatch(b);
+        let a = pool.next(1).unwrap();
+        assert!(!a.stolen, "placed on the resident device, not stolen");
+        assert_eq!(a.batch.chunk_index, 7);
+        // And the placed prediction carries the discount: strictly cheaper
+        // than the same batch priced non-resident on the same model.
+        let cost = BatchCost::of(&batch(7));
+        assert!(a.predicted_s < pool.models[1].predict_s(&cost, false));
+        assert!((a.predicted_s - pool.models[1].predict_s(&cost, true)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stolen_non_resident_chunks_pay_the_full_upload() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 4);
+        pool.dispatch(batch(3)); // ties to device 0, predicted resident there
+        let a = pool.next(1).unwrap(); // worker 1 is idle and steals it
+        assert!(a.stolen);
+        let cost = BatchCost::of(&batch(3));
+        // Fresh pool: bias is 1.0, so the re-price is exactly the thief's
+        // non-resident prediction — the upload is charged for real.
+        assert!((a.predicted_s - pool.models[1].predict_s(&cost, false)).abs() < 1e-15);
+        assert!(a.predicted_s > pool.models[1].predict_s(&cost, true));
+    }
+
+    #[test]
+    fn thieves_prefer_victim_batches_whose_chunk_they_hold() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 4);
+        // Pin both batches onto device 0 by inflating device 1's backlog.
+        pool.inner.lock().unwrap().pending_s[1] = 1.0;
+        pool.dispatch(batch(7));
+        pool.dispatch(batch(8));
+        {
+            let mut inner = pool.inner.lock().unwrap();
+            inner.pending_s[1] = 0.0;
+            let b = batch(7);
+            inner.residency[1].insert(residency_token(&b.key, b.chunk_index));
+        }
+        let a = pool.next(1).unwrap();
+        assert!(a.stolen);
+        assert_eq!(
+            a.batch.chunk_index, 7,
+            "steals the chunk it holds, not the youngest"
+        );
+        let cost = BatchCost::of(&batch(7));
+        assert!((a.predicted_s - pool.models[1].predict_s(&cost, true)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn resident_sets_evict_least_recently_used_tokens() {
+        let mut set = ResidentSet::new(2);
+        set.insert(1);
+        set.insert(2);
+        set.insert(1); // refresh: 2 is now LRU
+        set.insert(3); // evicts 2
+        assert!(set.contains(1));
+        assert!(!set.contains(2));
+        assert!(set.contains(3));
+        let mut off = ResidentSet::new(0);
+        off.insert(1);
+        assert!(!off.contains(1), "budget 0 disables residency");
+    }
+
+    #[test]
+    fn residency_tokens_separate_chunk_identity() {
+        let key = BatchKey {
+            assembly: "a".into(),
+            pattern: b"NGG".to_vec(),
+        };
+        let other_asm = BatchKey {
+            assembly: "b".into(),
+            pattern: b"NGG".to_vec(),
+        };
+        let other_pat = BatchKey {
+            assembly: "a".into(),
+            pattern: b"NAG".to_vec(),
+        };
+        let t = residency_token(&key, 3);
+        assert_eq!(t, residency_token(&key, 3), "stable across calls");
+        assert_ne!(t, residency_token(&key, 4));
+        assert_ne!(t, residency_token(&other_asm, 3));
+        assert_ne!(t, residency_token(&other_pat, 3));
     }
 }

@@ -90,6 +90,9 @@ fn shuffled_arrival_orders_reproduce_the_serial_pipeline() {
         // Small on purpose: ~32 jobs' worth of cost, exercises backpressure.
         config.queue_cost_limit = 250_000;
         config.cache_bytes = 16 * 1024;
+        // Result dedup off so all 200 jobs really flow through the batcher
+        // and device pool; chunk affinity stays on at its default budget.
+        config.result_cache_bytes = 0;
         assert_eq!(config.devices.len(), 4, "the pool the issue asks for");
         let service = Service::start(config, vec![assembly()]);
 
@@ -127,4 +130,65 @@ fn shuffled_arrival_orders_reproduce_the_serial_pipeline() {
         );
         service.shutdown();
     }
+}
+
+/// Both reuse layers on at deliberately hostile settings — a residency
+/// budget of two chunks (constant evictions and re-uploads under a
+/// shuffled arrival order) and a live result store serving nineteen of
+/// every twenty duplicates without compute — must still hand every job
+/// bytes identical to the serial pipeline.
+#[test]
+fn result_dedup_and_forced_evictions_stay_byte_identical() {
+    let specs = distinct_specs();
+    let oracle: Vec<Vec<OffTarget>> = {
+        let asm = assembly();
+        specs.iter().map(|s| serial_ocl(&asm, s)).collect()
+    };
+
+    let mut order: Vec<usize> = (0..200).map(|i| i % specs.len()).collect();
+    Xoshiro256::seed_from_u64(0xCAC4E).shuffle(&mut order);
+
+    let mut config = ServiceConfig::paper_pool();
+    config.chunk_size = CHUNK_SIZE;
+    config.queue_cost_limit = 250_000;
+    config.cache_bytes = 16 * 1024;
+    config.max_batch = 2;
+    config.resident_chunks = 2;
+    config.result_cache_bytes = 64 * 1024;
+    let service = Service::start(config, vec![assembly()]);
+
+    let ids: Vec<(u64, usize)> = order
+        .iter()
+        .map(|&spec_index| {
+            (
+                submit_with_backoff(&service, specs[spec_index].clone()),
+                spec_index,
+            )
+        })
+        .collect();
+    let mut results: HashMap<u64, Vec<OffTarget>> = ids
+        .iter()
+        .map(|&(id, _)| (id, service.wait(id).unwrap()))
+        .collect();
+    for (id, spec_index) in ids {
+        assert_eq!(
+            results.remove(&id).unwrap(),
+            oracle[spec_index],
+            "job {id} (spec {spec_index})"
+        );
+    }
+
+    let report = service.metrics();
+    assert_eq!(report.jobs_completed, 200);
+    assert_eq!(
+        report.results.misses,
+        specs.len() as u64,
+        "each distinct spec computes exactly once: {report}"
+    );
+    assert_eq!(
+        report.results.hits + report.results.merges,
+        (200 - specs.len()) as u64,
+        "every duplicate is served from the store: {report}"
+    );
+    service.shutdown();
 }

@@ -6,11 +6,22 @@
 //! predicted completion. Every job's results are verified byte-identical
 //! to the serial pipelines.
 //!
-//! The whole workload is then re-served through the previous generation
-//! of the serving path — raw one-byte-per-base cache payloads at the same
-//! byte budget, shortest-queue placement, fixed in-flight depth — and the
-//! comparison (upload bytes per batch, cache hit rate, simulated
-//! throughput, prediction error) is written to `BENCH_serve.json`.
+//! Three generations of the serving path are compared at the same cache
+//! byte budget and written to `BENCH_serve.json`:
+//!
+//! * **raw + shortest-queue** — the PR 2 baseline: one-byte-per-base
+//!   cache payloads, shortest-queue placement, fixed in-flight depth.
+//! * **packed + cost-aware** — the PR 3 path: 2-bit packed payloads and
+//!   earliest-predicted-completion placement, every batch still paying
+//!   its chunk upload and every duplicate job its compute.
+//! * **affinity** — this PR: devices keep resident chunk payloads (the
+//!   scheduler steers repeat chunks back to their holder and the runner
+//!   skips the upload) and a content-addressed result store serves
+//!   repeat specs without any compute. Measured by serving several
+//!   fresh-guide workloads through one service — every round computes,
+//!   but on chunks the pool already holds — then replaying the first
+//!   workload verbatim: the replay must finish with **zero** kernel
+//!   launches.
 //!
 //! ```text
 //! cargo run --release --example serve_demo
@@ -27,6 +38,7 @@ use casoff_serve::{
     ChunkEncoding, JobSpec, MetricsReport, Placement, Service, ServiceConfig, SubmitError,
 };
 use genome::rng::Xoshiro256;
+use genome::Assembly;
 use gpu_sim::{DeviceSpec, ExecMode};
 
 const SUBMITTERS: usize = 4;
@@ -42,6 +54,14 @@ const CACHE_BYTES: usize = 128 * 1024;
 /// (scaled), so queue drain — and therefore placement quality — follows
 /// device speed rather than host speed.
 const PACING: f64 = 1500.0;
+/// Compute rounds through the affinity service, each with fresh guides.
+/// Round 0 pays the genome's chunk uploads; later rounds find the chunks
+/// resident. The replay round after these is served without compute.
+const AFFINITY_ROUNDS: usize = 4;
+/// Residency budget per device for the affinity run: generous next to the
+/// ~12 chunks-per-pattern each device settles on for this genome, so
+/// steering — not capacity — decides the hit rate.
+const RESIDENT_CHUNKS: usize = 32;
 
 fn spec_text(spec: &JobSpec) -> String {
     format!(
@@ -53,6 +73,36 @@ fn spec_text(spec: &JobSpec) -> String {
     )
 }
 
+/// Twenty distinct tenant requests over two PAM patterns; the submitted
+/// jobs cycle through them, so the coalescer always has same-pattern
+/// company to batch with. Different seeds give disjoint tenant sets over
+/// the same genome — what the affinity rounds rely on.
+fn tenant_specs(seed: u64) -> Vec<JobSpec> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let patterns: [&[u8]; 2] = [b"NNNNNNNNNRG", b"NNNNNNNNNGG"];
+    (0..20)
+        .map(|i| {
+            let mut guide: Vec<u8> = (0..8).map(|_| *rng.choose(b"ACGT").unwrap()).collect();
+            guide.extend_from_slice(b"NNN");
+            JobSpec::new("hg38-mini", patterns[i % 2].to_vec(), guide, 3)
+        })
+        .collect()
+}
+
+fn serial_oracle(
+    assembly: &Assembly,
+    serial_config: &PipelineConfig,
+    specs: &[JobSpec],
+) -> Vec<Vec<OffTarget>> {
+    specs
+        .iter()
+        .map(|spec| {
+            let input = SearchInput::parse(&spec_text(spec)).unwrap();
+            ocl::run(assembly, &input, serial_config).unwrap().offtargets
+        })
+        .collect()
+}
+
 fn config_with(encoding: ChunkEncoding, placement: Placement) -> ServiceConfig {
     let mut config = ServiceConfig::paper_pool();
     config.chunk_size = CHUNK_SIZE;
@@ -61,30 +111,27 @@ fn config_with(encoding: ChunkEncoding, placement: Placement) -> ServiceConfig {
     config.cache_encoding = encoding;
     config.placement = placement;
     config.pacing = PACING;
+    // The raw/packed generations predate both reuse layers; they pay
+    // every upload and every duplicate compute.
+    config.resident_chunks = 0;
+    config.result_cache_bytes = 0;
     config
 }
 
-/// Serve `jobs` jobs cycling through `specs`, verify every result against
-/// `oracle`, and return the metrics snapshot.
-fn serve_run(
-    label: &str,
-    encoding: ChunkEncoding,
-    placement: Placement,
+/// Submit `jobs` jobs cycling through `specs` from racing submitter
+/// threads, wait for all of them, and verify each against `oracle`.
+/// Returns the total number of result sites, for the progress line.
+fn serve_jobs(
+    service: &Arc<Service>,
     jobs: usize,
     specs: &[JobSpec],
     oracle: &[Vec<OffTarget>],
-) -> MetricsReport {
-    let assembly = genome::synth::hg38_mini(GENOME_SCALE);
-    let service = Arc::new(Service::start(
-        config_with(encoding, placement),
-        vec![assembly],
-    ));
-
+) -> usize {
     // Submitters race the pool; a full queue means back off and retry, so
     // every job is eventually admitted but rejections are counted.
     let handles: Vec<_> = (0..SUBMITTERS)
         .map(|s| {
-            let service = Arc::clone(&service);
+            let service = Arc::clone(service);
             let specs = specs.to_vec();
             std::thread::spawn(move || {
                 let mut ids = Vec::new();
@@ -122,6 +169,25 @@ fn serve_run(
         assert_eq!(results[&id], oracle[spec_index], "job {id}");
         sites += results[&id].len();
     }
+    sites
+}
+
+/// Serve `jobs` jobs through a fresh single-generation service and return
+/// the metrics snapshot.
+fn serve_run(
+    label: &str,
+    encoding: ChunkEncoding,
+    placement: Placement,
+    jobs: usize,
+    specs: &[JobSpec],
+    oracle: &[Vec<OffTarget>],
+) -> MetricsReport {
+    let assembly = genome::synth::hg38_mini(GENOME_SCALE);
+    let service = Arc::new(Service::start(
+        config_with(encoding, placement),
+        vec![assembly],
+    ));
+    let sites = serve_jobs(&service, jobs, specs, oracle);
     println!(
         "[{label}] {jobs} jobs served, {sites} sites total, all byte-identical to the serial pipeline"
     );
@@ -144,6 +210,82 @@ fn serve_run(
     report
 }
 
+fn total_kernel_launches(report: &MetricsReport) -> u64 {
+    report.devices.iter().map(|d| d.kernel_launches).sum()
+}
+
+/// The affinity generation: `AFFINITY_ROUNDS` fresh-guide workloads
+/// through one long-lived service, then a verbatim replay of round 0.
+/// Returns the cumulative report and the replay's result-store hit rate.
+fn affinity_run(
+    jobs: usize,
+    round0_specs: &[JobSpec],
+    round0_oracle: &[Vec<OffTarget>],
+    serial_config: &PipelineConfig,
+) -> (MetricsReport, f64) {
+    let assembly = genome::synth::hg38_mini(GENOME_SCALE);
+    let mut config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion);
+    config.resident_chunks = RESIDENT_CHUNKS;
+    config.result_cache_bytes = 1 << 23; // all rounds' results stay resident
+    let service = Arc::new(Service::start(config, vec![assembly.clone()]));
+
+    for round in 0..AFFINITY_ROUNDS {
+        let (specs, oracle) = if round == 0 {
+            (round0_specs.to_vec(), round0_oracle.to_vec())
+        } else {
+            let specs = tenant_specs(0x5E4E + round as u64 * 0x9E37_79B9);
+            let oracle = serial_oracle(&assembly, serial_config, &specs);
+            (specs, oracle)
+        };
+        let sites = serve_jobs(&service, jobs, &specs, &oracle);
+        let r = service.metrics();
+        println!(
+            "[affinity round {round}] {jobs} jobs, {sites} sites; cumulative: \
+             {:.1}% of batches reused a resident chunk, {} B uploads skipped, \
+             {:.1}% of jobs served without compute",
+            100.0 * r.resident_hit_rate(),
+            r.h2d_skipped_bytes(),
+            100.0 * r.result_cache_hit_rate(),
+        );
+    }
+
+    // Replay round 0 verbatim: the result store must serve every job with
+    // no new batches and no new kernel launches.
+    let before = service.metrics();
+    let sites = serve_jobs(&service, jobs, round0_specs, round0_oracle);
+    let report = service.metrics();
+    let launches = total_kernel_launches(&report) - total_kernel_launches(&before);
+    let served = (report.results.hits + report.results.merges)
+        - (before.results.hits + before.results.merges);
+    let replay_hit_rate = served as f64 / jobs as f64;
+    println!(
+        "[affinity replay] {jobs} jobs, {sites} sites; {served} served from the \
+         result store, {} new batches, {launches} new kernel launches\n",
+        report.batches_formed - before.batches_formed,
+    );
+    print!("{report}");
+    println!();
+
+    assert_eq!(
+        launches, 0,
+        "a replayed workload must not launch any kernels"
+    );
+    assert_eq!(
+        report.batches_formed, before.batches_formed,
+        "a replayed workload must not form any batches"
+    );
+    assert_eq!(
+        served as usize, jobs,
+        "every replayed job must be served from the result store"
+    );
+
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => unreachable!("all submitters joined"),
+    }
+    (report, replay_hit_rate)
+}
+
 /// Simulated makespan: the busiest device bounds the pool's throughput.
 fn makespan_s(report: &MetricsReport) -> f64 {
     report
@@ -164,18 +306,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
 
-    // Twenty distinct tenant requests over two PAM patterns; the submitted
-    // jobs cycle through them, so the coalescer always has same-pattern
-    // company to batch with.
-    let mut rng = Xoshiro256::seed_from_u64(0x5E4E);
-    let patterns: [&[u8]; 2] = [b"NNNNNNNNNRG", b"NNNNNNNNNGG"];
-    let specs: Vec<JobSpec> = (0..20)
-        .map(|i| {
-            let mut guide: Vec<u8> = (0..8).map(|_| *rng.choose(b"ACGT").unwrap()).collect();
-            guide.extend_from_slice(b"NNN");
-            JobSpec::new("hg38-mini", patterns[i % 2].to_vec(), guide, 3)
-        })
-        .collect();
+    let specs = tenant_specs(0x5E4E);
 
     let config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion);
     println!(
@@ -209,7 +340,7 @@ fn main() {
         .collect();
 
     let packed = serve_run(
-        "packed + cost-aware",
+        "packed + cost-aware (PR 3)",
         ChunkEncoding::Packed,
         Placement::EarliestCompletion,
         jobs,
@@ -224,30 +355,47 @@ fn main() {
         &specs,
         &oracle,
     );
+    let (affinity, replay_hit_rate) = affinity_run(jobs, &specs, &oracle, &serial_config);
 
     let packed_jobs_per_s = jobs as f64 / makespan_s(&packed);
     let raw_jobs_per_s = jobs as f64 / makespan_s(&raw);
+    let affinity_jobs = affinity.jobs_completed;
+    let affinity_jobs_per_s = affinity_jobs as f64 / makespan_s(&affinity);
     let transfer_reduction = upload_bytes_per_batch(&raw) / upload_bytes_per_batch(&packed);
+    let affinity_transfer_reduction =
+        upload_bytes_per_batch(&packed) / upload_bytes_per_batch(&affinity);
 
-    println!("packed + cost-aware vs the raw + shortest-queue baseline ({CACHE_BYTES} B cache both):");
+    println!("three serving generations at the same {CACHE_BYTES} B cache budget:");
     println!(
-        "  upload bytes/batch: {:.0} vs {:.0} ({transfer_reduction:.2}x reduction)",
+        "  upload bytes/batch: raw {:.0}, packed {:.0} ({transfer_reduction:.2}x), \
+         affinity {:.0} ({affinity_transfer_reduction:.2}x further)",
+        upload_bytes_per_batch(&raw),
         upload_bytes_per_batch(&packed),
-        upload_bytes_per_batch(&raw)
+        upload_bytes_per_batch(&affinity),
     );
     println!(
-        "  cache hit rate:     {:.1}% vs {:.1}%",
-        100.0 * packed.cache_hit_rate(),
-        100.0 * raw.cache_hit_rate()
+        "  cache hit rate:     raw {:.1}%, packed {:.1}%",
+        100.0 * raw.cache_hit_rate(),
+        100.0 * packed.cache_hit_rate()
     );
     println!(
-        "  sim throughput:     {packed_jobs_per_s:.0} vs {raw_jobs_per_s:.0} jobs/s ({:.2}x)",
+        "  sim throughput:     raw {raw_jobs_per_s:.0}, packed {packed_jobs_per_s:.0} \
+         ({:.2}x), affinity {affinity_jobs_per_s:.0} jobs/s over {affinity_jobs} jobs",
         packed_jobs_per_s / raw_jobs_per_s
     );
     println!(
-        "  prediction error:   {:.1}% vs {:.1}%",
+        "  prediction error:   raw {:.1}%, packed {:.1}%, affinity {:.1}% (calibrated rates)",
+        100.0 * raw.mean_prediction_error(),
         100.0 * packed.mean_prediction_error(),
-        100.0 * raw.mean_prediction_error()
+        100.0 * affinity.mean_prediction_error(),
+    );
+    println!(
+        "  affinity reuse:     {:.1}% of batches on a resident chunk, {} B uploads skipped, \
+         {:.1}% of jobs served without compute, replay hit rate {:.1}%",
+        100.0 * affinity.resident_hit_rate(),
+        affinity.h2d_skipped_bytes(),
+        100.0 * affinity.result_cache_hit_rate(),
+        100.0 * replay_hit_rate,
     );
 
     let json = format!(
@@ -262,7 +410,13 @@ fn main() {
             "  \"raw_baseline\": {{ \"jobs_per_s\": {:.2}, \"cache_hit_rate\": {:.4}, ",
             "\"upload_bytes_per_batch\": {:.1}, \"mean_prediction_error\": {:.4}, ",
             "\"makespan_s\": {:.6} }},\n",
+            "  \"affinity\": {{ \"jobs\": {}, \"jobs_per_s\": {:.2}, ",
+            "\"upload_bytes_per_batch\": {:.1}, \"mean_prediction_error\": {:.4}, ",
+            "\"makespan_s\": {:.6}, \"resident_hit_rate\": {:.4}, ",
+            "\"h2d_skipped_bytes\": {}, \"result_cache_hit_rate\": {:.4}, ",
+            "\"second_pass_result_cache_hit_rate\": {:.4} }},\n",
             "  \"transfer_reduction_per_batch\": {:.3},\n",
+            "  \"affinity_transfer_reduction_per_batch\": {:.3},\n",
             "  \"jobs_per_s_improvement\": {:.3}\n",
             "}}\n"
         ),
@@ -279,7 +433,17 @@ fn main() {
         upload_bytes_per_batch(&raw),
         raw.mean_prediction_error(),
         makespan_s(&raw),
+        affinity_jobs,
+        affinity_jobs_per_s,
+        upload_bytes_per_batch(&affinity),
+        affinity.mean_prediction_error(),
+        makespan_s(&affinity),
+        affinity.resident_hit_rate(),
+        affinity.h2d_skipped_bytes(),
+        affinity.result_cache_hit_rate(),
+        replay_hit_rate,
         transfer_reduction,
+        affinity_transfer_reduction,
         packed_jobs_per_s / raw_jobs_per_s,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
@@ -307,5 +471,18 @@ fn main() {
         packed_jobs_per_s > raw_jobs_per_s,
         "the packed cost-aware path must out-serve the PR 2 baseline: \
          {packed_jobs_per_s:.0} vs {raw_jobs_per_s:.0} jobs/s"
+    );
+    assert!(
+        affinity.resident_hit_rate() > 0.0 && affinity.h2d_skipped_bytes() > 0,
+        "affinity must reuse resident chunks"
+    );
+    assert!(
+        affinity_transfer_reduction >= 2.0,
+        "resident chunks + result dedup must cut per-batch upload bytes at least \
+         2x beyond the packed path, got {affinity_transfer_reduction:.2}x"
+    );
+    assert!(
+        replay_hit_rate >= 1.0,
+        "the replayed workload must be fully served from the result store"
     );
 }

@@ -21,5 +21,10 @@ cargo run --release -p casoff-bench --bin repro -- table1
 echo "== smoke: serve throughput =="
 CASOFF_SERVE_JOBS=120 cargo run --release --example serve_demo
 test -s BENCH_serve.json || { echo "BENCH_serve.json missing"; exit 1; }
+# The replay pass re-submits round 0's specs against the live service;
+# every one of them must come straight out of the result store.
+replay_rate=$(sed -n 's/.*"second_pass_result_cache_hit_rate": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v r="${replay_rate:-0}" 'BEGIN { exit !(r > 0) }' \
+  || { echo "replay result-cache hit rate is ${replay_rate:-absent}; expected > 0"; exit 1; }
 
 echo "== tier-1 OK =="
