@@ -14,6 +14,7 @@ use opencl_rt::{BoundKernel, ClError, ClKernelFunction, ClResult, KernelArg};
 
 use super::comparer::{ComparerKernel, ComparerOutput};
 use super::finder::{FinderKernel, FinderOutput, PackedFinderKernel};
+use super::fourbit::{FourBitComparerKernel, NibbleFinderKernel};
 use super::twobit::TwoBitComparerKernel;
 use super::OptLevel;
 
@@ -297,6 +298,131 @@ impl ClKernelFunction for ClTwoBitComparer {
     }
 }
 
+/// The `finder_nibble` kernel as an OpenCL kernel function: the finder over
+/// a 4-bit nibble-packed chunk (see
+/// [`NibbleFinderKernel`](crate::kernels::NibbleFinderKernel)). No exception
+/// arguments: the nibble masks are exact for matching.
+///
+/// Argument layout:
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `nibbles` | buffer\<u8\> |
+/// | 1 | `chr` (out: decoded bases) | buffer\<u8\> |
+/// | 2 | `pat` | buffer\<u8\> (`__constant`) |
+/// | 3 | `pat_index` | buffer\<i32\> (`__constant`) |
+/// | 4 | `loci` (out) | buffer\<u32\> |
+/// | 5 | `flags` (out) | buffer\<u8\> |
+/// | 6 | `count` (out) | buffer\<u32\> |
+/// | 7 | `scan_len` | u32 |
+/// | 8 | `seq_len` | u32 |
+/// | 9 | `patternlen` | u32 |
+/// | 10 | `l_pat` | `__local` 2·plen bytes |
+/// | 11 | `l_pat_index` | `__local` 8·plen bytes |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClNibbleFinder;
+
+impl ClKernelFunction for ClNibbleFinder {
+    fn name(&self) -> &str {
+        "finder_nibble"
+    }
+
+    fn arity(&self) -> usize {
+        12
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[9].as_u32(9)? as usize;
+        expect_local_bytes(&args[10], 10, 2 * plen)?;
+        expect_local_bytes(&args[11], 11, 2 * plen * 4)?;
+        let mut layout = LocalLayout::new();
+        let l_pat = layout.array::<u8>(2 * plen);
+        let l_pat_index = layout.array::<i32>(2 * plen);
+        Ok(Box::new(Bound(NibbleFinderKernel {
+            inner: FinderKernel {
+                chr: args[1].as_buf_u8(1)?,
+                pat: args[2].as_buf_u8(2)?,
+                pat_index: args[3].as_buf_i32(3)?,
+                out: FinderOutput {
+                    loci: args[4].as_buf_u32(4)?,
+                    flags: args[5].as_buf_u8(5)?,
+                    count: args[6].as_buf_u32(6)?,
+                },
+                scan_len: args[7].as_u32(7)?,
+                seq_len: args[8].as_u32(8)?,
+                plen: plen as u32,
+                l_pat,
+                l_pat_index,
+            },
+            nibbles: args[0].as_buf_u8(0)?,
+        })))
+    }
+}
+
+/// The `comparer_4bit` kernel as an OpenCL kernel function: the comparer
+/// counting mismatches by mask intersection directly on the nibble words
+/// (see [`FourBitComparerKernel`](crate::kernels::FourBitComparerKernel)) —
+/// `plen/2` global bytes per site for any input, degenerate or soft-masked
+/// included.
+///
+/// Argument layout:
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `nibbles` | buffer\<u8\> |
+/// | 1 | `loci` | buffer\<u32\> |
+/// | 2 | `flag` | buffer\<u8\> |
+/// | 3 | `comp` | buffer\<u8\> (`__constant`) |
+/// | 4 | `comp_index` | buffer\<i32\> (`__constant`) |
+/// | 5 | `locicnts` | u32 |
+/// | 6 | `patternlen` | u32 |
+/// | 7 | `threshold` | u16 |
+/// | 8 | `mm_count` (out) | buffer\<u16\> |
+/// | 9 | `direction` (out) | buffer\<u8\> |
+/// | 10 | `mm_loci` (out) | buffer\<u32\> |
+/// | 11 | `entrycount` (out) | buffer\<u32\> |
+/// | 12 | `l_comp` | `__local` 2·plen bytes |
+/// | 13 | `l_comp_index` | `__local` 8·plen bytes |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClFourBitComparer;
+
+impl ClKernelFunction for ClFourBitComparer {
+    fn name(&self) -> &str {
+        "comparer_4bit"
+    }
+
+    fn arity(&self) -> usize {
+        14
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[6].as_u32(6)? as usize;
+        expect_local_bytes(&args[12], 12, 2 * plen)?;
+        expect_local_bytes(&args[13], 13, 2 * plen * 4)?;
+        let mut layout = LocalLayout::new();
+        let l_comp = layout.array::<u8>(2 * plen);
+        let l_comp_index = layout.array::<i32>(2 * plen);
+        Ok(Box::new(Bound(FourBitComparerKernel {
+            nibbles: args[0].as_buf_u8(0)?,
+            loci: args[1].as_buf_u32(1)?,
+            flags: args[2].as_buf_u8(2)?,
+            comp: args[3].as_buf_u8(3)?,
+            comp_index: args[4].as_buf_i32(4)?,
+            locicnt: args[5].as_u32(5)?,
+            plen: plen as u32,
+            threshold: args[7].as_u16(7)?,
+            out: ComparerOutput {
+                mm_count: args[8].as_buf_u16(8)?,
+                direction: args[9].as_buf_u8(9)?,
+                loci: args[10].as_buf_u32(10)?,
+                count: args[11].as_buf_u32(11)?,
+            },
+            l_comp,
+            l_comp_index,
+        })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,9 +489,40 @@ mod tests {
         assert_eq!(ClFinder.arity(), 11);
         assert_eq!(ClComparer::default().arity(), 14);
         assert_eq!(ClTwoBitComparer.arity(), 15);
+        assert_eq!(ClNibbleFinder.arity(), 12);
+        assert_eq!(ClFourBitComparer.arity(), 14);
         assert_eq!(ClFinder.name(), "finder");
         assert_eq!(ClComparer::default().name(), "comparer");
         assert_eq!(ClTwoBitComparer.name(), "comparer_2bit");
+        assert_eq!(ClNibbleFinder.name(), "finder_nibble");
+        assert_eq!(ClFourBitComparer.name(), "comparer_4bit");
+    }
+
+    #[test]
+    fn fourbit_comparer_binding_validates_local_sizes() {
+        let d = device();
+        let plen = 4usize;
+        let mut args = vec![
+            KernelArg::BufU8(d.alloc(4).unwrap()),
+            KernelArg::BufU32(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(8).unwrap()),
+            KernelArg::BufI32(d.alloc(8).unwrap()),
+            KernelArg::U32(8),
+            KernelArg::U32(plen as u32),
+            KernelArg::U16(4),
+            KernelArg::BufU16(d.alloc(16).unwrap()),
+            KernelArg::BufU8(d.alloc(16).unwrap()),
+            KernelArg::BufU32(d.alloc(16).unwrap()),
+            KernelArg::BufU32(d.alloc(1).unwrap()),
+            KernelArg::Local { bytes: 2 * plen },
+            KernelArg::Local { bytes: 8 * plen },
+        ];
+        assert!(ClFourBitComparer.bind(&args).is_ok());
+
+        args[13] = KernelArg::Local { bytes: 2 };
+        let err = ClFourBitComparer.bind(&args).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ClError::InvalidArgValue { index: 13, .. }));
     }
 
     #[test]

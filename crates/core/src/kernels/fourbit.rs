@@ -1,0 +1,532 @@
+//! The 4-bit (nibble) comparer and finder — the universal packed path.
+//!
+//! The 2-bit kernels ([`super::twobit`], [`super::finder::PackedFinderKernel`])
+//! win on concrete genomes but lean on an exception list for everything the
+//! 2-bit code can't express; a chunk dense in soft-masked or degenerate bases
+//! either bloats its upload with exceptions or falls back to the char
+//! comparer entirely. The nibble encoding ([`genome::fourbit`]) stores every
+//! byte's IUPAC possibility mask directly, and since the match rule the
+//! kernels implement is *subset-of-mask* (`g != 0 && (g & p) == g`,
+//! [`genome::base::matches`]), a kernel reading nibbles reproduces the char
+//! comparer bit for bit on any input — no exceptions, no fallback — at half
+//! a byte per base of device traffic.
+//!
+//! Two kernels live here:
+//!
+//! * [`FourBitComparerKernel`] — the comparer over nibble words. Builds on
+//!   the opt3 shape (restrict, registered scalars, cooperative staging) like
+//!   the 2-bit comparer; the per-base decode is one shift-and-mask, cheaper
+//!   than the 2-bit kernel's packed-byte + mask-byte merge.
+//! * [`NibbleFinderKernel`] — the finder over a nibble-packed chunk: each
+//!   work-group decodes its read window into the `chr` scratch (uppercase
+//!   canonical codes via [`mask_to_char`]) and then runs the plain finder's
+//!   phases unchanged. No exception phase: the nibbles are already exact for
+//!   matching purposes.
+
+use gpu_sim::isa::{CodeModel, Staging};
+use gpu_sim::kernel::{KernelProgram, LocalHandle, LocalLayout, LocalMem};
+use gpu_sim::{DeviceBuffer, ItemCtx};
+
+use genome::base::base_mask;
+use genome::fourbit::mask_to_char;
+
+use super::comparer::ComparerOutput;
+use super::finder::{FinderKernel, FLAG_BOTH, FLAG_FORWARD, FLAG_REVERSE};
+use crate::pattern::CompiledSeq;
+
+/// The 4-bit comparer kernel: mismatch counting by mask intersection on
+/// nibble words.
+#[derive(Debug, Clone)]
+pub struct FourBitComparerKernel {
+    /// Nibble-packed chunk bases, 2 per byte, low nibble first.
+    pub nibbles: DeviceBuffer<u8>,
+    /// Candidate loci (chunk-relative).
+    pub loci: DeviceBuffer<u32>,
+    /// Strand flags from the finder.
+    pub flags: DeviceBuffer<u8>,
+    /// `[forward query | revcomp query]`, global memory.
+    pub comp: DeviceBuffer<u8>,
+    /// Non-`N` indices, `-1` terminated, global memory.
+    pub comp_index: DeviceBuffer<i32>,
+    /// Number of candidates.
+    pub locicnt: u32,
+    /// Pattern length.
+    pub plen: u32,
+    /// Mismatch threshold.
+    pub threshold: u16,
+    /// Output arrays.
+    pub out: ComparerOutput,
+    /// Local staging handle for the query characters.
+    pub l_comp: LocalHandle<u8>,
+    /// Local staging handle for the index array.
+    pub l_comp_index: LocalHandle<i32>,
+}
+
+impl FourBitComparerKernel {
+    /// Build the kernel and its local layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        nibbles: DeviceBuffer<u8>,
+        loci: DeviceBuffer<u32>,
+        flags: DeviceBuffer<u8>,
+        comp: DeviceBuffer<u8>,
+        comp_index: DeviceBuffer<i32>,
+        locicnt: usize,
+        threshold: u16,
+        out: ComparerOutput,
+        query: &CompiledSeq,
+    ) -> (FourBitComparerKernel, LocalLayout) {
+        let mut layout = LocalLayout::new();
+        let l_comp = layout.array::<u8>(2 * query.plen());
+        let l_comp_index = layout.array::<i32>(2 * query.plen());
+        (
+            FourBitComparerKernel {
+                nibbles,
+                loci,
+                flags,
+                comp,
+                comp_index,
+                locicnt: locicnt as u32,
+                plen: query.plen() as u32,
+                threshold,
+                out,
+                l_comp,
+                l_comp_index,
+            },
+            layout,
+        )
+    }
+
+    /// The possibility mask at absolute position `pos`, reusing the last
+    /// nibble word when `pos` falls in the same byte (`cache` holds
+    /// `(byte_index, byte)`). Two bases share a byte, so sequential
+    /// positions cost one load per pair.
+    fn mask_at(&self, item: &mut ItemCtx, cache: &mut (usize, u8), pos: usize) -> u8 {
+        let idx = pos / 2;
+        if cache.0 != idx {
+            cache.0 = idx;
+            cache.1 = self.nibbles.load(item, idx);
+        }
+        item.ops(2); // shift + mask
+        (cache.1 >> ((pos % 2) * 4)) & 0b1111
+    }
+
+    fn compare_strand(&self, item: &mut ItemCtx, local: &LocalMem, locus: u32, half: usize) {
+        let plen = self.plen as usize;
+        let mut lmm: u16 = 0;
+        // usize::MAX sentinel forces the first load.
+        let mut cache = (usize::MAX, 0u8);
+        item.ops(2);
+
+        for j in 0..plen {
+            let k = local.load(item, self.l_comp_index, half * plen + j);
+            item.ops(1);
+            if k < 0 {
+                break;
+            }
+            let k = k as usize;
+            let pat_c = local.load(item, self.l_comp, half * plen + k);
+            let g = self.mask_at(item, &mut cache, locus as usize + k);
+            // Subset test replaces the char kernel's comparison ladder: the
+            // genome mask must be non-empty and contained in the pattern's.
+            let p = base_mask(pat_c);
+            item.ops(3); // mask lookup + and + compares
+            if !(g != 0 && (g & p) == g) {
+                lmm += 1;
+                item.ops(1);
+                if lmm > self.threshold {
+                    break;
+                }
+            }
+        }
+
+        item.ops(1);
+        if lmm <= self.threshold {
+            let slot = self.out.count.atomic_inc(item, 0) as usize;
+            self.out.mm_count.store(item, slot, lmm);
+            self.out
+                .direction
+                .store(item, slot, if half == 0 { b'+' } else { b'-' });
+            self.out.loci.store(item, slot, locus);
+        }
+    }
+}
+
+impl KernelProgram for FourBitComparerKernel {
+    type Private = ();
+
+    fn name(&self) -> &str {
+        "comparer-4bit"
+    }
+
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn local_layout(&self) -> LocalLayout {
+        let mut layout = LocalLayout::new();
+        let _ = layout.array::<u8>(2 * self.plen as usize);
+        let _ = layout.array::<i32>(2 * self.plen as usize);
+        layout
+    }
+
+    fn code_model(&self) -> CodeModel {
+        CodeModel::new("comparer-4bit")
+            .pointer_args(9)
+            .scalar_args(3)
+            .noalias(true)
+            .cached_global_scalars(2)
+            .staging(Staging::Parallel)
+            .staged_arrays(2)
+            .guarded_blocks(2)
+            .ladder_arms(13)
+            .atomic_output(true)
+            .extra_valu(24) // one shift-and-mask decode + subset test
+    }
+
+    fn run_phase(&self, phase: usize, item: &mut ItemCtx, _p: &mut (), local: &mut LocalMem) {
+        let plen = self.plen as usize;
+        match phase {
+            0 => {
+                let li = item.local_id(0);
+                let group = item.local_range(0);
+                let mut k = li;
+                while k < 2 * plen {
+                    let c = self.comp.load(item, k);
+                    local.store(item, self.l_comp, k, c);
+                    let idx = self.comp_index.load(item, k);
+                    local.store(item, self.l_comp_index, k, idx);
+                    item.ops(2);
+                    k += group;
+                }
+            }
+            _ => {
+                let i = item.global_id(0);
+                item.ops(1);
+                if i >= self.locicnt as usize {
+                    return;
+                }
+                let flag = self.flags.load(item, i);
+                let locus = self.loci.load(item, i);
+                item.ops(2);
+                if flag == FLAG_BOTH || flag == FLAG_FORWARD {
+                    self.compare_strand(item, local, locus, 0);
+                }
+                item.ops(2);
+                if flag == FLAG_BOTH || flag == FLAG_REVERSE {
+                    self.compare_strand(item, local, locus, 1);
+                }
+            }
+        }
+    }
+}
+
+/// The finder over a nibble-packed chunk.
+///
+/// Phase layout:
+///
+/// 0. each work-group decodes its own read window (`group span + plen`
+///    overlap) from the nibble array into `chr` — each base becomes the
+///    canonical uppercase code of its mask ([`mask_to_char`]), which matches
+///    identically to the original byte;
+/// 1. cooperative pattern staging (the plain finder's phase 0);
+/// 2. scan (the plain finder's phase 1).
+///
+/// Unlike [`super::finder::PackedFinderKernel`] there is no exception phase:
+/// the nibble mask is already exact for matching, so nothing needs patching.
+/// Overlapping window positions are written by two adjacent groups with the
+/// same decoded value, so the result is order-independent.
+#[derive(Debug, Clone)]
+pub struct NibbleFinderKernel {
+    /// The plain finder this kernel decodes into and then runs.
+    pub inner: FinderKernel,
+    /// Nibble-packed chunk bases (2 per byte, low nibble first).
+    pub nibbles: DeviceBuffer<u8>,
+}
+
+impl KernelProgram for NibbleFinderKernel {
+    type Private = ();
+
+    fn name(&self) -> &str {
+        "finder_nibble"
+    }
+
+    fn phases(&self) -> usize {
+        3
+    }
+
+    fn local_layout(&self) -> LocalLayout {
+        self.inner.local_layout()
+    }
+
+    fn code_model(&self) -> CodeModel {
+        CodeModel::new("finder_nibble")
+            .pointer_args(7)
+            .scalar_args(3)
+            .noalias(true)
+            .staging(Staging::Parallel)
+            .staged_arrays(2)
+            .guarded_blocks(2)
+            .ladder_arms(13)
+            .atomic_output(true)
+            .extra_valu(8)
+    }
+
+    fn run_phase(&self, phase: usize, item: &mut ItemCtx, p: &mut (), local: &mut LocalMem) {
+        match phase {
+            0 => {
+                // Strided decode of the group's read window: lane-adjacent
+                // nibble reads and chr writes, all coalesced.
+                let plen = self.inner.plen as usize;
+                let seq_len = self.inner.seq_len as usize;
+                let li = item.local_id(0);
+                let group = item.local_range(0);
+                let start = item.group(0) * group;
+                let end = (start + group + plen).min(seq_len);
+                let mut k = start + li;
+                while k < end {
+                    let byte = self.nibbles.load_coalesced(item, k / 2);
+                    item.ops(3); // shift, mask, LUT
+                    let c = mask_to_char((byte >> ((k % 2) * 4)) & 0b1111);
+                    self.inner.chr.store_coalesced(item, k, c);
+                    k += group;
+                }
+            }
+            _ => self.inner.run_phase(phase - 1, item, p, local),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{ComparerKernel, FinderOutput, OptLevel};
+    use genome::fourbit::NibbleSeq;
+    use gpu_sim::{Device, DeviceSpec, ExecMode, NdRange};
+
+    fn device() -> Device {
+        Device::with_mode(DeviceSpec::mi100(), ExecMode::Sequential)
+    }
+
+    fn run_4bit(
+        seq: &[u8],
+        query: &[u8],
+        candidates: &[(u32, u8)],
+        threshold: u16,
+    ) -> (Vec<(u32, u8, u16)>, gpu_sim::LaunchReport) {
+        let device = device();
+        let compiled = CompiledSeq::compile(query);
+        let packed = NibbleSeq::encode(seq);
+        let nibbles = device.alloc_from_slice(packed.nibble_bytes()).unwrap();
+        let loci_host: Vec<u32> = candidates.iter().map(|&(p, _)| p).collect();
+        let flags_host: Vec<u8> = candidates.iter().map(|&(_, f)| f).collect();
+        let loci = device.alloc_from_slice(&loci_host).unwrap();
+        let flags = device.alloc_from_slice(&flags_host).unwrap();
+        let comp = device.alloc_from_slice(compiled.comp()).unwrap();
+        let comp_index = device.alloc_from_slice(compiled.comp_index()).unwrap();
+        let out = ComparerOutput::allocate(&device, candidates.len() * 2 + 1).unwrap();
+        let (kernel, _) = FourBitComparerKernel::new(
+            nibbles,
+            loci,
+            flags,
+            comp,
+            comp_index,
+            candidates.len(),
+            threshold,
+            out,
+            &compiled,
+        );
+        let nd = NdRange::linear_cover(candidates.len(), 256);
+        let report = device.launch(&kernel, nd).unwrap();
+        let mut entries = kernel.out.entries();
+        entries.sort_unstable();
+        (entries, report)
+    }
+
+    fn run_char(
+        seq: &[u8],
+        query: &[u8],
+        candidates: &[(u32, u8)],
+        threshold: u16,
+    ) -> (Vec<(u32, u8, u16)>, gpu_sim::LaunchReport) {
+        let device = device();
+        let compiled = CompiledSeq::compile(query);
+        let chr = device.alloc_from_slice(seq).unwrap();
+        let loci_host: Vec<u32> = candidates.iter().map(|&(p, _)| p).collect();
+        let flags_host: Vec<u8> = candidates.iter().map(|&(_, f)| f).collect();
+        let loci = device.alloc_from_slice(&loci_host).unwrap();
+        let flags = device.alloc_from_slice(&flags_host).unwrap();
+        let comp = device.alloc_from_slice(compiled.comp()).unwrap();
+        let comp_index = device.alloc_from_slice(compiled.comp_index()).unwrap();
+        let out = ComparerOutput::allocate(&device, candidates.len() * 2 + 1).unwrap();
+        let (kernel, _) = ComparerKernel::new(
+            OptLevel::Opt3,
+            chr,
+            loci,
+            flags,
+            comp,
+            comp_index,
+            candidates.len(),
+            threshold,
+            out,
+            &compiled,
+        );
+        let nd = NdRange::linear_cover(candidates.len(), 256);
+        let report = device.launch(&kernel, nd).unwrap();
+        let mut entries = kernel.out.entries();
+        entries.sort_unstable();
+        (entries, report)
+    }
+
+    #[test]
+    fn matches_char_comparer_on_concrete_genomes() {
+        let seq = b"ACGTACGTACGTAAGGCCTTACGTACGT";
+        let query = b"ACGTACNN";
+        let candidates: Vec<(u32, u8)> = (0..20).map(|p| (p, FLAG_BOTH)).collect();
+        let (a, _) = run_4bit(seq, query, &candidates, 3);
+        let (b, _) = run_char(seq, query, &candidates, 3);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn matches_char_comparer_on_exception_dense_sequences() {
+        // Soft-masked runs, every degenerate code, U and invalid bytes: the
+        // 2-bit path would fall back to char here; the nibble path must
+        // reproduce char results exactly.
+        let mut seq = b"acgtacgtRYSWKMBDHVNnryswkmbdhvUu-@acgtACGT".to_vec();
+        seq.extend(std::iter::repeat_n(*b"aCgTtagRYn", 20).flatten());
+        for query in [&b"ACGTACNN"[..], b"NRGNNacgt", b"RYSWKMBD"] {
+            let candidates: Vec<(u32, u8)> =
+                (0..seq.len() as u32 - 10).map(|p| (p, FLAG_BOTH)).collect();
+            for threshold in [0u16, 2, 5] {
+                let (a, _) = run_4bit(&seq, query, &candidates, threshold);
+                let (b, _) = run_char(&seq, query, &candidates, threshold);
+                assert_eq!(
+                    a,
+                    b,
+                    "query {} threshold {threshold}",
+                    std::str::from_utf8(query).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_bases_count_as_mismatches() {
+        let (entries, _) = run_4bit(b"ACGNN", b"ACGTA", &[(0, FLAG_FORWARD)], 4);
+        assert_eq!(entries, vec![(0, b'+', 2)]);
+    }
+
+    #[test]
+    fn nibble_loads_are_fewer_than_char_loads() {
+        let seq: Vec<u8> = (0..4096u32)
+            .map(|i| b"acgt"[(i as usize * 13 + 5) % 4]) // all soft-masked
+            .collect();
+        let query = b"GGCCGACCTGTCGCTGACGCNNN";
+        let candidates: Vec<(u32, u8)> = (0..2048).map(|p| (p, FLAG_BOTH)).collect();
+        let (_, nibble_report) = run_4bit(&seq, query, &candidates, 22);
+        let (_, char_report) = run_char(&seq, query, &candidates, 22);
+        // With threshold 22 (no early exit) every compared base costs the
+        // char kernel one load; the nibble kernel shares bytes across two.
+        assert!(
+            (nibble_report.counters.global_loads as f64)
+                < char_report.counters.global_loads as f64 * 0.75,
+            "nibble {} vs char {}",
+            nibble_report.counters.global_loads,
+            char_report.counters.global_loads
+        );
+    }
+
+    fn run_plain_finder(seq: &[u8], pattern: &[u8]) -> Vec<(u32, u8)> {
+        let device = device();
+        let compiled = CompiledSeq::compile(pattern);
+        let chr = device.alloc_from_slice(seq).unwrap();
+        let pat = device.alloc_constant_from_slice(compiled.comp()).unwrap();
+        let pat_index = device
+            .alloc_constant_from_slice(compiled.comp_index())
+            .unwrap();
+        let out = FinderOutput::allocate(&device, seq.len()).unwrap();
+        let (kernel, _) =
+            FinderKernel::new(chr, pat, pat_index, out, seq.len(), seq.len(), &compiled);
+        let nd = NdRange::linear_cover(seq.len(), 64);
+        device.launch(&kernel, nd).unwrap();
+        let n = kernel.out.count_matches();
+        let loci = kernel.out.loci.to_vec();
+        let flags = kernel.out.flags.to_vec();
+        let mut hits: Vec<(u32, u8)> = (0..n).map(|s| (loci[s], flags[s])).collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    fn run_nibble_finder(seq: &[u8], pattern: &[u8]) -> (Vec<(u32, u8)>, Vec<u8>) {
+        let device = device();
+        let compiled = CompiledSeq::compile(pattern);
+        let packed = NibbleSeq::encode(seq);
+        let chr = device.alloc::<u8>(seq.len()).unwrap();
+        let pat = device.alloc_constant_from_slice(compiled.comp()).unwrap();
+        let pat_index = device
+            .alloc_constant_from_slice(compiled.comp_index())
+            .unwrap();
+        let out = FinderOutput::allocate(&device, seq.len()).unwrap();
+        let (inner, _) =
+            FinderKernel::new(chr, pat, pat_index, out, seq.len(), seq.len(), &compiled);
+        let kernel = NibbleFinderKernel {
+            inner,
+            nibbles: device.alloc_from_slice(packed.nibble_bytes()).unwrap(),
+        };
+        let nd = NdRange::linear_cover(seq.len(), 64);
+        device.launch(&kernel, nd).unwrap();
+        let n = kernel.inner.out.count_matches();
+        let loci = kernel.inner.out.loci.to_vec();
+        let flags = kernel.inner.out.flags.to_vec();
+        let mut hits: Vec<(u32, u8)> = (0..n).map(|s| (loci[s], flags[s])).collect();
+        hits.sort_unstable();
+        (hits, kernel.inner.chr.to_vec())
+    }
+
+    #[test]
+    fn nibble_finder_matches_plain_finder_on_masked_sequences() {
+        let mut seq = b"NNNNAGGtggCCAaagRYSWKMaggNNNN".to_vec();
+        seq.extend(std::iter::repeat_n(*b"acgtaggcct", 40).flatten());
+        for pattern in [&b"NGG"[..], b"NRG"] {
+            let plain = run_plain_finder(&seq, pattern);
+            let (hits, decoded) = run_nibble_finder(&seq, pattern);
+            // The decode canonicalizes case (matching is case-insensitive).
+            let canonical: Vec<u8> = seq
+                .iter()
+                .map(|&b| mask_to_char(base_mask(b)))
+                .collect();
+            assert_eq!(decoded, canonical, "decode is the canonical code of each mask");
+            assert_eq!(hits, plain, "pattern {}", std::str::from_utf8(pattern).unwrap());
+            assert!(!hits.is_empty());
+        }
+    }
+
+    #[test]
+    fn nibble_finder_stores_are_coalesced_class() {
+        let seq = vec![b'a'; 256]; // soft-masked everywhere
+        let device = device();
+        let compiled = CompiledSeq::compile(b"NGG");
+        let packed = NibbleSeq::encode(&seq);
+        let chr = device.alloc::<u8>(256).unwrap();
+        let pat = device.alloc_constant_from_slice(compiled.comp()).unwrap();
+        let pat_index = device
+            .alloc_constant_from_slice(compiled.comp_index())
+            .unwrap();
+        let out = FinderOutput::allocate(&device, 256).unwrap();
+        let (inner, _) = FinderKernel::new(chr, pat, pat_index, out, 256, 256, &compiled);
+        let kernel = NibbleFinderKernel {
+            inner,
+            nibbles: device.alloc_from_slice(packed.nibble_bytes()).unwrap(),
+        };
+        let report = device
+            .launch(&kernel, NdRange::linear_cover(256, 64))
+            .unwrap();
+        assert!(report.counters.global_coalesced_stores >= 256);
+        assert_eq!(
+            report.counters.global_stores, 0,
+            "no scattered stores: the nibble path has no exceptions"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 
 mod comparer;
 mod finder;
+mod fourbit;
 mod ladder;
 mod twobit;
 
@@ -10,6 +11,7 @@ pub mod cl;
 
 pub use comparer::{run_comparer, ComparerKernel, ComparerOutput};
 pub use finder::{run_finder, FinderKernel, FinderOutput, PackedFinderKernel};
+pub use fourbit::{FourBitComparerKernel, NibbleFinderKernel};
 pub use ladder::{ladder_rank, LADDER};
 pub use twobit::TwoBitComparerKernel;
 

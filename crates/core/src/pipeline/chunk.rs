@@ -26,13 +26,16 @@ use std::sync::Arc;
 use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, SyclResult};
 
 use genome::base::is_concrete;
+use genome::fourbit::NibbleSeq;
 use genome::twobit::PackedSeq;
 
 use crate::input::Query;
-use crate::kernels::cl::{ClComparer, ClFinder, ClPackedFinder, ClTwoBitComparer};
+use crate::kernels::cl::{
+    ClComparer, ClFinder, ClFourBitComparer, ClNibbleFinder, ClPackedFinder, ClTwoBitComparer,
+};
 use crate::kernels::{
-    ComparerKernel, ComparerOutput, FinderKernel, FinderOutput, OptLevel, PackedFinderKernel,
-    TwoBitComparerKernel,
+    ComparerKernel, ComparerOutput, FinderKernel, FinderOutput, FourBitComparerKernel,
+    NibbleFinderKernel, OptLevel, PackedFinderKernel, TwoBitComparerKernel,
 };
 use crate::pattern::CompiledSeq;
 use crate::report::TimingBreakdown;
@@ -76,6 +79,15 @@ fn packed_upload_bytes(packed: &PackedSeq) -> u64 {
     (packed.packed_bytes().len() + packed.mask_bytes().len() + exc) as u64
 }
 
+/// One set of device buffers holding a nibble-packed chunk payload. The
+/// device side of [`NibbleSeq`] is the nibble words alone (case and host
+/// exceptions never affect matching), so a slot is a single buffer.
+struct NibbleSlot {
+    nibble_buf: ClBuffer<u8>,
+    token: Cell<Option<u64>>,
+    tick: Cell<u64>,
+}
+
 /// Comparer entries `(locus, direction, mismatches)` for one query on one
 /// chunk, in device compaction order. Map them into [`crate::OffTarget`]
 /// records with [`super::entries_to_offtargets`].
@@ -116,12 +128,15 @@ pub struct OclChunkRunner {
     program: Program,
     finder: Kernel,
     finder_packed: Kernel,
+    finder_nibble: Kernel,
     comparer: Kernel,
     comparer_2bit: Kernel,
+    comparer_4bit: Kernel,
     pattern: CompiledSeq,
     chr: ClBuffer<u8>,
     chr_token: Cell<Option<u64>>,
     slots: Vec<PackedSlot>,
+    nibble_slots: Vec<NibbleSlot>,
     slot_clock: Cell<u64>,
     pat: ClBuffer<u8>,
     pat_index: ClBuffer<i32>,
@@ -153,14 +168,18 @@ impl OclChunkRunner {
         let source = KernelSource::new()
             .with_function(Arc::new(ClFinder))
             .with_function(Arc::new(ClPackedFinder))
+            .with_function(Arc::new(ClNibbleFinder))
             .with_function(Arc::new(ClComparer::new(config.opt)))
-            .with_function(Arc::new(ClTwoBitComparer));
+            .with_function(Arc::new(ClTwoBitComparer))
+            .with_function(Arc::new(ClFourBitComparer));
         let program = Program::create_with_source(&ctx, source);
         program.build("-O3")?;
         let finder = program.create_kernel("finder")?;
         let finder_packed = program.create_kernel("finder_packed")?;
+        let finder_nibble = program.create_kernel("finder_nibble")?;
         let comparer = program.create_kernel("comparer")?;
         let comparer_2bit = program.create_kernel("comparer_2bit")?;
+        let comparer_4bit = program.create_kernel("comparer_4bit")?;
 
         let pattern = CompiledSeq::compile(pattern_seq);
         let plen = pattern.plen();
@@ -190,6 +209,19 @@ impl OclChunkRunner {
                 })
             })
             .collect::<ClResult<Vec<_>>>()?;
+        let nibble_slots = (0..config.resident_slots.max(1))
+            .map(|_| {
+                Ok(NibbleSlot {
+                    nibble_buf: ClBuffer::<u8>::create(
+                        &ctx,
+                        MemFlags::ReadOnly,
+                        (cap + plen).div_ceil(2),
+                    )?,
+                    token: Cell::new(None),
+                    tick: Cell::new(0),
+                })
+            })
+            .collect::<ClResult<Vec<_>>>()?;
         let pat = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp())?;
         let pat_index = ClBuffer::create_with_data(&ctx, MemFlags::Constant, pattern.comp_index())?;
         let loci = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, cap)?;
@@ -207,12 +239,15 @@ impl OclChunkRunner {
             program,
             finder,
             finder_packed,
+            finder_nibble,
             comparer,
             comparer_2bit,
+            comparer_4bit,
             pattern,
             chr,
             chr_token: Cell::new(None),
             slots,
+            nibble_slots,
             slot_clock: Cell::new(0),
             pat,
             pat_index,
@@ -557,6 +592,162 @@ impl OclChunkRunner {
         Ok((per_query, reused))
     }
 
+    /// Run one finder→comparer interaction from a 4-bit nibble-packed chunk:
+    /// upload the nibble words (0.5 bytes per base — no mask, no exception
+    /// arrays), let the `finder_nibble` kernel decode them on-device into
+    /// the `chr` scratch, then compare every prepared query with the
+    /// `comparer_4bit` kernel directly on the nibbles. Unlike the 2-bit
+    /// path there is *no* fallback: the nibble masks carry the full IUPAC
+    /// matching semantics, so results are byte-identical to
+    /// `run_chunk(&nibble.decode(), ..)` on any input.
+    ///
+    /// [`run_chunk`]: Self::run_chunk
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn run_nibble_chunk(
+        &self,
+        nibble: &NibbleSeq,
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<Vec<QueryEntries>> {
+        self.run_nibble_inner(None, nibble, scan_len, tables, timing, profile)
+            .map(|(per_query, _)| per_query)
+    }
+
+    /// [`run_nibble_chunk`](Self::run_nibble_chunk) with residency: the
+    /// runner keeps the nibble words of its last `resident_slots` tokens
+    /// on-device, and a run whose `token` matches a slot skips the upload
+    /// entirely (recorded on the device as skipped h2d traffic). Returns the
+    /// entries plus whether a resident payload was reused. Nibble slots are
+    /// independent of the 2-bit slots — the two payload forms never share a
+    /// token.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn run_nibble_chunk_resident(
+        &self,
+        token: u64,
+        nibble: &NibbleSeq,
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
+        self.run_nibble_inner(Some(token), nibble, scan_len, tables, timing, profile)
+    }
+
+    fn run_nibble_inner(
+        &self,
+        token: Option<u64>,
+        nibble: &NibbleSeq,
+        scan_len: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
+        let plen = self.pattern.plen();
+        let seq_len = nibble.len();
+        assert!(
+            seq_len <= self.cap + plen && scan_len <= self.cap,
+            "chunk ({seq_len} bases, {scan_len} scanned) exceeds runner capacity {}",
+            self.cap
+        );
+        let mut per_query = vec![Vec::new(); tables.len()];
+
+        // Pick the slot: a token match reuses the resident nibbles, anything
+        // else claims the least-recently-used slot and re-uploads.
+        let hit = token.and_then(|t| {
+            self.nibble_slots
+                .iter()
+                .position(|s| s.token.get() == Some(t))
+        });
+        let (slot, reused) = match hit {
+            Some(i) => (&self.nibble_slots[i], true),
+            None => {
+                let i = self
+                    .nibble_slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.tick.get())
+                    .map(|(i, _)| i)
+                    .expect("runner always has at least one slot");
+                let slot = &self.nibble_slots[i];
+                slot.token.set(token);
+                (slot, false)
+            }
+        };
+        self.slot_clock.set(self.slot_clock.get() + 1);
+        slot.tick.set(self.slot_clock.get());
+
+        // Step 11 (host->device): upload the nibble words — unless they are
+        // still resident — and reset the counter.
+        if reused {
+            self.queue
+                .device()
+                .record_h2d_skipped(nibble.device_byte_len() as u64);
+        } else {
+            let w1 = self
+                .queue
+                .enqueue_write_buffer(&slot.nibble_buf, true, 0, nibble.nibble_bytes())?;
+            timing.transfer_s += w1.duration_s();
+        }
+        let w2 = self.queue.enqueue_fill_buffer(&self.fcount, 0u32)?;
+        timing.transfer_s += w2.duration_s();
+        // The nibble finder decodes over the raw-path scratch below.
+        self.chr_token.set(None);
+
+        let k = &self.finder_nibble;
+        k.set_arg(0, KernelArg::BufU8(slot.nibble_buf.device_buffer()))?;
+        k.set_arg(1, KernelArg::BufU8(self.chr.device_buffer()))?;
+        k.set_arg(2, KernelArg::BufU8(self.pat.device_buffer()))?;
+        k.set_arg(3, KernelArg::BufI32(self.pat_index.device_buffer()))?;
+        k.set_arg(4, KernelArg::BufU32(self.loci.device_buffer()))?;
+        k.set_arg(5, KernelArg::BufU8(self.flags.device_buffer()))?;
+        k.set_arg(6, KernelArg::BufU32(self.fcount.device_buffer()))?;
+        k.set_arg(7, KernelArg::U32(scan_len as u32))?;
+        k.set_arg(8, KernelArg::U32(seq_len as u32))?;
+        k.set_arg(9, KernelArg::U32(plen as u32))?;
+        k.set_arg(10, KernelArg::Local { bytes: 2 * plen })?;
+        k.set_arg(11, KernelArg::Local { bytes: 8 * plen })?;
+
+        let gws = round_up(scan_len, self.rounding);
+        let ev = self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?;
+        ev.wait();
+        timing.finder_s += ev
+            .launch_report()
+            .map(|r| r.exec_time_s)
+            .unwrap_or_else(|| ev.duration_s());
+        if let Some(r) = ev.launch_report() {
+            profile.record_ref(r);
+        }
+        timing.finder_launches += 1;
+
+        let mut n = [0u32];
+        let r = self.queue.enqueue_read_buffer(&self.fcount, true, 0, &mut n)?;
+        timing.transfer_s += r.duration_s();
+        let n = n[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            return Ok((per_query, reused));
+        }
+
+        self.run_comparers_4bit(slot, n, tables, timing, profile, &mut per_query)?;
+        Ok((per_query, reused))
+    }
+
     /// Shared comparer stage: one launch per prepared query against `n`
     /// candidate loci already staged in the runner's scratch buffers.
     fn run_comparers(
@@ -688,6 +879,73 @@ impl OclChunkRunner {
         Ok(())
     }
 
+    /// Comparer stage over the resident nibble payload: one `comparer_4bit`
+    /// launch per prepared query, counting mismatches by mask intersection
+    /// directly on the nibble words — `plen/2` global bytes per site on any
+    /// input, soft-masked and degenerate included.
+    fn run_comparers_4bit(
+        &self,
+        slot: &NibbleSlot,
+        n: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+        per_query: &mut [QueryEntries],
+    ) -> ClResult<()> {
+        let plen = self.pattern.plen();
+        for (out, (comp, comp_index, threshold)) in per_query.iter_mut().zip(&tables.entries) {
+            let wz = self.queue.enqueue_fill_buffer(&self.ecount, 0u32)?;
+            timing.transfer_s += wz.duration_s();
+
+            let k = &self.comparer_4bit;
+            k.set_arg(0, KernelArg::BufU8(slot.nibble_buf.device_buffer()))?;
+            k.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
+            k.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
+            k.set_arg(3, KernelArg::BufU8(comp.device_buffer()))?;
+            k.set_arg(4, KernelArg::BufI32(comp_index.device_buffer()))?;
+            k.set_arg(5, KernelArg::U32(n as u32))?;
+            k.set_arg(6, KernelArg::U32(plen as u32))?;
+            k.set_arg(7, KernelArg::U16(*threshold))?;
+            k.set_arg(8, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+            k.set_arg(9, KernelArg::BufU8(self.direction.device_buffer()))?;
+            k.set_arg(10, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+            k.set_arg(11, KernelArg::BufU32(self.ecount.device_buffer()))?;
+            k.set_arg(12, KernelArg::Local { bytes: 2 * plen })?;
+            k.set_arg(13, KernelArg::Local { bytes: 8 * plen })?;
+
+            let gws = round_up(n, self.rounding);
+            let ev = self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?;
+            ev.wait();
+            timing.comparer_s += ev
+                .launch_report()
+                .map(|r| r.exec_time_s)
+                .unwrap_or_else(|| ev.duration_s());
+            if let Some(r) = ev.launch_report() {
+                profile.record_ref(r);
+            }
+            timing.comparer_launches += 1;
+
+            let mut m = [0u32];
+            let r = self.queue.enqueue_read_buffer(&self.ecount, true, 0, &mut m)?;
+            timing.transfer_s += r.duration_s();
+            let m = m[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let mut mm = vec![0u16; m];
+            let mut dir = vec![0u8; m];
+            let mut pos = vec![0u32; m];
+            let r1 = self.queue.enqueue_read_buffer(&self.mm_count, true, 0, &mut mm)?;
+            let r2 = self.queue.enqueue_read_buffer(&self.direction, true, 0, &mut dir)?;
+            let r3 = self.queue.enqueue_read_buffer(&self.mm_loci, true, 0, &mut pos)?;
+            timing.transfer_s += r1.duration_s() + r2.duration_s() + r3.duration_s();
+
+            *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+        }
+        Ok(())
+    }
+
     /// Block until every enqueued command completes.
     pub fn finish(&self) {
         self.queue.finish();
@@ -712,14 +970,19 @@ impl OclChunkRunner {
     pub fn release(self) {
         self.finder.release();
         self.finder_packed.release();
+        self.finder_nibble.release();
         self.comparer.release();
         self.comparer_2bit.release();
+        self.comparer_4bit.release();
         self.chr.release();
         for slot in self.slots {
             slot.packed_buf.release();
             slot.mask_buf.release();
             slot.exc_pos.release();
             slot.exc_val.release();
+        }
+        for slot in self.nibble_slots {
+            slot.nibble_buf.release();
         }
         self.pat.release();
         self.pat_index.release();
@@ -770,6 +1033,7 @@ pub struct SyclChunkRunner {
     resident_cap: usize,
     packed_res: RefCell<Vec<(u64, SyclPackedResident)>>,
     raw_res: RefCell<Vec<(u64, Buffer<u8>)>>,
+    nibble_res: RefCell<Vec<(u64, Buffer<u8>)>>,
 }
 
 /// The retained device buffers of one packed chunk payload. Cloning shares
@@ -824,6 +1088,7 @@ impl SyclChunkRunner {
             resident_cap: config.resident_slots.max(1),
             packed_res: RefCell::new(Vec::new()),
             raw_res: RefCell::new(Vec::new()),
+            nibble_res: RefCell::new(Vec::new()),
         })
     }
 
@@ -1159,6 +1424,142 @@ impl SyclChunkRunner {
         Ok((per_query, reused))
     }
 
+    /// Run one finder→comparer interaction from a 4-bit nibble-packed chunk
+    /// (see [`OclChunkRunner::run_nibble_chunk`] for the contract): the
+    /// nibble words are uploaded, the `finder_nibble` kernel decodes them
+    /// on-device into a `no_init` scratch buffer before scanning, and every
+    /// query compares with the `comparer_4bit` kernel directly on the
+    /// nibbles — no char fallback on any input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn run_nibble_chunk(
+        &self,
+        nibble: &NibbleSeq,
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<Vec<QueryEntries>> {
+        self.run_nibble_inner(None, nibble, scan_len, tables, timing, profile)
+            .map(|(per_query, _)| per_query)
+    }
+
+    /// [`run_nibble_chunk`](Self::run_nibble_chunk) with residency (see
+    /// [`OclChunkRunner::run_nibble_chunk_resident`] for the contract): the
+    /// nibble buffer of the last `resident_slots` tokens stays bound on the
+    /// device, and a matching `token` rebinds it instead of uploading.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn run_nibble_chunk_resident(
+        &self,
+        token: u64,
+        nibble: &NibbleSeq,
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
+        self.run_nibble_inner(Some(token), nibble, scan_len, tables, timing, profile)
+    }
+
+    fn run_nibble_inner(
+        &self,
+        token: Option<u64>,
+        nibble: &NibbleSeq,
+        scan_len: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
+        let plen = self.pattern.plen();
+        let wgs = self.wgs;
+        let seq_len = nibble.len();
+        let mut per_query = vec![Vec::new(); tables.len()];
+
+        let (nibble_buf, reused) = match token.and_then(|t| take_resident(&self.nibble_res, t)) {
+            Some(buf) => {
+                self.queue
+                    .device()
+                    .record_h2d_skipped(nibble.device_byte_len() as u64);
+                (buf, true)
+            }
+            None => (Buffer::from_slice(nibble.nibble_bytes()), false),
+        };
+        if let Some(t) = token {
+            retain_resident(&self.nibble_res, t, nibble_buf.clone(), self.resident_cap);
+        }
+        let chr_buf = Buffer::<u8>::uninit(seq_len);
+        let loci_buf = Buffer::<u32>::uninit(scan_len);
+        let flags_buf = Buffer::<u8>::uninit(scan_len);
+        let fcount_buf = Buffer::<u32>::new(1);
+
+        let ev = self.queue.submit(|h| {
+            let nibbles = h.get_access(&nibble_buf, AccessMode::Read)?;
+            let chr = h.get_access(&chr_buf, AccessMode::ReadWrite)?;
+            let pat = h.get_access(&self.pat_buf, AccessMode::Read)?;
+            let pat_index = h.get_access(&self.pat_index_buf, AccessMode::Read)?;
+            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
+            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
+            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
+
+            let mut layout = LocalLayout::new();
+            let l_pat = layout.array::<u8>(2 * plen);
+            let l_pat_index = layout.array::<i32>(2 * plen);
+            let kernel = NibbleFinderKernel {
+                inner: FinderKernel {
+                    chr: chr.raw(),
+                    pat: pat.raw(),
+                    pat_index: pat_index.raw(),
+                    out: FinderOutput {
+                        loci: loci.raw(),
+                        flags: flags.raw(),
+                        count: fcount.raw(),
+                    },
+                    scan_len: scan_len as u32,
+                    seq_len: seq_len as u32,
+                    plen: plen as u32,
+                    l_pat,
+                    l_pat_index,
+                },
+                nibbles: nibbles.raw(),
+            };
+            h.parallel_for(NdRange::linear(round_up(scan_len, wgs), wgs), &kernel)
+        })?;
+        ev.wait();
+        let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+        timing.finder_s += ev
+            .launch_reports()
+            .iter()
+            .map(|r| r.exec_time_s)
+            .sum::<f64>();
+        for r in ev.launch_reports() {
+            profile.record_ref(r);
+        }
+        timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+        timing.finder_launches += 1;
+
+        let mut count_host = [0u32];
+        let ev = self.queue.submit(|h| {
+            let acc = h.get_access(&fcount_buf, AccessMode::Read)?;
+            h.copy_from_device(&acc, &mut count_host)
+        })?;
+        timing.transfer_s += ev.duration_s();
+        let n = count_host[0] as usize;
+        timing.candidates += n as u64;
+        if n == 0 {
+            return Ok((per_query, reused));
+        }
+
+        self.run_comparers_4bit(
+            &nibble_buf, &loci_buf, &flags_buf, n, tables, timing, profile, &mut per_query,
+        )?;
+        Ok((per_query, reused))
+    }
+
     /// Shared comparer stage: one command group per prepared query against
     /// `n` candidate loci staged in the given chunk buffers.
     #[allow(clippy::too_many_arguments)]
@@ -1303,6 +1704,106 @@ impl SyclChunkRunner {
                 let kernel = TwoBitComparerKernel {
                     packed: packed.raw(),
                     mask: mask.raw(),
+                    loci: loci.raw(),
+                    flags: flags.raw(),
+                    comp: comp.raw(),
+                    comp_index: comp_index.raw(),
+                    locicnt: n as u32,
+                    plen: plen as u32,
+                    threshold: *threshold,
+                    out: ComparerOutput {
+                        mm_count: mm.raw(),
+                        direction: dir.raw(),
+                        loci: mloci.raw(),
+                        count: count.raw(),
+                    },
+                    l_comp,
+                    l_comp_index,
+                };
+                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+            })?;
+            ev.wait();
+            let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+            timing.comparer_s += ev
+                .launch_reports()
+                .iter()
+                .map(|r| r.exec_time_s)
+                .sum::<f64>();
+            for r in ev.launch_reports() {
+                profile.record_ref(r);
+            }
+            timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+            timing.comparer_launches += 1;
+
+            let mut entry_count = [0u32];
+            let ev = self.queue.submit(|h| {
+                let acc = h.get_access(&out_count, AccessMode::Read)?;
+                h.copy_from_device(&acc, &mut entry_count)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            let m = entry_count[0] as usize;
+            timing.entries += m as u64;
+            if m == 0 {
+                continue;
+            }
+            let mut mm = vec![0u16; m];
+            let mut dir = vec![0u8; m];
+            let mut pos = vec![0u32; m];
+            let ev = self.queue.submit(|h| {
+                let mm_acc = h.get_access(&out_mm, AccessMode::Read)?;
+                let dir_acc = h.get_access(&out_dir, AccessMode::Read)?;
+                let pos_acc = h.get_access(&out_loci, AccessMode::Read)?;
+                h.copy_from_device(&mm_acc, &mut mm)?;
+                h.copy_from_device(&dir_acc, &mut dir)?;
+                h.copy_from_device(&pos_acc, &mut pos)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+        }
+        Ok(())
+    }
+
+    /// Comparer stage over the resident nibble payload: one command group
+    /// per prepared query running [`FourBitComparerKernel`] by mask
+    /// intersection directly on the nibble words.
+    #[allow(clippy::too_many_arguments)]
+    fn run_comparers_4bit(
+        &self,
+        nibble_buf: &Buffer<u8>,
+        loci_buf: &Buffer<u32>,
+        flags_buf: &Buffer<u8>,
+        n: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+        per_query: &mut [QueryEntries],
+    ) -> SyclResult<()> {
+        let plen = self.pattern.plen();
+        let wgs = self.wgs;
+        for (out, (comp_buf, comp_index_buf, threshold)) in
+            per_query.iter_mut().zip(&tables.entries)
+        {
+            let out_mm = Buffer::<u16>::uninit(2 * n);
+            let out_dir = Buffer::<u8>::uninit(2 * n);
+            let out_loci = Buffer::<u32>::uninit(2 * n);
+            let out_count = Buffer::<u32>::new(1);
+
+            let ev = self.queue.submit(|h| {
+                let nibbles = h.get_access(nibble_buf, AccessMode::Read)?;
+                let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                let comp = h.get_access(comp_buf, AccessMode::Read)?;
+                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
+                let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+
+                let mut layout = LocalLayout::new();
+                let l_comp = layout.array::<u8>(2 * plen);
+                let l_comp_index = layout.array::<i32>(2 * plen);
+                let kernel = FourBitComparerKernel {
+                    nibbles: nibbles.raw(),
                     loci: loci.raw(),
                     flags: flags.raw(),
                     comp: comp.raw(),
@@ -1543,6 +2044,149 @@ mod tests {
         sort_canonical(&mut offtargets);
         assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
         assert!(timing.finder_launches >= 2);
+    }
+
+    /// A chromosome dense in soft-masked runs and degenerate codes — the
+    /// 2-bit encoding would carry an exception for most bases and fall back
+    /// to the char comparer, the exact pathology the nibble path removes.
+    fn toy_exception_dense() -> (Assembly, SearchInput) {
+        let (mut asm, input) = toy();
+        asm.push(Chromosome::new(
+            "chr2",
+            b"nnnnacgtacgtaggtttacgtacgRagccyccacgtwcgtcggnnnn".to_vec(),
+        ));
+        (asm, input)
+    }
+
+    #[test]
+    fn nibble_ocl_runner_matches_the_char_path_with_fewer_upload_bytes() {
+        let (asm, input) = toy_exception_dense();
+        let cfg = config();
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let plen = runner.plen();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let (mut char_h2d, mut nibble_h2d) = (0u64, 0u64);
+        let mut offtargets = Vec::new();
+        for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let before = runner.traffic().h2d_bytes;
+            let plain = runner
+                .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            let mid = runner.traffic().h2d_bytes;
+            let nibble = NibbleSeq::encode(chunk.seq);
+            let per_query = runner
+                .run_nibble_chunk(&nibble, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            let after = runner.traffic().h2d_bytes;
+            assert_eq!(per_query, plain, "nibble path must be byte-identical");
+            char_h2d += mid - before;
+            nibble_h2d += after - mid;
+            for (query, entries) in input.queries.iter().zip(&per_query) {
+                entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
+            }
+        }
+        assert!(
+            (nibble_h2d as f64) < char_h2d as f64 * 0.55 + 8.0,
+            "nibble upload ({nibble_h2d} B) must be about half the char upload ({char_h2d} B)"
+        );
+        sort_canonical(&mut offtargets);
+        assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    fn nibble_sycl_runner_reproduces_the_serial_pipeline() {
+        let (asm, input) = toy_exception_dense();
+        let cfg = config();
+        let runner = SyclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries);
+        let plen = runner.plen();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let mut offtargets = Vec::new();
+        for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let nibble = NibbleSeq::encode(chunk.seq);
+            let per_query = runner
+                .run_nibble_chunk(&nibble, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            for (query, entries) in input.queries.iter().zip(&per_query) {
+                entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
+            }
+        }
+        runner.wait();
+        sort_canonical(&mut offtargets);
+        assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
+        assert!(timing.finder_launches >= 2);
+    }
+
+    #[test]
+    fn resident_nibble_rerun_skips_the_upload_and_matches() {
+        let (asm, input) = toy_exception_dense();
+        let cfg = config().chunk_size(64).resident_slots(2);
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let chunk = Chunker::new(&asm, 64, runner.plen()).next().unwrap();
+        let nibble = NibbleSeq::encode(chunk.seq);
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+
+        let before = runner.traffic();
+        let (first, reused) = runner
+            .run_nibble_chunk_resident(5, &nibble, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(!reused, "first run must upload");
+        let mid = runner.traffic();
+        let (second, reused) = runner
+            .run_nibble_chunk_resident(5, &nibble, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        let after = runner.traffic();
+        assert!(reused, "same token must hit the resident slot");
+        assert_eq!(second, first, "resident rerun must be byte-identical");
+        assert!(after.since(&mid).h2d_bytes < mid.since(&before).h2d_bytes);
+        assert_eq!(
+            after.since(&mid).h2d_skipped_bytes,
+            nibble.device_byte_len() as u64,
+            "the skipped upload must be accounted"
+        );
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    fn sycl_resident_nibble_rerun_skips_the_upload_and_matches() {
+        let (asm, input) = toy_exception_dense();
+        let cfg = config().chunk_size(64).resident_slots(2);
+        let runner = SyclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries);
+        let chunk = Chunker::new(&asm, 64, runner.plen()).next().unwrap();
+        let nibble = NibbleSeq::encode(chunk.seq);
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+
+        let before = runner.traffic();
+        let (first, reused) = runner
+            .run_nibble_chunk_resident(4, &nibble, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        assert!(!reused);
+        let mid = runner.traffic();
+        let (second, reused) = runner
+            .run_nibble_chunk_resident(4, &nibble, chunk.scan_len, &tables, &mut timing, &mut profile)
+            .unwrap();
+        let after = runner.traffic();
+        assert!(reused, "retained sycl buffer must rebind without upload");
+        assert_eq!(second, first);
+        assert!(after.since(&mid).h2d_bytes < mid.since(&before).h2d_bytes);
+        assert!(after.since(&mid).h2d_skipped_bytes > 0);
+        runner.wait();
     }
 
     #[test]

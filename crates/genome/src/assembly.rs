@@ -7,18 +7,19 @@ use crate::fasta::FastaRecord;
 pub struct Chromosome {
     /// Chromosome name, e.g. `"chr1"`.
     pub name: String,
-    /// Uppercased sequence bytes.
+    /// Sequence bytes, case preserved: lowercase soft-masking survives (as
+    /// it does for FASTA-loaded assemblies via [`Assembly::from_records`]),
+    /// and matching is case-insensitive throughout.
     pub seq: Vec<u8>,
 }
 
 impl Chromosome {
-    /// Create a chromosome, uppercasing the sequence.
+    /// Create a chromosome. The sequence is stored verbatim — soft-masked
+    /// (lowercase) bases keep their case.
     pub fn new(name: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
-        let mut seq = seq.into();
-        seq.make_ascii_uppercase();
         Chromosome {
             name: name.into(),
-            seq,
+            seq: seq.into(),
         }
     }
 
@@ -32,9 +33,9 @@ impl Chromosome {
         self.seq.is_empty()
     }
 
-    /// Number of non-`N` (searchable) bases.
+    /// Number of non-`N` (searchable) bases, case-insensitively.
     pub fn searchable_len(&self) -> usize {
-        self.seq.iter().filter(|&&b| b != b'N').count()
+        self.seq.iter().filter(|&&b| b != b'N' && b != b'n').count()
     }
 }
 
@@ -133,14 +134,14 @@ impl Assembly {
             for &b in &chrom.seq {
                 stats.total += 1;
                 match b {
-                    b'G' | b'C' => {
+                    b'G' | b'C' | b'g' | b'c' => {
                         stats.gc += 1;
                         run = 0;
                     }
-                    b'A' | b'T' => {
+                    b'A' | b'T' | b'a' | b't' => {
                         run = 0;
                     }
-                    b'N' => {
+                    b'N' | b'n' => {
                         stats.n += 1;
                         run += 1;
                         stats.longest_n_run = stats.longest_n_run.max(run);
@@ -280,9 +281,9 @@ mod tests {
     }
 
     #[test]
-    fn chromosome_uppercases() {
-        let c = Chromosome::new("c", b"acgtn".to_vec());
-        assert_eq!(c.seq, b"ACGTN");
-        assert_eq!(c.searchable_len(), 4);
+    fn chromosome_preserves_soft_mask_case() {
+        let c = Chromosome::new("c", b"acGTn".to_vec());
+        assert_eq!(c.seq, b"acGTn", "soft-masked bases keep their case");
+        assert_eq!(c.searchable_len(), 4, "n is masked regardless of case");
     }
 }

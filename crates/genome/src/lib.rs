@@ -14,7 +14,9 @@
 //! * [`Chunker`] — splitting an assembly into device-memory-sized chunks
 //!   with window overlap;
 //! * [`twobit`] — the 2-bit packed encoding of the Cas-OFFinder authors'
-//!   follow-up optimization.
+//!   follow-up optimization;
+//! * [`fourbit`] — the 4-bit possibility-mask encoding that keeps
+//!   soft-masked and ambiguity-rich sequences packed.
 //!
 //! ## Example
 //!
@@ -41,6 +43,7 @@
 
 pub mod base;
 pub mod fasta;
+pub mod fourbit;
 pub mod rng;
 pub mod synth;
 pub mod twobit;

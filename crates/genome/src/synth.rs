@@ -36,6 +36,8 @@ pub struct SynthSpec {
     telomere_n: usize,
     centromere_n_frac: f64,
     ambiguity_rate: f64,
+    soft_mask_frac: f64,
+    soft_mask_run: usize,
 }
 
 impl SynthSpec {
@@ -51,6 +53,8 @@ impl SynthSpec {
             telomere_n: 5_000,
             centromere_n_frac: 0.05,
             ambiguity_rate: 1e-5,
+            soft_mask_frac: 0.0,
+            soft_mask_run: 300,
         }
     }
 
@@ -91,6 +95,19 @@ impl SynthSpec {
         self
     }
 
+    /// Soft-mask the sequence: roughly `frac` of the searchable bases are
+    /// emitted lowercase, in runs averaging `mean_run` bases — how
+    /// RepeatMasker-style annotation looks in the real assemblies. Together
+    /// with [`ambiguity_rate`](Self::ambiguity_rate) this is the
+    /// exception-density knob: every lowercase or degenerate byte is an
+    /// exception for the 2-bit packed encoding, so cranking these up makes
+    /// assemblies that stress the 4-bit fallback-free path.
+    pub fn soft_mask(mut self, frac: f64, mean_run: usize) -> Self {
+        self.soft_mask_frac = frac.clamp(0.0, 1.0);
+        self.soft_mask_run = mean_run.max(1);
+        self
+    }
+
     /// Generate the assembly. Deterministic for a given spec.
     pub fn generate(&self) -> Assembly {
         let mut rng = Xoshiro256::seed_from_u64(self.seed);
@@ -116,6 +133,16 @@ impl SynthSpec {
         let centro_len = ((len as f64) * self.centromere_n_frac) as usize;
         let centro_start = len / 2 - centro_len / 2;
 
+        // Per-base probability of opening a soft-mask run, chosen so runs of
+        // the configured mean length cover the configured fraction.
+        let soft_start = if self.soft_mask_frac > 0.0 && self.soft_mask_frac < 1.0 {
+            (self.soft_mask_frac / ((1.0 - self.soft_mask_frac) * self.soft_mask_run as f64))
+                .min(1.0)
+        } else {
+            self.soft_mask_frac
+        };
+        let mut soft_left = 0usize;
+
         for i in 0..len {
             let masked =
                 i < telo || i >= len - telo || (i >= centro_start && i < centro_start + centro_len);
@@ -123,19 +150,29 @@ impl SynthSpec {
                 seq.push(b'N');
                 continue;
             }
-            if self.ambiguity_rate > 0.0 && rng.gen_bool(self.ambiguity_rate) {
-                const AMBIG: &[u8] = b"RYSWKM";
-                seq.push(AMBIG[rng.gen_below(AMBIG.len())]);
-                continue;
+            if soft_left == 0 && soft_start > 0.0 && rng.gen_bool(soft_start) {
+                // Run lengths spread 0.5x–1.5x around the mean.
+                soft_left = self.soft_mask_run / 2 + rng.gen_below(self.soft_mask_run.max(1)) + 1;
             }
-            let gc = rng.gen_bool(self.gc_content);
-            let first = rng.gen_bool(0.5);
-            seq.push(match (gc, first) {
-                (true, true) => b'G',
-                (true, false) => b'C',
-                (false, true) => b'A',
-                (false, false) => b'T',
-            });
+            let c = if self.ambiguity_rate > 0.0 && rng.gen_bool(self.ambiguity_rate) {
+                const AMBIG: &[u8] = b"RYSWKM";
+                AMBIG[rng.gen_below(AMBIG.len())]
+            } else {
+                let gc = rng.gen_bool(self.gc_content);
+                let first = rng.gen_bool(0.5);
+                match (gc, first) {
+                    (true, true) => b'G',
+                    (true, false) => b'C',
+                    (false, true) => b'A',
+                    (false, false) => b'T',
+                }
+            };
+            if soft_left > 0 {
+                soft_left -= 1;
+                seq.push(c.to_ascii_lowercase());
+            } else {
+                seq.push(c);
+            }
         }
         seq
     }
@@ -237,6 +274,25 @@ pub fn hg38_mini(scale: f64) -> Assembly {
         .gc_content(0.411)
         .generate();
     implant_canonical(&mut asm, 0x6838);
+    asm
+}
+
+/// The `hg38-masked` miniature: the hg38 geometry with RepeatMasker-style
+/// soft-mask runs over ~45% of the searchable bases and a heavy degenerate
+/// sprinkle — an exception-dense assembly on which the 2-bit packed path
+/// degrades to the char comparer. Tests and benches use it to exercise the
+/// 4-bit fallback-free path.
+pub fn hg38_masked_mini(scale: f64) -> Assembly {
+    let mut asm = SynthSpec::new("hg38-masked", 0x6853)
+        .chromosomes(8)
+        .mean_chromosome_len(scaled(930_000, scale))
+        .telomere_n(scaled(6_000, scale))
+        .centromere_n_frac(0.05)
+        .gc_content(0.411)
+        .ambiguity_rate(2e-3)
+        .soft_mask(0.45, scaled(400, scale.min(1.0)).max(16))
+        .generate();
+    implant_canonical(&mut asm, 0x6853);
     asm
 }
 
@@ -370,6 +426,62 @@ mod tests {
             .filter(|w| *w == &site[..])
             .count();
         assert!(hits >= 4, "expected >=4 surviving exact copies, got {hits}");
+    }
+
+    #[test]
+    fn soft_mask_covers_the_requested_fraction_in_runs() {
+        let asm = SynthSpec::new("x", 13)
+            .chromosomes(1)
+            .mean_chromosome_len(200_000)
+            .telomere_n(0)
+            .centromere_n_frac(0.0)
+            .ambiguity_rate(0.0)
+            .soft_mask(0.4, 300)
+            .generate();
+        let seq = &asm.chromosomes()[0].seq;
+        assert!(seq.iter().all(|&b| crate::base::is_iupac(b)));
+        let lower = seq.iter().filter(|b| b.is_ascii_lowercase()).count();
+        let frac = lower as f64 / seq.len() as f64;
+        assert!((0.30..=0.50).contains(&frac), "soft-mask fraction {frac}");
+        // Lowercase bases come in runs, not salt-and-pepper: count
+        // transitions into lowercase and check the implied mean run length.
+        let runs = seq
+            .windows(2)
+            .filter(|w| !w[0].is_ascii_lowercase() && w[1].is_ascii_lowercase())
+            .count()
+            .max(1);
+        let mean_run = lower as f64 / runs as f64;
+        assert!(mean_run > 100.0, "mean soft-mask run {mean_run}");
+    }
+
+    #[test]
+    fn masked_mini_is_deterministic_and_exception_dense() {
+        let a = hg38_masked_mini(0.01);
+        let b = hg38_masked_mini(0.01);
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "hg38-masked");
+        // The knob's purpose: a large share of searchable bases are 2-bit
+        // exceptions (lowercase or degenerate), and some are degenerate.
+        let (mut exceptions, mut degenerate, mut searchable) = (0usize, 0usize, 0usize);
+        for c in a.chromosomes() {
+            for &byte in &c.seq {
+                assert!(crate::base::is_iupac(byte));
+                if byte == b'N' {
+                    continue;
+                }
+                searchable += 1;
+                if byte.is_ascii_lowercase() {
+                    exceptions += 1;
+                }
+                if !matches!(byte.to_ascii_uppercase(), b'A' | b'C' | b'G' | b'T' | b'N') {
+                    degenerate += 1;
+                    exceptions += 1;
+                }
+            }
+        }
+        let frac = exceptions as f64 / searchable as f64;
+        assert!(frac > 0.3, "exception density {frac}");
+        assert!(degenerate > 0, "degenerate codes must appear");
     }
 
     #[test]

@@ -13,18 +13,40 @@
 //! keeps roughly 2.7x as many chunks resident as raw bytes would, and the
 //! packed payload is what the runners upload. [`ChunkEncoding::Raw`] keeps
 //! the classic one-byte-per-base layout for baseline comparisons.
+//!
+//! The 2-bit layout degrades on exception-dense chunks: every soft-masked
+//! or degenerate byte costs a 5-byte host exception, and a single
+//! degenerate exception forces the comparers back onto the char kernel.
+//! [`ChunkEncoding::Adaptive`] therefore inspects each chunk as it is
+//! encoded and switches to the 4-bit nibble layout
+//! ([`genome::fourbit::NibbleSeq`], 0.5 B/base on device, never any
+//! fallback) whenever the 2-bit form would be unsafe to compare or would
+//! out-weigh the nibbles on the host.
 
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use cas_offinder::pipeline::chunk::twobit_compare_safe;
+use genome::fourbit::NibbleSeq;
 use genome::twobit::PackedSeq;
+
+/// Exception density (2-bit exceptions per base) above which the adaptive
+/// encoding switches a chunk to the nibble layout. The break-even of the
+/// host footprints: 2-bit costs `0.375 + 5d` bytes per base at density `d`
+/// while nibbles cost a flat `0.625`, which cross at `d = 0.05`.
+pub const NIBBLE_DENSITY_THRESHOLD: f64 = 0.05;
 
 /// How the cache (and the upload path) represents chunk bases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ChunkEncoding {
-    /// 2-bit packed + N mask + exception list (the serving default).
+    /// Per-chunk choice between 2-bit and 4-bit (the serving default):
+    /// 2-bit packed while its exceptions are compare-safe and rarer than
+    /// [`NIBBLE_DENSITY_THRESHOLD`], 4-bit nibbles otherwise — so no chunk
+    /// ever falls back to the char comparer.
     #[default]
+    Adaptive,
+    /// Always 2-bit packed + N mask + exception list.
     Packed,
     /// One byte per base, as the serial pipelines upload.
     Raw,
@@ -35,6 +57,8 @@ pub enum ChunkEncoding {
 pub enum ChunkPayload {
     /// Losslessly 2-bit packed.
     Packed(PackedSeq),
+    /// 4-bit nibble packed: every IUPAC code kept as its possibility mask.
+    Nibble(NibbleSeq),
     /// Raw bases.
     Raw(Vec<u8>),
 }
@@ -67,6 +91,15 @@ impl EncodedChunk {
         encoding: ChunkEncoding,
     ) -> Self {
         let payload = match encoding {
+            ChunkEncoding::Adaptive => {
+                let packed = PackedSeq::encode(seq);
+                let density = packed.exceptions().len() as f64 / seq.len().max(1) as f64;
+                if twobit_compare_safe(&packed) && density <= NIBBLE_DENSITY_THRESHOLD {
+                    ChunkPayload::Packed(packed)
+                } else {
+                    ChunkPayload::Nibble(NibbleSeq::encode(seq))
+                }
+            }
             ChunkEncoding::Packed => ChunkPayload::Packed(PackedSeq::encode(seq)),
             ChunkEncoding::Raw => ChunkPayload::Raw(seq.to_vec()),
         };
@@ -83,6 +116,7 @@ impl EncodedChunk {
     pub fn seq_len(&self) -> usize {
         match &self.payload {
             ChunkPayload::Packed(p) => p.len(),
+            ChunkPayload::Nibble(n) => n.len(),
             ChunkPayload::Raw(seq) => seq.len(),
         }
     }
@@ -92,6 +126,18 @@ impl EncodedChunk {
     pub fn byte_len(&self) -> usize {
         match &self.payload {
             ChunkPayload::Packed(p) => p.byte_len(),
+            ChunkPayload::Nibble(n) => n.byte_len(),
+            ChunkPayload::Raw(seq) => seq.len(),
+        }
+    }
+
+    /// Bytes a device upload of this payload moves — what the scheduler
+    /// prices and residency skips. Smaller than [`byte_len`](Self::byte_len)
+    /// for packed forms: exception lists and case masks stay on the host.
+    pub fn upload_byte_len(&self) -> usize {
+        match &self.payload {
+            ChunkPayload::Packed(p) => p.packed_bytes().len() + p.mask_bytes().len(),
+            ChunkPayload::Nibble(n) => n.device_byte_len(),
             ChunkPayload::Raw(seq) => seq.len(),
         }
     }
@@ -102,6 +148,7 @@ impl EncodedChunk {
     pub fn decode(&self) -> Cow<'_, [u8]> {
         match &self.payload {
             ChunkPayload::Packed(p) => Cow::Owned(p.decode()),
+            ChunkPayload::Nibble(n) => Cow::Owned(n.decode()),
             ChunkPayload::Raw(seq) => Cow::Borrowed(seq),
         }
     }
@@ -344,5 +391,47 @@ mod tests {
         let c = EncodedChunk::encode(0, "chr1".into(), 0, 32, seq, ChunkEncoding::Packed);
         assert_eq!(c.decode().as_ref(), seq, "lossless round-trip incl. R, y");
         assert!(c.byte_len() < seq.len(), "rare exceptions keep packing ahead");
+    }
+
+    #[test]
+    fn adaptive_encoding_keeps_clean_chunks_2bit() {
+        // Concrete bases and N runs: zero exceptions, 2-bit wins.
+        let seq = b"ACGTACGTACGTACGTNNNNNNNNACGTACGT";
+        let c = EncodedChunk::encode(0, "chr1".into(), 0, 24, seq, ChunkEncoding::Adaptive);
+        assert!(matches!(c.payload, ChunkPayload::Packed(_)));
+        assert_eq!(c.decode().as_ref(), seq);
+    }
+
+    #[test]
+    fn adaptive_encoding_switches_degenerate_chunks_to_nibbles() {
+        // A single degenerate byte already defeats the 2-bit comparer, so
+        // safety — not density — must force the nibble form.
+        let mut seq = vec![b'A'; 64];
+        seq[10] = b'R';
+        let c = EncodedChunk::encode(0, "chr1".into(), 0, 32, &seq, ChunkEncoding::Adaptive);
+        assert!(matches!(c.payload, ChunkPayload::Nibble(_)));
+        assert_eq!(c.decode(), seq, "nibble payloads round-trip byte-exactly");
+        assert_eq!(c.upload_byte_len(), 32, "half a byte per base on device");
+    }
+
+    #[test]
+    fn adaptive_encoding_switches_soft_mask_runs_to_nibbles() {
+        // Lowercase concrete bases are compare-safe for the 2-bit kernel,
+        // but at 5 host bytes per exception a long soft-mask run makes the
+        // 2-bit form larger than the nibbles — density flips the choice.
+        let mut seq = vec![b'A'; 100];
+        for b in seq.iter_mut().take(40) {
+            *b = b'a';
+        }
+        let dense = EncodedChunk::encode(0, "chr1".into(), 0, 64, &seq, ChunkEncoding::Adaptive);
+        assert!(matches!(dense.payload, ChunkPayload::Nibble(_)));
+        assert_eq!(dense.decode(), seq, "case survives the nibble round-trip");
+        // At exactly the threshold (5 exceptions in 100 bases) 2-bit stays.
+        let mut sparse = vec![b'A'; 100];
+        for b in sparse.iter_mut().take(5) {
+            *b = b'a';
+        }
+        let c = EncodedChunk::encode(0, "chr1".into(), 0, 64, &sparse, ChunkEncoding::Adaptive);
+        assert!(matches!(c.payload, ChunkPayload::Packed(_)));
     }
 }

@@ -35,6 +35,7 @@ use std::sync::{Mutex, OnceLock};
 use cas_offinder::pipeline::chunk::OclChunkRunner;
 use cas_offinder::pipeline::PipelineConfig;
 use cas_offinder::{OptLevel, Query, TimingBreakdown};
+use genome::fourbit::NibbleSeq;
 use genome::rng::Xoshiro256;
 use genome::twobit::PackedSeq;
 use gpu_sim::profile::Profile;
@@ -52,8 +53,8 @@ const PROBE_PATTERN: &[u8] = b"NNNNNNNNNRG";
 /// runner holds exactly one chunk.
 const PROBE_TOKEN: u64 = 0x5EED;
 
-/// Measured service costs for one payload class (raw chars, or 2-bit
-/// packed) on one device.
+/// Measured service costs for one payload class (raw chars, 2-bit packed,
+/// or 4-bit nibbles) on one device.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ClassRates {
     /// Finder kernel seconds per pattern base per scan position.
@@ -80,6 +81,8 @@ pub(crate) struct KernelRates {
     pub raw: ClassRates,
     /// 2-bit packed chunks (`finder_packed` + `comparer-2bit`).
     pub packed: ClassRates,
+    /// 4-bit nibble chunks (`finder_nibble` + `comparer-4bit`).
+    pub nibble: ClassRates,
     /// Marginal upload cost per byte.
     pub upload_s_per_byte: f64,
 }
@@ -109,11 +112,17 @@ struct ProbeRun {
     candidates: usize,
 }
 
+/// Which chunk representation a probe drives through the runner.
+enum ProbePayload<'a> {
+    Raw(&'a [u8]),
+    Packed(&'a PackedSeq),
+    Nibble(&'a NibbleSeq),
+}
+
 fn probe(
     runner: &OclChunkRunner,
     scan: usize,
-    seq: &[u8],
-    packed: Option<&PackedSeq>,
+    payload: &ProbePayload<'_>,
     queries: &[Query],
     resident_token: Option<u64>,
 ) -> ProbeRun {
@@ -123,23 +132,33 @@ fn probe(
     let tables = runner
         .prepare_queries(queries)
         .expect("simulated buffer upload cannot fail");
-    match (packed, resident_token) {
-        (Some(p), Some(t)) => {
+    match (payload, resident_token) {
+        (ProbePayload::Packed(p), Some(t)) => {
             runner
                 .run_packed_chunk_resident(t, p, scan, &tables, &mut timing, &mut profile)
                 .expect("simulated probe launch cannot fail");
         }
-        (Some(p), None) => {
+        (ProbePayload::Packed(p), None) => {
             runner
                 .run_packed_chunk(p, scan, &tables, &mut timing, &mut profile)
                 .expect("simulated probe launch cannot fail");
         }
-        (None, Some(t)) => {
+        (ProbePayload::Nibble(n), Some(t)) => {
+            runner
+                .run_nibble_chunk_resident(t, n, scan, &tables, &mut timing, &mut profile)
+                .expect("simulated probe launch cannot fail");
+        }
+        (ProbePayload::Nibble(n), None) => {
+            runner
+                .run_nibble_chunk(n, scan, &tables, &mut timing, &mut profile)
+                .expect("simulated probe launch cannot fail");
+        }
+        (ProbePayload::Raw(seq), Some(t)) => {
             runner
                 .run_chunk_resident(t, seq, scan, &tables, &mut timing, &mut profile)
                 .expect("simulated probe launch cannot fail");
         }
-        (None, None) => {
+        (ProbePayload::Raw(seq), None) => {
             runner
                 .run_chunk(seq, scan, &tables, &mut timing, &mut profile)
                 .expect("simulated probe launch cannot fail");
@@ -147,7 +166,7 @@ fn probe(
     }
     let elapsed_s = runner.elapsed_s() - before;
     tables.release();
-    let kernel_s = |names: [&str; 2]| {
+    let kernel_s = |names: &[&str]| {
         names
             .iter()
             .filter_map(|n| profile.kernel(n))
@@ -156,8 +175,8 @@ fn probe(
     };
     ProbeRun {
         elapsed_s,
-        finder_s: kernel_s(["finder", "finder_packed"]),
-        comparer_s: kernel_s(["comparer", "comparer-2bit"]),
+        finder_s: kernel_s(&["finder", "finder_packed", "finder_nibble"]),
+        comparer_s: kernel_s(&["comparer", "comparer-2bit", "comparer-4bit"]),
         candidates: timing.candidates as usize,
     }
 }
@@ -221,26 +240,48 @@ fn measure(spec: &DeviceSpec, scan: usize, opt: OptLevel) -> KernelRates {
     let one = [Query::new(guide(), 3)];
     let two = [one[0].clone(), Query::new(guide(), 3)];
 
-    let raw1 = probe(&runner, scan, &seq, None, &one, None);
-    let raw2 = probe(&runner, scan, &seq, None, &two, None);
+    let raw_payload = ProbePayload::Raw(&seq);
+    let raw1 = probe(&runner, scan, &raw_payload, &one, None);
+    let raw2 = probe(&runner, scan, &raw_payload, &two, None);
     // First resident run misses and uploads; the second hits and skips.
-    probe(&runner, scan, &seq, None, &one, Some(PROBE_TOKEN));
-    let raw_hit = probe(&runner, scan, &seq, None, &one, Some(PROBE_TOKEN));
+    probe(&runner, scan, &raw_payload, &one, Some(PROBE_TOKEN));
+    let raw_hit = probe(&runner, scan, &raw_payload, &one, Some(PROBE_TOKEN));
     let raw = class_rates(scan, &raw1, &raw2, &raw_hit, seq.len(), upload_s_per_byte);
 
     let packed = PackedSeq::encode(&seq);
     debug_assert!(packed.exceptions().is_empty(), "probe bases are concrete");
     let packed_bytes = packed.packed_bytes().len() + packed.mask_bytes().len();
-    let pk1 = probe(&runner, scan, &seq, Some(&packed), &one, None);
-    let pk2 = probe(&runner, scan, &seq, Some(&packed), &two, None);
-    probe(&runner, scan, &seq, Some(&packed), &one, Some(PROBE_TOKEN));
-    let pk_hit = probe(&runner, scan, &seq, Some(&packed), &one, Some(PROBE_TOKEN));
+    let pk_payload = ProbePayload::Packed(&packed);
+    let pk1 = probe(&runner, scan, &pk_payload, &one, None);
+    let pk2 = probe(&runner, scan, &pk_payload, &two, None);
+    probe(&runner, scan, &pk_payload, &one, Some(PROBE_TOKEN));
+    let pk_hit = probe(&runner, scan, &pk_payload, &one, Some(PROBE_TOKEN));
     let packed_rates = class_rates(scan, &pk1, &pk2, &pk_hit, packed_bytes, upload_s_per_byte);
+
+    // The nibble probe reuses the same concrete bases: the kernels' cost
+    // does not depend on how degenerate the masks are, only the encoding
+    // selection does — so a concrete-base probe prices exception-dense
+    // serving chunks correctly.
+    let nibble = NibbleSeq::encode(&seq);
+    let nb_payload = ProbePayload::Nibble(&nibble);
+    let nb1 = probe(&runner, scan, &nb_payload, &one, None);
+    let nb2 = probe(&runner, scan, &nb_payload, &two, None);
+    probe(&runner, scan, &nb_payload, &one, Some(PROBE_TOKEN));
+    let nb_hit = probe(&runner, scan, &nb_payload, &one, Some(PROBE_TOKEN));
+    let nibble_rates = class_rates(
+        scan,
+        &nb1,
+        &nb2,
+        &nb_hit,
+        nibble.device_byte_len(),
+        upload_s_per_byte,
+    );
 
     runner.release();
     KernelRates {
         raw,
         packed: packed_rates,
+        nibble: nibble_rates,
         upload_s_per_byte,
     }
 }
@@ -277,7 +318,7 @@ mod tests {
     #[test]
     fn measured_rates_are_positive_and_finite() {
         let r = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base);
-        for class in [&r.raw, &r.packed] {
+        for class in [&r.raw, &r.packed, &r.nibble] {
             assert!(class.finder_s_per_unit.is_finite() && class.finder_s_per_unit > 0.0);
             assert!(class.comparer_s_per_unit.is_finite() && class.comparer_s_per_unit > 0.0);
             assert!(class.batch_overhead_s.is_finite() && class.batch_overhead_s >= 0.0);
@@ -293,7 +334,7 @@ mod tests {
         // discount can never exceed the whole fixed batch cost it is
         // subtracted from.
         let r = kernel_rates(&DeviceSpec::radeon_vii(), PROBE_CHUNK, OptLevel::Base);
-        for class in [&r.raw, &r.packed] {
+        for class in [&r.raw, &r.packed, &r.nibble] {
             assert!(class.resident_discount_s > 0.0, "{class:?}");
             assert!(
                 class.resident_discount_s <= class.batch_overhead_s,
@@ -325,6 +366,19 @@ mod tests {
         let expect = DeviceSpec::mi100().interconnect_bytes_per_s()
             / DeviceSpec::radeon_vii().interconnect_bytes_per_s();
         assert!((ratio / expect - 1.0).abs() < 0.05, "{ratio} vs {expect}");
+    }
+
+    #[test]
+    fn nibble_rates_are_measured_from_the_nibble_kernels() {
+        // The nibble finder decodes on-device like the packed finder, so
+        // its measured per-unit rate must land in the same regime as the
+        // other finders — a zero (kernel never profiled, name list stale)
+        // or a wild outlier would poison every Nibble4Bit prediction.
+        let r = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base);
+        let ratio = r.nibble.finder_s_per_unit / r.packed.finder_s_per_unit;
+        assert!((0.25..=4.0).contains(&ratio), "finder rate ratio {ratio}");
+        let ratio = r.nibble.comparer_s_per_unit / r.packed.comparer_s_per_unit;
+        assert!((0.25..=4.0).contains(&ratio), "comparer rate ratio {ratio}");
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! (mixing OpenCL and SYCL pipelines on Radeon VII / MI60 / MI100 specs)
 //! by *earliest predicted completion* under a per-device cost model, with
 //! work stealing and occupancy-derived in-flight limits, and fed from a
-//! byte-budgeted LRU [cache] of **2-bit packed** genome chunks that the
-//! runners upload packed and decode on-device. Bulge-aware searches
+//! byte-budgeted LRU [cache] of packed genome chunks that the runners
+//! upload packed and decode on-device — **2-bit** while a chunk's
+//! exceptions stay rare and compare-safe, **4-bit nibbles** for
+//! exception-dense chunks so none of them falls back to the char comparer.
+//! Bulge-aware searches
 //! (`JobSpec::with_bulges`) are expanded into per-variant unit searches by
 //! the batcher and served as one job.
 //!
@@ -61,7 +64,7 @@ mod results;
 mod scheduler;
 pub mod service;
 
-pub use cache::{CacheStats, ChunkEncoding, GenomeCache};
+pub use cache::{CacheStats, ChunkEncoding, GenomeCache, NIBBLE_DENSITY_THRESHOLD};
 pub use job::{JobId, JobSpec, Priority};
 pub use metrics::{DeviceReport, MetricsReport};
 pub use results::ResultCacheStats;

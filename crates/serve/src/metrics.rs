@@ -50,6 +50,13 @@ pub struct ServeMetrics {
     /// Total job memberships across formed batches (for the coalescing
     /// ratio: memberships ÷ batches = average jobs per chunk launch).
     pub coalesced_jobs: AtomicU64,
+    /// Batches whose payload selected the char comparer — raw chunks, or
+    /// packed chunks whose degenerate exceptions forced the fallback.
+    pub comparer_char_batches: AtomicU64,
+    /// Batches compared in 2-bit packed form.
+    pub comparer_2bit_batches: AtomicU64,
+    /// Batches compared in 4-bit nibble form.
+    pub comparer_4bit_batches: AtomicU64,
     /// Per-device counters, index-aligned with the pool.
     pub devices: Vec<DeviceMetrics>,
 }
@@ -64,6 +71,9 @@ impl ServeMetrics {
             jobs_completed: AtomicU64::new(0),
             batches_formed: AtomicU64::new(0),
             coalesced_jobs: AtomicU64::new(0),
+            comparer_char_batches: AtomicU64::new(0),
+            comparer_2bit_batches: AtomicU64::new(0),
+            comparer_4bit_batches: AtomicU64::new(0),
             devices: (0..devices).map(|_| DeviceMetrics::default()).collect(),
         }
     }
@@ -115,6 +125,13 @@ pub struct MetricsReport {
     pub batches_formed: u64,
     /// Total job memberships across batches.
     pub coalesced_jobs: u64,
+    /// Executed batches that ran the char comparer (raw payloads, or
+    /// packed payloads degraded by degenerate exceptions).
+    pub comparer_char_batches: u64,
+    /// Executed batches compared in 2-bit packed form.
+    pub comparer_2bit_batches: u64,
+    /// Executed batches compared in 4-bit nibble form.
+    pub comparer_4bit_batches: u64,
     /// Deepest the admission queue has been.
     pub queue_depth_high_water: usize,
     /// Genome-chunk cache accounting.
@@ -233,6 +250,11 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "comparers: {} char batches, {} 2-bit, {} 4-bit",
+            self.comparer_char_batches, self.comparer_2bit_batches, self.comparer_4bit_batches
+        )?;
+        writeln!(
+            f,
             "scheduler: {:.1}% mean |predicted - measured| service time",
             100.0 * self.mean_prediction_error()
         )?;
@@ -275,6 +297,9 @@ pub(crate) fn load_report(
         jobs_completed: metrics.jobs_completed.load(Ordering::Relaxed),
         batches_formed: metrics.batches_formed.load(Ordering::Relaxed),
         coalesced_jobs: metrics.coalesced_jobs.load(Ordering::Relaxed),
+        comparer_char_batches: metrics.comparer_char_batches.load(Ordering::Relaxed),
+        comparer_2bit_batches: metrics.comparer_2bit_batches.load(Ordering::Relaxed),
+        comparer_4bit_batches: metrics.comparer_4bit_batches.load(Ordering::Relaxed),
         queue_depth_high_water: queue_high_water,
         cache,
         results,
@@ -356,6 +381,26 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("1024 B uploads skipped"), "{text}");
         assert!(text.contains("5 merged"), "{text}");
+    }
+
+    #[test]
+    fn comparer_variant_counts_reach_the_report() {
+        let m = ServeMetrics::new(1);
+        m.comparer_char_batches.store(2, Ordering::Relaxed);
+        m.comparer_2bit_batches.store(5, Ordering::Relaxed);
+        m.comparer_4bit_batches.store(9, Ordering::Relaxed);
+        let report = load_report(
+            &m,
+            &[("MI60".into(), "OpenCL".into())],
+            0,
+            CacheStats::default(),
+            ResultCacheStats::default(),
+        );
+        assert_eq!(report.comparer_char_batches, 2);
+        assert_eq!(report.comparer_2bit_batches, 5);
+        assert_eq!(report.comparer_4bit_batches, 9);
+        let text = report.to_string();
+        assert!(text.contains("2 char batches, 5 2-bit, 9 4-bit"), "{text}");
     }
 
     #[test]

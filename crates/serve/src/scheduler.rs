@@ -117,6 +117,9 @@ pub(crate) enum PayloadClass {
     /// Packed payload with degenerate exceptions: `finder_packed` decodes
     /// on-device, comparers run the char kernel over the decode.
     PackedChar,
+    /// 4-bit nibble payload: `finder_nibble` + `comparer_4bit`, never any
+    /// char fallback.
+    Nibble4Bit,
 }
 
 /// The dispatcher's estimate of what a [`ChunkBatch`] costs, extracted
@@ -147,13 +150,14 @@ impl BatchCost {
         let class = match &batch.chunk.payload {
             ChunkPayload::Packed(p) if twobit_compare_safe(p) => PayloadClass::Packed2Bit,
             ChunkPayload::Packed(_) => PayloadClass::PackedChar,
+            ChunkPayload::Nibble(_) => PayloadClass::Nibble4Bit,
             ChunkPayload::Raw(_) => PayloadClass::Raw,
         };
         BatchCost {
             scan_len: batch.chunk.scan_len,
             plen,
             jobs,
-            chunk_bytes: batch.chunk.byte_len(),
+            chunk_bytes: batch.chunk.upload_byte_len(),
             class,
             candidate_fraction: candidate_fraction(&batch.key.pattern),
             token: residency_token(&batch.key, batch.chunk_index),
@@ -207,11 +211,13 @@ impl DeviceModel {
         let class = match cost.class {
             PayloadClass::Raw => &self.rates.raw,
             PayloadClass::Packed2Bit | PayloadClass::PackedChar => &self.rates.packed,
+            PayloadClass::Nibble4Bit => &self.rates.nibble,
         };
         // A packed chunk with opaque exception bytes decodes on-device
         // (packed finder) but compares with the char kernel.
         let comparer_rate = match cost.class {
             PayloadClass::Packed2Bit => self.rates.packed.comparer_s_per_unit,
+            PayloadClass::Nibble4Bit => self.rates.nibble.comparer_s_per_unit,
             PayloadClass::Raw | PayloadClass::PackedChar => self.rates.raw.comparer_s_per_unit,
         };
         let scan_units = (cost.scan_len * cost.plen) as f64;

@@ -10,9 +10,10 @@
 //! records have unique `(chromosome, position, strand)` keys and the final
 //! [`sort_canonical`] is a total normalizer: results are byte-identical to
 //! the serial pipelines no matter how batches interleave. The cached 2-bit
-//! payloads are lossless, and the packed finder decodes them on-device into
-//! exactly the bytes the char-path finder would have uploaded, so packing
-//! changes transfer volume, never results.
+//! and 4-bit payloads are lossless, and the packed/nibble finders decode
+//! them on-device into matching-equivalent bytes of what the char-path
+//! finder would have uploaded, so packing changes transfer volume, never
+//! results.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,7 +21,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use cas_offinder::bulge::enumerate_variants;
-use cas_offinder::pipeline::chunk::{OclChunkRunner, SyclChunkRunner};
+use cas_offinder::pipeline::chunk::{twobit_compare_safe, OclChunkRunner, SyclChunkRunner};
 use cas_offinder::pipeline::{entries_to_offtargets, PipelineConfig};
 use cas_offinder::{sort_canonical, Api, OffTarget, OptLevel, Query, TimingBreakdown};
 use genome::{Assembly, Chunker};
@@ -61,7 +62,9 @@ pub struct ServiceConfig {
     /// Genome-chunk cache budget, in resident payload bytes.
     pub cache_bytes: usize,
     /// How cached chunks (and uploads) are encoded; packed payloads cut
-    /// upload bytes ~4x and fit ~2.7x more chunks in the same budget.
+    /// upload bytes ~4x and fit ~2.7x more chunks in the same budget, and
+    /// the adaptive default switches exception-dense chunks to 4-bit
+    /// nibbles so none of them falls back to the char comparer.
     pub cache_encoding: ChunkEncoding,
     /// Comparer optimization stage.
     pub opt: OptLevel,
@@ -111,7 +114,7 @@ impl ServiceConfig {
             queue_cost_limit: 10_000_000,
             max_batch: 8,
             cache_bytes: 1 << 19,
-            cache_encoding: ChunkEncoding::Packed,
+            cache_encoding: ChunkEncoding::Adaptive,
             opt: OptLevel::Base,
             placement: Placement::EarliestCompletion,
             pacing: 0.0,
@@ -290,15 +293,6 @@ impl Service {
         let cost = assembly.total_len() as u64 * variants;
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let entry = JobEntry {
-            remaining: None,
-            offtargets: Vec::new(),
-            dedup: spec.bulge.is_some(),
-            done: false,
-            publish: None,
-        };
-        self.shared.jobs.lock().unwrap().insert(id, entry);
-
         // Content-addressed admission: a spec already served is answered
         // from the result cache without touching the queue, a spec already
         // computing merges onto its in-flight leader, and only a novel
@@ -306,6 +300,19 @@ impl Service {
         // racing duplicate either sees this leader or becomes one itself).
         let cached = (self.shared.config.result_cache_bytes > 0)
             .then(|| CanonicalSpec::digest(&spec, self.shared.config.chunk_size));
+        // The publish key is set optimistically before the job can reach
+        // the queue: once `admit` enqueues it, a worker may finish the
+        // whole batch before this thread runs again, and the completion
+        // path must find the key in place. Hit/Merged admissions never
+        // enqueue, so they clear it below.
+        let entry = JobEntry {
+            remaining: None,
+            offtargets: Vec::new(),
+            dedup: spec.bulge.is_some(),
+            done: false,
+            publish: cached.clone(),
+        };
+        self.shared.jobs.lock().unwrap().insert(id, entry);
         let admission = match &cached {
             Some((digest, canon)) => {
                 let job = Job { id, spec, cost };
@@ -333,11 +340,15 @@ impl Service {
                 let entry = jobs.get_mut(&id).expect("entry inserted above");
                 entry.offtargets = records;
                 entry.done = true;
+                entry.publish = None;
                 drop(jobs);
                 self.shared.done.notify_all();
                 Ok(id)
             }
             Ok(Admission::Merged) => {
+                let mut jobs = self.shared.jobs.lock().unwrap();
+                jobs.get_mut(&id).expect("entry inserted above").publish = None;
+                drop(jobs);
                 self.shared
                     .metrics
                     .jobs_admitted
@@ -345,10 +356,6 @@ impl Service {
                 Ok(id)
             }
             Ok(Admission::Admitted) => {
-                if let Some(key) = cached {
-                    let mut jobs = self.shared.jobs.lock().unwrap();
-                    jobs.get_mut(&id).expect("entry inserted above").publish = Some(key);
-                }
                 self.shared
                     .metrics
                     .jobs_admitted
@@ -677,6 +684,14 @@ fn worker_loop(shared: &Shared, w: usize) {
                     (ChunkPayload::Packed(packed), None) => r
                         .run_packed_chunk(packed, scan_len, &tables, &mut timing, &mut profile)
                         .map(|q| (q, None)),
+                    (ChunkPayload::Nibble(nibble), Some(t)) => r
+                        .run_nibble_chunk_resident(
+                            t, nibble, scan_len, &tables, &mut timing, &mut profile,
+                        )
+                        .map(|(q, reused)| (q, Some(reused))),
+                    (ChunkPayload::Nibble(nibble), None) => r
+                        .run_nibble_chunk(nibble, scan_len, &tables, &mut timing, &mut profile)
+                        .map(|q| (q, None)),
                     (ChunkPayload::Raw(seq), Some(t)) => r
                         .run_chunk_resident(t, seq, scan_len, &tables, &mut timing, &mut profile)
                         .map(|(q, reused)| (q, Some(reused))),
@@ -699,6 +714,14 @@ fn worker_loop(shared: &Shared, w: usize) {
                     (ChunkPayload::Packed(packed), None) => r
                         .run_packed_chunk(packed, scan_len, &tables, &mut timing, &mut profile)
                         .map(|q| (q, None)),
+                    (ChunkPayload::Nibble(nibble), Some(t)) => r
+                        .run_nibble_chunk_resident(
+                            t, nibble, scan_len, &tables, &mut timing, &mut profile,
+                        )
+                        .map(|(q, reused)| (q, Some(reused))),
+                    (ChunkPayload::Nibble(nibble), None) => r
+                        .run_nibble_chunk(nibble, scan_len, &tables, &mut timing, &mut profile)
+                        .map(|q| (q, None)),
                     (ChunkPayload::Raw(seq), Some(t)) => r
                         .run_chunk_resident(t, seq, scan_len, &tables, &mut timing, &mut profile)
                         .map(|(q, reused)| (q, Some(reused))),
@@ -709,6 +732,18 @@ fn worker_loop(shared: &Shared, w: usize) {
                 .expect("simulated SYCL launch cannot fail")
             }
         };
+        // Which comparer the payload selected — the serving-level view of
+        // the fallback the adaptive encoding exists to avoid.
+        let comparer_counter = match &batch.chunk.payload {
+            ChunkPayload::Nibble(_) => &shared.metrics.comparer_4bit_batches,
+            ChunkPayload::Packed(p) if twobit_compare_safe(p) => {
+                &shared.metrics.comparer_2bit_batches
+            }
+            ChunkPayload::Packed(_) | ChunkPayload::Raw(_) => {
+                &shared.metrics.comparer_char_batches
+            }
+        };
+        comparer_counter.fetch_add(1, Ordering::Relaxed);
         if let Some(reused) = reused {
             let counter = if reused {
                 &device.resident_hits
@@ -1027,6 +1062,41 @@ mod tests {
         assert!(
             report.mean_prediction_error() < 0.19,
             "packed-path error must beat the raw baseline: {report}"
+        );
+    }
+
+    #[test]
+    fn masked_assemblies_serve_on_the_nibble_path_without_char_fallback() {
+        // An exception-dense assembly under the adaptive default: every
+        // dense chunk must select the 4-bit comparer (zero char-fallback
+        // batches), and the results must still match the serial oracle.
+        let mut config = small_config();
+        config.chunk_size = 256;
+        let assembly = genome::synth::hg38_masked_mini(0.001);
+        let service = Service::start(config, vec![assembly.clone()]);
+        let specs: Vec<JobSpec> = distinct_specs(4)
+            .into_iter()
+            .map(|mut s| {
+                s.assembly = "hg38-masked".into();
+                s
+            })
+            .collect();
+        for spec in &specs {
+            let got = service.wait(service.submit(spec.clone()).unwrap()).unwrap();
+            assert_eq!(
+                got,
+                plain_oracle(&assembly, &spec.pattern, &spec.guide, spec.max_mismatches),
+                "nibble-path serving must be byte-identical"
+            );
+        }
+        let report = service.metrics();
+        assert_eq!(
+            report.comparer_char_batches, 0,
+            "no batch may fall back to the char comparer: {report}"
+        );
+        assert!(
+            report.comparer_4bit_batches > 0,
+            "dense chunks must select the nibble comparer: {report}"
         );
     }
 

@@ -39,6 +39,18 @@ fn distinct_specs() -> Vec<JobSpec> {
         .collect()
 }
 
+/// The exception-dense variant of [`distinct_specs`]: same guides, aimed
+/// at the soft-masked assembly so every dense chunk rides the 4-bit path.
+fn masked_specs() -> Vec<JobSpec> {
+    distinct_specs()
+        .into_iter()
+        .map(|mut s| {
+            s.assembly = "hg38-masked".into();
+            s
+        })
+        .collect()
+}
+
 fn serial_ocl(assembly: &Assembly, spec: &JobSpec) -> Vec<OffTarget> {
     let text = format!(
         "{}\n{}\n{} {}\n",
@@ -189,6 +201,69 @@ fn result_dedup_and_forced_evictions_stay_byte_identical() {
         report.results.hits + report.results.merges,
         (200 - specs.len()) as u64,
         "every duplicate is served from the store: {report}"
+    );
+    service.shutdown();
+}
+
+/// The tentpole guarantee on an exception-dense assembly: with the
+/// adaptive cache default, every dense chunk is served by the 4-bit
+/// nibble comparer — zero batches fall back to the char path — and the
+/// results stay byte-identical to the serial char-comparer pipeline even
+/// while a two-chunk residency budget forces constant evictions and
+/// re-uploads of the nibble payloads.
+#[test]
+fn masked_chunks_ride_the_nibble_path_and_stay_byte_identical() {
+    let specs = masked_specs();
+    let asm = genome::synth::hg38_masked_mini(0.001);
+    let oracle: Vec<Vec<OffTarget>> = specs.iter().map(|s| serial_ocl(&asm, s)).collect();
+    assert!(
+        oracle.iter().any(|o| !o.is_empty()),
+        "fixture must produce hits somewhere"
+    );
+
+    let mut order: Vec<usize> = (0..120).map(|i| i % specs.len()).collect();
+    Xoshiro256::seed_from_u64(0x4B17).shuffle(&mut order);
+
+    let mut config = ServiceConfig::paper_pool();
+    config.chunk_size = CHUNK_SIZE;
+    config.queue_cost_limit = 250_000;
+    config.cache_bytes = 16 * 1024;
+    config.max_batch = 2;
+    config.resident_chunks = 2;
+    // Dedup off so all 120 jobs exercise the nibble runners.
+    config.result_cache_bytes = 0;
+    let service = Service::start(config, vec![asm]);
+
+    let ids: Vec<(u64, usize)> = order
+        .iter()
+        .map(|&spec_index| {
+            (
+                submit_with_backoff(&service, specs[spec_index].clone()),
+                spec_index,
+            )
+        })
+        .collect();
+    let mut results: HashMap<u64, Vec<OffTarget>> = ids
+        .iter()
+        .map(|&(id, _)| (id, service.wait(id).unwrap()))
+        .collect();
+    for (id, spec_index) in ids {
+        assert_eq!(
+            results.remove(&id).unwrap(),
+            oracle[spec_index],
+            "job {id} (spec {spec_index})"
+        );
+    }
+
+    let report = service.metrics();
+    assert_eq!(report.jobs_completed, 120);
+    assert_eq!(
+        report.comparer_char_batches, 0,
+        "no batch may fall back to the char comparer: {report}"
+    );
+    assert!(
+        report.comparer_4bit_batches > 0,
+        "dense chunks must select the nibble comparer: {report}"
     );
     service.shutdown();
 }

@@ -14,14 +14,21 @@
 //! * **packed + cost-aware** — the PR 3 path: 2-bit packed payloads and
 //!   earliest-predicted-completion placement, every batch still paying
 //!   its chunk upload and every duplicate job its compute.
-//! * **affinity** — this PR: devices keep resident chunk payloads (the
-//!   scheduler steers repeat chunks back to their holder and the runner
-//!   skips the upload) and a content-addressed result store serves
+//! * **affinity** — the PR 4 path: devices keep resident chunk payloads
+//!   (the scheduler steers repeat chunks back to their holder and the
+//!   runner skips the upload) and a content-addressed result store serves
 //!   repeat specs without any compute. Measured by serving several
 //!   fresh-guide workloads through one service — every round computes,
 //!   but on chunks the pool already holds — then replaying the first
 //!   workload verbatim: the replay must finish with **zero** kernel
 //!   launches.
+//!
+//! A final pair of runs replays the same tenant load against an
+//! **exception-dense** soft-masked assembly, where 2-bit-with-exceptions
+//! is off the table: the char-comparer fallback (raw payloads) against
+//! this PR's adaptive cache, which flips dense chunks to 4-bit nibble
+//! payloads so **zero** batches fall back to the char comparer and every
+//! chunk still uploads packed, at half a byte per base.
 //!
 //! ```text
 //! cargo run --release --example serve_demo
@@ -62,6 +69,10 @@ const AFFINITY_ROUNDS: usize = 4;
 /// ~12 chunks-per-pattern each device settles on for this genome, so
 /// steering — not capacity — decides the hit rate.
 const RESIDENT_CHUNKS: usize = 32;
+/// Chunk size for the exception-dense comparison: large enough that the
+/// chunk payload dominates the per-batch query tables, so the measured
+/// upload ratio reflects the encodings (1 B/base vs half a byte).
+const MASKED_CHUNK_SIZE: usize = 1 << 14;
 
 fn spec_text(spec: &JobSpec) -> String {
     format!(
@@ -103,9 +114,9 @@ fn serial_oracle(
         .collect()
 }
 
-fn config_with(encoding: ChunkEncoding, placement: Placement) -> ServiceConfig {
+fn config_with(encoding: ChunkEncoding, placement: Placement, chunk_size: usize) -> ServiceConfig {
     let mut config = ServiceConfig::paper_pool();
-    config.chunk_size = CHUNK_SIZE;
+    config.chunk_size = chunk_size;
     config.queue_cost_limit = 10_000_000; // ~67 queued jobs: backpressure shows up
     config.cache_bytes = CACHE_BYTES;
     config.cache_encoding = encoding;
@@ -174,18 +185,20 @@ fn serve_jobs(
 
 /// Serve `jobs` jobs through a fresh single-generation service and return
 /// the metrics snapshot.
+#[allow(clippy::too_many_arguments)]
 fn serve_run(
     label: &str,
+    assembly: &Assembly,
     encoding: ChunkEncoding,
     placement: Placement,
+    chunk_size: usize,
     jobs: usize,
     specs: &[JobSpec],
     oracle: &[Vec<OffTarget>],
 ) -> MetricsReport {
-    let assembly = genome::synth::hg38_mini(GENOME_SCALE);
     let service = Arc::new(Service::start(
-        config_with(encoding, placement),
-        vec![assembly],
+        config_with(encoding, placement, chunk_size),
+        vec![assembly.clone()],
     ));
     let sites = serve_jobs(&service, jobs, specs, oracle);
     println!(
@@ -224,7 +237,7 @@ fn affinity_run(
     serial_config: &PipelineConfig,
 ) -> (MetricsReport, f64) {
     let assembly = genome::synth::hg38_mini(GENOME_SCALE);
-    let mut config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion);
+    let mut config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion, CHUNK_SIZE);
     config.resident_chunks = RESIDENT_CHUNKS;
     config.result_cache_bytes = 1 << 23; // all rounds' results stay resident
     let service = Arc::new(Service::start(config, vec![assembly.clone()]));
@@ -308,7 +321,7 @@ fn main() {
 
     let specs = tenant_specs(0x5E4E);
 
-    let config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion);
+    let config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion, CHUNK_SIZE);
     println!(
         "pool: {}",
         config
@@ -341,21 +354,72 @@ fn main() {
 
     let packed = serve_run(
         "packed + cost-aware (PR 3)",
+        &assembly,
         ChunkEncoding::Packed,
         Placement::EarliestCompletion,
+        CHUNK_SIZE,
         jobs,
         &specs,
         &oracle,
     );
     let raw = serve_run(
         "raw + shortest-queue (PR 2 baseline)",
+        &assembly,
         ChunkEncoding::Raw,
         Placement::ShortestQueue,
+        CHUNK_SIZE,
         jobs,
         &specs,
         &oracle,
     );
     let (affinity, replay_hit_rate) = affinity_run(jobs, &specs, &oracle, &serial_config);
+
+    // Exception-dense assembly: the same tenant load against soft-mask
+    // runs and degenerate bases. Raw payloads put every batch on the char
+    // comparer; the adaptive cache flips dense chunks to 4-bit nibbles.
+    let masked_assembly = genome::synth::hg38_masked_mini(GENOME_SCALE);
+    let masked_specs: Vec<JobSpec> = tenant_specs(0x3A5C)
+        .into_iter()
+        .map(|mut s| {
+            s.assembly = "hg38-masked".into();
+            s
+        })
+        .collect();
+    let masked_oracle: Vec<Vec<OffTarget>> = masked_specs
+        .iter()
+        .map(|spec| {
+            let input = SearchInput::parse(&spec_text(spec)).unwrap();
+            let serial = ocl::run(&masked_assembly, &input, &serial_config)
+                .unwrap()
+                .offtargets;
+            assert_eq!(
+                serial,
+                cas_offinder::cpu::search_sequential(&masked_assembly, &input),
+                "serial pipeline vs scalar oracle on the masked assembly"
+            );
+            serial
+        })
+        .collect();
+    let masked_char = serve_run(
+        "masked + char fallback",
+        &masked_assembly,
+        ChunkEncoding::Raw,
+        Placement::EarliestCompletion,
+        MASKED_CHUNK_SIZE,
+        jobs,
+        &masked_specs,
+        &masked_oracle,
+    );
+    let masked = serve_run(
+        "masked + adaptive 4-bit (this PR)",
+        &masked_assembly,
+        ChunkEncoding::Adaptive,
+        Placement::EarliestCompletion,
+        MASKED_CHUNK_SIZE,
+        jobs,
+        &masked_specs,
+        &masked_oracle,
+    );
 
     let packed_jobs_per_s = jobs as f64 / makespan_s(&packed);
     let raw_jobs_per_s = jobs as f64 / makespan_s(&raw);
@@ -398,6 +462,36 @@ fn main() {
         100.0 * replay_hit_rate,
     );
 
+    let masked_char_jobs_per_s = jobs as f64 / makespan_s(&masked_char);
+    let masked_jobs_per_s = jobs as f64 / makespan_s(&masked);
+    let masked_upload_ratio = upload_bytes_per_batch(&masked) / upload_bytes_per_batch(&masked_char);
+    println!("exception-dense assembly, same {CACHE_BYTES} B cache budget:");
+    println!(
+        "  upload bytes/batch: char {:.0}, adaptive {:.0} ({masked_upload_ratio:.2}x)",
+        upload_bytes_per_batch(&masked_char),
+        upload_bytes_per_batch(&masked),
+    );
+    println!(
+        "  comparer batches:   char run {} char / {} 2-bit / {} 4-bit; \
+         adaptive run {} char / {} 2-bit / {} 4-bit",
+        masked_char.comparer_char_batches,
+        masked_char.comparer_2bit_batches,
+        masked_char.comparer_4bit_batches,
+        masked.comparer_char_batches,
+        masked.comparer_2bit_batches,
+        masked.comparer_4bit_batches,
+    );
+    println!(
+        "  sim throughput:     char {masked_char_jobs_per_s:.0}, adaptive \
+         {masked_jobs_per_s:.0} jobs/s ({:.2}x)",
+        masked_jobs_per_s / masked_char_jobs_per_s
+    );
+    println!(
+        "  prediction error:   char {:.1}%, adaptive {:.1}% (calibrated rates)",
+        100.0 * masked_char.mean_prediction_error(),
+        100.0 * masked.mean_prediction_error(),
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -415,6 +509,11 @@ fn main() {
             "\"makespan_s\": {:.6}, \"resident_hit_rate\": {:.4}, ",
             "\"h2d_skipped_bytes\": {}, \"result_cache_hit_rate\": {:.4}, ",
             "\"second_pass_result_cache_hit_rate\": {:.4} }},\n",
+            "  \"masked\": {{ \"jobs\": {}, \"char_fallback_batches\": {}, ",
+            "\"comparer_4bit_batches\": {}, \"upload_bytes_per_batch\": {:.1}, ",
+            "\"char_upload_bytes_per_batch\": {:.1}, \"upload_ratio_vs_char\": {:.3}, ",
+            "\"jobs_per_s\": {:.2}, \"char_jobs_per_s\": {:.2}, ",
+            "\"cache_hit_rate\": {:.4}, \"mean_prediction_error\": {:.4} }},\n",
             "  \"transfer_reduction_per_batch\": {:.3},\n",
             "  \"affinity_transfer_reduction_per_batch\": {:.3},\n",
             "  \"jobs_per_s_improvement\": {:.3}\n",
@@ -442,6 +541,16 @@ fn main() {
         affinity.h2d_skipped_bytes(),
         affinity.result_cache_hit_rate(),
         replay_hit_rate,
+        jobs,
+        masked.comparer_char_batches,
+        masked.comparer_4bit_batches,
+        upload_bytes_per_batch(&masked),
+        upload_bytes_per_batch(&masked_char),
+        masked_upload_ratio,
+        masked_jobs_per_s,
+        masked_char_jobs_per_s,
+        masked.cache_hit_rate(),
+        masked.mean_prediction_error(),
         transfer_reduction,
         affinity_transfer_reduction,
         packed_jobs_per_s / raw_jobs_per_s,
@@ -484,5 +593,24 @@ fn main() {
     assert!(
         replay_hit_rate >= 1.0,
         "the replayed workload must be fully served from the result store"
+    );
+    assert_eq!(
+        masked.comparer_char_batches, 0,
+        "the adaptive cache must keep every exception-dense batch off the char comparer"
+    );
+    assert!(
+        masked.comparer_4bit_batches > 0,
+        "dense chunks must be served by the 4-bit nibble comparer"
+    );
+    assert!(
+        masked_upload_ratio <= 0.55,
+        "nibble payloads must cut per-batch upload bytes to at most 0.55x the \
+         char baseline, got {masked_upload_ratio:.3}x"
+    );
+    assert!(
+        masked.mean_prediction_error() <= 0.10,
+        "the calibrated cost model must stay within 10% on the masked workload, \
+         got {:.1}%",
+        100.0 * masked.mean_prediction_error()
     );
 }

@@ -26,5 +26,10 @@ test -s BENCH_serve.json || { echo "BENCH_serve.json missing"; exit 1; }
 replay_rate=$(sed -n 's/.*"second_pass_result_cache_hit_rate": \([0-9.]*\).*/\1/p' BENCH_serve.json)
 awk -v r="${replay_rate:-0}" 'BEGIN { exit !(r > 0) }' \
   || { echo "replay result-cache hit rate is ${replay_rate:-absent}; expected > 0"; exit 1; }
+# On the exception-dense assembly the adaptive cache must keep every
+# batch off the char comparer — the 4-bit nibble path serves them all.
+char_fallback=$(sed -n 's/.*"char_fallback_batches": \([0-9]*\).*/\1/p' BENCH_serve.json)
+awk -v n="${char_fallback:-1}" 'BEGIN { exit !(n == 0) }' \
+  || { echo "char-fallback batches on masked workload: ${char_fallback:-absent}; expected 0"; exit 1; }
 
 echo "== tier-1 OK =="
