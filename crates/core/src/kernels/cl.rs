@@ -12,9 +12,15 @@ use gpu_sim::{Device, NdRange, SimResult};
 
 use opencl_rt::{BoundKernel, ClError, ClKernelFunction, ClResult, KernelArg};
 
+use std::sync::Arc;
+
 use super::comparer::{ComparerKernel, ComparerOutput};
 use super::finder::{FinderKernel, FinderOutput, PackedFinderKernel};
 use super::fourbit::{FourBitComparerKernel, NibbleFinderKernel};
+use super::specialize::{
+    CompiledVariant, SpecializedComparerKernel, SpecializedFourBitComparerKernel,
+    SpecializedNibbleFinderKernel, SpecializedTwoBitComparerKernel, VariantKind,
+};
 use super::twobit::TwoBitComparerKernel;
 use super::OptLevel;
 
@@ -419,6 +425,172 @@ impl ClKernelFunction for ClFourBitComparer {
             },
             l_comp,
             l_comp_index,
+        })))
+    }
+}
+
+/// A JIT-specialized comparer variant as an OpenCL kernel function. The
+/// pattern, its length, and the threshold live inside the compiled variant,
+/// so the argument list shrinks to the genome-side buffers, the candidate
+/// set, and the outputs — no `__constant` pattern arguments, no `__local`
+/// staging allocations.
+///
+/// Argument layout (char variant):
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `chr` | buffer\<u8\> |
+/// | 1 | `loci` | buffer\<u32\> |
+/// | 2 | `flag` | buffer\<u8\> |
+/// | 3 | `mm_count` (out) | buffer\<u16\> |
+/// | 4 | `direction` (out) | buffer\<u8\> |
+/// | 5 | `mm_loci` (out) | buffer\<u32\> |
+/// | 6 | `entrycount` (out) | buffer\<u32\> |
+/// | 7 | `locicnts` | u32 |
+#[derive(Debug, Clone)]
+pub struct ClSpecializedComparer {
+    /// The compiled (pattern, threshold) variant this function embodies.
+    pub variant: Arc<CompiledVariant>,
+}
+
+impl ClKernelFunction for ClSpecializedComparer {
+    fn name(&self) -> &str {
+        VariantKind::CharComparer.kernel_name()
+    }
+
+    fn arity(&self) -> usize {
+        8
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        Ok(Box::new(Bound(SpecializedComparerKernel {
+            chr: args[0].as_buf_u8(0)?,
+            loci: args[1].as_buf_u32(1)?,
+            flags: args[2].as_buf_u8(2)?,
+            out: ComparerOutput {
+                mm_count: args[3].as_buf_u16(3)?,
+                direction: args[4].as_buf_u8(4)?,
+                loci: args[5].as_buf_u32(5)?,
+                count: args[6].as_buf_u32(6)?,
+            },
+            locicnt: args[7].as_u32(7)?,
+            variant: Arc::clone(&self.variant),
+        })))
+    }
+}
+
+/// The specialized 2-bit comparer as an OpenCL kernel function.
+///
+/// Argument layout: `packed`, `mask`, then as [`ClSpecializedComparer`]
+/// from index 2 (loci, flag, 4 outputs, locicnts).
+#[derive(Debug, Clone)]
+pub struct ClSpecializedTwoBitComparer {
+    /// The compiled (pattern, threshold) variant this function embodies.
+    pub variant: Arc<CompiledVariant>,
+}
+
+impl ClKernelFunction for ClSpecializedTwoBitComparer {
+    fn name(&self) -> &str {
+        VariantKind::TwoBitComparer.kernel_name()
+    }
+
+    fn arity(&self) -> usize {
+        9
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        Ok(Box::new(Bound(SpecializedTwoBitComparerKernel {
+            packed: args[0].as_buf_u8(0)?,
+            mask: args[1].as_buf_u8(1)?,
+            loci: args[2].as_buf_u32(2)?,
+            flags: args[3].as_buf_u8(3)?,
+            out: ComparerOutput {
+                mm_count: args[4].as_buf_u16(4)?,
+                direction: args[5].as_buf_u8(5)?,
+                loci: args[6].as_buf_u32(6)?,
+                count: args[7].as_buf_u32(7)?,
+            },
+            locicnt: args[8].as_u32(8)?,
+            variant: Arc::clone(&self.variant),
+        })))
+    }
+}
+
+/// The specialized 4-bit comparer as an OpenCL kernel function.
+///
+/// Argument layout: `nibbles`, then as [`ClSpecializedComparer`] from
+/// index 1 (loci, flag, 4 outputs, locicnts).
+#[derive(Debug, Clone)]
+pub struct ClSpecializedFourBitComparer {
+    /// The compiled (pattern, threshold) variant this function embodies.
+    pub variant: Arc<CompiledVariant>,
+}
+
+impl ClKernelFunction for ClSpecializedFourBitComparer {
+    fn name(&self) -> &str {
+        VariantKind::FourBitComparer.kernel_name()
+    }
+
+    fn arity(&self) -> usize {
+        8
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        Ok(Box::new(Bound(SpecializedFourBitComparerKernel {
+            nibbles: args[0].as_buf_u8(0)?,
+            loci: args[1].as_buf_u32(1)?,
+            flags: args[2].as_buf_u8(2)?,
+            out: ComparerOutput {
+                mm_count: args[3].as_buf_u16(3)?,
+                direction: args[4].as_buf_u8(4)?,
+                loci: args[5].as_buf_u32(5)?,
+                count: args[6].as_buf_u32(6)?,
+            },
+            locicnt: args[7].as_u32(7)?,
+            variant: Arc::clone(&self.variant),
+        })))
+    }
+}
+
+/// The specialized nibble finder as an OpenCL kernel function: scans the
+/// nibble words directly, no decode scratch, no pattern arguments.
+///
+/// Argument layout:
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `nibbles` | buffer\<u8\> |
+/// | 1 | `loci` (out) | buffer\<u32\> |
+/// | 2 | `flags` (out) | buffer\<u8\> |
+/// | 3 | `count` (out) | buffer\<u32\> |
+/// | 4 | `scan_len` | u32 |
+/// | 5 | `seq_len` | u32 |
+#[derive(Debug, Clone)]
+pub struct ClSpecializedNibbleFinder {
+    /// The compiled PAM variant (threshold 0) this function embodies.
+    pub variant: Arc<CompiledVariant>,
+}
+
+impl ClKernelFunction for ClSpecializedNibbleFinder {
+    fn name(&self) -> &str {
+        VariantKind::NibbleFinder.kernel_name()
+    }
+
+    fn arity(&self) -> usize {
+        6
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        Ok(Box::new(Bound(SpecializedNibbleFinderKernel {
+            nibbles: args[0].as_buf_u8(0)?,
+            out: FinderOutput {
+                loci: args[1].as_buf_u32(1)?,
+                flags: args[2].as_buf_u8(2)?,
+                count: args[3].as_buf_u32(3)?,
+            },
+            scan_len: args[4].as_u32(4)?,
+            seq_len: args[5].as_u32(5)?,
+            variant: Arc::clone(&self.variant),
         })))
     }
 }

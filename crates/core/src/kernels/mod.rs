@@ -8,11 +8,17 @@ mod ladder;
 mod twobit;
 
 pub mod cl;
+pub mod specialize;
 
 pub use comparer::{run_comparer, ComparerKernel, ComparerOutput};
 pub use finder::{run_finder, FinderKernel, FinderOutput, PackedFinderKernel};
 pub use fourbit::{FourBitComparerKernel, NibbleFinderKernel};
 pub use ladder::{ladder_rank, LADDER};
+pub use specialize::{
+    CompiledVariant, FoldedPattern, SpecializedComparerKernel, SpecializedFourBitComparerKernel,
+    SpecializedNibbleFinderKernel, SpecializedTwoBitComparerKernel, VariantCache,
+    VariantCacheStats, VariantKind,
+};
 pub use twobit::TwoBitComparerKernel;
 
 use std::fmt;

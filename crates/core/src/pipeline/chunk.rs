@@ -22,6 +22,7 @@ use opencl_rt::{
     MemFlags, Program,
 };
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::Arc;
 use sycl_rt::{AccessMode, Buffer, Queue, SpecSelector, SyclResult};
 
@@ -31,11 +32,16 @@ use genome::twobit::PackedSeq;
 
 use crate::input::Query;
 use crate::kernels::cl::{
-    ClComparer, ClFinder, ClFourBitComparer, ClNibbleFinder, ClPackedFinder, ClTwoBitComparer,
+    ClComparer, ClFinder, ClFourBitComparer, ClNibbleFinder, ClPackedFinder,
+    ClSpecializedComparer, ClSpecializedFourBitComparer, ClSpecializedNibbleFinder,
+    ClSpecializedTwoBitComparer, ClTwoBitComparer,
 };
+use crate::kernels::specialize::{self, CompiledVariant, VariantKind};
 use crate::kernels::{
     ComparerKernel, ComparerOutput, FinderKernel, FinderOutput, FourBitComparerKernel,
-    NibbleFinderKernel, OptLevel, PackedFinderKernel, TwoBitComparerKernel,
+    NibbleFinderKernel, OptLevel, PackedFinderKernel, SpecializedComparerKernel,
+    SpecializedFourBitComparerKernel, SpecializedNibbleFinderKernel,
+    SpecializedTwoBitComparerKernel, TwoBitComparerKernel,
 };
 use crate::pattern::CompiledSeq;
 use crate::report::TimingBreakdown;
@@ -93,10 +99,33 @@ struct NibbleSlot {
 /// records with [`super::entries_to_offtargets`].
 pub type QueryEntries = Vec<(u32, u8, u16)>;
 
+/// Unwrap a comparison-table buffer on the generic comparer path. The
+/// buffers are only skipped when the runner specializes, and then the
+/// specialized branch runs instead of this one.
+fn generic_table<T>(buf: &Option<T>) -> &T {
+    buf.as_ref()
+        .expect("generic comparers always have uploaded tables")
+}
+
+/// One prepared OpenCL query: comparison-table buffers (`None` when the
+/// runner specializes) and the mismatch threshold.
+type OclQueryEntry = (Option<ClBuffer<u8>>, Option<ClBuffer<i32>>, u16);
+
 /// Per-query device tables for the OpenCL comparer: the compiled two-strand
 /// sequence, its index table, and the mismatch threshold.
+///
+/// When the runner specializes, the tables also keep each query's
+/// [`CompiledSeq`] (the fold input) and a lazily built per-(query, kind)
+/// one-kernel [`Program`] cache — specialized kernels embed the pattern, so
+/// they cannot be shared across queries the way the generic kernels are.
+/// The comparison-table buffers are `None` in that case: the folded
+/// comparers carry the pattern and guide as immediates and never read
+/// them, so their uploads (two per query per batch, each with a fixed
+/// per-transfer charge) are skipped outright.
 pub struct OclQueryTables {
-    entries: Vec<(ClBuffer<u8>, ClBuffer<i32>, u16)>,
+    entries: Vec<OclQueryEntry>,
+    spec_queries: Vec<CompiledSeq>,
+    spec_kernels: RefCell<HashMap<(usize, VariantKind), (Program, Kernel)>>,
 }
 
 impl OclQueryTables {
@@ -113,8 +142,16 @@ impl OclQueryTables {
     /// Step 13: explicitly release the query buffers.
     pub fn release(self) {
         for (c, ci, _) in self.entries {
-            c.release();
-            ci.release();
+            if let Some(c) = c {
+                c.release();
+            }
+            if let Some(ci) = ci {
+                ci.release();
+            }
+        }
+        for (_, (program, kernel)) in self.spec_kernels.into_inner() {
+            kernel.release();
+            program.release();
         }
     }
 }
@@ -132,6 +169,11 @@ pub struct OclChunkRunner {
     comparer: Kernel,
     comparer_2bit: Kernel,
     comparer_4bit: Kernel,
+    /// The specialized nibble finder, present when the runner specializes:
+    /// the PAM pattern is known at construction, so its variant lives in the
+    /// main program rather than a per-query one.
+    spec_finder_nibble: Option<Kernel>,
+    specialize: bool,
     pattern: CompiledSeq,
     chr: ClBuffer<u8>,
     chr_token: Cell<Option<u64>>,
@@ -165,13 +207,21 @@ impl OclChunkRunner {
         let ctx = Context::with_mode(&[device_id], config.exec)?;
         let queue = CommandQueue::new(&ctx, 0)?;
 
-        let source = KernelSource::new()
+        let pattern = CompiledSeq::compile(pattern_seq);
+        let plen = pattern.plen();
+
+        let mut source = KernelSource::new()
             .with_function(Arc::new(ClFinder))
             .with_function(Arc::new(ClPackedFinder))
             .with_function(Arc::new(ClNibbleFinder))
             .with_function(Arc::new(ClComparer::new(config.opt)))
             .with_function(Arc::new(ClTwoBitComparer))
             .with_function(Arc::new(ClFourBitComparer));
+        if config.specialize {
+            let variant =
+                specialize::global_cache().get_or_compile(VariantKind::NibbleFinder, &pattern, 0);
+            source = source.with_function(Arc::new(ClSpecializedNibbleFinder { variant }));
+        }
         let program = Program::create_with_source(&ctx, source);
         program.build("-O3")?;
         let finder = program.create_kernel("finder")?;
@@ -180,9 +230,11 @@ impl OclChunkRunner {
         let comparer = program.create_kernel("comparer")?;
         let comparer_2bit = program.create_kernel("comparer_2bit")?;
         let comparer_4bit = program.create_kernel("comparer_4bit")?;
-
-        let pattern = CompiledSeq::compile(pattern_seq);
-        let plen = pattern.plen();
+        let spec_finder_nibble = if config.specialize {
+            Some(program.create_kernel(VariantKind::NibbleFinder.kernel_name())?)
+        } else {
+            None
+        };
         let cap = config.chunk_size;
 
         let chr = ClBuffer::<u8>::create(&ctx, MemFlags::ReadWrite, cap + plen)?;
@@ -243,6 +295,8 @@ impl OclChunkRunner {
             comparer,
             comparer_2bit,
             comparer_4bit,
+            spec_finder_nibble,
+            specialize: config.specialize,
             pattern,
             chr,
             chr_token: Cell::new(None),
@@ -277,18 +331,74 @@ impl OclChunkRunner {
     ///
     /// Propagates allocation failures.
     pub fn prepare_queries(&self, queries: &[Query]) -> ClResult<OclQueryTables> {
+        let mut spec_queries = Vec::new();
         let entries = queries
             .iter()
             .map(|q| {
                 let c = CompiledSeq::compile(&q.seq);
-                Ok((
-                    ClBuffer::create_with_data(&self.ctx, MemFlags::ReadOnly, c.comp())?,
-                    ClBuffer::create_with_data(&self.ctx, MemFlags::ReadOnly, c.comp_index())?,
-                    q.max_mismatches,
-                ))
+                // Specialized comparers fold the compiled sequence into the
+                // kernel body, so the table uploads would be dead weight.
+                // The generic path pays them through the queue — two real
+                // `clEnqueueWriteBuffer` transfers per query, the same
+                // traffic the SYCL accessors charge implicitly.
+                let e = if self.specialize {
+                    (None, None, q.max_mismatches)
+                } else {
+                    let comp_buf =
+                        ClBuffer::create(&self.ctx, MemFlags::ReadOnly, c.comp().len())?;
+                    let comp_index_buf =
+                        ClBuffer::create(&self.ctx, MemFlags::ReadOnly, c.comp_index().len())?;
+                    self.queue.enqueue_write_buffer(&comp_buf, true, 0, c.comp())?;
+                    self.queue
+                        .enqueue_write_buffer(&comp_index_buf, true, 0, c.comp_index())?;
+                    (Some(comp_buf), Some(comp_index_buf), q.max_mismatches)
+                };
+                if self.specialize {
+                    spec_queries.push(c);
+                }
+                Ok(e)
             })
             .collect::<ClResult<_>>()?;
-        Ok(OclQueryTables { entries })
+        Ok(OclQueryTables {
+            entries,
+            spec_queries,
+            spec_kernels: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Fetch (building on first use) the specialized comparer kernel for
+    /// query `qi` of `tables`. The variant comes from the process-wide
+    /// single-flight cache; the per-query one-kernel program is cached in
+    /// the tables so repeated chunks over the same batch reuse it.
+    fn spec_kernel<'m>(
+        &self,
+        map: &'m mut HashMap<(usize, VariantKind), (Program, Kernel)>,
+        tables_queries: &[CompiledSeq],
+        qi: usize,
+        kind: VariantKind,
+        threshold: u16,
+    ) -> ClResult<&'m Kernel> {
+        use std::collections::hash_map::Entry;
+        match map.entry((qi, kind)) {
+            Entry::Occupied(e) => Ok(&e.into_mut().1),
+            Entry::Vacant(v) => {
+                let variant =
+                    specialize::global_cache().get_or_compile(kind, &tables_queries[qi], threshold);
+                let f: Arc<dyn opencl_rt::ClKernelFunction> = match kind {
+                    VariantKind::CharComparer => Arc::new(ClSpecializedComparer { variant }),
+                    VariantKind::TwoBitComparer => Arc::new(ClSpecializedTwoBitComparer { variant }),
+                    VariantKind::FourBitComparer => {
+                        Arc::new(ClSpecializedFourBitComparer { variant })
+                    }
+                    VariantKind::NibbleFinder => Arc::new(ClSpecializedNibbleFinder { variant }),
+                };
+                let program =
+                    Program::create_with_source(&self.ctx, KernelSource::new().with_function(f));
+                program.build("-O3")?;
+                let kernel = program.create_kernel(kind.kernel_name())?;
+                Ok(&v.insert((program, kernel)).1)
+            }
+        }
     }
 
     /// Run one finder→comparer interaction: upload `seq`, select candidate
@@ -706,25 +816,37 @@ impl OclChunkRunner {
         }
         let w2 = self.queue.enqueue_fill_buffer(&self.fcount, 0u32)?;
         timing.transfer_s += w2.duration_s();
-        // The nibble finder decodes over the raw-path scratch below.
-        self.chr_token.set(None);
-
-        let k = &self.finder_nibble;
-        k.set_arg(0, KernelArg::BufU8(slot.nibble_buf.device_buffer()))?;
-        k.set_arg(1, KernelArg::BufU8(self.chr.device_buffer()))?;
-        k.set_arg(2, KernelArg::BufU8(self.pat.device_buffer()))?;
-        k.set_arg(3, KernelArg::BufI32(self.pat_index.device_buffer()))?;
-        k.set_arg(4, KernelArg::BufU32(self.loci.device_buffer()))?;
-        k.set_arg(5, KernelArg::BufU8(self.flags.device_buffer()))?;
-        k.set_arg(6, KernelArg::BufU32(self.fcount.device_buffer()))?;
-        k.set_arg(7, KernelArg::U32(scan_len as u32))?;
-        k.set_arg(8, KernelArg::U32(seq_len as u32))?;
-        k.set_arg(9, KernelArg::U32(plen as u32))?;
-        k.set_arg(10, KernelArg::Local { bytes: 2 * plen })?;
-        k.set_arg(11, KernelArg::Local { bytes: 8 * plen })?;
 
         let gws = round_up(scan_len, self.rounding);
-        let ev = self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?;
+        let ev = if let Some(k) = &self.spec_finder_nibble {
+            // The specialized finder scans the nibble words directly, so the
+            // raw-path `chr` scratch stays untouched (and stays valid).
+            k.set_arg(0, KernelArg::BufU8(slot.nibble_buf.device_buffer()))?;
+            k.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
+            k.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
+            k.set_arg(3, KernelArg::BufU32(self.fcount.device_buffer()))?;
+            k.set_arg(4, KernelArg::U32(scan_len as u32))?;
+            k.set_arg(5, KernelArg::U32(seq_len as u32))?;
+            self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?
+        } else {
+            // The nibble finder decodes over the raw-path scratch below.
+            self.chr_token.set(None);
+
+            let k = &self.finder_nibble;
+            k.set_arg(0, KernelArg::BufU8(slot.nibble_buf.device_buffer()))?;
+            k.set_arg(1, KernelArg::BufU8(self.chr.device_buffer()))?;
+            k.set_arg(2, KernelArg::BufU8(self.pat.device_buffer()))?;
+            k.set_arg(3, KernelArg::BufI32(self.pat_index.device_buffer()))?;
+            k.set_arg(4, KernelArg::BufU32(self.loci.device_buffer()))?;
+            k.set_arg(5, KernelArg::BufU8(self.flags.device_buffer()))?;
+            k.set_arg(6, KernelArg::BufU32(self.fcount.device_buffer()))?;
+            k.set_arg(7, KernelArg::U32(scan_len as u32))?;
+            k.set_arg(8, KernelArg::U32(seq_len as u32))?;
+            k.set_arg(9, KernelArg::U32(plen as u32))?;
+            k.set_arg(10, KernelArg::Local { bytes: 2 * plen })?;
+            k.set_arg(11, KernelArg::Local { bytes: 8 * plen })?;
+            self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?
+        };
         ev.wait();
         timing.finder_s += ev
             .launch_report()
@@ -759,27 +881,48 @@ impl OclChunkRunner {
         per_query: &mut [QueryEntries],
     ) -> ClResult<()> {
         let plen = self.pattern.plen();
-        for (out, (comp, comp_index, threshold)) in per_query.iter_mut().zip(&tables.entries) {
+        for (qi, (out, (comp, comp_index, threshold))) in
+            per_query.iter_mut().zip(&tables.entries).enumerate()
+        {
             let wz = self.queue.enqueue_fill_buffer(&self.ecount, 0u32)?;
             timing.transfer_s += wz.duration_s();
 
-            self.comparer.set_arg(0, KernelArg::BufU8(self.chr.device_buffer()))?;
-            self.comparer.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
-            self.comparer.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
-            self.comparer.set_arg(3, KernelArg::BufU8(comp.device_buffer()))?;
-            self.comparer.set_arg(4, KernelArg::BufI32(comp_index.device_buffer()))?;
-            self.comparer.set_arg(5, KernelArg::U32(n as u32))?;
-            self.comparer.set_arg(6, KernelArg::U32(plen as u32))?;
-            self.comparer.set_arg(7, KernelArg::U16(*threshold))?;
-            self.comparer.set_arg(8, KernelArg::BufU16(self.mm_count.device_buffer()))?;
-            self.comparer.set_arg(9, KernelArg::BufU8(self.direction.device_buffer()))?;
-            self.comparer.set_arg(10, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
-            self.comparer.set_arg(11, KernelArg::BufU32(self.ecount.device_buffer()))?;
-            self.comparer.set_arg(12, KernelArg::Local { bytes: 2 * plen })?;
-            self.comparer.set_arg(13, KernelArg::Local { bytes: 8 * plen })?;
-
             let gws = round_up(n, self.rounding);
-            let ev = self.queue.enqueue_nd_range_kernel(&self.comparer, gws, self.lws)?;
+            let ev = if self.specialize && !tables.spec_queries.is_empty() {
+                let mut map = tables.spec_kernels.borrow_mut();
+                let k = self.spec_kernel(
+                    &mut map,
+                    &tables.spec_queries,
+                    qi,
+                    VariantKind::CharComparer,
+                    *threshold,
+                )?;
+                k.set_arg(0, KernelArg::BufU8(self.chr.device_buffer()))?;
+                k.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
+                k.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
+                k.set_arg(3, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+                k.set_arg(4, KernelArg::BufU8(self.direction.device_buffer()))?;
+                k.set_arg(5, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+                k.set_arg(6, KernelArg::BufU32(self.ecount.device_buffer()))?;
+                k.set_arg(7, KernelArg::U32(n as u32))?;
+                self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?
+            } else {
+                self.comparer.set_arg(0, KernelArg::BufU8(self.chr.device_buffer()))?;
+                self.comparer.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
+                self.comparer.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
+                self.comparer.set_arg(3, KernelArg::BufU8(generic_table(comp).device_buffer()))?;
+                self.comparer.set_arg(4, KernelArg::BufI32(generic_table(comp_index).device_buffer()))?;
+                self.comparer.set_arg(5, KernelArg::U32(n as u32))?;
+                self.comparer.set_arg(6, KernelArg::U32(plen as u32))?;
+                self.comparer.set_arg(7, KernelArg::U16(*threshold))?;
+                self.comparer.set_arg(8, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+                self.comparer.set_arg(9, KernelArg::BufU8(self.direction.device_buffer()))?;
+                self.comparer.set_arg(10, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+                self.comparer.set_arg(11, KernelArg::BufU32(self.ecount.device_buffer()))?;
+                self.comparer.set_arg(12, KernelArg::Local { bytes: 2 * plen })?;
+                self.comparer.set_arg(13, KernelArg::Local { bytes: 8 * plen })?;
+                self.queue.enqueue_nd_range_kernel(&self.comparer, gws, self.lws)?
+            };
             ev.wait();
             timing.comparer_s += ev
                 .launch_report()
@@ -825,29 +968,51 @@ impl OclChunkRunner {
         per_query: &mut [QueryEntries],
     ) -> ClResult<()> {
         let plen = self.pattern.plen();
-        for (out, (comp, comp_index, threshold)) in per_query.iter_mut().zip(&tables.entries) {
+        for (qi, (out, (comp, comp_index, threshold))) in
+            per_query.iter_mut().zip(&tables.entries).enumerate()
+        {
             let wz = self.queue.enqueue_fill_buffer(&self.ecount, 0u32)?;
             timing.transfer_s += wz.duration_s();
 
-            let k = &self.comparer_2bit;
-            k.set_arg(0, KernelArg::BufU8(slot.packed_buf.device_buffer()))?;
-            k.set_arg(1, KernelArg::BufU8(slot.mask_buf.device_buffer()))?;
-            k.set_arg(2, KernelArg::BufU32(self.loci.device_buffer()))?;
-            k.set_arg(3, KernelArg::BufU8(self.flags.device_buffer()))?;
-            k.set_arg(4, KernelArg::BufU8(comp.device_buffer()))?;
-            k.set_arg(5, KernelArg::BufI32(comp_index.device_buffer()))?;
-            k.set_arg(6, KernelArg::U32(n as u32))?;
-            k.set_arg(7, KernelArg::U32(plen as u32))?;
-            k.set_arg(8, KernelArg::U16(*threshold))?;
-            k.set_arg(9, KernelArg::BufU16(self.mm_count.device_buffer()))?;
-            k.set_arg(10, KernelArg::BufU8(self.direction.device_buffer()))?;
-            k.set_arg(11, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
-            k.set_arg(12, KernelArg::BufU32(self.ecount.device_buffer()))?;
-            k.set_arg(13, KernelArg::Local { bytes: 2 * plen })?;
-            k.set_arg(14, KernelArg::Local { bytes: 8 * plen })?;
-
             let gws = round_up(n, self.rounding);
-            let ev = self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?;
+            let ev = if self.specialize && !tables.spec_queries.is_empty() {
+                let mut map = tables.spec_kernels.borrow_mut();
+                let k = self.spec_kernel(
+                    &mut map,
+                    &tables.spec_queries,
+                    qi,
+                    VariantKind::TwoBitComparer,
+                    *threshold,
+                )?;
+                k.set_arg(0, KernelArg::BufU8(slot.packed_buf.device_buffer()))?;
+                k.set_arg(1, KernelArg::BufU8(slot.mask_buf.device_buffer()))?;
+                k.set_arg(2, KernelArg::BufU32(self.loci.device_buffer()))?;
+                k.set_arg(3, KernelArg::BufU8(self.flags.device_buffer()))?;
+                k.set_arg(4, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+                k.set_arg(5, KernelArg::BufU8(self.direction.device_buffer()))?;
+                k.set_arg(6, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+                k.set_arg(7, KernelArg::BufU32(self.ecount.device_buffer()))?;
+                k.set_arg(8, KernelArg::U32(n as u32))?;
+                self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?
+            } else {
+                let k = &self.comparer_2bit;
+                k.set_arg(0, KernelArg::BufU8(slot.packed_buf.device_buffer()))?;
+                k.set_arg(1, KernelArg::BufU8(slot.mask_buf.device_buffer()))?;
+                k.set_arg(2, KernelArg::BufU32(self.loci.device_buffer()))?;
+                k.set_arg(3, KernelArg::BufU8(self.flags.device_buffer()))?;
+                k.set_arg(4, KernelArg::BufU8(generic_table(comp).device_buffer()))?;
+                k.set_arg(5, KernelArg::BufI32(generic_table(comp_index).device_buffer()))?;
+                k.set_arg(6, KernelArg::U32(n as u32))?;
+                k.set_arg(7, KernelArg::U32(plen as u32))?;
+                k.set_arg(8, KernelArg::U16(*threshold))?;
+                k.set_arg(9, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+                k.set_arg(10, KernelArg::BufU8(self.direction.device_buffer()))?;
+                k.set_arg(11, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+                k.set_arg(12, KernelArg::BufU32(self.ecount.device_buffer()))?;
+                k.set_arg(13, KernelArg::Local { bytes: 2 * plen })?;
+                k.set_arg(14, KernelArg::Local { bytes: 8 * plen })?;
+                self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?
+            };
             ev.wait();
             timing.comparer_s += ev
                 .launch_report()
@@ -893,28 +1058,49 @@ impl OclChunkRunner {
         per_query: &mut [QueryEntries],
     ) -> ClResult<()> {
         let plen = self.pattern.plen();
-        for (out, (comp, comp_index, threshold)) in per_query.iter_mut().zip(&tables.entries) {
+        for (qi, (out, (comp, comp_index, threshold))) in
+            per_query.iter_mut().zip(&tables.entries).enumerate()
+        {
             let wz = self.queue.enqueue_fill_buffer(&self.ecount, 0u32)?;
             timing.transfer_s += wz.duration_s();
 
-            let k = &self.comparer_4bit;
-            k.set_arg(0, KernelArg::BufU8(slot.nibble_buf.device_buffer()))?;
-            k.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
-            k.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
-            k.set_arg(3, KernelArg::BufU8(comp.device_buffer()))?;
-            k.set_arg(4, KernelArg::BufI32(comp_index.device_buffer()))?;
-            k.set_arg(5, KernelArg::U32(n as u32))?;
-            k.set_arg(6, KernelArg::U32(plen as u32))?;
-            k.set_arg(7, KernelArg::U16(*threshold))?;
-            k.set_arg(8, KernelArg::BufU16(self.mm_count.device_buffer()))?;
-            k.set_arg(9, KernelArg::BufU8(self.direction.device_buffer()))?;
-            k.set_arg(10, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
-            k.set_arg(11, KernelArg::BufU32(self.ecount.device_buffer()))?;
-            k.set_arg(12, KernelArg::Local { bytes: 2 * plen })?;
-            k.set_arg(13, KernelArg::Local { bytes: 8 * plen })?;
-
             let gws = round_up(n, self.rounding);
-            let ev = self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?;
+            let ev = if self.specialize && !tables.spec_queries.is_empty() {
+                let mut map = tables.spec_kernels.borrow_mut();
+                let k = self.spec_kernel(
+                    &mut map,
+                    &tables.spec_queries,
+                    qi,
+                    VariantKind::FourBitComparer,
+                    *threshold,
+                )?;
+                k.set_arg(0, KernelArg::BufU8(slot.nibble_buf.device_buffer()))?;
+                k.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
+                k.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
+                k.set_arg(3, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+                k.set_arg(4, KernelArg::BufU8(self.direction.device_buffer()))?;
+                k.set_arg(5, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+                k.set_arg(6, KernelArg::BufU32(self.ecount.device_buffer()))?;
+                k.set_arg(7, KernelArg::U32(n as u32))?;
+                self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?
+            } else {
+                let k = &self.comparer_4bit;
+                k.set_arg(0, KernelArg::BufU8(slot.nibble_buf.device_buffer()))?;
+                k.set_arg(1, KernelArg::BufU32(self.loci.device_buffer()))?;
+                k.set_arg(2, KernelArg::BufU8(self.flags.device_buffer()))?;
+                k.set_arg(3, KernelArg::BufU8(generic_table(comp).device_buffer()))?;
+                k.set_arg(4, KernelArg::BufI32(generic_table(comp_index).device_buffer()))?;
+                k.set_arg(5, KernelArg::U32(n as u32))?;
+                k.set_arg(6, KernelArg::U32(plen as u32))?;
+                k.set_arg(7, KernelArg::U16(*threshold))?;
+                k.set_arg(8, KernelArg::BufU16(self.mm_count.device_buffer()))?;
+                k.set_arg(9, KernelArg::BufU8(self.direction.device_buffer()))?;
+                k.set_arg(10, KernelArg::BufU32(self.mm_loci.device_buffer()))?;
+                k.set_arg(11, KernelArg::BufU32(self.ecount.device_buffer()))?;
+                k.set_arg(12, KernelArg::Local { bytes: 2 * plen })?;
+                k.set_arg(13, KernelArg::Local { bytes: 8 * plen })?;
+                self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?
+            };
             ev.wait();
             timing.comparer_s += ev
                 .launch_report()
@@ -974,6 +1160,9 @@ impl OclChunkRunner {
         self.comparer.release();
         self.comparer_2bit.release();
         self.comparer_4bit.release();
+        if let Some(k) = self.spec_finder_nibble {
+            k.release();
+        }
         self.chr.release();
         for slot in self.slots {
             slot.packed_buf.release();
@@ -998,9 +1187,12 @@ impl OclChunkRunner {
     }
 }
 
-/// Per-query device tables for the SYCL comparer.
+/// Per-query device tables for the SYCL comparer. When the runner
+/// specializes, the tables also keep each query's [`CompiledSeq`] so the
+/// comparer stages can fold it into per-(pattern, threshold) variants.
 pub struct SyclQueryTables {
     entries: Vec<(Buffer<u8>, Buffer<i32>, u16)>,
+    spec_queries: Vec<CompiledSeq>,
 }
 
 impl SyclQueryTables {
@@ -1024,6 +1216,12 @@ pub struct SyclChunkRunner {
     pattern: CompiledSeq,
     pat_buf: Buffer<u8>,
     pat_index_buf: Buffer<i32>,
+    /// Prefer JIT-specialized kernel variants (see
+    /// [`crate::kernels::specialize`]); comparer variants are fetched from
+    /// the process-wide cache per (query, threshold) at launch time.
+    specialize: bool,
+    /// The PAM pattern's nibble-finder variant, folded at construction.
+    pam_variant: Option<Arc<CompiledVariant>>,
     opt: OptLevel,
     wgs: usize,
     // Residency: keeping a bound `Buffer` alive *is* residency in the SYCL
@@ -1076,11 +1274,16 @@ impl SyclChunkRunner {
         let pattern = CompiledSeq::compile(pattern_seq);
         let pat_buf = Buffer::from_slice(pattern.comp()).constant();
         let pat_index_buf = Buffer::from_slice(pattern.comp_index()).constant();
+        let pam_variant = config.specialize.then(|| {
+            specialize::global_cache().get_or_compile(VariantKind::NibbleFinder, &pattern, 0)
+        });
         Ok(SyclChunkRunner {
             queue,
             pattern,
             pat_buf,
             pat_index_buf,
+            specialize: config.specialize,
+            pam_variant,
             opt: config.opt,
             wgs: config
                 .work_group_size
@@ -1099,18 +1302,25 @@ impl SyclChunkRunner {
 
     /// Upload the comparer tables for `queries`.
     pub fn prepare_queries(&self, queries: &[Query]) -> SyclQueryTables {
+        let mut spec_queries = Vec::new();
+        let entries = queries
+            .iter()
+            .map(|q| {
+                let c = CompiledSeq::compile(&q.seq);
+                let e = (
+                    Buffer::from_slice(c.comp()),
+                    Buffer::from_slice(c.comp_index()),
+                    q.max_mismatches,
+                );
+                if self.specialize {
+                    spec_queries.push(c);
+                }
+                e
+            })
+            .collect();
         SyclQueryTables {
-            entries: queries
-                .iter()
-                .map(|q| {
-                    let c = CompiledSeq::compile(&q.seq);
-                    (
-                        Buffer::from_slice(c.comp()),
-                        Buffer::from_slice(c.comp_index()),
-                        q.max_mismatches,
-                    )
-                })
-                .collect(),
+            entries,
+            spec_queries,
         }
     }
 
@@ -1497,23 +1707,17 @@ impl SyclChunkRunner {
         let flags_buf = Buffer::<u8>::uninit(scan_len);
         let fcount_buf = Buffer::<u32>::new(1);
 
-        let ev = self.queue.submit(|h| {
-            let nibbles = h.get_access(&nibble_buf, AccessMode::Read)?;
-            let chr = h.get_access(&chr_buf, AccessMode::ReadWrite)?;
-            let pat = h.get_access(&self.pat_buf, AccessMode::Read)?;
-            let pat_index = h.get_access(&self.pat_index_buf, AccessMode::Read)?;
-            let loci = h.get_access(&loci_buf, AccessMode::Write)?;
-            let flags = h.get_access(&flags_buf, AccessMode::Write)?;
-            let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
+        let ev = if let Some(variant) = &self.pam_variant {
+            // The specialized finder scans the nibble words directly; the
+            // decoded `chr` scratch is never produced or read.
+            self.queue.submit(|h| {
+                let nibbles = h.get_access(&nibble_buf, AccessMode::Read)?;
+                let loci = h.get_access(&loci_buf, AccessMode::Write)?;
+                let flags = h.get_access(&flags_buf, AccessMode::Write)?;
+                let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
 
-            let mut layout = LocalLayout::new();
-            let l_pat = layout.array::<u8>(2 * plen);
-            let l_pat_index = layout.array::<i32>(2 * plen);
-            let kernel = NibbleFinderKernel {
-                inner: FinderKernel {
-                    chr: chr.raw(),
-                    pat: pat.raw(),
-                    pat_index: pat_index.raw(),
+                let kernel = SpecializedNibbleFinderKernel {
+                    nibbles: nibbles.raw(),
                     out: FinderOutput {
                         loci: loci.raw(),
                         flags: flags.raw(),
@@ -1521,14 +1725,44 @@ impl SyclChunkRunner {
                     },
                     scan_len: scan_len as u32,
                     seq_len: seq_len as u32,
-                    plen: plen as u32,
-                    l_pat,
-                    l_pat_index,
-                },
-                nibbles: nibbles.raw(),
-            };
-            h.parallel_for(NdRange::linear(round_up(scan_len, wgs), wgs), &kernel)
-        })?;
+                    variant: Arc::clone(variant),
+                };
+                h.parallel_for(NdRange::linear(round_up(scan_len, wgs), wgs), &kernel)
+            })?
+        } else {
+            self.queue.submit(|h| {
+                let nibbles = h.get_access(&nibble_buf, AccessMode::Read)?;
+                let chr = h.get_access(&chr_buf, AccessMode::ReadWrite)?;
+                let pat = h.get_access(&self.pat_buf, AccessMode::Read)?;
+                let pat_index = h.get_access(&self.pat_index_buf, AccessMode::Read)?;
+                let loci = h.get_access(&loci_buf, AccessMode::Write)?;
+                let flags = h.get_access(&flags_buf, AccessMode::Write)?;
+                let fcount = h.get_access(&fcount_buf, AccessMode::ReadWrite)?;
+
+                let mut layout = LocalLayout::new();
+                let l_pat = layout.array::<u8>(2 * plen);
+                let l_pat_index = layout.array::<i32>(2 * plen);
+                let kernel = NibbleFinderKernel {
+                    inner: FinderKernel {
+                        chr: chr.raw(),
+                        pat: pat.raw(),
+                        pat_index: pat_index.raw(),
+                        out: FinderOutput {
+                            loci: loci.raw(),
+                            flags: flags.raw(),
+                            count: fcount.raw(),
+                        },
+                        scan_len: scan_len as u32,
+                        seq_len: seq_len as u32,
+                        plen: plen as u32,
+                        l_pat,
+                        l_pat_index,
+                    },
+                    nibbles: nibbles.raw(),
+                };
+                h.parallel_for(NdRange::linear(round_up(scan_len, wgs), wgs), &kernel)
+            })?
+        };
         ev.wait();
         let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
         timing.finder_s += ev
@@ -1576,49 +1810,81 @@ impl SyclChunkRunner {
     ) -> SyclResult<()> {
         let plen = self.pattern.plen();
         let wgs = self.wgs;
-        for (out, (comp_buf, comp_index_buf, threshold)) in
-            per_query.iter_mut().zip(&tables.entries)
+        for (qi, (out, (comp_buf, comp_index_buf, threshold))) in
+            per_query.iter_mut().zip(&tables.entries).enumerate()
         {
             let out_mm = Buffer::<u16>::uninit(2 * n);
             let out_dir = Buffer::<u8>::uninit(2 * n);
             let out_loci = Buffer::<u32>::uninit(2 * n);
             let out_count = Buffer::<u32>::new(1);
 
-            let ev = self.queue.submit(|h| {
-                let chr = h.get_access(chr_buf, AccessMode::Read)?;
-                let loci = h.get_access(loci_buf, AccessMode::Read)?;
-                let flags = h.get_access(flags_buf, AccessMode::Read)?;
-                let comp = h.get_access(comp_buf, AccessMode::Read)?;
-                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
-                let mm = h.get_access(&out_mm, AccessMode::Write)?;
-                let dir = h.get_access(&out_dir, AccessMode::Write)?;
-                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
-                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+            let ev = if self.specialize && !tables.spec_queries.is_empty() {
+                let variant = specialize::global_cache().get_or_compile(
+                    VariantKind::CharComparer,
+                    &tables.spec_queries[qi],
+                    *threshold,
+                );
+                self.queue.submit(|h| {
+                    let chr = h.get_access(chr_buf, AccessMode::Read)?;
+                    let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                    let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                    let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                    let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                    let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                    let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
 
-                let mut layout = LocalLayout::new();
-                let l_comp = layout.array::<u8>(2 * plen);
-                let l_comp_index = layout.array::<i32>(2 * plen);
-                let kernel = ComparerKernel {
-                    opt: self.opt,
-                    chr: chr.raw(),
-                    loci: loci.raw(),
-                    flags: flags.raw(),
-                    comp: comp.raw(),
-                    comp_index: comp_index.raw(),
-                    locicnt: n as u32,
-                    plen: plen as u32,
-                    threshold: *threshold,
-                    out: ComparerOutput {
-                        mm_count: mm.raw(),
-                        direction: dir.raw(),
-                        loci: mloci.raw(),
-                        count: count.raw(),
-                    },
-                    l_comp,
-                    l_comp_index,
-                };
-                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
-            })?;
+                    let kernel = SpecializedComparerKernel {
+                        chr: chr.raw(),
+                        loci: loci.raw(),
+                        flags: flags.raw(),
+                        locicnt: n as u32,
+                        out: ComparerOutput {
+                            mm_count: mm.raw(),
+                            direction: dir.raw(),
+                            loci: mloci.raw(),
+                            count: count.raw(),
+                        },
+                        variant: Arc::clone(&variant),
+                    };
+                    h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+                })?
+            } else {
+                self.queue.submit(|h| {
+                    let chr = h.get_access(chr_buf, AccessMode::Read)?;
+                    let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                    let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                    let comp = h.get_access(comp_buf, AccessMode::Read)?;
+                    let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
+                    let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                    let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                    let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                    let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+
+                    let mut layout = LocalLayout::new();
+                    let l_comp = layout.array::<u8>(2 * plen);
+                    let l_comp_index = layout.array::<i32>(2 * plen);
+                    let kernel = ComparerKernel {
+                        opt: self.opt,
+                        chr: chr.raw(),
+                        loci: loci.raw(),
+                        flags: flags.raw(),
+                        comp: comp.raw(),
+                        comp_index: comp_index.raw(),
+                        locicnt: n as u32,
+                        plen: plen as u32,
+                        threshold: *threshold,
+                        out: ComparerOutput {
+                            mm_count: mm.raw(),
+                            direction: dir.raw(),
+                            loci: mloci.raw(),
+                            count: count.raw(),
+                        },
+                        l_comp,
+                        l_comp_index,
+                    };
+                    h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+                })?
+            };
             ev.wait();
             let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
             timing.comparer_s += ev
@@ -1678,50 +1944,84 @@ impl SyclChunkRunner {
     ) -> SyclResult<()> {
         let plen = self.pattern.plen();
         let wgs = self.wgs;
-        for (out, (comp_buf, comp_index_buf, threshold)) in
-            per_query.iter_mut().zip(&tables.entries)
+        for (qi, (out, (comp_buf, comp_index_buf, threshold))) in
+            per_query.iter_mut().zip(&tables.entries).enumerate()
         {
             let out_mm = Buffer::<u16>::uninit(2 * n);
             let out_dir = Buffer::<u8>::uninit(2 * n);
             let out_loci = Buffer::<u32>::uninit(2 * n);
             let out_count = Buffer::<u32>::new(1);
 
-            let ev = self.queue.submit(|h| {
-                let packed = h.get_access(packed_buf, AccessMode::Read)?;
-                let mask = h.get_access(mask_buf, AccessMode::Read)?;
-                let loci = h.get_access(loci_buf, AccessMode::Read)?;
-                let flags = h.get_access(flags_buf, AccessMode::Read)?;
-                let comp = h.get_access(comp_buf, AccessMode::Read)?;
-                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
-                let mm = h.get_access(&out_mm, AccessMode::Write)?;
-                let dir = h.get_access(&out_dir, AccessMode::Write)?;
-                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
-                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+            let ev = if self.specialize && !tables.spec_queries.is_empty() {
+                let variant = specialize::global_cache().get_or_compile(
+                    VariantKind::TwoBitComparer,
+                    &tables.spec_queries[qi],
+                    *threshold,
+                );
+                self.queue.submit(|h| {
+                    let packed = h.get_access(packed_buf, AccessMode::Read)?;
+                    let mask = h.get_access(mask_buf, AccessMode::Read)?;
+                    let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                    let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                    let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                    let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                    let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                    let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
 
-                let mut layout = LocalLayout::new();
-                let l_comp = layout.array::<u8>(2 * plen);
-                let l_comp_index = layout.array::<i32>(2 * plen);
-                let kernel = TwoBitComparerKernel {
-                    packed: packed.raw(),
-                    mask: mask.raw(),
-                    loci: loci.raw(),
-                    flags: flags.raw(),
-                    comp: comp.raw(),
-                    comp_index: comp_index.raw(),
-                    locicnt: n as u32,
-                    plen: plen as u32,
-                    threshold: *threshold,
-                    out: ComparerOutput {
-                        mm_count: mm.raw(),
-                        direction: dir.raw(),
-                        loci: mloci.raw(),
-                        count: count.raw(),
-                    },
-                    l_comp,
-                    l_comp_index,
-                };
-                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
-            })?;
+                    let kernel = SpecializedTwoBitComparerKernel {
+                        packed: packed.raw(),
+                        mask: mask.raw(),
+                        loci: loci.raw(),
+                        flags: flags.raw(),
+                        locicnt: n as u32,
+                        out: ComparerOutput {
+                            mm_count: mm.raw(),
+                            direction: dir.raw(),
+                            loci: mloci.raw(),
+                            count: count.raw(),
+                        },
+                        variant: Arc::clone(&variant),
+                    };
+                    h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+                })?
+            } else {
+                self.queue.submit(|h| {
+                    let packed = h.get_access(packed_buf, AccessMode::Read)?;
+                    let mask = h.get_access(mask_buf, AccessMode::Read)?;
+                    let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                    let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                    let comp = h.get_access(comp_buf, AccessMode::Read)?;
+                    let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
+                    let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                    let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                    let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                    let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+
+                    let mut layout = LocalLayout::new();
+                    let l_comp = layout.array::<u8>(2 * plen);
+                    let l_comp_index = layout.array::<i32>(2 * plen);
+                    let kernel = TwoBitComparerKernel {
+                        packed: packed.raw(),
+                        mask: mask.raw(),
+                        loci: loci.raw(),
+                        flags: flags.raw(),
+                        comp: comp.raw(),
+                        comp_index: comp_index.raw(),
+                        locicnt: n as u32,
+                        plen: plen as u32,
+                        threshold: *threshold,
+                        out: ComparerOutput {
+                            mm_count: mm.raw(),
+                            direction: dir.raw(),
+                            loci: mloci.raw(),
+                            count: count.raw(),
+                        },
+                        l_comp,
+                        l_comp_index,
+                    };
+                    h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+                })?
+            };
             ev.wait();
             let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
             timing.comparer_s += ev
@@ -1780,48 +2080,80 @@ impl SyclChunkRunner {
     ) -> SyclResult<()> {
         let plen = self.pattern.plen();
         let wgs = self.wgs;
-        for (out, (comp_buf, comp_index_buf, threshold)) in
-            per_query.iter_mut().zip(&tables.entries)
+        for (qi, (out, (comp_buf, comp_index_buf, threshold))) in
+            per_query.iter_mut().zip(&tables.entries).enumerate()
         {
             let out_mm = Buffer::<u16>::uninit(2 * n);
             let out_dir = Buffer::<u8>::uninit(2 * n);
             let out_loci = Buffer::<u32>::uninit(2 * n);
             let out_count = Buffer::<u32>::new(1);
 
-            let ev = self.queue.submit(|h| {
-                let nibbles = h.get_access(nibble_buf, AccessMode::Read)?;
-                let loci = h.get_access(loci_buf, AccessMode::Read)?;
-                let flags = h.get_access(flags_buf, AccessMode::Read)?;
-                let comp = h.get_access(comp_buf, AccessMode::Read)?;
-                let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
-                let mm = h.get_access(&out_mm, AccessMode::Write)?;
-                let dir = h.get_access(&out_dir, AccessMode::Write)?;
-                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
-                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+            let ev = if self.specialize && !tables.spec_queries.is_empty() {
+                let variant = specialize::global_cache().get_or_compile(
+                    VariantKind::FourBitComparer,
+                    &tables.spec_queries[qi],
+                    *threshold,
+                );
+                self.queue.submit(|h| {
+                    let nibbles = h.get_access(nibble_buf, AccessMode::Read)?;
+                    let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                    let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                    let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                    let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                    let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                    let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
 
-                let mut layout = LocalLayout::new();
-                let l_comp = layout.array::<u8>(2 * plen);
-                let l_comp_index = layout.array::<i32>(2 * plen);
-                let kernel = FourBitComparerKernel {
-                    nibbles: nibbles.raw(),
-                    loci: loci.raw(),
-                    flags: flags.raw(),
-                    comp: comp.raw(),
-                    comp_index: comp_index.raw(),
-                    locicnt: n as u32,
-                    plen: plen as u32,
-                    threshold: *threshold,
-                    out: ComparerOutput {
-                        mm_count: mm.raw(),
-                        direction: dir.raw(),
-                        loci: mloci.raw(),
-                        count: count.raw(),
-                    },
-                    l_comp,
-                    l_comp_index,
-                };
-                h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
-            })?;
+                    let kernel = SpecializedFourBitComparerKernel {
+                        nibbles: nibbles.raw(),
+                        loci: loci.raw(),
+                        flags: flags.raw(),
+                        locicnt: n as u32,
+                        out: ComparerOutput {
+                            mm_count: mm.raw(),
+                            direction: dir.raw(),
+                            loci: mloci.raw(),
+                            count: count.raw(),
+                        },
+                        variant: Arc::clone(&variant),
+                    };
+                    h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+                })?
+            } else {
+                self.queue.submit(|h| {
+                    let nibbles = h.get_access(nibble_buf, AccessMode::Read)?;
+                    let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                    let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                    let comp = h.get_access(comp_buf, AccessMode::Read)?;
+                    let comp_index = h.get_access(comp_index_buf, AccessMode::Read)?;
+                    let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                    let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                    let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                    let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+
+                    let mut layout = LocalLayout::new();
+                    let l_comp = layout.array::<u8>(2 * plen);
+                    let l_comp_index = layout.array::<i32>(2 * plen);
+                    let kernel = FourBitComparerKernel {
+                        nibbles: nibbles.raw(),
+                        loci: loci.raw(),
+                        flags: flags.raw(),
+                        comp: comp.raw(),
+                        comp_index: comp_index.raw(),
+                        locicnt: n as u32,
+                        plen: plen as u32,
+                        threshold: *threshold,
+                        out: ComparerOutput {
+                            mm_count: mm.raw(),
+                            direction: dir.raw(),
+                            loci: mloci.raw(),
+                            count: count.raw(),
+                        },
+                        l_comp,
+                        l_comp_index,
+                    };
+                    h.parallel_for(NdRange::linear(round_up(n, wgs), wgs), &kernel)
+                })?
+            };
             ev.wait();
             let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
             timing.comparer_s += ev
@@ -2429,5 +2761,88 @@ mod tests {
         let mut profile = gpu_sim::profile::Profile::new();
         let seq = vec![b'A'; 64];
         let _ = runner.run_chunk(&seq, 64, &tables, &mut timing, &mut profile);
+    }
+
+    #[test]
+    fn specialized_ocl_runner_is_byte_identical_on_every_encoding() {
+        let (asm, input) = toy_exception_dense();
+        let cfg = config();
+        let generic = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let spec = OclChunkRunner::new(&cfg.clone().specialize(true), &input.pattern).unwrap();
+        let gt = generic.prepare_queries(&input.queries).unwrap();
+        let st = spec.prepare_queries(&input.queries).unwrap();
+        let plen = generic.plen();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let g = generic
+                .run_chunk(chunk.seq, chunk.scan_len, &gt, &mut timing, &mut profile)
+                .unwrap();
+            let s = spec
+                .run_chunk(chunk.seq, chunk.scan_len, &st, &mut timing, &mut profile)
+                .unwrap();
+            assert_eq!(s, g, "specialized char path must be byte-identical");
+
+            let packed = PackedSeq::encode(chunk.seq);
+            let g = generic
+                .run_packed_chunk(&packed, chunk.scan_len, &gt, &mut timing, &mut profile)
+                .unwrap();
+            let s = spec
+                .run_packed_chunk(&packed, chunk.scan_len, &st, &mut timing, &mut profile)
+                .unwrap();
+            assert_eq!(s, g, "specialized 2-bit path must be byte-identical");
+
+            let nibble = NibbleSeq::encode(chunk.seq);
+            let g = generic
+                .run_nibble_chunk(&nibble, chunk.scan_len, &gt, &mut timing, &mut profile)
+                .unwrap();
+            let s = spec
+                .run_nibble_chunk(&nibble, chunk.scan_len, &st, &mut timing, &mut profile)
+                .unwrap();
+            assert_eq!(s, g, "specialized nibble path must be byte-identical");
+        }
+        gt.release();
+        st.release();
+        generic.release();
+        spec.release();
+    }
+
+    #[test]
+    fn specialized_sycl_runner_reproduces_the_serial_pipeline() {
+        let (asm, input) = toy_exception_dense();
+        let cfg = config().specialize(true);
+        let runner = SyclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries);
+        let plen = runner.plen();
+        let mut timing = TimingBreakdown::default();
+        let mut profile = gpu_sim::profile::Profile::new();
+        let mut offtargets = Vec::new();
+        for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let raw = runner
+                .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            let packed = PackedSeq::encode(chunk.seq);
+            let on_packed = runner
+                .run_packed_chunk(&packed, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            assert_eq!(on_packed, raw, "specialized 2-bit path must match char");
+            let nibble = NibbleSeq::encode(chunk.seq);
+            let on_nibble = runner
+                .run_nibble_chunk(&nibble, chunk.scan_len, &tables, &mut timing, &mut profile)
+                .unwrap();
+            assert_eq!(on_nibble, raw, "specialized nibble path must match char");
+            for (query, entries) in input.queries.iter().zip(&raw) {
+                entries_to_offtargets(&chunk, &query.seq, plen, entries, &mut offtargets);
+            }
+        }
+        runner.wait();
+        sort_canonical(&mut offtargets);
+        assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
     }
 }

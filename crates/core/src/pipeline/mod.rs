@@ -41,6 +41,11 @@ pub struct PipelineConfig {
     /// `run_*_resident` entry points of the chunk runners — the serial
     /// pipelines stream chunks exactly once and are unaffected.
     pub resident_slots: usize,
+    /// Prefer JIT-specialized per-(pattern, threshold) kernel variants over
+    /// the generic kernels in the chunk runners
+    /// ([`crate::kernels::specialize`]). Variants are fetched from the
+    /// process-wide single-flight cache; results are identical either way.
+    pub specialize: bool,
 }
 
 impl PipelineConfig {
@@ -54,6 +59,7 @@ impl PipelineConfig {
             work_group_size: None,
             exec: ExecMode::default(),
             resident_slots: 1,
+            specialize: false,
         }
     }
 
@@ -84,6 +90,12 @@ impl PipelineConfig {
     /// Set the resident chunk-payload budget of the chunk runners.
     pub fn resident_slots(mut self, slots: usize) -> Self {
         self.resident_slots = slots;
+        self
+    }
+
+    /// Enable or disable JIT-specialized kernel variants.
+    pub fn specialize(mut self, on: bool) -> Self {
+        self.specialize = on;
         self
     }
 }

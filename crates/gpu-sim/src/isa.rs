@@ -78,6 +78,7 @@ pub struct CodeModel {
     cached_local_regs: u32,
     atomic_output: bool,
     extra_valu: u32,
+    folded_pattern: u32,
 }
 
 impl CodeModel {
@@ -97,6 +98,7 @@ impl CodeModel {
             cached_local_regs: 0,
             atomic_output: false,
             extra_valu: 0,
+            folded_pattern: 0,
         }
     }
 
@@ -178,6 +180,20 @@ impl CodeModel {
     /// structural fields (used by non-comparer kernels).
     pub fn extra_valu(mut self, n: u32) -> Self {
         self.extra_valu = n;
+        self
+    }
+
+    /// Number of pattern positions constant-folded into the kernel as
+    /// immediate operands (JIT specialization). When non-zero, each guarded
+    /// block lowers to a fully-unrolled compare body instead of the
+    /// staged-ladder loop: one immediate compare per position (no pattern
+    /// loads, no `ds_read` sites, no loop bookkeeping), a coalesced
+    /// reference-window load every four positions, and a literal-threshold
+    /// early exit every eight. `ladder_arms`, `staging` and
+    /// `cached_local_regs` normally stay zero on folded models — the ladder
+    /// is what folding deletes.
+    pub fn folded_pattern(mut self, positions: u32) -> Self {
+        self.folded_pattern = positions;
         self
     }
 }
@@ -466,6 +482,42 @@ pub fn compile_program(model: &CodeModel) -> Program {
         e.salu("s_or_b64 vcc, scc0, scc1");
         e.branch("s_cbranch_vccz .Lnext_block");
         e.branch("s_cbranch_execz .Lnext_block");
+
+        if m.folded_pattern > 0 {
+            // Constant-folded compare body: the per-position base-set masks
+            // are immediate operands, the known pattern length unrolls the
+            // loop away entirely, and the folded mismatch threshold is a
+            // literal early-exit trip point. No pattern-buffer loads, no
+            // `ds_read` sites, no loop bookkeeping.
+            e.salu("s_mov_b32 s_mm, 0 ; folded body");
+            for p in 0..m.folded_pattern {
+                if p % 4 == 0 {
+                    e.vmem(format!("global_load_dword v_win, v_ref, s_chr ; window +{p}"));
+                    e.wait();
+                }
+                e.vop3(format!("v_cmp_class_u8 vcc, v_win, lit_mask{p} ; folded position {p}"));
+                e.valu("v_addc_u32 v_mm, v_mm, 0");
+                if p % 8 == 7 {
+                    e.branch("s_cbranch_vccnz .Lfolded_exit ; literal threshold trip");
+                }
+            }
+            e.valu("v_cmp_gt_u32 vcc, v_mm, lit_threshold");
+            e.branch("s_cbranch_vccnz .Lnext_block");
+            if m.atomic_output {
+                e.vmem("global_atomic_add v_slot, v_one, s_entrycount glc");
+                e.wait();
+                e.vmem("global_store_short v_slot, v_mm, s_mm_count");
+                e.valu("v_lshlrev_b32 v_off, 1, v_slot");
+                e.vmem("global_store_byte v_slot, v_dir, s_direction");
+                e.valu("v_mov_b32 v_dir, lit_plus");
+                e.vmem("global_store_dword v_slot, v_loci, s_mm_loci");
+                e.valu("v_lshlrev_b32 v_off, 2, v_slot");
+                e.salu("s_mov_b64 s_store_base, s[8:9]");
+                e.salu("s_mov_b64 s_store_base2, s[10:11]");
+            }
+            continue;
+        }
+
         // Mismatch loop control.
         e.salu("s_mov_b32 s_j, 0");
         e.salu("s_mov_b32 s_mm, 0");
@@ -763,6 +815,78 @@ mod tests {
         assert!(r.code_bytes > 100);
         assert!(r.vgprs >= 34);
         assert_eq!(r.lds_bytes, 0);
+    }
+
+    /// A constant-folded comparer variant: no pattern buffers (the masks
+    /// are immediates), no staging, no ladder; the threshold and length are
+    /// folded so only one scalar argument (the candidate count) remains.
+    fn folded_comparer(plen: u32) -> CodeModel {
+        CodeModel::new("comparer-spec")
+            .pointer_args(7)
+            .scalar_args(1)
+            .noalias(true)
+            .cached_global_scalars(2)
+            .guarded_blocks(2)
+            .atomic_output(true)
+            .folded_pattern(plen)
+    }
+
+    #[test]
+    fn folded_variants_strictly_reduce_code_bytes_and_never_lower_occupancy() {
+        use crate::occupancy::occupancy;
+        use crate::{DeviceSpec, NdRange};
+
+        let nd = NdRange::linear(8192, 64);
+        for opt in 0..=4 {
+            let generic = compile(&comparer_variant(opt));
+            for plen in [11u32, 23, 31] {
+                let folded = compile(&folded_comparer(plen));
+                assert!(
+                    folded.code_bytes < generic.code_bytes,
+                    "plen {plen}: folded {} B must beat generic opt{opt} {} B",
+                    folded.code_bytes,
+                    generic.code_bytes
+                );
+                for spec in [
+                    DeviceSpec::radeon_vii(),
+                    DeviceSpec::mi60(),
+                    DeviceSpec::mi100(),
+                ] {
+                    let waves_folded = occupancy(&folded, &nd, &spec).waves_per_simd;
+                    let waves_generic = occupancy(&generic, &nd, &spec).waves_per_simd;
+                    assert!(
+                        waves_folded >= waves_generic,
+                        "{}: folded {waves_folded} waves < generic opt{opt} {waves_generic}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folded_code_bytes_grow_with_the_folded_length() {
+        let short = compile(&folded_comparer(11)).code_bytes;
+        let long = compile(&folded_comparer(23)).code_bytes;
+        assert!(long > short, "{long} vs {short}");
+    }
+
+    #[test]
+    fn folded_stream_has_immediates_and_no_pattern_reads() {
+        let program = compile_program(&folded_comparer(23));
+        let text = program.disassemble();
+        assert!(text.contains("folded position 0"));
+        assert!(text.contains("folded position 22"));
+        assert!(text.contains("literal threshold trip"));
+        assert!(!text.contains("ds_read"), "folded bodies load no pattern:\n{text}");
+        assert!(!text.contains("alias reissue"));
+        let from_stream: u32 = program
+            .sections()
+            .iter()
+            .flat_map(|(_, v)| v.iter())
+            .map(Instr::bytes)
+            .sum();
+        assert_eq!(from_stream, program.resources().code_bytes);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! path's prediction error (0.52 mean |predicted − measured| / busy) was
 //! nearly three times the raw path's because those constants were fit to
 //! the raw kernels. This module replaces them with measurements taken
-//! through the real chunk runner at first use of a `(device, chunk size,
-//! opt)` triple:
+//! through the real chunk runner of the device's own API at first use of
+//! a `(device, chunk size, opt, specialize, api)` key:
 //!
 //! * per-kernel seconds-per-work-unit for the finder and comparer of each
 //!   payload class, read from the simulator's per-kernel [`Profile`];
@@ -32,9 +32,9 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
-use cas_offinder::pipeline::chunk::OclChunkRunner;
+use cas_offinder::pipeline::chunk::{OclChunkRunner, SyclChunkRunner};
 use cas_offinder::pipeline::PipelineConfig;
-use cas_offinder::{OptLevel, Query, TimingBreakdown};
+use cas_offinder::{Api, OptLevel, Query, TimingBreakdown};
 use genome::fourbit::NibbleSeq;
 use genome::rng::Xoshiro256;
 use genome::twobit::PackedSeq;
@@ -89,18 +89,30 @@ pub(crate) struct KernelRates {
 
 /// Rates for `spec`'s device serving `chunk_size`-position batches with
 /// the comparer compiled at `opt`, measuring on first use and memoized
-/// thereafter. Probes run through the OpenCL chunk runner; the SYCL
-/// pipeline drives the same simulated kernels on the same device model,
-/// and the scheduler's per-device bias EWMA absorbs the residual flavour
-/// difference.
-pub(crate) fn kernel_rates(spec: &DeviceSpec, chunk_size: usize, opt: OptLevel) -> KernelRates {
-    type Key = (&'static str, usize, OptLevel);
+/// thereafter. Probes run through the chunk runner of the device's own
+/// `api`: the OpenCL and SYCL hosts pay different fixed costs per batch
+/// (explicit `clEnqueueWriteBuffer` query-table uploads versus implicit
+/// first-access accessor transfers, different launch sequences), and a
+/// single multiplicative bias cannot fit both across varying coalescing
+/// widths — so each API gets rates measured through its own host path.
+/// With `specialize` the probe runner prefers the JIT-specialized
+/// per-(pattern, threshold) kernel variants, so the measured rates price
+/// the specialized code the serving workers actually launch — a separate
+/// memo entry from the generic rates.
+pub(crate) fn kernel_rates(
+    spec: &DeviceSpec,
+    chunk_size: usize,
+    opt: OptLevel,
+    specialize: bool,
+    api: Api,
+) -> KernelRates {
+    type Key = (&'static str, usize, OptLevel, bool, Api);
     static CACHE: OnceLock<Mutex<HashMap<Key, KernelRates>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut cache = cache.lock().unwrap();
     *cache
-        .entry((spec.name, chunk_size, opt))
-        .or_insert_with(|| measure(spec, chunk_size, opt))
+        .entry((spec.name, chunk_size, opt, specialize, api))
+        .or_insert_with(|| measure(spec, chunk_size, opt, specialize, api))
 }
 
 /// One probe batch, measured the way the serving workers measure: device
@@ -119,8 +131,16 @@ enum ProbePayload<'a> {
     Nibble(&'a NibbleSeq),
 }
 
+/// The chunk runner a probe drives: the same host path the serving
+/// worker for that API uses, so the measured costs include each flavour's
+/// own fixed overheads.
+enum ProbeRunner {
+    Ocl(Box<OclChunkRunner>),
+    Sycl(Box<SyclChunkRunner>),
+}
+
 fn probe(
-    runner: &OclChunkRunner,
+    runner: &ProbeRunner,
     scan: usize,
     payload: &ProbePayload<'_>,
     queries: &[Query],
@@ -128,44 +148,87 @@ fn probe(
 ) -> ProbeRun {
     let mut timing = TimingBreakdown::default();
     let mut profile = Profile::new();
-    let before = runner.elapsed_s();
-    let tables = runner
-        .prepare_queries(queries)
-        .expect("simulated buffer upload cannot fail");
-    match (payload, resident_token) {
-        (ProbePayload::Packed(p), Some(t)) => {
-            runner
-                .run_packed_chunk_resident(t, p, scan, &tables, &mut timing, &mut profile)
-                .expect("simulated probe launch cannot fail");
+    let elapsed_s = match runner {
+        ProbeRunner::Ocl(runner) => {
+            let before = runner.elapsed_s();
+            let tables = runner
+                .prepare_queries(queries)
+                .expect("simulated buffer upload cannot fail");
+            match (payload, resident_token) {
+                (ProbePayload::Packed(p), Some(t)) => {
+                    runner
+                        .run_packed_chunk_resident(t, p, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Packed(p), None) => {
+                    runner
+                        .run_packed_chunk(p, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Nibble(n), Some(t)) => {
+                    runner
+                        .run_nibble_chunk_resident(t, n, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Nibble(n), None) => {
+                    runner
+                        .run_nibble_chunk(n, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Raw(seq), Some(t)) => {
+                    runner
+                        .run_chunk_resident(t, seq, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Raw(seq), None) => {
+                    runner
+                        .run_chunk(seq, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+            }
+            let elapsed = runner.elapsed_s() - before;
+            tables.release();
+            elapsed
         }
-        (ProbePayload::Packed(p), None) => {
-            runner
-                .run_packed_chunk(p, scan, &tables, &mut timing, &mut profile)
-                .expect("simulated probe launch cannot fail");
+        ProbeRunner::Sycl(runner) => {
+            let before = runner.elapsed_s();
+            let tables = runner.prepare_queries(queries);
+            match (payload, resident_token) {
+                (ProbePayload::Packed(p), Some(t)) => {
+                    runner
+                        .run_packed_chunk_resident(t, p, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Packed(p), None) => {
+                    runner
+                        .run_packed_chunk(p, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Nibble(n), Some(t)) => {
+                    runner
+                        .run_nibble_chunk_resident(t, n, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Nibble(n), None) => {
+                    runner
+                        .run_nibble_chunk(n, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Raw(seq), Some(t)) => {
+                    runner
+                        .run_chunk_resident(t, seq, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+                (ProbePayload::Raw(seq), None) => {
+                    runner
+                        .run_chunk(seq, scan, &tables, &mut timing, &mut profile)
+                        .expect("simulated probe launch cannot fail");
+                }
+            }
+            runner.wait();
+            runner.elapsed_s() - before
         }
-        (ProbePayload::Nibble(n), Some(t)) => {
-            runner
-                .run_nibble_chunk_resident(t, n, scan, &tables, &mut timing, &mut profile)
-                .expect("simulated probe launch cannot fail");
-        }
-        (ProbePayload::Nibble(n), None) => {
-            runner
-                .run_nibble_chunk(n, scan, &tables, &mut timing, &mut profile)
-                .expect("simulated probe launch cannot fail");
-        }
-        (ProbePayload::Raw(seq), Some(t)) => {
-            runner
-                .run_chunk_resident(t, seq, scan, &tables, &mut timing, &mut profile)
-                .expect("simulated probe launch cannot fail");
-        }
-        (ProbePayload::Raw(seq), None) => {
-            runner
-                .run_chunk(seq, scan, &tables, &mut timing, &mut profile)
-                .expect("simulated probe launch cannot fail");
-        }
-    }
-    let elapsed_s = runner.elapsed_s() - before;
-    tables.release();
+    };
     let kernel_s = |names: &[&str]| {
         names
             .iter()
@@ -173,10 +236,24 @@ fn probe(
             .map(|s| s.total_s)
             .sum::<f64>()
     };
+    // Generic and specialized kernel names are disjoint per run, so the
+    // sums stay correct whichever flavour the runner launched.
     ProbeRun {
         elapsed_s,
-        finder_s: kernel_s(&["finder", "finder_packed", "finder_nibble"]),
-        comparer_s: kernel_s(&["comparer", "comparer-2bit", "comparer-4bit"]),
+        finder_s: kernel_s(&[
+            "finder",
+            "finder_packed",
+            "finder_nibble",
+            "finder_nibble-spec",
+        ]),
+        comparer_s: kernel_s(&[
+            "comparer",
+            "comparer-2bit",
+            "comparer-4bit",
+            "comparer-spec",
+            "comparer-2bit-spec",
+            "comparer-4bit-spec",
+        ]),
         candidates: timing.candidates as usize,
     }
 }
@@ -213,14 +290,23 @@ fn class_rates(
     }
 }
 
-fn measure(spec: &DeviceSpec, scan: usize, opt: OptLevel) -> KernelRates {
+fn measure(spec: &DeviceSpec, scan: usize, opt: OptLevel, specialize: bool, api: Api) -> KernelRates {
     let plen = PROBE_PATTERN.len();
     let config = PipelineConfig::new(spec.clone())
         .chunk_size(scan)
         .opt(opt)
-        .exec_mode(ExecMode::Sequential);
-    let runner = OclChunkRunner::new(&config, PROBE_PATTERN)
-        .expect("simulated OpenCL setup cannot fail on the probe pattern");
+        .exec_mode(ExecMode::Sequential)
+        .specialize(specialize);
+    let runner = match api {
+        Api::OpenCl => ProbeRunner::Ocl(Box::new(
+            OclChunkRunner::new(&config, PROBE_PATTERN)
+                .expect("simulated OpenCL setup cannot fail on the probe pattern"),
+        )),
+        Api::Sycl => ProbeRunner::Sycl(Box::new(
+            SyclChunkRunner::new(&config, PROBE_PATTERN)
+                .expect("simulated SYCL setup cannot fail on the probe pattern"),
+        )),
+    };
     let upload_s_per_byte = upload_slope(spec);
 
     // Pseudo-random concrete bases and guides, the same statistics as the
@@ -277,7 +363,11 @@ fn measure(spec: &DeviceSpec, scan: usize, opt: OptLevel) -> KernelRates {
         upload_s_per_byte,
     );
 
-    runner.release();
+    // The SYCL runner's resources release implicitly when dropped; the
+    // OpenCL runner follows the 13-step contract and releases explicitly.
+    if let ProbeRunner::Ocl(runner) = runner {
+        runner.release();
+    }
     KernelRates {
         raw,
         packed: packed_rates,
@@ -317,7 +407,7 @@ mod tests {
 
     #[test]
     fn measured_rates_are_positive_and_finite() {
-        let r = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base);
+        let r = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base, false, Api::OpenCl);
         for class in [&r.raw, &r.packed, &r.nibble] {
             assert!(class.finder_s_per_unit.is_finite() && class.finder_s_per_unit > 0.0);
             assert!(class.comparer_s_per_unit.is_finite() && class.comparer_s_per_unit > 0.0);
@@ -333,7 +423,7 @@ mod tests {
         // Skipping the payload transfers must be worth something, and the
         // discount can never exceed the whole fixed batch cost it is
         // subtracted from.
-        let r = kernel_rates(&DeviceSpec::radeon_vii(), PROBE_CHUNK, OptLevel::Base);
+        let r = kernel_rates(&DeviceSpec::radeon_vii(), PROBE_CHUNK, OptLevel::Base, false, Api::OpenCl);
         for class in [&r.raw, &r.packed, &r.nibble] {
             assert!(class.resident_discount_s > 0.0, "{class:?}");
             assert!(
@@ -345,8 +435,8 @@ mod tests {
 
     #[test]
     fn repeat_lookups_are_memoized() {
-        let a = kernel_rates(&DeviceSpec::mi100(), PROBE_CHUNK, OptLevel::Opt3);
-        let b = kernel_rates(&DeviceSpec::mi100(), PROBE_CHUNK, OptLevel::Opt3);
+        let a = kernel_rates(&DeviceSpec::mi100(), PROBE_CHUNK, OptLevel::Opt3, false, Api::OpenCl);
+        let b = kernel_rates(&DeviceSpec::mi100(), PROBE_CHUNK, OptLevel::Opt3, false, Api::OpenCl);
         assert_eq!(
             a.raw.finder_s_per_unit.to_bits(),
             b.raw.finder_s_per_unit.to_bits()
@@ -359,8 +449,8 @@ mod tests {
 
     #[test]
     fn faster_interconnects_upload_cheaper_per_byte() {
-        let mi100 = kernel_rates(&DeviceSpec::mi100(), PROBE_CHUNK, OptLevel::Base);
-        let rvii = kernel_rates(&DeviceSpec::radeon_vii(), PROBE_CHUNK, OptLevel::Base);
+        let mi100 = kernel_rates(&DeviceSpec::mi100(), PROBE_CHUNK, OptLevel::Base, false, Api::OpenCl);
+        let rvii = kernel_rates(&DeviceSpec::radeon_vii(), PROBE_CHUNK, OptLevel::Base, false, Api::OpenCl);
         let ratio = rvii.upload_s_per_byte / mi100.upload_s_per_byte;
         // MI100 (PCIe 4) moves bytes at twice Radeon VII's PCIe 3 rate.
         let expect = DeviceSpec::mi100().interconnect_bytes_per_s()
@@ -374,11 +464,33 @@ mod tests {
         // its measured per-unit rate must land in the same regime as the
         // other finders — a zero (kernel never profiled, name list stale)
         // or a wild outlier would poison every Nibble4Bit prediction.
-        let r = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base);
+        let r = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base, false, Api::OpenCl);
         let ratio = r.nibble.finder_s_per_unit / r.packed.finder_s_per_unit;
         assert!((0.25..=4.0).contains(&ratio), "finder rate ratio {ratio}");
         let ratio = r.nibble.comparer_s_per_unit / r.packed.comparer_s_per_unit;
         assert!((0.25..=4.0).contains(&ratio), "comparer rate ratio {ratio}");
+    }
+
+    #[test]
+    fn specialized_rates_are_measured_and_never_slower_comparers() {
+        // Specialization is a separate memo entry measured through the
+        // specialized runner: the rates must be sane, and the specialized
+        // comparer — pattern folded into immediates — must not price worse
+        // per work unit than the generic comparer it replaces.
+        let g = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base, false, Api::OpenCl);
+        let s = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base, true, Api::OpenCl);
+        for class in [&s.raw, &s.packed, &s.nibble] {
+            assert!(class.finder_s_per_unit.is_finite() && class.finder_s_per_unit > 0.0);
+            assert!(class.comparer_s_per_unit.is_finite() && class.comparer_s_per_unit > 0.0);
+        }
+        for (spec, gen) in [(&s.raw, &g.raw), (&s.packed, &g.packed), (&s.nibble, &g.nibble)] {
+            assert!(
+                spec.comparer_s_per_unit <= gen.comparer_s_per_unit * 1.01,
+                "specialized comparer must not be slower: {} vs {}",
+                spec.comparer_s_per_unit,
+                gen.comparer_s_per_unit
+            );
+        }
     }
 
     #[test]
@@ -387,8 +499,8 @@ mod tests {
         // entry), but the finder rate they measure prices the same kernel
         // per work unit — a 16x larger probe grid must land on a
         // comparable rate, not a 16x larger one.
-        let small = kernel_rates(&DeviceSpec::mi100(), 512, OptLevel::Base);
-        let large = kernel_rates(&DeviceSpec::mi100(), PROBE_CHUNK, OptLevel::Base);
+        let small = kernel_rates(&DeviceSpec::mi100(), 512, OptLevel::Base, false, Api::OpenCl);
+        let large = kernel_rates(&DeviceSpec::mi100(), PROBE_CHUNK, OptLevel::Base, false, Api::OpenCl);
         let ratio = small.raw.finder_s_per_unit / large.raw.finder_s_per_unit;
         assert!((0.5..=2.0).contains(&ratio), "rate ratio {ratio}");
     }

@@ -66,7 +66,7 @@ pub mod service;
 
 pub use cache::{CacheStats, ChunkEncoding, GenomeCache, NIBBLE_DENSITY_THRESHOLD};
 pub use job::{JobId, JobSpec, Priority};
-pub use metrics::{DeviceReport, MetricsReport};
+pub use metrics::{DeviceReport, MetricsReport, VariantReport};
 pub use results::ResultCacheStats;
 pub use queue::QueueError;
 pub use scheduler::Placement;

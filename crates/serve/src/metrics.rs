@@ -4,8 +4,58 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use cas_offinder::kernels::VariantCacheStats;
+
 use crate::cache::CacheStats;
 use crate::results::ResultCacheStats;
+
+/// Kernel-variant cache accounting over the service's lifetime: counter
+/// deltas against the process-wide [`cas_offinder::kernels::VariantCache`]
+/// snapshot taken when the service started (the cache is shared by every
+/// service in the process), plus compile-time quantiles over the cache's
+/// recent-compile ring.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VariantReport {
+    /// Variant lookups served from the cache (including single-flight
+    /// followers that waited on an in-flight compile).
+    pub hits: u64,
+    /// Variant lookups that had to compile.
+    pub misses: u64,
+    /// Variants evicted by the cache's capacity bound.
+    pub evictions: u64,
+    /// Compiles performed (≤ misses under single-flight races).
+    pub compiles: u64,
+    /// Median compile time of recent compiles, nanoseconds (0 when none).
+    pub compile_p50_ns: u64,
+    /// 95th-percentile compile time of recent compiles, nanoseconds.
+    pub compile_p95_ns: u64,
+}
+
+impl VariantReport {
+    /// The delta between a service-start snapshot of the variant cache and
+    /// its current stats; quantiles come from the current recent-compile
+    /// ring (the service's own compiles dominate it once warm).
+    pub fn delta(baseline: &VariantCacheStats, now: &VariantCacheStats) -> Self {
+        VariantReport {
+            hits: now.hits.saturating_sub(baseline.hits),
+            misses: now.misses.saturating_sub(baseline.misses),
+            evictions: now.evictions.saturating_sub(baseline.evictions),
+            compiles: now.compiles.saturating_sub(baseline.compiles),
+            compile_p50_ns: now.compile_ns_quantile(0.5).unwrap_or(0),
+            compile_p95_ns: now.compile_ns_quantile(0.95).unwrap_or(0),
+        }
+    }
+
+    /// Hit rate over the service's own lookups, 0 when none happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// Counters for one simulated device in the pool.
 #[derive(Default)]
@@ -134,6 +184,9 @@ pub struct MetricsReport {
     pub comparer_4bit_batches: u64,
     /// Deepest the admission queue has been.
     pub queue_depth_high_water: usize,
+    /// Kernel-variant cache accounting (all zeros when specialization is
+    /// off — the service then never touches the variant cache).
+    pub variants: VariantReport,
     /// Genome-chunk cache accounting.
     pub cache: CacheStats,
     /// Content-addressed result cache accounting.
@@ -255,6 +308,18 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "variants: {:.1}% cache hit rate ({} hits / {} misses, {} compiles, \
+             {} evicted, compile p50 {} ns / p95 {} ns)",
+            100.0 * self.variants.hit_rate(),
+            self.variants.hits,
+            self.variants.misses,
+            self.variants.compiles,
+            self.variants.evictions,
+            self.variants.compile_p50_ns,
+            self.variants.compile_p95_ns
+        )?;
+        writeln!(
+            f,
             "scheduler: {:.1}% mean |predicted - measured| service time",
             100.0 * self.mean_prediction_error()
         )?;
@@ -287,6 +352,7 @@ pub(crate) fn load_report(
     metrics: &ServeMetrics,
     names: &[(String, String)],
     queue_high_water: usize,
+    variants: VariantReport,
     cache: CacheStats,
     results: ResultCacheStats,
 ) -> MetricsReport {
@@ -301,6 +367,7 @@ pub(crate) fn load_report(
         comparer_2bit_batches: metrics.comparer_2bit_batches.load(Ordering::Relaxed),
         comparer_4bit_batches: metrics.comparer_4bit_batches.load(Ordering::Relaxed),
         queue_depth_high_water: queue_high_water,
+        variants,
         cache,
         results,
         devices: metrics
@@ -346,6 +413,7 @@ mod tests {
             &m,
             &[("MI100".into(), "OpenCL".into())],
             7,
+            VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
         );
@@ -374,7 +442,7 @@ mod tests {
             ("MI60".into(), "OpenCL".into()),
             ("MI60".into(), "SYCL".into()),
         ];
-        let report = load_report(&m, &names, 0, CacheStats::default(), results);
+        let report = load_report(&m, &names, 0, VariantReport::default(), CacheStats::default(), results);
         assert!((report.resident_hit_rate() - 3.0 / 8.0).abs() < 1e-12);
         assert_eq!(report.h2d_skipped_bytes(), 1024);
         assert!((report.result_cache_hit_rate() - 0.5).abs() < 1e-12);
@@ -393,6 +461,7 @@ mod tests {
             &m,
             &[("MI60".into(), "OpenCL".into())],
             0,
+            VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
         );
@@ -410,6 +479,7 @@ mod tests {
             &m,
             &[("MI60".into(), "OpenCL".into())],
             0,
+            VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
         );

@@ -36,9 +36,10 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-use cas_offinder::kernels::ComparerKernel;
+use cas_offinder::kernels::specialize::specialized_model;
+use cas_offinder::kernels::{ComparerKernel, VariantKind};
 use cas_offinder::pipeline::chunk::twobit_compare_safe;
-use cas_offinder::OptLevel;
+use cas_offinder::{Api, OptLevel};
 use gpu_sim::isa::compile_program;
 use gpu_sim::occupancy::occupancy;
 use gpu_sim::{DeviceSpec, NdRange};
@@ -177,12 +178,35 @@ pub(crate) struct DeviceModel {
 }
 
 impl DeviceModel {
-    /// Model `spec` serving `chunk_size`-position batches with the comparer
-    /// compiled at `opt`, using measured kernel rates (probing the device
-    /// at that chunk size on first use, memoized per
-    /// `(device, chunk size, opt)`).
-    pub fn calibrated(spec: &DeviceSpec, chunk_size: usize, opt: OptLevel) -> Self {
-        let program = compile_program(&ComparerKernel::code_model_for(opt));
+    /// Model `spec` serving `chunk_size`-position batches through `api`'s
+    /// host path with the comparer compiled at `opt`, using measured
+    /// kernel rates (probing the device at that chunk size on first use,
+    /// memoized per `(device, chunk size, opt, specialize, api)`). The
+    /// OpenCL and SYCL hosts carry different fixed per-batch and per-job
+    /// costs, so each device's rates are probed through its own chunk
+    /// runner flavour. With `specialize` the
+    /// occupancy-derived in-flight limit and the measured rates both come
+    /// from the JIT-specialized comparer the workers actually launch —
+    /// the specialized code model folds the pattern into immediates, so its
+    /// register footprint (and thus occupancy) can only match or beat the
+    /// generic comparer's.
+    pub fn calibrated(
+        spec: &DeviceSpec,
+        chunk_size: usize,
+        opt: OptLevel,
+        specialize: bool,
+        api: Api,
+    ) -> Self {
+        // Occupancy representative: the specialized comparer is modeled at
+        // the calibration probe's pattern length (11); what matters for the
+        // in-flight limit is the register/occupancy regime, not the exact
+        // pattern.
+        let model = if specialize {
+            specialized_model(VariantKind::CharComparer, 11)
+        } else {
+            ComparerKernel::code_model_for(opt)
+        };
+        let program = compile_program(&model);
         let wgs = 64usize;
         let gws = chunk_size.div_ceil(wgs) * wgs;
         let nd = NdRange::linear(gws, wgs);
@@ -195,7 +219,7 @@ impl DeviceModel {
         let in_flight_limit = (resident / waves_per_batch).clamp(1, 32) as usize;
 
         DeviceModel {
-            rates: kernel_rates(spec, chunk_size, opt),
+            rates: kernel_rates(spec, chunk_size, opt, specialize, api),
             in_flight_limit,
         }
     }
@@ -483,7 +507,7 @@ mod tests {
     use std::sync::Arc;
 
     fn model(spec: &DeviceSpec) -> DeviceModel {
-        DeviceModel::calibrated(spec, 1 << 13, OptLevel::Base)
+        DeviceModel::calibrated(spec, 1 << 13, OptLevel::Base, false, Api::OpenCl)
     }
 
     fn batch_with(index: usize, scan_len: usize, jobs: usize) -> ChunkBatch {
@@ -576,13 +600,13 @@ mod tests {
     #[test]
     fn in_flight_limits_derive_from_occupancy_and_batch_footprint() {
         let spec = DeviceSpec::mi60();
-        let small = DeviceModel::calibrated(&spec, 64, OptLevel::Base);
-        let large = DeviceModel::calibrated(&spec, 1 << 13, OptLevel::Base);
+        let small = DeviceModel::calibrated(&spec, 64, OptLevel::Base, false, Api::OpenCl);
+        let large = DeviceModel::calibrated(&spec, 1 << 13, OptLevel::Base, false, Api::OpenCl);
         assert!(small.in_flight_limit >= large.in_flight_limit);
         assert!(large.in_flight_limit >= 1);
         // A bigger device sustains more in-flight chunks than a smaller one.
-        let rvii = DeviceModel::calibrated(&DeviceSpec::radeon_vii(), 1 << 13, OptLevel::Base);
-        let mi100 = DeviceModel::calibrated(&DeviceSpec::mi100(), 1 << 13, OptLevel::Base);
+        let rvii = DeviceModel::calibrated(&DeviceSpec::radeon_vii(), 1 << 13, OptLevel::Base, false, Api::OpenCl);
+        let mi100 = DeviceModel::calibrated(&DeviceSpec::mi100(), 1 << 13, OptLevel::Base, false, Api::OpenCl);
         assert!(mi100.in_flight_limit >= rvii.in_flight_limit);
     }
 

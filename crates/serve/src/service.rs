@@ -21,6 +21,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use cas_offinder::bulge::enumerate_variants;
+use cas_offinder::kernels::specialize::global_cache;
+use cas_offinder::kernels::VariantCacheStats;
 use cas_offinder::pipeline::chunk::{twobit_compare_safe, OclChunkRunner, SyclChunkRunner};
 use cas_offinder::pipeline::{entries_to_offtargets, PipelineConfig};
 use cas_offinder::{sort_canonical, Api, OffTarget, OptLevel, Query, TimingBreakdown};
@@ -30,7 +32,7 @@ use gpu_sim::{DeviceSpec, ExecMode};
 use crate::batcher::{group_jobs, BatchJob, ChunkBatch};
 use crate::cache::{ChunkEncoding, ChunkKey, ChunkPayload, EncodedChunk, GenomeCache};
 use crate::job::{Job, JobId, JobSpec};
-use crate::metrics::{busy_ns_from_s, load_report, MetricsReport, ServeMetrics};
+use crate::metrics::{busy_ns_from_s, load_report, MetricsReport, ServeMetrics, VariantReport};
 use crate::queue::{BoundedJobQueue, QueueError};
 use crate::results::{Admission, CanonicalSpec, ResultStore};
 use crate::scheduler::{residency_token, DeviceModel, DevicePool, Placement};
@@ -85,6 +87,14 @@ pub struct ServiceConfig {
     /// launches, and concurrent identical specs coalesce into one compute
     /// (single-flight). `0` disables result caching and coalescing.
     pub result_cache_bytes: usize,
+    /// Run the chunk runners with JIT-specialized per-(pattern, threshold)
+    /// kernel variants instead of the generic kernels. Variants constant-
+    /// fold the query into immediates (smaller code, equal-or-better
+    /// occupancy) and are cached process-wide, so a warm serving loop pays
+    /// the specializing compile once per distinct (pattern, threshold,
+    /// encoding). Results are byte-identical either way; the scheduler's
+    /// cost model calibrates against whichever flavour runs.
+    pub specialize: bool,
 }
 
 impl ServiceConfig {
@@ -120,6 +130,7 @@ impl ServiceConfig {
             pacing: 0.0,
             resident_chunks: 8,
             result_cache_bytes: 1 << 20,
+            specialize: true,
         }
     }
 }
@@ -175,6 +186,9 @@ struct Shared {
     cache: GenomeCache,
     results: ResultStore,
     metrics: ServeMetrics,
+    /// Snapshot of the process-wide variant cache's counters at service
+    /// start; [`Service::metrics`] reports this service's deltas.
+    variant_baseline: VariantCacheStats,
     jobs: Mutex<HashMap<JobId, JobEntry>>,
     done: Condvar,
 }
@@ -227,7 +241,15 @@ impl Service {
         let models: Vec<DeviceModel> = config
             .devices
             .iter()
-            .map(|slot| DeviceModel::calibrated(&slot.spec, config.chunk_size, config.opt))
+            .map(|slot| {
+                DeviceModel::calibrated(
+                    &slot.spec,
+                    config.chunk_size,
+                    config.opt,
+                    config.specialize,
+                    slot.api,
+                )
+            })
             .collect();
         let shared = Arc::new(Shared {
             queue: BoundedJobQueue::new(config.queue_cost_limit),
@@ -235,6 +257,7 @@ impl Service {
             cache: GenomeCache::new(config.cache_bytes),
             results: ResultStore::new(config.result_cache_bytes),
             metrics: ServeMetrics::new(devices),
+            variant_baseline: global_cache().stats(),
             assemblies: assemblies
                 .into_iter()
                 .map(|a| (a.name().to_string(), Arc::new(a)))
@@ -408,6 +431,7 @@ impl Service {
             &self.shared.metrics,
             &names,
             self.shared.queue.depth_high_water(),
+            VariantReport::delta(&self.shared.variant_baseline, &global_cache().stats()),
             self.shared.cache.stats(),
             self.shared.results.stats(),
         )
@@ -634,7 +658,8 @@ fn worker_loop(shared: &Shared, w: usize) {
         .chunk_size(shared.config.chunk_size)
         .opt(shared.config.opt)
         .exec_mode(ExecMode::Sequential)
-        .resident_slots(shared.config.resident_chunks.max(1));
+        .resident_slots(shared.config.resident_chunks.max(1))
+        .specialize(shared.config.specialize);
     let mut runners: HashMap<Vec<u8>, Runner> = HashMap::new();
     let mut timing = TimingBreakdown::default();
     let mut profile = gpu_sim::profile::Profile::new();
@@ -1098,6 +1123,44 @@ mod tests {
             report.comparer_4bit_batches > 0,
             "dense chunks must select the nibble comparer: {report}"
         );
+    }
+
+    #[test]
+    fn specialized_serving_is_identical_and_hits_the_variant_cache() {
+        // The paper pool serves with JIT-specialized kernels by default;
+        // results must be byte-identical to a generic-kernel service, and a
+        // warm serving loop must find its variants already compiled.
+        let mut config = small_config();
+        config.devices.truncate(2);
+        let generic = Service::start(
+            ServiceConfig {
+                specialize: false,
+                ..config.clone()
+            },
+            vec![toy_assembly()],
+        );
+        let specialized = Service::start(config, vec![toy_assembly()]);
+        for spec in distinct_specs(8) {
+            let a = generic
+                .wait(generic.submit(spec.clone()).unwrap())
+                .unwrap();
+            let b = specialized
+                .wait(specialized.submit(spec.clone()).unwrap())
+                .unwrap();
+            assert_eq!(a, b, "specialization never changes results");
+            assert_eq!(a, serial_oracle(&toy_assembly(), &spec));
+        }
+        let report = specialized.metrics();
+        assert!(
+            report.variants.hits + report.variants.misses > 0,
+            "specialized serving must consult the variant cache: {report}"
+        );
+        assert!(
+            report.variants.hit_rate() > 0.5,
+            "repeat batches must reuse compiled variants: {report}"
+        );
+        let text = report.to_string();
+        assert!(text.contains("variants:"), "{text}");
     }
 
     #[test]

@@ -23,12 +23,19 @@
 //!   workload verbatim: the replay must finish with **zero** kernel
 //!   launches.
 //!
-//! A final pair of runs replays the same tenant load against an
+//! A further pair of runs replays the same tenant load against an
 //! **exception-dense** soft-masked assembly, where 2-bit-with-exceptions
 //! is off the table: the char-comparer fallback (raw payloads) against
-//! this PR's adaptive cache, which flips dense chunks to 4-bit nibble
+//! the PR 5 adaptive cache, which flips dense chunks to 4-bit nibble
 //! payloads so **zero** batches fall back to the char comparer and every
 //! chunk still uploads packed, at half a byte per base.
+//!
+//! Finally, **this PR's** generation: the adaptive workload served again
+//! with per-(pattern, threshold) constant-folded kernel variants — on the
+//! nibble path both the PAM finder and the comparer fold — once with a
+//! cold process-wide variant cache (every variant compiles) and once warm
+//! (every variant is a cache hit), plus a per-variant ISA table — code
+//! bytes, SGPRs, VGPRs, occupancy — generic vs folded.
 //!
 //! ```text
 //! cargo run --release --example serve_demo
@@ -39,6 +46,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use cas_offinder::kernels::specialize::{generic_model, specialized_model};
+use cas_offinder::kernels::{OptLevel, VariantKind};
 use cas_offinder::pipeline::{ocl, PipelineConfig};
 use cas_offinder::{OffTarget, SearchInput};
 use casoff_serve::{
@@ -46,7 +55,9 @@ use casoff_serve::{
 };
 use genome::rng::Xoshiro256;
 use genome::Assembly;
-use gpu_sim::{DeviceSpec, ExecMode};
+use gpu_sim::isa::compile;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::{DeviceSpec, ExecMode, NdRange};
 
 const SUBMITTERS: usize = 4;
 const CHUNK_SIZE: usize = 1 << 13;
@@ -126,6 +137,9 @@ fn config_with(encoding: ChunkEncoding, placement: Placement, chunk_size: usize)
     // every upload and every duplicate compute.
     config.resident_chunks = 0;
     config.result_cache_bytes = 0;
+    // The earlier generations also predate kernel specialization; the
+    // dedicated specialized-vs-generic comparison below flips this on.
+    config.specialize = false;
     config
 }
 
@@ -196,10 +210,27 @@ fn serve_run(
     specs: &[JobSpec],
     oracle: &[Vec<OffTarget>],
 ) -> MetricsReport {
-    let service = Arc::new(Service::start(
-        config_with(encoding, placement, chunk_size),
-        vec![assembly.clone()],
-    ));
+    serve_run_specialized(
+        label, assembly, encoding, placement, chunk_size, jobs, specs, oracle, false,
+    )
+}
+
+/// [`serve_run`] with the kernel-specialization switch exposed.
+#[allow(clippy::too_many_arguments)]
+fn serve_run_specialized(
+    label: &str,
+    assembly: &Assembly,
+    encoding: ChunkEncoding,
+    placement: Placement,
+    chunk_size: usize,
+    jobs: usize,
+    specs: &[JobSpec],
+    oracle: &[Vec<OffTarget>],
+    specialize: bool,
+) -> MetricsReport {
+    let mut config = config_with(encoding, placement, chunk_size);
+    config.specialize = specialize;
+    let service = Arc::new(Service::start(config, vec![assembly.clone()]));
     let sites = serve_jobs(&service, jobs, specs, oracle);
     println!(
         "[{label}] {jobs} jobs served, {sites} sites total, all byte-identical to the serial pipeline"
@@ -411,7 +442,7 @@ fn main() {
         &masked_oracle,
     );
     let masked = serve_run(
-        "masked + adaptive 4-bit (this PR)",
+        "masked + adaptive 4-bit (PR 5)",
         &masked_assembly,
         ChunkEncoding::Adaptive,
         Placement::EarliestCompletion,
@@ -419,6 +450,38 @@ fn main() {
         jobs,
         &masked_specs,
         &masked_oracle,
+    );
+
+    // This PR: the adaptive multi-guide workload served with
+    // per-(pattern, threshold) constant-folded kernel variants — on the
+    // nibble path both the PAM finder and the comparer fold, so this is
+    // where specialization pays most. The first specialized service pays
+    // every variant compile into the process-wide cache; a second, freshly
+    // started service finds all of them already compiled. Throughput is
+    // simulated device time, so the speedup comes from the folded kernels'
+    // smaller instruction streams — host-side compile cost shows up only
+    // in the variant-cache stats.
+    let spec_cold = serve_run_specialized(
+        "adaptive + specialized kernels, cold variant cache (this PR)",
+        &masked_assembly,
+        ChunkEncoding::Adaptive,
+        Placement::EarliestCompletion,
+        MASKED_CHUNK_SIZE,
+        jobs,
+        &masked_specs,
+        &masked_oracle,
+        true,
+    );
+    let spec_warm = serve_run_specialized(
+        "adaptive + specialized kernels, warm variant cache (this PR)",
+        &masked_assembly,
+        ChunkEncoding::Adaptive,
+        Placement::EarliestCompletion,
+        MASKED_CHUNK_SIZE,
+        jobs,
+        &masked_specs,
+        &masked_oracle,
+        true,
     );
 
     let packed_jobs_per_s = jobs as f64 / makespan_s(&packed);
@@ -492,6 +555,101 @@ fn main() {
         100.0 * masked.mean_prediction_error(),
     );
 
+    // Per-variant ISA costs: the generic kernels at the pool's opt level
+    // against the constant-folded variants at the tenants' pattern length,
+    // priced by the same pseudo-ISA compiler the simulator runs.
+    let plen = masked_specs[0].pattern.len();
+    let table_spec = DeviceSpec::mi100();
+    let nd = NdRange::linear(CHUNK_SIZE, 64);
+    struct VariantRow {
+        name: &'static str,
+        generic: gpu_sim::isa::ResourceUsage,
+        folded: gpu_sim::isa::ResourceUsage,
+        generic_waves: u32,
+        folded_waves: u32,
+    }
+    let rows: Vec<VariantRow> = VariantKind::ALL
+        .iter()
+        .map(|kind| {
+            let generic = compile(&generic_model(*kind, OptLevel::Base));
+            let folded = compile(&specialized_model(*kind, plen));
+            VariantRow {
+                name: kind.kernel_name(),
+                generic_waves: occupancy(&generic, &nd, &table_spec).waves_per_simd,
+                folded_waves: occupancy(&folded, &nd, &table_spec).waves_per_simd,
+                generic,
+                folded,
+            }
+        })
+        .collect();
+
+    let spec_cold_jobs_per_s = jobs as f64 / makespan_s(&spec_cold);
+    let spec_warm_jobs_per_s = jobs as f64 / makespan_s(&spec_warm);
+    let specialize_speedup = spec_warm_jobs_per_s / masked_jobs_per_s;
+    println!(
+        "kernel specialization, same adaptive workload ({} tenants, pattern len {plen}):",
+        masked_specs.len()
+    );
+    println!(
+        "  sim throughput:     generic {masked_jobs_per_s:.0}, specialized cold \
+         {spec_cold_jobs_per_s:.0}, warm {spec_warm_jobs_per_s:.0} jobs/s \
+         ({specialize_speedup:.2}x vs generic)"
+    );
+    println!(
+        "  variant cache:      cold {:.1}% hit rate ({} compiles, p50 {} ns / p95 {} ns), \
+         warm {:.1}% ({} compiles, {} evicted)",
+        100.0 * spec_cold.variants.hit_rate(),
+        spec_cold.variants.compiles,
+        spec_cold.variants.compile_p50_ns,
+        spec_cold.variants.compile_p95_ns,
+        100.0 * spec_warm.variants.hit_rate(),
+        spec_warm.variants.compiles,
+        spec_warm.variants.evictions,
+    );
+    println!(
+        "  prediction error:   specialized {:.1}% (calibrated rates)",
+        100.0 * spec_warm.mean_prediction_error(),
+    );
+    println!("  per-variant ISA (generic -> folded, {} wgs 64):", table_spec.name);
+    for row in &rows {
+        println!(
+            "    {:<18} {:>4} -> {:<4} B code, {:>2} -> {:<2} SGPRs, {:>2} -> {:<2} VGPRs, \
+             {} -> {} waves/SIMD",
+            row.name,
+            row.generic.code_bytes,
+            row.folded.code_bytes,
+            row.generic.sgprs,
+            row.folded.sgprs,
+            row.generic.vgprs,
+            row.folded.vgprs,
+            row.generic_waves,
+            row.folded_waves,
+        );
+    }
+
+    let variant_json: String = rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            format!(
+                "      {{ \"kernel\": \"{}\", \"generic_code_bytes\": {}, \
+                 \"spec_code_bytes\": {}, \"generic_sgprs\": {}, \"spec_sgprs\": {}, \
+                 \"generic_vgprs\": {}, \"spec_vgprs\": {}, \"generic_waves\": {}, \
+                 \"spec_waves\": {} }}{}\n",
+                row.name,
+                row.generic.code_bytes,
+                row.folded.code_bytes,
+                row.generic.sgprs,
+                row.folded.sgprs,
+                row.generic.vgprs,
+                row.folded.vgprs,
+                row.generic_waves,
+                row.folded_waves,
+                if i + 1 == rows.len() { "" } else { "," },
+            )
+        })
+        .collect();
+
     let json = format!(
         concat!(
             "{{\n",
@@ -514,6 +672,15 @@ fn main() {
             "\"char_upload_bytes_per_batch\": {:.1}, \"upload_ratio_vs_char\": {:.3}, ",
             "\"jobs_per_s\": {:.2}, \"char_jobs_per_s\": {:.2}, ",
             "\"cache_hit_rate\": {:.4}, \"mean_prediction_error\": {:.4} }},\n",
+            "  \"specialized\": {{ \"jobs_per_s\": {:.2}, \"cold_jobs_per_s\": {:.2}, ",
+            "\"generic_jobs_per_s\": {:.2}, \"specialize_speedup\": {:.3}, ",
+            "\"warm_variant_hit_rate\": {:.4}, \"cold_variant_hit_rate\": {:.4}, ",
+            "\"cold_variant_compiles\": {}, \"warm_variant_compiles\": {}, ",
+            "\"warm_variant_evictions\": {}, \"compile_p50_ns\": {}, ",
+            "\"compile_p95_ns\": {}, \"spec_mean_prediction_error\": {:.4},\n",
+            "    \"variants\": [\n",
+            "{}",
+            "    ] }},\n",
             "  \"transfer_reduction_per_batch\": {:.3},\n",
             "  \"affinity_transfer_reduction_per_batch\": {:.3},\n",
             "  \"jobs_per_s_improvement\": {:.3}\n",
@@ -551,6 +718,19 @@ fn main() {
         masked_char_jobs_per_s,
         masked.cache_hit_rate(),
         masked.mean_prediction_error(),
+        spec_warm_jobs_per_s,
+        spec_cold_jobs_per_s,
+        masked_jobs_per_s,
+        specialize_speedup,
+        spec_warm.variants.hit_rate(),
+        spec_cold.variants.hit_rate(),
+        spec_cold.variants.compiles,
+        spec_warm.variants.compiles,
+        spec_warm.variants.evictions,
+        spec_cold.variants.compile_p50_ns,
+        spec_cold.variants.compile_p95_ns,
+        spec_warm.mean_prediction_error(),
+        variant_json,
         transfer_reduction,
         affinity_transfer_reduction,
         packed_jobs_per_s / raw_jobs_per_s,
@@ -613,4 +793,37 @@ fn main() {
          got {:.1}%",
         100.0 * masked.mean_prediction_error()
     );
+    assert!(
+        spec_cold.variants.compiles > 0,
+        "the cold specialized run must compile kernel variants"
+    );
+    assert!(
+        spec_warm.variants.hit_rate() >= 0.9,
+        "the warm variant cache must hit >= 90%, got {:.1}% ({} hits / {} misses)",
+        100.0 * spec_warm.variants.hit_rate(),
+        spec_warm.variants.hits,
+        spec_warm.variants.misses,
+    );
+    assert!(
+        specialize_speedup >= 1.15,
+        "specialized kernels must serve >= 1.15x the generic adaptive path, \
+         got {specialize_speedup:.3}x"
+    );
+    assert!(
+        spec_warm.mean_prediction_error() <= 0.10,
+        "the specialized cost model must stay within 10%, got {:.1}%",
+        100.0 * spec_warm.mean_prediction_error()
+    );
+    for row in &rows {
+        assert!(
+            row.folded.code_bytes < row.generic.code_bytes,
+            "{}: folding must shrink the instruction stream",
+            row.name
+        );
+        assert!(
+            row.folded_waves >= row.generic_waves,
+            "{}: folding must not lower occupancy",
+            row.name
+        );
+    }
 }

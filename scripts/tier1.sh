@@ -31,5 +31,19 @@ awk -v r="${replay_rate:-0}" 'BEGIN { exit !(r > 0) }' \
 char_fallback=$(sed -n 's/.*"char_fallback_batches": \([0-9]*\).*/\1/p' BENCH_serve.json)
 awk -v n="${char_fallback:-1}" 'BEGIN { exit !(n == 0) }' \
   || { echo "char-fallback batches on masked workload: ${char_fallback:-absent}; expected 0"; exit 1; }
+# After warmup every (pattern, threshold, encoding) variant must come out
+# of the variant cache — a sub-90% hit rate means the cache is thrashing
+# or the digest key is unstable across identical queries.
+variant_hit=$(sed -n 's/.*"warm_variant_hit_rate": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v r="${variant_hit:-0}" 'BEGIN { exit !(r >= 0.9) }' \
+  || { echo "warm variant-cache hit rate is ${variant_hit:-absent}; expected >= 0.9"; exit 1; }
+# The constant-folded variants must actually buy throughput on the warm
+# cache, not just smaller code.
+spec_speedup=$(sed -n 's/.*"specialize_speedup": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v s="${spec_speedup:-0}" 'BEGIN { exit !(s >= 1.15) }' \
+  || { echo "specialized warm speedup is ${spec_speedup:-absent}; expected >= 1.15"; exit 1; }
+
+echo "== bench: specialized vs generic comparers =="
+cargo bench -q -p casoff-bench --bench serve_specialize
 
 echo "== tier-1 OK =="
