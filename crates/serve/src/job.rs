@@ -1,6 +1,10 @@
 //! Query jobs: what a tenant submits to the service.
 
+use std::time::Duration;
+
 use cas_offinder::bulge::BulgeLimits;
+
+use crate::tenant::TenantId;
 
 /// Opaque job identifier, unique within one [`crate::Service`] instance.
 pub type JobId = u64;
@@ -26,8 +30,17 @@ pub struct JobSpec {
     pub guide: Vec<u8>,
     /// Maximum number of mismatched bases to report.
     pub max_mismatches: u16,
-    /// Admission-queue priority class.
+    /// Admission-queue priority class (within the submitting tenant's
+    /// sub-queue; cross-tenant order is set by fair queuing).
     pub priority: Priority,
+    /// Who is asking. Defaults to the anonymous tenant (id 0); the fair
+    /// queue drains tenants by configured weight, not submission rate.
+    pub tenant: TenantId,
+    /// Optional completion SLO, relative to submission time. Admission
+    /// consults the calibrated device model and sheds the job up front
+    /// (`SubmitError::DeadlineInfeasible`) when the predicted completion
+    /// cannot meet it — instead of admitting work that times out late.
+    pub deadline: Option<Duration>,
     /// When set, also search DNA/RNA bulge variants up to these limits
     /// (Cas-OFFinder 3 semantics); results are the sorted, deduplicated
     /// union over all variants.
@@ -35,7 +48,8 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A normal-priority job; sequences are uppercased.
+    /// A normal-priority job for the anonymous tenant; sequences are
+    /// uppercased.
     pub fn new(
         assembly: impl Into<String>,
         pattern: impl Into<Vec<u8>>,
@@ -52,6 +66,8 @@ impl JobSpec {
             guide,
             max_mismatches,
             priority: Priority::Normal,
+            tenant: TenantId::default(),
+            deadline: None,
             bulge: None,
         }
     }
@@ -60,6 +76,21 @@ impl JobSpec {
     #[must_use]
     pub fn high_priority(mut self) -> Self {
         self.priority = Priority::High;
+        self
+    }
+
+    /// Attribute the job to `tenant` for fair queuing and quotas.
+    #[must_use]
+    pub fn for_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Require completion within `deadline` of submission, or be shed at
+    /// admission when infeasible.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -72,12 +103,19 @@ impl JobSpec {
 }
 
 /// An admitted job: a spec with its assigned id and admission cost.
+///
+/// Normally constructed by [`crate::Service::submit`]; public so the fair
+/// queue ([`crate::queue::FairJobQueue`]) can be driven directly in
+/// queue-level tests and embeddings.
 #[derive(Debug, Clone)]
-pub(crate) struct Job {
+pub struct Job {
+    /// The service-assigned job id.
     pub id: JobId,
+    /// The submitted spec.
     pub spec: JobSpec,
     /// Estimated work in scan-position units (assembly size × search
-    /// variants); what the admission queue's cost budget charges.
+    /// variants); what the admission queue's cost budget, per-tenant
+    /// quotas, and deficit-round-robin quanta all charge.
     pub cost: u64,
 }
 
@@ -91,8 +129,19 @@ mod tests {
         assert_eq!(spec.pattern, b"NNNRG");
         assert_eq!(spec.guide, b"ACGTG");
         assert_eq!(spec.priority, Priority::Normal);
+        assert_eq!(spec.tenant, TenantId(0));
+        assert_eq!(spec.deadline, None);
         assert_eq!(spec.bulge, None);
         assert_eq!(spec.high_priority().priority, Priority::High);
+    }
+
+    #[test]
+    fn tenancy_and_deadline_ride_on_the_spec() {
+        let spec = JobSpec::new("hg38", b"NNNRG".to_vec(), b"ACGTG".to_vec(), 3)
+            .for_tenant(TenantId(9))
+            .with_deadline(Duration::from_millis(250));
+        assert_eq!(spec.tenant, TenantId(9));
+        assert_eq!(spec.deadline, Some(Duration::from_millis(250)));
     }
 
     #[test]

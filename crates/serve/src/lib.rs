@@ -27,10 +27,27 @@
 //! calibrated at startup from profiler-measured kernel rates rather than
 //! hand-set constants.
 //!
+//! The front end is **multi-tenant and QoS-aware**. Every job carries a
+//! [`TenantId`]; the admission [queue] keeps one FIFO sub-queue per tenant
+//! and drains them by *weighted deficit round-robin* with the calibrated
+//! per-job cost as the quantum currency, so device time follows configured
+//! [`TenantConfig`] weights rather than submission rates. Per-tenant
+//! in-flight quotas (defaulting to the weighted share of the cost budget)
+//! make load shedding graceful and ordered: over-quota tenants shed first,
+//! with a typed [`SubmitError::Shed`] retry hint. Jobs may carry a
+//! deadline ([`JobSpec::with_deadline`]); admission consults the
+//! calibrated device models and rejects infeasible deadlines up front
+//! ([`SubmitError::DeadlineInfeasible`]). Completion is non-blocking
+//! ([frontend]): [`Service::poll`] / [`Service::try_wait`] never park,
+//! [`Service::on_complete`] registers a runtime-agnostic completion
+//! callback, and the blocking [`Service::wait`] is a thin wrapper over the
+//! same hub.
+//!
 //! Results are byte-identical to the serial pipelines regardless of
 //! arrival order or scheduling (see [`service`] for the argument), and the
 //! service exposes [metrics] for admission, coalescing, cache
-//! effectiveness and per-device utilization.
+//! effectiveness, per-device utilization, and per-tenant QoS (goodput,
+//! shed rate, deadline misses, latency percentiles).
 //!
 //! ```
 //! use casoff_serve::{JobSpec, Service, ServiceConfig};
@@ -57,17 +74,21 @@
 pub mod batcher;
 pub mod cache;
 mod calibrate;
+pub mod frontend;
 pub mod job;
 pub mod metrics;
-mod queue;
+pub mod queue;
 mod results;
 mod scheduler;
 pub mod service;
+pub mod tenant;
 
 pub use cache::{CacheStats, ChunkEncoding, GenomeCache, NIBBLE_DENSITY_THRESHOLD};
-pub use job::{JobId, JobSpec, Priority};
-pub use metrics::{DeviceReport, MetricsReport, VariantReport};
+pub use frontend::{Poll, Ticket, WaitError};
+pub use job::{Job, JobId, JobSpec, Priority};
+pub use metrics::{DeviceReport, MetricsReport, TenantReport, VariantReport};
 pub use results::ResultCacheStats;
-pub use queue::QueueError;
+pub use queue::{FairJobQueue, QueueError};
 pub use scheduler::Placement;
 pub use service::{DeviceSlot, Service, ServiceConfig, SubmitError};
+pub use tenant::{TenantConfig, TenantId};

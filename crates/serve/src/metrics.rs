@@ -8,6 +8,46 @@ use cas_offinder::kernels::VariantCacheStats;
 
 use crate::cache::CacheStats;
 use crate::results::ResultCacheStats;
+use crate::tenant::TenantId;
+
+/// One tenant's slice of a [`MetricsReport`]: admission outcomes, goodput
+/// in calibrated cost units, and completion-latency quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantReport {
+    /// Which tenant the row describes.
+    pub id: TenantId,
+    /// The tenant's configured fair-queuing weight.
+    pub weight: u32,
+    /// Jobs admitted (including result-cache hits and merges).
+    pub admitted: u64,
+    /// Jobs load-shed at admission (over quota or over budget).
+    pub shed: u64,
+    /// Jobs fully completed.
+    pub completed: u64,
+    /// Summed admission cost of completed jobs — the currency weighted
+    /// fairness is measured in.
+    pub goodput_cost: u64,
+    /// Completed jobs that finished after their declared deadline.
+    pub deadline_misses: u64,
+    /// Median submit-to-completion latency, nanoseconds.
+    pub latency_p50_ns: u64,
+    /// 95th-percentile submit-to-completion latency, nanoseconds.
+    pub latency_p95_ns: u64,
+    /// 99th-percentile submit-to-completion latency, nanoseconds.
+    pub latency_p99_ns: u64,
+}
+
+impl TenantReport {
+    /// Shed rate over the tenant's admission attempts (0 when none).
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.admitted + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+}
 
 /// Kernel-variant cache accounting over the service's lifetime: counter
 /// deltas against the process-wide [`cas_offinder::kernels::VariantCache`]
@@ -89,10 +129,19 @@ pub struct DeviceMetrics {
 pub struct ServeMetrics {
     /// Jobs accepted into the admission queue.
     pub jobs_admitted: AtomicU64,
-    /// Jobs rejected because the queue was at capacity.
-    pub jobs_rejected_full: AtomicU64,
+    /// Jobs load-shed at admission (tenant over quota, or queue cost
+    /// budget exhausted).
+    pub jobs_shed: AtomicU64,
     /// Jobs rejected for malformed specs (unknown assembly, bad lengths).
     pub jobs_rejected_invalid: AtomicU64,
+    /// Jobs rejected up front because the predicted completion could not
+    /// meet the declared deadline.
+    pub jobs_rejected_deadline: AtomicU64,
+    /// Completed jobs that finished after their declared deadline.
+    pub deadline_misses: AtomicU64,
+    /// `wait` calls that actually parked a thread (a non-blocking
+    /// poll/callback harness asserts this stays 0).
+    pub blocking_waits: AtomicU64,
     /// Jobs fully completed.
     pub jobs_completed: AtomicU64,
     /// Chunk batches formed by the coalescer.
@@ -116,8 +165,11 @@ impl ServeMetrics {
     pub fn new(devices: usize) -> Self {
         ServeMetrics {
             jobs_admitted: AtomicU64::new(0),
-            jobs_rejected_full: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
             jobs_rejected_invalid: AtomicU64::new(0),
+            jobs_rejected_deadline: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            blocking_waits: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             batches_formed: AtomicU64::new(0),
             coalesced_jobs: AtomicU64::new(0),
@@ -165,10 +217,20 @@ pub struct DeviceReport {
 pub struct MetricsReport {
     /// Jobs accepted into the admission queue.
     pub jobs_admitted: u64,
-    /// Jobs rejected at admission (queue full).
-    pub jobs_rejected_full: u64,
+    /// Jobs load-shed at admission (over quota or over budget).
+    pub jobs_shed: u64,
+    /// Sheds caused by a tenant exceeding its in-flight quota.
+    pub sheds_quota: u64,
+    /// Sheds caused by the queue-wide cost budget.
+    pub sheds_budget: u64,
     /// Jobs rejected at admission (malformed spec).
     pub jobs_rejected_invalid: u64,
+    /// Jobs rejected up front as deadline-infeasible.
+    pub jobs_rejected_deadline: u64,
+    /// Completed jobs that finished after their declared deadline.
+    pub deadline_misses: u64,
+    /// `wait` calls that actually parked a thread.
+    pub blocking_waits: u64,
     /// Jobs fully completed.
     pub jobs_completed: u64,
     /// Chunk batches formed by the coalescer.
@@ -191,6 +253,9 @@ pub struct MetricsReport {
     pub cache: CacheStats,
     /// Content-addressed result cache accounting.
     pub results: ResultCacheStats,
+    /// Per-tenant admission/goodput/latency rows, sorted by tenant id.
+    /// Empty until some tenant has an admission outcome.
+    pub tenants: Vec<TenantReport>,
     /// Per-device utilization.
     pub devices: Vec<DeviceReport>,
 }
@@ -241,6 +306,29 @@ impl MetricsReport {
         }
     }
 
+    /// How far per-tenant goodput strayed from the configured weights:
+    /// the maximum over tenants of `|share/target − 1|`, where `share` is
+    /// the tenant's fraction of total completed cost and `target` its
+    /// fraction of total weight. 0 means goodput matched the weights
+    /// exactly; the tier-1 gate requires ≤ 0.15 under the demo's 3-tenant
+    /// overload. Returns 0 when fewer than two tenants completed work.
+    pub fn fairness_max_deviation(&self) -> f64 {
+        let rows: Vec<&TenantReport> =
+            self.tenants.iter().filter(|t| t.goodput_cost > 0).collect();
+        if rows.len() < 2 {
+            return 0.0;
+        }
+        let total_cost: u64 = rows.iter().map(|t| t.goodput_cost).sum();
+        let total_weight: u64 = rows.iter().map(|t| u64::from(t.weight)).sum();
+        rows.iter()
+            .map(|t| {
+                let share = t.goodput_cost as f64 / total_cost as f64;
+                let target = t.weight as f64 / total_weight as f64;
+                (share / target - 1.0).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
     /// Mean absolute predicted-vs-measured service-time error across all
     /// devices, as a fraction of total busy time (0 when nothing ran).
     pub fn mean_prediction_error(&self) -> f64 {
@@ -261,12 +349,41 @@ impl std::fmt::Display for MetricsReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "jobs: {} admitted, {} completed, {} rejected (full), {} rejected (invalid)",
+            "jobs: {} admitted, {} completed, {} shed ({} quota / {} budget), \
+             {} rejected (invalid), {} rejected (deadline)",
             self.jobs_admitted,
             self.jobs_completed,
-            self.jobs_rejected_full,
-            self.jobs_rejected_invalid
+            self.jobs_shed,
+            self.sheds_quota,
+            self.sheds_budget,
+            self.jobs_rejected_invalid,
+            self.jobs_rejected_deadline
         )?;
+        writeln!(
+            f,
+            "qos: {} deadline misses, {} blocking waits, fairness deviation {:.1}%",
+            self.deadline_misses,
+            self.blocking_waits,
+            100.0 * self.fairness_max_deviation()
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "{} (w{}): {} admitted, {} shed ({:.1}%), {} done, {} goodput, \
+                 {} deadline misses, latency p50/p95/p99 {}/{}/{} ns",
+                t.id,
+                t.weight,
+                t.admitted,
+                t.shed,
+                100.0 * t.shed_rate(),
+                t.completed,
+                t.goodput_cost,
+                t.deadline_misses,
+                t.latency_p50_ns,
+                t.latency_p95_ns,
+                t.latency_p99_ns
+            )?;
+        }
         writeln!(
             f,
             "coalescing: {} batches, {} job-chunk units, ratio {:.2}x",
@@ -348,28 +465,47 @@ pub(crate) fn busy_ns_from_s(seconds: f64) -> u64 {
     (seconds * 1e9).round() as u64
 }
 
+/// Point-in-time state read off the fair queue and tenant ledger when a
+/// report is assembled.
+pub(crate) struct QueueView {
+    /// High-water mark of queued jobs.
+    pub depth_high_water: usize,
+    /// Sheds attributed to a tenant exceeding its derived quota.
+    pub sheds_quota: u64,
+    /// Sheds attributed to global cost-budget pressure.
+    pub sheds_budget: u64,
+    /// Per-tenant admission/latency rows.
+    pub tenants: Vec<TenantReport>,
+}
+
 pub(crate) fn load_report(
     metrics: &ServeMetrics,
     names: &[(String, String)],
-    queue_high_water: usize,
+    queue: QueueView,
     variants: VariantReport,
     cache: CacheStats,
     results: ResultCacheStats,
 ) -> MetricsReport {
     MetricsReport {
         jobs_admitted: metrics.jobs_admitted.load(Ordering::Relaxed),
-        jobs_rejected_full: metrics.jobs_rejected_full.load(Ordering::Relaxed),
+        jobs_shed: metrics.jobs_shed.load(Ordering::Relaxed),
+        sheds_quota: queue.sheds_quota,
+        sheds_budget: queue.sheds_budget,
         jobs_rejected_invalid: metrics.jobs_rejected_invalid.load(Ordering::Relaxed),
+        jobs_rejected_deadline: metrics.jobs_rejected_deadline.load(Ordering::Relaxed),
+        deadline_misses: metrics.deadline_misses.load(Ordering::Relaxed),
+        blocking_waits: metrics.blocking_waits.load(Ordering::Relaxed),
         jobs_completed: metrics.jobs_completed.load(Ordering::Relaxed),
         batches_formed: metrics.batches_formed.load(Ordering::Relaxed),
         coalesced_jobs: metrics.coalesced_jobs.load(Ordering::Relaxed),
         comparer_char_batches: metrics.comparer_char_batches.load(Ordering::Relaxed),
         comparer_2bit_batches: metrics.comparer_2bit_batches.load(Ordering::Relaxed),
         comparer_4bit_batches: metrics.comparer_4bit_batches.load(Ordering::Relaxed),
-        queue_depth_high_water: queue_high_water,
+        queue_depth_high_water: queue.depth_high_water,
         variants,
         cache,
         results,
+        tenants: queue.tenants,
         devices: metrics
             .devices
             .iter()
@@ -412,7 +548,7 @@ mod tests {
         let report = load_report(
             &m,
             &[("MI100".into(), "OpenCL".into())],
-            7,
+            queue_view(7, (0, 0), Vec::new()),
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
@@ -442,7 +578,14 @@ mod tests {
             ("MI60".into(), "OpenCL".into()),
             ("MI60".into(), "SYCL".into()),
         ];
-        let report = load_report(&m, &names, 0, VariantReport::default(), CacheStats::default(), results);
+        let report = load_report(
+            &m,
+            &names,
+            queue_view(0, (0, 0), Vec::new()),
+            VariantReport::default(),
+            CacheStats::default(),
+            results,
+        );
         assert!((report.resident_hit_rate() - 3.0 / 8.0).abs() < 1e-12);
         assert_eq!(report.h2d_skipped_bytes(), 1024);
         assert!((report.result_cache_hit_rate() - 0.5).abs() < 1e-12);
@@ -460,7 +603,7 @@ mod tests {
         let report = load_report(
             &m,
             &[("MI60".into(), "OpenCL".into())],
-            0,
+            queue_view(0, (0, 0), Vec::new()),
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
@@ -478,7 +621,7 @@ mod tests {
         let report = load_report(
             &m,
             &[("MI60".into(), "OpenCL".into())],
-            0,
+            queue_view(0, (0, 0), Vec::new()),
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
@@ -486,5 +629,77 @@ mod tests {
         assert_eq!(report.resident_hit_rate(), 0.0);
         assert_eq!(report.result_cache_hit_rate(), 0.0);
         assert_eq!(report.h2d_skipped_bytes(), 0);
+        assert_eq!(report.fairness_max_deviation(), 0.0);
+    }
+
+    fn queue_view(
+        depth_high_water: usize,
+        sheds: (u64, u64),
+        tenants: Vec<TenantReport>,
+    ) -> QueueView {
+        QueueView {
+            depth_high_water,
+            sheds_quota: sheds.0,
+            sheds_budget: sheds.1,
+            tenants,
+        }
+    }
+
+    fn tenant_row(id: u32, weight: u32, goodput: u64) -> TenantReport {
+        TenantReport {
+            id: TenantId(id),
+            weight,
+            admitted: 1,
+            shed: 0,
+            completed: 1,
+            goodput_cost: goodput,
+            deadline_misses: 0,
+            latency_p50_ns: 0,
+            latency_p95_ns: 0,
+            latency_p99_ns: 0,
+        }
+    }
+
+    #[test]
+    fn fairness_deviation_measures_goodput_against_weights() {
+        let m = ServeMetrics::new(1);
+        m.jobs_shed.store(3, Ordering::Relaxed);
+        let exact = load_report(
+            &m,
+            &[("MI60".into(), "OpenCL".into())],
+            queue_view(
+                0,
+                (2, 1),
+                vec![tenant_row(1, 4, 400), tenant_row(2, 2, 200), tenant_row(3, 1, 100)],
+            ),
+            VariantReport::default(),
+            CacheStats::default(),
+            ResultCacheStats::default(),
+        );
+        assert!(exact.fairness_max_deviation() < 1e-12, "goodput == weights");
+        assert_eq!(exact.sheds_quota, 2);
+        assert_eq!(exact.sheds_budget, 1);
+        let text = exact.to_string();
+        assert!(text.contains("3 shed (2 quota / 1 budget)"), "{text}");
+        assert!(text.contains("tenant1 (w4)"), "{text}");
+
+        // Tenant 3 got 2x its weighted share: deviation = 1.0.
+        let skewed = load_report(
+            &m,
+            &[("MI60".into(), "OpenCL".into())],
+            queue_view(
+                0,
+                (0, 0),
+                vec![tenant_row(1, 4, 350), tenant_row(2, 2, 150), tenant_row(3, 1, 200)],
+            ),
+            VariantReport::default(),
+            CacheStats::default(),
+            ResultCacheStats::default(),
+        );
+        assert!(
+            (skewed.fairness_max_deviation() - 1.0).abs() < 1e-12,
+            "got {}",
+            skewed.fairness_max_deviation()
+        );
     }
 }

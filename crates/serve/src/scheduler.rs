@@ -255,6 +255,24 @@ impl DeviceModel {
             + scan_units * class.finder_s_per_unit
             + cost.candidate_fraction * scan_units * cost.jobs as f64 * comparer_rate
     }
+
+    /// Sustained admission throughput of this device in scan-position cost
+    /// units per second: a representative non-resident packed batch of one
+    /// `chunk_size`-position job, priced by [`Self::predict_s`]. Deadline
+    /// admission sums this across the pool to translate queued cost into a
+    /// predicted completion time.
+    pub fn admission_units_per_s(&self, chunk_size: usize) -> f64 {
+        let cost = BatchCost {
+            scan_len: chunk_size,
+            plen: 11,
+            jobs: 1,
+            chunk_bytes: chunk_size.div_ceil(4),
+            class: PayloadClass::Packed2Bit,
+            candidate_fraction: 0.1,
+            token: 0,
+        };
+        chunk_size as f64 / self.predict_s(&cost, false).max(1e-12)
+    }
 }
 
 /// The scheduler's prediction of which chunk payloads a device holds: an

@@ -17,8 +17,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cas_offinder::bulge::enumerate_variants;
 use cas_offinder::kernels::specialize::global_cache;
@@ -31,11 +32,13 @@ use gpu_sim::{DeviceSpec, ExecMode};
 
 use crate::batcher::{group_jobs, BatchJob, ChunkBatch};
 use crate::cache::{ChunkEncoding, ChunkKey, ChunkPayload, EncodedChunk, GenomeCache};
+use crate::frontend::{Completion, CompletionHub, JobEntry, Poll, Ticket, WaitError};
 use crate::job::{Job, JobId, JobSpec};
 use crate::metrics::{busy_ns_from_s, load_report, MetricsReport, ServeMetrics, VariantReport};
-use crate::queue::{BoundedJobQueue, QueueError};
+use crate::queue::{FairJobQueue, QueueError};
 use crate::results::{Admission, CanonicalSpec, ResultStore};
 use crate::scheduler::{residency_token, DeviceModel, DevicePool, Placement};
+use crate::tenant::{TenantConfig, TenantLedger, TenantTable};
 
 /// One simulated device in the pool: a hardware spec plus the pipeline
 /// flavour (OpenCL or SYCL) that drives it.
@@ -95,6 +98,11 @@ pub struct ServiceConfig {
     /// encoding). Results are byte-identical either way; the scheduler's
     /// cost model calibrates against whichever flavour runs.
     pub specialize: bool,
+    /// Per-tenant QoS parameters: fair-queuing weights and in-flight cost
+    /// quotas. Empty (the default) means single-tenant semantics — every
+    /// tenant gets weight 1 and the queue cost budget is the only
+    /// backpressure, exactly the pre-tenancy behaviour.
+    pub tenants: Vec<TenantConfig>,
 }
 
 impl ServiceConfig {
@@ -131,6 +139,7 @@ impl ServiceConfig {
             resident_chunks: 8,
             result_cache_bytes: 1 << 20,
             specialize: true,
+            tenants: Vec::new(),
         }
     }
 }
@@ -138,8 +147,22 @@ impl ServiceConfig {
 /// Why a submission was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The admission queue's cost budget is exhausted; back off and retry.
-    QueueFull,
+    /// The job was load-shed: the queue cost budget or the submitting
+    /// tenant's in-flight quota is exhausted. `retry_after_cost` is how
+    /// much cost must drain before an identical submission can succeed —
+    /// a typed backoff hint instead of a blind "full".
+    Shed {
+        /// Cost units that must drain (the tenant's own for quota sheds,
+        /// queue-wide for budget sheds) before retrying.
+        retry_after_cost: u64,
+    },
+    /// The spec carried a deadline the calibrated device model predicts
+    /// cannot be met given the work already in flight; the job is rejected
+    /// up front instead of being admitted only to time out late.
+    DeadlineInfeasible {
+        /// The model's predicted completion latency for this job now.
+        predicted: Duration,
+    },
     /// The spec names an assembly the service does not serve.
     UnknownAssembly(String),
     /// The spec is malformed (empty pattern, guide/pattern length skew,
@@ -152,7 +175,14 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::QueueFull => write!(f, "admission queue is full"),
+            SubmitError::Shed { retry_after_cost } => write!(
+                f,
+                "load shed: retry after {retry_after_cost} cost units drain"
+            ),
+            SubmitError::DeadlineInfeasible { predicted } => write!(
+                f,
+                "deadline infeasible: predicted completion in {predicted:?}"
+            ),
             SubmitError::UnknownAssembly(name) => write!(f, "unknown assembly `{name}`"),
             SubmitError::BadJob(why) => write!(f, "bad job: {why}"),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
@@ -162,26 +192,10 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// A registered job's progress: how many chunk-batch memberships are still
-/// due and the records accumulated so far.
-struct JobEntry {
-    /// `None` until the batcher has planned the job's chunk tasks.
-    remaining: Option<usize>,
-    offtargets: Vec<OffTarget>,
-    /// Bulge jobs fold several variant searches into one record set; exact
-    /// duplicates across variants are removed at completion.
-    dedup: bool,
-    done: bool,
-    /// Set on result-store compute leaders only: the digest + canonical
-    /// spec this job must publish to the [`ResultStore`] when it finishes,
-    /// fulfilling any merged followers.
-    publish: Option<(u64, CanonicalSpec)>,
-}
-
 struct Shared {
     config: ServiceConfig,
     assemblies: HashMap<String, Arc<Assembly>>,
-    queue: BoundedJobQueue,
+    queue: FairJobQueue,
     pool: DevicePool,
     cache: GenomeCache,
     results: ResultStore,
@@ -189,14 +203,47 @@ struct Shared {
     /// Snapshot of the process-wide variant cache's counters at service
     /// start; [`Service::metrics`] reports this service's deltas.
     variant_baseline: VariantCacheStats,
-    jobs: Mutex<HashMap<JobId, JobEntry>>,
-    done: Condvar,
+    /// Completion tracking: the job-entry map, the waiters' condvar, and
+    /// the collected-id tombstones.
+    hub: CompletionHub,
+    /// Per-tenant admit/shed/goodput/latency accounting.
+    ledger: TenantLedger,
+    /// Resolved weights and quotas, for the per-tenant metrics rows.
+    tenant_table: TenantTable,
+    /// Pool-wide sustained throughput in cost units per simulated second;
+    /// what deadline admission divides queued cost by.
+    admission_rate: f64,
 }
 
 impl Shared {
+    /// Settle finished jobs' out-of-lock side effects, in order: release
+    /// tenant quota (so admission unblocks first), account per-tenant
+    /// goodput and deadline misses, fire registered completion callbacks,
+    /// and finally wake blocking waiters. Must be called *without* the
+    /// hub's jobs lock held.
+    fn settle(&self, completions: Vec<Completion>) {
+        if completions.is_empty() {
+            return;
+        }
+        for c in completions {
+            if c.charged {
+                self.queue.job_finished(c.tenant, c.cost);
+            }
+            if c.deadline_missed {
+                self.metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            self.ledger.completed(c.tenant, c.cost, c.latency, c.deadline_missed);
+            self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(callback) = c.callback {
+                callback(c.id);
+            }
+        }
+        self.hub.done.notify_all();
+    }
+
     /// Publish finished leaders' result sets to the result store and mark
     /// their merged followers done. `published` pairs each leader's
-    /// `publish` key with its final (sorted) records; the `jobs` lock must
+    /// `publish` key with its final (sorted) records; the jobs lock must
     /// NOT be held — the store lock is taken here and the jobs lock is
     /// re-taken per follower batch, never both orderings.
     fn fulfill_followers(&self, published: Vec<((u64, CanonicalSpec), Vec<OffTarget>)>) {
@@ -205,16 +252,16 @@ impl Shared {
             if followers.is_empty() {
                 continue;
             }
-            let mut entries = self.jobs.lock().unwrap();
+            let mut completions = Vec::new();
+            let mut entries = self.hub.jobs.lock().unwrap();
             for id in followers {
                 if let Some(entry) = entries.get_mut(&id) {
                     entry.offtargets = records.clone();
-                    entry.done = true;
-                    self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                    completions.push(entry.finish(id));
                 }
             }
             drop(entries);
-            self.done.notify_all();
+            self.settle(completions);
         }
     }
 }
@@ -251,8 +298,15 @@ impl Service {
                 )
             })
             .collect();
+        // Pool-wide sustained throughput at this chunk size, for deadline
+        // admission. Summed over devices: the pool really does serve
+        // batches concurrently across all of them.
+        let admission_rate: f64 = models
+            .iter()
+            .map(|m| m.admission_units_per_s(config.chunk_size))
+            .sum();
         let shared = Arc::new(Shared {
-            queue: BoundedJobQueue::new(config.queue_cost_limit),
+            queue: FairJobQueue::new(config.queue_cost_limit, &config.tenants),
             pool: DevicePool::new(models, config.placement, config.resident_chunks),
             cache: GenomeCache::new(config.cache_bytes),
             results: ResultStore::new(config.result_cache_bytes),
@@ -262,8 +316,10 @@ impl Service {
                 .into_iter()
                 .map(|a| (a.name().to_string(), Arc::new(a)))
                 .collect(),
-            jobs: Mutex::new(HashMap::new()),
-            done: Condvar::new(),
+            hub: CompletionHub::new(),
+            ledger: TenantLedger::default(),
+            tenant_table: TenantTable::resolve(&config.tenants, config.queue_cost_limit),
+            admission_rate,
             config,
         });
 
@@ -287,8 +343,16 @@ impl Service {
     }
 
     /// Submit a job; on success the returned id can be passed to
-    /// [`Service::wait`].
+    /// [`Service::wait`], [`Service::poll`], or [`Service::on_complete`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.submit_ticket(spec).map(|ticket| ticket.id)
+    }
+
+    /// Submit a job and get the full admission receipt: the job id plus
+    /// the tenant, admitted cost, and deadline the QoS layer charged it
+    /// under — everything a front end needs to poll for completion and to
+    /// back off intelligently when a later submission sheds.
+    pub fn submit_ticket(&self, spec: JobSpec) -> Result<Ticket, SubmitError> {
         if let Err(why) = validate(&spec) {
             self.shared
                 .metrics
@@ -314,6 +378,23 @@ impl Service {
             }
         };
         let cost = assembly.total_len() as u64 * variants;
+        let tenant = spec.tenant;
+        let deadline = spec.deadline;
+
+        // Deadline-aware admission: translate the work already in flight
+        // plus this job into a predicted completion time through the
+        // calibrated device models, and reject infeasible deadlines up
+        // front instead of admitting work that can only time out late.
+        if let Some(slo) = deadline {
+            let predicted = self.predicted_completion(cost);
+            if predicted > slo {
+                self.shared
+                    .metrics
+                    .jobs_rejected_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::DeadlineInfeasible { predicted });
+            }
+        }
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // Content-addressed admission: a spec already served is answered
@@ -328,14 +409,8 @@ impl Service {
         // whole batch before this thread runs again, and the completion
         // path must find the key in place. Hit/Merged admissions never
         // enqueue, so they clear it below.
-        let entry = JobEntry {
-            remaining: None,
-            offtargets: Vec::new(),
-            dedup: spec.bulge.is_some(),
-            done: false,
-            publish: cached.clone(),
-        };
-        self.shared.jobs.lock().unwrap().insert(id, entry);
+        let entry = JobEntry::new(tenant, cost, deadline, spec.bulge.is_some(), cached.clone());
+        self.shared.hub.register(id, entry);
         let admission = match &cached {
             Some((digest, canon)) => {
                 let job = Job { id, spec, cost };
@@ -349,51 +424,62 @@ impl Service {
                 .try_submit(Job { id, spec, cost })
                 .map(|()| Admission::Admitted),
         };
+        let ticket = Ticket {
+            id,
+            tenant,
+            cost,
+            deadline,
+        };
         match admission {
             Ok(Admission::Hit(records)) => {
                 self.shared
                     .metrics
                     .jobs_admitted
                     .fetch_add(1, Ordering::Relaxed);
-                self.shared
-                    .metrics
-                    .jobs_completed
-                    .fetch_add(1, Ordering::Relaxed);
-                let mut jobs = self.shared.jobs.lock().unwrap();
-                let entry = jobs.get_mut(&id).expect("entry inserted above");
-                entry.offtargets = records;
-                entry.done = true;
-                entry.publish = None;
-                drop(jobs);
-                self.shared.done.notify_all();
-                Ok(id)
+                self.shared.ledger.admitted(tenant);
+                let completion = {
+                    let mut jobs = self.shared.hub.jobs.lock().unwrap();
+                    let entry = jobs.get_mut(&id).expect("entry inserted above");
+                    entry.offtargets = records;
+                    entry.publish = None;
+                    // A hit never entered the fair queue, so it holds no
+                    // tenant quota to release.
+                    entry.charged = false;
+                    entry.finish(id)
+                };
+                self.shared.settle(vec![completion]);
+                Ok(ticket)
             }
             Ok(Admission::Merged) => {
-                let mut jobs = self.shared.jobs.lock().unwrap();
-                jobs.get_mut(&id).expect("entry inserted above").publish = None;
+                let mut jobs = self.shared.hub.jobs.lock().unwrap();
+                let entry = jobs.get_mut(&id).expect("entry inserted above");
+                entry.publish = None;
+                // Merged followers ride the leader's compute; they never
+                // entered the queue and hold no quota.
+                entry.charged = false;
                 drop(jobs);
                 self.shared
                     .metrics
                     .jobs_admitted
                     .fetch_add(1, Ordering::Relaxed);
-                Ok(id)
+                self.shared.ledger.admitted(tenant);
+                Ok(ticket)
             }
             Ok(Admission::Admitted) => {
                 self.shared
                     .metrics
                     .jobs_admitted
                     .fetch_add(1, Ordering::Relaxed);
-                Ok(id)
+                self.shared.ledger.admitted(tenant);
+                Ok(ticket)
             }
             Err(err) => {
-                self.shared.jobs.lock().unwrap().remove(&id);
+                self.shared.hub.discard(id);
                 match err {
-                    QueueError::Full => {
-                        self.shared
-                            .metrics
-                            .jobs_rejected_full
-                            .fetch_add(1, Ordering::Relaxed);
-                        Err(SubmitError::QueueFull)
+                    QueueError::Shed { retry_after_cost } => {
+                        self.shared.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                        self.shared.ledger.shed(tenant);
+                        Err(SubmitError::Shed { retry_after_cost })
                     }
                     QueueError::Closed => Err(SubmitError::ShuttingDown),
                 }
@@ -401,21 +487,66 @@ impl Service {
         }
     }
 
+    /// Predicted completion latency of a `cost`-unit job admitted now:
+    /// everything in flight plus the job itself, drained at the pool's
+    /// calibrated aggregate rate, mapped to wall clock through the pacing
+    /// factor (without pacing the simulated devices complete at host
+    /// speed, so simulated seconds are the honest unit either way).
+    fn predicted_completion(&self, cost: u64) -> Duration {
+        let pending = self.shared.queue.inflight_cost().saturating_add(cost);
+        let sim_s = pending as f64 / self.shared.admission_rate.max(1e-12);
+        let wall_s = if self.shared.config.pacing > 0.0 {
+            sim_s * self.shared.config.pacing
+        } else {
+            sim_s
+        };
+        Duration::from_secs_f64(wall_s.min(1e9))
+    }
+
     /// Block until job `id` completes and take its records (canonically
     /// sorted, byte-identical to a serial run of the same query; for bulge
-    /// jobs, the sorted deduplicated union over all variants). Returns
-    /// `None` for ids never admitted or already collected.
-    pub fn wait(&self, id: JobId) -> Option<Vec<OffTarget>> {
-        let mut jobs = self.shared.jobs.lock().unwrap();
-        loop {
-            match jobs.get(&id) {
-                None => return None,
-                Some(entry) if entry.done => {
-                    return Some(jobs.remove(&id).expect("entry exists").offtargets);
-                }
-                Some(_) => jobs = self.shared.done.wait(jobs).unwrap(),
-            }
+    /// jobs, the sorted deduplicated union over all variants). A thin
+    /// wrapper over the non-blocking front end: the first successful
+    /// collect takes the records, after which the id reports
+    /// [`WaitError::Collected`]; ids never admitted report
+    /// [`WaitError::UnknownJob`].
+    pub fn wait(&self, id: JobId) -> Result<Vec<OffTarget>, WaitError> {
+        self.shared.hub.wait(id, || {
+            self.shared
+                .metrics
+                .blocking_waits
+                .fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    /// Non-blocking completion check: [`Poll::Ready`] hands the records
+    /// over exactly once, [`Poll::Pending`] means the job is still
+    /// computing. Never parks the calling thread.
+    pub fn poll(&self, id: JobId) -> Result<Poll, WaitError> {
+        self.shared.hub.poll(id)
+    }
+
+    /// `Option`-shaped [`Service::poll`]: `Some(records)` exactly once
+    /// when the job is done, `None` while it is still computing.
+    pub fn try_wait(&self, id: JobId) -> Result<Option<Vec<OffTarget>>, WaitError> {
+        match self.shared.hub.poll(id)? {
+            Poll::Ready(records) => Ok(Some(records)),
+            Poll::Pending => Ok(None),
         }
+    }
+
+    /// Register a completion waker for job `id`, invoked exactly once from
+    /// the completion path, outside every service lock. Runs immediately
+    /// if the job already finished (but was not yet collected); a later
+    /// registration replaces an earlier one. Std-only and runtime-
+    /// agnostic: an async executor wakes its task here, a reactor writes
+    /// its response, a test counts completions.
+    pub fn on_complete(
+        &self,
+        id: JobId,
+        callback: impl FnOnce(JobId) + Send + 'static,
+    ) -> Result<(), WaitError> {
+        self.shared.hub.on_complete(id, Box::new(callback))
     }
 
     /// A point-in-time snapshot of the service's counters.
@@ -427,10 +558,16 @@ impl Service {
             .iter()
             .map(|slot| (slot.spec.name.to_string(), slot.api.to_string()))
             .collect();
+        let (sheds_quota, sheds_budget) = self.shared.queue.shed_counts();
         load_report(
             &self.shared.metrics,
             &names,
-            self.shared.queue.depth_high_water(),
+            crate::metrics::QueueView {
+                depth_high_water: self.shared.queue.depth_high_water(),
+                sheds_quota,
+                sheds_budget,
+                tenants: self.shared.ledger.report(&self.shared.tenant_table),
+            },
             VariantReport::delta(&self.shared.variant_baseline, &global_cache().stats()),
             self.shared.cache.stats(),
             self.shared.results.stats(),
@@ -588,29 +725,22 @@ fn batcher_loop(shared: &Shared) {
         }
 
         let mut published: Vec<((u64, CanonicalSpec), Vec<OffTarget>)> = Vec::new();
+        let mut completions = Vec::new();
         {
-            let mut entries = shared.jobs.lock().unwrap();
-            let mut any_done = false;
+            let mut entries = shared.hub.jobs.lock().unwrap();
             for (&id, &count) in &per_job_memberships {
                 if let Some(entry) = entries.get_mut(&id) {
                     entry.remaining = Some(count);
                     if count == 0 {
-                        entry.done = true;
-                        any_done = true;
                         if let Some(key) = entry.publish.take() {
                             published.push((key, entry.offtargets.clone()));
                         }
-                        shared
-                            .metrics
-                            .jobs_completed
-                            .fetch_add(1, Ordering::Relaxed);
+                        completions.push(entry.finish(id));
                     }
                 }
             }
-            if any_done {
-                shared.done.notify_all();
-            }
         }
+        shared.settle(completions);
         // An empty plan (pattern longer than every chromosome) is still a
         // result set: cache it and complete any merged duplicates.
         shared.fulfill_followers(published);
@@ -831,8 +961,8 @@ fn worker_loop(shared: &Shared, w: usize) {
             scan_len: batch.chunk.scan_len,
         };
         let mut published: Vec<((u64, CanonicalSpec), Vec<OffTarget>)> = Vec::new();
-        let mut entries = shared.jobs.lock().unwrap();
-        let mut any_done = false;
+        let mut completions = Vec::new();
+        let mut entries = shared.hub.jobs.lock().unwrap();
         for (member, member_entries) in batch.jobs.iter().zip(&per_query) {
             let Some(entry) = entries.get_mut(&member.id) else {
                 continue;
@@ -854,23 +984,17 @@ fn worker_loop(shared: &Shared, w: usize) {
                 if entry.dedup {
                     entry.offtargets.dedup();
                 }
-                entry.done = true;
-                any_done = true;
                 if let Some(key) = entry.publish.take() {
                     published.push((key, entry.offtargets.clone()));
                 }
-                shared
-                    .metrics
-                    .jobs_completed
-                    .fetch_add(1, Ordering::Relaxed);
+                completions.push(entry.finish(member.id));
             }
         }
         drop(entries);
-        if any_done {
-            shared.done.notify_all();
-        }
-        // Outside the jobs lock: cache the finished leaders' records and
-        // complete any duplicates that merged onto them while computing.
+        // Outside the jobs lock: release quotas, account the tenants, fire
+        // callbacks, then cache the finished leaders' records and complete
+        // any duplicates that merged onto them while computing.
+        shared.settle(completions);
         shared.fulfill_followers(published);
     }
 }
@@ -1263,9 +1387,165 @@ mod tests {
     }
 
     #[test]
-    fn waiting_on_an_unknown_id_returns_none() {
+    fn wait_distinguishes_unknown_ids_from_already_collected_ones() {
+        // Regression: both cases used to collapse into `None`, so a client
+        // could not tell a typo'd id from a double collect.
         let service = Service::start(small_config(), vec![toy_assembly()]);
-        assert!(service.wait(999).is_none());
+        assert_eq!(service.wait(999).unwrap_err(), WaitError::UnknownJob);
+        assert_eq!(service.poll(999).unwrap_err(), WaitError::UnknownJob);
+        let id = service
+            .submit(JobSpec::new(
+                "toy",
+                b"NNNNNNNNNRG".to_vec(),
+                b"ACGTACGTNNN".to_vec(),
+                3,
+            ))
+            .unwrap();
+        let got = service.wait(id).unwrap();
+        assert!(!got.is_empty());
+        assert_eq!(service.wait(id).unwrap_err(), WaitError::Collected);
+        assert_eq!(service.poll(id).unwrap_err(), WaitError::Collected);
+        assert_eq!(service.try_wait(id).unwrap_err(), WaitError::Collected);
+    }
+
+    #[test]
+    fn polling_and_callbacks_complete_jobs_without_blocking() {
+        use std::sync::atomic::AtomicUsize;
+
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        let assembly = toy_assembly();
+        let specs = distinct_specs(8);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let tickets: Vec<Ticket> = specs
+            .iter()
+            .map(|s| service.submit_ticket(s.clone()).unwrap())
+            .collect();
+        for t in &tickets {
+            let fired = Arc::clone(&fired);
+            service
+                .on_complete(t.id, move |_| {
+                    fired.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        // Pure polling: no thread ever parks in `wait`.
+        let mut pending: Vec<usize> = (0..tickets.len()).collect();
+        let mut results: Vec<Option<Vec<OffTarget>>> = vec![None; tickets.len()];
+        while !pending.is_empty() {
+            pending.retain(|&i| match service.poll(tickets[i].id).unwrap() {
+                Poll::Ready(records) => {
+                    results[i] = Some(records);
+                    false
+                }
+                Poll::Pending => true,
+            });
+            std::thread::yield_now();
+        }
+        for (spec, got) in specs.iter().zip(&results) {
+            assert_eq!(
+                got.as_deref().unwrap(),
+                serial_oracle(&assembly, spec),
+                "polled results are byte-identical to the serial oracle"
+            );
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), specs.len());
+        let report = service.metrics();
+        assert_eq!(report.blocking_waits, 0, "no wait ever parked: {report}");
+    }
+
+    #[test]
+    fn feasible_deadlines_are_admitted_and_met() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        let spec = JobSpec::new(
+            "toy",
+            b"NNNNNNNNNRG".to_vec(),
+            b"ACGTACGTNNN".to_vec(),
+            3,
+        )
+        .with_deadline(Duration::from_secs(60));
+        let ticket = service.submit_ticket(spec).unwrap();
+        assert_eq!(ticket.deadline, Some(Duration::from_secs(60)));
+        assert!(!service.wait(ticket.id).unwrap().is_empty());
+        let report = service.metrics();
+        assert_eq!(report.deadline_misses, 0, "{report}");
+        assert_eq!(report.jobs_rejected_deadline, 0, "{report}");
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_rejected_at_admission() {
+        // An enormous pacing factor maps even the tiny toy workload to
+        // centuries of predicted wall clock, so any finite deadline is
+        // infeasible; rejected jobs never execute, so the pacing sleep is
+        // never taken.
+        let mut config = small_config();
+        config.pacing = 1e12;
+        let service = Service::start(config, vec![toy_assembly()]);
+        let spec = JobSpec::new(
+            "toy",
+            b"NNNNNNNNNRG".to_vec(),
+            b"ACGTACGTNNN".to_vec(),
+            3,
+        )
+        .with_deadline(Duration::from_millis(1));
+        match service.submit_ticket(spec).unwrap_err() {
+            SubmitError::DeadlineInfeasible { predicted } => {
+                assert!(predicted > Duration::from_millis(1), "{predicted:?}");
+            }
+            other => panic!("expected DeadlineInfeasible, got {other:?}"),
+        }
+        let report = service.metrics();
+        assert_eq!(report.jobs_rejected_deadline, 1, "{report}");
+        assert_eq!(report.jobs_admitted, 0, "{report}");
+    }
+
+    #[test]
+    fn shed_submissions_report_typed_retry_hints_and_tenant_rows() {
+        // Two tenants on a budget sized so tenant 2's quota is one toy
+        // job: its second concurrent submission must shed with the typed
+        // hint while tenant 1 keeps being admitted.
+        let assembly = toy_assembly();
+        let cost = assembly.total_len() as u64;
+        let mut config = small_config();
+        config.result_cache_bytes = 0; // duplicates must hit the queue
+        config.queue_cost_limit = cost * 4;
+        config.tenants = vec![
+            TenantConfig::weighted(crate::TenantId(1), 3),
+            TenantConfig::weighted(crate::TenantId(2), 1),
+        ];
+        let service = Service::start(config, vec![assembly]);
+        let specs = distinct_specs(8);
+        // Tenant 2 fills its quota (one cost unit of jobs), then sheds.
+        let first = service
+            .submit_ticket(specs[0].clone().for_tenant(crate::TenantId(2)))
+            .unwrap();
+        assert_eq!(first.cost, cost);
+        let mut sheds = 0;
+        for spec in specs.iter().skip(1).take(4) {
+            match service.submit_ticket(spec.clone().for_tenant(crate::TenantId(2))) {
+                Ok(_) => {}
+                Err(SubmitError::Shed { retry_after_cost }) => {
+                    assert!(retry_after_cost > 0);
+                    sheds += 1;
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert!(sheds > 0, "tenant 2 must shed past its quota");
+        // Tenant 1 still gets in on its larger quota.
+        service
+            .submit_ticket(specs[5].clone().for_tenant(crate::TenantId(1)))
+            .unwrap();
+        let report = service.metrics();
+        assert_eq!(report.jobs_shed, sheds, "{report}");
+        assert_eq!(report.sheds_quota, sheds, "{report}");
+        assert_eq!(report.sheds_budget, 0, "{report}");
+        let t2 = report
+            .tenants
+            .iter()
+            .find(|t| t.id == crate::TenantId(2))
+            .expect("tenant 2 has a row");
+        assert_eq!(t2.shed, sheds, "{report}");
+        assert!(t2.admitted >= 1, "{report}");
     }
 
     #[test]

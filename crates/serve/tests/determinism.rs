@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use cas_offinder::pipeline::{ocl, PipelineConfig};
 use cas_offinder::{OffTarget, SearchInput};
-use casoff_serve::{JobSpec, Service, ServiceConfig};
+use casoff_serve::{JobSpec, Service, ServiceConfig, TenantConfig, TenantId};
 use genome::rng::Xoshiro256;
 use genome::Assembly;
 use gpu_sim::{DeviceSpec, ExecMode};
@@ -70,7 +70,7 @@ fn submit_with_backoff(service: &Service, spec: JobSpec) -> u64 {
     loop {
         match service.submit(spec.clone()) {
             Ok(id) => return id,
-            Err(casoff_serve::SubmitError::QueueFull) => {
+            Err(casoff_serve::SubmitError::Shed { .. }) => {
                 std::thread::sleep(Duration::from_micros(200));
             }
             Err(err) => panic!("unexpected rejection: {err}"),
@@ -266,4 +266,66 @@ fn masked_chunks_ride_the_nibble_path_and_stay_byte_identical() {
         "dense chunks must select the nibble comparer: {report}"
     );
     service.shutdown();
+}
+
+/// QoS must never leak into results: a fixed 3-tenant overload mix (weights
+/// 4/2/1 on a queue budget far smaller than the offered load, so jobs
+/// really shed and retry) produces, run after run, results byte-identical
+/// to the serial pipeline — and every shed is attributable to an over-quota
+/// tenant, never to global budget pressure, because the derived quotas sum
+/// to the budget and bind first.
+#[test]
+fn tenant_overload_shedding_is_deterministic_and_byte_identical() {
+    let specs = distinct_specs();
+    let oracle: Vec<Vec<OffTarget>> = {
+        let asm = assembly();
+        specs.iter().map(|s| serial_ocl(&asm, s)).collect()
+    };
+
+    // Fixed mix: job i belongs to tenant 1/2/3 cyclically, spec i mod 10.
+    let jobs: Vec<(usize, TenantId)> = (0..90)
+        .map(|i| (i % specs.len(), TenantId(1 + (i % 3) as u32)))
+        .collect();
+
+    let run = || {
+        let mut config = ServiceConfig::paper_pool();
+        config.chunk_size = CHUNK_SIZE;
+        // ~8 jobs' worth of cost against 90 offered jobs: heavy overload.
+        config.queue_cost_limit = 64_000;
+        config.cache_bytes = 16 * 1024;
+        config.result_cache_bytes = 0;
+        config.tenants = vec![
+            TenantConfig::weighted(TenantId(1), 4),
+            TenantConfig::weighted(TenantId(2), 2),
+            TenantConfig::weighted(TenantId(3), 1),
+        ];
+        let service = Service::start(config, vec![assembly()]);
+        let ids: Vec<(u64, usize)> = jobs
+            .iter()
+            .map(|&(spec_index, tenant)| {
+                let spec = specs[spec_index].clone().for_tenant(tenant);
+                (submit_with_backoff(&service, spec), spec_index)
+            })
+            .collect();
+        let results: Vec<Vec<OffTarget>> = ids
+            .iter()
+            .map(|&(id, _)| service.wait(id).unwrap())
+            .collect();
+        let report = service.metrics();
+        assert_eq!(report.jobs_completed, 90);
+        assert_eq!(
+            report.sheds_budget, 0,
+            "derived quotas must bind before the budget: {report}"
+        );
+        service.shutdown();
+        (ids, results, report.jobs_shed > 0)
+    };
+
+    let (ids_a, results_a, shed_a) = run();
+    let (_ids_b, results_b, _) = run();
+    assert!(shed_a, "the overload mix must actually shed");
+    assert_eq!(results_a, results_b, "byte-identical across runs");
+    for ((id, spec_index), got) in ids_a.iter().zip(&results_a) {
+        assert_eq!(got, &oracle[*spec_index], "job {id} (spec {spec_index})");
+    }
 }

@@ -51,7 +51,8 @@ use cas_offinder::kernels::{OptLevel, VariantKind};
 use cas_offinder::pipeline::{ocl, PipelineConfig};
 use cas_offinder::{OffTarget, SearchInput};
 use casoff_serve::{
-    ChunkEncoding, JobSpec, MetricsReport, Placement, Service, ServiceConfig, SubmitError,
+    ChunkEncoding, JobSpec, MetricsReport, Placement, Poll, Service, ServiceConfig, SubmitError,
+    TenantConfig, TenantId, Ticket,
 };
 use genome::rng::Xoshiro256;
 use genome::Assembly;
@@ -168,7 +169,7 @@ fn serve_jobs(
                                 ids.push((id, i % specs.len()));
                                 break;
                             }
-                            Err(SubmitError::QueueFull) => {
+                            Err(SubmitError::Shed { .. }) => {
                                 std::thread::sleep(Duration::from_micros(500));
                             }
                             Err(err) => panic!("unexpected rejection: {err}"),
@@ -239,10 +240,10 @@ fn serve_run_specialized(
     let report = service.metrics();
     print!("{report}");
     assert_eq!(report.jobs_completed, jobs as u64);
-    if report.jobs_rejected_full > 0 {
+    if report.jobs_shed > 0 {
         println!(
-            "backpressure: {} submissions bounced off the full queue before admission",
-            report.jobs_rejected_full
+            "backpressure: {} submissions were shed off the full queue before admission",
+            report.jobs_shed
         );
     }
     println!();
@@ -328,6 +329,193 @@ fn affinity_run(
         Err(_) => unreachable!("all submitters joined"),
     }
     (report, replay_hit_rate)
+}
+
+/// Per-tenant goodput-cost quota, in whole jobs, for the QoS overload run:
+/// tenant 3 (weight 1) admits `QOS_QUOTA_JOBS` jobs per burst, tenants 2
+/// and 1 proportionally more.
+const QOS_QUOTA_JOBS: u64 = 8;
+/// Open-loop overload bursts through the QoS service. Each burst offers
+/// far more work than the quotas admit; goodput accumulates across bursts.
+const QOS_ROUNDS: usize = 3;
+
+/// The multi-tenant QoS front end under sustained open-loop overload:
+/// three tenants with weights 4/2/1 each flood the service with more work
+/// than their quotas admit, every admitted job is collected by *polling*
+/// (never a blocking `wait`), completions are counted through registered
+/// callbacks, and each result is verified byte-identical to the serial
+/// oracle. Deadline admission is exercised on top: generous (feasible)
+/// deadlines ride along and must all be met; impossible ones must be
+/// rejected up front. Returns the report plus the deadline-rejection
+/// count.
+fn qos_run(
+    assembly: &Assembly,
+    specs: &[JobSpec],
+    oracle: &[Vec<OffTarget>],
+) -> (MetricsReport, u64) {
+    let weights: [(TenantId, u32); 3] = [
+        (TenantId(1), 4),
+        (TenantId(2), 2),
+        (TenantId(3), 1),
+    ];
+    let job_cost = assembly.total_len() as u64;
+    let mut config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion, CHUNK_SIZE);
+    // Budget = Σ quotas = 7 weight-shares of QOS_QUOTA_JOBS jobs each, so
+    // derived quotas land on whole job counts (4/2/1 × QOS_QUOTA_JOBS) and
+    // the budget can never bind before a tenant's quota.
+    config.queue_cost_limit = 7 * QOS_QUOTA_JOBS * job_cost;
+    // Every job computes: goodput is real device work, not cache hits.
+    config.result_cache_bytes = 0;
+    config.tenants = weights
+        .iter()
+        .map(|&(id, w)| TenantConfig::weighted(id, w))
+        .collect();
+    let service = Arc::new(Service::start(config, vec![assembly.clone()]));
+
+    let done_callbacks = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut admitted: Vec<(Ticket, usize)> = Vec::new();
+    let mut offered = 0u64;
+    for round in 0..QOS_ROUNDS {
+        // Open-loop burst, one racing submitter per tenant: each offers
+        // every spec twice (far beyond any quota) with no backoff — a shed
+        // job is simply dropped, as a front end under overload would.
+        let handles: Vec<_> = weights
+            .iter()
+            .map(|&(tenant, _)| {
+                let service = Arc::clone(&service);
+                let specs = specs.to_vec();
+                std::thread::spawn(move || {
+                    let mut tickets = Vec::new();
+                    let mut offered = 0u64;
+                    for rep in 0..2 {
+                        for (i, spec) in specs.iter().enumerate() {
+                            // Feasible SLO on half the jobs: generous next
+                            // to the paced drain of one burst.
+                            let mut spec = spec.clone().for_tenant(tenant);
+                            if (i + rep) % 2 == 0 {
+                                spec = spec.with_deadline(Duration::from_secs(600));
+                            }
+                            offered += 1;
+                            match service.submit_ticket(spec) {
+                                Ok(ticket) => tickets.push((ticket, i)),
+                                Err(SubmitError::Shed { retry_after_cost }) => {
+                                    assert!(retry_after_cost > 0, "typed hint is actionable");
+                                }
+                                Err(err) => panic!("unexpected rejection: {err}"),
+                            }
+                        }
+                    }
+                    (tickets, offered)
+                })
+            })
+            .collect();
+        let mut round_admitted = Vec::new();
+        for h in handles {
+            let (tickets, n) = h.join().expect("submitter panicked");
+            round_admitted.extend(tickets);
+            offered += n;
+        }
+        // Register completion callbacks, then drain the burst by polling —
+        // no thread ever parks in `wait`.
+        for (ticket, _) in &round_admitted {
+            let done = Arc::clone(&done_callbacks);
+            service
+                .on_complete(ticket.id, move |_| {
+                    done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                })
+                .expect("admitted jobs accept callbacks");
+        }
+        let mut pending: Vec<usize> = (0..round_admitted.len()).collect();
+        while !pending.is_empty() {
+            pending.retain(|&k| {
+                match service
+                    .poll(round_admitted[k].0.id)
+                    .expect("admitted jobs poll cleanly")
+                {
+                    Poll::Ready(records) => {
+                        assert_eq!(
+                            records, oracle[round_admitted[k].1],
+                            "polled results must be byte-identical to the serial oracle"
+                        );
+                        false
+                    }
+                    Poll::Pending => true,
+                }
+            });
+            if !pending.is_empty() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let r = service.metrics();
+        println!(
+            "[qos round {round}] {} admitted of {} offered so far; \
+             fairness deviation {:.1}%, {} quota sheds / {} budget sheds",
+            r.jobs_admitted,
+            offered,
+            100.0 * r.fairness_max_deviation(),
+            r.sheds_quota,
+            r.sheds_budget,
+        );
+        admitted.extend(round_admitted);
+    }
+
+    // Deadline admission, on the now-idle service: an impossible SLO is
+    // rejected up front with the model's predicted completion.
+    let mut deadline_rejections = 0u64;
+    for spec in specs.iter().take(4) {
+        match service.submit_ticket(
+            spec.clone()
+                .for_tenant(TenantId(3))
+                .with_deadline(Duration::from_micros(1)),
+        ) {
+            Err(SubmitError::DeadlineInfeasible { predicted }) => {
+                assert!(predicted > Duration::from_micros(1));
+                deadline_rejections += 1;
+            }
+            Ok(ticket) => {
+                // The model may price an empty queue under 1 µs of wall
+                // time only if pacing were off; with pacing on this arm is
+                // unreachable, but drain it defensively.
+                let _ = service.wait(ticket.id);
+                panic!("a 1 µs deadline must be infeasible under pacing");
+            }
+            Err(err) => panic!("unexpected rejection: {err}"),
+        }
+    }
+
+    let report = service.metrics();
+    print!("{report}");
+    println!();
+    assert_eq!(
+        done_callbacks.load(std::sync::atomic::Ordering::Relaxed),
+        admitted.len() as u64,
+        "every admitted job fired its completion callback exactly once"
+    );
+    assert_eq!(
+        report.blocking_waits, 0,
+        "the poll/callback harness must never park a thread in wait"
+    );
+    assert_eq!(report.jobs_completed, admitted.len() as u64);
+    assert_eq!(
+        report.sheds_budget, 0,
+        "derived quotas must bind before the budget, so every shed is \
+         attributable to an over-quota tenant"
+    );
+    assert!(report.jobs_shed > 0, "the overload must actually shed");
+    assert_eq!(report.deadline_misses, 0, "every feasible SLO was met");
+    let deviation = report.fairness_max_deviation();
+    assert!(
+        deviation <= 0.15,
+        "per-tenant goodput must match the 4/2/1 weights within 15%, \
+         got {:.1}%",
+        100.0 * deviation
+    );
+
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => unreachable!("all submitters joined"),
+    }
+    (report, deadline_rejections)
 }
 
 /// Simulated makespan: the busiest device bounds the pool's throughput.
@@ -484,6 +672,12 @@ fn main() {
         true,
     );
 
+    // This PR's tentpole: the multi-tenant QoS front end under sustained
+    // open-loop overload — weighted fair queuing, quota-ordered shedding,
+    // deadline admission, and fully non-blocking poll/callback completion.
+    println!("multi-tenant QoS front end (weights 4/2/1, open-loop overload):");
+    let (qos, deadline_rejections) = qos_run(&assembly, &specs, &oracle);
+
     let packed_jobs_per_s = jobs as f64 / makespan_s(&packed);
     let raw_jobs_per_s = jobs as f64 / makespan_s(&raw);
     let affinity_jobs = affinity.jobs_completed;
@@ -627,6 +821,87 @@ fn main() {
         );
     }
 
+    println!("multi-tenant QoS summary:");
+    println!(
+        "  fairness:           max goodput deviation from the 4/2/1 weights {:.1}%",
+        100.0 * qos.fairness_max_deviation()
+    );
+    println!(
+        "  shedding:           {} quota sheds / {} budget sheds over {} admitted \
+         (every shed attributable to an over-quota tenant)",
+        qos.sheds_quota, qos.sheds_budget, qos.jobs_admitted
+    );
+    println!(
+        "  deadlines:          {} feasible-SLO misses, {} infeasible SLOs rejected up front",
+        qos.deadline_misses, deadline_rejections
+    );
+    println!(
+        "  completion:         {} blocking waits across the poll/callback harness",
+        qos.blocking_waits
+    );
+    for t in &qos.tenants {
+        println!(
+            "    tenant{} (w{}): {} admitted, {} shed ({:.0}% shed rate), \
+             goodput {} cost units, latency p50/p95/p99 {:.1}/{:.1}/{:.1} ms",
+            t.id.0,
+            t.weight,
+            t.admitted,
+            t.shed,
+            100.0 * t.shed_rate(),
+            t.goodput_cost,
+            t.latency_p50_ns as f64 / 1e6,
+            t.latency_p95_ns as f64 / 1e6,
+            t.latency_p99_ns as f64 / 1e6,
+        );
+    }
+
+    let tenant_json: String = qos
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            format!(
+                "      {{ \"tenant\": {}, \"weight\": {}, \"admitted\": {}, \
+                 \"shed\": {}, \"completed\": {}, \"goodput_cost\": {}, \
+                 \"shed_rate\": {:.4}, \"deadline_misses\": {}, \
+                 \"latency_p50_ns\": {}, \"latency_p95_ns\": {}, \
+                 \"latency_p99_ns\": {} }}{}\n",
+                t.id.0,
+                t.weight,
+                t.admitted,
+                t.shed,
+                t.completed,
+                t.goodput_cost,
+                t.shed_rate(),
+                t.deadline_misses,
+                t.latency_p50_ns,
+                t.latency_p95_ns,
+                t.latency_p99_ns,
+                if i + 1 == qos.tenants.len() { "" } else { "," },
+            )
+        })
+        .collect();
+    let qos_json = format!(
+        concat!(
+            "{{ \"fairness_max_deviation\": {:.4}, \"sheds_quota\": {}, ",
+            "\"sheds_budget\": {}, \"deadline_misses\": {}, ",
+            "\"deadline_rejections\": {}, \"blocking_waits\": {}, ",
+            "\"jobs_admitted\": {}, \"jobs_shed\": {},\n",
+            "    \"tenants\": [\n",
+            "{}",
+            "    ] }}"
+        ),
+        qos.fairness_max_deviation(),
+        qos.sheds_quota,
+        qos.sheds_budget,
+        qos.deadline_misses,
+        deadline_rejections,
+        qos.blocking_waits,
+        qos.jobs_admitted,
+        qos.jobs_shed,
+        tenant_json,
+    );
+
     let variant_json: String = rows
         .iter()
         .enumerate()
@@ -681,6 +956,7 @@ fn main() {
             "    \"variants\": [\n",
             "{}",
             "    ] }},\n",
+            "  \"qos\": {},\n",
             "  \"transfer_reduction_per_batch\": {:.3},\n",
             "  \"affinity_transfer_reduction_per_batch\": {:.3},\n",
             "  \"jobs_per_s_improvement\": {:.3}\n",
@@ -731,6 +1007,7 @@ fn main() {
         spec_cold.variants.compile_p95_ns,
         spec_warm.mean_prediction_error(),
         variant_json,
+        qos_json,
         transfer_reduction,
         affinity_transfer_reduction,
         packed_jobs_per_s / raw_jobs_per_s,

@@ -42,6 +42,16 @@ awk -v r="${variant_hit:-0}" 'BEGIN { exit !(r >= 0.9) }' \
 spec_speedup=$(sed -n 's/.*"specialize_speedup": \([0-9.]*\).*/\1/p' BENCH_serve.json)
 awk -v s="${spec_speedup:-0}" 'BEGIN { exit !(s >= 1.15) }' \
   || { echo "specialized warm speedup is ${spec_speedup:-absent}; expected >= 1.15"; exit 1; }
+# Under the 4/2/1 open-loop overload the weighted fair queue must hold
+# per-tenant goodput within 15% of the configured weight shares.
+fairness=$(sed -n 's/.*"fairness_max_deviation": \([0-9.e-]*\).*/\1/p' BENCH_serve.json)
+awk -v f="${fairness:-1}" 'BEGIN { exit !(f <= 0.15) }' \
+  || { echo "QoS fairness deviation is ${fairness:-absent}; expected <= 0.15"; exit 1; }
+# Deadline-aware admission only accepts SLOs the device model says are
+# feasible, so no admitted job may finish past its deadline.
+deadline_misses=$(sed -n 's/.*"deadline_misses": \([0-9]*\).*/\1/p' BENCH_serve.json | head -n 1)
+awk -v n="${deadline_misses:-1}" 'BEGIN { exit !(n == 0) }' \
+  || { echo "QoS deadline misses: ${deadline_misses:-absent}; expected 0"; exit 1; }
 
 echo "== bench: specialized vs generic comparers =="
 cargo bench -q -p casoff-bench --bench serve_specialize
