@@ -1132,6 +1132,116 @@ impl OclChunkRunner {
         Ok(())
     }
 
+    /// Upload-only warmup for the raw path: place `seq` in the `chr`
+    /// scratch under `token` without launching a kernel, so a later
+    /// [`run_chunk_resident`](Self::run_chunk_resident) with the same token
+    /// skips the transfer. Returns whether an upload actually happened
+    /// (`false` when the token was already resident).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn prefetch_chunk(&self, token: u64, seq: &[u8]) -> ClResult<bool> {
+        assert!(
+            seq.len() <= self.cap + self.pattern.plen(),
+            "chunk ({} bases) exceeds runner capacity {}",
+            seq.len(),
+            self.cap
+        );
+        if self.chr_token.get() == Some(token) {
+            return Ok(false);
+        }
+        self.queue.enqueue_write_buffer(&self.chr, true, 0, seq)?;
+        self.chr_token.set(Some(token));
+        Ok(true)
+    }
+
+    /// Upload-only warmup for the packed path: claim a residency slot for
+    /// `token` (evicting the least-recently-used slot if no slot already
+    /// holds the token) and upload the packed payload without launching a
+    /// kernel. Returns whether an upload actually happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn prefetch_packed_chunk(&self, token: u64, packed: &PackedSeq) -> ClResult<bool> {
+        assert!(
+            packed.len() <= self.cap + self.pattern.plen(),
+            "chunk ({} bases) exceeds runner capacity {}",
+            packed.len(),
+            self.cap
+        );
+        self.slot_clock.set(self.slot_clock.get() + 1);
+        if let Some(slot) = self.slots.iter().find(|s| s.token.get() == Some(token)) {
+            slot.tick.set(self.slot_clock.get());
+            return Ok(false);
+        }
+        let slot = self
+            .slots
+            .iter()
+            .min_by_key(|s| s.tick.get())
+            .expect("runner always has at least one slot");
+        slot.token.set(Some(token));
+        slot.tick.set(self.slot_clock.get());
+        self.queue
+            .enqueue_write_buffer(&slot.packed_buf, true, 0, packed.packed_bytes())?;
+        self.queue
+            .enqueue_write_buffer(&slot.mask_buf, true, 0, packed.mask_bytes())?;
+        if !packed.exceptions().is_empty() {
+            let (pos, val) = packed.exception_arrays();
+            self.queue.enqueue_write_buffer(&slot.exc_pos, true, 0, &pos)?;
+            self.queue.enqueue_write_buffer(&slot.exc_val, true, 0, &val)?;
+        }
+        Ok(true)
+    }
+
+    /// Upload-only warmup for the nibble path: claim a nibble residency
+    /// slot for `token` and upload the nibble words without launching a
+    /// kernel. Returns whether an upload actually happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk exceeds the runner's configured capacity.
+    pub fn prefetch_nibble_chunk(&self, token: u64, nibble: &NibbleSeq) -> ClResult<bool> {
+        assert!(
+            nibble.len() <= self.cap + self.pattern.plen(),
+            "chunk ({} bases) exceeds runner capacity {}",
+            nibble.len(),
+            self.cap
+        );
+        self.slot_clock.set(self.slot_clock.get() + 1);
+        if let Some(slot) = self
+            .nibble_slots
+            .iter()
+            .find(|s| s.token.get() == Some(token))
+        {
+            slot.tick.set(self.slot_clock.get());
+            return Ok(false);
+        }
+        let slot = self
+            .nibble_slots
+            .iter()
+            .min_by_key(|s| s.tick.get())
+            .expect("runner always has at least one slot");
+        slot.token.set(Some(token));
+        slot.tick.set(self.slot_clock.get());
+        self.queue
+            .enqueue_write_buffer(&slot.nibble_buf, true, 0, nibble.nibble_bytes())?;
+        Ok(true)
+    }
+
     /// Block until every enqueued command completes.
     pub fn finish(&self) {
         self.queue.finish();
@@ -2193,6 +2303,88 @@ impl SyclChunkRunner {
             *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
         }
         Ok(())
+    }
+
+    /// Upload-only warmup for the raw path: bind `seq`'s buffer to the
+    /// device inside a kernel-less command group (charging the implicit
+    /// accessor upload) and retain it in the residency list under `token`,
+    /// so a later [`run_chunk_resident`](Self::run_chunk_resident) with the
+    /// same token rebinds instead of uploading. Returns whether an upload
+    /// actually happened (`false` when the token was already resident).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn prefetch_chunk(&self, token: u64, seq: &[u8]) -> SyclResult<bool> {
+        if let Some(buf) = take_resident(&self.raw_res, token) {
+            retain_resident(&self.raw_res, token, buf, self.resident_cap);
+            return Ok(false);
+        }
+        let buf = Buffer::from_slice(seq);
+        self.queue
+            .submit(|h| h.get_access(&buf, AccessMode::Read).map(|_| ()))?;
+        retain_resident(&self.raw_res, token, buf, self.resident_cap);
+        Ok(true)
+    }
+
+    /// Upload-only warmup for the packed path: bind the packed payload's
+    /// buffers in a kernel-less command group and retain them under
+    /// `token`. Returns whether an upload actually happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn prefetch_packed_chunk(&self, token: u64, packed: &PackedSeq) -> SyclResult<bool> {
+        if let Some(res) = take_resident(&self.packed_res, token) {
+            retain_resident(&self.packed_res, token, res, self.resident_cap);
+            return Ok(false);
+        }
+        let n_exc = packed.exceptions().len();
+        let (exc_pos, exc_val) = packed.exception_arrays();
+        let res = SyclPackedResident {
+            packed_buf: Buffer::from_slice(packed.packed_bytes()),
+            mask_buf: Buffer::from_slice(packed.mask_bytes()),
+            exc_pos_buf: if n_exc > 0 {
+                Buffer::from_vec(exc_pos)
+            } else {
+                Buffer::from_slice(&[0u32])
+            },
+            exc_val_buf: if n_exc > 0 {
+                Buffer::from_vec(exc_val)
+            } else {
+                Buffer::from_slice(&[0u8])
+            },
+        };
+        // Bind all four buffers, exactly as the cold run path does, so the
+        // prefetch pays the same upload the first run would have paid.
+        self.queue.submit(|h| {
+            h.get_access(&res.packed_buf, AccessMode::Read)?;
+            h.get_access(&res.mask_buf, AccessMode::Read)?;
+            h.get_access(&res.exc_pos_buf, AccessMode::Read)?;
+            h.get_access(&res.exc_val_buf, AccessMode::Read)?;
+            Ok(())
+        })?;
+        retain_resident(&self.packed_res, token, res, self.resident_cap);
+        Ok(true)
+    }
+
+    /// Upload-only warmup for the nibble path: bind the nibble words in a
+    /// kernel-less command group and retain the buffer under `token`.
+    /// Returns whether an upload actually happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn prefetch_nibble_chunk(&self, token: u64, nibble: &NibbleSeq) -> SyclResult<bool> {
+        if let Some(buf) = take_resident(&self.nibble_res, token) {
+            retain_resident(&self.nibble_res, token, buf, self.resident_cap);
+            return Ok(false);
+        }
+        let buf = Buffer::from_slice(nibble.nibble_bytes());
+        self.queue
+            .submit(|h| h.get_access(&buf, AccessMode::Read).map(|_| ()))?;
+        retain_resident(&self.nibble_res, token, buf, self.resident_cap);
+        Ok(true)
     }
 
     /// Block until every submitted command group completes.

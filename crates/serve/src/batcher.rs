@@ -75,6 +75,39 @@ pub(crate) fn group_jobs(jobs: Vec<Job>, max_batch: usize) -> Vec<(BatchKey, Vec
         .collect()
 }
 
+/// Reorder `batches` so that every planned owner's work arrives spread
+/// evenly across the round: bucket every batch by the owner the
+/// [`ShardPlan`] assigns its chunk, then merge the buckets by virtual
+/// time — item `k` of an `n`-item bucket sits at `(k + 0.5) / n`, so a
+/// device owning twice the chunks appears twice as often in the merged
+/// stream. Dispatching a round of consecutive chunk indices in plan
+/// order would otherwise fill one owner's in-flight window while its
+/// siblings idle; a strict round-robin merge would instead starve the
+/// heavier owners at the tail. Relative order *within* each owner's
+/// bucket is preserved, so the reordering never changes results
+/// (batches are independent units of work).
+pub(crate) fn interleave_by_owner(
+    batches: Vec<ChunkBatch>,
+    plan: &crate::shard::ShardPlan,
+) -> Vec<ChunkBatch> {
+    let mut tagged: Vec<(f64, usize, ChunkBatch)> = Vec::with_capacity(batches.len());
+    let mut counts = vec![0usize; plan.device_count()];
+    let mut seen = vec![0usize; plan.device_count()];
+    for batch in &batches {
+        counts[plan.owner_of(&batch.key.assembly, batch.chunk_index)] += 1;
+    }
+    for batch in batches {
+        let owner = plan.owner_of(&batch.key.assembly, batch.chunk_index);
+        let vtime = (seen[owner] as f64 + 0.5) / counts[owner] as f64;
+        seen[owner] += 1;
+        tagged.push((vtime, owner, batch));
+    }
+    // Stable sort: equal (vtime, owner) keeps bucket order; vtime ties
+    // across owners break toward the lower device index.
+    tagged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    tagged.into_iter().map(|(_, _, batch)| batch).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +138,45 @@ mod tests {
             .map(|(_, g)| g.iter().map(|j| j.id).collect())
             .collect();
         assert_eq!(ids, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn interleaving_alternates_planned_owners_and_keeps_bucket_order() {
+        use crate::cache::ChunkEncoding;
+        use crate::shard::ShardPlan;
+
+        let chunk = Arc::new(EncodedChunk::encode(
+            0,
+            "chr1".into(),
+            0,
+            8,
+            &[b'A'; 11],
+            ChunkEncoding::Packed,
+        ));
+        let batch = |index: usize| ChunkBatch {
+            key: BatchKey {
+                assembly: "a".into(),
+                pattern: b"NGG".to_vec(),
+            },
+            chunk_index: index,
+            chunk: Arc::clone(&chunk),
+            jobs: Vec::new(),
+        };
+        // Two equal-weight devices over 6 chunks: device 0 owns 0..3,
+        // device 1 owns 3..6. Consecutive indices land on one owner;
+        // interleaving alternates them.
+        let plan = ShardPlan::build(&[1.0, 1.0], &[("a".into(), 6)]);
+        let out = interleave_by_owner((0..6).map(batch).collect(), &plan);
+        let indices: Vec<usize> = out.iter().map(|b| b.chunk_index).collect();
+        assert_eq!(indices, vec![0, 3, 1, 4, 2, 5]);
+
+        // Unequal weights: device 0 owns 0..4, device 1 owns 4..6. The
+        // virtual-time merge keeps the heavy owner flowing at double rate
+        // instead of stalling it behind a strict alternation.
+        let plan = ShardPlan::build(&[2.0, 1.0], &[("a".into(), 6)]);
+        let out = interleave_by_owner((0..6).map(batch).collect(), &plan);
+        let indices: Vec<usize> = out.iter().map(|b| b.chunk_index).collect();
+        assert_eq!(indices, vec![0, 4, 1, 2, 5, 3]);
     }
 
     #[test]

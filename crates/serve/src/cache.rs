@@ -282,6 +282,15 @@ impl GenomeCache {
         chunk
     }
 
+    /// Look up `key` without touching recency or the hit/miss counters —
+    /// for read-only observers like the shard planner's makespan
+    /// prediction, which must not perturb the LRU order or the hit-rate
+    /// accounting the serving path reports.
+    pub fn peek(&self, key: &ChunkKey) -> Option<Arc<EncodedChunk>> {
+        let inner = self.inner.lock().unwrap();
+        inner.map.get(key).map(|e| Arc::clone(&e.chunk))
+    }
+
     /// Current accounting.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap();
@@ -370,6 +379,22 @@ mod tests {
         assert_eq!(cache.stats().len, 1, "an entry above budget still serves");
         cache.get_or_insert_with(&key(1), || chunk(1, ChunkEncoding::Raw));
         assert_eq!(cache.stats().len, 1, "but is evicted by the next insert");
+    }
+
+    #[test]
+    fn peek_observes_without_perturbing_recency_or_stats() {
+        let cache = GenomeCache::new(2 * PACKED_BYTES);
+        cache.get_or_insert_with(&key(0), || chunk(0, ChunkEncoding::Packed));
+        cache.get_or_insert_with(&key(1), || chunk(1, ChunkEncoding::Packed));
+        let before = cache.stats();
+        assert!(cache.peek(&key(0)).is_some());
+        assert!(cache.peek(&key(7)).is_none());
+        assert_eq!(cache.stats(), before, "peek leaves the counters alone");
+        // Peeking 0 did not refresh it: 0 is still the LRU entry and the
+        // next insert evicts it, not 1.
+        cache.get_or_insert_with(&key(2), || chunk(2, ChunkEncoding::Packed));
+        assert!(cache.peek(&key(0)).is_none(), "0 stayed LRU despite the peek");
+        assert!(cache.peek(&key(1)).is_some());
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod queue;
 mod results;
 mod scheduler;
 pub mod service;
+pub mod shard;
 pub mod tenant;
 
 pub use cache::{CacheStats, ChunkEncoding, GenomeCache, NIBBLE_DENSITY_THRESHOLD};
@@ -91,4 +92,5 @@ pub use results::ResultCacheStats;
 pub use queue::{FairJobQueue, QueueError};
 pub use scheduler::Placement;
 pub use service::{DeviceSlot, Service, ServiceConfig, SubmitError};
+pub use shard::ShardPlan;
 pub use tenant::{TenantConfig, TenantId};

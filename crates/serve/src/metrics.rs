@@ -156,6 +156,12 @@ pub struct ServeMetrics {
     pub comparer_2bit_batches: AtomicU64,
     /// Batches compared in 4-bit nibble form.
     pub comparer_4bit_batches: AtomicU64,
+    /// Chunk payloads workers uploaded ahead of demand while warming their
+    /// planned partition (no kernels launched — upload only).
+    pub prefetch_uploads: AtomicU64,
+    /// Chunks whose planned owner changed across fleet-change plan
+    /// recomputations (the exact set a migration moves).
+    pub migrated_chunks: AtomicU64,
     /// Per-device counters, index-aligned with the pool.
     pub devices: Vec<DeviceMetrics>,
 }
@@ -176,6 +182,8 @@ impl ServeMetrics {
             comparer_char_batches: AtomicU64::new(0),
             comparer_2bit_batches: AtomicU64::new(0),
             comparer_4bit_batches: AtomicU64::new(0),
+            prefetch_uploads: AtomicU64::new(0),
+            migrated_chunks: AtomicU64::new(0),
             devices: (0..devices).map(|_| DeviceMetrics::default()).collect(),
         }
     }
@@ -244,6 +252,16 @@ pub struct MetricsReport {
     pub comparer_2bit_batches: u64,
     /// Executed batches compared in 4-bit nibble form.
     pub comparer_4bit_batches: u64,
+    /// Batches the dispatcher placed on their chunk's planned owner
+    /// (0 unless the pool runs `Placement::Planned` with a plan installed).
+    pub planned_hits: u64,
+    /// Batches a saturated planned owner spilled to earliest-completion
+    /// placement, priced with their real (non-resident) upload cost there.
+    pub spill_fallbacks: u64,
+    /// Chunk payloads uploaded ahead of demand by partition warmup.
+    pub prefetch_uploads: u64,
+    /// Chunks reassigned by fleet-change plan recomputations.
+    pub migrated_chunks: u64,
     /// Deepest the admission queue has been.
     pub queue_depth_high_water: usize,
     /// Kernel-variant cache accounting (all zeros when specialization is
@@ -425,6 +443,12 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "placement: {} batches on planned owner, {} spills, {} prefetch uploads, \
+             {} chunks migrated",
+            self.planned_hits, self.spill_fallbacks, self.prefetch_uploads, self.migrated_chunks
+        )?;
+        writeln!(
+            f,
             "variants: {:.1}% cache hit rate ({} hits / {} misses, {} compiles, \
              {} evicted, compile p50 {} ns / p95 {} ns)",
             100.0 * self.variants.hit_rate(),
@@ -478,10 +502,21 @@ pub(crate) struct QueueView {
     pub tenants: Vec<TenantReport>,
 }
 
+/// Plan-placement counters read off the device pool when a report is
+/// assembled (zeros when the pool never ran planned placement).
+#[derive(Default)]
+pub(crate) struct PlanView {
+    /// Batches placed on their chunk's planned owner.
+    pub planned_hits: u64,
+    /// Batches a saturated owner spilled to earliest-completion placement.
+    pub spill_fallbacks: u64,
+}
+
 pub(crate) fn load_report(
     metrics: &ServeMetrics,
     names: &[(String, String)],
     queue: QueueView,
+    plan: PlanView,
     variants: VariantReport,
     cache: CacheStats,
     results: ResultCacheStats,
@@ -501,6 +536,10 @@ pub(crate) fn load_report(
         comparer_char_batches: metrics.comparer_char_batches.load(Ordering::Relaxed),
         comparer_2bit_batches: metrics.comparer_2bit_batches.load(Ordering::Relaxed),
         comparer_4bit_batches: metrics.comparer_4bit_batches.load(Ordering::Relaxed),
+        planned_hits: plan.planned_hits,
+        spill_fallbacks: plan.spill_fallbacks,
+        prefetch_uploads: metrics.prefetch_uploads.load(Ordering::Relaxed),
+        migrated_chunks: metrics.migrated_chunks.load(Ordering::Relaxed),
         queue_depth_high_water: queue.depth_high_water,
         variants,
         cache,
@@ -549,6 +588,7 @@ mod tests {
             &m,
             &[("MI100".into(), "OpenCL".into())],
             queue_view(7, (0, 0), Vec::new()),
+            PlanView::default(),
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
@@ -582,6 +622,7 @@ mod tests {
             &m,
             &names,
             queue_view(0, (0, 0), Vec::new()),
+            PlanView::default(),
             VariantReport::default(),
             CacheStats::default(),
             results,
@@ -604,6 +645,7 @@ mod tests {
             &m,
             &[("MI60".into(), "OpenCL".into())],
             queue_view(0, (0, 0), Vec::new()),
+            PlanView::default(),
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
@@ -616,12 +658,41 @@ mod tests {
     }
 
     #[test]
+    fn plan_placement_counters_reach_the_report() {
+        let m = ServeMetrics::new(1);
+        m.prefetch_uploads.store(12, Ordering::Relaxed);
+        m.migrated_chunks.store(7, Ordering::Relaxed);
+        let report = load_report(
+            &m,
+            &[("MI60".into(), "OpenCL".into())],
+            queue_view(0, (0, 0), Vec::new()),
+            PlanView {
+                planned_hits: 40,
+                spill_fallbacks: 2,
+            },
+            VariantReport::default(),
+            CacheStats::default(),
+            ResultCacheStats::default(),
+        );
+        assert_eq!(report.planned_hits, 40);
+        assert_eq!(report.spill_fallbacks, 2);
+        assert_eq!(report.prefetch_uploads, 12);
+        assert_eq!(report.migrated_chunks, 7);
+        let text = report.to_string();
+        assert!(
+            text.contains("40 batches on planned owner, 2 spills, 12 prefetch uploads, 7 chunks migrated"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn empty_reports_have_zero_rates() {
         let m = ServeMetrics::new(1);
         let report = load_report(
             &m,
             &[("MI60".into(), "OpenCL".into())],
             queue_view(0, (0, 0), Vec::new()),
+            PlanView::default(),
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
@@ -672,6 +743,7 @@ mod tests {
                 (2, 1),
                 vec![tenant_row(1, 4, 400), tenant_row(2, 2, 200), tenant_row(3, 1, 100)],
             ),
+            PlanView::default(),
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
@@ -692,6 +764,7 @@ mod tests {
                 (0, 0),
                 vec![tenant_row(1, 4, 350), tenant_row(2, 2, 150), tenant_row(3, 1, 200)],
             ),
+            PlanView::default(),
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),

@@ -34,7 +34,8 @@
 //! grows past its in-flight limit (backpressure).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use cas_offinder::kernels::specialize::specialized_model;
 use cas_offinder::kernels::{ComparerKernel, VariantKind};
@@ -45,9 +46,10 @@ use gpu_sim::occupancy::occupancy;
 use gpu_sim::{DeviceSpec, NdRange};
 
 use crate::batcher::{BatchKey, ChunkBatch};
-use crate::cache::ChunkPayload;
+use crate::cache::{ChunkPayload, EncodedChunk};
 use crate::calibrate::{kernel_rates, KernelRates};
 use crate::results::{fnv1a64, FNV_OFFSET};
+use crate::shard::ShardPlan;
 
 /// How many of the four nucleotides an IUPAC pattern base admits.
 fn iupac_degeneracy(b: u8) -> u32 {
@@ -92,6 +94,19 @@ pub enum Placement {
     /// batches wins, every device is treated alike, and the in-flight
     /// depth is a fixed 4.
     ShortestQueue,
+    /// Deterministic placement under an installed [`ShardPlan`]: every
+    /// batch goes to its chunk's planned owner. When the owner's queue
+    /// sits at its occupancy-derived in-flight limit, the dispatcher
+    /// spills to earliest-completion placement only past a calibrated
+    /// threshold: the owner's predicted completion (backlog plus its
+    /// resident-priced run) must exceed the best sibling's (backlog plus
+    /// the non-resident run, paying the real upload) — otherwise it waits
+    /// for owner room, because a transiently full queue drains faster
+    /// than a spilled upload costs. Work stealing is disabled — the plan,
+    /// not idleness, decides ownership — so a scan's per-device work is a
+    /// pure function of the plan and the calibrated models. Without an
+    /// installed plan this degrades to [`Placement::EarliestCompletion`].
+    Planned,
 }
 
 /// Identity of a chunk's uploaded payload: what the scheduler predicts
@@ -123,6 +138,21 @@ pub(crate) enum PayloadClass {
     Nibble4Bit,
 }
 
+impl PayloadClass {
+    /// Number of distinct classes — sizes the per-class bias tables.
+    pub(crate) const COUNT: usize = 4;
+
+    /// Stable dense index for per-class tables.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            PayloadClass::Raw => 0,
+            PayloadClass::Packed2Bit => 1,
+            PayloadClass::PackedChar => 2,
+            PayloadClass::Nibble4Bit => 3,
+        }
+    }
+}
+
 /// The dispatcher's estimate of what a [`ChunkBatch`] costs, extracted
 /// once at dispatch and re-priced per device (and per residency state).
 #[derive(Debug, Clone, Copy)]
@@ -146,22 +176,32 @@ pub(crate) struct BatchCost {
 
 impl BatchCost {
     pub fn of(batch: &ChunkBatch) -> Self {
-        let plen = batch.key.pattern.len();
-        let jobs = batch.jobs.len();
-        let class = match &batch.chunk.payload {
+        Self::from_parts(
+            &batch.key.pattern,
+            &batch.chunk,
+            batch.jobs.len(),
+            residency_token(&batch.key, batch.chunk_index),
+        )
+    }
+
+    /// The cost of a (possibly hypothetical) batch of `jobs` queries of
+    /// `pattern` over `chunk` — what plan predictions price without
+    /// materializing a [`ChunkBatch`].
+    pub fn from_parts(pattern: &[u8], chunk: &EncodedChunk, jobs: usize, token: u64) -> Self {
+        let class = match &chunk.payload {
             ChunkPayload::Packed(p) if twobit_compare_safe(p) => PayloadClass::Packed2Bit,
             ChunkPayload::Packed(_) => PayloadClass::PackedChar,
             ChunkPayload::Nibble(_) => PayloadClass::Nibble4Bit,
             ChunkPayload::Raw(_) => PayloadClass::Raw,
         };
         BatchCost {
-            scan_len: batch.chunk.scan_len,
-            plen,
+            scan_len: chunk.scan_len,
+            plen: pattern.len(),
             jobs,
-            chunk_bytes: batch.chunk.upload_byte_len(),
+            chunk_bytes: chunk.upload_byte_len(),
             class,
-            candidate_fraction: candidate_fraction(&batch.key.pattern),
-            token: residency_token(&batch.key, batch.chunk_index),
+            candidate_fraction: candidate_fraction(pattern),
+            token,
         }
     }
 }
@@ -224,6 +264,17 @@ impl DeviceModel {
         }
     }
 
+    /// Queue depth past which a planned owner counts as saturated and
+    /// dispatch may consider spilling its chunk to a sibling: twice the
+    /// occupancy-derived in-flight window — one window feeding the
+    /// device, one absorbing dispatch-vs-drain jitter. Below it the
+    /// owner takes its chunks unconditionally; queueing deeper on the
+    /// planned owner is almost always cheaper than re-uploading the
+    /// chunk elsewhere.
+    pub fn spill_threshold(&self) -> usize {
+        self.in_flight_limit * 2
+    }
+
     /// Predicted wall-clock service time of a batch on this device: the
     /// class's measured fixed batch cost, the measured marginal cost per
     /// coalesced job, the finder and comparer passes at their measured
@@ -254,6 +305,20 @@ impl DeviceModel {
             + cost.jobs as f64 * class.per_job_overhead_s
             + scan_units * class.finder_s_per_unit
             + cost.candidate_fraction * scan_units * cost.jobs as f64 * comparer_rate
+    }
+
+    /// Predicted device time of prefetching `cost`'s chunk payload into a
+    /// resident slot without running any kernel: the payload bytes at the
+    /// measured interconnect slope plus the class's fixed per-transfer
+    /// charges. A one-pass partition warmup is the sum of this over the
+    /// partition's chunks.
+    pub fn predict_prefetch_s(&self, cost: &BatchCost) -> f64 {
+        let class = match cost.class {
+            PayloadClass::Raw => &self.rates.raw,
+            PayloadClass::Packed2Bit | PayloadClass::PackedChar => &self.rates.packed,
+            PayloadClass::Nibble4Bit => &self.rates.nibble,
+        };
+        class.prefetch_upload_s(cost.chunk_bytes, self.rates.upload_s_per_byte)
     }
 
     /// Sustained admission throughput of this device in scan-position cost
@@ -311,20 +376,35 @@ impl ResidentSet {
 struct Pending {
     batch: ChunkBatch,
     cost: BatchCost,
-    /// Prediction under the model of the queue the batch sits in.
+    /// Bias-corrected prediction under the model of the queue the batch
+    /// sits in — what pending-time accounting uses.
     predicted_s: f64,
+    /// The same prediction before the bias correction — the denominator
+    /// the completion report folds into the bias estimate.
+    model_s: f64,
 }
 
 struct PoolInner {
     queues: Vec<VecDeque<Pending>>,
     /// Per device: sum of predicted service time queued or running.
     pending_s: Vec<f64>,
-    /// Per device: EWMA of measured/predicted service time. The calibrated
-    /// model is the prior; completions correct its per-device systematic
-    /// error, so a device the model flatters stops attracting extra work.
-    bias: Vec<f64>,
+    /// Per device, per payload class: the bias correction completions fold
+    /// into predictions — a decayed ratio of sums, measured service time
+    /// over model-predicted. The calibrated model is the prior; the bias
+    /// corrects its systematic error, so a device the model flatters stops
+    /// attracting extra work. The correction is per class because the
+    /// classes run different kernels — a scalar bias settles between their
+    /// ratios and stays wrong for every class of a mixed workload.
+    bias: Vec<[f64; PayloadClass::COUNT]>,
+    /// Decayed sums of model-predicted (`.0`) and measured (`.1`) service
+    /// seconds backing each bias cell.
+    bias_sums: Vec<[(f64, f64); PayloadClass::COUNT]>,
     /// Per device: predicted resident chunk tokens.
     residency: Vec<ResidentSet>,
+    /// Per device: in the fleet? Out-of-fleet devices receive no new
+    /// placements (planned, fallback, or stolen); already-queued batches
+    /// still drain through their worker.
+    active: Vec<bool>,
     closed: bool,
 }
 
@@ -333,6 +413,13 @@ struct PoolInner {
 pub(crate) struct DevicePool {
     models: Vec<DeviceModel>,
     placement: Placement,
+    /// The installed chunk→device ownership map, swapped wholesale when
+    /// the fleet changes. Consulted only under [`Placement::Planned`].
+    plan: Mutex<Option<Arc<ShardPlan>>>,
+    /// Batches placed on their chunk's planned owner.
+    planned_hits: AtomicU64,
+    /// Batches a saturated owner spilled to earliest-completion placement.
+    spill_fallbacks: AtomicU64,
     inner: Mutex<PoolInner>,
     /// Signalled when work arrives or the pool closes (workers wait).
     work: Condvar,
@@ -347,6 +434,12 @@ pub(crate) struct Assignment {
     /// worker reports it back via [`DevicePool::complete`] and the metrics
     /// compare it against the measured time.
     pub predicted_s: f64,
+    /// The prediction before the bias correction — the completion report's
+    /// denominator for the bias estimate.
+    pub model_s: f64,
+    /// Payload class of the batch — selects which bias cell the completion
+    /// report corrects.
+    pub class: PayloadClass,
     /// True when the batch came from a sibling's queue.
     pub stolen: bool,
 }
@@ -360,16 +453,115 @@ impl DevicePool {
         DevicePool {
             models,
             placement,
+            plan: Mutex::new(None),
+            planned_hits: AtomicU64::new(0),
+            spill_fallbacks: AtomicU64::new(0),
             inner: Mutex::new(PoolInner {
                 queues: (0..n).map(|_| VecDeque::new()).collect(),
                 pending_s: vec![0.0; n],
-                bias: vec![1.0; n],
+                bias: vec![[1.0; PayloadClass::COUNT]; n],
+                bias_sums: vec![[(0.0, 0.0); PayloadClass::COUNT]; n],
                 residency: (0..n).map(|_| ResidentSet::new(resident_budget)).collect(),
+                active: vec![true; n],
                 closed: false,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
         }
+    }
+
+    /// Install (or replace) the chunk→device ownership map consulted by
+    /// [`Placement::Planned`] dispatch.
+    pub fn install_plan(&self, plan: Arc<ShardPlan>) {
+        *self.plan.lock().unwrap() = Some(plan);
+    }
+
+    /// The currently installed plan, if any.
+    pub fn plan_snapshot(&self) -> Option<Arc<ShardPlan>> {
+        self.plan.lock().unwrap().clone()
+    }
+
+    /// `(planned placements, spill fallbacks)` so far.
+    pub fn plan_counters(&self) -> (u64, u64) {
+        (
+            self.planned_hits.load(Ordering::Relaxed),
+            self.spill_fallbacks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Mark `device` in or out of the fleet. An out-of-fleet device takes
+    /// no new placements and steals nothing, but batches already queued on
+    /// it still drain through its worker — deactivation never strands work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call would deactivate the last active device.
+    pub fn set_active(&self, device: usize, active: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.active[device] = active;
+        assert!(
+            inner.active.iter().any(|&a| a),
+            "the fleet needs at least one active device"
+        );
+        drop(inner);
+        // Activation opens placement room and deactivation reroutes
+        // planned traffic, so wake any blocked dispatcher either way.
+        self.space.notify_all();
+    }
+
+    /// Mirror a worker-side prefetch upload into the scheduler's resident
+    /// prediction, so planned batches get priced with the upload discount
+    /// their runner will actually deliver.
+    pub fn note_resident(&self, worker: usize, token: u64) {
+        self.inner.lock().unwrap().residency[worker].insert(token);
+    }
+
+    /// Current per-device, per-class bias corrections (the dimensionless
+    /// EWMA factors completions fold into predictions) — plan predictions
+    /// apply them so a pre-run makespan estimate carries the same
+    /// correction dispatch uses. Index the inner array with
+    /// [`PayloadClass::index`].
+    pub fn bias_snapshot(&self) -> Vec<[f64; PayloadClass::COUNT]> {
+        self.inner.lock().unwrap().bias.clone()
+    }
+
+    /// Per-device fleet membership, for zeroing a departed device's weight
+    /// when the plan is rebuilt on fleet change.
+    pub fn active_snapshot(&self) -> Vec<bool> {
+        self.inner.lock().unwrap().active.clone()
+    }
+
+    /// Queue `batch` on `device`, priced under that device's model and
+    /// current residency prediction, and wake the workers. Consumes the
+    /// guard: the lock drops before the notify. `assume_resident` prices
+    /// the chunk as already uploaded regardless of the tracked set —
+    /// planned-owner placements use it, because the owner's one-pass
+    /// partition prefetch runs before any of its batches do (sizing the
+    /// residency budget to hold the partition is the config's contract).
+    fn enqueue_locked(
+        &self,
+        mut inner: std::sync::MutexGuard<'_, PoolInner>,
+        device: usize,
+        batch: ChunkBatch,
+        cost: BatchCost,
+        assume_resident: bool,
+    ) {
+        let resident = (assume_resident && inner.residency[device].cap != 0)
+            || inner.residency[device].contains(cost.token);
+        let model_s = self.models[device].predict_s(&cost, resident);
+        let predicted_s = inner.bias[device][cost.class.index()] * model_s;
+        inner.pending_s[device] += predicted_s;
+        // Optimistic: once queued here the chunk will be uploaded here, so
+        // later siblings of this chunk see the discount.
+        inner.residency[device].insert(cost.token);
+        inner.queues[device].push_back(Pending {
+            batch,
+            cost,
+            predicted_s,
+            model_s,
+        });
+        drop(inner);
+        self.work.notify_all();
     }
 
     /// Place `batch` per the pool's [`Placement`] policy — by default on
@@ -378,14 +570,48 @@ impl DevicePool {
     /// the chunk upload discounted on devices predicted to hold the chunk)
     /// — blocking while every queue is at its in-flight limit. Exact ties
     /// break toward a chunk-resident device, then the lower device index.
+    ///
+    /// Under [`Placement::Planned`] the chunk's owner takes the batch
+    /// outright up to its calibrated spill threshold — twice the
+    /// occupancy-derived in-flight window, so dispatch-vs-drain jitter
+    /// queues on the owner instead of scattering the partition. Past the
+    /// threshold the owner is saturated and the batch spills to the
+    /// earliest-completion sibling only if that sibling's predicted
+    /// completion (backlog plus the run, paying the upload where
+    /// non-resident) beats the owner's — and otherwise waits for owner
+    /// room: a transiently full queue drains faster than a spilled upload
+    /// costs.
     pub fn dispatch(&self, batch: ChunkBatch) {
         let cost = BatchCost::of(&batch);
+        // Resolve the planned owner before taking the queue lock: the plan
+        // is an immutable snapshot, swapped wholesale on fleet change.
+        let owner = match self.placement {
+            Placement::Planned => self
+                .plan_snapshot()
+                .map(|plan| plan.owner_of(&batch.key.assembly, batch.chunk_index)),
+            _ => None,
+        };
         let mut inner = self.inner.lock().unwrap();
         loop {
+            // Planned placement: an in-fleet owner below its spill
+            // threshold takes the batch outright, no scoring.
+            let owner_active = owner.filter(|&o| inner.active[o]);
+            if let Some(o) = owner_active {
+                if inner.queues[o].len() < self.models[o].spill_threshold() {
+                    // Priced resident: the owner prefetches its partition
+                    // before running any of it.
+                    self.enqueue_locked(inner, o, batch, cost, true);
+                    self.planned_hits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
             let mut best: Option<(usize, f64, bool)> = None;
             for (i, model) in self.models.iter().enumerate() {
+                if !inner.active[i] {
+                    continue;
+                }
                 let limit = match self.placement {
-                    Placement::EarliestCompletion => model.in_flight_limit,
+                    Placement::EarliestCompletion | Placement::Planned => model.in_flight_limit,
                     Placement::ShortestQueue => SHORTEST_QUEUE_IN_FLIGHT,
                 };
                 if inner.queues[i].len() >= limit {
@@ -393,8 +619,9 @@ impl DevicePool {
                 }
                 let resident = inner.residency[i].contains(cost.token);
                 let score = match self.placement {
-                    Placement::EarliestCompletion => {
-                        inner.pending_s[i] + inner.bias[i] * model.predict_s(&cost, resident)
+                    Placement::EarliestCompletion | Placement::Planned => {
+                        inner.pending_s[i]
+                            + inner.bias[i][cost.class.index()] * model.predict_s(&cost, resident)
                     }
                     Placement::ShortestQueue => inner.queues[i].len() as f64,
                 };
@@ -406,21 +633,35 @@ impl DevicePool {
                     best = Some((i, score, resident));
                 }
             }
-            if let Some((device, _, resident)) = best {
-                let predicted_s =
-                    inner.bias[device] * self.models[device].predict_s(&cost, resident);
-                inner.pending_s[device] += predicted_s;
-                // Optimistic: once queued here the chunk will be uploaded
-                // here, so later siblings of this chunk see the discount.
-                inner.residency[device].insert(cost.token);
-                inner.queues[device].push_back(Pending {
-                    batch,
-                    cost,
-                    predicted_s,
-                });
-                drop(inner);
-                self.work.notify_all();
-                return;
+            match (owner_active, best) {
+                // Owner in fleet but full: spill only when the sibling's
+                // predicted completion beats the owner's — the sibling pays
+                // the real upload where non-resident, the owner prices its
+                // backlog plus a (usually resident) run. Otherwise wait for
+                // owner room rather than scatter the partition.
+                (Some(o), Some((device, eta, _))) => {
+                    let resident = inner.residency[o].cap != 0
+                        || inner.residency[o].contains(cost.token);
+                    let owner_eta = inner.pending_s[o]
+                        + inner.bias[o][cost.class.index()]
+                            * self.models[o].predict_s(&cost, resident);
+                    if eta < owner_eta {
+                        self.enqueue_locked(inner, device, batch, cost, false);
+                        self.spill_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                // No usable owner (none planned, or it left the fleet):
+                // plain earliest-completion placement. A rerouted planned
+                // batch still counts as a spill.
+                (None, Some((device, _, _))) => {
+                    self.enqueue_locked(inner, device, batch, cost, false);
+                    if owner.is_some() {
+                        self.spill_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                _ => {}
             }
             inner = self.space.wait(inner).unwrap();
         }
@@ -442,20 +683,30 @@ impl DevicePool {
                 drop(inner);
                 self.space.notify_all();
                 return Some(Assignment {
+                    class: p.cost.class,
                     batch: p.batch,
                     predicted_s: p.predicted_s,
+                    model_s: p.model_s,
                     stolen: false,
                 });
             }
-            let victim = inner_ref
-                .queues
-                .iter()
-                .enumerate()
-                .filter(|&(i, q)| i != worker && !q.is_empty())
-                .max_by(|&(i, _), &(j, _)| {
-                    inner_ref.pending_s[i].total_cmp(&inner_ref.pending_s[j])
+            // Planned placement disables stealing outright — ownership is
+            // the plan's call, not idleness's — and a device out of the
+            // fleet must not pull new work either way.
+            let may_steal = self.placement != Placement::Planned && inner_ref.active[worker];
+            let victim = may_steal
+                .then(|| {
+                    inner_ref
+                        .queues
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, q)| i != worker && !q.is_empty())
+                        .max_by(|&(i, _), &(j, _)| {
+                            inner_ref.pending_s[i].total_cmp(&inner_ref.pending_s[j])
+                        })
+                        .map(|(i, _)| i)
                 })
-                .map(|(i, _)| i);
+                .flatten();
             if let Some(v) = victim {
                 let queue = &inner_ref.queues[v];
                 let thief_res = &inner_ref.residency[worker];
@@ -468,15 +719,17 @@ impl DevicePool {
                     .expect("pick is in bounds of a non-empty queue");
                 inner_ref.pending_s[v] = (inner_ref.pending_s[v] - p.predicted_s).max(0.0);
                 let resident = inner_ref.residency[worker].contains(p.cost.token);
-                let predicted_s =
-                    inner_ref.bias[worker] * self.models[worker].predict_s(&p.cost, resident);
+                let model_s = self.models[worker].predict_s(&p.cost, resident);
+                let predicted_s = inner_ref.bias[worker][p.cost.class.index()] * model_s;
                 inner_ref.pending_s[worker] += predicted_s;
                 inner_ref.residency[worker].insert(p.cost.token);
                 drop(inner);
                 self.space.notify_all();
                 return Some(Assignment {
+                    class: p.cost.class,
                     batch: p.batch,
                     predicted_s,
+                    model_s,
                     stolen: true,
                 });
             }
@@ -489,23 +742,42 @@ impl DevicePool {
 
     /// Retire a finished batch's predicted time from `worker`'s pending
     /// total and fold the measured service time into the device's bias
-    /// correction. Called by the worker after running an [`Assignment`].
-    pub fn complete(&self, worker: usize, predicted_s: f64, measured_s: f64) {
+    /// correction for `class`. Called by the worker after running an
+    /// [`Assignment`].
+    pub fn complete(
+        &self,
+        worker: usize,
+        class: PayloadClass,
+        predicted_s: f64,
+        model_s: f64,
+        measured_s: f64,
+    ) {
         let mut inner = self.inner.lock().unwrap();
         inner.pending_s[worker] = (inner.pending_s[worker] - predicted_s).max(0.0);
-        if predicted_s > 0.0 && measured_s > 0.0 {
-            // predicted_s already carries the bias used at dispatch, so the
-            // ratio is a multiplicative correction to the current estimate.
-            // The step is geometric (ratio^alpha) so over- and
-            // under-prediction corrections are symmetric in log space —
-            // an arithmetic EWMA walks up 1.3x per step but down only
-            // 0.925x, which oscillates over long runs — and the bias is
-            // bounded so a burst of clamped ratios cannot run it away
-            // from the model.
-            let ratio = (measured_s / predicted_s).clamp(0.25, 4.0);
-            const ALPHA: f64 = 0.1;
-            inner.bias[worker] = (inner.bias[worker] * ratio.powf(ALPHA)).clamp(0.25, 4.0);
+        if model_s > 0.0 && measured_s > 0.0 {
+            // The bias is a decayed ratio of sums — total measured seconds
+            // over total model-predicted seconds — not a mean of per-batch
+            // ratios. Per-batch ratios within a class disperse widely (the
+            // model prices comparer work from the pattern's expected
+            // candidate fraction; real chunks deviate either way), and a
+            // per-batch EWMA chases whichever chunks finished last. The
+            // ratio of sums weighs every batch by its predicted size, which
+            // is exactly the correction that makes aggregate busy-time
+            // predictions (plan makespans) land. The decay keeps it
+            // adaptive: a device whose real rates drift re-converges within
+            // ~1/(1-GAMMA) completions. Clamped so a pathological burst
+            // cannot run the correction away from the calibrated model.
+            const GAMMA: f64 = 0.98;
+            let cell = &mut inner.bias_sums[worker][class.index()];
+            cell.0 = cell.0 * GAMMA + model_s;
+            cell.1 = cell.1 * GAMMA + measured_s;
+            let ratio = (cell.1 / cell.0).clamp(0.25, 4.0);
+            inner.bias[worker][class.index()] = ratio;
         }
+        drop(inner);
+        // A completion shrinks this device's predicted backlog, which can
+        // flip a planned dispatcher's wait-vs-spill comparison.
+        self.space.notify_all();
     }
 
     /// Close the pool: queued batches still drain, then workers see `None`.
@@ -666,7 +938,7 @@ mod tests {
         let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 0);
         pool.dispatch(batch(0));
         let a = pool.next(0).unwrap();
-        pool.complete(0, a.predicted_s, a.predicted_s);
+        pool.complete(0, a.class, a.predicted_s, a.model_s, a.predicted_s);
         // With device 0 idle again, the next identical batch ties and the
         // tie breaks toward device 0 — nothing was left pending.
         pool.dispatch(batch(1));
@@ -752,6 +1024,139 @@ mod tests {
         let mut off = ResidentSet::new(0);
         off.insert(1);
         assert!(!off.contains(1), "budget 0 disables residency");
+    }
+
+    /// A plan over the tests' `"a"` assembly (`n` chunks) with one weight
+    /// per device.
+    fn plan(weights: &[f64], chunks: usize) -> Arc<ShardPlan> {
+        Arc::new(ShardPlan::build(weights, &[("a".to_string(), chunks)]))
+    }
+
+    #[test]
+    fn planned_placement_steers_every_chunk_to_its_owner() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::Planned, 4);
+        pool.install_plan(plan(&[1.0, 1.0], 4));
+        // Chunks 0-1 belong to device 0, chunks 2-3 to device 1 — dispatch
+        // out of range order to prove it is the plan deciding, not scores.
+        for index in [2, 0, 3, 1] {
+            pool.dispatch(batch(index));
+        }
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 0);
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 1);
+        assert_eq!(pool.next(1).unwrap().batch.chunk_index, 2);
+        assert_eq!(pool.next(1).unwrap().batch.chunk_index, 3);
+        assert_eq!(pool.plan_counters(), (4, 0), "all planned, no spills");
+    }
+
+    #[test]
+    fn saturated_owner_spills_to_earliest_completion_and_pays_the_upload() {
+        // Device 0 owns every chunk but can hold only one batch in
+        // flight, so its spill threshold is two queued batches.
+        let mut owner = model(&DeviceSpec::mi60());
+        owner.in_flight_limit = 1;
+        assert_eq!(owner.spill_threshold(), 2);
+        let pool = DevicePool::new(
+            vec![owner, model(&DeviceSpec::mi60())],
+            Placement::Planned,
+            4,
+        );
+        pool.install_plan(plan(&[1.0, 0.0], 8));
+        pool.dispatch(batch(0)); // fills the in-flight window
+        pool.dispatch(batch(1)); // still below the spill threshold
+        pool.dispatch(batch(2)); // owner saturated: must spill, not block
+        let spilled = pool.next(1).unwrap();
+        assert!(!spilled.stolen, "spill is a placement, not a steal");
+        assert_eq!(spilled.batch.chunk_index, 2);
+        // The spilled batch is non-resident on the fallback device, so its
+        // price carries the real chunk upload.
+        let cost = BatchCost::of(&batch(2));
+        assert!((spilled.predicted_s - pool.models[1].predict_s(&cost, false)).abs() < 1e-15);
+        assert!(spilled.predicted_s > pool.models[1].predict_s(&cost, true));
+        assert_eq!(pool.plan_counters(), (2, 1));
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 0);
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 1);
+    }
+
+    #[test]
+    fn a_saturated_owner_spills_a_full_workload_without_deadlock() {
+        // Device 0 owns every chunk but never drains its queue: once the
+        // owner's spill threshold (two batches) fills, every dispatch
+        // finds the owner saturated and must spill to the fallback — whose predicted
+        // completion only beats the owner's while its own backlog is
+        // clear, so the dispatcher alternates spill / block-for-space in
+        // lockstep with the fallback worker's completions. The workload
+        // draining completely is the no-deadlock proof; a stuck
+        // wait-vs-spill comparison would hang this test.
+        let mut owner = model(&DeviceSpec::mi60());
+        owner.in_flight_limit = 1;
+        let pool = Arc::new(DevicePool::new(
+            vec![owner, model(&DeviceSpec::mi60())],
+            Placement::Planned,
+            64,
+        ));
+        pool.install_plan(plan(&[1.0, 0.0], 64));
+        // Every spilled batch pays the real upload: non-resident price
+        // under the fallback's model (bias stays 1.0 because the worker
+        // reports measured == predicted).
+        let expect_spill_s = pool.models[1].predict_s(&BatchCost::of(&batch(1)), false);
+        let drained = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut n = 0;
+                while let Some(a) = pool.next(1) {
+                    assert!(!a.stolen, "spills are placements, not steals");
+                    assert!(
+                        (a.predicted_s - expect_spill_s).abs() < 1e-15,
+                        "spilled batches pay the non-resident upload price"
+                    );
+                    pool.complete(1, a.class, a.predicted_s, a.model_s, a.predicted_s);
+                    n += 1;
+                }
+                n
+            })
+        };
+        for i in 0..64 {
+            pool.dispatch(batch(i));
+        }
+        pool.close();
+        assert_eq!(drained.join().unwrap(), 62, "owner kept two, rest spilled");
+        assert_eq!(pool.plan_counters(), (2, 62));
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 0);
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 1);
+    }
+
+    #[test]
+    fn planned_placement_disables_stealing() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::Planned, 4);
+        pool.install_plan(plan(&[1.0, 0.0], 8));
+        pool.dispatch(batch(0));
+        pool.close();
+        // Worker 1 idles next to a backlog it would previously have stolen.
+        assert!(pool.next(1).is_none(), "no steal under planned placement");
+        assert_eq!(pool.next(0).unwrap().batch.chunk_index, 0);
+    }
+
+    #[test]
+    fn deactivated_devices_receive_no_placements() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 0);
+        pool.set_active(1, false);
+        for i in 0..4 {
+            pool.dispatch(batch(i));
+        }
+        // Without the deactivation the round-robin tie would alternate.
+        for i in 0..4 {
+            let a = pool.next(0).unwrap();
+            assert!(!a.stolen);
+            assert_eq!(a.batch.chunk_index, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active device")]
+    fn the_last_active_device_cannot_be_deactivated() {
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 0);
+        pool.set_active(0, false);
+        pool.set_active(1, false);
     }
 
     #[test]

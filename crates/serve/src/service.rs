@@ -15,7 +15,7 @@
 //! finder would have uploaded, so packing changes transfer volume, never
 //! results.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,14 +30,15 @@ use cas_offinder::{sort_canonical, Api, OffTarget, OptLevel, Query, TimingBreakd
 use genome::{Assembly, Chunker};
 use gpu_sim::{DeviceSpec, ExecMode};
 
-use crate::batcher::{group_jobs, BatchJob, ChunkBatch};
+use crate::batcher::{group_jobs, interleave_by_owner, BatchJob, BatchKey, ChunkBatch};
 use crate::cache::{ChunkEncoding, ChunkKey, ChunkPayload, EncodedChunk, GenomeCache};
 use crate::frontend::{Completion, CompletionHub, JobEntry, Poll, Ticket, WaitError};
 use crate::job::{Job, JobId, JobSpec};
 use crate::metrics::{busy_ns_from_s, load_report, MetricsReport, ServeMetrics, VariantReport};
 use crate::queue::{FairJobQueue, QueueError};
 use crate::results::{Admission, CanonicalSpec, ResultStore};
-use crate::scheduler::{residency_token, DeviceModel, DevicePool, Placement};
+use crate::scheduler::{residency_token, BatchCost, DeviceModel, DevicePool, Placement};
+use crate::shard::ShardPlan;
 use crate::tenant::{TenantConfig, TenantLedger, TenantTable};
 
 /// One simulated device in the pool: a hardware spec plus the pipeline
@@ -197,6 +198,10 @@ struct Shared {
     assemblies: HashMap<String, Arc<Assembly>>,
     queue: FairJobQueue,
     pool: DevicePool,
+    /// The pool's calibrated device models, kept service-side too: plan
+    /// builds weight devices by them and pre-run makespan predictions
+    /// price chunks through them.
+    models: Vec<DeviceModel>,
     cache: GenomeCache,
     results: ResultStore,
     metrics: ServeMetrics,
@@ -307,7 +312,8 @@ impl Service {
             .sum();
         let shared = Arc::new(Shared {
             queue: FairJobQueue::new(config.queue_cost_limit, &config.tenants),
-            pool: DevicePool::new(models, config.placement, config.resident_chunks),
+            pool: DevicePool::new(models.clone(), config.placement, config.resident_chunks),
+            models,
             cache: GenomeCache::new(config.cache_bytes),
             results: ResultStore::new(config.result_cache_bytes),
             metrics: ServeMetrics::new(devices),
@@ -322,6 +328,16 @@ impl Service {
             admission_rate,
             config,
         });
+        // Planned placement partitions every registered assembly's chunk
+        // space across the fleet up front, before any batch is formed.
+        if shared.config.placement == Placement::Planned {
+            shared.pool.install_plan(Arc::new(build_plan(
+                &shared.models,
+                &vec![true; devices],
+                shared.config.chunk_size,
+                &shared.assemblies,
+            )));
+        }
 
         let batcher = {
             let shared = Arc::clone(&shared);
@@ -568,10 +584,158 @@ impl Service {
                 sheds_budget,
                 tenants: self.shared.ledger.report(&self.shared.tenant_table),
             },
+            {
+                let (planned_hits, spill_fallbacks) = self.shared.pool.plan_counters();
+                crate::metrics::PlanView {
+                    planned_hits,
+                    spill_fallbacks,
+                }
+            },
             VariantReport::delta(&self.shared.variant_baseline, &global_cache().stats()),
             self.shared.cache.stats(),
             self.shared.results.stats(),
         )
+    }
+
+    /// The installed chunk→device placement plan, if the service runs
+    /// under [`Placement::Planned`].
+    pub fn plan(&self) -> Option<Arc<ShardPlan>> {
+        self.shared.pool.plan_snapshot()
+    }
+
+    /// Mark a device in or out of the fleet. Out-of-fleet devices take no
+    /// new placements (their queued batches still drain), and under
+    /// [`Placement::Planned`] the plan is recomputed with the departed
+    /// device's weight zeroed — range cuts shift only at partition edges
+    /// and unregistered assemblies re-hash per chunk, so only chunks whose
+    /// owner actually changed migrate. Returns that migration count (0
+    /// without an installed plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call would deactivate the last active device.
+    pub fn set_device_active(&self, device: usize, active: bool) -> usize {
+        self.shared.pool.set_active(device, active);
+        let Some(old) = self.shared.pool.plan_snapshot() else {
+            return 0;
+        };
+        let fleet = self.shared.pool.active_snapshot();
+        let new = Arc::new(build_plan(
+            &self.shared.models,
+            &fleet,
+            self.shared.config.chunk_size,
+            &self.shared.assemblies,
+        ));
+        let migrated = new.migrated_from(&old);
+        self.shared.pool.install_plan(new);
+        self.shared
+            .metrics
+            .migrated_chunks
+            .fetch_add(migrated as u64, Ordering::Relaxed);
+        migrated
+    }
+
+    /// Predicted per-device busy seconds for `passes` single-job scans of
+    /// `assembly` under `pattern`, with every chunk running on the device
+    /// the installed plan assigns it — the pre-run makespan estimate the
+    /// sharding harness holds dispatch accountable to. `resident` prices
+    /// chunks as already uploaded to their owners (the post-warmup steady
+    /// state). Chunks are costed from their cached encoding where present,
+    /// else from a throwaway encode of the same bytes. `None` without a
+    /// plan or for an unknown assembly.
+    pub fn plan_scan_prediction(
+        &self,
+        assembly: &str,
+        pattern: &[u8],
+        passes: usize,
+        resident: bool,
+    ) -> Option<Vec<f64>> {
+        let plan = self.shared.pool.plan_snapshot()?;
+        let asm = self.shared.assemblies.get(assembly)?;
+        let bias = self.shared.pool.bias_snapshot();
+        let plen = pattern.len();
+        let key = BatchKey {
+            assembly: assembly.to_string(),
+            pattern: pattern.to_vec(),
+        };
+        let mut busy = vec![0.0; self.shared.models.len()];
+        for (index, chunk) in Chunker::new(asm, self.shared.config.chunk_size, plen).enumerate() {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let owner = plan.owner_of(assembly, index);
+            let cache_key = ChunkKey {
+                assembly: assembly.to_string(),
+                plen,
+                index,
+            };
+            let encoded = self.shared.cache.peek(&cache_key).unwrap_or_else(|| {
+                Arc::new(EncodedChunk::encode(
+                    chunk.chrom_index,
+                    chunk.chrom_name.to_string(),
+                    chunk.start,
+                    chunk.scan_len,
+                    chunk.seq,
+                    self.shared.config.cache_encoding,
+                ))
+            });
+            let cost =
+                BatchCost::from_parts(pattern, &encoded, 1, residency_token(&key, index));
+            busy[owner] += passes as f64
+                * bias[owner][cost.class.index()]
+                * self.shared.models[owner].predict_s(&cost, resident);
+        }
+        Some(busy)
+    }
+
+    /// The scheduler's current bias corrections, per device (outer) and
+    /// payload class (inner: raw, packed 2-bit, packed char, nibble): the
+    /// dimensionless measured/predicted EWMA each completion folds into
+    /// the calibrated model. Surfaced so harnesses can report how far the
+    /// operational correction has drifted from the calibrated prior.
+    pub fn bias_corrections(&self) -> Vec<[f64; 4]> {
+        self.shared.pool.bias_snapshot()
+    }
+
+    /// Predicted per-device busy seconds of the one-pass partition warmup
+    /// for a scan of `assembly` under `pattern`: each owned chunk's
+    /// payload bytes at the owner's measured interconnect slope plus the
+    /// fixed per-transfer charges — the cost the warmup moves out of the
+    /// batch windows. `None` without a plan or for an unknown assembly.
+    pub fn plan_warmup_prediction(&self, assembly: &str, pattern: &[u8]) -> Option<Vec<f64>> {
+        let plan = self.shared.pool.plan_snapshot()?;
+        let asm = self.shared.assemblies.get(assembly)?;
+        let plen = pattern.len();
+        let key = BatchKey {
+            assembly: assembly.to_string(),
+            pattern: pattern.to_vec(),
+        };
+        let mut busy = vec![0.0; self.shared.models.len()];
+        for (index, chunk) in Chunker::new(asm, self.shared.config.chunk_size, plen).enumerate() {
+            if chunk.seq.len() < plen {
+                continue;
+            }
+            let owner = plan.owner_of(assembly, index);
+            let cache_key = ChunkKey {
+                assembly: assembly.to_string(),
+                plen,
+                index,
+            };
+            let encoded = self.shared.cache.peek(&cache_key).unwrap_or_else(|| {
+                Arc::new(EncodedChunk::encode(
+                    chunk.chrom_index,
+                    chunk.chrom_name.to_string(),
+                    chunk.start,
+                    chunk.scan_len,
+                    chunk.seq,
+                    self.shared.config.cache_encoding,
+                ))
+            });
+            let cost =
+                BatchCost::from_parts(pattern, &encoded, 1, residency_token(&key, index));
+            busy[owner] += self.shared.models[owner].predict_prefetch_s(&cost);
+        }
+        Some(busy)
     }
 
     /// Stop admissions, drain queued work, and join all service threads.
@@ -595,6 +759,37 @@ impl Drop for Service {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Build a placement plan over the registered assemblies: each device is
+/// weighted by its calibrated sustained admission throughput at the
+/// service chunk size (zeroed while out of the fleet), each assembly
+/// contributes its chunk count at that size. Assemblies are registered in
+/// sorted name order so the plan is a deterministic function of the fleet
+/// and the genome set, not of hash-map iteration order.
+fn build_plan(
+    models: &[DeviceModel],
+    active: &[bool],
+    chunk_size: usize,
+    assemblies: &HashMap<String, Arc<Assembly>>,
+) -> ShardPlan {
+    let weights: Vec<f64> = models
+        .iter()
+        .zip(active)
+        .map(|(m, &a)| {
+            if a {
+                m.admission_units_per_s(chunk_size)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut counts: Vec<(String, usize)> = assemblies
+        .iter()
+        .map(|(name, asm)| (name.clone(), Chunker::new(asm, chunk_size, 0).count_chunks()))
+        .collect();
+    counts.sort();
+    ShardPlan::build(&weights, &counts)
 }
 
 /// Structural spec validation (everything except assembly lookup).
@@ -745,6 +940,13 @@ fn batcher_loop(shared: &Shared) {
         // result set: cache it and complete any merged duplicates.
         shared.fulfill_followers(published);
 
+        // Planned placement: spread each owner's batches evenly across the
+        // round so no device's in-flight window fills while siblings idle.
+        let round_batches = match (shared.config.placement, shared.pool.plan_snapshot()) {
+            (Placement::Planned, Some(plan)) => interleave_by_owner(round_batches, &plan),
+            _ => round_batches,
+        };
+
         for batch in round_batches {
             shared
                 .metrics
@@ -791,6 +993,9 @@ fn worker_loop(shared: &Shared, w: usize) {
         .resident_slots(shared.config.resident_chunks.max(1))
         .specialize(shared.config.specialize);
     let mut runners: HashMap<Vec<u8>, Runner> = HashMap::new();
+    // (pattern, assembly) pairs whose planned partition this worker has
+    // already warmed — the one-pass prefetch runs on first touch only.
+    let mut prefetched: HashSet<(Vec<u8>, String)> = HashSet::new();
     let mut timing = TimingBreakdown::default();
     let mut profile = gpu_sim::profile::Profile::new();
     let device = &shared.metrics.devices[w];
@@ -815,6 +1020,25 @@ fn worker_loop(shared: &Shared, w: usize) {
                         .expect("simulated SYCL setup cannot fail on valid patterns"),
                 )),
             });
+        // One-pass warmup: on this worker's first batch of an (assembly,
+        // pattern), upload its whole planned partition into the runner's
+        // resident slots up front instead of demand-missing chunk by
+        // chunk. The uploads bill the device's busy time (they are real
+        // transfers) but sit outside the per-batch prediction window —
+        // dispatch prices warmed batches as resident, not as paying them.
+        if shared.config.resident_chunks > 0
+            && shared.config.placement == Placement::Planned
+            && prefetched.insert((batch.key.pattern.clone(), batch.key.assembly.clone()))
+        {
+            if let Some(plan) = shared.pool.plan_snapshot() {
+                let before = runner.elapsed_s();
+                prefetch_partition(shared, w, runner, &plan, &batch.key);
+                device.busy_ns.fetch_add(
+                    busy_ns_from_s((runner.elapsed_s() - before).max(0.0)),
+                    Ordering::Relaxed,
+                );
+            }
+        }
         let queries: Vec<Query> = batch.jobs.iter().map(|job| job.query.clone()).collect();
         let plen = batch.key.pattern.len();
         let busy_before = runner.elapsed_s();
@@ -925,7 +1149,13 @@ fn worker_loop(shared: &Shared, w: usize) {
                 std::thread::sleep(hold - elapsed);
             }
         }
-        shared.pool.complete(w, assignment.predicted_s, busy_delta);
+        shared.pool.complete(
+            w,
+            assignment.class,
+            assignment.predicted_s,
+            assignment.model_s,
+            busy_delta,
+        );
 
         // Traffic is a per-device gauge: sum over this worker's runners.
         let mut launches = 0;
@@ -997,6 +1227,71 @@ fn worker_loop(shared: &Shared, w: usize) {
         shared.settle(completions);
         shared.fulfill_followers(published);
     }
+}
+
+/// Upload every chunk of `key`'s assembly that `plan` assigns to worker
+/// `w` into `runner`'s resident slots — one sequential pass over the
+/// partition — and mirror each token into the scheduler's residency
+/// prediction so planned batches get priced with the discount the runner
+/// will deliver. Chunks already resident (a warm runner, or a re-warm
+/// after plan recompute) are skipped without re-uploading; only real
+/// transfers count toward the prefetch metric.
+fn prefetch_partition(shared: &Shared, w: usize, runner: &Runner, plan: &ShardPlan, key: &BatchKey) {
+    let Some(assembly) = shared.assemblies.get(&key.assembly) else {
+        return;
+    };
+    let plen = key.pattern.len();
+    let mut uploads = 0u64;
+    for (index, chunk) in Chunker::new(assembly, shared.config.chunk_size, plen).enumerate() {
+        if chunk.seq.len() < plen || plan.owner_of(&key.assembly, index) != w {
+            continue;
+        }
+        let cache_key = ChunkKey {
+            assembly: key.assembly.clone(),
+            plen,
+            index,
+        };
+        let encoded = shared.cache.get_or_insert_with(&cache_key, || {
+            EncodedChunk::encode(
+                chunk.chrom_index,
+                chunk.chrom_name.to_string(),
+                chunk.start,
+                chunk.scan_len,
+                chunk.seq,
+                shared.config.cache_encoding,
+            )
+        });
+        let token = residency_token(key, index);
+        const INFALLIBLE: &str = "simulated prefetch cannot fail";
+        let uploaded = match (runner, &encoded.payload) {
+            (Runner::Ocl(r), ChunkPayload::Packed(p)) => {
+                r.prefetch_packed_chunk(token, p).expect(INFALLIBLE)
+            }
+            (Runner::Ocl(r), ChunkPayload::Nibble(nb)) => {
+                r.prefetch_nibble_chunk(token, nb).expect(INFALLIBLE)
+            }
+            (Runner::Ocl(r), ChunkPayload::Raw(seq)) => {
+                r.prefetch_chunk(token, seq).expect(INFALLIBLE)
+            }
+            (Runner::Sycl(r), ChunkPayload::Packed(p)) => {
+                r.prefetch_packed_chunk(token, p).expect(INFALLIBLE)
+            }
+            (Runner::Sycl(r), ChunkPayload::Nibble(nb)) => {
+                r.prefetch_nibble_chunk(token, nb).expect(INFALLIBLE)
+            }
+            (Runner::Sycl(r), ChunkPayload::Raw(seq)) => {
+                r.prefetch_chunk(token, seq).expect(INFALLIBLE)
+            }
+        };
+        if uploaded {
+            uploads += 1;
+        }
+        shared.pool.note_resident(w, token);
+    }
+    shared
+        .metrics
+        .prefetch_uploads
+        .fetch_add(uploads, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -1546,6 +1841,63 @@ mod tests {
             .expect("tenant 2 has a row");
         assert_eq!(t2.shed, sheds, "{report}");
         assert!(t2.admitted >= 1, "{report}");
+    }
+
+    #[test]
+    fn planned_placement_serves_identically_and_prefetches_partitions() {
+        let mut config = small_config();
+        config.placement = Placement::Planned;
+        config.resident_chunks = 16;
+        config.result_cache_bytes = 0; // every spec really executes
+        let service = Service::start(config, vec![toy_assembly()]);
+        let plan = service.plan().expect("planned placement installs a plan");
+        assert_eq!(plan.chunk_count("toy"), Some(7), "ceil(62/16) + ceil(40/16)");
+        let assembly = toy_assembly();
+        for spec in distinct_specs(8) {
+            let got = service.wait(service.submit(spec.clone()).unwrap()).unwrap();
+            assert_eq!(
+                got,
+                serial_oracle(&assembly, &spec),
+                "planned placement never changes results"
+            );
+        }
+        let report = service.metrics();
+        assert!(report.planned_hits > 0, "{report}");
+        assert!(
+            report.prefetch_uploads > 0,
+            "first touch warms each partition: {report}"
+        );
+        assert_eq!(report.migrated_chunks, 0, "{report}");
+        assert!(
+            report.resident_hit_rate() > 0.9,
+            "prefetched partitions serve resident: {report}"
+        );
+        let text = report.to_string();
+        assert!(text.contains("placement:"), "{text}");
+    }
+
+    #[test]
+    fn fleet_changes_migrate_only_reassigned_chunks() {
+        let mut config = small_config();
+        config.placement = Placement::Planned;
+        let service = Service::start(config, vec![toy_assembly()]);
+        let before = service.plan().unwrap();
+        let migrated = service.set_device_active(3, false);
+        let after = service.plan().unwrap();
+        assert_eq!(migrated, after.migrated_from(&before));
+        // Device 3's partition moved; the others' chunks stayed put except
+        // where the new cuts shifted a boundary.
+        assert!(migrated > 0, "device 3 owned at least one chunk");
+        let n = after.chunk_count("toy").unwrap();
+        let by_hand = (0..n)
+            .filter(|&c| before.owner_of("toy", c) != after.owner_of("toy", c))
+            .count();
+        assert_eq!(migrated, by_hand);
+        assert_eq!(service.metrics().migrated_chunks, migrated as u64);
+        // Reactivation restores a plan identical to the original.
+        service.set_device_active(3, true);
+        let restored = service.plan().unwrap();
+        assert_eq!(restored.migrated_from(&before), 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use cas_offinder::pipeline::{ocl, PipelineConfig};
 use cas_offinder::{OffTarget, SearchInput};
-use casoff_serve::{JobSpec, Service, ServiceConfig, TenantConfig, TenantId};
+use casoff_serve::{JobSpec, Placement, Service, ServiceConfig, TenantConfig, TenantId};
 use genome::rng::Xoshiro256;
 use genome::Assembly;
 use gpu_sim::{DeviceSpec, ExecMode};
@@ -264,6 +264,83 @@ fn masked_chunks_ride_the_nibble_path_and_stay_byte_identical() {
     assert!(
         report.comparer_4bit_batches > 0,
         "dense chunks must select the nibble comparer: {report}"
+    );
+    service.shutdown();
+}
+
+/// Fleet changes under planned placement must migrate only the chunks
+/// whose owner actually changed — removing a device mid-workload moves
+/// its partition (plus any boundary shifts) and nothing else, re-adding
+/// it restores the original cuts — and the results of every job, before,
+/// during and after the changes, stay byte-identical to the serial
+/// pipeline.
+#[test]
+fn mid_workload_fleet_changes_migrate_minimally_and_stay_byte_identical() {
+    let specs = distinct_specs();
+    let oracle: Vec<Vec<OffTarget>> = {
+        let asm = assembly();
+        specs.iter().map(|s| serial_ocl(&asm, s)).collect()
+    };
+
+    let mut config = ServiceConfig::paper_pool();
+    config.chunk_size = CHUNK_SIZE;
+    config.placement = Placement::Planned;
+    config.queue_cost_limit = 250_000;
+    config.cache_bytes = 16 * 1024;
+    config.result_cache_bytes = 0;
+    let service = Service::start(config, vec![assembly()]);
+    let n = service
+        .plan()
+        .expect("planned placement installs a plan")
+        .chunk_count("hg38-mini")
+        .expect("the served assembly is registered");
+
+    let order: Vec<usize> = (0..120).map(|i| i % specs.len()).collect();
+    let original = service.plan().unwrap();
+    let mut ids: Vec<(u64, usize)> = Vec::new();
+    let mut total_migrated = 0usize;
+    for (k, &spec_index) in order.iter().enumerate() {
+        // Shrink the fleet a third of the way in, grow it back at two
+        // thirds — both while batches are in flight.
+        if k == 40 || k == 80 {
+            let before = service.plan().unwrap();
+            let migrated = service.set_device_active(3, k == 80);
+            let after = service.plan().unwrap();
+            let by_hand = (0..n)
+                .filter(|&c| before.owner_of("hg38-mini", c) != after.owner_of("hg38-mini", c))
+                .count();
+            assert_eq!(migrated, by_hand, "only owner-changed chunks migrate");
+            assert!(
+                migrated > 0 && migrated < n,
+                "a fleet change reassigns a strict subset: {migrated}/{n}"
+            );
+            total_migrated += migrated;
+        }
+        ids.push((
+            submit_with_backoff(&service, specs[spec_index].clone()),
+            spec_index,
+        ));
+    }
+    // Re-adding device 3 with the same weight restores the original cuts.
+    assert_eq!(service.plan().unwrap().migrated_from(&original), 0);
+
+    let mut results: HashMap<u64, Vec<OffTarget>> = ids
+        .iter()
+        .map(|&(id, _)| (id, service.wait(id).unwrap()))
+        .collect();
+    for (id, spec_index) in ids {
+        assert_eq!(
+            results.remove(&id).unwrap(),
+            oracle[spec_index],
+            "job {id} (spec {spec_index})"
+        );
+    }
+    let report = service.metrics();
+    assert_eq!(report.jobs_completed, 120);
+    assert!(report.planned_hits > 0, "{report}");
+    assert_eq!(
+        report.migrated_chunks, total_migrated as u64,
+        "the metric sums exactly the per-change migrations: {report}"
     );
     service.shutdown();
 }

@@ -85,6 +85,17 @@ const RESIDENT_CHUNKS: usize = 32;
 /// chunk payload dominates the per-batch query tables, so the measured
 /// upload ratio reflects the encodings (1 B/base vs half a byte).
 const MASKED_CHUNK_SIZE: usize = 1 << 14;
+/// Genome scale for the sharding pass: ~130 kb per chromosome, so the
+/// primary assembly spans ~128 production-sized chunks — enough for the
+/// range partition to give every device a real share.
+const SHARD_SCALE: f64 = 0.14;
+/// Residency budget per device for the sharding pass: comfortably above
+/// the largest partition share across both assemblies and both PAM
+/// patterns, so the one-pass warmup never evicts its own uploads.
+const SHARD_RESIDENT_CHUNKS: usize = 512;
+/// Distinct guides per assembly in the measured sharding scan, cycling
+/// over the two PAM patterns (two full scans per pattern).
+const SHARD_GUIDES: usize = 4;
 
 fn spec_text(spec: &JobSpec) -> String {
     format!(
@@ -483,6 +494,16 @@ fn qos_run(
         }
     }
 
+    // Callbacks fire from the workers' settle path *after* the entry is
+    // marked done, so a poll can collect a job an instant before its
+    // callback lands — give stragglers a bounded moment to quiesce before
+    // holding the count to exactly-once.
+    for _ in 0..10_000 {
+        if done_callbacks.load(std::sync::atomic::Ordering::Relaxed) >= admitted.len() as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
     let report = service.metrics();
     print!("{report}");
     println!();
@@ -516,6 +537,219 @@ fn qos_run(
         Err(_) => unreachable!("all submitters joined"),
     }
     (report, deadline_rejections)
+}
+
+/// `SHARD_GUIDES` distinct tenant requests against `assembly`, cycling
+/// the two PAM patterns — the measured workload of the sharding pass.
+fn sharding_specs(seed: u64, assembly: &str) -> Vec<JobSpec> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let patterns: [&[u8]; 2] = [b"NNNNNNNNNRG", b"NNNNNNNNNGG"];
+    (0..SHARD_GUIDES)
+        .map(|i| {
+            let mut guide: Vec<u8> = (0..8).map(|_| *rng.choose(b"ACGT").unwrap()).collect();
+            guide.extend_from_slice(b"NNN");
+            JobSpec::new(assembly, patterns[i % 2].to_vec(), guide, 3)
+        })
+        .collect()
+}
+
+/// What the sharding pass hands back for the summary, JSON, and gates.
+struct ShardingOutcome {
+    report: MetricsReport,
+    jobs: usize,
+    chunks: usize,
+    resident_hit_rate: f64,
+    predicted_makespan_s: f64,
+    measured_makespan_s: f64,
+    plan_prediction_error: f64,
+    migrated_out: usize,
+}
+
+/// This PR's tentpole: up-front planned placement. A `Placement::Planned`
+/// service partitions both assemblies' chunk spaces across the fleet by
+/// calibrated admission rate, a one-pass warmup prefetches every device's
+/// partition on first touch, and then a multi-assembly workload — one
+/// full scan of the ~128-chunk `hg38_mini` per guide plus the masked
+/// assembly alongside — runs post-warmup. The pass holds dispatch
+/// accountable to the plan twice over: near-every batch must find its
+/// chunk resident on its planned owner, and the measured makespan must
+/// land within 10% of the plan's pre-run prediction. A fleet change at
+/// the end demonstrates minimal migration (out and back are the same
+/// chunk set, and the restored plan is the original).
+fn sharding_run(serial_config: &PipelineConfig) -> ShardingOutcome {
+    let assembly = genome::synth::hg38_mini(SHARD_SCALE);
+    let masked_assembly = genome::synth::hg38_masked_mini(GENOME_SCALE);
+    let mut config = config_with(ChunkEncoding::Packed, Placement::Planned, CHUNK_SIZE);
+    // Paced drain (inherited from `config_with`) keeps queue depth
+    // following simulated device speed, so owners saturate only when the
+    // plan mispredicts. Single-job batches match the prediction's
+    // per-pass unit, and the raised admission budget lets the whole
+    // measured workload queue at once.
+    config.max_batch = 1;
+    config.resident_chunks = SHARD_RESIDENT_CHUNKS;
+    config.result_cache_bytes = 0;
+    config.cache_bytes = 1 << 21;
+    config.queue_cost_limit = 100_000_000;
+    let service = Arc::new(Service::start(
+        config,
+        vec![assembly.clone(), masked_assembly.clone()],
+    ));
+    let plan = service.plan().expect("planned placement installs a plan");
+    let hg_chunks = plan.chunk_count("hg38-mini").expect("registered assembly");
+    let masked_chunks = plan.chunk_count("hg38-masked").expect("registered assembly");
+    let shares: Vec<usize> = (0..service.metrics().devices.len())
+        .map(|d| {
+            (0..hg_chunks)
+                .filter(|&i| plan.owner_of("hg38-mini", i) == d)
+                .count()
+        })
+        .collect();
+    println!(
+        "[sharding] plan: {hg_chunks} + {masked_chunks} chunks partitioned, \
+         hg38-mini shares per device: {shares:?}"
+    );
+
+    let specs = sharding_specs(0xD157, "hg38-mini");
+    let masked_specs = sharding_specs(0x51AB, "hg38-masked");
+    let oracle = serial_oracle(&assembly, serial_config, &specs);
+    let masked_oracle = serial_oracle(&masked_assembly, serial_config, &masked_specs);
+
+    // One-pass warmup: one job per (assembly, pattern) pair. Each worker's
+    // first batch of a pair triggers the prefetch of its whole partition,
+    // so by the end of these four jobs every planned chunk is resident on
+    // its owner (residency is keyed per pattern).
+    let warm_specs = vec![
+        specs[0].clone(),
+        specs[1].clone(),
+        masked_specs[0].clone(),
+        masked_specs[1].clone(),
+    ];
+    let warm_oracle = vec![
+        oracle[0].clone(),
+        oracle[1].clone(),
+        masked_oracle[0].clone(),
+        masked_oracle[1].clone(),
+    ];
+    serve_jobs(&service, warm_specs.len(), &warm_specs, &warm_oracle);
+    let warmed = service.metrics();
+    println!(
+        "[sharding] warmup: {} partition uploads prefetched, {} planned hits / {} spills",
+        warmed.prefetch_uploads, warmed.planned_hits, warmed.spill_fallbacks
+    );
+
+    for (d, b) in service.bias_corrections().iter().enumerate() {
+        println!(
+            "[sharding] bias corrections[{}]: 2bit {:.3}, char {:.3} (decayed measured/model ratio)",
+            d, b[1], b[2]
+        );
+    }
+
+    // The pre-run promise, priced after warmup so the converged bias is
+    // in: per-device busy seconds with every chunk resident on its owner,
+    // summed over both assemblies and both patterns.
+    let devices = warmed.devices.len();
+    let mut predicted = vec![0.0f64; devices];
+    for (name, group) in [("hg38-mini", &specs), ("hg38-masked", &masked_specs)] {
+        for pattern in [b"NNNNNNNNNRG".as_slice(), b"NNNNNNNNNGG".as_slice()] {
+            let passes = group.iter().filter(|s| s.pattern == pattern).count();
+            let busy = service
+                .plan_scan_prediction(name, pattern, passes, true)
+                .expect("plan + registered assembly");
+            for (d, b) in busy.iter().enumerate() {
+                predicted[d] += b;
+            }
+        }
+    }
+    let predicted_makespan_s = predicted.iter().cloned().fold(0.0, f64::max);
+    let warmup_predicted = service
+        .plan_warmup_prediction("hg38-mini", &specs[0].pattern)
+        .expect("plan + registered assembly");
+    println!(
+        "[sharding] predicted: makespan {predicted_makespan_s:.6} s post-warmup \
+         (one-pass warmup itself {:.6} s on the slowest device)",
+        warmup_predicted.iter().cloned().fold(0.0, f64::max)
+    );
+
+    // The measured scan: every distinct guide once, against both
+    // assemblies — 8 full-genome scans over prefetched partitions.
+    let all_specs: Vec<JobSpec> = specs.iter().chain(&masked_specs).cloned().collect();
+    let all_oracle: Vec<Vec<OffTarget>> = oracle.iter().chain(&masked_oracle).cloned().collect();
+    let jobs = all_specs.len();
+    let sites = serve_jobs(&service, jobs, &all_specs, &all_oracle);
+    let report = service.metrics();
+    println!(
+        "[sharding] {jobs} jobs served post-warmup, {sites} sites, all byte-identical \
+         to the serial pipeline"
+    );
+
+    let hits: u64 = report.devices.iter().map(|d| d.resident_hits).sum::<u64>()
+        - warmed.devices.iter().map(|d| d.resident_hits).sum::<u64>();
+    let misses: u64 = report.devices.iter().map(|d| d.resident_misses).sum::<u64>()
+        - warmed.devices.iter().map(|d| d.resident_misses).sum::<u64>();
+    let resident_hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let measured: Vec<f64> = report
+        .devices
+        .iter()
+        .zip(&warmed.devices)
+        .map(|(a, b)| a.busy_s - b.busy_s)
+        .collect();
+    let measured_makespan_s = measured.iter().cloned().fold(0.0, f64::max);
+    let plan_prediction_error =
+        (measured_makespan_s - predicted_makespan_s).abs() / predicted_makespan_s;
+    for (d, device) in report.devices.iter().enumerate() {
+        println!(
+            "[sharding]   {} [{}]: predicted {:.6} s, measured {:.6} s",
+            device.name, device.api, predicted[d], measured[d]
+        );
+    }
+    println!(
+        "[sharding] measured: makespan {measured_makespan_s:.6} s ({:.1}% off the plan), \
+         {:.1}% of post-warmup batches found their chunk resident on the planned owner",
+        100.0 * plan_prediction_error,
+        100.0 * resident_hit_rate,
+    );
+
+    // Fleet change on the now-idle service: dropping a device migrates
+    // only its chunks; bringing it back restores the original plan — the
+    // same chunk set moves, and nothing else ever does.
+    let migrated_out = service.set_device_active(3, false);
+    let migrated_back = service.set_device_active(3, true);
+    assert_eq!(
+        migrated_out, migrated_back,
+        "the chunks that migrate out are exactly the ones that come back"
+    );
+    assert_eq!(
+        service
+            .plan()
+            .expect("plan still installed")
+            .migrated_from(&plan),
+        0,
+        "re-activation must restore the original plan"
+    );
+    println!(
+        "[sharding] fleet change: device 3 out migrates {migrated_out} of {} chunks, \
+         back in restores the original plan\n",
+        hg_chunks + masked_chunks
+    );
+
+    let report = service.metrics();
+    print!("{report}");
+    println!();
+
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => unreachable!("all submitters joined"),
+    }
+    ShardingOutcome {
+        report,
+        jobs,
+        chunks: hg_chunks + masked_chunks,
+        resident_hit_rate,
+        predicted_makespan_s,
+        measured_makespan_s,
+        plan_prediction_error,
+        migrated_out,
+    }
 }
 
 /// Simulated makespan: the busiest device bounds the pool's throughput.
@@ -677,6 +911,12 @@ fn main() {
     // deadline admission, and fully non-blocking poll/callback completion.
     println!("multi-tenant QoS front end (weights 4/2/1, open-loop overload):");
     let (qos, deadline_rejections) = qos_run(&assembly, &specs, &oracle);
+
+    // This PR's tentpole: up-front planned placement over a production-
+    // scale chunk space, with a one-pass partition warmup and a makespan
+    // the plan predicted before dispatch.
+    println!("planned placement (range partition + one-pass warmup):");
+    let sharding = sharding_run(&serial_config);
 
     let packed_jobs_per_s = jobs as f64 / makespan_s(&packed);
     let raw_jobs_per_s = jobs as f64 / makespan_s(&raw);
@@ -855,6 +1095,35 @@ fn main() {
         );
     }
 
+    println!("planned placement summary:");
+    println!(
+        "  partition:          {} chunks over {} devices, shares sized by calibrated \
+         admission units/s",
+        sharding.chunks,
+        sharding.report.devices.len(),
+    );
+    println!(
+        "  steering:           {} planned hits / {} spill fallbacks, {} warmup prefetch uploads",
+        sharding.report.planned_hits,
+        sharding.report.spill_fallbacks,
+        sharding.report.prefetch_uploads,
+    );
+    println!(
+        "  post-warmup scan:   {:.1}% resident hit rate over {} jobs",
+        100.0 * sharding.resident_hit_rate,
+        sharding.jobs,
+    );
+    println!(
+        "  makespan:           predicted {:.6} s, measured {:.6} s ({:.1}% error)",
+        sharding.predicted_makespan_s,
+        sharding.measured_makespan_s,
+        100.0 * sharding.plan_prediction_error,
+    );
+    println!(
+        "  fleet change:       {} chunks migrated out and back (plan restored exactly)",
+        sharding.migrated_out,
+    );
+
     let tenant_json: String = qos
         .tenants
         .iter()
@@ -900,6 +1169,26 @@ fn main() {
         qos.jobs_admitted,
         qos.jobs_shed,
         tenant_json,
+    );
+
+    let sharding_json = format!(
+        concat!(
+            "{{ \"jobs\": {}, \"chunks\": {}, \"resident_hit_rate\": {:.4}, ",
+            "\"plan_prediction_error\": {:.4}, \"predicted_makespan_s\": {:.6}, ",
+            "\"measured_makespan_s\": {:.6}, \"planned_hits\": {}, ",
+            "\"spill_fallbacks\": {}, \"prefetch_uploads\": {}, ",
+            "\"migrated_chunks\": {} }}"
+        ),
+        sharding.jobs,
+        sharding.chunks,
+        sharding.resident_hit_rate,
+        sharding.plan_prediction_error,
+        sharding.predicted_makespan_s,
+        sharding.measured_makespan_s,
+        sharding.report.planned_hits,
+        sharding.report.spill_fallbacks,
+        sharding.report.prefetch_uploads,
+        sharding.report.migrated_chunks,
     );
 
     let variant_json: String = rows
@@ -957,6 +1246,7 @@ fn main() {
             "{}",
             "    ] }},\n",
             "  \"qos\": {},\n",
+            "  \"sharding\": {},\n",
             "  \"transfer_reduction_per_batch\": {:.3},\n",
             "  \"affinity_transfer_reduction_per_batch\": {:.3},\n",
             "  \"jobs_per_s_improvement\": {:.3}\n",
@@ -1008,6 +1298,7 @@ fn main() {
         spec_warm.mean_prediction_error(),
         variant_json,
         qos_json,
+        sharding_json,
         transfer_reduction,
         affinity_transfer_reduction,
         packed_jobs_per_s / raw_jobs_per_s,
@@ -1103,4 +1394,27 @@ fn main() {
             row.name
         );
     }
+    assert!(
+        sharding.resident_hit_rate >= 0.95,
+        "post-warmup, nearly every batch must find its chunk resident on its \
+         planned owner, got {:.1}%",
+        100.0 * sharding.resident_hit_rate
+    );
+    assert!(
+        sharding.plan_prediction_error <= 0.10,
+        "the measured makespan must land within 10% of the plan's pre-run \
+         prediction, got {:.1}%",
+        100.0 * sharding.plan_prediction_error
+    );
+    assert!(
+        sharding.report.planned_hits > 0 && sharding.report.prefetch_uploads > 0,
+        "the planned path must steer to owners and prefetch their partitions"
+    );
+    assert!(
+        sharding.migrated_out > 0 && sharding.migrated_out < sharding.chunks,
+        "a fleet change must migrate some chunks but never the whole space, \
+         got {} of {}",
+        sharding.migrated_out,
+        sharding.chunks
+    );
 }

@@ -52,6 +52,18 @@ awk -v f="${fairness:-1}" 'BEGIN { exit !(f <= 0.15) }' \
 deadline_misses=$(sed -n 's/.*"deadline_misses": \([0-9]*\).*/\1/p' BENCH_serve.json | head -n 1)
 awk -v n="${deadline_misses:-1}" 'BEGIN { exit !(n == 0) }' \
   || { echo "QoS deadline misses: ${deadline_misses:-absent}; expected 0"; exit 1; }
+# Under planned placement the one-pass warmup must leave essentially every
+# post-warmup batch on a device already holding its chunk (the affinity
+# pass reports the same field first, so take the sharding object's last).
+shard_hits=$(sed -n 's/.*"resident_hit_rate": \([0-9.]*\).*/\1/p' BENCH_serve.json | tail -n 1)
+awk -v r="${shard_hits:-0}" 'BEGIN { exit !(r >= 0.95) }' \
+  || { echo "sharding resident hit rate is ${shard_hits:-absent}; expected >= 0.95"; exit 1; }
+# The plan's pre-run makespan prediction (calibrated models + the
+# scheduler's decayed bias corrections) must land within 10% of the
+# measured post-warmup scan.
+plan_err=$(sed -n 's/.*"plan_prediction_error": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v e="${plan_err:-1}" 'BEGIN { exit !(e <= 0.10) }' \
+  || { echo "sharding plan prediction error is ${plan_err:-absent}; expected <= 0.10"; exit 1; }
 
 echo "== bench: specialized vs generic comparers =="
 cargo bench -q -p casoff-bench --bench serve_specialize
