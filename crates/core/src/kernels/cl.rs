@@ -17,6 +17,10 @@ use std::sync::Arc;
 use super::comparer::{ComparerKernel, ComparerOutput};
 use super::finder::{FinderKernel, FinderOutput, PackedFinderKernel};
 use super::fourbit::{FourBitComparerKernel, NibbleFinderKernel};
+use super::multi::{
+    FourBitMultiComparerKernel, GuideThresholds, MultiComparerKernel, MultiComparerOutput,
+    TwoBitMultiComparerKernel,
+};
 use super::specialize::{
     CompiledVariant, SpecializedComparerKernel, SpecializedFourBitComparerKernel,
     SpecializedNibbleFinderKernel, SpecializedTwoBitComparerKernel, VariantKind,
@@ -595,6 +599,309 @@ impl ClKernelFunction for ClSpecializedNibbleFinder {
     }
 }
 
+/// The `comparer_multi` kernel as an OpenCL kernel function: the fused
+/// multi-guide comparer over raw chunk bytes (see
+/// [`MultiComparerKernel`](crate::kernels::MultiComparerKernel)).
+///
+/// Argument layout:
+///
+/// | # | argument | type |
+/// |---|----------|------|
+/// | 0 | `chr` | buffer\<u8\> |
+/// | 1 | `loci` | buffer\<u32\> |
+/// | 2 | `flag` | buffer\<u8\> |
+/// | 3 | `comp` (block) | buffer\<u8\> (`__constant`) |
+/// | 4 | `comp_index` (block) | buffer\<i32\> (`__constant`) |
+/// | 5 | `thresholds` | buffer\<u16\> |
+/// | 6 | `locicnts` | u32 |
+/// | 7 | `patternlen` | u32 |
+/// | 8 | `nguides` | u32 |
+/// | 9 | `mm_count` (out) | buffer\<u16\> |
+/// | 10 | `direction` (out) | buffer\<u8\> |
+/// | 11 | `mm_loci` (out) | buffer\<u32\> |
+/// | 12 | `guide` (out) | buffer\<u16\> |
+/// | 13 | `entrycount` (out) | buffer\<u32\> |
+/// | 14 | `l_comp` | `__local` nguides·2·plen bytes |
+/// | 15 | `l_comp_index` | `__local` nguides·8·plen bytes |
+/// | 16 | `l_thr` | `__local` 2·nguides bytes |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClMultiComparer;
+
+impl ClKernelFunction for ClMultiComparer {
+    fn name(&self) -> &str {
+        "comparer_multi"
+    }
+
+    fn arity(&self) -> usize {
+        17
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[7].as_u32(7)? as usize;
+        let nguides = args[8].as_u32(8)? as usize;
+        expect_local_bytes(&args[14], 14, nguides * 2 * plen)?;
+        expect_local_bytes(&args[15], 15, nguides * 2 * plen * 4)?;
+        expect_local_bytes(&args[16], 16, nguides * 2)?;
+        let (kernel, _) = MultiComparerKernel::new(
+            args[0].as_buf_u8(0)?,
+            args[1].as_buf_u32(1)?,
+            args[2].as_buf_u8(2)?,
+            args[3].as_buf_u8(3)?,
+            args[4].as_buf_i32(4)?,
+            GuideThresholds::PerGuide(args[5].as_buf_u16(5)?),
+            args[6].as_u32(6)? as usize,
+            plen,
+            nguides,
+            MultiComparerOutput {
+                mm_count: args[9].as_buf_u16(9)?,
+                direction: args[10].as_buf_u8(10)?,
+                loci: args[11].as_buf_u32(11)?,
+                guide: args[12].as_buf_u16(12)?,
+                count: args[13].as_buf_u32(13)?,
+            },
+        );
+        Ok(Box::new(Bound(kernel)))
+    }
+}
+
+/// The `comparer_multi_2bit` kernel as an OpenCL kernel function.
+///
+/// Argument layout: `packed`, `mask`, then as [`ClMultiComparer`] from
+/// index 2.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClTwoBitMultiComparer;
+
+impl ClKernelFunction for ClTwoBitMultiComparer {
+    fn name(&self) -> &str {
+        "comparer_multi_2bit"
+    }
+
+    fn arity(&self) -> usize {
+        18
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[8].as_u32(8)? as usize;
+        let nguides = args[9].as_u32(9)? as usize;
+        expect_local_bytes(&args[15], 15, nguides * 2 * plen)?;
+        expect_local_bytes(&args[16], 16, nguides * 2 * plen * 4)?;
+        expect_local_bytes(&args[17], 17, nguides * 2)?;
+        let (kernel, _) = TwoBitMultiComparerKernel::new(
+            args[0].as_buf_u8(0)?,
+            args[1].as_buf_u8(1)?,
+            args[2].as_buf_u32(2)?,
+            args[3].as_buf_u8(3)?,
+            args[4].as_buf_u8(4)?,
+            args[5].as_buf_i32(5)?,
+            GuideThresholds::PerGuide(args[6].as_buf_u16(6)?),
+            args[7].as_u32(7)? as usize,
+            plen,
+            nguides,
+            MultiComparerOutput {
+                mm_count: args[10].as_buf_u16(10)?,
+                direction: args[11].as_buf_u8(11)?,
+                loci: args[12].as_buf_u32(12)?,
+                guide: args[13].as_buf_u16(13)?,
+                count: args[14].as_buf_u32(14)?,
+            },
+        );
+        Ok(Box::new(Bound(kernel)))
+    }
+}
+
+/// The `comparer_multi_4bit` kernel as an OpenCL kernel function.
+///
+/// Argument layout: `nibbles`, then as [`ClMultiComparer`] from index 1.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClFourBitMultiComparer;
+
+impl ClKernelFunction for ClFourBitMultiComparer {
+    fn name(&self) -> &str {
+        "comparer_multi_4bit"
+    }
+
+    fn arity(&self) -> usize {
+        17
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[7].as_u32(7)? as usize;
+        let nguides = args[8].as_u32(8)? as usize;
+        expect_local_bytes(&args[14], 14, nguides * 2 * plen)?;
+        expect_local_bytes(&args[15], 15, nguides * 2 * plen * 4)?;
+        expect_local_bytes(&args[16], 16, nguides * 2)?;
+        let (kernel, _) = FourBitMultiComparerKernel::new(
+            args[0].as_buf_u8(0)?,
+            args[1].as_buf_u32(1)?,
+            args[2].as_buf_u8(2)?,
+            args[3].as_buf_u8(3)?,
+            args[4].as_buf_i32(4)?,
+            GuideThresholds::PerGuide(args[5].as_buf_u16(5)?),
+            args[6].as_u32(6)? as usize,
+            plen,
+            nguides,
+            MultiComparerOutput {
+                mm_count: args[9].as_buf_u16(9)?,
+                direction: args[10].as_buf_u8(10)?,
+                loci: args[11].as_buf_u32(11)?,
+                guide: args[12].as_buf_u16(12)?,
+                count: args[13].as_buf_u32(13)?,
+            },
+        );
+        Ok(Box::new(Bound(kernel)))
+    }
+}
+
+/// The JIT-specialized fused comparer as an OpenCL kernel function: the
+/// block's shared threshold is folded into the variant, so the threshold
+/// table and its `__local` staging disappear from the argument list.
+///
+/// Argument layout: as [`ClMultiComparer`] minus arguments 5 (`thresholds`)
+/// and 16 (`l_thr`).
+#[derive(Debug, Clone)]
+pub struct ClSpecializedMultiComparer {
+    /// The compiled (PAM, threshold) variant this function embodies.
+    pub variant: Arc<CompiledVariant>,
+}
+
+impl ClKernelFunction for ClSpecializedMultiComparer {
+    fn name(&self) -> &str {
+        VariantKind::MultiComparer.kernel_name()
+    }
+
+    fn arity(&self) -> usize {
+        15
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[6].as_u32(6)? as usize;
+        let nguides = args[7].as_u32(7)? as usize;
+        expect_local_bytes(&args[13], 13, nguides * 2 * plen)?;
+        expect_local_bytes(&args[14], 14, nguides * 2 * plen * 4)?;
+        let (kernel, _) = MultiComparerKernel::new(
+            args[0].as_buf_u8(0)?,
+            args[1].as_buf_u32(1)?,
+            args[2].as_buf_u8(2)?,
+            args[3].as_buf_u8(3)?,
+            args[4].as_buf_i32(4)?,
+            GuideThresholds::Folded {
+                threshold: self.variant.pattern.threshold(),
+                variant: Arc::clone(&self.variant),
+            },
+            args[5].as_u32(5)? as usize,
+            plen,
+            nguides,
+            MultiComparerOutput {
+                mm_count: args[8].as_buf_u16(8)?,
+                direction: args[9].as_buf_u8(9)?,
+                loci: args[10].as_buf_u32(10)?,
+                guide: args[11].as_buf_u16(11)?,
+                count: args[12].as_buf_u32(12)?,
+            },
+        );
+        Ok(Box::new(Bound(kernel)))
+    }
+}
+
+/// The specialized fused 2-bit comparer as an OpenCL kernel function.
+///
+/// Argument layout: `packed`, `mask`, then as
+/// [`ClSpecializedMultiComparer`] from index 2.
+#[derive(Debug, Clone)]
+pub struct ClSpecializedTwoBitMultiComparer {
+    /// The compiled (PAM, threshold) variant this function embodies.
+    pub variant: Arc<CompiledVariant>,
+}
+
+impl ClKernelFunction for ClSpecializedTwoBitMultiComparer {
+    fn name(&self) -> &str {
+        "comparer_multi-2bit-spec"
+    }
+
+    fn arity(&self) -> usize {
+        16
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[7].as_u32(7)? as usize;
+        let nguides = args[8].as_u32(8)? as usize;
+        expect_local_bytes(&args[14], 14, nguides * 2 * plen)?;
+        expect_local_bytes(&args[15], 15, nguides * 2 * plen * 4)?;
+        let (kernel, _) = TwoBitMultiComparerKernel::new(
+            args[0].as_buf_u8(0)?,
+            args[1].as_buf_u8(1)?,
+            args[2].as_buf_u32(2)?,
+            args[3].as_buf_u8(3)?,
+            args[4].as_buf_u8(4)?,
+            args[5].as_buf_i32(5)?,
+            GuideThresholds::Folded {
+                threshold: self.variant.pattern.threshold(),
+                variant: Arc::clone(&self.variant),
+            },
+            args[6].as_u32(6)? as usize,
+            plen,
+            nguides,
+            MultiComparerOutput {
+                mm_count: args[9].as_buf_u16(9)?,
+                direction: args[10].as_buf_u8(10)?,
+                loci: args[11].as_buf_u32(11)?,
+                guide: args[12].as_buf_u16(12)?,
+                count: args[13].as_buf_u32(13)?,
+            },
+        );
+        Ok(Box::new(Bound(kernel)))
+    }
+}
+
+/// The specialized fused 4-bit comparer as an OpenCL kernel function.
+///
+/// Argument layout: `nibbles`, then as [`ClSpecializedMultiComparer`] from
+/// index 1.
+#[derive(Debug, Clone)]
+pub struct ClSpecializedFourBitMultiComparer {
+    /// The compiled (PAM, threshold) variant this function embodies.
+    pub variant: Arc<CompiledVariant>,
+}
+
+impl ClKernelFunction for ClSpecializedFourBitMultiComparer {
+    fn name(&self) -> &str {
+        "comparer_multi-4bit-spec"
+    }
+
+    fn arity(&self) -> usize {
+        15
+    }
+
+    fn bind(&self, args: &[KernelArg]) -> ClResult<Box<dyn BoundKernel>> {
+        let plen = args[6].as_u32(6)? as usize;
+        let nguides = args[7].as_u32(7)? as usize;
+        expect_local_bytes(&args[13], 13, nguides * 2 * plen)?;
+        expect_local_bytes(&args[14], 14, nguides * 2 * plen * 4)?;
+        let (kernel, _) = FourBitMultiComparerKernel::new(
+            args[0].as_buf_u8(0)?,
+            args[1].as_buf_u32(1)?,
+            args[2].as_buf_u8(2)?,
+            args[3].as_buf_u8(3)?,
+            args[4].as_buf_i32(4)?,
+            GuideThresholds::Folded {
+                threshold: self.variant.pattern.threshold(),
+                variant: Arc::clone(&self.variant),
+            },
+            args[5].as_u32(5)? as usize,
+            plen,
+            nguides,
+            MultiComparerOutput {
+                mm_count: args[8].as_buf_u16(8)?,
+                direction: args[9].as_buf_u8(9)?,
+                loci: args[10].as_buf_u32(10)?,
+                guide: args[11].as_buf_u16(11)?,
+                count: args[12].as_buf_u32(12)?,
+            },
+        );
+        Ok(Box::new(Bound(kernel)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -663,11 +970,51 @@ mod tests {
         assert_eq!(ClTwoBitComparer.arity(), 15);
         assert_eq!(ClNibbleFinder.arity(), 12);
         assert_eq!(ClFourBitComparer.arity(), 14);
+        assert_eq!(ClMultiComparer.arity(), 17);
+        assert_eq!(ClTwoBitMultiComparer.arity(), 18);
+        assert_eq!(ClFourBitMultiComparer.arity(), 17);
         assert_eq!(ClFinder.name(), "finder");
         assert_eq!(ClComparer::default().name(), "comparer");
         assert_eq!(ClTwoBitComparer.name(), "comparer_2bit");
         assert_eq!(ClNibbleFinder.name(), "finder_nibble");
         assert_eq!(ClFourBitComparer.name(), "comparer_4bit");
+        assert_eq!(ClMultiComparer.name(), "comparer_multi");
+        assert_eq!(ClTwoBitMultiComparer.name(), "comparer_multi_2bit");
+        assert_eq!(ClFourBitMultiComparer.name(), "comparer_multi_4bit");
+    }
+
+    #[test]
+    fn multi_comparer_binding_validates_local_sizes() {
+        let d = device();
+        let (plen, nguides) = (4usize, 3usize);
+        let mut args = vec![
+            KernelArg::BufU8(d.alloc(64).unwrap()),
+            KernelArg::BufU32(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(8).unwrap()),
+            KernelArg::BufU8(d.alloc(nguides * 2 * plen).unwrap()),
+            KernelArg::BufI32(d.alloc(nguides * 2 * plen).unwrap()),
+            KernelArg::BufU16(d.alloc(nguides).unwrap()),
+            KernelArg::U32(8),
+            KernelArg::U32(plen as u32),
+            KernelArg::U32(nguides as u32),
+            KernelArg::BufU16(d.alloc(64).unwrap()),
+            KernelArg::BufU8(d.alloc(64).unwrap()),
+            KernelArg::BufU32(d.alloc(64).unwrap()),
+            KernelArg::BufU16(d.alloc(64).unwrap()),
+            KernelArg::BufU32(d.alloc(1).unwrap()),
+            KernelArg::Local {
+                bytes: nguides * 2 * plen,
+            },
+            KernelArg::Local {
+                bytes: nguides * 8 * plen,
+            },
+            KernelArg::Local { bytes: nguides * 2 },
+        ];
+        assert!(ClMultiComparer.bind(&args).is_ok());
+
+        args[16] = KernelArg::Local { bytes: 1 };
+        let err = ClMultiComparer.bind(&args).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ClError::InvalidArgValue { index: 16, .. }));
     }
 
     #[test]

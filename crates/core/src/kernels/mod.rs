@@ -5,6 +5,7 @@ mod comparer;
 mod finder;
 mod fourbit;
 mod ladder;
+mod multi;
 mod twobit;
 
 pub mod cl;
@@ -14,6 +15,11 @@ pub use comparer::{run_comparer, ComparerKernel, ComparerOutput};
 pub use finder::{run_finder, FinderKernel, FinderOutput, PackedFinderKernel};
 pub use fourbit::{FourBitComparerKernel, NibbleFinderKernel};
 pub use ladder::{ladder_rank, LADDER};
+pub use multi::{
+    char_multi_model, fourbit_multi_model, twobit_multi_model, FourBitMultiComparerKernel,
+    GuideThresholds, MultiComparerKernel, MultiComparerOutput, TwoBitMultiComparerKernel,
+    GUIDE_BLOCK,
+};
 pub use specialize::{
     CompiledVariant, FoldedPattern, SpecializedComparerKernel, SpecializedFourBitComparerKernel,
     SpecializedNibbleFinderKernel, SpecializedTwoBitComparerKernel, VariantCache,

@@ -1,0 +1,1220 @@
+//! The fused multi-guide comparer family (`comparer_multi`).
+//!
+//! A CRISPR library screen compares thousands of guides that share one PAM
+//! against the *same* candidate list the finder produced for a chunk. The
+//! serial path launches the comparer once per guide — `k` launches of a
+//! kernel whose per-launch work is small enough that launch overhead and
+//! redundant genome loads dominate (the same fusion argument the GROMACS
+//! SYCL port made on AMD GPUs). The fused kernels here compare a *guide
+//! block* of up to [`GUIDE_BLOCK`] guides in one launch:
+//!
+//! * phase 0 stages the concatenated `[fwd|rc]` pattern arrays of the whole
+//!   block (guide `g`, half `h`, position `k` at `(g*2 + h)*plen + k`) into
+//!   local memory, plus the per-guide thresholds when they differ;
+//! * phase 1 loads each candidate's genome window **once** into private
+//!   registers and then sweeps all guides × strands against it — the window
+//!   loads amortize over `2·G` strand comparisons instead of being re-issued
+//!   per guide.
+//!
+//! Output compaction shares one atomic counter across the block and tags
+//! every entry with its guide index. Under
+//! [`ExecMode::Sequential`](gpu_sim::ExecMode) each work-item emits its
+//! entries for guides in ascending order, so the per-guide subsequence of
+//! the shared output is exactly the serial kernel's output — byte-identical
+//! results, which [`MultiComparerOutput::per_guide`] demultiplexes.
+//!
+//! When every guide in the block shares one threshold, the block can run as
+//! a JIT-specialized variant ([`VariantKind::MultiComparer`]) that folds the
+//! threshold into an immediate and drops the threshold-table argument and
+//! its staging — [`GuideThresholds::Folded`].
+
+use std::sync::Arc;
+
+use gpu_sim::isa::{CodeModel, Staging};
+use gpu_sim::kernel::{KernelProgram, LocalHandle, LocalLayout, LocalMem};
+use gpu_sim::{Device, DeviceBuffer, ItemCtx, SimResult};
+
+use genome::base::{base_mask, is_mismatch};
+use genome::twobit::code_to_char;
+
+use super::finder::{FLAG_BOTH, FLAG_FORWARD, FLAG_REVERSE};
+use super::ladder::ladder_rank;
+use super::specialize::CompiledVariant;
+
+/// Maximum guides fused into one comparer launch. `k` guides over the same
+/// candidate list run in `ceil(k / GUIDE_BLOCK)` launches instead of `k`.
+pub const GUIDE_BLOCK: usize = 16;
+
+/// Per-guide mismatch thresholds of a fused block.
+#[derive(Debug, Clone)]
+pub enum GuideThresholds {
+    /// One threshold per guide, staged to local memory from this buffer.
+    PerGuide(DeviceBuffer<u16>),
+    /// Every guide shares `threshold`, folded into the JIT-specialized
+    /// variant as an immediate (the `variant` carries the measured
+    /// resources and profiler name).
+    Folded {
+        /// The shared threshold immediate.
+        threshold: u16,
+        /// The compiled [`VariantKind::MultiComparer`] variant.
+        variant: Arc<CompiledVariant>,
+    },
+}
+
+/// Device-side output of a fused comparer launch: the serial
+/// [`ComparerOutput`](super::ComparerOutput) arrays plus a guide tag per
+/// entry, compacted through one shared atomic counter.
+#[derive(Debug, Clone)]
+pub struct MultiComparerOutput {
+    /// Mismatch count per passing site.
+    pub mm_count: DeviceBuffer<u16>,
+    /// Direction per passing site: `b'+'` or `b'-'`.
+    pub direction: DeviceBuffer<u8>,
+    /// Locus per passing site (chunk-relative).
+    pub loci: DeviceBuffer<u32>,
+    /// Guide index within the block per passing site.
+    pub guide: DeviceBuffer<u16>,
+    /// Single-element entry counter.
+    pub count: DeviceBuffer<u32>,
+}
+
+impl MultiComparerOutput {
+    /// Allocate output buffers for up to `capacity` entries. Each locus can
+    /// pass on both strands of every guide, so callers should size
+    /// `capacity` at `2 * nguides * locicnt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the device is out of memory.
+    pub fn allocate(device: &Device, capacity: usize) -> SimResult<MultiComparerOutput> {
+        Ok(MultiComparerOutput {
+            mm_count: device.alloc(capacity)?,
+            direction: device.alloc(capacity)?,
+            loci: device.alloc(capacity)?,
+            guide: device.alloc(capacity)?,
+            count: device.alloc(1)?,
+        })
+    }
+
+    /// Read back the entry count.
+    pub fn count_entries(&self) -> usize {
+        self.count.to_vec()[0] as usize
+    }
+
+    /// Read back and demultiplex the shared output into per-guide entry
+    /// lists, preserving compaction order within each guide — the order the
+    /// serial per-guide kernel would have produced.
+    pub fn per_guide(&self, nguides: usize) -> Vec<Vec<(u32, u8, u16)>> {
+        let n = self.count_entries();
+        let loci = self.loci.to_vec();
+        let dir = self.direction.to_vec();
+        let mm = self.mm_count.to_vec();
+        let guide = self.guide.to_vec();
+        let mut out = vec![Vec::new(); nguides];
+        for i in 0..n {
+            out[guide[i] as usize].push((loci[i], dir[i], mm[i]));
+        }
+        out
+    }
+}
+
+/// Structural code model of a fused comparer. `pointer_args` counts the
+/// encoding's chunk buffers plus loci/flags/pattern tables/4 output arrays
+/// (+ the threshold table when not folded); the window registers cost shows
+/// up as `extra_valu` over the serial kernel, and the folded form drops one
+/// pointer, one staged array and the threshold loads.
+fn multi_model(name: &str, chunk_ptrs: u32, folded: bool, decode_valu: u32) -> CodeModel {
+    let (ptrs, staged, valu) = if folded {
+        (chunk_ptrs + 9, 2, decode_valu)
+    } else {
+        (chunk_ptrs + 10, 3, decode_valu + 4)
+    };
+    CodeModel::new(name)
+        .pointer_args(ptrs)
+        .scalar_args(3)
+        .noalias(true)
+        .cached_global_scalars(2)
+        .staging(Staging::Parallel)
+        .staged_arrays(staged)
+        .guarded_blocks(2)
+        .ladder_arms(13)
+        .atomic_output(true)
+        .extra_valu(valu)
+}
+
+/// Code model of the char fused comparer.
+pub fn char_multi_model(folded: bool) -> CodeModel {
+    let name = if folded {
+        "comparer_multi-spec"
+    } else {
+        "comparer_multi"
+    };
+    multi_model(name, 1, folded, 12)
+}
+
+/// Code model of the 2-bit fused comparer.
+pub fn twobit_multi_model(folded: bool) -> CodeModel {
+    let name = if folded {
+        "comparer_multi-2bit-spec"
+    } else {
+        "comparer_multi-2bit"
+    };
+    multi_model(name, 2, folded, 44)
+}
+
+/// Code model of the 4-bit fused comparer.
+pub fn fourbit_multi_model(folded: bool) -> CodeModel {
+    let name = if folded {
+        "comparer_multi-4bit-spec"
+    } else {
+        "comparer_multi-4bit"
+    };
+    multi_model(name, 1, folded, 28)
+}
+
+/// Shared layout builder: pattern tables for the whole block, plus the
+/// threshold table when per-guide.
+fn multi_layout(
+    nguides: usize,
+    plen: usize,
+    thresholds: &GuideThresholds,
+) -> (LocalLayout, LocalHandle<u8>, LocalHandle<i32>, Option<LocalHandle<u16>>) {
+    let mut layout = LocalLayout::new();
+    let l_comp = layout.array::<u8>(nguides * 2 * plen);
+    let l_comp_index = layout.array::<i32>(nguides * 2 * plen);
+    let l_thr = match thresholds {
+        GuideThresholds::PerGuide(_) => Some(layout.array::<u16>(nguides)),
+        GuideThresholds::Folded { .. } => None,
+    };
+    (layout, l_comp, l_comp_index, l_thr)
+}
+
+/// The fused char comparer: guide-block mismatch counting over raw chunk
+/// bytes.
+#[derive(Debug, Clone)]
+pub struct MultiComparerKernel {
+    /// Chunk bases.
+    pub chr: DeviceBuffer<u8>,
+    /// Candidate loci from the finder (chunk-relative).
+    pub loci: DeviceBuffer<u32>,
+    /// Strand flags from the finder.
+    pub flags: DeviceBuffer<u8>,
+    /// Concatenated `[fwd | rc]` pattern bytes of the block, `nguides * 2 *
+    /// plen` long.
+    pub comp: DeviceBuffer<u8>,
+    /// Concatenated non-`N` index tables, `-1` terminated per half.
+    pub comp_index: DeviceBuffer<i32>,
+    /// Per-guide or folded thresholds.
+    pub thresholds: GuideThresholds,
+    /// Number of candidate loci.
+    pub locicnt: u32,
+    /// Pattern length (uniform across the block — one PAM).
+    pub plen: u32,
+    /// Guides in the block (`<= GUIDE_BLOCK`).
+    pub nguides: u32,
+    /// Output arrays.
+    pub out: MultiComparerOutput,
+    /// Local staging handle for the block's pattern characters.
+    pub l_comp: LocalHandle<u8>,
+    /// Local staging handle for the block's index tables.
+    pub l_comp_index: LocalHandle<i32>,
+    /// Local staging handle for per-guide thresholds (`None` when folded).
+    pub l_thr: Option<LocalHandle<u16>>,
+}
+
+impl MultiComparerKernel {
+    /// Build the kernel and its local layout for a block of `nguides`
+    /// patterns of uniform length `plen`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        chr: DeviceBuffer<u8>,
+        loci: DeviceBuffer<u32>,
+        flags: DeviceBuffer<u8>,
+        comp: DeviceBuffer<u8>,
+        comp_index: DeviceBuffer<i32>,
+        thresholds: GuideThresholds,
+        locicnt: usize,
+        plen: usize,
+        nguides: usize,
+        out: MultiComparerOutput,
+    ) -> (MultiComparerKernel, LocalLayout) {
+        let (layout, l_comp, l_comp_index, l_thr) = multi_layout(nguides, plen, &thresholds);
+        (
+            MultiComparerKernel {
+                chr,
+                loci,
+                flags,
+                comp,
+                comp_index,
+                thresholds,
+                locicnt: locicnt as u32,
+                plen: plen as u32,
+                nguides: nguides as u32,
+                out,
+                l_comp,
+                l_comp_index,
+                l_thr,
+            },
+            layout,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compare_strand(
+        &self,
+        item: &mut ItemCtx,
+        local: &LocalMem,
+        window: &[u8],
+        locus: u32,
+        g: usize,
+        thr: u16,
+        half: usize,
+    ) {
+        let plen = self.plen as usize;
+        let base = (g * 2 + half) * plen;
+        let mut lmm: u16 = 0;
+        item.ops(1);
+
+        for j in 0..plen {
+            let k = local.load(item, self.l_comp_index, base + j);
+            item.ops(1);
+            if k < 0 {
+                break;
+            }
+            let k = k as usize;
+            let pat_c = local.load(item, self.l_comp, base + k);
+            item.ops(ladder_rank(pat_c));
+            let chr_c = window[k];
+            item.ops(2);
+            if is_mismatch(pat_c, chr_c) {
+                lmm += 1;
+                item.ops(1);
+                if lmm > thr {
+                    break;
+                }
+            }
+        }
+
+        item.ops(1);
+        if lmm <= thr {
+            let slot = self.out.count.atomic_inc(item, 0) as usize;
+            self.out.mm_count.store(item, slot, lmm);
+            self.out
+                .direction
+                .store(item, slot, if half == 0 { b'+' } else { b'-' });
+            self.out.loci.store(item, slot, locus);
+            self.out.guide.store(item, slot, g as u16);
+        }
+    }
+}
+
+/// Shared phase-0 staging: the whole group cooperates in copying the
+/// block's pattern tables (and threshold table, when per-guide) to local.
+#[allow(clippy::too_many_arguments)]
+fn stage_block(
+    item: &mut ItemCtx,
+    local: &mut LocalMem,
+    comp: &DeviceBuffer<u8>,
+    comp_index: &DeviceBuffer<i32>,
+    l_comp: LocalHandle<u8>,
+    l_comp_index: LocalHandle<i32>,
+    thresholds: &GuideThresholds,
+    l_thr: Option<LocalHandle<u16>>,
+    nguides: usize,
+    plen: usize,
+) {
+    let li = item.local_id(0);
+    let group = item.local_range(0);
+    let span = nguides * 2 * plen;
+    let mut k = li;
+    while k < span {
+        let c = comp.load(item, k);
+        local.store(item, l_comp, k, c);
+        let idx = comp_index.load(item, k);
+        local.store(item, l_comp_index, k, idx);
+        item.ops(2);
+        k += group;
+    }
+    if let (GuideThresholds::PerGuide(buf), Some(l_thr)) = (thresholds, l_thr) {
+        let mut g = li;
+        while g < nguides {
+            let t = buf.load(item, g);
+            local.store(item, l_thr, g, t);
+            item.ops(1);
+            g += group;
+        }
+    }
+}
+
+/// Threshold of guide `g`: a local read when per-guide, the folded
+/// immediate otherwise.
+fn threshold_for(
+    item: &mut ItemCtx,
+    local: &LocalMem,
+    thresholds: &GuideThresholds,
+    l_thr: Option<LocalHandle<u16>>,
+    g: usize,
+) -> u16 {
+    match (thresholds, l_thr) {
+        (GuideThresholds::PerGuide(_), Some(l_thr)) => local.load(item, l_thr, g),
+        (GuideThresholds::Folded { threshold, .. }, _) => *threshold,
+        (GuideThresholds::PerGuide(_), None) => unreachable!("per-guide block without l_thr"),
+    }
+}
+
+impl KernelProgram for MultiComparerKernel {
+    type Private = ();
+
+    fn name(&self) -> &str {
+        match self.thresholds {
+            GuideThresholds::PerGuide(_) => "comparer_multi",
+            GuideThresholds::Folded { .. } => "comparer_multi-spec",
+        }
+    }
+
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn local_layout(&self) -> LocalLayout {
+        multi_layout(self.nguides as usize, self.plen as usize, &self.thresholds).0
+    }
+
+    fn code_model(&self) -> CodeModel {
+        char_multi_model(matches!(self.thresholds, GuideThresholds::Folded { .. }))
+    }
+
+    fn run_phase(&self, phase: usize, item: &mut ItemCtx, _p: &mut (), local: &mut LocalMem) {
+        let plen = self.plen as usize;
+        match phase {
+            0 => stage_block(
+                item,
+                local,
+                &self.comp,
+                &self.comp_index,
+                self.l_comp,
+                self.l_comp_index,
+                &self.thresholds,
+                self.l_thr,
+                self.nguides as usize,
+                plen,
+            ),
+            _ => {
+                let i = item.global_id(0);
+                item.ops(1);
+                if i >= self.locicnt as usize {
+                    return;
+                }
+                let flag = self.flags.load(item, i);
+                let locus = self.loci.load(item, i);
+
+                // The candidate window, loaded once and shared by every
+                // guide and strand of the block. The finder only emits loci
+                // with a full `plen` window, so the reads are in bounds.
+                let mut window = vec![0u8; plen];
+                for (k, w) in window.iter_mut().enumerate() {
+                    *w = self.chr.load(item, locus as usize + k);
+                }
+                item.ops(plen as u64);
+
+                for g in 0..self.nguides as usize {
+                    let thr = threshold_for(item, local, &self.thresholds, self.l_thr, g);
+                    item.ops(2);
+                    if flag == FLAG_BOTH || flag == FLAG_FORWARD {
+                        self.compare_strand(item, local, &window, locus, g, thr, 0);
+                    }
+                    item.ops(2);
+                    if flag == FLAG_BOTH || flag == FLAG_REVERSE {
+                        self.compare_strand(item, local, &window, locus, g, thr, 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fused 2-bit comparer: guide-block mismatch counting over packed +
+/// ambiguity-mask words. The window decode (the serial kernel's
+/// [`base_at`](super::TwoBitComparerKernel) walk) runs once per candidate.
+#[derive(Debug, Clone)]
+pub struct TwoBitMultiComparerKernel {
+    /// Packed chunk bases, 4 per byte.
+    pub packed: DeviceBuffer<u8>,
+    /// Ambiguity mask, 8 bases per byte.
+    pub mask: DeviceBuffer<u8>,
+    /// Candidate loci (chunk-relative).
+    pub loci: DeviceBuffer<u32>,
+    /// Strand flags from the finder.
+    pub flags: DeviceBuffer<u8>,
+    /// Concatenated `[fwd | rc]` pattern bytes of the block.
+    pub comp: DeviceBuffer<u8>,
+    /// Concatenated index tables, `-1` terminated per half.
+    pub comp_index: DeviceBuffer<i32>,
+    /// Per-guide or folded thresholds.
+    pub thresholds: GuideThresholds,
+    /// Number of candidates.
+    pub locicnt: u32,
+    /// Pattern length.
+    pub plen: u32,
+    /// Guides in the block.
+    pub nguides: u32,
+    /// Output arrays.
+    pub out: MultiComparerOutput,
+    /// Local staging handle for the block's pattern characters.
+    pub l_comp: LocalHandle<u8>,
+    /// Local staging handle for the block's index tables.
+    pub l_comp_index: LocalHandle<i32>,
+    /// Local staging handle for per-guide thresholds (`None` when folded).
+    pub l_thr: Option<LocalHandle<u16>>,
+}
+
+impl TwoBitMultiComparerKernel {
+    /// Build the kernel and its local layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        packed: DeviceBuffer<u8>,
+        mask: DeviceBuffer<u8>,
+        loci: DeviceBuffer<u32>,
+        flags: DeviceBuffer<u8>,
+        comp: DeviceBuffer<u8>,
+        comp_index: DeviceBuffer<i32>,
+        thresholds: GuideThresholds,
+        locicnt: usize,
+        plen: usize,
+        nguides: usize,
+        out: MultiComparerOutput,
+    ) -> (TwoBitMultiComparerKernel, LocalLayout) {
+        let (layout, l_comp, l_comp_index, l_thr) = multi_layout(nguides, plen, &thresholds);
+        (
+            TwoBitMultiComparerKernel {
+                packed,
+                mask,
+                loci,
+                flags,
+                comp,
+                comp_index,
+                thresholds,
+                locicnt: locicnt as u32,
+                plen: plen as u32,
+                nguides: nguides as u32,
+                out,
+                l_comp,
+                l_comp_index,
+                l_thr,
+            },
+            layout,
+        )
+    }
+
+    /// Decode the base at absolute position `pos` (the serial kernel's
+    /// cached packed-byte + mask-byte walk).
+    fn base_at(&self, item: &mut ItemCtx, cache: &mut (usize, u8, usize, u8), pos: usize) -> u8 {
+        let (pb_idx, mb_idx) = (pos / 4, pos / 8);
+        if cache.0 != pb_idx {
+            cache.0 = pb_idx;
+            cache.1 = self.packed.load(item, pb_idx);
+        }
+        if cache.2 != mb_idx {
+            cache.2 = mb_idx;
+            cache.3 = self.mask.load(item, mb_idx);
+        }
+        item.ops(4); // shifts and masks
+        if (cache.3 >> (pos % 8)) & 1 == 1 {
+            b'N'
+        } else {
+            code_to_char((cache.1 >> ((pos % 4) * 2)) & 0b11)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compare_strand(
+        &self,
+        item: &mut ItemCtx,
+        local: &LocalMem,
+        window: &[u8],
+        locus: u32,
+        g: usize,
+        thr: u16,
+        half: usize,
+    ) {
+        let plen = self.plen as usize;
+        let base = (g * 2 + half) * plen;
+        let mut lmm: u16 = 0;
+        item.ops(1);
+
+        for j in 0..plen {
+            let k = local.load(item, self.l_comp_index, base + j);
+            item.ops(1);
+            if k < 0 {
+                break;
+            }
+            let k = k as usize;
+            let pat_c = local.load(item, self.l_comp, base + k);
+            let chr_c = window[k];
+            item.ops(2);
+            if is_mismatch(pat_c, chr_c) {
+                lmm += 1;
+                item.ops(1);
+                if lmm > thr {
+                    break;
+                }
+            }
+        }
+
+        item.ops(1);
+        if lmm <= thr {
+            let slot = self.out.count.atomic_inc(item, 0) as usize;
+            self.out.mm_count.store(item, slot, lmm);
+            self.out
+                .direction
+                .store(item, slot, if half == 0 { b'+' } else { b'-' });
+            self.out.loci.store(item, slot, locus);
+            self.out.guide.store(item, slot, g as u16);
+        }
+    }
+}
+
+impl KernelProgram for TwoBitMultiComparerKernel {
+    type Private = ();
+
+    fn name(&self) -> &str {
+        match self.thresholds {
+            GuideThresholds::PerGuide(_) => "comparer_multi-2bit",
+            GuideThresholds::Folded { .. } => "comparer_multi-2bit-spec",
+        }
+    }
+
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn local_layout(&self) -> LocalLayout {
+        multi_layout(self.nguides as usize, self.plen as usize, &self.thresholds).0
+    }
+
+    fn code_model(&self) -> CodeModel {
+        twobit_multi_model(matches!(self.thresholds, GuideThresholds::Folded { .. }))
+    }
+
+    fn run_phase(&self, phase: usize, item: &mut ItemCtx, _p: &mut (), local: &mut LocalMem) {
+        let plen = self.plen as usize;
+        match phase {
+            0 => stage_block(
+                item,
+                local,
+                &self.comp,
+                &self.comp_index,
+                self.l_comp,
+                self.l_comp_index,
+                &self.thresholds,
+                self.l_thr,
+                self.nguides as usize,
+                plen,
+            ),
+            _ => {
+                let i = item.global_id(0);
+                item.ops(1);
+                if i >= self.locicnt as usize {
+                    return;
+                }
+                let flag = self.flags.load(item, i);
+                let locus = self.loci.load(item, i);
+
+                // Decode the window once; the byte cache makes this
+                // `plen/4 + plen/8` loads, shared by the whole block.
+                let mut cache = (usize::MAX, 0u8, usize::MAX, 0u8);
+                let mut window = vec![0u8; plen];
+                for (k, w) in window.iter_mut().enumerate() {
+                    *w = self.base_at(item, &mut cache, locus as usize + k);
+                }
+
+                for g in 0..self.nguides as usize {
+                    let thr = threshold_for(item, local, &self.thresholds, self.l_thr, g);
+                    item.ops(2);
+                    if flag == FLAG_BOTH || flag == FLAG_FORWARD {
+                        self.compare_strand(item, local, &window, locus, g, thr, 0);
+                    }
+                    item.ops(2);
+                    if flag == FLAG_BOTH || flag == FLAG_REVERSE {
+                        self.compare_strand(item, local, &window, locus, g, thr, 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fused 4-bit comparer: guide-block subset tests over nibble words.
+/// The window holds possibility *masks* (not decoded characters), so the
+/// per-guide compare is the serial kernel's exact subset rule.
+#[derive(Debug, Clone)]
+pub struct FourBitMultiComparerKernel {
+    /// Nibble-packed chunk bases, 2 per byte, low nibble first.
+    pub nibbles: DeviceBuffer<u8>,
+    /// Candidate loci (chunk-relative).
+    pub loci: DeviceBuffer<u32>,
+    /// Strand flags from the finder.
+    pub flags: DeviceBuffer<u8>,
+    /// Concatenated `[fwd | rc]` pattern bytes of the block.
+    pub comp: DeviceBuffer<u8>,
+    /// Concatenated index tables, `-1` terminated per half.
+    pub comp_index: DeviceBuffer<i32>,
+    /// Per-guide or folded thresholds.
+    pub thresholds: GuideThresholds,
+    /// Number of candidates.
+    pub locicnt: u32,
+    /// Pattern length.
+    pub plen: u32,
+    /// Guides in the block.
+    pub nguides: u32,
+    /// Output arrays.
+    pub out: MultiComparerOutput,
+    /// Local staging handle for the block's pattern characters.
+    pub l_comp: LocalHandle<u8>,
+    /// Local staging handle for the block's index tables.
+    pub l_comp_index: LocalHandle<i32>,
+    /// Local staging handle for per-guide thresholds (`None` when folded).
+    pub l_thr: Option<LocalHandle<u16>>,
+}
+
+impl FourBitMultiComparerKernel {
+    /// Build the kernel and its local layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        nibbles: DeviceBuffer<u8>,
+        loci: DeviceBuffer<u32>,
+        flags: DeviceBuffer<u8>,
+        comp: DeviceBuffer<u8>,
+        comp_index: DeviceBuffer<i32>,
+        thresholds: GuideThresholds,
+        locicnt: usize,
+        plen: usize,
+        nguides: usize,
+        out: MultiComparerOutput,
+    ) -> (FourBitMultiComparerKernel, LocalLayout) {
+        let (layout, l_comp, l_comp_index, l_thr) = multi_layout(nguides, plen, &thresholds);
+        (
+            FourBitMultiComparerKernel {
+                nibbles,
+                loci,
+                flags,
+                comp,
+                comp_index,
+                thresholds,
+                locicnt: locicnt as u32,
+                plen: plen as u32,
+                nguides: nguides as u32,
+                out,
+                l_comp,
+                l_comp_index,
+                l_thr,
+            },
+            layout,
+        )
+    }
+
+    /// The possibility mask at absolute position `pos` (the serial kernel's
+    /// cached nibble walk).
+    fn mask_at(&self, item: &mut ItemCtx, cache: &mut (usize, u8), pos: usize) -> u8 {
+        let idx = pos / 2;
+        if cache.0 != idx {
+            cache.0 = idx;
+            cache.1 = self.nibbles.load(item, idx);
+        }
+        item.ops(2); // shift + mask
+        (cache.1 >> ((pos % 2) * 4)) & 0b1111
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compare_strand(
+        &self,
+        item: &mut ItemCtx,
+        local: &LocalMem,
+        window: &[u8],
+        locus: u32,
+        g: usize,
+        thr: u16,
+        half: usize,
+    ) {
+        let plen = self.plen as usize;
+        let base = (g * 2 + half) * plen;
+        let mut lmm: u16 = 0;
+        item.ops(1);
+
+        for j in 0..plen {
+            let k = local.load(item, self.l_comp_index, base + j);
+            item.ops(1);
+            if k < 0 {
+                break;
+            }
+            let k = k as usize;
+            let pat_c = local.load(item, self.l_comp, base + k);
+            let gm = window[k];
+            let p = base_mask(pat_c);
+            item.ops(3); // mask lookup + and + compares
+            if !(gm != 0 && (gm & p) == gm) {
+                lmm += 1;
+                item.ops(1);
+                if lmm > thr {
+                    break;
+                }
+            }
+        }
+
+        item.ops(1);
+        if lmm <= thr {
+            let slot = self.out.count.atomic_inc(item, 0) as usize;
+            self.out.mm_count.store(item, slot, lmm);
+            self.out
+                .direction
+                .store(item, slot, if half == 0 { b'+' } else { b'-' });
+            self.out.loci.store(item, slot, locus);
+            self.out.guide.store(item, slot, g as u16);
+        }
+    }
+}
+
+impl KernelProgram for FourBitMultiComparerKernel {
+    type Private = ();
+
+    fn name(&self) -> &str {
+        match self.thresholds {
+            GuideThresholds::PerGuide(_) => "comparer_multi-4bit",
+            GuideThresholds::Folded { .. } => "comparer_multi-4bit-spec",
+        }
+    }
+
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn local_layout(&self) -> LocalLayout {
+        multi_layout(self.nguides as usize, self.plen as usize, &self.thresholds).0
+    }
+
+    fn code_model(&self) -> CodeModel {
+        fourbit_multi_model(matches!(self.thresholds, GuideThresholds::Folded { .. }))
+    }
+
+    fn run_phase(&self, phase: usize, item: &mut ItemCtx, _p: &mut (), local: &mut LocalMem) {
+        let plen = self.plen as usize;
+        match phase {
+            0 => stage_block(
+                item,
+                local,
+                &self.comp,
+                &self.comp_index,
+                self.l_comp,
+                self.l_comp_index,
+                &self.thresholds,
+                self.l_thr,
+                self.nguides as usize,
+                plen,
+            ),
+            _ => {
+                let i = item.global_id(0);
+                item.ops(1);
+                if i >= self.locicnt as usize {
+                    return;
+                }
+                let flag = self.flags.load(item, i);
+                let locus = self.loci.load(item, i);
+
+                // One nibble walk per candidate: `plen/2` loads shared by
+                // the whole block.
+                let mut cache = (usize::MAX, 0u8);
+                let mut window = vec![0u8; plen];
+                for (k, w) in window.iter_mut().enumerate() {
+                    *w = self.mask_at(item, &mut cache, locus as usize + k);
+                }
+
+                for g in 0..self.nguides as usize {
+                    let thr = threshold_for(item, local, &self.thresholds, self.l_thr, g);
+                    item.ops(2);
+                    if flag == FLAG_BOTH || flag == FLAG_FORWARD {
+                        self.compare_strand(item, local, &window, locus, g, thr, 0);
+                    }
+                    item.ops(2);
+                    if flag == FLAG_BOTH || flag == FLAG_REVERSE {
+                        self.compare_strand(item, local, &window, locus, g, thr, 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::specialize::{CompiledVariant, VariantKind};
+    use crate::kernels::{ComparerKernel, ComparerOutput, OptLevel};
+    use crate::pattern::CompiledSeq;
+    use genome::fourbit::NibbleSeq;
+    use genome::twobit::TwoBitSeq;
+    use gpu_sim::{DeviceSpec, ExecMode, NdRange};
+
+    fn device() -> Device {
+        Device::with_mode(DeviceSpec::mi100(), ExecMode::Sequential)
+    }
+
+    fn fixture_seq(len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| b"ACGTACGGTTCA"[(i * 7 + i / 3) % 12])
+            .collect()
+    }
+
+    fn fixture_guides() -> Vec<(Vec<u8>, u16)> {
+        vec![
+            (b"ACGTACNN".to_vec(), 2),
+            (b"TTCAACNN".to_vec(), 3),
+            (b"ACGGTTNN".to_vec(), 1),
+            (b"CGTACGNN".to_vec(), 2),
+            (b"GGTTCANN".to_vec(), 4),
+        ]
+    }
+
+    fn fixture_candidates(seq_len: usize, plen: usize) -> (Vec<u32>, Vec<u8>) {
+        let loci: Vec<u32> = (0..(seq_len - plen) as u32).collect();
+        let flags: Vec<u8> = loci
+            .iter()
+            .map(|&p| match p % 4 {
+                0 => FLAG_BOTH,
+                1 => FLAG_FORWARD,
+                2 => FLAG_REVERSE,
+                _ => FLAG_BOTH,
+            })
+            .collect();
+        (loci, flags)
+    }
+
+    /// Concatenate the guides' pattern tables in block layout.
+    fn block_tables(compiled: &[CompiledSeq]) -> (Vec<u8>, Vec<i32>) {
+        let mut comp = Vec::new();
+        let mut comp_index = Vec::new();
+        for c in compiled {
+            comp.extend_from_slice(c.comp());
+            comp_index.extend_from_slice(c.comp_index());
+        }
+        (comp, comp_index)
+    }
+
+    /// Serial reference: one comparer launch per guide on the chosen
+    /// encoding, entries in compaction order (NOT sorted — byte identity
+    /// includes ordering).
+    fn serial_reference(
+        encoding: u8,
+        seq: &[u8],
+        guides: &[(Vec<u8>, u16)],
+        loci: &[u32],
+        flags: &[u8],
+    ) -> Vec<Vec<(u32, u8, u16)>> {
+        let device = device();
+        let mut out = Vec::new();
+        for (pat, thr) in guides {
+            let compiled = CompiledSeq::compile(pat);
+            let loci_b = device.alloc_from_slice(loci).unwrap();
+            let flags_b = device.alloc_from_slice(flags).unwrap();
+            let comp = device.alloc_from_slice(compiled.comp()).unwrap();
+            let comp_index = device.alloc_from_slice(compiled.comp_index()).unwrap();
+            let o = ComparerOutput::allocate(&device, loci.len() * 2 + 1).unwrap();
+            let nd = NdRange::linear_cover(loci.len(), 64);
+            match encoding {
+                0 => {
+                    let chr = device.alloc_from_slice(seq).unwrap();
+                    let (k, _) = ComparerKernel::new(
+                        OptLevel::Opt3,
+                        chr,
+                        loci_b,
+                        flags_b,
+                        comp,
+                        comp_index,
+                        loci.len(),
+                        *thr,
+                        o,
+                        &compiled,
+                    );
+                    device.launch(&k, nd).unwrap();
+                    out.push(k.out.entries());
+                }
+                1 => {
+                    let enc = TwoBitSeq::encode(seq);
+                    let packed = device.alloc_from_slice(enc.packed_bytes()).unwrap();
+                    let mask = device.alloc_from_slice(enc.mask_bytes()).unwrap();
+                    let (k, _) = crate::kernels::TwoBitComparerKernel::new(
+                        packed,
+                        mask,
+                        loci_b,
+                        flags_b,
+                        comp,
+                        comp_index,
+                        loci.len(),
+                        *thr,
+                        o,
+                        &compiled,
+                    );
+                    device.launch(&k, nd).unwrap();
+                    out.push(k.out.entries());
+                }
+                _ => {
+                    let enc = NibbleSeq::encode(seq);
+                    let nibbles = device.alloc_from_slice(enc.nibble_bytes()).unwrap();
+                    let (k, _) = crate::kernels::FourBitComparerKernel::new(
+                        nibbles,
+                        loci_b,
+                        flags_b,
+                        comp,
+                        comp_index,
+                        loci.len(),
+                        *thr,
+                        o,
+                        &compiled,
+                    );
+                    device.launch(&k, nd).unwrap();
+                    out.push(k.out.entries());
+                }
+            }
+        }
+        out
+    }
+
+    /// Fused run on the chosen encoding, demuxed per guide.
+    fn fused_run(
+        encoding: u8,
+        seq: &[u8],
+        guides: &[(Vec<u8>, u16)],
+        loci: &[u32],
+        flags: &[u8],
+        folded: Option<u16>,
+    ) -> Vec<Vec<(u32, u8, u16)>> {
+        let device = device();
+        let compiled: Vec<CompiledSeq> =
+            guides.iter().map(|(p, _)| CompiledSeq::compile(p)).collect();
+        let plen = compiled[0].plen();
+        let (comp_h, comp_index_h) = block_tables(&compiled);
+        let loci_b = device.alloc_from_slice(loci).unwrap();
+        let flags_b = device.alloc_from_slice(flags).unwrap();
+        let comp = device.alloc_from_slice(&comp_h).unwrap();
+        let comp_index = device.alloc_from_slice(&comp_index_h).unwrap();
+        let thresholds = match folded {
+            Some(t) => GuideThresholds::Folded {
+                threshold: t,
+                variant: Arc::new(CompiledVariant::compile(
+                    VariantKind::MultiComparer,
+                    &compiled[0],
+                    t,
+                )),
+            },
+            None => {
+                let thr_h: Vec<u16> = guides.iter().map(|&(_, t)| t).collect();
+                GuideThresholds::PerGuide(device.alloc_from_slice(&thr_h).unwrap())
+            }
+        };
+        let out =
+            MultiComparerOutput::allocate(&device, loci.len() * 2 * guides.len() + 1).unwrap();
+        let nd = NdRange::linear_cover(loci.len(), 64);
+        match encoding {
+            0 => {
+                let chr = device.alloc_from_slice(seq).unwrap();
+                let (k, _) = MultiComparerKernel::new(
+                    chr,
+                    loci_b,
+                    flags_b,
+                    comp,
+                    comp_index,
+                    thresholds,
+                    loci.len(),
+                    plen,
+                    guides.len(),
+                    out,
+                );
+                device.launch(&k, nd).unwrap();
+                k.out.per_guide(guides.len())
+            }
+            1 => {
+                let enc = TwoBitSeq::encode(seq);
+                let packed = device.alloc_from_slice(enc.packed_bytes()).unwrap();
+                let mask = device.alloc_from_slice(enc.mask_bytes()).unwrap();
+                let (k, _) = TwoBitMultiComparerKernel::new(
+                    packed,
+                    mask,
+                    loci_b,
+                    flags_b,
+                    comp,
+                    comp_index,
+                    thresholds,
+                    loci.len(),
+                    plen,
+                    guides.len(),
+                    out,
+                );
+                device.launch(&k, nd).unwrap();
+                k.out.per_guide(guides.len())
+            }
+            _ => {
+                let enc = NibbleSeq::encode(seq);
+                let nibbles = device.alloc_from_slice(enc.nibble_bytes()).unwrap();
+                let (k, _) = FourBitMultiComparerKernel::new(
+                    nibbles,
+                    loci_b,
+                    flags_b,
+                    comp,
+                    comp_index,
+                    thresholds,
+                    loci.len(),
+                    plen,
+                    guides.len(),
+                    out,
+                );
+                device.launch(&k, nd).unwrap();
+                k.out.per_guide(guides.len())
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_serial_per_guide_char() {
+        let seq = fixture_seq(160);
+        let guides = fixture_guides();
+        let (loci, flags) = fixture_candidates(seq.len(), 8);
+        let serial = serial_reference(0, &seq, &guides, &loci, &flags);
+        let fused = fused_run(0, &seq, &guides, &loci, &flags, None);
+        assert!(serial.iter().any(|g| !g.is_empty()), "fixture must hit");
+        assert_eq!(fused, serial, "char fused output must be byte-identical");
+    }
+
+    #[test]
+    fn fused_matches_serial_per_guide_2bit() {
+        let seq = fixture_seq(160);
+        let guides = fixture_guides();
+        let (loci, flags) = fixture_candidates(seq.len(), 8);
+        let serial = serial_reference(1, &seq, &guides, &loci, &flags);
+        let fused = fused_run(1, &seq, &guides, &loci, &flags, None);
+        assert_eq!(fused, serial, "2-bit fused output must be byte-identical");
+    }
+
+    #[test]
+    fn fused_matches_serial_per_guide_4bit() {
+        let seq = fixture_seq(160);
+        let guides = fixture_guides();
+        let (loci, flags) = fixture_candidates(seq.len(), 8);
+        let serial = serial_reference(2, &seq, &guides, &loci, &flags);
+        let fused = fused_run(2, &seq, &guides, &loci, &flags, None);
+        assert_eq!(fused, serial, "4-bit fused output must be byte-identical");
+    }
+
+    #[test]
+    fn folded_block_matches_per_guide_thresholds() {
+        // All guides at one threshold: the folded (JIT-specialized) block
+        // must equal both the per-guide-threshold fused run and serial.
+        let seq = fixture_seq(160);
+        let guides: Vec<(Vec<u8>, u16)> = fixture_guides()
+            .into_iter()
+            .map(|(p, _)| (p, 3u16))
+            .collect();
+        let (loci, flags) = fixture_candidates(seq.len(), 8);
+        for enc in 0..3u8 {
+            let serial = serial_reference(enc, &seq, &guides, &loci, &flags);
+            let folded = fused_run(enc, &seq, &guides, &loci, &flags, Some(3));
+            assert_eq!(folded, serial, "folded enc {enc} must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn fused_saves_genome_loads_and_launches() {
+        let seq = fixture_seq(2048);
+        let guides: Vec<(Vec<u8>, u16)> = (0..8)
+            .map(|i| {
+                let mut p = fixture_seq(20);
+                p[19 - (i % 3)] = b'N';
+                (p, 20u16) // no early exit: full windows compared
+            })
+            .collect();
+        let loci: Vec<u32> = (0..1500u32).collect();
+        let flags = vec![FLAG_BOTH; loci.len()];
+
+        let dev_serial = device();
+        let before = dev_serial.traffic();
+        {
+            let device = &dev_serial;
+            for (pat, thr) in &guides {
+                let compiled = CompiledSeq::compile(pat);
+                let chr = device.alloc_from_slice(&seq).unwrap();
+                let loci_b = device.alloc_from_slice(&loci).unwrap();
+                let flags_b = device.alloc_from_slice(&flags).unwrap();
+                let comp = device.alloc_from_slice(compiled.comp()).unwrap();
+                let comp_index = device.alloc_from_slice(compiled.comp_index()).unwrap();
+                let o = ComparerOutput::allocate(device, loci.len() * 2 + 1).unwrap();
+                let (k, _) = ComparerKernel::new(
+                    OptLevel::Opt3,
+                    chr,
+                    loci_b,
+                    flags_b,
+                    comp,
+                    comp_index,
+                    loci.len(),
+                    *thr,
+                    o,
+                    &compiled,
+                );
+                device.launch(&k, NdRange::linear_cover(loci.len(), 64)).unwrap();
+            }
+        }
+        let serial_traffic = dev_serial.traffic().since(&before);
+
+        let dev_fused = device();
+        let before = dev_fused.traffic();
+        let _ = {
+            let device = &dev_fused;
+            let compiled: Vec<CompiledSeq> =
+                guides.iter().map(|(p, _)| CompiledSeq::compile(p)).collect();
+            let (comp_h, comp_index_h) = block_tables(&compiled);
+            let chr = device.alloc_from_slice(&seq).unwrap();
+            let loci_b = device.alloc_from_slice(&loci).unwrap();
+            let flags_b = device.alloc_from_slice(&flags).unwrap();
+            let comp = device.alloc_from_slice(&comp_h).unwrap();
+            let comp_index = device.alloc_from_slice(&comp_index_h).unwrap();
+            let thr_h: Vec<u16> = guides.iter().map(|&(_, t)| t).collect();
+            let thresholds = GuideThresholds::PerGuide(device.alloc_from_slice(&thr_h).unwrap());
+            let out =
+                MultiComparerOutput::allocate(device, loci.len() * 2 * guides.len() + 1).unwrap();
+            let (k, _) = MultiComparerKernel::new(
+                chr,
+                loci_b,
+                flags_b,
+                comp,
+                comp_index,
+                thresholds,
+                loci.len(),
+                compiled[0].plen(),
+                guides.len(),
+                out,
+            );
+            device.launch(&k, NdRange::linear_cover(loci.len(), 64)).unwrap()
+        };
+        let fused_traffic = dev_fused.traffic().since(&before);
+
+        assert_eq!(serial_traffic.kernel_launches, guides.len() as u64);
+        assert_eq!(fused_traffic.kernel_launches, 1);
+    }
+
+    #[test]
+    fn folded_models_price_below_generic() {
+        use gpu_sim::isa;
+        for (gen, spec) in [
+            (char_multi_model(false), char_multi_model(true)),
+            (twobit_multi_model(false), twobit_multi_model(true)),
+            (fourbit_multi_model(false), fourbit_multi_model(true)),
+        ] {
+            let g = isa::compile(&gen);
+            let s = isa::compile(&spec);
+            assert!(
+                s.code_bytes < g.code_bytes,
+                "{}: spec {} !< generic {}",
+                gen.name(),
+                s.code_bytes,
+                g.code_bytes
+            );
+        }
+    }
+}

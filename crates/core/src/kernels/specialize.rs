@@ -49,15 +49,23 @@ pub enum VariantKind {
     /// The finder over a nibble-packed chunk (scans nibbles directly — the
     /// generic kernel's whole decode-to-`chr` phase disappears).
     NibbleFinder,
+    /// The fused multi-guide comparer with the block's shared threshold
+    /// folded to an immediate ([`GuideThresholds::Folded`]
+    /// (super::multi::GuideThresholds::Folded)). The guides themselves stay
+    /// data — a library screen cycles thousands of them through the same
+    /// variant — so what folds is the (PAM pattern, threshold) pair the
+    /// whole screen shares.
+    MultiComparer,
 }
 
 impl VariantKind {
     /// All kinds, in digest-tag order.
-    pub const ALL: [VariantKind; 4] = [
+    pub const ALL: [VariantKind; 5] = [
         VariantKind::CharComparer,
         VariantKind::TwoBitComparer,
         VariantKind::FourBitComparer,
         VariantKind::NibbleFinder,
+        VariantKind::MultiComparer,
     ];
 
     /// The kernel name the variant reports to the profiler. Fixed per kind
@@ -68,6 +76,7 @@ impl VariantKind {
             VariantKind::TwoBitComparer => "comparer-2bit-spec",
             VariantKind::FourBitComparer => "comparer-4bit-spec",
             VariantKind::NibbleFinder => "finder_nibble-spec",
+            VariantKind::MultiComparer => "comparer_multi-spec",
         }
     }
 
@@ -77,6 +86,7 @@ impl VariantKind {
             VariantKind::TwoBitComparer => 1,
             VariantKind::FourBitComparer => 2,
             VariantKind::NibbleFinder => 3,
+            VariantKind::MultiComparer => 4,
         }
     }
 }
@@ -208,6 +218,10 @@ pub fn specialized_model(kind: VariantKind, plen: usize) -> CodeModel {
             .atomic_output(true)
             .extra_valu(8)
             .folded_pattern(plen),
+        // Only the threshold folds; the guide tables stay staged data, so
+        // the model is the generic fused comparer minus the threshold table
+        // argument and its staging ([`super::multi::char_multi_model`]).
+        VariantKind::MultiComparer => super::multi::char_multi_model(true),
     }
 }
 
@@ -252,6 +266,7 @@ pub fn generic_model(kind: VariantKind, opt: super::OptLevel) -> CodeModel {
             .ladder_arms(13)
             .atomic_output(true)
             .extra_valu(8),
+        VariantKind::MultiComparer => super::multi::char_multi_model(false),
     }
 }
 

@@ -32,16 +32,19 @@ use genome::twobit::PackedSeq;
 
 use crate::input::Query;
 use crate::kernels::cl::{
-    ClComparer, ClFinder, ClFourBitComparer, ClNibbleFinder, ClPackedFinder,
-    ClSpecializedComparer, ClSpecializedFourBitComparer, ClSpecializedNibbleFinder,
-    ClSpecializedTwoBitComparer, ClTwoBitComparer,
+    ClComparer, ClFinder, ClFourBitComparer, ClFourBitMultiComparer, ClMultiComparer,
+    ClNibbleFinder, ClPackedFinder, ClSpecializedComparer, ClSpecializedFourBitComparer,
+    ClSpecializedFourBitMultiComparer, ClSpecializedMultiComparer, ClSpecializedNibbleFinder,
+    ClSpecializedTwoBitComparer, ClSpecializedTwoBitMultiComparer, ClTwoBitComparer,
+    ClTwoBitMultiComparer,
 };
 use crate::kernels::specialize::{self, CompiledVariant, VariantKind};
 use crate::kernels::{
     ComparerKernel, ComparerOutput, FinderKernel, FinderOutput, FourBitComparerKernel,
+    FourBitMultiComparerKernel, GuideThresholds, MultiComparerKernel, MultiComparerOutput,
     NibbleFinderKernel, OptLevel, PackedFinderKernel, SpecializedComparerKernel,
     SpecializedFourBitComparerKernel, SpecializedNibbleFinderKernel,
-    SpecializedTwoBitComparerKernel, TwoBitComparerKernel,
+    SpecializedTwoBitComparerKernel, TwoBitComparerKernel, TwoBitMultiComparerKernel, GUIDE_BLOCK,
 };
 use crate::pattern::CompiledSeq;
 use crate::report::TimingBreakdown;
@@ -98,6 +101,73 @@ struct NibbleSlot {
 /// chunk, in device compaction order. Map them into [`crate::OffTarget`]
 /// records with [`super::entries_to_offtargets`].
 pub type QueryEntries = Vec<(u32, u8, u16)>;
+
+/// The finder's candidate list for one (chunk content, PAM pattern) pair,
+/// read back to the host so a candidate cache can replay it into later runs
+/// without launching the finder again. The list depends only on the chunk
+/// bytes and the compiled pattern — never on the queries — so it is valid
+/// across all three chunk encodings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSites {
+    /// Candidate loci (chunk-relative), in finder compaction order.
+    pub loci: Vec<u32>,
+    /// Strand flags per candidate (see the finder's `FLAG_*` constants).
+    pub flags: Vec<u8>,
+}
+
+impl CandidateSites {
+    /// Number of candidate sites.
+    pub fn len(&self) -> usize {
+        self.loci.len()
+    }
+
+    /// True when the finder produced no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.loci.is_empty()
+    }
+
+    /// Host bytes held by the list (4-byte locus + 1-byte flag per site) —
+    /// the unit a byte-budget cache charges, and the h2d traffic a
+    /// device-resident replay avoids.
+    pub fn byte_len(&self) -> usize {
+        self.loci.len() * (std::mem::size_of::<u32>() + 1)
+    }
+}
+
+/// Device-side machinery of the fused multi-guide comparer path: the three
+/// generic `comparer_multi*` kernels plus scratch sized for one block of up
+/// to [`GUIDE_BLOCK`] guides and its four-array compacted output (every
+/// candidate can pass on both strands of every guide).
+struct MultiScratch {
+    comparer_multi: Kernel,
+    comparer_multi_2bit: Kernel,
+    comparer_multi_4bit: Kernel,
+    comp: ClBuffer<u8>,
+    comp_index: ClBuffer<i32>,
+    thresholds: ClBuffer<u16>,
+    mm_count: ClBuffer<u16>,
+    direction: ClBuffer<u8>,
+    mm_loci: ClBuffer<u32>,
+    guide: ClBuffer<u16>,
+}
+
+/// Which chunk encoding a fused comparer block reads.
+enum MultiEnc<'a> {
+    Char,
+    TwoBit(&'a PackedSlot),
+    FourBit(&'a NibbleSlot),
+}
+
+impl MultiEnc<'_> {
+    /// Cache tag for the specialized fused program of this encoding.
+    fn tag(&self) -> u8 {
+        match self {
+            MultiEnc::Char => 0,
+            MultiEnc::TwoBit(_) => 1,
+            MultiEnc::FourBit(_) => 2,
+        }
+    }
+}
 
 /// Unwrap a comparison-table buffer on the generic comparer path. The
 /// buffers are only skipped when the runner specializes, and then the
@@ -189,6 +259,20 @@ pub struct OclChunkRunner {
     direction: ClBuffer<u8>,
     mm_loci: ClBuffer<u32>,
     ecount: ClBuffer<u32>,
+    /// Fused multi-guide machinery, present when the runner is built with
+    /// [`PipelineConfig::multi_guide`].
+    multi: Option<MultiScratch>,
+    /// Lazily built specialized fused programs, keyed by (encoding tag,
+    /// shared block threshold) — the folded PAM pattern is fixed per runner,
+    /// so it does not participate in the key.
+    spec_multi_kernels: RefCell<HashMap<(u8, u16), (Program, Kernel)>>,
+    /// While set, every finder pass also reads its candidate list back into
+    /// `captured` for a caller-owned candidate cache.
+    capture: Cell<bool>,
+    captured: RefCell<Option<CandidateSites>>,
+    /// Identity `(token, len)` of the candidate list currently staged in
+    /// `loci`/`flags`, when the producing run carried a residency token.
+    cand_token: Cell<Option<(u64, u32)>>,
     cap: usize,
     lws: Option<usize>,
     rounding: usize,
@@ -221,6 +305,12 @@ impl OclChunkRunner {
             let variant =
                 specialize::global_cache().get_or_compile(VariantKind::NibbleFinder, &pattern, 0);
             source = source.with_function(Arc::new(ClSpecializedNibbleFinder { variant }));
+        }
+        if config.multi_guide {
+            source = source
+                .with_function(Arc::new(ClMultiComparer))
+                .with_function(Arc::new(ClTwoBitMultiComparer))
+                .with_function(Arc::new(ClFourBitMultiComparer));
         }
         let program = Program::create_with_source(&ctx, source);
         program.build("-O3")?;
@@ -284,6 +374,30 @@ impl OclChunkRunner {
         let mm_loci = ClBuffer::<u32>::create(&ctx, MemFlags::WriteOnly, 2 * cap)?;
         let ecount = ClBuffer::<u32>::create(&ctx, MemFlags::ReadWrite, 1)?;
 
+        // Scratch for the fused multi-guide path: block tables for up to
+        // GUIDE_BLOCK guides plus output arrays sized for the worst case of
+        // every candidate passing on both strands of every guide.
+        let multi = if config.multi_guide {
+            Some(MultiScratch {
+                comparer_multi: program.create_kernel("comparer_multi")?,
+                comparer_multi_2bit: program.create_kernel("comparer_multi_2bit")?,
+                comparer_multi_4bit: program.create_kernel("comparer_multi_4bit")?,
+                comp: ClBuffer::<u8>::create(&ctx, MemFlags::ReadOnly, GUIDE_BLOCK * 2 * plen)?,
+                comp_index: ClBuffer::<i32>::create(
+                    &ctx,
+                    MemFlags::ReadOnly,
+                    GUIDE_BLOCK * 2 * plen,
+                )?,
+                thresholds: ClBuffer::<u16>::create(&ctx, MemFlags::ReadOnly, GUIDE_BLOCK)?,
+                mm_count: ClBuffer::<u16>::create(&ctx, MemFlags::WriteOnly, GUIDE_BLOCK * 2 * cap)?,
+                direction: ClBuffer::<u8>::create(&ctx, MemFlags::WriteOnly, GUIDE_BLOCK * 2 * cap)?,
+                mm_loci: ClBuffer::<u32>::create(&ctx, MemFlags::WriteOnly, GUIDE_BLOCK * 2 * cap)?,
+                guide: ClBuffer::<u16>::create(&ctx, MemFlags::WriteOnly, GUIDE_BLOCK * 2 * cap)?,
+            })
+        } else {
+            None
+        };
+
         let lws = config.work_group_size;
         Ok(OclChunkRunner {
             ctx,
@@ -312,10 +426,29 @@ impl OclChunkRunner {
             direction,
             mm_loci,
             ecount,
+            multi,
+            spec_multi_kernels: RefCell::new(HashMap::new()),
+            capture: Cell::new(false),
+            captured: RefCell::new(None),
+            cand_token: Cell::new(None),
             cap,
             lws,
             rounding: lws.unwrap_or(64),
         })
+    }
+
+    /// Arm or disarm candidate capture: while armed, every finder pass also
+    /// reads its candidate list back to the host (a timed d2h transfer) and
+    /// parks it for
+    /// [`take_captured_candidates`](Self::take_captured_candidates).
+    pub fn set_capture_candidates(&self, on: bool) {
+        self.capture.set(on);
+    }
+
+    /// Take the candidate list captured by the most recent finder pass
+    /// while capture was armed.
+    pub fn take_captured_candidates(&self) -> Option<CandidateSites> {
+        self.captured.borrow_mut().take()
     }
 
     /// Pattern length (PAM window) the runner was compiled for.
@@ -332,6 +465,11 @@ impl OclChunkRunner {
     /// Propagates allocation failures.
     pub fn prepare_queries(&self, queries: &[Query]) -> ClResult<OclQueryTables> {
         let mut spec_queries = Vec::new();
+        // The fused multi-guide path concatenates block tables from the
+        // compiled sequences at launch time, so — exactly as under
+        // specialization — per-query table buffers would be dead weight. A
+        // single query never fuses and keeps the serial tables.
+        let fused = self.multi.is_some() && queries.len() > 1;
         let entries = queries
             .iter()
             .map(|q| {
@@ -341,7 +479,7 @@ impl OclChunkRunner {
                 // The generic path pays them through the queue — two real
                 // `clEnqueueWriteBuffer` transfers per query, the same
                 // traffic the SYCL accessors charge implicitly.
-                let e = if self.specialize {
+                let e = if self.specialize || fused {
                     (None, None, q.max_mismatches)
                 } else {
                     let comp_buf =
@@ -353,7 +491,7 @@ impl OclChunkRunner {
                         .enqueue_write_buffer(&comp_index_buf, true, 0, c.comp_index())?;
                     (Some(comp_buf), Some(comp_index_buf), q.max_mismatches)
                 };
-                if self.specialize {
+                if self.specialize || fused {
                     spec_queries.push(c);
                 }
                 Ok(e)
@@ -391,6 +529,12 @@ impl OclChunkRunner {
                         Arc::new(ClSpecializedFourBitComparer { variant })
                     }
                     VariantKind::NibbleFinder => Arc::new(ClSpecializedNibbleFinder { variant }),
+                    // Fused blocks build their kernels through
+                    // `spec_multi_kernel`, keyed by encoding + threshold
+                    // rather than by query.
+                    VariantKind::MultiComparer => {
+                        unreachable!("multi-guide variants are built per block, not per query")
+                    }
                 };
                 let program =
                     Program::create_with_source(&self.ctx, KernelSource::new().with_function(f));
@@ -517,6 +661,7 @@ impl OclChunkRunner {
         timing.transfer_s += r.duration_s();
         let n = n[0] as usize;
         timing.candidates += n as u64;
+        self.note_candidates(token, n, timing)?;
         if n == 0 {
             return Ok((per_query, reused));
         }
@@ -686,6 +831,7 @@ impl OclChunkRunner {
         timing.transfer_s += r.duration_s();
         let n = n[0] as usize;
         timing.candidates += n as u64;
+        self.note_candidates(token, n, timing)?;
         if n == 0 {
             return Ok((per_query, reused));
         }
@@ -862,10 +1008,274 @@ impl OclChunkRunner {
         timing.transfer_s += r.duration_s();
         let n = n[0] as usize;
         timing.candidates += n as u64;
+        self.note_candidates(token, n, timing)?;
         if n == 0 {
             return Ok((per_query, reused));
         }
 
+        self.run_comparers_4bit(slot, n, tables, timing, profile, &mut per_query)?;
+        Ok((per_query, reused))
+    }
+
+    /// Record a freshly produced candidate list: remember its identity for
+    /// the cached-candidate entry points and, when capture is armed, read it
+    /// back (a timed d2h transfer) for the caller's candidate cache.
+    fn note_candidates(
+        &self,
+        token: Option<u64>,
+        n: usize,
+        timing: &mut TimingBreakdown,
+    ) -> ClResult<()> {
+        self.cand_token.set(token.map(|t| (t, n as u32)));
+        if self.capture.get() {
+            let mut loci = vec![0u32; n];
+            let mut flags = vec![0u8; n];
+            if n > 0 {
+                let r1 = self.queue.enqueue_read_buffer(&self.loci, true, 0, &mut loci)?;
+                let r2 = self.queue.enqueue_read_buffer(&self.flags, true, 0, &mut flags)?;
+                timing.transfer_s += r1.duration_s() + r2.duration_s();
+            }
+            *self.captured.borrow_mut() = Some(CandidateSites { loci, flags });
+        }
+        Ok(())
+    }
+
+    /// Replace the finder pass with a cached candidate list: record the
+    /// skipped launch, then stage `sites` into the `loci`/`flags` scratch —
+    /// skipping even that upload when the same list is still resident from
+    /// an earlier run under `token`.
+    fn stage_cached_candidates(
+        &self,
+        token: u64,
+        sites: &CandidateSites,
+        timing: &mut TimingBreakdown,
+    ) -> ClResult<()> {
+        let n = sites.len();
+        assert!(n <= self.cap, "candidate list exceeds runner capacity");
+        self.queue.device().record_launch_skipped();
+        timing.finder_launches_skipped += 1;
+        timing.candidates += n as u64;
+        if self.cand_token.get() == Some((token, n as u32)) {
+            self.queue.device().record_h2d_skipped(sites.byte_len() as u64);
+        } else {
+            if n > 0 {
+                let w1 = self.queue.enqueue_write_buffer(&self.loci, true, 0, &sites.loci)?;
+                let w2 = self.queue.enqueue_write_buffer(&self.flags, true, 0, &sites.flags)?;
+                timing.transfer_s += w1.duration_s() + w2.duration_s();
+            }
+            self.cand_token.set(Some((token, n as u32)));
+        }
+        Ok(())
+    }
+
+    /// [`run_chunk_resident`](Self::run_chunk_resident) with a pre-resolved
+    /// candidate list: the finder launch is skipped entirely (recorded on
+    /// the device and in `timing.finder_launches_skipped`) and the comparer
+    /// stage runs against `sites` — a capture from an earlier run over the
+    /// same chunk content and PAM pattern. `seq` is still needed because
+    /// the char comparer reads the chunk bytes; its upload is skipped when
+    /// the chunk is resident under `token`. Returns the entries plus
+    /// whether the chunk payload was resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk or candidate list exceeds the runner's
+    /// configured capacity.
+    pub fn run_chunk_cached_candidates(
+        &self,
+        token: u64,
+        seq: &[u8],
+        sites: &CandidateSites,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
+        let plen = self.pattern.plen();
+        assert!(
+            seq.len() <= self.cap + plen,
+            "chunk ({} bases) exceeds runner capacity {}",
+            seq.len(),
+            self.cap
+        );
+        let mut per_query = vec![Vec::new(); tables.len()];
+
+        let reused = self.chr_token.get() == Some(token);
+        if reused {
+            self.queue.device().record_h2d_skipped(seq.len() as u64);
+        } else {
+            let w1 = self.queue.enqueue_write_buffer(&self.chr, true, 0, seq)?;
+            timing.transfer_s += w1.duration_s();
+            self.chr_token.set(Some(token));
+        }
+
+        self.stage_cached_candidates(token, sites, timing)?;
+        let n = sites.len();
+        if n == 0 {
+            return Ok((per_query, reused));
+        }
+        self.run_comparers(n, tables, timing, profile, &mut per_query)?;
+        Ok((per_query, reused))
+    }
+
+    /// [`run_packed_chunk_resident`](Self::run_packed_chunk_resident) with a
+    /// pre-resolved candidate list: no finder launch, comparison in 2-bit
+    /// form against the (resident or freshly uploaded) packed payload.
+    ///
+    /// Unlike the full packed run there is no char fallback — skipping the
+    /// finder also skips the on-device decode the char comparer would read —
+    /// so callers must check [`twobit_compare_safe`] first and take the full
+    /// run (or the char cached path on decoded bytes) when it fails.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk or candidate list exceeds the runner's capacity,
+    /// or if the payload is not [`twobit_compare_safe`].
+    pub fn run_packed_chunk_cached_candidates(
+        &self,
+        token: u64,
+        packed: &PackedSeq,
+        sites: &CandidateSites,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
+        assert!(
+            twobit_compare_safe(packed),
+            "cached-candidate packed runs require 2-bit-safe payloads"
+        );
+        assert!(
+            packed.len() <= self.cap + self.pattern.plen(),
+            "chunk ({} bases) exceeds runner capacity {}",
+            packed.len(),
+            self.cap
+        );
+        let mut per_query = vec![Vec::new(); tables.len()];
+        let n_exc = packed.exceptions().len();
+
+        let hit = self.slots.iter().position(|s| s.token.get() == Some(token));
+        let (slot, reused) = match hit {
+            Some(i) => (&self.slots[i], true),
+            None => {
+                let i = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.tick.get())
+                    .map(|(i, _)| i)
+                    .expect("runner always has at least one slot");
+                let slot = &self.slots[i];
+                slot.token.set(Some(token));
+                (slot, false)
+            }
+        };
+        self.slot_clock.set(self.slot_clock.get() + 1);
+        slot.tick.set(self.slot_clock.get());
+
+        if reused {
+            self.queue
+                .device()
+                .record_h2d_skipped(packed_upload_bytes(packed));
+        } else {
+            let w1 = self
+                .queue
+                .enqueue_write_buffer(&slot.packed_buf, true, 0, packed.packed_bytes())?;
+            let w2 = self
+                .queue
+                .enqueue_write_buffer(&slot.mask_buf, true, 0, packed.mask_bytes())?;
+            timing.transfer_s += w1.duration_s() + w2.duration_s();
+            if n_exc > 0 {
+                let (pos, val) = packed.exception_arrays();
+                let e1 = self.queue.enqueue_write_buffer(&slot.exc_pos, true, 0, &pos)?;
+                let e2 = self.queue.enqueue_write_buffer(&slot.exc_val, true, 0, &val)?;
+                timing.transfer_s += e1.duration_s() + e2.duration_s();
+            }
+        }
+
+        self.stage_cached_candidates(token, sites, timing)?;
+        let n = sites.len();
+        if n == 0 {
+            return Ok((per_query, reused));
+        }
+        self.run_comparers_2bit(slot, n, tables, timing, profile, &mut per_query)?;
+        Ok((per_query, reused))
+    }
+
+    /// [`run_nibble_chunk_resident`](Self::run_nibble_chunk_resident) with a
+    /// pre-resolved candidate list: no finder launch, comparison by mask
+    /// intersection against the (resident or freshly uploaded) nibble
+    /// payload. Valid on any input — the nibble comparer never needs the
+    /// decoded scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OpenCL-level failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk or candidate list exceeds the runner's capacity.
+    pub fn run_nibble_chunk_cached_candidates(
+        &self,
+        token: u64,
+        nibble: &NibbleSeq,
+        sites: &CandidateSites,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> ClResult<(Vec<QueryEntries>, bool)> {
+        assert!(
+            nibble.len() <= self.cap + self.pattern.plen(),
+            "chunk ({} bases) exceeds runner capacity {}",
+            nibble.len(),
+            self.cap
+        );
+        let mut per_query = vec![Vec::new(); tables.len()];
+
+        let hit = self
+            .nibble_slots
+            .iter()
+            .position(|s| s.token.get() == Some(token));
+        let (slot, reused) = match hit {
+            Some(i) => (&self.nibble_slots[i], true),
+            None => {
+                let i = self
+                    .nibble_slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.tick.get())
+                    .map(|(i, _)| i)
+                    .expect("runner always has at least one slot");
+                let slot = &self.nibble_slots[i];
+                slot.token.set(Some(token));
+                (slot, false)
+            }
+        };
+        self.slot_clock.set(self.slot_clock.get() + 1);
+        slot.tick.set(self.slot_clock.get());
+
+        if reused {
+            self.queue
+                .device()
+                .record_h2d_skipped(nibble.device_byte_len() as u64);
+        } else {
+            let w1 = self
+                .queue
+                .enqueue_write_buffer(&slot.nibble_buf, true, 0, nibble.nibble_bytes())?;
+            timing.transfer_s += w1.duration_s();
+        }
+
+        self.stage_cached_candidates(token, sites, timing)?;
+        let n = sites.len();
+        if n == 0 {
+            return Ok((per_query, reused));
+        }
         self.run_comparers_4bit(slot, n, tables, timing, profile, &mut per_query)?;
         Ok((per_query, reused))
     }
@@ -880,6 +1290,19 @@ impl OclChunkRunner {
         profile: &mut gpu_sim::profile::Profile,
         per_query: &mut [QueryEntries],
     ) -> ClResult<()> {
+        if let Some(multi) = &self.multi {
+            if tables.len() > 1 {
+                return self.run_comparers_multi(
+                    multi,
+                    MultiEnc::Char,
+                    n,
+                    tables,
+                    timing,
+                    profile,
+                    per_query,
+                );
+            }
+        }
         let plen = self.pattern.plen();
         for (qi, (out, (comp, comp_index, threshold))) in
             per_query.iter_mut().zip(&tables.entries).enumerate()
@@ -967,6 +1390,19 @@ impl OclChunkRunner {
         profile: &mut gpu_sim::profile::Profile,
         per_query: &mut [QueryEntries],
     ) -> ClResult<()> {
+        if let Some(multi) = &self.multi {
+            if tables.len() > 1 {
+                return self.run_comparers_multi(
+                    multi,
+                    MultiEnc::TwoBit(slot),
+                    n,
+                    tables,
+                    timing,
+                    profile,
+                    per_query,
+                );
+            }
+        }
         let plen = self.pattern.plen();
         for (qi, (out, (comp, comp_index, threshold))) in
             per_query.iter_mut().zip(&tables.entries).enumerate()
@@ -1057,6 +1493,19 @@ impl OclChunkRunner {
         profile: &mut gpu_sim::profile::Profile,
         per_query: &mut [QueryEntries],
     ) -> ClResult<()> {
+        if let Some(multi) = &self.multi {
+            if tables.len() > 1 {
+                return self.run_comparers_multi(
+                    multi,
+                    MultiEnc::FourBit(slot),
+                    n,
+                    tables,
+                    timing,
+                    profile,
+                    per_query,
+                );
+            }
+        }
         let plen = self.pattern.plen();
         for (qi, (out, (comp, comp_index, threshold))) in
             per_query.iter_mut().zip(&tables.entries).enumerate()
@@ -1130,6 +1579,184 @@ impl OclChunkRunner {
             *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
         }
         Ok(())
+    }
+
+    /// Fused comparer stage: the prepared queries are cut into blocks of up
+    /// to [`GUIDE_BLOCK`] guides and each block runs as one `comparer_multi*`
+    /// launch against the shared candidate list — `ceil(k / GUIDE_BLOCK)`
+    /// launches instead of `k`. The compacted four-array output is
+    /// demultiplexed by guide tag, preserving compaction order within each
+    /// guide, so the per-query entries are byte-identical to the serial
+    /// path's.
+    #[allow(clippy::too_many_arguments)]
+    fn run_comparers_multi(
+        &self,
+        multi: &MultiScratch,
+        enc: MultiEnc<'_>,
+        n: usize,
+        tables: &OclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+        per_query: &mut [QueryEntries],
+    ) -> ClResult<()> {
+        let plen = self.pattern.plen();
+        let nq = tables.len();
+        let gws = round_up(n, self.rounding);
+        let mut start = 0;
+        while start < nq {
+            let g = (nq - start).min(GUIDE_BLOCK);
+            // Concatenate the block's tables host-side: guide `bi` occupies
+            // `[fwd | rc]` at offset `bi * 2 * plen`. Uploads are per block,
+            // not per guide.
+            let mut comp = vec![0u8; g * 2 * plen];
+            let mut comp_index = vec![0i32; g * 2 * plen];
+            let mut thresholds = vec![0u16; g];
+            for bi in 0..g {
+                let c = &tables.spec_queries[start + bi];
+                comp[bi * 2 * plen..(bi + 1) * 2 * plen].copy_from_slice(c.comp());
+                comp_index[bi * 2 * plen..(bi + 1) * 2 * plen].copy_from_slice(c.comp_index());
+                thresholds[bi] = tables.entries[start + bi].2;
+            }
+            let w1 = self.queue.enqueue_write_buffer(&multi.comp, true, 0, &comp)?;
+            let w2 = self
+                .queue
+                .enqueue_write_buffer(&multi.comp_index, true, 0, &comp_index)?;
+            let wz = self.queue.enqueue_fill_buffer(&self.ecount, 0u32)?;
+            timing.transfer_s += w1.duration_s() + w2.duration_s() + wz.duration_s();
+
+            // A block whose guides share one threshold runs the
+            // JIT-specialized fused variant when the runner specializes;
+            // mixed thresholds stage the per-guide table instead.
+            let folded = self.specialize && thresholds.iter().all(|&t| t == thresholds[0]);
+            if !folded {
+                let w3 = self
+                    .queue
+                    .enqueue_write_buffer(&multi.thresholds, true, 0, &thresholds)?;
+                timing.transfer_s += w3.duration_s();
+            }
+            let mut map = self.spec_multi_kernels.borrow_mut();
+            let k: &Kernel = if folded {
+                self.spec_multi_kernel(&mut map, &enc, thresholds[0])?
+            } else {
+                match &enc {
+                    MultiEnc::Char => &multi.comparer_multi,
+                    MultiEnc::TwoBit(_) => &multi.comparer_multi_2bit,
+                    MultiEnc::FourBit(_) => &multi.comparer_multi_4bit,
+                }
+            };
+            let mut args: Vec<KernelArg> = match &enc {
+                MultiEnc::Char => vec![KernelArg::BufU8(self.chr.device_buffer())],
+                MultiEnc::TwoBit(slot) => vec![
+                    KernelArg::BufU8(slot.packed_buf.device_buffer()),
+                    KernelArg::BufU8(slot.mask_buf.device_buffer()),
+                ],
+                MultiEnc::FourBit(slot) => vec![KernelArg::BufU8(slot.nibble_buf.device_buffer())],
+            };
+            args.push(KernelArg::BufU32(self.loci.device_buffer()));
+            args.push(KernelArg::BufU8(self.flags.device_buffer()));
+            args.push(KernelArg::BufU8(multi.comp.device_buffer()));
+            args.push(KernelArg::BufI32(multi.comp_index.device_buffer()));
+            if !folded {
+                args.push(KernelArg::BufU16(multi.thresholds.device_buffer()));
+            }
+            args.push(KernelArg::U32(n as u32));
+            args.push(KernelArg::U32(plen as u32));
+            args.push(KernelArg::U32(g as u32));
+            args.push(KernelArg::BufU16(multi.mm_count.device_buffer()));
+            args.push(KernelArg::BufU8(multi.direction.device_buffer()));
+            args.push(KernelArg::BufU32(multi.mm_loci.device_buffer()));
+            args.push(KernelArg::BufU16(multi.guide.device_buffer()));
+            args.push(KernelArg::BufU32(self.ecount.device_buffer()));
+            args.push(KernelArg::Local { bytes: g * 2 * plen });
+            args.push(KernelArg::Local {
+                bytes: g * 2 * plen * 4,
+            });
+            if !folded {
+                args.push(KernelArg::Local { bytes: g * 2 });
+            }
+            for (i, arg) in args.into_iter().enumerate() {
+                k.set_arg(i, arg)?;
+            }
+            let ev = self.queue.enqueue_nd_range_kernel(k, gws, self.lws)?;
+            drop(map);
+            ev.wait();
+            timing.comparer_s += ev
+                .launch_report()
+                .map(|r| r.exec_time_s)
+                .unwrap_or_else(|| ev.duration_s());
+            if let Some(r) = ev.launch_report() {
+                profile.record_ref(r);
+            }
+            timing.comparer_launches += 1;
+            timing.fused_launches += 1;
+
+            let mut m = [0u32];
+            let r = self.queue.enqueue_read_buffer(&self.ecount, true, 0, &mut m)?;
+            timing.transfer_s += r.duration_s();
+            let m = m[0] as usize;
+            timing.entries += m as u64;
+            if m > 0 {
+                let mut mm = vec![0u16; m];
+                let mut dir = vec![0u8; m];
+                let mut pos = vec![0u32; m];
+                let mut gid = vec![0u16; m];
+                let r1 = self.queue.enqueue_read_buffer(&multi.mm_count, true, 0, &mut mm)?;
+                let r2 = self
+                    .queue
+                    .enqueue_read_buffer(&multi.direction, true, 0, &mut dir)?;
+                let r3 = self.queue.enqueue_read_buffer(&multi.mm_loci, true, 0, &mut pos)?;
+                let r4 = self.queue.enqueue_read_buffer(&multi.guide, true, 0, &mut gid)?;
+                timing.transfer_s +=
+                    r1.duration_s() + r2.duration_s() + r3.duration_s() + r4.duration_s();
+                for i in 0..m {
+                    per_query[start + gid[i] as usize].push((pos[i], dir[i], mm[i]));
+                }
+            }
+            start += g;
+        }
+        Ok(())
+    }
+
+    /// Fetch (building on first use) the specialized fused comparer for the
+    /// given encoding and shared block threshold. The variant folds the
+    /// runner's PAM pattern and the threshold — the guide tables stay
+    /// staged data — so the cache key is just (encoding, threshold).
+    fn spec_multi_kernel<'m>(
+        &self,
+        map: &'m mut HashMap<(u8, u16), (Program, Kernel)>,
+        enc: &MultiEnc<'_>,
+        threshold: u16,
+    ) -> ClResult<&'m Kernel> {
+        use std::collections::hash_map::Entry;
+        match map.entry((enc.tag(), threshold)) {
+            Entry::Occupied(e) => Ok(&e.into_mut().1),
+            Entry::Vacant(v) => {
+                let variant = specialize::global_cache().get_or_compile(
+                    VariantKind::MultiComparer,
+                    &self.pattern,
+                    threshold,
+                );
+                let (f, name): (Arc<dyn opencl_rt::ClKernelFunction>, &str) = match enc {
+                    MultiEnc::Char => (
+                        Arc::new(ClSpecializedMultiComparer { variant }),
+                        VariantKind::MultiComparer.kernel_name(),
+                    ),
+                    MultiEnc::TwoBit(_) => (
+                        Arc::new(ClSpecializedTwoBitMultiComparer { variant }),
+                        "comparer_multi-2bit-spec",
+                    ),
+                    MultiEnc::FourBit(_) => (
+                        Arc::new(ClSpecializedFourBitMultiComparer { variant }),
+                        "comparer_multi-4bit-spec",
+                    ),
+                };
+                let program =
+                    Program::create_with_source(&self.ctx, KernelSource::new().with_function(f));
+                program.build("-O3")?;
+                let kernel = program.create_kernel(name)?;
+                Ok(&v.insert((program, kernel)).1)
+            }
+        }
     }
 
     /// Upload-only warmup for the raw path: place `seq` in the `chr`
@@ -1273,6 +1900,22 @@ impl OclChunkRunner {
         if let Some(k) = self.spec_finder_nibble {
             k.release();
         }
+        if let Some(m) = self.multi {
+            m.comparer_multi.release();
+            m.comparer_multi_2bit.release();
+            m.comparer_multi_4bit.release();
+            m.comp.release();
+            m.comp_index.release();
+            m.thresholds.release();
+            m.mm_count.release();
+            m.direction.release();
+            m.mm_loci.release();
+            m.guide.release();
+        }
+        for (_, (program, kernel)) in self.spec_multi_kernels.into_inner() {
+            kernel.release();
+            program.release();
+        }
         self.chr.release();
         for slot in self.slots {
             slot.packed_buf.release();
@@ -1342,6 +1985,35 @@ pub struct SyclChunkRunner {
     packed_res: RefCell<Vec<(u64, SyclPackedResident)>>,
     raw_res: RefCell<Vec<(u64, Buffer<u8>)>>,
     nibble_res: RefCell<Vec<(u64, Buffer<u8>)>>,
+    /// Fuse multi-query runs into guide-block comparer launches.
+    multi_guide: bool,
+    /// While set, every finder pass also reads its candidate list back into
+    /// `captured` for a caller-owned candidate cache.
+    capture: Cell<bool>,
+    captured: RefCell<Option<CandidateSites>>,
+    /// Still-bound candidate buffers of recent cached runs, keyed by chunk
+    /// token — a cached replay under a resident token rebinds instead of
+    /// re-uploading the list.
+    cand_res: RefCell<Vec<(u64, SyclCandidateResident)>>,
+}
+
+/// The retained device buffers of one replayed candidate list.
+#[derive(Clone)]
+struct SyclCandidateResident {
+    loci_buf: Buffer<u32>,
+    flags_buf: Buffer<u8>,
+    len: usize,
+}
+
+/// Which chunk encoding a fused SYCL comparer launch reads, with the bound
+/// chunk buffers it needs.
+enum SyclMultiEnc<'a> {
+    /// Decoded char sequence.
+    Char(&'a Buffer<u8>),
+    /// 2-bit packed words plus N-mask.
+    TwoBit(&'a Buffer<u8>, &'a Buffer<u8>),
+    /// 4-bit nibble words.
+    FourBit(&'a Buffer<u8>),
 }
 
 /// The retained device buffers of one packed chunk payload. Cloning shares
@@ -1402,12 +2074,30 @@ impl SyclChunkRunner {
             packed_res: RefCell::new(Vec::new()),
             raw_res: RefCell::new(Vec::new()),
             nibble_res: RefCell::new(Vec::new()),
+            multi_guide: config.multi_guide,
+            capture: Cell::new(false),
+            captured: RefCell::new(None),
+            cand_res: RefCell::new(Vec::new()),
         })
     }
 
     /// Pattern length (PAM window) the runner was compiled for.
     pub fn plen(&self) -> usize {
         self.pattern.plen()
+    }
+
+    /// Arm or disarm candidate capture: while armed, every finder pass also
+    /// reads its candidate list back to the host (a timed d2h transfer) and
+    /// parks it for
+    /// [`take_captured_candidates`](Self::take_captured_candidates).
+    pub fn set_capture_candidates(&self, on: bool) {
+        self.capture.set(on);
+    }
+
+    /// Take the candidate list captured by the most recent finder pass
+    /// while capture was armed.
+    pub fn take_captured_candidates(&self) -> Option<CandidateSites> {
+        self.captured.borrow_mut().take()
     }
 
     /// Upload the comparer tables for `queries`.
@@ -1422,7 +2112,10 @@ impl SyclChunkRunner {
                     Buffer::from_slice(c.comp_index()),
                     q.max_mismatches,
                 );
-                if self.specialize {
+                // Both the specialized and the fused paths consume compiled
+                // sequences rather than the table buffers (which only charge
+                // traffic if bound, so keeping them is free).
+                if self.specialize || self.multi_guide {
                     spec_queries.push(c);
                 }
                 e
@@ -1555,6 +2248,7 @@ impl SyclChunkRunner {
         timing.transfer_s += ev.duration_s();
         let n = count_host[0] as usize;
         timing.candidates += n as u64;
+        self.note_candidates(token, &loci_buf, &flags_buf, n, timing)?;
         if n == 0 {
             return Ok((per_query, reused));
         }
@@ -1726,6 +2420,7 @@ impl SyclChunkRunner {
         timing.transfer_s += ev.duration_s();
         let n = count_host[0] as usize;
         timing.candidates += n as u64;
+        self.note_candidates(token, &loci_buf, &flags_buf, n, timing)?;
         if n == 0 {
             return Ok((per_query, reused));
         }
@@ -1894,12 +2589,259 @@ impl SyclChunkRunner {
         timing.transfer_s += ev.duration_s();
         let n = count_host[0] as usize;
         timing.candidates += n as u64;
+        self.note_candidates(token, &loci_buf, &flags_buf, n, timing)?;
         if n == 0 {
             return Ok((per_query, reused));
         }
 
         self.run_comparers_4bit(
             &nibble_buf, &loci_buf, &flags_buf, n, tables, timing, profile, &mut per_query,
+        )?;
+        Ok((per_query, reused))
+    }
+
+    /// Record a freshly produced candidate list: retain its still-bound
+    /// buffers for the cached-candidate entry points and, when capture is
+    /// armed, read it back (a timed d2h transfer) for the caller's
+    /// candidate cache.
+    fn note_candidates(
+        &self,
+        token: Option<u64>,
+        loci_buf: &Buffer<u32>,
+        flags_buf: &Buffer<u8>,
+        n: usize,
+        timing: &mut TimingBreakdown,
+    ) -> SyclResult<()> {
+        if self.capture.get() {
+            let mut loci = vec![0u32; n];
+            let mut flags = vec![0u8; n];
+            if n > 0 {
+                let ev = self.queue.submit(|h| {
+                    let l = h.get_access(loci_buf, AccessMode::Read)?;
+                    let f = h.get_access(flags_buf, AccessMode::Read)?;
+                    h.copy_from_device(&l, &mut loci)?;
+                    h.copy_from_device(&f, &mut flags)
+                })?;
+                timing.transfer_s += ev.duration_s();
+            }
+            *self.captured.borrow_mut() = Some(CandidateSites { loci, flags });
+        }
+        if let Some(t) = token {
+            retain_resident(
+                &self.cand_res,
+                t,
+                SyclCandidateResident {
+                    loci_buf: loci_buf.clone(),
+                    flags_buf: flags_buf.clone(),
+                    len: n,
+                },
+                self.resident_cap,
+            );
+        }
+        Ok(())
+    }
+
+    /// Replace the finder pass with a cached candidate list: record the
+    /// skipped launch, then produce bound loci/flags buffers — rebinding
+    /// the still-resident buffers of an earlier run under `token` when
+    /// their length matches, uploading fresh ones otherwise.
+    fn stage_cached_candidates(
+        &self,
+        token: u64,
+        sites: &CandidateSites,
+        timing: &mut TimingBreakdown,
+    ) -> (Buffer<u32>, Buffer<u8>) {
+        let n = sites.len();
+        self.queue.device().record_launch_skipped();
+        timing.finder_launches_skipped += 1;
+        timing.candidates += n as u64;
+        let res = match take_resident(&self.cand_res, token) {
+            Some(res) if res.len == n => {
+                self.queue
+                    .device()
+                    .record_h2d_skipped(sites.byte_len() as u64);
+                res
+            }
+            // The simulator rejects zero-length allocations; one-element
+            // dummies stand in for an empty list (the comparers never run).
+            _ => SyclCandidateResident {
+                loci_buf: if n > 0 {
+                    Buffer::from_slice(&sites.loci)
+                } else {
+                    Buffer::from_slice(&[0u32])
+                },
+                flags_buf: if n > 0 {
+                    Buffer::from_slice(&sites.flags)
+                } else {
+                    Buffer::from_slice(&[0u8])
+                },
+                len: n,
+            },
+        };
+        retain_resident(&self.cand_res, token, res.clone(), self.resident_cap);
+        (res.loci_buf, res.flags_buf)
+    }
+
+    /// [`run_chunk_resident`](Self::run_chunk_resident) with a pre-resolved
+    /// candidate list (see
+    /// [`OclChunkRunner::run_chunk_cached_candidates`] for the contract):
+    /// the finder launch is skipped and the comparer stage runs against
+    /// `sites`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn run_chunk_cached_candidates(
+        &self,
+        token: u64,
+        seq: &[u8],
+        sites: &CandidateSites,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
+        let mut per_query = vec![Vec::new(); tables.len()];
+        let (chr_buf, reused) = match take_resident(&self.raw_res, token) {
+            Some(buf) => {
+                self.queue.device().record_h2d_skipped(seq.len() as u64);
+                (buf, true)
+            }
+            None => (Buffer::from_slice(seq), false),
+        };
+        retain_resident(&self.raw_res, token, chr_buf.clone(), self.resident_cap);
+
+        let (loci_buf, flags_buf) = self.stage_cached_candidates(token, sites, timing);
+        let n = sites.len();
+        if n == 0 {
+            return Ok((per_query, reused));
+        }
+        self.run_comparers(
+            &chr_buf, &loci_buf, &flags_buf, n, tables, timing, profile, &mut per_query,
+        )?;
+        Ok((per_query, reused))
+    }
+
+    /// [`run_packed_chunk_resident`](Self::run_packed_chunk_resident) with a
+    /// pre-resolved candidate list (see
+    /// [`OclChunkRunner::run_packed_chunk_cached_candidates`] for the
+    /// contract): no finder launch, 2-bit comparison only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`twobit_compare_safe`] — skipping the
+    /// finder also skips the decode the char fallback would read.
+    pub fn run_packed_chunk_cached_candidates(
+        &self,
+        token: u64,
+        packed: &PackedSeq,
+        sites: &CandidateSites,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
+        assert!(
+            twobit_compare_safe(packed),
+            "cached-candidate packed runs require 2-bit-safe payloads"
+        );
+        let mut per_query = vec![Vec::new(); tables.len()];
+        let n_exc = packed.exceptions().len();
+        let (res, reused) = match take_resident(&self.packed_res, token) {
+            Some(res) => {
+                self.queue
+                    .device()
+                    .record_h2d_skipped(packed_upload_bytes(packed));
+                (res, true)
+            }
+            None => {
+                let (exc_pos, exc_val) = packed.exception_arrays();
+                (
+                    SyclPackedResident {
+                        packed_buf: Buffer::from_slice(packed.packed_bytes()),
+                        mask_buf: Buffer::from_slice(packed.mask_bytes()),
+                        exc_pos_buf: if n_exc > 0 {
+                            Buffer::from_vec(exc_pos)
+                        } else {
+                            Buffer::from_slice(&[0u32])
+                        },
+                        exc_val_buf: if n_exc > 0 {
+                            Buffer::from_vec(exc_val)
+                        } else {
+                            Buffer::from_slice(&[0u8])
+                        },
+                    },
+                    false,
+                )
+            }
+        };
+        retain_resident(&self.packed_res, token, res.clone(), self.resident_cap);
+
+        let (loci_buf, flags_buf) = self.stage_cached_candidates(token, sites, timing);
+        let n = sites.len();
+        if n == 0 {
+            return Ok((per_query, reused));
+        }
+        self.run_comparers_2bit(
+            &res.packed_buf,
+            &res.mask_buf,
+            &loci_buf,
+            &flags_buf,
+            n,
+            tables,
+            timing,
+            profile,
+            &mut per_query,
+        )?;
+        Ok((per_query, reused))
+    }
+
+    /// [`run_nibble_chunk_resident`](Self::run_nibble_chunk_resident) with a
+    /// pre-resolved candidate list (see
+    /// [`OclChunkRunner::run_nibble_chunk_cached_candidates`] for the
+    /// contract): no finder launch, mask-intersection comparison on the
+    /// nibble words — valid on any input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SYCL exceptions.
+    pub fn run_nibble_chunk_cached_candidates(
+        &self,
+        token: u64,
+        nibble: &NibbleSeq,
+        sites: &CandidateSites,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+    ) -> SyclResult<(Vec<QueryEntries>, bool)> {
+        let mut per_query = vec![Vec::new(); tables.len()];
+        let (nibble_buf, reused) = match take_resident(&self.nibble_res, token) {
+            Some(buf) => {
+                self.queue
+                    .device()
+                    .record_h2d_skipped(nibble.device_byte_len() as u64);
+                (buf, true)
+            }
+            None => (Buffer::from_slice(nibble.nibble_bytes()), false),
+        };
+        retain_resident(&self.nibble_res, token, nibble_buf.clone(), self.resident_cap);
+
+        let (loci_buf, flags_buf) = self.stage_cached_candidates(token, sites, timing);
+        let n = sites.len();
+        if n == 0 {
+            return Ok((per_query, reused));
+        }
+        self.run_comparers_4bit(
+            &nibble_buf,
+            &loci_buf,
+            &flags_buf,
+            n,
+            tables,
+            timing,
+            profile,
+            &mut per_query,
         )?;
         Ok((per_query, reused))
     }
@@ -1918,6 +2860,18 @@ impl SyclChunkRunner {
         profile: &mut gpu_sim::profile::Profile,
         per_query: &mut [QueryEntries],
     ) -> SyclResult<()> {
+        if self.multi_guide && tables.len() > 1 {
+            return self.run_comparers_multi(
+                SyclMultiEnc::Char(chr_buf),
+                loci_buf,
+                flags_buf,
+                n,
+                tables,
+                timing,
+                profile,
+                per_query,
+            );
+        }
         let plen = self.pattern.plen();
         let wgs = self.wgs;
         for (qi, (out, (comp_buf, comp_index_buf, threshold))) in
@@ -2052,6 +3006,18 @@ impl SyclChunkRunner {
         profile: &mut gpu_sim::profile::Profile,
         per_query: &mut [QueryEntries],
     ) -> SyclResult<()> {
+        if self.multi_guide && tables.len() > 1 {
+            return self.run_comparers_multi(
+                SyclMultiEnc::TwoBit(packed_buf, mask_buf),
+                loci_buf,
+                flags_buf,
+                n,
+                tables,
+                timing,
+                profile,
+                per_query,
+            );
+        }
         let plen = self.pattern.plen();
         let wgs = self.wgs;
         for (qi, (out, (comp_buf, comp_index_buf, threshold))) in
@@ -2188,6 +3154,18 @@ impl SyclChunkRunner {
         profile: &mut gpu_sim::profile::Profile,
         per_query: &mut [QueryEntries],
     ) -> SyclResult<()> {
+        if self.multi_guide && tables.len() > 1 {
+            return self.run_comparers_multi(
+                SyclMultiEnc::FourBit(nibble_buf),
+                loci_buf,
+                flags_buf,
+                n,
+                tables,
+                timing,
+                profile,
+                per_query,
+            );
+        }
         let plen = self.pattern.plen();
         let wgs = self.wgs;
         for (qi, (out, (comp_buf, comp_index_buf, threshold))) in
@@ -2301,6 +3279,190 @@ impl SyclChunkRunner {
             })?;
             timing.transfer_s += ev.duration_s();
             *out = (0..m).map(|i| (pos[i], dir[i], mm[i])).collect();
+        }
+        Ok(())
+    }
+
+    /// Fused comparer stage (see
+    /// [`OclChunkRunner::run_comparers_multi`]'s contract): blocks of up to
+    /// [`GUIDE_BLOCK`] guides run as single `comparer_multi*` command
+    /// groups, and the guide-tagged compacted output is demultiplexed back
+    /// into byte-identical per-query entry lists. Uniform-threshold blocks
+    /// fold the threshold into a JIT-specialized variant when the runner
+    /// specializes.
+    #[allow(clippy::too_many_arguments)]
+    fn run_comparers_multi(
+        &self,
+        enc: SyclMultiEnc<'_>,
+        loci_buf: &Buffer<u32>,
+        flags_buf: &Buffer<u8>,
+        n: usize,
+        tables: &SyclQueryTables,
+        timing: &mut TimingBreakdown,
+        profile: &mut gpu_sim::profile::Profile,
+        per_query: &mut [QueryEntries],
+    ) -> SyclResult<()> {
+        let plen = self.pattern.plen();
+        let wgs = self.wgs;
+        let nq = tables.len();
+        let mut start = 0;
+        while start < nq {
+            let g = (nq - start).min(GUIDE_BLOCK);
+            // Concatenate the block's tables host-side: guide `bi` occupies
+            // `[fwd | rc]` at offset `bi * 2 * plen`.
+            let mut comp = vec![0u8; g * 2 * plen];
+            let mut comp_index = vec![0i32; g * 2 * plen];
+            let mut thr = vec![0u16; g];
+            for bi in 0..g {
+                let c = &tables.spec_queries[start + bi];
+                comp[bi * 2 * plen..(bi + 1) * 2 * plen].copy_from_slice(c.comp());
+                comp_index[bi * 2 * plen..(bi + 1) * 2 * plen].copy_from_slice(c.comp_index());
+                thr[bi] = tables.entries[start + bi].2;
+            }
+            let comp_buf = Buffer::from_vec(comp);
+            let comp_index_buf = Buffer::from_vec(comp_index);
+
+            // A block whose guides share one threshold runs the
+            // JIT-specialized fused variant when the runner specializes;
+            // mixed thresholds stage the per-guide table instead.
+            let folded = self.specialize && thr.iter().all(|&t| t == thr[0]);
+            let variant = folded.then(|| {
+                specialize::global_cache().get_or_compile(
+                    VariantKind::MultiComparer,
+                    &self.pattern,
+                    thr[0],
+                )
+            });
+            let thr_buf = (!folded).then(|| Buffer::from_vec(thr.clone()));
+
+            let out_mm = Buffer::<u16>::uninit(2 * g * n);
+            let out_dir = Buffer::<u8>::uninit(2 * g * n);
+            let out_loci = Buffer::<u32>::uninit(2 * g * n);
+            let out_guide = Buffer::<u16>::uninit(2 * g * n);
+            let out_count = Buffer::<u32>::new(1);
+
+            let ev = self.queue.submit(|h| {
+                let loci = h.get_access(loci_buf, AccessMode::Read)?;
+                let flags = h.get_access(flags_buf, AccessMode::Read)?;
+                let comp = h.get_access(&comp_buf, AccessMode::Read)?;
+                let comp_index = h.get_access(&comp_index_buf, AccessMode::Read)?;
+                let mm = h.get_access(&out_mm, AccessMode::Write)?;
+                let dir = h.get_access(&out_dir, AccessMode::Write)?;
+                let mloci = h.get_access(&out_loci, AccessMode::Write)?;
+                let guide = h.get_access(&out_guide, AccessMode::Write)?;
+                let count = h.get_access(&out_count, AccessMode::ReadWrite)?;
+                let thresholds = match (&thr_buf, &variant) {
+                    (Some(b), _) => GuideThresholds::PerGuide(h.get_access(b, AccessMode::Read)?.raw()),
+                    (None, Some(v)) => GuideThresholds::Folded {
+                        threshold: thr[0],
+                        variant: Arc::clone(v),
+                    },
+                    (None, None) => unreachable!("thr_buf and variant are complementary"),
+                };
+                let out = MultiComparerOutput {
+                    mm_count: mm.raw(),
+                    direction: dir.raw(),
+                    loci: mloci.raw(),
+                    guide: guide.raw(),
+                    count: count.raw(),
+                };
+                let range = NdRange::linear(round_up(n, wgs), wgs);
+                match &enc {
+                    SyclMultiEnc::Char(chr_buf) => {
+                        let chr = h.get_access(chr_buf, AccessMode::Read)?;
+                        let (kernel, _) = MultiComparerKernel::new(
+                            chr.raw(),
+                            loci.raw(),
+                            flags.raw(),
+                            comp.raw(),
+                            comp_index.raw(),
+                            thresholds,
+                            n,
+                            plen,
+                            g,
+                            out,
+                        );
+                        h.parallel_for(range, &kernel)
+                    }
+                    SyclMultiEnc::TwoBit(packed_buf, mask_buf) => {
+                        let packed = h.get_access(packed_buf, AccessMode::Read)?;
+                        let mask = h.get_access(mask_buf, AccessMode::Read)?;
+                        let (kernel, _) = TwoBitMultiComparerKernel::new(
+                            packed.raw(),
+                            mask.raw(),
+                            loci.raw(),
+                            flags.raw(),
+                            comp.raw(),
+                            comp_index.raw(),
+                            thresholds,
+                            n,
+                            plen,
+                            g,
+                            out,
+                        );
+                        h.parallel_for(range, &kernel)
+                    }
+                    SyclMultiEnc::FourBit(nibble_buf) => {
+                        let nibbles = h.get_access(nibble_buf, AccessMode::Read)?;
+                        let (kernel, _) = FourBitMultiComparerKernel::new(
+                            nibbles.raw(),
+                            loci.raw(),
+                            flags.raw(),
+                            comp.raw(),
+                            comp_index.raw(),
+                            thresholds,
+                            n,
+                            plen,
+                            g,
+                            out,
+                        );
+                        h.parallel_for(range, &kernel)
+                    }
+                }
+            })?;
+            ev.wait();
+            let commands_s: f64 = ev.launch_reports().iter().map(|r| r.sim_time_s).sum();
+            timing.comparer_s += ev
+                .launch_reports()
+                .iter()
+                .map(|r| r.exec_time_s)
+                .sum::<f64>();
+            for r in ev.launch_reports() {
+                profile.record_ref(r);
+            }
+            timing.transfer_s += (ev.duration_s() - commands_s).max(0.0);
+            timing.comparer_launches += 1;
+            timing.fused_launches += 1;
+
+            let mut entry_count = [0u32];
+            let ev = self.queue.submit(|h| {
+                let acc = h.get_access(&out_count, AccessMode::Read)?;
+                h.copy_from_device(&acc, &mut entry_count)
+            })?;
+            timing.transfer_s += ev.duration_s();
+            let m = entry_count[0] as usize;
+            timing.entries += m as u64;
+            if m > 0 {
+                let mut mm = vec![0u16; m];
+                let mut dir = vec![0u8; m];
+                let mut pos = vec![0u32; m];
+                let mut gid = vec![0u16; m];
+                let ev = self.queue.submit(|h| {
+                    let mm_acc = h.get_access(&out_mm, AccessMode::Read)?;
+                    let dir_acc = h.get_access(&out_dir, AccessMode::Read)?;
+                    let pos_acc = h.get_access(&out_loci, AccessMode::Read)?;
+                    let gid_acc = h.get_access(&out_guide, AccessMode::Read)?;
+                    h.copy_from_device(&mm_acc, &mut mm)?;
+                    h.copy_from_device(&dir_acc, &mut dir)?;
+                    h.copy_from_device(&pos_acc, &mut pos)?;
+                    h.copy_from_device(&gid_acc, &mut gid)
+                })?;
+                timing.transfer_s += ev.duration_s();
+                for i in 0..m {
+                    per_query[start + gid[i] as usize].push((pos[i], dir[i], mm[i]));
+                }
+            }
+            start += g;
         }
         Ok(())
     }
@@ -3036,5 +4198,258 @@ mod tests {
         runner.wait();
         sort_canonical(&mut offtargets);
         assert_eq!(offtargets, crate::cpu::search_sequential(&asm, &input));
+    }
+
+    /// A guide library on the toy pattern: `k` distinct 8-base guides plus
+    /// the PAM wildcard tail, with uniform or cycling mismatch thresholds.
+    fn library_input(k: usize, uniform: bool) -> SearchInput {
+        let base = b"ACGTACGTACGTACGTTGCA";
+        let mut s = String::from("toy\nNNNNNNNNNRG\n");
+        for i in 0..k {
+            let guide: String = (0..8)
+                .map(|j| base[(i * 3 + j) % base.len()] as char)
+                .collect();
+            let thr = if uniform { 3 } else { 2 + (i % 2) };
+            s.push_str(&format!("{guide}NNN {thr}\n"));
+        }
+        SearchInput::parse(&s).unwrap()
+    }
+
+    /// Fused multi-guide launches must be byte-identical to the serial
+    /// per-query path on every encoding, with `ceil(k / GUIDE_BLOCK)`
+    /// comparer launches instead of `k` — both generic (mixed thresholds)
+    /// and threshold-folded JIT-specialized (uniform) blocks.
+    #[test]
+    fn fused_multi_guide_ocl_is_byte_identical_on_every_encoding() {
+        let (asm, _) = toy_with_ambiguity();
+        for (uniform, specialize) in [(false, false), (true, true)] {
+            let input = library_input(GUIDE_BLOCK + 3, uniform);
+            let cfg = config().specialize(specialize);
+            let serial = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+            let fused = OclChunkRunner::new(&cfg.clone().multi_guide(true), &input.pattern).unwrap();
+            let st = serial.prepare_queries(&input.queries).unwrap();
+            let ft = fused.prepare_queries(&input.queries).unwrap();
+            let plen = serial.plen();
+            let mut serial_t = TimingBreakdown::default();
+            let mut fused_t = TimingBreakdown::default();
+            let mut profile = gpu_sim::profile::Profile::new();
+            for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+                if chunk.seq.len() < plen {
+                    continue;
+                }
+                let s = serial
+                    .run_chunk(chunk.seq, chunk.scan_len, &st, &mut serial_t, &mut profile)
+                    .unwrap();
+                let f = fused
+                    .run_chunk(chunk.seq, chunk.scan_len, &ft, &mut fused_t, &mut profile)
+                    .unwrap();
+                assert_eq!(f, s, "fused char path must be byte-identical");
+
+                let packed = PackedSeq::encode(chunk.seq);
+                let s = serial
+                    .run_packed_chunk(&packed, chunk.scan_len, &st, &mut serial_t, &mut profile)
+                    .unwrap();
+                let f = fused
+                    .run_packed_chunk(&packed, chunk.scan_len, &ft, &mut fused_t, &mut profile)
+                    .unwrap();
+                assert_eq!(f, s, "fused 2-bit path must be byte-identical");
+
+                let nibble = NibbleSeq::encode(chunk.seq);
+                let s = serial
+                    .run_nibble_chunk(&nibble, chunk.scan_len, &st, &mut serial_t, &mut profile)
+                    .unwrap();
+                let f = fused
+                    .run_nibble_chunk(&nibble, chunk.scan_len, &ft, &mut fused_t, &mut profile)
+                    .unwrap();
+                assert_eq!(f, s, "fused nibble path must be byte-identical");
+            }
+            assert_eq!(fused_t.fused_launches, fused_t.comparer_launches);
+            assert!(fused_t.fused_launches > 0);
+            // 19 guides per chunk run fuse into 2 block launches, not 19.
+            assert_eq!(
+                fused_t.comparer_launches * (GUIDE_BLOCK + 3),
+                serial_t.comparer_launches * 2,
+                "fused path must run ceil(k / GUIDE_BLOCK) launches"
+            );
+            st.release();
+            ft.release();
+            serial.release();
+            fused.release();
+        }
+    }
+
+    #[test]
+    fn fused_multi_guide_sycl_is_byte_identical_on_every_encoding() {
+        let (asm, _) = toy_with_ambiguity();
+        for (uniform, specialize) in [(false, false), (true, true)] {
+            let input = library_input(GUIDE_BLOCK + 3, uniform);
+            let cfg = config().specialize(specialize);
+            let serial = SyclChunkRunner::new(&cfg, &input.pattern).unwrap();
+            let fused =
+                SyclChunkRunner::new(&cfg.clone().multi_guide(true), &input.pattern).unwrap();
+            let st = serial.prepare_queries(&input.queries);
+            let ft = fused.prepare_queries(&input.queries);
+            let plen = serial.plen();
+            let mut serial_t = TimingBreakdown::default();
+            let mut fused_t = TimingBreakdown::default();
+            let mut profile = gpu_sim::profile::Profile::new();
+            for chunk in Chunker::new(&asm, cfg.chunk_size, plen) {
+                if chunk.seq.len() < plen {
+                    continue;
+                }
+                let s = serial
+                    .run_chunk(chunk.seq, chunk.scan_len, &st, &mut serial_t, &mut profile)
+                    .unwrap();
+                let f = fused
+                    .run_chunk(chunk.seq, chunk.scan_len, &ft, &mut fused_t, &mut profile)
+                    .unwrap();
+                assert_eq!(f, s, "fused char path must be byte-identical");
+
+                let packed = PackedSeq::encode(chunk.seq);
+                let s = serial
+                    .run_packed_chunk(&packed, chunk.scan_len, &st, &mut serial_t, &mut profile)
+                    .unwrap();
+                let f = fused
+                    .run_packed_chunk(&packed, chunk.scan_len, &ft, &mut fused_t, &mut profile)
+                    .unwrap();
+                assert_eq!(f, s, "fused 2-bit path must be byte-identical");
+
+                let nibble = NibbleSeq::encode(chunk.seq);
+                let s = serial
+                    .run_nibble_chunk(&nibble, chunk.scan_len, &st, &mut serial_t, &mut profile)
+                    .unwrap();
+                let f = fused
+                    .run_nibble_chunk(&nibble, chunk.scan_len, &ft, &mut fused_t, &mut profile)
+                    .unwrap();
+                assert_eq!(f, s, "fused nibble path must be byte-identical");
+            }
+            assert_eq!(fused_t.fused_launches, fused_t.comparer_launches);
+            assert!(fused_t.fused_launches > 0);
+            assert_eq!(
+                fused_t.comparer_launches * (GUIDE_BLOCK + 3),
+                serial_t.comparer_launches * 2,
+                "fused path must run ceil(k / GUIDE_BLOCK) launches"
+            );
+            serial.wait();
+            fused.wait();
+        }
+    }
+
+    #[test]
+    fn cached_candidates_skip_the_finder_and_match_ocl() {
+        let (asm, input) = toy();
+        let cfg = config().chunk_size(64).resident_slots(2);
+        let runner = OclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries).unwrap();
+        let chunk = Chunker::new(&asm, 64, runner.plen()).next().unwrap();
+        let mut profile = gpu_sim::profile::Profile::new();
+
+        // Capture the candidate list from a normal run.
+        let mut warm_t = TimingBreakdown::default();
+        runner.set_capture_candidates(true);
+        let baseline = runner
+            .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut warm_t, &mut profile)
+            .unwrap();
+        let sites = runner.take_captured_candidates().unwrap();
+        runner.set_capture_candidates(false);
+        assert_eq!(sites.len() as u64, warm_t.candidates);
+        assert!(!sites.is_empty());
+
+        // Replaying it must skip the finder launch and stay byte-identical.
+        let mut cached_t = TimingBreakdown::default();
+        let before = runner.traffic();
+        let (replay, _) = runner
+            .run_chunk_cached_candidates(42, chunk.seq, &sites, &tables, &mut cached_t, &mut profile)
+            .unwrap();
+        let mid = runner.traffic();
+        assert_eq!(replay, baseline);
+        assert_eq!(cached_t.finder_launches, 0);
+        assert_eq!(cached_t.finder_launches_skipped, 1);
+        assert_eq!(cached_t.candidates, warm_t.candidates);
+        assert_eq!(mid.since(&before).kernel_launches_skipped, 1);
+
+        // A same-token replay also skips the candidate re-upload.
+        let (again, reused) = runner
+            .run_chunk_cached_candidates(42, chunk.seq, &sites, &tables, &mut cached_t, &mut profile)
+            .unwrap();
+        let after = runner.traffic();
+        assert!(reused, "chr stays resident under the token");
+        assert_eq!(again, baseline);
+        assert!(after.since(&mid).h2d_skipped_bytes >= sites.byte_len() as u64);
+
+        // The 2-bit and nibble cached entry points match too.
+        let packed = PackedSeq::encode(chunk.seq);
+        assert!(twobit_compare_safe(&packed));
+        let (on_packed, _) = runner
+            .run_packed_chunk_cached_candidates(
+                43, &packed, &sites, &tables, &mut cached_t, &mut profile,
+            )
+            .unwrap();
+        assert_eq!(on_packed, baseline);
+        let nibble = NibbleSeq::encode(chunk.seq);
+        let (on_nibble, _) = runner
+            .run_nibble_chunk_cached_candidates(
+                44, &nibble, &sites, &tables, &mut cached_t, &mut profile,
+            )
+            .unwrap();
+        assert_eq!(on_nibble, baseline);
+        tables.release();
+        runner.release();
+    }
+
+    #[test]
+    fn cached_candidates_skip_the_finder_and_match_sycl() {
+        let (asm, input) = toy();
+        let cfg = config().chunk_size(64).resident_slots(2);
+        let runner = SyclChunkRunner::new(&cfg, &input.pattern).unwrap();
+        let tables = runner.prepare_queries(&input.queries);
+        let chunk = Chunker::new(&asm, 64, runner.plen()).next().unwrap();
+        let mut profile = gpu_sim::profile::Profile::new();
+
+        let mut warm_t = TimingBreakdown::default();
+        runner.set_capture_candidates(true);
+        let baseline = runner
+            .run_chunk(chunk.seq, chunk.scan_len, &tables, &mut warm_t, &mut profile)
+            .unwrap();
+        let sites = runner.take_captured_candidates().unwrap();
+        runner.set_capture_candidates(false);
+        assert_eq!(sites.len() as u64, warm_t.candidates);
+        assert!(!sites.is_empty());
+
+        let mut cached_t = TimingBreakdown::default();
+        let before = runner.traffic();
+        let (replay, _) = runner
+            .run_chunk_cached_candidates(42, chunk.seq, &sites, &tables, &mut cached_t, &mut profile)
+            .unwrap();
+        let mid = runner.traffic();
+        assert_eq!(replay, baseline);
+        assert_eq!(cached_t.finder_launches, 0);
+        assert_eq!(cached_t.finder_launches_skipped, 1);
+        assert_eq!(mid.since(&before).kernel_launches_skipped, 1);
+
+        let (again, reused) = runner
+            .run_chunk_cached_candidates(42, chunk.seq, &sites, &tables, &mut cached_t, &mut profile)
+            .unwrap();
+        let after = runner.traffic();
+        assert!(reused);
+        assert_eq!(again, baseline);
+        assert!(after.since(&mid).h2d_skipped_bytes >= sites.byte_len() as u64);
+
+        let packed = PackedSeq::encode(chunk.seq);
+        assert!(twobit_compare_safe(&packed));
+        let (on_packed, _) = runner
+            .run_packed_chunk_cached_candidates(
+                43, &packed, &sites, &tables, &mut cached_t, &mut profile,
+            )
+            .unwrap();
+        assert_eq!(on_packed, baseline);
+        let nibble = NibbleSeq::encode(chunk.seq);
+        let (on_nibble, _) = runner
+            .run_nibble_chunk_cached_candidates(
+                44, &nibble, &sites, &tables, &mut cached_t, &mut profile,
+            )
+            .unwrap();
+        assert_eq!(on_nibble, baseline);
+        runner.wait();
     }
 }

@@ -46,6 +46,11 @@ pub struct PipelineConfig {
     /// ([`crate::kernels::specialize`]). Variants are fetched from the
     /// process-wide single-flight cache; results are identical either way.
     pub specialize: bool,
+    /// Fuse multi-query chunk runs into guide-block comparer launches
+    /// ([`crate::kernels::MultiComparerKernel`] family): `k` queries cost
+    /// `ceil(k / GUIDE_BLOCK)` comparer launches instead of `k`. Results
+    /// are byte-identical to the serial per-query path.
+    pub multi_guide: bool,
 }
 
 impl PipelineConfig {
@@ -60,6 +65,7 @@ impl PipelineConfig {
             exec: ExecMode::default(),
             resident_slots: 1,
             specialize: false,
+            multi_guide: false,
         }
     }
 
@@ -96,6 +102,12 @@ impl PipelineConfig {
     /// Enable or disable JIT-specialized kernel variants.
     pub fn specialize(mut self, on: bool) -> Self {
         self.specialize = on;
+        self
+    }
+
+    /// Enable or disable fused multi-guide comparer launches.
+    pub fn multi_guide(mut self, on: bool) -> Self {
+        self.multi_guide = on;
         self
     }
 }

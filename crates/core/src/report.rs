@@ -42,8 +42,14 @@ pub struct TimingBreakdown {
     pub comparer_s: f64,
     /// Number of finder launches (one per chunk).
     pub finder_launches: usize,
-    /// Number of comparer launches (one per chunk per query).
+    /// Finder launches skipped because the candidate list was served from a
+    /// cache (the chunk had been swept under this pattern before).
+    pub finder_launches_skipped: usize,
+    /// Number of comparer launches (one per chunk per query, or one per
+    /// chunk per guide block on the fused path).
     pub comparer_launches: usize,
+    /// How many of `comparer_launches` were fused multi-guide launches.
+    pub fused_launches: usize,
     /// Total candidate loci produced by the finder.
     pub candidates: u64,
     /// Total entries passing the mismatch threshold.

@@ -109,6 +109,12 @@ impl Device {
         self.inner.traffic.record_h2d_skipped(bytes);
     }
 
+    /// Record a kernel launch that was avoided because its output was
+    /// already known (see [`TrafficCounters::record_launch_skipped`]).
+    pub fn record_launch_skipped(&self) {
+        self.inner.traffic.record_launch_skipped();
+    }
+
     /// Allocate a zero-initialized global-memory buffer of `len` elements.
     ///
     /// # Errors

@@ -19,6 +19,7 @@ pub struct TrafficCounters {
     d2h_bytes: AtomicU64,
     h2d_skipped_transfers: AtomicU64,
     h2d_skipped_bytes: AtomicU64,
+    kernel_launches_skipped: AtomicU64,
 }
 
 impl TrafficCounters {
@@ -46,6 +47,15 @@ impl TrafficCounters {
         self.h2d_skipped_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record a kernel launch a caller *avoided* because its output was
+    /// already known — e.g. a chunk runner serving a finder pass from a
+    /// cached candidate list. Public for the same reason as
+    /// [`record_h2d_skipped`](Self::record_h2d_skipped): only higher layers
+    /// know a launch was elided.
+    pub fn record_launch_skipped(&self) {
+        self.kernel_launches_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the tallies. Individual fields are read
     /// relaxed, so a snapshot taken while commands are in flight may tear
     /// across fields; snapshots taken at quiescent points are exact.
@@ -58,6 +68,7 @@ impl TrafficCounters {
             d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
             h2d_skipped_transfers: self.h2d_skipped_transfers.load(Ordering::Relaxed),
             h2d_skipped_bytes: self.h2d_skipped_bytes.load(Ordering::Relaxed),
+            kernel_launches_skipped: self.kernel_launches_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -79,6 +90,9 @@ pub struct TrafficSnapshot {
     pub h2d_skipped_transfers: u64,
     /// Bytes that would have moved host-to-device but did not.
     pub h2d_skipped_bytes: u64,
+    /// Kernel launches avoided because their output was already resident
+    /// or cached (e.g. finder passes served from a candidate-site cache).
+    pub kernel_launches_skipped: u64,
 }
 
 impl TrafficSnapshot {
@@ -92,6 +106,7 @@ impl TrafficSnapshot {
             d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
             h2d_skipped_transfers: self.h2d_skipped_transfers - earlier.h2d_skipped_transfers,
             h2d_skipped_bytes: self.h2d_skipped_bytes - earlier.h2d_skipped_bytes,
+            kernel_launches_skipped: self.kernel_launches_skipped - earlier.kernel_launches_skipped,
         }
     }
 }
@@ -108,8 +123,10 @@ mod tests {
         t.record_h2d(50);
         t.record_d2h(8);
         t.record_h2d_skipped(2048);
+        t.record_launch_skipped();
         let s = t.snapshot();
         assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.kernel_launches_skipped, 1);
         assert_eq!(s.h2d_transfers, 2);
         assert_eq!(s.h2d_bytes, 150);
         assert_eq!(s.d2h_transfers, 1);

@@ -141,6 +141,53 @@ mod tests {
     }
 
     #[test]
+    fn bulge_variants_coalesce_with_plain_jobs_under_the_shared_pattern() {
+        use cas_offinder::bulge::{enumerate_variants, BulgeLimits};
+        use cas_offinder::Query;
+
+        // Expand a bulge job exactly the way the batcher loop does: each
+        // variant becomes a plain unit carrying its (possibly widened)
+        // pattern. The zero-bulge variant keeps the original pattern, so it
+        // must land in the same group as an ordinary plain job — one chunk
+        // upload and one finder pass between them.
+        let plain = job(0, "a", b"NNNNNGG");
+        let query = Query::new(b"ACGTANN".to_vec(), 2);
+        let limits = BulgeLimits {
+            max_dna: 1,
+            max_rna: 1,
+        };
+        let units: Vec<Job> = enumerate_variants(b"NNNNNGG", &query, limits)
+            .into_iter()
+            .map(|v| {
+                let mut j = job(1, "a", &v.pattern);
+                j.spec.guide = v.query;
+                j
+            })
+            .collect();
+        assert!(units.len() > 1, "the fixture must actually enumerate bulges");
+
+        let mut jobs = vec![plain];
+        jobs.extend(units);
+        let groups = group_jobs(jobs, 64);
+        let shared = groups
+            .iter()
+            .find(|(key, _)| key.pattern == b"NNNNNGG")
+            .expect("the original pattern's group exists");
+        let ids: Vec<u64> = shared.1.iter().map(|j| j.id).collect();
+        assert!(
+            ids.contains(&0) && ids.contains(&1),
+            "plain job and zero-bulge variant share a group: {ids:?}"
+        );
+        // Widened patterns cannot share finder passes; they form their own
+        // groups rather than silently corrupting the shared one.
+        for (key, members) in &groups {
+            if key.pattern != b"NNNNNGG" {
+                assert!(members.iter().all(|j| j.id == 1), "{:?}", key.pattern);
+            }
+        }
+    }
+
+    #[test]
     fn interleaving_alternates_planned_owners_and_keeps_bucket_order() {
         use crate::cache::ChunkEncoding;
         use crate::shard::ShardPlan;

@@ -31,6 +31,8 @@ use cas_offinder::pipeline::chunk::twobit_compare_safe;
 use genome::fourbit::NibbleSeq;
 use genome::twobit::PackedSeq;
 
+use crate::results::{fnv1a64, FNV_OFFSET};
+
 /// Exception density (2-bit exceptions per base) above which the adaptive
 /// encoding switches a chunk to the nibble layout. The break-even of the
 /// host footprints: 2-bit costs `0.375 + 5d` bytes per base at density `d`
@@ -140,6 +142,28 @@ impl EncodedChunk {
             ChunkPayload::Nibble(n) => n.device_byte_len(),
             ChunkPayload::Raw(seq) => seq.len(),
         }
+    }
+
+    /// Encoding tag of the payload form (raw 0, 2-bit 1, 4-bit 2) — part
+    /// of the candidate cache's content key, so a cached list only
+    /// replays through the finder flavour that produced it.
+    pub fn encoding_tag(&self) -> u8 {
+        match &self.payload {
+            ChunkPayload::Raw(_) => 0,
+            ChunkPayload::Packed(_) => 1,
+            ChunkPayload::Nibble(_) => 2,
+        }
+    }
+
+    /// Stable 64-bit digest of the chunk's bases — the candidate cache's
+    /// content address. Hashed over the exact decoded byte sequence, so
+    /// it is independent of the payload encoding, and chunks with
+    /// identical bases (telomeric N runs, repeated contigs) share one
+    /// digest and therefore one cached candidate list per pattern.
+    pub fn content_digest(&self) -> u64 {
+        let bases = self.decode();
+        let h = fnv1a64(FNV_OFFSET, &(bases.len() as u64).to_le_bytes());
+        fnv1a64(h, &bases)
     }
 
     /// The chunk's bases as characters, decoding packed payloads

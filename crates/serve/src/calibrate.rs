@@ -84,8 +84,9 @@ impl ClassRates {
     }
 }
 
-/// Measured device service rates: one [`ClassRates`] per payload class
-/// plus the marginal upload cost per byte on the interconnect.
+/// Measured device service rates: one [`ClassRates`] per payload class —
+/// serial and fused-multi-guide flavours — plus the marginal upload cost
+/// per byte on the interconnect.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct KernelRates {
     /// Raw one-byte-per-base chunks (`finder` + `comparer`).
@@ -94,6 +95,14 @@ pub(crate) struct KernelRates {
     pub packed: ClassRates,
     /// 4-bit nibble chunks (`finder_nibble` + `comparer-4bit`).
     pub nibble: ClassRates,
+    /// Raw chunks through the fused multi-guide comparer
+    /// (`comparer_multi`): the per-job marginal is a query table and a
+    /// slice of one block launch, not a launch of its own.
+    pub multi_raw: ClassRates,
+    /// 2-bit packed chunks through `comparer_multi-2bit`.
+    pub multi_packed: ClassRates,
+    /// 4-bit nibble chunks through `comparer_multi-4bit`.
+    pub multi_nibble: ClassRates,
     /// Marginal upload cost per byte.
     pub upload_s_per_byte: f64,
 }
@@ -264,8 +273,50 @@ fn probe(
             "comparer-spec",
             "comparer-2bit-spec",
             "comparer-4bit-spec",
+            "comparer_multi",
+            "comparer_multi-2bit",
+            "comparer_multi-4bit",
+            "comparer_multi-spec",
+            "comparer_multi-2bit-spec",
+            "comparer_multi-4bit-spec",
         ]),
         candidates: timing.candidates as usize,
+    }
+}
+
+/// Decompose two-query/four-query/resident-hit probes through the fused
+/// multi-guide runner into [`ClassRates`]. The fused path only engages
+/// past one query, so the base probe is the two-query run and the per-job
+/// marginal is half the two→four gap — both fused, both one guide block.
+/// The comparer rate is per guide per candidate unit, exactly the
+/// quantity `predict_s` multiplies back by `jobs`.
+fn fused_class_rates(
+    scan: usize,
+    two: &ProbeRun,
+    four: &ProbeRun,
+    hit: &ProbeRun,
+    chunk_bytes: usize,
+    upload_s_per_byte: f64,
+) -> ClassRates {
+    let plen = PROBE_PATTERN.len();
+    let finder = (two.finder_s / (scan * plen) as f64).max(f64::MIN_POSITIVE);
+    let comparer =
+        (two.comparer_s / (two.candidates * plen * 2).max(1) as f64).max(f64::MIN_POSITIVE);
+    let per_job = (((four.elapsed_s - two.elapsed_s)
+        - (four.comparer_s - two.comparer_s)
+        - (four.finder_s - two.finder_s))
+        / 2.0)
+        .max(0.0);
+    let chunk_byte_s = chunk_bytes as f64 * upload_s_per_byte;
+    let batch_overhead =
+        (two.elapsed_s - two.finder_s - two.comparer_s - 2.0 * per_job - chunk_byte_s).max(0.0);
+    let resident_discount = ((two.elapsed_s - hit.elapsed_s) - chunk_byte_s).max(0.0);
+    ClassRates {
+        finder_s_per_unit: finder,
+        comparer_s_per_unit: comparer,
+        batch_overhead_s: batch_overhead,
+        per_job_overhead_s: per_job,
+        resident_discount_s: resident_discount,
     }
 }
 
@@ -336,6 +387,12 @@ fn measure(spec: &DeviceSpec, scan: usize, opt: OptLevel, specialize: bool, api:
     };
     let one = [Query::new(guide(), 3)];
     let two = [one[0].clone(), Query::new(guide(), 3)];
+    let four = [
+        two[0].clone(),
+        two[1].clone(),
+        Query::new(guide(), 3),
+        Query::new(guide(), 3),
+    ];
 
     let raw_payload = ProbePayload::Raw(&seq);
     let raw1 = probe(&runner, scan, &raw_payload, &one, None);
@@ -379,10 +436,43 @@ fn measure(spec: &DeviceSpec, scan: usize, opt: OptLevel, specialize: bool, api:
     if let ProbeRunner::Ocl(runner) = runner {
         runner.release();
     }
+
+    // The fused flavour, through a multi-guide runner of the same API: the
+    // two- and four-query probes both launch one `comparer_multi` block,
+    // so their gap isolates the fused per-job marginal (a query table and
+    // readback, no launch of its own).
+    let multi_config = config.multi_guide(true);
+    let multi_runner = match api {
+        Api::OpenCl => ProbeRunner::Ocl(Box::new(
+            OclChunkRunner::new(&multi_config, PROBE_PATTERN)
+                .expect("simulated OpenCL setup cannot fail on the probe pattern"),
+        )),
+        Api::Sycl => ProbeRunner::Sycl(Box::new(
+            SyclChunkRunner::new(&multi_config, PROBE_PATTERN)
+                .expect("simulated SYCL setup cannot fail on the probe pattern"),
+        )),
+    };
+    let fused = |payload: &ProbePayload<'_>, chunk_bytes: usize| {
+        let two_run = probe(&multi_runner, scan, payload, &two, None);
+        let four_run = probe(&multi_runner, scan, payload, &four, None);
+        probe(&multi_runner, scan, payload, &two, Some(PROBE_TOKEN));
+        let hit = probe(&multi_runner, scan, payload, &two, Some(PROBE_TOKEN));
+        fused_class_rates(scan, &two_run, &four_run, &hit, chunk_bytes, upload_s_per_byte)
+    };
+    let multi_raw = fused(&raw_payload, seq.len());
+    let multi_packed = fused(&pk_payload, packed_bytes);
+    let multi_nibble = fused(&nb_payload, nibble.device_byte_len());
+    if let ProbeRunner::Ocl(runner) = multi_runner {
+        runner.release();
+    }
+
     KernelRates {
         raw,
         packed: packed_rates,
         nibble: nibble_rates,
+        multi_raw,
+        multi_packed,
+        multi_nibble,
         upload_s_per_byte,
     }
 }
@@ -427,6 +517,33 @@ mod tests {
             assert!(class.resident_discount_s.is_finite() && class.resident_discount_s >= 0.0);
         }
         assert!(r.upload_s_per_byte.is_finite() && r.upload_s_per_byte > 0.0);
+    }
+
+    #[test]
+    fn fused_rates_are_measured_per_encoding_and_sane() {
+        let r = kernel_rates(&DeviceSpec::mi60(), PROBE_CHUNK, OptLevel::Base, false, Api::OpenCl);
+        for class in [&r.multi_raw, &r.multi_packed, &r.multi_nibble] {
+            assert!(class.finder_s_per_unit.is_finite() && class.finder_s_per_unit > 0.0);
+            assert!(class.comparer_s_per_unit.is_finite() && class.comparer_s_per_unit > 0.0);
+            assert!(class.batch_overhead_s.is_finite() && class.batch_overhead_s >= 0.0);
+            assert!(class.per_job_overhead_s.is_finite() && class.per_job_overhead_s >= 0.0);
+            assert!(class.resident_discount_s.is_finite() && class.resident_discount_s >= 0.0);
+        }
+        // One fused launch covers the whole guide block, so the fused
+        // comparer can never cost more per work unit than one-launch-per-guide
+        // (small slack for probe measurement noise).
+        for (multi, serial) in [
+            (&r.multi_raw, &r.raw),
+            (&r.multi_packed, &r.packed),
+            (&r.multi_nibble, &r.nibble),
+        ] {
+            assert!(
+                multi.comparer_s_per_unit <= serial.comparer_s_per_unit * 1.05,
+                "fused {} vs serial {}",
+                multi.comparer_s_per_unit,
+                serial.comparer_s_per_unit
+            );
+        }
     }
 
     #[test]

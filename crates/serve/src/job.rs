@@ -45,6 +45,13 @@ pub struct JobSpec {
     /// (Cas-OFFinder 3 semantics); results are the sorted, deduplicated
     /// union over all variants.
     pub bulge: Option<BulgeLimits>,
+    /// When set, the job is a **library screen**: every guide in the list
+    /// is searched against the same PAM pattern and threshold, and the
+    /// results are the sorted, deduplicated union over all guides. The
+    /// batcher expands the screen into per-guide unit searches that share
+    /// one chunk upload and one finder pass per chunk; `guide` is unused
+    /// (empty) on screen jobs. Mutually exclusive with `bulge`.
+    pub library: Option<Vec<Vec<u8>>>,
 }
 
 impl JobSpec {
@@ -69,7 +76,26 @@ impl JobSpec {
             tenant: TenantId::default(),
             deadline: None,
             bulge: None,
+            library: None,
         }
+    }
+
+    /// A library-screen job: search every guide in `guides` under one PAM
+    /// `pattern` and mismatch threshold, returning the sorted, deduplicated
+    /// union. Sequences are uppercased.
+    pub fn library(
+        assembly: impl Into<String>,
+        pattern: impl Into<Vec<u8>>,
+        guides: Vec<Vec<u8>>,
+        max_mismatches: u16,
+    ) -> Self {
+        let mut spec = JobSpec::new(assembly, pattern, Vec::new(), max_mismatches);
+        let mut guides = guides;
+        for g in &mut guides {
+            g.make_ascii_uppercase();
+        }
+        spec.library = Some(guides);
+        spec
     }
 
     /// Mark the job high-priority.
@@ -153,5 +179,22 @@ mod tests {
         let spec =
             JobSpec::new("hg38", b"NNNRG".to_vec(), b"ACGTG".to_vec(), 3).with_bulges(limits);
         assert_eq!(spec.bulge, Some(limits));
+    }
+
+    #[test]
+    fn library_screens_normalize_guides_and_leave_the_guide_empty() {
+        let spec = JobSpec::library(
+            "hg38",
+            b"nnnrg".to_vec(),
+            vec![b"acgtg".to_vec(), b"ttttg".to_vec()],
+            3,
+        );
+        assert_eq!(spec.pattern, b"NNNRG");
+        assert!(spec.guide.is_empty());
+        assert_eq!(
+            spec.library,
+            Some(vec![b"ACGTG".to_vec(), b"TTTTG".to_vec()])
+        );
+        assert_eq!(spec.bulge, None);
     }
 }

@@ -74,6 +74,7 @@
 pub mod batcher;
 pub mod cache;
 mod calibrate;
+pub mod candidates;
 pub mod frontend;
 pub mod job;
 pub mod metrics;
@@ -85,6 +86,7 @@ pub mod shard;
 pub mod tenant;
 
 pub use cache::{CacheStats, ChunkEncoding, GenomeCache, NIBBLE_DENSITY_THRESHOLD};
+pub use candidates::{CandidateCache, CandidateKey, CandidateLookup, CandidateStats};
 pub use frontend::{Poll, Ticket, WaitError};
 pub use job::{Job, JobId, JobSpec, Priority};
 pub use metrics::{DeviceReport, MetricsReport, TenantReport, VariantReport};

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use cas_offinder::kernels::VariantCacheStats;
 
 use crate::cache::CacheStats;
+use crate::candidates::CandidateStats;
 use crate::results::ResultCacheStats;
 use crate::tenant::TenantId;
 
@@ -156,6 +157,16 @@ pub struct ServeMetrics {
     pub comparer_2bit_batches: AtomicU64,
     /// Batches compared in 4-bit nibble form.
     pub comparer_4bit_batches: AtomicU64,
+    /// Finder launches executed across all workers.
+    pub finder_launches: AtomicU64,
+    /// Finder launches skipped because the chunk's candidate list replayed
+    /// from the candidate-site cache.
+    pub finder_launches_skipped: AtomicU64,
+    /// Comparer launches executed (one per query, or one per guide block
+    /// on the fused multi-guide path).
+    pub comparer_launches: AtomicU64,
+    /// How many of `comparer_launches` were fused multi-guide launches.
+    pub fused_launches: AtomicU64,
     /// Chunk payloads workers uploaded ahead of demand while warming their
     /// planned partition (no kernels launched — upload only).
     pub prefetch_uploads: AtomicU64,
@@ -182,6 +193,10 @@ impl ServeMetrics {
             comparer_char_batches: AtomicU64::new(0),
             comparer_2bit_batches: AtomicU64::new(0),
             comparer_4bit_batches: AtomicU64::new(0),
+            finder_launches: AtomicU64::new(0),
+            finder_launches_skipped: AtomicU64::new(0),
+            comparer_launches: AtomicU64::new(0),
+            fused_launches: AtomicU64::new(0),
             prefetch_uploads: AtomicU64::new(0),
             migrated_chunks: AtomicU64::new(0),
             devices: (0..devices).map(|_| DeviceMetrics::default()).collect(),
@@ -252,6 +267,14 @@ pub struct MetricsReport {
     pub comparer_2bit_batches: u64,
     /// Executed batches compared in 4-bit nibble form.
     pub comparer_4bit_batches: u64,
+    /// Finder launches executed across all workers.
+    pub finder_launches: u64,
+    /// Finder launches skipped by replaying cached candidate lists.
+    pub finder_launches_skipped: u64,
+    /// Comparer launches executed (per query, or per guide block fused).
+    pub comparer_launches: u64,
+    /// How many of `comparer_launches` fused multiple guides.
+    pub fused_launches: u64,
     /// Batches the dispatcher placed on their chunk's planned owner
     /// (0 unless the pool runs `Placement::Planned` with a plan installed).
     pub planned_hits: u64,
@@ -271,6 +294,8 @@ pub struct MetricsReport {
     pub cache: CacheStats,
     /// Content-addressed result cache accounting.
     pub results: ResultCacheStats,
+    /// Candidate-site cache accounting (all zeros when disabled).
+    pub candidates: CandidateStats,
     /// Per-tenant admission/goodput/latency rows, sorted by tenant id.
     /// Empty until some tenant has an admission outcome.
     pub tenants: Vec<TenantReport>,
@@ -345,6 +370,23 @@ impl MetricsReport {
                 (share / target - 1.0).abs()
             })
             .fold(0.0, f64::max)
+    }
+
+    /// Fraction of candidate-cache lookups that skipped a finder launch
+    /// (0 when the cache is disabled or nothing ran).
+    pub fn candidate_hit_rate(&self) -> f64 {
+        self.candidates.hit_rate()
+    }
+
+    /// Comparer launches per job-chunk unit: 1.0 means one launch per
+    /// guide per chunk (the unfused baseline); the fused multi-guide path
+    /// drives it toward `1 / GUIDE_BLOCK` on well-coalesced screens.
+    pub fn comparer_launch_ratio(&self) -> f64 {
+        if self.coalesced_jobs == 0 {
+            1.0
+        } else {
+            self.comparer_launches as f64 / self.coalesced_jobs as f64
+        }
     }
 
     /// Mean absolute predicted-vs-measured service-time error across all
@@ -443,6 +485,27 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "launches: {} finder ({} skipped), {} comparer ({} fused, {:.2} per job-chunk)",
+            self.finder_launches,
+            self.finder_launches_skipped,
+            self.comparer_launches,
+            self.fused_launches,
+            self.comparer_launch_ratio()
+        )?;
+        writeln!(
+            f,
+            "candidates: {:.1}% hit rate ({} hits / {} misses, {} inserts, {} evicted, \
+             {} resident, {} B)",
+            100.0 * self.candidate_hit_rate(),
+            self.candidates.hits,
+            self.candidates.misses,
+            self.candidates.inserts,
+            self.candidates.evictions,
+            self.candidates.len,
+            self.candidates.resident_bytes
+        )?;
+        writeln!(
+            f,
             "placement: {} batches on planned owner, {} spills, {} prefetch uploads, \
              {} chunks migrated",
             self.planned_hits, self.spill_fallbacks, self.prefetch_uploads, self.migrated_chunks
@@ -512,6 +575,7 @@ pub(crate) struct PlanView {
     pub spill_fallbacks: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn load_report(
     metrics: &ServeMetrics,
     names: &[(String, String)],
@@ -520,6 +584,7 @@ pub(crate) fn load_report(
     variants: VariantReport,
     cache: CacheStats,
     results: ResultCacheStats,
+    candidates: CandidateStats,
 ) -> MetricsReport {
     MetricsReport {
         jobs_admitted: metrics.jobs_admitted.load(Ordering::Relaxed),
@@ -536,6 +601,10 @@ pub(crate) fn load_report(
         comparer_char_batches: metrics.comparer_char_batches.load(Ordering::Relaxed),
         comparer_2bit_batches: metrics.comparer_2bit_batches.load(Ordering::Relaxed),
         comparer_4bit_batches: metrics.comparer_4bit_batches.load(Ordering::Relaxed),
+        finder_launches: metrics.finder_launches.load(Ordering::Relaxed),
+        finder_launches_skipped: metrics.finder_launches_skipped.load(Ordering::Relaxed),
+        comparer_launches: metrics.comparer_launches.load(Ordering::Relaxed),
+        fused_launches: metrics.fused_launches.load(Ordering::Relaxed),
         planned_hits: plan.planned_hits,
         spill_fallbacks: plan.spill_fallbacks,
         prefetch_uploads: metrics.prefetch_uploads.load(Ordering::Relaxed),
@@ -544,6 +613,7 @@ pub(crate) fn load_report(
         variants,
         cache,
         results,
+        candidates,
         tenants: queue.tenants,
         devices: metrics
             .devices
@@ -592,6 +662,7 @@ mod tests {
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
+            CandidateStats::default(),
         );
         assert!((report.coalescing_ratio() - 2.5).abs() < 1e-12);
         assert_eq!(report.queue_depth_high_water, 7);
@@ -626,6 +697,7 @@ mod tests {
             VariantReport::default(),
             CacheStats::default(),
             results,
+            CandidateStats::default(),
         );
         assert!((report.resident_hit_rate() - 3.0 / 8.0).abs() < 1e-12);
         assert_eq!(report.h2d_skipped_bytes(), 1024);
@@ -633,6 +705,59 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("1024 B uploads skipped"), "{text}");
         assert!(text.contains("5 merged"), "{text}");
+    }
+
+    #[test]
+    fn launch_counters_and_candidate_stats_reach_the_report() {
+        let m = ServeMetrics::new(1);
+        m.coalesced_jobs.store(32, Ordering::Relaxed);
+        m.finder_launches.store(10, Ordering::Relaxed);
+        m.finder_launches_skipped.store(6, Ordering::Relaxed);
+        m.comparer_launches.store(4, Ordering::Relaxed);
+        m.fused_launches.store(4, Ordering::Relaxed);
+        let candidates = CandidateStats {
+            hits: 9,
+            misses: 1,
+            inserts: 1,
+            evictions: 2,
+            len: 1,
+            resident_bytes: 40,
+        };
+        let report = load_report(
+            &m,
+            &[("MI60".into(), "OpenCL".into())],
+            queue_view(0, (0, 0), Vec::new()),
+            PlanView::default(),
+            VariantReport::default(),
+            CacheStats::default(),
+            ResultCacheStats::default(),
+            candidates,
+        );
+        // 4 comparer launches covered 32 coalesced jobs: 1/8th of the
+        // one-launch-per-guide baseline.
+        assert!((report.comparer_launch_ratio() - 0.125).abs() < 1e-12);
+        assert!((report.candidate_hit_rate() - 0.9).abs() < 1e-12);
+        let text = report.to_string();
+        assert!(text.contains("10 finder (6 skipped)"), "{text}");
+        assert!(text.contains("4 comparer (4 fused, 0.12 per job-chunk)"), "{text}");
+        assert!(text.contains("90.0% hit rate"), "{text}");
+        assert!(text.contains("2 evicted"), "{text}");
+    }
+
+    #[test]
+    fn an_idle_service_reports_a_neutral_launch_ratio() {
+        let report = load_report(
+            &ServeMetrics::new(1),
+            &[("MI60".into(), "OpenCL".into())],
+            queue_view(0, (0, 0), Vec::new()),
+            PlanView::default(),
+            VariantReport::default(),
+            CacheStats::default(),
+            ResultCacheStats::default(),
+            CandidateStats::default(),
+        );
+        assert!((report.comparer_launch_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(report.candidate_hit_rate(), 0.0);
     }
 
     #[test]
@@ -649,6 +774,7 @@ mod tests {
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
+            CandidateStats::default(),
         );
         assert_eq!(report.comparer_char_batches, 2);
         assert_eq!(report.comparer_2bit_batches, 5);
@@ -673,6 +799,7 @@ mod tests {
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
+            CandidateStats::default(),
         );
         assert_eq!(report.planned_hits, 40);
         assert_eq!(report.spill_fallbacks, 2);
@@ -696,6 +823,7 @@ mod tests {
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
+            CandidateStats::default(),
         );
         assert_eq!(report.resident_hit_rate(), 0.0);
         assert_eq!(report.result_cache_hit_rate(), 0.0);
@@ -747,6 +875,7 @@ mod tests {
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
+            CandidateStats::default(),
         );
         assert!(exact.fairness_max_deviation() < 1e-12, "goodput == weights");
         assert_eq!(exact.sheds_quota, 2);
@@ -768,6 +897,7 @@ mod tests {
             VariantReport::default(),
             CacheStats::default(),
             ResultCacheStats::default(),
+            CandidateStats::default(),
         );
         assert!(
             (skewed.fairness_max_deviation() - 1.0).abs() < 1e-12,

@@ -52,18 +52,26 @@ pub(crate) struct CanonicalSpec {
     guide: Vec<u8>,
     max_mismatches: u16,
     bulge: Option<(u8, u8)>,
+    /// Library-screen guides in **sorted** order: a screen's result set is
+    /// the union over its guides, so two submissions listing the same
+    /// guides in different orders are the same work and must share one
+    /// digest. Empty for single-guide jobs.
+    library: Vec<Vec<u8>>,
     chunk_size: usize,
 }
 
 impl CanonicalSpec {
     /// Canonicalize `spec` and digest it.
     pub fn digest(spec: &JobSpec, chunk_size: usize) -> (u64, CanonicalSpec) {
+        let mut library = spec.library.clone().unwrap_or_default();
+        library.sort_unstable();
         let canon = CanonicalSpec {
             assembly: spec.assembly.clone(),
             pattern: spec.pattern.clone(),
             guide: spec.guide.clone(),
             max_mismatches: spec.max_mismatches,
             bulge: spec.bulge.map(|b| (b.max_dna, b.max_rna)),
+            library,
             chunk_size,
         };
         let mut h = fnv1a64(FNV_OFFSET, canon.assembly.as_bytes());
@@ -74,6 +82,11 @@ impl CanonicalSpec {
         h = fnv1a64(h, &canon.max_mismatches.to_le_bytes());
         let (dna, rna) = canon.bulge.map_or((0xff, 0xff), |b| b);
         h = fnv1a64(h, &[dna, rna]);
+        h = fnv1a64(h, &(canon.library.len() as u64).to_le_bytes());
+        for g in &canon.library {
+            h = fnv1a64(h, g);
+            h = fnv1a64(h, &[0]);
+        }
         h = fnv1a64(h, &(canon.chunk_size as u64).to_le_bytes());
         (h, canon)
     }
@@ -317,6 +330,36 @@ mod tests {
         // Priority does not change results, so it must not change the key.
         let (d1, _) = CanonicalSpec::digest(&spec(b"ACGTG").high_priority(), 512);
         assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn library_digests_canonicalize_guide_order() {
+        let fwd = JobSpec::library(
+            "hg38",
+            b"NNNRG".to_vec(),
+            vec![b"ACGTG".to_vec(), b"TTTTG".to_vec(), b"CCCTG".to_vec()],
+            3,
+        );
+        let rev = JobSpec::library(
+            "hg38",
+            b"NNNRG".to_vec(),
+            vec![b"TTTTG".to_vec(), b"CCCTG".to_vec(), b"ACGTG".to_vec()],
+            3,
+        );
+        let (df, cf) = CanonicalSpec::digest(&fwd, 512);
+        let (dr, cr) = CanonicalSpec::digest(&rev, 512);
+        assert_eq!(df, dr, "guide order must not change the digest");
+        assert_eq!(cf, cr);
+        // A different guide set is different work.
+        let other = JobSpec::library(
+            "hg38",
+            b"NNNRG".to_vec(),
+            vec![b"ACGTG".to_vec(), b"TTTTG".to_vec()],
+            3,
+        );
+        assert_ne!(df, CanonicalSpec::digest(&other, 512).0);
+        // A screen differs from the single-guide job sharing its first guide.
+        assert_ne!(df, CanonicalSpec::digest(&spec(b"ACGTG"), 512).0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use cas_offinder::kernels::specialize::specialized_model;
-use cas_offinder::kernels::{ComparerKernel, VariantKind};
+use cas_offinder::kernels::{ComparerKernel, VariantKind, GUIDE_BLOCK};
 use cas_offinder::pipeline::chunk::twobit_compare_safe;
 use cas_offinder::{Api, OptLevel};
 use gpu_sim::isa::compile_program;
@@ -47,7 +47,8 @@ use gpu_sim::{DeviceSpec, NdRange};
 
 use crate::batcher::{BatchKey, ChunkBatch};
 use crate::cache::{ChunkPayload, EncodedChunk};
-use crate::calibrate::{kernel_rates, KernelRates};
+use crate::calibrate::{kernel_rates, ClassRates, KernelRates};
+use crate::candidates::{CandidateCache, CandidateKey};
 use crate::results::{fnv1a64, FNV_OFFSET};
 use crate::shard::ShardPlan;
 
@@ -136,11 +137,17 @@ pub(crate) enum PayloadClass {
     /// 4-bit nibble payload: `finder_nibble` + `comparer_4bit`, never any
     /// char fallback.
     Nibble4Bit,
+    /// Bias class of fused multi-guide batches (any encoding): one
+    /// `comparer_multi` launch per [`GUIDE_BLOCK`]-guide block instead of
+    /// one comparer launch per job. Never a payload class itself — the
+    /// encoding still selects the kernels — but fused batches mispredict
+    /// differently enough from serial ones to earn their own bias cell.
+    MultiGuide,
 }
 
 impl PayloadClass {
     /// Number of distinct classes — sizes the per-class bias tables.
-    pub(crate) const COUNT: usize = 4;
+    pub(crate) const COUNT: usize = 5;
 
     /// Stable dense index for per-class tables.
     pub(crate) fn index(self) -> usize {
@@ -149,6 +156,7 @@ impl PayloadClass {
             PayloadClass::Packed2Bit => 1,
             PayloadClass::PackedChar => 2,
             PayloadClass::Nibble4Bit => 3,
+            PayloadClass::MultiGuide => 4,
         }
     }
 }
@@ -172,6 +180,17 @@ pub(crate) struct BatchCost {
     pub candidate_fraction: f64,
     /// The chunk payload's residency token.
     pub token: u64,
+    /// The batch's comparer passes run fused: one `comparer_multi` launch
+    /// per [`GUIDE_BLOCK`]-guide block, priced with the measured fused
+    /// rates instead of the serial per-job ones.
+    pub fused: bool,
+    /// `ceil(jobs / GUIDE_BLOCK)` when fused — how many comparer launches
+    /// the batch actually costs (`jobs` when serial).
+    pub guide_blocks: usize,
+    /// The candidate cache already holds this (chunk, pattern, encoding)'s
+    /// finder output, so the run skips the finder launch and its time is
+    /// priced at zero.
+    pub finder_cached: bool,
 }
 
 impl BatchCost {
@@ -182,6 +201,18 @@ impl BatchCost {
             batch.jobs.len(),
             residency_token(&batch.key, batch.chunk_index),
         )
+    }
+
+    /// The bias cell this batch's completions correct: fused batches share
+    /// one [`PayloadClass::MultiGuide`] cell across encodings, serial
+    /// batches keep their encoding's cell. The encoding class in `class`
+    /// still selects the kernel rates either way.
+    pub fn bias_class(&self) -> PayloadClass {
+        if self.fused {
+            PayloadClass::MultiGuide
+        } else {
+            self.class
+        }
     }
 
     /// The cost of a (possibly hypothetical) batch of `jobs` queries of
@@ -202,6 +233,27 @@ impl BatchCost {
             class,
             candidate_fraction: candidate_fraction(pattern),
             token,
+            fused: false,
+            guide_blocks: jobs,
+            finder_cached: false,
+        }
+    }
+}
+
+impl KernelRates {
+    /// The measured rate set an encoding class selects — the serial
+    /// flavour, or the fused multi-guide one.
+    fn class(&self, class: PayloadClass, fused: bool) -> &ClassRates {
+        match (class, fused) {
+            (PayloadClass::Raw, false) => &self.raw,
+            (PayloadClass::Raw, true) => &self.multi_raw,
+            (PayloadClass::Packed2Bit | PayloadClass::PackedChar, false) => &self.packed,
+            (PayloadClass::Packed2Bit | PayloadClass::PackedChar, true) => &self.multi_packed,
+            (PayloadClass::Nibble4Bit, false) => &self.nibble,
+            (PayloadClass::Nibble4Bit, true) => &self.multi_nibble,
+            (PayloadClass::MultiGuide, _) => {
+                unreachable!("MultiGuide is a bias class, not an encoding")
+            }
         }
     }
 }
@@ -282,18 +334,21 @@ impl DeviceModel {
     /// interconnect slope. With `resident`, the chunk payload moves no
     /// bytes and its measured fixed transfer cost is discounted — only the
     /// per-batch query tables (inside the per-job terms) still move.
+    ///
+    /// A `fused` batch is priced with the class rates measured through the
+    /// multi-guide runner instead: the per-job marginal shrinks to a query
+    /// table and its slice of one block launch, and the comparer rate is
+    /// the fused kernel's. A `finder_cached` batch prices its finder pass
+    /// at zero — the run replays the cached candidate list.
     pub fn predict_s(&self, cost: &BatchCost, resident: bool) -> f64 {
-        let class = match cost.class {
-            PayloadClass::Raw => &self.rates.raw,
-            PayloadClass::Packed2Bit | PayloadClass::PackedChar => &self.rates.packed,
-            PayloadClass::Nibble4Bit => &self.rates.nibble,
-        };
+        let class = self.rates.class(cost.class, cost.fused);
         // A packed chunk with opaque exception bytes decodes on-device
         // (packed finder) but compares with the char kernel.
         let comparer_rate = match cost.class {
-            PayloadClass::Packed2Bit => self.rates.packed.comparer_s_per_unit,
-            PayloadClass::Nibble4Bit => self.rates.nibble.comparer_s_per_unit,
-            PayloadClass::Raw | PayloadClass::PackedChar => self.rates.raw.comparer_s_per_unit,
+            PayloadClass::Raw | PayloadClass::PackedChar => {
+                self.rates.class(PayloadClass::Raw, cost.fused).comparer_s_per_unit
+            }
+            _ => class.comparer_s_per_unit,
         };
         let scan_units = (cost.scan_len * cost.plen) as f64;
         let chunk = if resident {
@@ -301,9 +356,14 @@ impl DeviceModel {
         } else {
             cost.chunk_bytes as f64 * self.rates.upload_s_per_byte
         };
+        let finder = if cost.finder_cached {
+            0.0
+        } else {
+            scan_units * class.finder_s_per_unit
+        };
         (class.batch_overhead_s + chunk).max(0.0)
             + cost.jobs as f64 * class.per_job_overhead_s
-            + scan_units * class.finder_s_per_unit
+            + finder
             + cost.candidate_fraction * scan_units * cost.jobs as f64 * comparer_rate
     }
 
@@ -313,11 +373,7 @@ impl DeviceModel {
     /// charges. A one-pass partition warmup is the sum of this over the
     /// partition's chunks.
     pub fn predict_prefetch_s(&self, cost: &BatchCost) -> f64 {
-        let class = match cost.class {
-            PayloadClass::Raw => &self.rates.raw,
-            PayloadClass::Packed2Bit | PayloadClass::PackedChar => &self.rates.packed,
-            PayloadClass::Nibble4Bit => &self.rates.nibble,
-        };
+        let class = self.rates.class(cost.class, false);
         class.prefetch_upload_s(cost.chunk_bytes, self.rates.upload_s_per_byte)
     }
 
@@ -335,6 +391,9 @@ impl DeviceModel {
             class: PayloadClass::Packed2Bit,
             candidate_fraction: 0.1,
             token: 0,
+            fused: false,
+            guide_blocks: 1,
+            finder_cached: false,
         };
         chunk_size as f64 / self.predict_s(&cost, false).max(1e-12)
     }
@@ -413,6 +472,14 @@ struct PoolInner {
 pub(crate) struct DevicePool {
     models: Vec<DeviceModel>,
     placement: Placement,
+    /// Workers fuse multi-job comparer passes into guide-block launches,
+    /// so dispatch prices multi-job batches with the fused rates.
+    multi_guide: bool,
+    /// The service's candidate-site cache, when enabled: dispatch peeks it
+    /// to price the finder stage at zero for batches whose candidate list
+    /// is already resident. Predictive only — the worker's own lookup is
+    /// what actually skips the launch.
+    candidates: Option<Arc<CandidateCache>>,
     /// The installed chunk→device ownership map, swapped wholesale when
     /// the fleet changes. Consulted only under [`Placement::Planned`].
     plan: Mutex<Option<Arc<ShardPlan>>>,
@@ -440,6 +507,12 @@ pub(crate) struct Assignment {
     /// Payload class of the batch — selects which bias cell the completion
     /// report corrects.
     pub class: PayloadClass,
+    /// Whether the batch was *priced* with its finder skipped (the
+    /// candidate cache held the chunk's list at dispatch time). The worker
+    /// executes what was priced: a list published after dispatch is
+    /// declined rather than silently making the batch cheaper than
+    /// predicted.
+    pub finder_cached: bool,
     /// True when the batch came from a sibling's queue.
     pub stolen: bool,
 }
@@ -453,6 +526,8 @@ impl DevicePool {
         DevicePool {
             models,
             placement,
+            multi_guide: false,
+            candidates: None,
             plan: Mutex::new(None),
             planned_hits: AtomicU64::new(0),
             spill_fallbacks: AtomicU64::new(0),
@@ -468,6 +543,21 @@ impl DevicePool {
             work: Condvar::new(),
             space: Condvar::new(),
         }
+    }
+
+    /// Price multi-job batches with the fused multi-guide rates — set this
+    /// iff the workers' pipeline config enables `multi_guide`, so the
+    /// prediction matches what the runners actually launch.
+    pub fn with_multi_guide(mut self, on: bool) -> Self {
+        self.multi_guide = on;
+        self
+    }
+
+    /// Let dispatch peek `cache` to predict finder-launch skips — pass the
+    /// same cache the workers consult.
+    pub fn with_candidate_cache(mut self, cache: Arc<CandidateCache>) -> Self {
+        self.candidates = Some(cache);
+        self
     }
 
     /// Install (or replace) the chunk→device ownership map consulted by
@@ -549,7 +639,7 @@ impl DevicePool {
         let resident = (assume_resident && inner.residency[device].cap != 0)
             || inner.residency[device].contains(cost.token);
         let model_s = self.models[device].predict_s(&cost, resident);
-        let predicted_s = inner.bias[device][cost.class.index()] * model_s;
+        let predicted_s = inner.bias[device][cost.bias_class().index()] * model_s;
         inner.pending_s[device] += predicted_s;
         // Optimistic: once queued here the chunk will be uploaded here, so
         // later siblings of this chunk see the discount.
@@ -582,7 +672,20 @@ impl DevicePool {
     /// room: a transiently full queue drains faster than a spilled upload
     /// costs.
     pub fn dispatch(&self, batch: ChunkBatch) {
-        let cost = BatchCost::of(&batch);
+        let mut cost = BatchCost::of(&batch);
+        if self.multi_guide && cost.jobs > 1 {
+            cost.fused = true;
+            cost.guide_blocks = cost.jobs.div_ceil(GUIDE_BLOCK);
+        }
+        // A packed payload with opaque exceptions cannot replay a cached
+        // candidate list (the cached packed entry points require 2-bit-safe
+        // payloads), so only the other classes can skip the finder.
+        if cost.class != PayloadClass::PackedChar {
+            if let Some(cache) = &self.candidates {
+                let key = CandidateKey::of(&batch.key.pattern, &batch.chunk);
+                cost.finder_cached = cache.peek(&key);
+            }
+        }
         // Resolve the planned owner before taking the queue lock: the plan
         // is an immutable snapshot, swapped wholesale on fleet change.
         let owner = match self.placement {
@@ -621,7 +724,8 @@ impl DevicePool {
                 let score = match self.placement {
                     Placement::EarliestCompletion | Placement::Planned => {
                         inner.pending_s[i]
-                            + inner.bias[i][cost.class.index()] * model.predict_s(&cost, resident)
+                            + inner.bias[i][cost.bias_class().index()]
+                                * model.predict_s(&cost, resident)
                     }
                     Placement::ShortestQueue => inner.queues[i].len() as f64,
                 };
@@ -643,7 +747,7 @@ impl DevicePool {
                     let resident = inner.residency[o].cap != 0
                         || inner.residency[o].contains(cost.token);
                     let owner_eta = inner.pending_s[o]
-                        + inner.bias[o][cost.class.index()]
+                        + inner.bias[o][cost.bias_class().index()]
                             * self.models[o].predict_s(&cost, resident);
                     if eta < owner_eta {
                         self.enqueue_locked(inner, device, batch, cost, false);
@@ -683,7 +787,8 @@ impl DevicePool {
                 drop(inner);
                 self.space.notify_all();
                 return Some(Assignment {
-                    class: p.cost.class,
+                    class: p.cost.bias_class(),
+                    finder_cached: p.cost.finder_cached,
                     batch: p.batch,
                     predicted_s: p.predicted_s,
                     model_s: p.model_s,
@@ -720,13 +825,14 @@ impl DevicePool {
                 inner_ref.pending_s[v] = (inner_ref.pending_s[v] - p.predicted_s).max(0.0);
                 let resident = inner_ref.residency[worker].contains(p.cost.token);
                 let model_s = self.models[worker].predict_s(&p.cost, resident);
-                let predicted_s = inner_ref.bias[worker][p.cost.class.index()] * model_s;
+                let predicted_s = inner_ref.bias[worker][p.cost.bias_class().index()] * model_s;
                 inner_ref.pending_s[worker] += predicted_s;
                 inner_ref.residency[worker].insert(p.cost.token);
                 drop(inner);
                 self.space.notify_all();
                 return Some(Assignment {
-                    class: p.cost.class,
+                    class: p.cost.bias_class(),
+                    finder_cached: p.cost.finder_cached,
                     batch: p.batch,
                     predicted_s,
                     model_s,
@@ -1157,6 +1263,78 @@ mod tests {
         let pool = DevicePool::new(vec![model(&DeviceSpec::mi60()); 2], Placement::default(), 0);
         pool.set_active(0, false);
         pool.set_active(1, false);
+    }
+
+    #[test]
+    fn fused_and_cached_costs_reprice_the_batch() {
+        let m = model(&DeviceSpec::mi60());
+        let mut cost = BatchCost::of(&batch_with(0, 4096, 8));
+        assert_eq!(cost.bias_class(), PayloadClass::Packed2Bit);
+        let serial = m.predict_s(&cost, false);
+
+        cost.fused = true;
+        cost.guide_blocks = 1;
+        assert_eq!(
+            cost.bias_class(),
+            PayloadClass::MultiGuide,
+            "fused batches train the multi-guide bias cell"
+        );
+        let fused = m.predict_s(&cost, false);
+        assert!(fused.is_finite() && fused > 0.0);
+        assert_ne!(
+            fused.to_bits(),
+            serial.to_bits(),
+            "fused batches price through the measured multi rates"
+        );
+
+        cost.finder_cached = true;
+        let cached = m.predict_s(&cost, false);
+        assert!(
+            cached < fused,
+            "a cached candidate list prices the finder at zero: {cached} vs {fused}"
+        );
+    }
+
+    #[test]
+    fn dispatch_marks_fused_batches_and_peeks_the_candidate_cache() {
+        let cache = Arc::new(CandidateCache::new(1 << 16));
+        let pool = DevicePool::new(vec![model(&DeviceSpec::mi60())], Placement::default(), 0)
+            .with_multi_guide(true)
+            .with_candidate_cache(Arc::clone(&cache));
+
+        pool.dispatch(batch_with(0, 64, 4));
+        let a = pool.next(0).unwrap();
+        assert_eq!(a.class, PayloadClass::MultiGuide, "coalesced batches fuse");
+        assert!(!a.finder_cached, "nothing published yet");
+
+        // Publish the chunk's (empty) list; the identical batch now prices
+        // its finder at zero and the assignment carries that decision.
+        let again = batch_with(0, 64, 4);
+        let key = CandidateKey::of(&again.key.pattern, &again.chunk);
+        match cache.lookup_or_lead(&key) {
+            crate::candidates::CandidateLookup::Lead => cache.publish(
+                &key,
+                Arc::new(cas_offinder::pipeline::chunk::CandidateSites {
+                    loci: Vec::new(),
+                    flags: Vec::new(),
+                }),
+            ),
+            crate::candidates::CandidateLookup::Hit(_) => unreachable!("first lookup leads"),
+        }
+        pool.dispatch(again);
+        let b = pool.next(0).unwrap();
+        assert!(b.finder_cached, "dispatch peeks the published list");
+        assert!(
+            b.predicted_s < a.predicted_s,
+            "the cached batch is cheaper: {} vs {}",
+            b.predicted_s,
+            a.predicted_s
+        );
+
+        // A single-job batch stays serial even with fusion enabled.
+        pool.dispatch(batch_with(1, 64, 1));
+        let c = pool.next(0).unwrap();
+        assert_eq!(c.class, PayloadClass::Packed2Bit);
     }
 
     #[test]

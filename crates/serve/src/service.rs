@@ -32,12 +32,15 @@ use gpu_sim::{DeviceSpec, ExecMode};
 
 use crate::batcher::{group_jobs, interleave_by_owner, BatchJob, BatchKey, ChunkBatch};
 use crate::cache::{ChunkEncoding, ChunkKey, ChunkPayload, EncodedChunk, GenomeCache};
+use crate::candidates::{CandidateCache, CandidateKey, CandidateLookup};
 use crate::frontend::{Completion, CompletionHub, JobEntry, Poll, Ticket, WaitError};
 use crate::job::{Job, JobId, JobSpec};
 use crate::metrics::{busy_ns_from_s, load_report, MetricsReport, ServeMetrics, VariantReport};
 use crate::queue::{FairJobQueue, QueueError};
 use crate::results::{Admission, CanonicalSpec, ResultStore};
-use crate::scheduler::{residency_token, BatchCost, DeviceModel, DevicePool, Placement};
+use crate::scheduler::{
+    residency_token, BatchCost, DeviceModel, DevicePool, PayloadClass, Placement,
+};
 use crate::shard::ShardPlan;
 use crate::tenant::{TenantConfig, TenantLedger, TenantTable};
 
@@ -104,6 +107,19 @@ pub struct ServiceConfig {
     /// tenant gets weight 1 and the queue cost budget is the only
     /// backpressure, exactly the pre-tenancy behaviour.
     pub tenants: Vec<TenantConfig>,
+    /// Byte budget of the content-addressed candidate-site cache, keyed by
+    /// (chunk content, compiled pattern, encoding). A chunk swept under a
+    /// pattern it has already been swept under replays the cached finder
+    /// output and skips the finder launch entirely — the fast path library
+    /// screens lean on, since every per-guide unit search shares the same
+    /// PAM pattern. `0` disables candidate caching.
+    pub candidate_cache_bytes: usize,
+    /// Fuse the per-query comparer launches of a coalesced batch into one
+    /// multi-guide launch per guide block (up to
+    /// [`cas_offinder::kernels::GUIDE_BLOCK`] guides each). Results are
+    /// byte-identical to per-guide launches; the scheduler prices fused
+    /// batches through the separately calibrated multi-guide rates.
+    pub multi_guide: bool,
 }
 
 impl ServiceConfig {
@@ -141,6 +157,8 @@ impl ServiceConfig {
             result_cache_bytes: 1 << 20,
             specialize: true,
             tenants: Vec::new(),
+            candidate_cache_bytes: 1 << 20,
+            multi_guide: true,
         }
     }
 }
@@ -204,6 +222,9 @@ struct Shared {
     models: Vec<DeviceModel>,
     cache: GenomeCache,
     results: ResultStore,
+    /// Content-addressed candidate-site cache shared by all workers;
+    /// `None` when `candidate_cache_bytes` is 0.
+    candidates: Option<Arc<CandidateCache>>,
     metrics: ServeMetrics,
     /// Snapshot of the process-wide variant cache's counters at service
     /// start; [`Service::metrics`] reports this service's deltas.
@@ -221,6 +242,16 @@ struct Shared {
 }
 
 impl Shared {
+    /// Mark `entry` done and count the completion. Must be called with the
+    /// hub's jobs lock held: a waiter can collect the records the moment
+    /// the lock drops, so the completed-jobs counter has to be current by
+    /// then — bumping it later (in [`Shared::settle`]) would let a caller
+    /// observe its own finished job missing from the metrics.
+    fn finish_entry(&self, entry: &mut JobEntry, id: JobId) -> Completion {
+        self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        entry.finish(id)
+    }
+
     /// Settle finished jobs' out-of-lock side effects, in order: release
     /// tenant quota (so admission unblocks first), account per-tenant
     /// goodput and deadline misses, fire registered completion callbacks,
@@ -238,7 +269,6 @@ impl Shared {
                 self.metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
             }
             self.ledger.completed(c.tenant, c.cost, c.latency, c.deadline_missed);
-            self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
             if let Some(callback) = c.callback {
                 callback(c.id);
             }
@@ -262,7 +292,7 @@ impl Shared {
             for id in followers {
                 if let Some(entry) = entries.get_mut(&id) {
                     entry.offtargets = records.clone();
-                    completions.push(entry.finish(id));
+                    completions.push(self.finish_entry(entry, id));
                 }
             }
             drop(entries);
@@ -310,12 +340,20 @@ impl Service {
             .iter()
             .map(|m| m.admission_units_per_s(config.chunk_size))
             .sum();
+        let candidates = (config.candidate_cache_bytes > 0)
+            .then(|| Arc::new(CandidateCache::new(config.candidate_cache_bytes)));
+        let mut pool = DevicePool::new(models.clone(), config.placement, config.resident_chunks)
+            .with_multi_guide(config.multi_guide);
+        if let Some(cache) = &candidates {
+            pool = pool.with_candidate_cache(Arc::clone(cache));
+        }
         let shared = Arc::new(Shared {
             queue: FairJobQueue::new(config.queue_cost_limit, &config.tenants),
-            pool: DevicePool::new(models.clone(), config.placement, config.resident_chunks),
+            pool,
             models,
             cache: GenomeCache::new(config.cache_bytes),
             results: ResultStore::new(config.result_cache_bytes),
+            candidates,
             metrics: ServeMetrics::new(devices),
             variant_baseline: global_cache().stats(),
             assemblies: assemblies
@@ -385,13 +423,17 @@ impl Service {
         };
 
         // Estimated work: assembly bases × search variants. This is what
-        // the admission queue's cost budget charges.
-        let variants = match spec.bulge {
-            None => 1,
-            Some(limits) => {
+        // the admission queue's cost budget charges. Library screens pay
+        // the full per-guide cost up front — the fused fast path makes
+        // them cheaper to *run*, not cheaper to *admit*, so one tenant's
+        // screen cannot crowd out others by under-billing.
+        let variants = match (&spec.bulge, &spec.library) {
+            (Some(limits), _) => {
                 let query = Query::new(spec.guide.clone(), spec.max_mismatches);
-                enumerate_variants(&spec.pattern, &query, limits).len() as u64
+                enumerate_variants(&spec.pattern, &query, *limits).len() as u64
             }
+            (None, Some(guides)) => guides.len() as u64,
+            (None, None) => 1,
         };
         let cost = assembly.total_len() as u64 * variants;
         let tenant = spec.tenant;
@@ -425,7 +467,13 @@ impl Service {
         // whole batch before this thread runs again, and the completion
         // path must find the key in place. Hit/Merged admissions never
         // enqueue, so they clear it below.
-        let entry = JobEntry::new(tenant, cost, deadline, spec.bulge.is_some(), cached.clone());
+        let entry = JobEntry::new(
+            tenant,
+            cost,
+            deadline,
+            spec.bulge.is_some() || spec.library.is_some(),
+            cached.clone(),
+        );
         self.shared.hub.register(id, entry);
         let admission = match &cached {
             Some((digest, canon)) => {
@@ -461,7 +509,7 @@ impl Service {
                     // A hit never entered the fair queue, so it holds no
                     // tenant quota to release.
                     entry.charged = false;
-                    entry.finish(id)
+                    self.shared.finish_entry(entry, id)
                 };
                 self.shared.settle(vec![completion]);
                 Ok(ticket)
@@ -594,6 +642,11 @@ impl Service {
             VariantReport::delta(&self.shared.variant_baseline, &global_cache().stats()),
             self.shared.cache.stats(),
             self.shared.results.stats(),
+            self.shared
+                .candidates
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
         )
     }
 
@@ -689,11 +742,12 @@ impl Service {
     }
 
     /// The scheduler's current bias corrections, per device (outer) and
-    /// payload class (inner: raw, packed 2-bit, packed char, nibble): the
-    /// dimensionless measured/predicted EWMA each completion folds into
-    /// the calibrated model. Surfaced so harnesses can report how far the
-    /// operational correction has drifted from the calibrated prior.
-    pub fn bias_corrections(&self) -> Vec<[f64; 4]> {
+    /// payload class (inner: raw, packed 2-bit, packed char, nibble,
+    /// multi-guide): the dimensionless measured/predicted EWMA each
+    /// completion folds into the calibrated model. Surfaced so harnesses
+    /// can report how far the operational correction has drifted from the
+    /// calibrated prior.
+    pub fn bias_corrections(&self) -> Vec<[f64; PayloadClass::COUNT]> {
         self.shared.pool.bias_snapshot()
     }
 
@@ -797,7 +851,25 @@ fn validate(spec: &JobSpec) -> Result<(), SubmitError> {
     if spec.pattern.is_empty() {
         return Err(SubmitError::BadJob("empty pattern".into()));
     }
-    if spec.guide.len() != spec.pattern.len() {
+    if let Some(guides) = &spec.library {
+        if guides.is_empty() {
+            return Err(SubmitError::BadJob("empty guide library".into()));
+        }
+        if spec.bulge.is_some() {
+            return Err(SubmitError::BadJob(
+                "library screens cannot combine with bulge search".into(),
+            ));
+        }
+        for (i, guide) in guides.iter().enumerate() {
+            if guide.len() != spec.pattern.len() {
+                return Err(SubmitError::BadJob(format!(
+                    "library guide {i} length {} != pattern length {}",
+                    guide.len(),
+                    spec.pattern.len()
+                )));
+            }
+        }
+    } else if spec.guide.len() != spec.pattern.len() {
         return Err(SubmitError::BadJob(format!(
             "guide length {} != pattern length {}",
             spec.guide.len(),
@@ -838,27 +910,41 @@ fn batcher_loop(shared: &Shared) {
             }
         }
 
-        // Bulge expansion: each variant is an independent plain search
-        // under its own (pattern, guide); workers fold every variant's
-        // records into the owning job's entry.
+        // Bulge and library expansion: each variant (or library guide) is
+        // an independent plain search under its own (pattern, guide);
+        // workers fold every unit's records into the owning job's entry.
+        // Library units all share the screen's PAM pattern, so they group
+        // into the same (assembly, pattern) batches as each other — and as
+        // any concurrent plain or bulge units under that pattern — sharing
+        // one chunk upload, one finder pass, and fused comparer launches.
         let mut units: Vec<Job> = Vec::new();
         for job in round {
-            match job.spec.bulge {
-                None => units.push(job),
-                Some(limits) => {
-                    let query = Query::new(job.spec.guide.clone(), job.spec.max_mismatches);
-                    for v in enumerate_variants(&job.spec.pattern, &query, limits) {
-                        let mut spec = job.spec.clone();
-                        spec.pattern = v.pattern;
-                        spec.guide = v.query;
-                        spec.bulge = None;
-                        units.push(Job {
-                            id: job.id,
-                            spec,
-                            cost: 0,
-                        });
-                    }
+            if let Some(limits) = job.spec.bulge {
+                let query = Query::new(job.spec.guide.clone(), job.spec.max_mismatches);
+                for v in enumerate_variants(&job.spec.pattern, &query, limits) {
+                    let mut spec = job.spec.clone();
+                    spec.pattern = v.pattern;
+                    spec.guide = v.query;
+                    spec.bulge = None;
+                    units.push(Job {
+                        id: job.id,
+                        spec,
+                        cost: 0,
+                    });
                 }
+            } else if let Some(guides) = job.spec.library.clone() {
+                for guide in guides {
+                    let mut spec = job.spec.clone();
+                    spec.guide = guide;
+                    spec.library = None;
+                    units.push(Job {
+                        id: job.id,
+                        spec,
+                        cost: 0,
+                    });
+                }
+            } else {
+                units.push(job);
             }
         }
 
@@ -930,7 +1016,7 @@ fn batcher_loop(shared: &Shared) {
                         if let Some(key) = entry.publish.take() {
                             published.push((key, entry.offtargets.clone()));
                         }
-                        completions.push(entry.finish(id));
+                        completions.push(shared.finish_entry(entry, id));
                     }
                 }
             }
@@ -991,7 +1077,8 @@ fn worker_loop(shared: &Shared, w: usize) {
         .opt(shared.config.opt)
         .exec_mode(ExecMode::Sequential)
         .resident_slots(shared.config.resident_chunks.max(1))
-        .specialize(shared.config.specialize);
+        .specialize(shared.config.specialize)
+        .multi_guide(shared.config.multi_guide);
     let mut runners: HashMap<Vec<u8>, Runner> = HashMap::new();
     // (pattern, assembly) pairs whose planned partition this worker has
     // already warmed — the one-pass prefetch runs on first touch only.
@@ -1049,12 +1136,70 @@ fn worker_loop(shared: &Shared, w: usize) {
         let token = (shared.config.resident_chunks > 0)
             .then(|| residency_token(&batch.key, batch.chunk_index));
         let scan_len = batch.chunk.scan_len;
+        // Candidate-cache flow: a chunk already swept under this pattern
+        // replays its cached finder output (`Hit`) instead of launching
+        // the finder; a first sweep (`Lead`) runs with capture armed and
+        // publishes the list for every later sweep. Packed chunks that are
+        // not 2-bit-safe are excluded — the cached packed entry point has
+        // no char fallback, and their finder run decodes on-device for the
+        // char comparer anyway.
+        let cacheable = match &batch.chunk.payload {
+            ChunkPayload::Packed(p) => twobit_compare_safe(p),
+            _ => true,
+        };
+        let candidate_cache = shared
+            .candidates
+            .as_ref()
+            .filter(|_| cacheable)
+            .map(|cache| (cache, CandidateKey::of(&batch.key.pattern, &batch.chunk)));
+        let mut cached_sites = None;
+        let mut lead = false;
+        if let Some((cache, key)) = &candidate_cache {
+            match cache.lookup_or_lead(key) {
+                // Only replay a list the dispatcher *priced*: a lead that
+                // published between the dispatch peek and this lookup is
+                // declined (the finder re-runs at the cost the batch was
+                // predicted at) so measured time tracks predicted time.
+                CandidateLookup::Hit(sites) if assignment.finder_cached => {
+                    cached_sites = Some(sites);
+                }
+                CandidateLookup::Hit(_) => {}
+                CandidateLookup::Lead => lead = true,
+            }
+        }
+        // The cached entry points are resident-shaped (they track the
+        // chunk by token); hand them the real token so repeat sweeps also
+        // skip the chunk upload when the payload is still on-device.
+        let token_value = residency_token(&batch.key, batch.chunk_index);
+        let launches_before = (
+            timing.finder_launches,
+            timing.finder_launches_skipped,
+            timing.comparer_launches,
+            timing.fused_launches,
+        );
         let (per_query, reused) = match runner {
             Runner::Ocl(r) => {
                 let tables = r
                     .prepare_queries(&queries)
                     .expect("simulated buffer upload cannot fail");
-                let out = match (&batch.chunk.payload, token) {
+                if lead {
+                    r.set_capture_candidates(true);
+                }
+                let out = if let Some(sites) = &cached_sites {
+                    match &batch.chunk.payload {
+                        ChunkPayload::Packed(packed) => r.run_packed_chunk_cached_candidates(
+                            token_value, packed, sites, &tables, &mut timing, &mut profile,
+                        ),
+                        ChunkPayload::Nibble(nibble) => r.run_nibble_chunk_cached_candidates(
+                            token_value, nibble, sites, &tables, &mut timing, &mut profile,
+                        ),
+                        ChunkPayload::Raw(seq) => r.run_chunk_cached_candidates(
+                            token_value, seq, sites, &tables, &mut timing, &mut profile,
+                        ),
+                    }
+                    .map(|(q, chunk_reused)| (q, token.map(|_| chunk_reused)))
+                } else {
+                    match (&batch.chunk.payload, token) {
                     (ChunkPayload::Packed(packed), Some(t)) => r
                         .run_packed_chunk_resident(
                             t, packed, scan_len, &tables, &mut timing, &mut profile,
@@ -1077,14 +1222,40 @@ fn worker_loop(shared: &Shared, w: usize) {
                     (ChunkPayload::Raw(seq), None) => r
                         .run_chunk(seq, scan_len, &tables, &mut timing, &mut profile)
                         .map(|q| (q, None)),
+                    }
                 }
                 .expect("simulated OpenCL launch cannot fail");
+                if lead {
+                    let (cache, key) = candidate_cache.as_ref().expect("lead implies a cache");
+                    match r.take_captured_candidates() {
+                        Some(sites) => cache.publish(key, Arc::new(sites)),
+                        None => cache.abandon(key),
+                    }
+                    r.set_capture_candidates(false);
+                }
                 tables.release();
                 out
             }
             Runner::Sycl(r) => {
                 let tables = r.prepare_queries(&queries);
-                match (&batch.chunk.payload, token) {
+                if lead {
+                    r.set_capture_candidates(true);
+                }
+                let out = if let Some(sites) = &cached_sites {
+                    match &batch.chunk.payload {
+                        ChunkPayload::Packed(packed) => r.run_packed_chunk_cached_candidates(
+                            token_value, packed, sites, &tables, &mut timing, &mut profile,
+                        ),
+                        ChunkPayload::Nibble(nibble) => r.run_nibble_chunk_cached_candidates(
+                            token_value, nibble, sites, &tables, &mut timing, &mut profile,
+                        ),
+                        ChunkPayload::Raw(seq) => r.run_chunk_cached_candidates(
+                            token_value, seq, sites, &tables, &mut timing, &mut profile,
+                        ),
+                    }
+                    .map(|(q, chunk_reused)| (q, token.map(|_| chunk_reused)))
+                } else {
+                    match (&batch.chunk.payload, token) {
                     (ChunkPayload::Packed(packed), Some(t)) => r
                         .run_packed_chunk_resident(
                             t, packed, scan_len, &tables, &mut timing, &mut profile,
@@ -1107,10 +1278,36 @@ fn worker_loop(shared: &Shared, w: usize) {
                     (ChunkPayload::Raw(seq), None) => r
                         .run_chunk(seq, scan_len, &tables, &mut timing, &mut profile)
                         .map(|q| (q, None)),
+                    }
                 }
-                .expect("simulated SYCL launch cannot fail")
+                .expect("simulated SYCL launch cannot fail");
+                if lead {
+                    let (cache, key) = candidate_cache.as_ref().expect("lead implies a cache");
+                    match r.take_captured_candidates() {
+                        Some(sites) => cache.publish(key, Arc::new(sites)),
+                        None => cache.abandon(key),
+                    }
+                    r.set_capture_candidates(false);
+                }
+                out
             }
         };
+        shared
+            .metrics
+            .finder_launches
+            .fetch_add((timing.finder_launches - launches_before.0) as u64, Ordering::Relaxed);
+        shared.metrics.finder_launches_skipped.fetch_add(
+            (timing.finder_launches_skipped - launches_before.1) as u64,
+            Ordering::Relaxed,
+        );
+        shared.metrics.comparer_launches.fetch_add(
+            (timing.comparer_launches - launches_before.2) as u64,
+            Ordering::Relaxed,
+        );
+        shared
+            .metrics
+            .fused_launches
+            .fetch_add((timing.fused_launches - launches_before.3) as u64, Ordering::Relaxed);
         // Which comparer the payload selected — the serving-level view of
         // the fallback the adaptive encoding exists to avoid.
         let comparer_counter = match &batch.chunk.payload {
@@ -1217,7 +1414,7 @@ fn worker_loop(shared: &Shared, w: usize) {
                 if let Some(key) = entry.publish.take() {
                     published.push((key, entry.offtargets.clone()));
                 }
-                completions.push(entry.finish(member.id));
+                completions.push(shared.finish_entry(entry, member.id));
             }
         }
         drop(entries);
@@ -1898,6 +2095,114 @@ mod tests {
         service.set_device_active(3, true);
         let restored = service.plan().unwrap();
         assert_eq!(restored.migrated_from(&before), 0);
+    }
+
+    /// The sorted, deduplicated union a library screen must reproduce.
+    fn union_oracle(assembly: &Assembly, guides: &[Vec<u8>], max_mismatches: u16) -> Vec<OffTarget> {
+        let mut expect = Vec::new();
+        for guide in guides {
+            expect.extend(plain_oracle(assembly, b"NNNNNNNNNRG", guide, max_mismatches));
+        }
+        sort_canonical(&mut expect);
+        expect.dedup();
+        expect
+    }
+
+    #[test]
+    fn library_screens_match_the_per_guide_union_and_skip_repeat_finders() {
+        let mut config = small_config();
+        config.result_cache_bytes = 0; // the repeat screen really executes
+        let service = Service::start(config, vec![toy_assembly()]);
+        let assembly = toy_assembly();
+        let guides: Vec<Vec<u8>> = distinct_specs(12).into_iter().map(|s| s.guide).collect();
+        let spec = JobSpec::library("toy", b"NNNNNNNNNRG".to_vec(), guides.clone(), 3);
+        let expect = union_oracle(&assembly, &guides, 3);
+        assert!(!expect.is_empty(), "fixture must produce hits");
+
+        let first = service.wait(service.submit(spec.clone()).unwrap()).unwrap();
+        assert_eq!(first, expect, "a screen is the sorted deduplicated union");
+        let second = service.wait(service.submit(spec).unwrap()).unwrap();
+        assert_eq!(second, expect, "repeat screens are byte-identical");
+
+        let report = service.metrics();
+        assert!(
+            report.fused_launches > 0,
+            "screens ride fused comparer launches: {report}"
+        );
+        assert!(
+            report.comparer_launch_ratio() < 1.0,
+            "fused launches must undercut one-per-guide: {report}"
+        );
+        assert!(
+            report.finder_launches_skipped > 0,
+            "the repeat screen replays cached candidate lists: {report}"
+        );
+        assert!(report.candidates.hits > 0, "{report}");
+        assert!(report.candidates.inserts > 0, "{report}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn shuffled_guide_orders_dedup_through_the_result_store() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        let guides: Vec<Vec<u8>> = distinct_specs(6).into_iter().map(|s| s.guide).collect();
+        let mut reversed = guides.clone();
+        reversed.reverse();
+        let a = service
+            .submit(JobSpec::library("toy", b"NNNNNNNNNRG".to_vec(), guides, 3))
+            .unwrap();
+        let forward = service.wait(a).unwrap();
+        let b = service
+            .submit(JobSpec::library("toy", b"NNNNNNNNNRG".to_vec(), reversed, 3))
+            .unwrap();
+        let reverse = service.wait(b).unwrap();
+        assert_eq!(forward, reverse, "guide order never changes a screen");
+        let report = service.metrics();
+        assert_eq!(
+            report.results.misses, 1,
+            "shuffled orders canonicalize to one digest: {report}"
+        );
+        assert_eq!(report.results.hits + report.results.merges, 1, "{report}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn tiny_candidate_caches_evict_but_never_change_results() {
+        let mut config = small_config();
+        // A handful of loci's worth of budget: every sweep evicts.
+        config.candidate_cache_bytes = 64;
+        config.result_cache_bytes = 0;
+        let service = Service::start(config, vec![toy_assembly()]);
+        let assembly = toy_assembly();
+        let guides: Vec<Vec<u8>> = distinct_specs(8).into_iter().map(|s| s.guide).collect();
+        let spec = JobSpec::library("toy", b"NNNNNNNNNRG".to_vec(), guides.clone(), 3);
+        let expect = union_oracle(&assembly, &guides, 3);
+        for _ in 0..2 {
+            let got = service.wait(service.submit(spec.clone()).unwrap()).unwrap();
+            assert_eq!(got, expect, "evictions must never leak into results");
+        }
+        let report = service.metrics();
+        assert!(
+            report.candidates.evictions > 0,
+            "64 bytes cannot hold every chunk's list: {report}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn malformed_library_specs_are_rejected() {
+        let service = Service::start(small_config(), vec![toy_assembly()]);
+        let empty = JobSpec::library("toy", b"NNNRG".to_vec(), Vec::new(), 3);
+        assert!(matches!(service.submit(empty), Err(SubmitError::BadJob(_))));
+        let skewed = JobSpec::library("toy", b"NNNRG".to_vec(), vec![b"ACG".to_vec()], 3);
+        assert!(matches!(service.submit(skewed), Err(SubmitError::BadJob(_))));
+        let mut both = JobSpec::library("toy", b"NNNRG".to_vec(), vec![b"ACGTG".to_vec()], 3);
+        both.bulge = Some(BulgeLimits {
+            max_dna: 1,
+            max_rna: 1,
+        });
+        assert!(matches!(service.submit(both), Err(SubmitError::BadJob(_))));
+        service.shutdown();
     }
 
     #[test]

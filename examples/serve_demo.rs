@@ -152,6 +152,10 @@ fn config_with(encoding: ChunkEncoding, placement: Placement, chunk_size: usize)
     // The earlier generations also predate kernel specialization; the
     // dedicated specialized-vs-generic comparison below flips this on.
     config.specialize = false;
+    // And they predate the library fast path; the dedicated library pass
+    // below flips both layers on.
+    config.multi_guide = false;
+    config.candidate_cache_bytes = 0;
     config
 }
 
@@ -752,6 +756,142 @@ fn sharding_run(serial_config: &PipelineConfig) -> ShardingOutcome {
     }
 }
 
+/// Guides per library screen — production pooled-library scale.
+const LIBRARY_GUIDES: usize = 2000;
+/// Genome scale for the library pass: ~4.7k bases per chromosome keeps the
+/// 125-sweep screen tractable while the assembly still spans a couple
+/// dozen chunks for the candidate cache to manage.
+const LIBRARY_SCALE: f64 = 0.005;
+/// Guide-block-sized groups: each coalesced batch carries exactly one
+/// fused comparer launch, so the launch ratio lands at 1/16.
+const LIBRARY_MAX_BATCH: usize = 16;
+
+/// What the library pass hands back for the summary, JSON, and gates.
+struct LibraryOutcome {
+    report: MetricsReport,
+    sites: usize,
+    baseline_makespan_s: f64,
+    warm_makespan_s: f64,
+    screen_speedup: f64,
+}
+
+/// This PR's tentpole: a pooled-library screen — one PAM pattern,
+/// [`LIBRARY_GUIDES`] guides — as a single [`JobSpec::library`] job. The
+/// baseline service predates the fast path (no fused comparers, no
+/// candidate cache): every guide block pays one comparer launch per guide
+/// and every sweep re-runs the finder. The fast service screens the same
+/// library with fused multi-guide launches, then screens it *again*
+/// post-warmup, where the content-addressed candidate cache holds every
+/// chunk's finder output and the dispatch prices every sweep with its
+/// finder skipped. Both screens' unions must be byte-identical to the
+/// baseline's, and the speedup is measured warm-screen vs baseline on
+/// simulated device time.
+fn library_run() -> LibraryOutcome {
+    let assembly = genome::synth::hg38_mini(LIBRARY_SCALE);
+    let mut rng = Xoshiro256::seed_from_u64(0x11B2);
+    let guides: Vec<Vec<u8>> = (0..LIBRARY_GUIDES)
+        .map(|_| {
+            let mut g: Vec<u8> = (0..8).map(|_| *rng.choose(b"ACGT").unwrap()).collect();
+            g.extend_from_slice(b"NNN");
+            g
+        })
+        .collect();
+    let spec = JobSpec::library("hg38-mini", b"NNNNNNNNNRG".to_vec(), guides, 3);
+
+    let mut config = config_with(ChunkEncoding::Packed, Placement::EarliestCompletion, CHUNK_SIZE);
+    config.max_batch = LIBRARY_MAX_BATCH;
+    // One screen costs total_len x guides admission units; let it queue.
+    config.queue_cost_limit = 1 << 31;
+    // The pass measures simulated device seconds; pacing would only
+    // stretch the wall clock of the ~3000-batch screens.
+    config.pacing = 0.0;
+    // Repeat screens must recompute: the point is the candidate cache and
+    // fused launches, not result-store dedup (that path is measured by the
+    // affinity replay above).
+    config.result_cache_bytes = 0;
+    // The baseline predates the fast path; the fast service gets both
+    // layers at the paper-pool budget.
+    let base_config = config.clone();
+    config.multi_guide = true;
+    config.candidate_cache_bytes = 1 << 20;
+
+    // Baseline: the pre-fast-path service screens the library with
+    // per-guide comparer launches and a finder sweep per batch. Its union
+    // — per-guide compute on the path the earlier passes verified against
+    // the serial pipeline — is the oracle for the fast screens.
+    let baseline_service = Arc::new(Service::start(base_config, vec![assembly.clone()]));
+    let oracle = baseline_service
+        .wait(baseline_service.submit(spec.clone()).expect("screen admits"))
+        .expect("screen completes");
+    assert!(!oracle.is_empty(), "the screen must find sites");
+    let baseline = baseline_service.metrics();
+    let baseline_makespan_s = makespan_s(&baseline);
+    match Arc::try_unwrap(baseline_service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => unreachable!("no outstanding handles"),
+    }
+    println!(
+        "[library baseline] {LIBRARY_GUIDES} guides, {} sites; {} finder / {} comparer \
+         launches, makespan {baseline_makespan_s:.6} s",
+        oracle.len(),
+        baseline.finder_launches,
+        baseline.comparer_launches,
+    );
+
+    // Fast path, cold: the first screen leads every (chunk, pattern)
+    // candidate list into the cache while its guide blocks already ride
+    // fused launches.
+    let service = Arc::new(Service::start(config, vec![assembly]));
+    let warmup = service
+        .wait(service.submit(spec.clone()).expect("screen admits"))
+        .expect("screen completes");
+    assert_eq!(warmup, oracle, "fused launches must not change the union");
+    let warmed = service.metrics();
+    println!(
+        "[library cold]     same screen fused: {} comparer launches ({} fused), \
+         {} candidate lists published",
+        warmed.comparer_launches, warmed.fused_launches, warmed.candidates.inserts,
+    );
+
+    // Fast path, warm: every sweep finds its candidate list published, so
+    // dispatch prices the finder at zero and the workers replay the lists.
+    let measured = service
+        .wait(service.submit(spec).expect("screen admits"))
+        .expect("screen completes");
+    assert_eq!(measured, oracle, "cached candidates must not change the union");
+    let report = service.metrics();
+    let warm_makespan_s = report
+        .devices
+        .iter()
+        .zip(&warmed.devices)
+        .map(|(a, b)| a.busy_s - b.busy_s)
+        .fold(0.0, f64::max);
+    let screen_speedup = baseline_makespan_s / warm_makespan_s;
+    println!(
+        "[library warm]     {} finder launches skipped, {:.1}% candidate hit rate, \
+         {:.3} comparer launches per job-chunk, makespan {warm_makespan_s:.6} s \
+         ({screen_speedup:.2}x the baseline screen)\n",
+        report.finder_launches_skipped,
+        100.0 * report.candidate_hit_rate(),
+        report.comparer_launch_ratio(),
+    );
+    print!("{report}");
+    println!();
+
+    let sites = measured.len();
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => unreachable!("no outstanding handles"),
+    }
+    LibraryOutcome {
+        report,
+        sites,
+        baseline_makespan_s,
+        warm_makespan_s,
+        screen_speedup,
+    }
+}
+
 /// Simulated makespan: the busiest device bounds the pool's throughput.
 fn makespan_s(report: &MetricsReport) -> f64 {
     report
@@ -917,6 +1057,13 @@ fn main() {
     // the plan predicted before dispatch.
     println!("planned placement (range partition + one-pass warmup):");
     let sharding = sharding_run(&serial_config);
+
+    // This PR's tentpole: the library-screen fast path — one PAM,
+    // LIBRARY_GUIDES guides as a single screen job, fused multi-guide
+    // comparer launches, and a content-addressed candidate cache that
+    // lets repeat sweeps skip the finder entirely.
+    println!("library screens ({LIBRARY_GUIDES} guides, fused comparers + candidate cache):");
+    let library = library_run();
 
     let packed_jobs_per_s = jobs as f64 / makespan_s(&packed);
     let raw_jobs_per_s = jobs as f64 / makespan_s(&raw);
@@ -1124,6 +1271,52 @@ fn main() {
         sharding.migrated_out,
     );
 
+    println!("library screen summary:");
+    println!(
+        "  screen:             {LIBRARY_GUIDES} guides, one PAM, {} union sites",
+        library.sites
+    );
+    println!(
+        "  fused launches:     {:.3} comparer launches per job-chunk \
+         ({} fused of {} total)",
+        library.report.comparer_launch_ratio(),
+        library.report.fused_launches,
+        library.report.comparer_launches,
+    );
+    println!(
+        "  candidate cache:    {:.1}% hit rate, {} finder launches skipped, \
+         {} lists / {} B resident",
+        100.0 * library.report.candidate_hit_rate(),
+        library.report.finder_launches_skipped,
+        library.report.candidates.len,
+        library.report.candidates.resident_bytes,
+    );
+    println!(
+        "  makespan:           baseline {:.6} s, warm screen {:.6} s \
+         ({:.2}x speedup)",
+        library.baseline_makespan_s, library.warm_makespan_s, library.screen_speedup,
+    );
+
+    let library_json = format!(
+        concat!(
+            "{{ \"guides\": {}, \"sites\": {}, \"screen_speedup\": {:.4}, ",
+            "\"baseline_makespan_s\": {:.6}, \"warm_makespan_s\": {:.6}, ",
+            "\"candidate_hit_rate\": {:.4}, \"finder_launches_skipped\": {}, ",
+            "\"comparer_launch_ratio\": {:.4}, \"fused_launches\": {}, ",
+            "\"candidate_evictions\": {} }}"
+        ),
+        LIBRARY_GUIDES,
+        library.sites,
+        library.screen_speedup,
+        library.baseline_makespan_s,
+        library.warm_makespan_s,
+        library.report.candidate_hit_rate(),
+        library.report.finder_launches_skipped,
+        library.report.comparer_launch_ratio(),
+        library.report.fused_launches,
+        library.report.candidates.evictions,
+    );
+
     let tenant_json: String = qos
         .tenants
         .iter()
@@ -1247,6 +1440,7 @@ fn main() {
             "    ] }},\n",
             "  \"qos\": {},\n",
             "  \"sharding\": {},\n",
+            "  \"library\": {},\n",
             "  \"transfer_reduction_per_batch\": {:.3},\n",
             "  \"affinity_transfer_reduction_per_batch\": {:.3},\n",
             "  \"jobs_per_s_improvement\": {:.3}\n",
@@ -1299,6 +1493,7 @@ fn main() {
         variant_json,
         qos_json,
         sharding_json,
+        library_json,
         transfer_reduction,
         affinity_transfer_reduction,
         packed_jobs_per_s / raw_jobs_per_s,
@@ -1416,5 +1611,27 @@ fn main() {
          got {} of {}",
         sharding.migrated_out,
         sharding.chunks
+    );
+    assert!(
+        library.screen_speedup >= 1.5,
+        "the warm library screen must run at least 1.5x the per-guide \
+         baseline, got {:.2}x",
+        library.screen_speedup
+    );
+    assert!(
+        library.report.candidate_hit_rate() >= 0.9,
+        "post-warmup, nearly every sweep must find its candidate list \
+         cached, got {:.1}%",
+        100.0 * library.report.candidate_hit_rate()
+    );
+    assert!(
+        library.report.comparer_launch_ratio() <= 0.1,
+        "fused launches must cover at least 10 guides per comparer launch, \
+         got {:.3} launches per job-chunk",
+        library.report.comparer_launch_ratio()
+    );
+    assert!(
+        library.report.finder_launches_skipped > 0 && library.report.fused_launches > 0,
+        "the fast path must actually skip finders and fuse comparers"
     );
 }

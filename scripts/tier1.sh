@@ -64,8 +64,26 @@ awk -v r="${shard_hits:-0}" 'BEGIN { exit !(r >= 0.95) }' \
 plan_err=$(sed -n 's/.*"plan_prediction_error": \([0-9.]*\).*/\1/p' BENCH_serve.json)
 awk -v e="${plan_err:-1}" 'BEGIN { exit !(e <= 0.10) }' \
   || { echo "sharding plan prediction error is ${plan_err:-absent}; expected <= 0.10"; exit 1; }
+# The warm library screen — cached candidate lists plus fused multi-guide
+# comparer launches — must beat the per-guide baseline screen outright.
+screen_speedup=$(sed -n 's/.*"screen_speedup": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v s="${screen_speedup:-0}" 'BEGIN { exit !(s >= 1.5) }' \
+  || { echo "library screen speedup is ${screen_speedup:-absent}; expected >= 1.5"; exit 1; }
+# Post-warmup essentially every sweep must find its (chunk, pattern)
+# candidate list already published.
+cand_hits=$(sed -n 's/.*"candidate_hit_rate": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v r="${cand_hits:-0}" 'BEGIN { exit !(r >= 0.9) }' \
+  || { echo "library candidate hit rate is ${cand_hits:-absent}; expected >= 0.9"; exit 1; }
+# Fused launches must cover whole guide blocks: at most one comparer
+# launch per ten coalesced jobs, against one-per-guide unfused.
+launch_ratio=$(sed -n 's/.*"comparer_launch_ratio": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v r="${launch_ratio:-1}" 'BEGIN { exit !(r <= 0.1) }' \
+  || { echo "library comparer launch ratio is ${launch_ratio:-absent}; expected <= 0.1"; exit 1; }
 
 echo "== bench: specialized vs generic comparers =="
 cargo bench -q -p casoff-bench --bench serve_specialize
+
+echo "== bench: library screens, fused vs per-guide =="
+cargo bench -q -p casoff-bench --bench serve_library
 
 echo "== tier-1 OK =="
