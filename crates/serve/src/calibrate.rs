@@ -28,6 +28,15 @@
 //! population, not all positions), and realistic mismatch thresholds (so
 //! result readbacks are as rare as in production). The result is memoized
 //! for the process lifetime, so the cost is paid once per device model.
+//!
+//! That memoization is load-bearing for [autoscaling](crate::autoscale):
+//! the controller prices hypothetical fleets — "would adding the MI100
+//! bring predicted queue delay under the SLO?" — from the per-device
+//! admission rates derived here, and re-activating a drained device must
+//! not stall admissions behind a fresh probe. Because every device model
+//! in the pool is calibrated once at [`Service::start`](crate::Service),
+//! scale-up decisions and post-scale replans read cached rates and take
+//! effect within one controller window.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};

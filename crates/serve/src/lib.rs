@@ -49,6 +49,16 @@
 //! effectiveness, per-device utilization, and per-tenant QoS (goodput,
 //! shed rate, deadline misses, latency percentiles).
 //!
+//! For load testing and capacity work, [trace] generates seeded,
+//! replayable open-loop traffic (bursty / diurnal / tenant-shift /
+//! hot-spot phases; the same [`TraceSpec`] always submits byte-identical
+//! job sequences), [metrics] keeps a ring of time-bucketed latency
+//! windows (p50/p95/p99 and queue-depth timelines via
+//! [`Service::latency_windows`]), and [autoscale] scales the device pool
+//! against a predicted-queue-delay SLO — drain-before-retire on the way
+//! down, minimal-migration shard replans both ways — so the fleet
+//! follows load instead of being sized for the peak.
+//!
 //! ```
 //! use casoff_serve::{JobSpec, Service, ServiceConfig};
 //!
@@ -71,6 +81,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod batcher;
 pub mod cache;
 mod calibrate;
@@ -84,15 +95,23 @@ mod scheduler;
 pub mod service;
 pub mod shard;
 pub mod tenant;
+pub mod trace;
 
+pub use autoscale::{
+    AutoscaleConfig, AutoscaleReport, Autoscaler, Controller, Decision, ScaleDirection,
+    ScaleEvent, WindowObservation,
+};
 pub use cache::{CacheStats, ChunkEncoding, GenomeCache, NIBBLE_DENSITY_THRESHOLD};
 pub use candidates::{CandidateCache, CandidateKey, CandidateLookup, CandidateStats};
 pub use frontend::{Poll, Ticket, WaitError};
 pub use job::{Job, JobId, JobSpec, Priority};
-pub use metrics::{DeviceReport, MetricsReport, TenantReport, VariantReport};
+pub use metrics::{
+    DeviceReport, LatencyWindows, MetricsReport, TenantReport, VariantReport, WindowReport,
+};
 pub use results::ResultCacheStats;
 pub use queue::{FairJobQueue, QueueError};
 pub use scheduler::Placement;
 pub use service::{DeviceSlot, Service, ServiceConfig, SubmitError};
 pub use shard::ShardPlan;
 pub use tenant::{TenantConfig, TenantId};
+pub use trace::{ArrivalShape, HotSpot, PhaseSpec, TraceEvent, TraceSpec};

@@ -285,6 +285,9 @@ pub struct MetricsReport {
     pub prefetch_uploads: u64,
     /// Chunks reassigned by fleet-change plan recomputations.
     pub migrated_chunks: u64,
+    /// Jobs sitting in the admission queue at snapshot time — the live
+    /// gauge autoscaling decisions read, distinct from the high water.
+    pub queue_depth: usize,
     /// Deepest the admission queue has been.
     pub queue_depth_high_water: usize,
     /// Kernel-variant cache accounting (all zeros when specialization is
@@ -527,7 +530,11 @@ impl std::fmt::Display for MetricsReport {
             "scheduler: {:.1}% mean |predicted - measured| service time",
             100.0 * self.mean_prediction_error()
         )?;
-        writeln!(f, "queue depth high-water: {}", self.queue_depth_high_water)?;
+        writeln!(
+            f,
+            "queue depth: {} (high-water {})",
+            self.queue_depth, self.queue_depth_high_water
+        )?;
         for d in &self.devices {
             writeln!(
                 f,
@@ -555,6 +562,8 @@ pub(crate) fn busy_ns_from_s(seconds: f64) -> u64 {
 /// Point-in-time state read off the fair queue and tenant ledger when a
 /// report is assembled.
 pub(crate) struct QueueView {
+    /// Jobs queued at snapshot time.
+    pub depth: usize,
     /// High-water mark of queued jobs.
     pub depth_high_water: usize,
     /// Sheds attributed to a tenant exceeding its derived quota.
@@ -609,6 +618,7 @@ pub(crate) fn load_report(
         spill_fallbacks: plan.spill_fallbacks,
         prefetch_uploads: metrics.prefetch_uploads.load(Ordering::Relaxed),
         migrated_chunks: metrics.migrated_chunks.load(Ordering::Relaxed),
+        queue_depth: queue.depth,
         queue_depth_high_water: queue.depth_high_water,
         variants,
         cache,
@@ -642,6 +652,188 @@ pub(crate) fn load_report(
                 },
             })
             .collect(),
+    }
+}
+
+/// One closed (or still-filling) time bucket of the windowed latency
+/// ring, summarized: admission outcomes, the deepest the queue got,
+/// and completion-latency percentiles over the window's samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowReport {
+    /// Window ordinal: `floor(now / window)` since the service started.
+    /// Gaps mean nothing happened for a whole window.
+    pub index: u64,
+    /// Jobs admitted during the window (including cache hits/merges).
+    pub admitted: u64,
+    /// Jobs shed during the window.
+    pub shed: u64,
+    /// Jobs whose results were published during the window.
+    pub completed: u64,
+    /// Deepest the admission queue was observed during the window.
+    pub queue_depth_max: usize,
+    /// Median completion latency over the window, nanoseconds.
+    pub latency_p50_ns: u64,
+    /// 95th-percentile completion latency, nanoseconds.
+    pub latency_p95_ns: u64,
+    /// 99th-percentile completion latency, nanoseconds.
+    pub latency_p99_ns: u64,
+}
+
+/// A still-open bucket: raw samples, summarized on snapshot.
+struct WindowData {
+    index: u64,
+    admitted: u64,
+    shed: u64,
+    completed: u64,
+    depth_max: usize,
+    latencies_ns: Vec<u64>,
+}
+
+impl WindowData {
+    fn new(index: u64) -> Self {
+        WindowData {
+            index,
+            admitted: 0,
+            shed: 0,
+            completed: 0,
+            depth_max: 0,
+            latencies_ns: Vec::new(),
+        }
+    }
+}
+
+/// Ring of time-bucketed latency/queue-depth windows. Every note call
+/// carries its own `now_ns` (nanoseconds since the service started) so
+/// the ring itself never reads a clock — which keeps it trivially
+/// testable and means replayed timestamps bucket identically. Buckets
+/// roll over when a note lands past the newest bucket's window; the
+/// ring keeps the most recent `cap` buckets and drops the oldest.
+///
+/// Latencies are kept as raw samples per bucket and summarized to
+/// nearest-rank percentiles at snapshot time: serving windows hold at
+/// most a few thousand completions, so exact quantiles cost less than
+/// maintaining mergeable sketches and never mis-rank a tail.
+pub struct LatencyWindows {
+    window_ns: u64,
+    cap: usize,
+    inner: std::sync::Mutex<std::collections::VecDeque<WindowData>>,
+}
+
+impl LatencyWindows {
+    /// A ring bucketing by `window` and retaining `cap` buckets.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero or `cap` is zero.
+    pub fn new(window: std::time::Duration, cap: usize) -> Self {
+        let window_ns = u64::try_from(window.as_nanos()).unwrap_or(u64::MAX);
+        assert!(window_ns > 0, "window must be non-zero");
+        assert!(cap > 0, "ring must hold at least one window");
+        LatencyWindows {
+            window_ns,
+            cap,
+            inner: std::sync::Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// The configured bucket width.
+    pub fn window(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.window_ns)
+    }
+
+    fn with_bucket<R>(&self, now_ns: u64, f: impl FnOnce(&mut WindowData) -> R) -> R {
+        let index = now_ns / self.window_ns;
+        let mut ring = self.inner.lock().unwrap();
+        // Notes arrive slightly out of order (submitters and workers
+        // race to the clock); anything older than the newest bucket is
+        // folded into the newest rather than resurrecting a closed one.
+        let needs_push = match ring.back() {
+            Some(back) => index > back.index,
+            None => true,
+        };
+        if needs_push {
+            ring.push_back(WindowData::new(index));
+            while ring.len() > self.cap {
+                ring.pop_front();
+            }
+        }
+        f(ring.back_mut().expect("ring is non-empty after push"))
+    }
+
+    /// Count an admission at `now_ns`.
+    pub fn note_admitted(&self, now_ns: u64) {
+        self.with_bucket(now_ns, |w| w.admitted += 1);
+    }
+
+    /// Count a shed at `now_ns`.
+    pub fn note_shed(&self, now_ns: u64) {
+        self.with_bucket(now_ns, |w| w.shed += 1);
+    }
+
+    /// Record an observed queue depth at `now_ns`.
+    pub fn note_depth(&self, now_ns: u64, depth: usize) {
+        self.with_bucket(now_ns, |w| w.depth_max = w.depth_max.max(depth));
+    }
+
+    /// Record a completion at `now_ns` with its end-to-end latency.
+    pub fn note_completion(&self, now_ns: u64, latency_ns: u64) {
+        self.with_bucket(now_ns, |w| {
+            w.completed += 1;
+            w.latencies_ns.push(latency_ns);
+        });
+    }
+
+    /// Snapshot every retained window, oldest first.
+    pub fn reports(&self) -> Vec<WindowReport> {
+        let ring = self.inner.lock().unwrap();
+        ring.iter()
+            .map(|w| {
+                let mut sorted = w.latencies_ns.clone();
+                sorted.sort_unstable();
+                WindowReport {
+                    index: w.index,
+                    admitted: w.admitted,
+                    shed: w.shed,
+                    completed: w.completed,
+                    queue_depth_max: w.depth_max,
+                    latency_p50_ns: crate::tenant::quantile(&sorted, 0.50),
+                    latency_p95_ns: crate::tenant::quantile(&sorted, 0.95),
+                    latency_p99_ns: crate::tenant::quantile(&sorted, 0.99),
+                }
+            })
+            .collect()
+    }
+
+    /// Nearest-rank quantile over every retained completion latency.
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        let ring = self.inner.lock().unwrap();
+        let mut all: Vec<u64> = ring.iter().flat_map(|w| w.latencies_ns.iter().copied()).collect();
+        all.sort_unstable();
+        crate::tenant::quantile(&all, q)
+    }
+
+    /// Fraction of retained completions that finished slower than
+    /// `slo_ns` (0 when no completions have been recorded).
+    pub fn violation_rate(&self, slo_ns: u64) -> f64 {
+        let ring = self.inner.lock().unwrap();
+        let (mut total, mut late) = (0u64, 0u64);
+        for w in ring.iter() {
+            for &l in &w.latencies_ns {
+                total += 1;
+                if l > slo_ns {
+                    late += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            late as f64 / total as f64
+        }
+    }
+
+    /// Total completions retained across the ring.
+    pub fn completions(&self) -> u64 {
+        self.inner.lock().unwrap().iter().map(|w| w.completed).sum()
     }
 }
 
@@ -837,6 +1029,7 @@ mod tests {
         tenants: Vec<TenantReport>,
     ) -> QueueView {
         QueueView {
+            depth: 0,
             depth_high_water,
             sheds_quota: sheds.0,
             sheds_budget: sheds.1,
@@ -904,5 +1097,72 @@ mod tests {
             "got {}",
             skewed.fairness_max_deviation()
         );
+    }
+
+    #[test]
+    fn windows_roll_over_and_bucket_by_timestamp() {
+        let w = LatencyWindows::new(std::time::Duration::from_millis(10), 8);
+        let ms = |n: u64| n * 1_000_000;
+        w.note_admitted(ms(1));
+        w.note_admitted(ms(4));
+        w.note_depth(ms(5), 3);
+        w.note_shed(ms(7));
+        // Crosses into window 1; window 3 is skipped entirely.
+        w.note_admitted(ms(12));
+        w.note_completion(ms(15), ms(11));
+        w.note_depth(ms(16), 9);
+        w.note_completion(ms(41), ms(2));
+        let reports = w.reports();
+        assert_eq!(
+            reports.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 1, 4],
+            "one bucket per touched window, gaps preserved"
+        );
+        assert_eq!(reports[0].admitted, 2);
+        assert_eq!(reports[0].shed, 1);
+        assert_eq!(reports[0].queue_depth_max, 3);
+        assert_eq!(reports[0].completed, 0);
+        assert_eq!(reports[1].admitted, 1);
+        assert_eq!(reports[1].completed, 1);
+        assert_eq!(reports[1].queue_depth_max, 9);
+        assert_eq!(reports[1].latency_p99_ns, ms(11));
+        assert_eq!(reports[2].completed, 1);
+    }
+
+    #[test]
+    fn window_ring_drops_oldest_past_cap() {
+        let w = LatencyWindows::new(std::time::Duration::from_millis(1), 2);
+        w.note_admitted(0);
+        w.note_admitted(1_000_000);
+        w.note_admitted(2_000_000);
+        let reports = w.reports();
+        assert_eq!(reports.len(), 2, "cap evicts the oldest bucket");
+        assert_eq!(reports[0].index, 1);
+        assert_eq!(reports[1].index, 2);
+    }
+
+    #[test]
+    fn late_notes_fold_into_newest_window() {
+        let w = LatencyWindows::new(std::time::Duration::from_millis(1), 4);
+        w.note_admitted(5_000_000);
+        // A straggler stamped before the open window must not resurrect
+        // a closed bucket.
+        w.note_admitted(3_000_000);
+        let reports = w.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].admitted, 2);
+    }
+
+    #[test]
+    fn aggregate_quantiles_and_violations_span_the_ring() {
+        let w = LatencyWindows::new(std::time::Duration::from_millis(1), 16);
+        for (i, lat) in [10u64, 20, 30, 40].into_iter().enumerate() {
+            w.note_completion(i as u64 * 1_000_000, lat);
+        }
+        assert_eq!(w.completions(), 4);
+        assert_eq!(w.latency_quantile_ns(0.5), 20);
+        assert_eq!(w.latency_quantile_ns(0.99), 40);
+        assert!((w.violation_rate(25) - 0.5).abs() < 1e-12);
+        assert_eq!(w.violation_rate(100), 0.0);
     }
 }

@@ -313,6 +313,12 @@ impl FairJobQueue {
         (state.sheds_quota, state.sheds_budget)
     }
 
+    /// Jobs queued right now (admitted, not yet popped) — the live
+    /// gauge the autoscaler samples, vs the cumulative high water.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().depth
+    }
+
     /// Deepest (in jobs) the queue has ever been.
     pub fn depth_high_water(&self) -> usize {
         self.state.lock().unwrap().depth_high_water

@@ -621,6 +621,21 @@ impl DevicePool {
         self.inner.lock().unwrap().active.clone()
     }
 
+    /// Batches queued per device right now — the autoscaler's windowed
+    /// queue-depth signal, read in one lock pass so the vector is a
+    /// consistent instant across devices.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.inner.lock().unwrap().queues.iter().map(|q| q.len()).collect()
+    }
+
+    /// Predicted seconds of work pending per device (queued batches
+    /// priced under each device's bias-corrected model). A retiring
+    /// device's entry drains to zero as its queue empties — the signal
+    /// drain-before-retire waits on.
+    pub fn pending_snapshot(&self) -> Vec<f64> {
+        self.inner.lock().unwrap().pending_s.clone()
+    }
+
     /// Queue `batch` on `device`, priced under that device's model and
     /// current residency prediction, and wake the workers. Consumes the
     /// guard: the lock drops before the notify. `assume_resident` prices

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cas_offinder::bulge::enumerate_variants;
 use cas_offinder::kernels::specialize::global_cache;
@@ -35,7 +35,10 @@ use crate::cache::{ChunkEncoding, ChunkKey, ChunkPayload, EncodedChunk, GenomeCa
 use crate::candidates::{CandidateCache, CandidateKey, CandidateLookup};
 use crate::frontend::{Completion, CompletionHub, JobEntry, Poll, Ticket, WaitError};
 use crate::job::{Job, JobId, JobSpec};
-use crate::metrics::{busy_ns_from_s, load_report, MetricsReport, ServeMetrics, VariantReport};
+use crate::metrics::{
+    busy_ns_from_s, load_report, LatencyWindows, MetricsReport, ServeMetrics, VariantReport,
+    WindowReport,
+};
 use crate::queue::{FairJobQueue, QueueError};
 use crate::results::{Admission, CanonicalSpec, ResultStore};
 use crate::scheduler::{
@@ -120,6 +123,11 @@ pub struct ServiceConfig {
     /// byte-identical to per-guide launches; the scheduler prices fused
     /// batches through the separately calibrated multi-guide rates.
     pub multi_guide: bool,
+    /// Bucket width of the windowed latency/queue-depth ring
+    /// ([`Service::latency_windows`]) — the cadence tail percentiles and
+    /// admitted/shed counts are reported at, and the natural sampling
+    /// period for an autoscaling controller watching them.
+    pub metrics_window: Duration,
 }
 
 impl ServiceConfig {
@@ -159,6 +167,7 @@ impl ServiceConfig {
             tenants: Vec::new(),
             candidate_cache_bytes: 1 << 20,
             multi_guide: true,
+            metrics_window: Duration::from_millis(250),
         }
     }
 }
@@ -239,9 +248,56 @@ struct Shared {
     /// Pool-wide sustained throughput in cost units per simulated second;
     /// what deadline admission divides queued cost by.
     admission_rate: f64,
+    /// Per-device sustained throughput in cost units per simulated
+    /// second — [`Shared::admission_rate`]'s addends, kept apart so
+    /// predictions can re-sum over whichever devices are active when the
+    /// fleet scales.
+    device_rates: Vec<f64>,
+    /// When the service started; every windowed-metrics timestamp is
+    /// nanoseconds since this instant.
+    started: Instant,
+    /// Time-bucketed latency/queue-depth ring behind
+    /// [`Service::latency_windows`].
+    windows: LatencyWindows,
 }
 
 impl Shared {
+    /// Nanoseconds since the service started — the windowed ring's clock.
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Pool throughput summed over the devices currently in the fleet —
+    /// what predicted queue delay divides in-flight cost by. Falls back
+    /// to the full-fleet rate if a racing scale event momentarily shows
+    /// no active device.
+    fn active_admission_rate(&self) -> f64 {
+        let active = self.pool.active_snapshot();
+        let rate: f64 = self
+            .device_rates
+            .iter()
+            .zip(&active)
+            .filter(|&(_, &a)| a)
+            .map(|(r, _)| r)
+            .sum();
+        if rate > 0.0 {
+            rate
+        } else {
+            self.admission_rate
+        }
+    }
+
+    /// Simulated seconds mapped to wall clock through the pacing factor
+    /// (without pacing the simulated devices complete at host speed, so
+    /// simulated seconds are the honest unit either way).
+    fn sim_to_wall(&self, sim_s: f64) -> f64 {
+        if self.config.pacing > 0.0 {
+            sim_s * self.config.pacing
+        } else {
+            sim_s
+        }
+    }
+
     /// Mark `entry` done and count the completion. Must be called with the
     /// hub's jobs lock held: a waiter can collect the records the moment
     /// the lock drops, so the completed-jobs counter has to be current by
@@ -261,6 +317,7 @@ impl Shared {
         if completions.is_empty() {
             return;
         }
+        let now_ns = self.now_ns();
         for c in completions {
             if c.charged {
                 self.queue.job_finished(c.tenant, c.cost);
@@ -268,6 +325,8 @@ impl Shared {
             if c.deadline_missed {
                 self.metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
             }
+            self.windows
+                .note_completion(now_ns, u64::try_from(c.latency.as_nanos()).unwrap_or(u64::MAX));
             self.ledger.completed(c.tenant, c.cost, c.latency, c.deadline_missed);
             if let Some(callback) = c.callback {
                 callback(c.id);
@@ -336,10 +395,11 @@ impl Service {
         // Pool-wide sustained throughput at this chunk size, for deadline
         // admission. Summed over devices: the pool really does serve
         // batches concurrently across all of them.
-        let admission_rate: f64 = models
+        let device_rates: Vec<f64> = models
             .iter()
             .map(|m| m.admission_units_per_s(config.chunk_size))
-            .sum();
+            .collect();
+        let admission_rate: f64 = device_rates.iter().sum();
         let candidates = (config.candidate_cache_bytes > 0)
             .then(|| Arc::new(CandidateCache::new(config.candidate_cache_bytes)));
         let mut pool = DevicePool::new(models.clone(), config.placement, config.resident_chunks)
@@ -364,6 +424,11 @@ impl Service {
             ledger: TenantLedger::default(),
             tenant_table: TenantTable::resolve(&config.tenants, config.queue_cost_limit),
             admission_rate,
+            device_rates,
+            started: Instant::now(),
+            // 4096 windows at the default 250ms cover a 17-minute run —
+            // far past any harness — in a few hundred KB worst case.
+            windows: LatencyWindows::new(config.metrics_window, 4096),
             config,
         });
         // Planned placement partitions every registered assembly's chunk
@@ -501,6 +566,7 @@ impl Service {
                     .jobs_admitted
                     .fetch_add(1, Ordering::Relaxed);
                 self.shared.ledger.admitted(tenant);
+                self.shared.windows.note_admitted(self.shared.now_ns());
                 let completion = {
                     let mut jobs = self.shared.hub.jobs.lock().unwrap();
                     let entry = jobs.get_mut(&id).expect("entry inserted above");
@@ -527,6 +593,7 @@ impl Service {
                     .jobs_admitted
                     .fetch_add(1, Ordering::Relaxed);
                 self.shared.ledger.admitted(tenant);
+                self.shared.windows.note_admitted(self.shared.now_ns());
                 Ok(ticket)
             }
             Ok(Admission::Admitted) => {
@@ -535,6 +602,10 @@ impl Service {
                     .jobs_admitted
                     .fetch_add(1, Ordering::Relaxed);
                 self.shared.ledger.admitted(tenant);
+                let now_ns = self.shared.now_ns();
+                self.shared.windows.note_admitted(now_ns);
+                // Only genuinely enqueued jobs move the depth gauge.
+                self.shared.windows.note_depth(now_ns, self.shared.queue.depth());
                 Ok(ticket)
             }
             Err(err) => {
@@ -543,6 +614,7 @@ impl Service {
                     QueueError::Shed { retry_after_cost } => {
                         self.shared.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
                         self.shared.ledger.shed(tenant);
+                        self.shared.windows.note_shed(self.shared.now_ns());
                         Err(SubmitError::Shed { retry_after_cost })
                     }
                     QueueError::Closed => Err(SubmitError::ShuttingDown),
@@ -552,19 +624,26 @@ impl Service {
     }
 
     /// Predicted completion latency of a `cost`-unit job admitted now:
-    /// everything in flight plus the job itself, drained at the pool's
-    /// calibrated aggregate rate, mapped to wall clock through the pacing
-    /// factor (without pacing the simulated devices complete at host
-    /// speed, so simulated seconds are the honest unit either way).
+    /// everything in flight plus the job itself, drained at the
+    /// calibrated aggregate rate of the *currently active* devices (a
+    /// scaled-down pool honestly predicts longer waits), mapped to wall
+    /// clock through the pacing factor.
     fn predicted_completion(&self, cost: u64) -> Duration {
         let pending = self.shared.queue.inflight_cost().saturating_add(cost);
-        let sim_s = pending as f64 / self.shared.admission_rate.max(1e-12);
-        let wall_s = if self.shared.config.pacing > 0.0 {
-            sim_s * self.shared.config.pacing
-        } else {
-            sim_s
-        };
-        Duration::from_secs_f64(wall_s.min(1e9))
+        let sim_s = pending as f64 / self.shared.active_admission_rate().max(1e-12);
+        Duration::from_secs_f64(self.shared.sim_to_wall(sim_s).min(1e9))
+    }
+
+    /// Predicted queue delay if a zero-cost probe were admitted now: the
+    /// in-flight backlog drained at the active fleet's calibrated rate.
+    /// This is the signal the autoscaling controller windows into a
+    /// predicted p99 and compares against its SLO — it moves *before*
+    /// completion latencies do, which is what makes scale-up reactive
+    /// rather than post-hoc.
+    pub fn predicted_queue_delay(&self) -> Duration {
+        let sim_s =
+            self.shared.queue.inflight_cost() as f64 / self.shared.active_admission_rate().max(1e-12);
+        Duration::from_secs_f64(self.shared.sim_to_wall(sim_s).min(1e9))
     }
 
     /// Block until job `id` completes and take its records (canonically
@@ -627,6 +706,7 @@ impl Service {
             &self.shared.metrics,
             &names,
             crate::metrics::QueueView {
+                depth: self.shared.queue.depth(),
                 depth_high_water: self.shared.queue.depth_high_water(),
                 sheds_quota,
                 sheds_budget,
@@ -654,6 +734,67 @@ impl Service {
     /// under [`Placement::Planned`].
     pub fn plan(&self) -> Option<Arc<ShardPlan>> {
         self.shared.pool.plan_snapshot()
+    }
+
+    /// Jobs sitting in the admission queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Snapshot of the windowed latency/queue-depth ring, oldest window
+    /// first: per-window admitted/shed/completed counts, max observed
+    /// queue depth, and completion-latency percentiles.
+    pub fn latency_windows(&self) -> Vec<WindowReport> {
+        self.shared.windows.reports()
+    }
+
+    /// Nearest-rank completion-latency quantile over every window the
+    /// ring retains.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.shared.windows.latency_quantile_ns(q))
+    }
+
+    /// Fraction of retained completions that finished slower than `slo`.
+    pub fn slo_violation_rate(&self, slo: Duration) -> f64 {
+        self.shared
+            .windows
+            .violation_rate(u64::try_from(slo.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Each device's calibrated sustained throughput in admission cost
+    /// units per simulated second — what an external controller needs to
+    /// predict the queue delay of hypothetical fleets before committing
+    /// to a scale event.
+    pub fn device_admission_rates(&self) -> Vec<f64> {
+        self.shared.device_rates.clone()
+    }
+
+    /// Per-device fleet membership right now.
+    pub fn active_devices(&self) -> Vec<bool> {
+        self.shared.pool.active_snapshot()
+    }
+
+    /// Batches queued per device right now (running batches excluded).
+    pub fn device_queue_depths(&self) -> Vec<usize> {
+        self.shared.pool.queue_depths()
+    }
+
+    /// Predicted seconds of queued work per device; a retiring device's
+    /// entry draining to zero is the drain-before-retire signal.
+    pub fn device_pending_s(&self) -> Vec<f64> {
+        self.shared.pool.pending_snapshot()
+    }
+
+    /// Summed admission cost of admitted-but-unfinished jobs.
+    pub fn inflight_cost(&self) -> u64 {
+        self.shared.queue.inflight_cost()
+    }
+
+    /// The configured wall-seconds-per-simulated-second pacing factor
+    /// (`0.0` when pacing is off and simulated seconds pass at host
+    /// speed).
+    pub fn pacing(&self) -> f64 {
+        self.shared.config.pacing
     }
 
     /// Mark a device in or out of the fleet. Out-of-fleet devices take no
@@ -909,6 +1050,11 @@ fn batcher_loop(shared: &Shared) {
                 None => break,
             }
         }
+        // Sample the depth on the drain side too, so windows see troughs
+        // even when nothing is being submitted.
+        shared
+            .windows
+            .note_depth(shared.now_ns(), shared.queue.depth());
 
         // Bulge and library expansion: each variant (or library guide) is
         // an independent plain search under its own (pattern, guide);

@@ -109,6 +109,19 @@ impl ShardPlan {
         (device < self.weights.len()).then(|| cuts[device]..cuts[device + 1])
     }
 
+    /// Total registered chunks `device` owns across every registered
+    /// assembly — what a scale event is about to move onto (or drain
+    /// off) the device, reported alongside each `ScaleEvent`.
+    pub fn owned_chunks(&self, device: usize) -> usize {
+        if device >= self.weights.len() {
+            return 0;
+        }
+        self.ranges
+            .values()
+            .map(|cuts| cuts[device + 1] - cuts[device])
+            .sum()
+    }
+
     /// How many registered chunks `self` places on a different device than
     /// `old` — the exact set a fleet-change migration must move (counted
     /// over `self`'s registered assemblies and chunk counts).
@@ -284,5 +297,14 @@ mod tests {
     #[should_panic(expected = "positive weight")]
     fn all_zero_weights_refuse_to_plan() {
         let _ = ShardPlan::build(&[0.0, 0.0], &[]);
+    }
+
+    #[test]
+    fn owned_chunks_sums_registered_assemblies() {
+        let p = ShardPlan::build(&[1.0, 3.0], &[("a".to_string(), 40), ("b".to_string(), 8)]);
+        let total: usize = (0..2).map(|d| p.owned_chunks(d)).sum();
+        assert_eq!(total, 48, "every registered chunk has one owner");
+        assert_eq!(p.owned_chunks(0), 10 + 2);
+        assert_eq!(p.owned_chunks(7), 0, "out-of-fleet devices own nothing");
     }
 }

@@ -190,7 +190,9 @@ impl TenantLedger {
 }
 
 /// Nearest-rank quantile over an ascending-sorted slice; 0 when empty.
-fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
+/// Shared with the windowed latency accounting in [`crate::metrics`] so
+/// per-tenant and per-window percentiles agree on rank semantics.
+pub(crate) fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
     if sorted_ns.is_empty() {
         return 0;
     }

@@ -37,6 +37,16 @@
 //! (every variant is a cache hit), plus a per-variant ISA table — code
 //! bytes, SGPRs, VGPRs, occupancy — generic vs folded.
 //!
+//! The closing pass is the **trace-driven load harness**: a seeded,
+//! replayable open-loop trace (diurnal ramp → on/off burst → quiet tail,
+//! with tenant-mix shifts and a hot-spot phase) is replayed twice — once
+//! against the peak-static 4-device pool, once against an elastic pool
+//! that starts at one device under an autoscaler watching predicted
+//! queue delay. Both replays must fold byte-identical result digests,
+//! the autoscaled pool must hold the end-to-end p99 SLO while
+//! provisioning materially fewer device-seconds than the static fleet,
+//! and every scale event replans the shard plan minimally.
+//!
 //! ```text
 //! cargo run --release --example serve_demo
 //! CASOFF_SERVE_JOBS=200 cargo run --release --example serve_demo
@@ -44,15 +54,17 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cas_offinder::kernels::specialize::{generic_model, specialized_model};
 use cas_offinder::kernels::{OptLevel, VariantKind};
 use cas_offinder::pipeline::{ocl, PipelineConfig};
 use cas_offinder::{OffTarget, SearchInput};
+use casoff_serve::trace::{fold_results, schedule_digest, RESULT_DIGEST_SEED};
 use casoff_serve::{
-    ChunkEncoding, JobSpec, MetricsReport, Placement, Poll, Service, ServiceConfig, SubmitError,
-    TenantConfig, TenantId, Ticket,
+    ArrivalShape, AutoscaleConfig, AutoscaleReport, Autoscaler, ChunkEncoding, HotSpot, JobSpec,
+    MetricsReport, PhaseSpec, Placement, Poll, ScaleDirection, Service, ServiceConfig,
+    SubmitError, TenantConfig, TenantId, Ticket, TraceEvent, TraceSpec,
 };
 use genome::rng::Xoshiro256;
 use genome::Assembly;
@@ -892,6 +904,185 @@ fn library_run() -> LibraryOutcome {
     }
 }
 
+/// End-to-end completion-latency SLO for the trace pass: generous next
+/// to one job's paced service time, tight next to the backlog a late
+/// scale-up would leave behind — the number the p99 violation gate
+/// holds both pools to.
+const TRACE_SLO: Duration = Duration::from_millis(2500);
+
+/// The demo trace: a diurnal ramp that a single device cannot quite
+/// hold, an on/off burst whose on-phase needs most of the fleet, and a
+/// quiet tail that earns the scale-downs. The tenant mix shifts each
+/// phase and the burst concentrates on a four-spec hot spot.
+fn demo_trace() -> TraceSpec {
+    TraceSpec {
+        seed: 0x7ACE,
+        phases: vec![
+            PhaseSpec {
+                duration_s: 5.0,
+                shape: ArrivalShape::Diurnal {
+                    base_rate_per_s: 8.0,
+                    amplitude: 0.5,
+                    period_s: 5.0,
+                },
+                tenants: vec![(TenantId(1), 3), (TenantId(2), 1)],
+                hot_spot: None,
+            },
+            PhaseSpec {
+                duration_s: 8.0,
+                shape: ArrivalShape::Bursty {
+                    on_rate_per_s: 30.0,
+                    period_s: 3.0,
+                    duty: 0.5,
+                },
+                tenants: vec![(TenantId(2), 2), (TenantId(3), 1)],
+                hot_spot: Some(HotSpot {
+                    fraction: 0.6,
+                    span: 4,
+                }),
+            },
+            PhaseSpec {
+                duration_s: 4.0,
+                shape: ArrivalShape::Steady { rate_per_s: 5.0 },
+                tenants: vec![(TenantId(3), 1)],
+                hot_spot: None,
+            },
+        ],
+    }
+}
+
+/// One pool's replay of the trace, plus the autoscaler's report when the
+/// pool was elastic.
+struct TracePoolRun {
+    digest: u64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+    violation_rate: f64,
+    device_seconds: f64,
+    prediction_error: f64,
+    max_window_depth: usize,
+    scale: Option<AutoscaleReport>,
+}
+
+/// Replay `events` open-loop — each submission at its trace timestamp,
+/// never waiting for completions — against a fresh planned-placement
+/// service, optionally elastic: the pool starts at one active device and
+/// an [`Autoscaler`] earns the rest against its predicted-delay SLO.
+/// Results are verified against the serial oracle and folded into a
+/// digest in event order; latency quantiles and SLO violations come from
+/// the service's windowed metrics ring.
+fn trace_pool_run(
+    label: &str,
+    assembly: &Assembly,
+    events: &[TraceEvent],
+    specs: &[JobSpec],
+    oracle: &[Vec<OffTarget>],
+    autoscale: Option<AutoscaleConfig>,
+) -> TracePoolRun {
+    let mut config = config_with(ChunkEncoding::Packed, Placement::Planned, CHUNK_SIZE);
+    // Open-loop: the generator never blocks on the pool, so the queue
+    // must absorb the whole burst and backpressure shows up as latency,
+    // not sheds.
+    config.queue_cost_limit = 1 << 40;
+    let service = Arc::new(Service::start(config, vec![assembly.clone()]));
+    let devices = service.metrics().devices.len();
+    let scaler = autoscale.map(|cfg| {
+        // The elastic pool starts at the floor; demand earns the rest.
+        for d in 1..devices {
+            service.set_device_active(d, false);
+        }
+        Autoscaler::watch(Arc::clone(&service), cfg)
+    });
+
+    let start = Instant::now();
+    let mut ids: Vec<(u64, usize)> = Vec::with_capacity(events.len());
+    for ev in events {
+        let target = Duration::from_secs_f64(ev.at_s);
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= target {
+                break;
+            }
+            std::thread::sleep(target - elapsed);
+        }
+        let spec = specs[ev.spec_index].clone().for_tenant(ev.tenant);
+        loop {
+            match service.submit(spec.clone()) {
+                Ok(id) => {
+                    ids.push((id, ev.spec_index));
+                    break;
+                }
+                Err(SubmitError::Shed { .. }) => std::thread::sleep(Duration::from_micros(500)),
+                Err(err) => panic!("unexpected rejection: {err}"),
+            }
+        }
+    }
+    let mut digest = RESULT_DIGEST_SEED;
+    for &(id, spec_index) in &ids {
+        let records = service.wait(id).expect("job was admitted");
+        assert_eq!(records, oracle[spec_index], "job {id}");
+        digest = fold_results(digest, &records);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let scale = scaler.map(|s| s.stop());
+    let report = service.metrics();
+    assert_eq!(report.jobs_completed, events.len() as u64);
+    let windows = service.latency_windows();
+    let max_window_depth = windows.iter().map(|w| w.queue_depth_max).max().unwrap_or(0);
+
+    let run = TracePoolRun {
+        digest,
+        p50: service.latency_quantile(0.5),
+        p95: service.latency_quantile(0.95),
+        p99: service.latency_quantile(0.99),
+        violation_rate: service.slo_violation_rate(TRACE_SLO),
+        device_seconds: scale
+            .as_ref()
+            .map_or(devices as f64 * elapsed_s, |r| r.device_seconds),
+        prediction_error: report.mean_prediction_error(),
+        max_window_depth,
+        scale,
+    };
+    println!(
+        "[{label}] {} jobs in {elapsed_s:.1} s wall; latency p50/p95/p99 \
+         {:.0}/{:.0}/{:.0} ms, {:.2}% over the {} ms SLO; {} metric windows, \
+         max queue depth {}, {:.1} device-seconds provisioned",
+        events.len(),
+        run.p50.as_secs_f64() * 1e3,
+        run.p95.as_secs_f64() * 1e3,
+        run.p99.as_secs_f64() * 1e3,
+        100.0 * run.violation_rate,
+        TRACE_SLO.as_millis(),
+        windows.len(),
+        run.max_window_depth,
+        run.device_seconds,
+    );
+    if let Some(r) = &run.scale {
+        for e in &r.events {
+            println!(
+                "[{label}]   t+{:.2}s scale {} device {} -> {} active \
+                 (predicted delay {:.0} ms, queue depth {}, {} chunks replanned)",
+                e.at.as_secs_f64(),
+                match e.direction {
+                    ScaleDirection::Up => "up:",
+                    ScaleDirection::Down => "down:",
+                },
+                e.device,
+                e.active_after,
+                e.predicted_delay.as_secs_f64() * 1e3,
+                e.queue_depth,
+                e.migrated_chunks,
+            );
+        }
+    }
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => unreachable!("scaler stopped and submitters joined"),
+    }
+    run
+}
+
 /// Simulated makespan: the busiest device bounds the pool's throughput.
 fn makespan_s(report: &MetricsReport) -> f64 {
     report
@@ -1064,6 +1255,57 @@ fn main() {
     // lets repeat sweeps skip the finder entirely.
     println!("library screens ({LIBRARY_GUIDES} guides, fused comparers + candidate cache):");
     let library = library_run();
+
+    // This PR's tentpole: the trace-driven load harness against fixed
+    // and elastic pools. The same seeded schedule replays twice; the
+    // digest equality below is the determinism claim end to end.
+    println!("trace-driven load harness (diurnal -> burst -> quiet, fixed vs autoscaled):");
+    let trace_spec = demo_trace();
+    let events = trace_spec.generate(specs.len());
+    assert_eq!(
+        schedule_digest(&events),
+        schedule_digest(&trace_spec.generate(specs.len())),
+        "the seeded trace must generate byte-identical schedules"
+    );
+    let trace_oracle_digest = events.iter().fold(RESULT_DIGEST_SEED, |d, ev| {
+        fold_results(d, &oracle[ev.spec_index])
+    });
+    println!(
+        "[trace] {} events over {:.0} s (schedule digest {:016x})",
+        events.len(),
+        trace_spec.horizon_s(),
+        schedule_digest(&events),
+    );
+    let trace_fixed = trace_pool_run("trace fixed", &assembly, &events, &specs, &oracle, None);
+    let trace_auto = trace_pool_run(
+        "trace autoscaled",
+        &assembly,
+        &events,
+        &specs,
+        &oracle,
+        Some(AutoscaleConfig {
+            // Predicted *queue delay* SLO — deliberately a fraction of
+            // the end-to-end TRACE_SLO so the controller reacts while a
+            // burst's backlog is still cheap to clear.
+            slo: Duration::from_millis(700),
+            window: Duration::from_millis(250),
+            samples_per_window: 5,
+            scale_up_windows: 2,
+            // Eager enough that the burst's 1.5 s off-phases earn
+            // retirements; the 2-window scale-up wins them back in 0.5 s
+            // when the next on-phase lands.
+            scale_down_windows: 4,
+            low_utilization: 0.45,
+            headroom: 0.5,
+            min_devices: 1,
+            max_devices: 4,
+        }),
+    );
+    let trace_scale = trace_auto
+        .scale
+        .as_ref()
+        .expect("the autoscaled run carries a report");
+    let device_seconds_saved = 1.0 - trace_auto.device_seconds / trace_fixed.device_seconds;
 
     let packed_jobs_per_s = jobs as f64 / makespan_s(&packed);
     let raw_jobs_per_s = jobs as f64 / makespan_s(&raw);
@@ -1297,6 +1539,51 @@ fn main() {
         library.baseline_makespan_s, library.warm_makespan_s, library.screen_speedup,
     );
 
+    println!("load harness summary:");
+    println!(
+        "  trace:              {} events over {:.0} s (diurnal / bursty+hot-spot / steady)",
+        events.len(),
+        trace_spec.horizon_s(),
+    );
+    println!(
+        "  latency p50/p95/p99: fixed {:.0}/{:.0}/{:.0} ms, autoscaled {:.0}/{:.0}/{:.0} ms",
+        trace_fixed.p50.as_secs_f64() * 1e3,
+        trace_fixed.p95.as_secs_f64() * 1e3,
+        trace_fixed.p99.as_secs_f64() * 1e3,
+        trace_auto.p50.as_secs_f64() * 1e3,
+        trace_auto.p95.as_secs_f64() * 1e3,
+        trace_auto.p99.as_secs_f64() * 1e3,
+    );
+    println!(
+        "  SLO ({} ms):       fixed {:.2}% violations, autoscaled {:.2}%",
+        TRACE_SLO.as_millis(),
+        100.0 * trace_fixed.violation_rate,
+        100.0 * trace_auto.violation_rate,
+    );
+    println!(
+        "  elasticity:         {} scale-ups / {} scale-downs ({} chunks replanned), \
+         active devices {}..{}",
+        trace_scale.scale_ups(),
+        trace_scale.scale_downs(),
+        trace_scale.migrated_chunks(),
+        trace_scale.min_active,
+        trace_scale.peak_active,
+    );
+    println!(
+        "  device-seconds:     fixed {:.1}, autoscaled {:.1} ({:.1}% saved)",
+        trace_fixed.device_seconds,
+        trace_auto.device_seconds,
+        100.0 * device_seconds_saved,
+    );
+    println!(
+        "  replay digests:     fixed {:016x}, autoscaled {:016x} (oracle {:016x})",
+        trace_fixed.digest, trace_auto.digest, trace_oracle_digest,
+    );
+    println!(
+        "  prediction error:   autoscaled {:.1}% through the scale events (calibrated rates)",
+        100.0 * trace_auto.prediction_error,
+    );
+
     let library_json = format!(
         concat!(
             "{{ \"guides\": {}, \"sites\": {}, \"screen_speedup\": {:.4}, ",
@@ -1315,6 +1602,45 @@ fn main() {
         library.report.comparer_launch_ratio(),
         library.report.fused_launches,
         library.report.candidates.evictions,
+    );
+
+    let trace_json = format!(
+        concat!(
+            "{{ \"events\": {}, \"horizon_s\": {:.1}, \"slo_ms\": {},\n",
+            "    \"fixed\": {{ \"latency_p50_ms\": {:.1}, \"latency_p95_ms\": {:.1}, ",
+            "\"latency_p99_ms\": {:.1}, \"fixed_slo_violation_rate\": {:.4}, ",
+            "\"fixed_device_seconds\": {:.2}, \"fixed_max_queue_depth\": {} }},\n",
+            "    \"autoscaled\": {{ \"latency_p50_ms\": {:.1}, \"latency_p95_ms\": {:.1}, ",
+            "\"latency_p99_ms\": {:.1}, \"p99_slo_violation_rate\": {:.4},\n",
+            "      \"autoscaled_device_seconds\": {:.2}, \"autoscaled_max_queue_depth\": {}, ",
+            "\"scale_ups\": {}, \"scale_downs\": {}, \"trace_migrated_chunks\": {}, ",
+            "\"peak_active\": {}, \"min_active\": {}, \"trace_prediction_error\": {:.4} }},\n",
+            "    \"device_seconds_saved\": {:.4},\n",
+            "    \"digests_match\": {} }}"
+        ),
+        events.len(),
+        trace_spec.horizon_s(),
+        TRACE_SLO.as_millis(),
+        trace_fixed.p50.as_secs_f64() * 1e3,
+        trace_fixed.p95.as_secs_f64() * 1e3,
+        trace_fixed.p99.as_secs_f64() * 1e3,
+        trace_fixed.violation_rate,
+        trace_fixed.device_seconds,
+        trace_fixed.max_window_depth,
+        trace_auto.p50.as_secs_f64() * 1e3,
+        trace_auto.p95.as_secs_f64() * 1e3,
+        trace_auto.p99.as_secs_f64() * 1e3,
+        trace_auto.violation_rate,
+        trace_auto.device_seconds,
+        trace_auto.max_window_depth,
+        trace_scale.scale_ups(),
+        trace_scale.scale_downs(),
+        trace_scale.migrated_chunks(),
+        trace_scale.peak_active,
+        trace_scale.min_active,
+        trace_auto.prediction_error,
+        device_seconds_saved,
+        trace_fixed.digest == trace_oracle_digest && trace_auto.digest == trace_oracle_digest,
     );
 
     let tenant_json: String = qos
@@ -1441,6 +1767,7 @@ fn main() {
             "  \"qos\": {},\n",
             "  \"sharding\": {},\n",
             "  \"library\": {},\n",
+            "  \"trace\": {},\n",
             "  \"transfer_reduction_per_batch\": {:.3},\n",
             "  \"affinity_transfer_reduction_per_batch\": {:.3},\n",
             "  \"jobs_per_s_improvement\": {:.3}\n",
@@ -1494,6 +1821,7 @@ fn main() {
         qos_json,
         sharding_json,
         library_json,
+        trace_json,
         transfer_reduction,
         affinity_transfer_reduction,
         packed_jobs_per_s / raw_jobs_per_s,
@@ -1633,5 +1961,41 @@ fn main() {
     assert!(
         library.report.finder_launches_skipped > 0 && library.report.fused_launches > 0,
         "the fast path must actually skip finders and fuse comparers"
+    );
+    assert_eq!(
+        trace_fixed.digest, trace_oracle_digest,
+        "the fixed-pool replay must fold the oracle digest"
+    );
+    assert_eq!(
+        trace_auto.digest, trace_oracle_digest,
+        "the autoscaled replay must fold the same digest as the fixed pool"
+    );
+    assert!(
+        trace_auto.violation_rate <= 0.01,
+        "the autoscaled pool must hold the end-to-end p99 SLO to a <= 1% \
+         violation rate, got {:.2}%",
+        100.0 * trace_auto.violation_rate
+    );
+    assert!(
+        device_seconds_saved >= 0.15,
+        "the elastic pool must provision >= 15% fewer device-seconds than \
+         the peak-static fleet, got {:.1}%",
+        100.0 * device_seconds_saved
+    );
+    assert!(
+        trace_auto.prediction_error <= 0.10,
+        "the cost model must stay within 10% through the scale events, \
+         got {:.1}%",
+        100.0 * trace_auto.prediction_error
+    );
+    assert!(
+        trace_scale.scale_ups() >= 1 && trace_scale.scale_downs() >= 1,
+        "the trace must exercise both scale directions, got {} up / {} down",
+        trace_scale.scale_ups(),
+        trace_scale.scale_downs()
+    );
+    assert!(
+        trace_scale.migrated_chunks() > 0,
+        "every scale event must replan the shard plan minimally"
     );
 }

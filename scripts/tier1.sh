@@ -79,11 +79,24 @@ awk -v r="${cand_hits:-0}" 'BEGIN { exit !(r >= 0.9) }' \
 launch_ratio=$(sed -n 's/.*"comparer_launch_ratio": \([0-9.]*\).*/\1/p' BENCH_serve.json)
 awk -v r="${launch_ratio:-1}" 'BEGIN { exit !(r <= 0.1) }' \
   || { echo "library comparer launch ratio is ${launch_ratio:-absent}; expected <= 0.1"; exit 1; }
+# Replaying the open-loop trace against the elastic pool, the autoscaler
+# must hold the end-to-end p99 SLO to at most a 1% violation rate.
+slo_viol=$(sed -n 's/.*"p99_slo_violation_rate": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v v="${slo_viol:-1}" 'BEGIN { exit !(v <= 0.01) }' \
+  || { echo "autoscaled p99 SLO violation rate is ${slo_viol:-absent}; expected <= 0.01"; exit 1; }
+# ...while provisioning at least 15% fewer device-seconds than the
+# peak-static fleet — the cost side of the elasticity trade.
+ds_saved=$(sed -n 's/.*"device_seconds_saved": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v s="${ds_saved:-0}" 'BEGIN { exit !(s >= 0.15) }' \
+  || { echo "autoscaled device-seconds saved is ${ds_saved:-absent}; expected >= 0.15"; exit 1; }
 
 echo "== bench: specialized vs generic comparers =="
 cargo bench -q -p casoff-bench --bench serve_specialize
 
 echo "== bench: library screens, fused vs per-guide =="
 cargo bench -q -p casoff-bench --bench serve_library
+
+echo "== bench: trace generator, window ring, autoscale controller =="
+cargo bench -q -p casoff-bench --bench serve_trace
 
 echo "== tier-1 OK =="
